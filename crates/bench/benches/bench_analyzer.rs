@@ -1,0 +1,46 @@
+//! Velocity analyzer components: PC-distance k-means and τ selection
+//! (the overhead the paper measures in Figure 18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vp_core::{kmeans, tau, VelocityAnalyzer, VpConfig};
+use vp_geom::Point;
+
+fn sample(n: usize) -> Vec<Point> {
+    let mut s = 0x1357_9BDF_u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 10_000) as f64 / 10_000.0
+    };
+    (0..n)
+        .map(|i| {
+            let ang: f64 = if i % 2 == 0 { 0.05 } else { 1.62 };
+            let speed = 10.0 + next() * 80.0;
+            let sign = if i % 4 < 2 { 1.0 } else { -1.0 };
+            Point::new(
+                ang.cos() * speed * sign + next() - 0.5,
+                ang.sin() * speed * sign + next() - 0.5,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let pts = sample(10_000);
+    c.bench_function("analyzer/find_dvas_10k", |b| {
+        b.iter(|| black_box(kmeans::find_dvas(black_box(&pts), 2, 7, 100)))
+    });
+    let perp: Vec<f64> = pts.iter().map(|p| p.y.abs()).collect();
+    c.bench_function("analyzer/tau_selection_10k", |b| {
+        b.iter(|| black_box(tau::optimal_tau_from_samples(black_box(&perp), 100)))
+    });
+    c.bench_function("analyzer/full_pipeline_10k", |b| {
+        let a = VelocityAnalyzer::new(VpConfig::default());
+        b.iter(|| black_box(a.analyze(black_box(&pts))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! B+-tree insert / point lookup / range scan / delete throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vp_bptree::{BPlusTree, Key128};
+use vp_storage::{BufferPool, DiskManager};
+
+fn key(i: u64) -> Key128 {
+    Key128::new(i.wrapping_mul(0x9E3779B97F4A7C15) >> 20, i)
+}
+
+fn val(i: u64) -> [u8; vp_bptree::VALUE_LEN] {
+    let mut v = [0u8; vp_bptree::VALUE_LEN];
+    v[..8].copy_from_slice(&i.to_le_bytes());
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("bptree/insert_10k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::with_capacity(DiskManager::new(), 256));
+            let mut t = BPlusTree::new(pool).unwrap();
+            for i in 0..10_000u64 {
+                t.insert(key(i), val(i)).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+
+    let pool = Arc::new(BufferPool::with_capacity(DiskManager::new(), 256));
+    let mut t = BPlusTree::new(pool).unwrap();
+    for i in 0..50_000u64 {
+        t.insert(key(i), val(i)).unwrap();
+    }
+    c.bench_function("bptree/get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(t.get(key(i % 50_000)).unwrap())
+        })
+    });
+    c.bench_function("bptree/range_scan_1k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            t.range_scan(key(0), Key128::MAX, |_, _| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

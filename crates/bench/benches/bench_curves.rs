@@ -1,0 +1,38 @@
+//! Hilbert vs Z-order: encode/decode throughput and window-range
+//! decomposition (the Bx-tree query path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vp_bx::{HilbertCurve, SpaceFillingCurve, ZCurve};
+
+fn bench(c: &mut Criterion) {
+    let h = HilbertCurve::new(10);
+    let z = ZCurve::new(10);
+    c.bench_function("curve/hilbert_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                acc ^= h.encode(black_box(i * 3 % 1024), black_box(i * 7 % 1024));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("curve/z_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                acc ^= z.encode(black_box(i * 3 % 1024), black_box(i * 7 % 1024));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("curve/hilbert_window_ranges", |b| {
+        b.iter(|| black_box(h.ranges(black_box(100), 200, 160, 280, 16)))
+    });
+    c.bench_function("curve/z_window_ranges", |b| {
+        b.iter(|| black_box(z.ranges(black_box(100), 200, 160, 280, 16)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks of the geometry kernel: sweep-volume integrals
+//! (the TPR* cost metric), frame transforms, and TPBR intersections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vp_geom::{Frame, Point, Rect, Tpbr, Vbr};
+
+fn bench(c: &mut Criterion) {
+    let tp = Tpbr::new(
+        Rect::from_bounds(0.0, 0.0, 500.0, 300.0),
+        Vbr::new(Point::new(-40.0, -10.0), Point::new(35.0, 25.0)),
+        0.0,
+    );
+    c.bench_function("geom/sweep_volume", |b| {
+        b.iter(|| black_box(tp.sweep_volume(black_box(0.0), black_box(120.0))))
+    });
+
+    let q = Tpbr::new(
+        Rect::from_bounds(800.0, 100.0, 1800.0, 1100.0),
+        Vbr::from_velocity(Point::new(-20.0, 5.0)),
+        0.0,
+    );
+    c.bench_function("geom/intersection_interval", |b| {
+        b.iter(|| black_box(tp.intersection_interval(&q, 0.0, 120.0)))
+    });
+
+    let f = Frame::new(Point::new(3.0, 4.0), Point::new(50_000.0, 50_000.0));
+    let r = Rect::from_bounds(10_000.0, 20_000.0, 11_000.0, 21_000.0);
+    c.bench_function("geom/rect_to_frame_mbr", |b| {
+        b.iter(|| black_box(f.rect_to_frame_mbr(black_box(&r))))
+    });
+
+    let pts: Vec<Point> = (0..10_000)
+        .map(|i| {
+            let a = i as f64 * 0.618;
+            Point::new(a.cos() * (i % 90) as f64, a.sin() * (i % 90) as f64)
+        })
+        .collect();
+    c.bench_function("geom/pca_10k_points", |b| {
+        b.iter(|| black_box(vp_geom::Mat2::second_moment_origin(black_box(&pts)).eigen()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

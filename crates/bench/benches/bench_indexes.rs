@@ -1,0 +1,78 @@
+//! End-to-end index throughput: build, update, and query for the four
+//! contenders on a small Chicago-style workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vp_bench::harness::{prepare_with_workload, IndexKind, RunConfig};
+use vp_core::MovingObject;
+use vp_geom::Point;
+use vp_workload::{Dataset, Workload, WorkloadConfig, WorkloadEvent};
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        dataset: Dataset::Chicago,
+        workload: WorkloadConfig {
+            n_objects: 3_000,
+            n_queries: 20,
+            duration: 120.0,
+            ..WorkloadConfig::default()
+        },
+        bx_hist_cells: 200,
+        ..RunConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = cfg();
+    let workload = Workload::generate(cfg.dataset, &cfg.workload);
+    let queries: Vec<_> = workload
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            WorkloadEvent::Query(q) => Some(*q),
+            _ => None,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("index/query");
+    for kind in IndexKind::PAPER {
+        let prep = prepare_with_workload(kind, &cfg, workload.clone()).unwrap();
+        let index = prep.index;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &index, |b, idx| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(idx.as_index().range_query(q).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("index/update");
+    group.sample_size(10);
+    for kind in IndexKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            let mut prep = prepare_with_workload(k, &cfg, workload.clone()).unwrap();
+            let mut t = 200.0;
+            b.iter(|| {
+                t += 1.0;
+                for id in 0..50u64 {
+                    prep.index
+                        .as_index_mut()
+                        .update(MovingObject::new(
+                            id,
+                            Point::new(50_000.0 + id as f64 * 10.0, 50_000.0),
+                            Point::new(20.0, 0.1),
+                            t,
+                        ))
+                        .unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Buffer pool hit/miss paths and page codec round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vp_storage::codec::{PageReader, PageWriter};
+use vp_storage::{BufferPool, DiskManager};
+
+fn bench(c: &mut Criterion) {
+    let pool = BufferPool::with_capacity(DiskManager::new(), 50);
+    let pids: Vec<_> = (0..200).map(|_| pool.new_page().unwrap()).collect();
+    // Touch all pages once so the pool is warm for the first 50.
+    for &p in &pids {
+        pool.with_page(p, |_| ()).unwrap();
+    }
+    c.bench_function("storage/pool_hit", |b| {
+        let hot = *pids.last().unwrap();
+        b.iter(|| pool.with_page(black_box(hot), |d| d[0]).unwrap())
+    });
+    c.bench_function("storage/pool_miss_cycle", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            // Cycling through 200 pages with 50 frames: every access
+            // misses.
+            let pid = pids[i % pids.len()];
+            i += 7;
+            pool.with_page(black_box(pid), |d| d[0]).unwrap()
+        })
+    });
+    c.bench_function("storage/codec_roundtrip_4k", |b| {
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            let mut w = PageWriter::new(&mut buf);
+            for i in 0..500u64 {
+                w.put_u64(i).unwrap();
+            }
+            let mut r = PageReader::new(&buf);
+            let mut acc = 0u64;
+            for _ in 0..500 {
+                acc ^= r.get_u64().unwrap();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

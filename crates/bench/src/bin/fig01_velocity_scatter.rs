@@ -1,0 +1,55 @@
+//! Figure 1(b) — velocity distribution of cars on the San Francisco
+//! road network.
+//!
+//! Emits the velocity sample as `x y` rows (plot with any scatter
+//! tool) plus a coarse ASCII rendering and axis-alignment summary.
+
+use vp_bench::harness::{parse_common_args, RunConfig};
+use vp_workload::{Dataset, Workload};
+
+fn main() {
+    let mut cfg = parse_common_args(RunConfig::default());
+    cfg.dataset = Dataset::SanFrancisco;
+    cfg.workload.n_objects = cfg.workload.n_objects.min(10_000);
+    let w = Workload::generate(cfg.dataset, &cfg.workload);
+    let sample = w.velocity_sample(2_000, 42);
+
+    println!("# Figure 1(b): SA velocity scatter (vx vy), {} points", sample.len());
+    // ASCII density plot: 41x41 bins over [-100, 100]^2.
+    const N: usize = 41;
+    let mut bins = [[0u32; N]; N];
+    let max_speed = cfg.workload.max_speed;
+    for v in &sample {
+        let bx = (((v.x + max_speed) / (2.0 * max_speed)) * N as f64) as usize;
+        let by = (((v.y + max_speed) / (2.0 * max_speed)) * N as f64) as usize;
+        bins[by.min(N - 1)][bx.min(N - 1)] += 1;
+    }
+    for row in bins.iter().rev() {
+        let line: String = row
+            .iter()
+            .map(|&c| match c {
+                0 => ' ',
+                1..=2 => '.',
+                3..=6 => 'o',
+                _ => '#',
+            })
+            .collect();
+        println!("|{line}|");
+    }
+    let aligned = sample
+        .iter()
+        .filter(|v| {
+            let ang = (v.y.atan2(v.x) - 0.18).rem_euclid(std::f64::consts::FRAC_PI_2);
+            ang.min(std::f64::consts::FRAC_PI_2 - ang) < 0.1
+        })
+        .count();
+    println!(
+        "# {}/{} velocities within 0.1 rad of the two dominant axes",
+        aligned,
+        sample.len()
+    );
+    println!("# raw sample follows (vx vy):");
+    for v in sample.iter().take(500) {
+        println!("{:.2} {:.2}", v.x, v.y);
+    }
+}

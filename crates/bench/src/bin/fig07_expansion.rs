@@ -1,0 +1,171 @@
+//! Figure 7 — search-space expansion rates, unpartitioned vs
+//! partitioned, on the Chicago dataset.
+//!
+//! * Panels (a)/(b): per-leaf MBR expansion rates (VBR growth per
+//!   axis) of the TPR\*-tree vs the TPR\*(VP)-tree. For the partitioned
+//!   tree, rates are reported in each partition's DVA frame
+//!   ("DVA" = frame x, "orthogonal" = frame y).
+//! * Panels (c)/(d): query-window expansion rates of the Bx-tree vs
+//!   the Bx(VP)-tree (window growth per timestamp per axis).
+//!
+//! The paper's claim: unpartitioned structures expand in 2-D
+//! (both rates large), partitioned ones in near-1-D (orthogonal rate
+//! collapses). Summary statistics quantify the anisotropy.
+
+use vp_bench::harness::{parse_common_args, prepare, BuiltIndex, IndexKind, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_core::MovingObjectIndex;
+use vp_workload::{Dataset, WorkloadEvent};
+
+struct RateStats {
+    label: String,
+    n: usize,
+    mean_x: f64,
+    mean_y: f64,
+}
+
+impl RateStats {
+    fn from(label: String, rates: &[(f64, f64)]) -> RateStats {
+        let n = rates.len().max(1);
+        RateStats {
+            label,
+            n: rates.len(),
+            mean_x: rates.iter().map(|r| r.0).sum::<f64>() / n as f64,
+            mean_y: rates.iter().map(|r| r.1).sum::<f64>() / n as f64,
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = parse_common_args(RunConfig {
+        dataset: Dataset::Chicago,
+        ..RunConfig::default()
+    });
+    cfg.workload.query.predictive_time = 60.0;
+
+    let mut stats: Vec<RateStats> = Vec::new();
+    let mut samples: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+
+    for kind in [
+        IndexKind::TprStar,
+        IndexKind::TprStarVp,
+        IndexKind::Bx,
+        IndexKind::BxVp,
+    ] {
+        eprintln!("fig07: building {}...", kind.label());
+        let prep = prepare(kind, &cfg).expect("prepare");
+        match &prep.index {
+            BuiltIndex::Tpr(tree) => {
+                let mut rates = Vec::new();
+                tree.visit_leaf_tpbrs(|tp| {
+                    rates.push((tp.vbr.growth_x(), tp.vbr.growth_y()));
+                })
+                .unwrap();
+                stats.push(RateStats::from("TPR* leaf (x,y)".into(), &rates));
+                samples.push(("TPR*".into(), rates));
+            }
+            BuiltIndex::TprVp(vp) => {
+                for p in 0..vp.dva_count() {
+                    let mut rates = Vec::new();
+                    vp.partition_index(p)
+                        .visit_leaf_tpbrs(|tp| {
+                            rates.push((tp.vbr.growth_x(), tp.vbr.growth_y()));
+                        })
+                        .unwrap();
+                    stats.push(RateStats::from(
+                        format!("TPR*(VP) part {p} (DVA,orth)"),
+                        &rates,
+                    ));
+                    samples.push((format!("TPR*(VP) partition {p}"), rates));
+                }
+            }
+            BuiltIndex::Bx(tree) => {
+                let rates = bx_query_rates(tree, &prep.workload);
+                stats.push(RateStats::from("Bx query (x,y)".into(), &rates));
+                samples.push(("Bx".into(), rates));
+            }
+            BuiltIndex::BxVp(vp) => {
+                for p in 0..vp.dva_count() {
+                    let sub = vp.partition_index(p);
+                    let frame = vp.specs()[p].frame;
+                    // Queries transformed into the partition's frame.
+                    let rates: Vec<(f64, f64)> = prep
+                        .workload
+                        .events
+                        .iter()
+                        .filter_map(|(_, e)| match e {
+                            WorkloadEvent::Query(q) => Some(q.to_frame(&frame)),
+                            _ => None,
+                        })
+                        .flat_map(|q| window_rates(sub, &q))
+                        .collect();
+                    stats.push(RateStats::from(
+                        format!("Bx(VP) part {p} (DVA,orth)"),
+                        &rates,
+                    ));
+                    samples.push((format!("Bx(VP) partition {p}"), rates));
+                }
+            }
+        }
+        drop(prep);
+    }
+
+    println!("# Figure 7: search-space expansion rates (CH, H=60)");
+    let mut t = Table::new(&["series", "samples", "mean rate axis-1", "mean rate axis-2", "anisotropy"]);
+    for s in &stats {
+        let aniso = if s.mean_y.abs() > 1e-9 {
+            s.mean_x / s.mean_y
+        } else {
+            f64::INFINITY
+        };
+        t.row(vec![
+            s.label.clone(),
+            s.n.to_string(),
+            fmt(s.mean_x),
+            fmt(s.mean_y),
+            if aniso.is_finite() { fmt(aniso) } else { "inf".into() },
+        ]);
+    }
+    t.print();
+
+    println!("# scatter samples (first 60 per series):");
+    for (label, rates) in &samples {
+        for (x, y) in rates.iter().take(60) {
+            println!("{label}\t{x:.2}\t{y:.2}");
+        }
+    }
+}
+
+/// Expansion rate of the Bx enlarged window per query: window growth
+/// beyond the base per timestamp of enlargement, per axis.
+fn bx_query_rates(tree: &vp_bx::BxTree, workload: &vp_workload::Workload) -> Vec<(f64, f64)> {
+    workload
+        .events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            WorkloadEvent::Query(q) => Some(q),
+            _ => None,
+        })
+        .flat_map(|q| window_rates(tree, q))
+        .collect()
+}
+
+fn window_rates(tree: &vp_bx::BxTree, q: &vp_core::RangeQuery) -> Vec<(f64, f64)> {
+    // Skip empty sub-indexes (e.g. a nearly empty outlier partition).
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    tree.enlarged_windows(q)
+        .into_iter()
+        .filter_map(|w| {
+            let dt = (w.label - q.t_start).abs();
+            if dt < 1e-9 {
+                return None;
+            }
+            Some((
+                ((w.enlarged.width() - w.base.width()) * 0.5 / dt).max(0.0),
+                ((w.enlarged.height() - w.base.height()) * 0.5 / dt).max(0.0),
+            ))
+        })
+        .collect()
+}

@@ -1,0 +1,145 @@
+//! Figures 10, 11 and 13 — DVA discovery on the San Francisco sample.
+//!
+//! * Figure 10(a): naïve approach I — plain PCA over all velocity
+//!   points (one averaged axis; matches neither road).
+//! * Figure 10(b): naïve approach II — centroid k-means followed by
+//!   per-cluster PCA.
+//! * Figure 11: our approach — k-means by perpendicular distance to
+//!   each cluster's 1st PC (Algorithm 2).
+//! * Figure 13: the effect of the τ outlier cut on partition 0.
+//!
+//! Quality metric: mean perpendicular distance of the points each
+//! method assigns to its axes (lower = tighter, more 1-D partitions).
+
+use vp_bench::harness::{parse_common_args, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_core::analyzer::VelocityAnalyzer;
+use vp_core::kmeans;
+use vp_core::pca::{mean_perp_distance, pca_centered, pca_origin};
+use vp_geom::Vec2;
+use vp_workload::{Dataset, Workload};
+
+fn angle_deg(v: Vec2) -> f64 {
+    v.y.atan2(v.x)
+        .rem_euclid(std::f64::consts::PI)
+        .to_degrees()
+}
+
+fn main() {
+    let mut cfg = parse_common_args(RunConfig {
+        dataset: Dataset::SanFrancisco,
+        ..RunConfig::default()
+    });
+    cfg.workload.n_objects = cfg.workload.n_objects.min(10_000);
+    let w = Workload::generate(cfg.dataset, &cfg.workload);
+    let sample = w.velocity_sample(cfg.vp.sample_size, 42);
+
+    println!("# Figures 10/11/13: finding DVAs on the SA sample ({} points)", sample.len());
+    let mut t = Table::new(&["method", "axes (deg)", "mean perp dist (m/ts)"]);
+
+    // Naive I: one PCA over everything.
+    let p = pca_centered(&sample);
+    t.row(vec![
+        "naive I: global PCA".into(),
+        format!("{:.1}", angle_deg(p.pc1)),
+        fmt(mean_perp_distance(&sample, p.pc1)),
+    ]);
+
+    // Naive II: centroid k-means then PCA per cluster.
+    let naive2 = centroid_kmeans(&sample, 2, 99, 100);
+    let mut axes = Vec::new();
+    let mut dsum = 0.0;
+    for members in &naive2 {
+        let pts: Vec<Vec2> = members.iter().map(|&i| sample[i]).collect();
+        let axis = pca_origin(&pts).pc1;
+        dsum += pts.iter().map(|p| p.perp_distance_to_axis(axis)).sum::<f64>();
+        axes.push(angle_deg(axis));
+    }
+    t.row(vec![
+        "naive II: centroid k-means + PCA".into(),
+        format!("{:.1} / {:.1}", axes[0], axes[1]),
+        fmt(dsum / sample.len() as f64),
+    ]);
+
+    // Our approach (Algorithm 2).
+    let ours = kmeans::find_dvas(&sample, 2, cfg.vp.seed, cfg.vp.max_iters);
+    let mut axes = Vec::new();
+    let mut dsum = 0.0;
+    for c in &ours.clusters {
+        dsum += c
+            .members
+            .iter()
+            .map(|&i| sample[i].perp_distance_to_axis(c.axis))
+            .sum::<f64>();
+        axes.push(angle_deg(c.axis));
+    }
+    t.row(vec![
+        "ours: PC-distance k-means (Alg. 2)".into(),
+        format!("{:.1} / {:.1}", axes[0], axes[1]),
+        fmt(dsum / sample.len() as f64),
+    ]);
+    t.print();
+
+    // Figure 13: τ cut on each partition (full Algorithm 1).
+    let analysis = VelocityAnalyzer::new(cfg.vp.clone()).analyze(&sample);
+    println!("\n# Figure 13: outlier cut (Algorithm 1)");
+    let mut t = Table::new(&["partition", "axis (deg)", "tau (m/ts)", "kept", "objective"]);
+    for (i, p) in analysis.partitions.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.1}", angle_deg(p.axis)),
+            fmt(p.tau),
+            p.members.len().to_string(),
+            fmt(p.tau_decision.objective),
+        ]);
+    }
+    t.print();
+    println!(
+        "outliers total: {} ({:.1}% of sample); k-means iterations: {}",
+        analysis.outliers.len(),
+        analysis.outlier_fraction() * 100.0,
+        analysis.kmeans_iterations,
+    );
+}
+
+/// Plain centroid-based k-means (naïve approach II), deterministic.
+fn centroid_kmeans(points: &[Vec2], k: usize, seed: u64, iters: usize) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec2> = (0..k)
+        .map(|i| points[(seed as usize + i * n / k) % n])
+        .collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        let mut moved = 0;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| p.dist_sq(centroids[a]).total_cmp(&p.dist_sq(centroids[b])))
+                .unwrap();
+            if best != assign[i] {
+                assign[i] = best;
+                moved += 1;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<Vec2> = points
+                .iter()
+                .zip(&assign)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| *p)
+                .collect();
+            if !members.is_empty() {
+                let mut sum = Vec2::ZERO;
+                for m in &members {
+                    sum += *m;
+                }
+                *centroid = sum / members.len() as f64;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    (0..k)
+        .map(|c| (0..n).filter(|&i| assign[i] == c).collect())
+        .collect()
+}

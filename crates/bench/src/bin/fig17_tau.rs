@@ -1,0 +1,52 @@
+//! Figure 17 — automatic τ selection vs fixed τ thresholds.
+//!
+//! For the CH and SA datasets, sweeps a fixed τ over the paper's grid
+//! {0, 1, 2, 5, 10, 15, 20, 40, 60} m/ts for Bx(VP) and TPR\*(VP) and
+//! compares query I/O against the automatic algorithm of Section 5.2.
+//! The paper's claim: the automatic τ lands near the bottom of the
+//! fixed-τ curve.
+
+use vp_bench::harness::{parse_common_args, run, IndexKind, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_workload::Dataset;
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let taus = [0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 40.0, 60.0];
+
+    for dataset in [Dataset::Chicago, Dataset::SanFrancisco] {
+        println!("# Figure 17 ({dataset}): query I/O vs tau threshold");
+        let mut t = Table::new(&["tau", "Bx(VP) I/O", "TPR*(VP) I/O"]);
+        for &tau in &taus {
+            let cfg = RunConfig {
+                dataset,
+                fixed_tau: Some(tau),
+                ..base.clone()
+            };
+            eprintln!("fig17: {dataset} tau={tau}");
+            let bx = run(IndexKind::BxVp, &cfg).expect("run");
+            let tpr = run(IndexKind::TprStarVp, &cfg).expect("run");
+            t.row(vec![
+                fmt(tau),
+                fmt(bx.metrics.avg_query_io()),
+                fmt(tpr.metrics.avg_query_io()),
+            ]);
+        }
+        // Automatic τ.
+        let cfg = RunConfig {
+            dataset,
+            fixed_tau: None,
+            ..base.clone()
+        };
+        eprintln!("fig17: {dataset} auto tau");
+        let bx = run(IndexKind::BxVp, &cfg).expect("run");
+        let tpr = run(IndexKind::TprStarVp, &cfg).expect("run");
+        t.row(vec![
+            format!("auto ({})", bx.taus.iter().map(|t| format!("{t:.1}")).collect::<Vec<_>>().join("/")),
+            fmt(bx.metrics.avg_query_io()),
+            fmt(tpr.metrics.avg_query_io()),
+        ]);
+        t.print();
+        println!();
+    }
+}

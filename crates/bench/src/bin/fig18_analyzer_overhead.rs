@@ -1,0 +1,38 @@
+//! Figure 18 — velocity analyzer overhead.
+//!
+//! Runs the analyzer (PCA-guided k-means + τ selection, Sections
+//! 5.1–5.2) five times per dataset on a 10,000-point velocity sample
+//! and reports the average wall time. The paper measures 50–97 ms.
+
+use vp_bench::harness::{parse_common_args, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_core::VelocityAnalyzer;
+use vp_workload::{Dataset, Workload};
+
+fn main() {
+    let cfg = parse_common_args(RunConfig::default());
+    let mut t = Table::new(&["dataset", "analyzer ms (avg of 5)", "kmeans iters", "outlier %"]);
+    for dataset in Dataset::ALL {
+        let mut wl_cfg = cfg.workload.clone();
+        wl_cfg.n_objects = wl_cfg.n_objects.min(20_000);
+        let w = Workload::generate(dataset, &wl_cfg);
+        let sample = w.velocity_sample(cfg.vp.sample_size, 42);
+        let analyzer = VelocityAnalyzer::new(cfg.vp.clone());
+        let mut total_ms = 0.0;
+        let mut last = None;
+        for _ in 0..5 {
+            let out = analyzer.analyze(&sample);
+            total_ms += out.elapsed.as_secs_f64() * 1e3;
+            last = Some(out);
+        }
+        let out = last.unwrap();
+        t.row(vec![
+            dataset.label().into(),
+            fmt(total_ms / 5.0),
+            out.kmeans_iterations.to_string(),
+            fmt(out.outlier_fraction() * 100.0),
+        ]);
+    }
+    println!("# Figure 18: velocity analyzer overhead (sample = {} points)", cfg.vp.sample_size);
+    t.print();
+}

@@ -1,0 +1,41 @@
+//! Figure 19 — effect of varying data sets.
+//!
+//! Reproduces all four panels: (a) query I/O, (b) query execution
+//! time, (c) update I/O, (d) update execution time, for the Bx-tree,
+//! Bx(VP), TPR\*-tree and TPR\*(VP) across CH, SA, MEL, NY and the
+//! uniform dataset (paper defaults: 100 K objects, max speed 100 m/ts,
+//! radius 500 m circular time-slice queries, predictive time 60 ts).
+
+use vp_bench::harness::{run_paper_contenders, parse_common_args, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_workload::Dataset;
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let mut t = Table::new(&[
+        "dataset", "index", "query I/O", "query ms", "update I/O", "update ms",
+    ]);
+    for dataset in Dataset::ALL {
+        let cfg = RunConfig {
+            dataset,
+            ..base.clone()
+        };
+        eprintln!(
+            "fig19: running {} ({} objects)...",
+            dataset,
+            cfg.workload.n_objects
+        );
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                dataset.label().into(),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+                fmt(r.metrics.avg_update_io()),
+                fmt(r.metrics.avg_update_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 19: effect of varying data sets");
+    t.print();
+}

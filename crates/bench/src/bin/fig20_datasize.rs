@@ -1,0 +1,33 @@
+//! Figure 20 — effect of data size on the range query.
+//!
+//! Sweeps the object cardinality 100K…500K on the Chicago dataset and
+//! reports query I/O and execution time for all four contenders. The
+//! paper: costs grow ~linearly; Bx(VP) beats Bx by up to 3.4×/2.8×,
+//! TPR\*(VP) beats TPR\* by up to 1.8×/1.9×.
+
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
+use vp_bench::report::{fmt, Table};
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    // With --quick the sweep scales down proportionally.
+    let unit = base.workload.n_objects;
+    let sizes: Vec<usize> = (1..=5).map(|m| unit * m).collect();
+
+    let mut t = Table::new(&["objects", "index", "query I/O", "query ms"]);
+    for n in sizes {
+        let mut cfg = base.clone();
+        cfg.workload.n_objects = n;
+        eprintln!("fig20: {} objects...", n);
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                n.to_string(),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 20: effect of data size (CH)");
+    t.print();
+}

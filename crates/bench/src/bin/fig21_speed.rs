@@ -1,0 +1,31 @@
+//! Figure 21 — effect of maximum object speed on the range query.
+//!
+//! Sweeps the maximum speed 20…200 m/ts on Chicago. The paper: the
+//! Bx-tree suffers most from speed increases; the VP margin grows
+//! with speed (up to 3.4×/2.8× for Bx, 2×/2.1× for TPR\*), matching
+//! the search-space analysis of Section 4.
+
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
+use vp_bench::report::{fmt, Table};
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let speeds = [20.0, 60.0, 100.0, 140.0, 200.0];
+
+    let mut t = Table::new(&["max speed", "index", "query I/O", "query ms"]);
+    for &speed in &speeds {
+        let mut cfg = base.clone();
+        cfg.workload.max_speed = speed;
+        eprintln!("fig21: max speed {speed}...");
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                fmt(speed),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 21: effect of maximum object speed (CH)");
+    t.print();
+}

@@ -1,0 +1,32 @@
+//! Figure 22 — effect of range query size (radius) on the range query.
+//!
+//! Sweeps the circular query radius 100…1000 m on Chicago. The paper:
+//! the VP advantage is largest for small radii (up to 3.5×/3.6×) and
+//! shrinks in relative terms as the query extent starts to dominate
+//! the velocity-driven expansion.
+
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_workload::QueryShape;
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let radii = [100.0, 250.0, 500.0, 750.0, 1000.0];
+
+    let mut t = Table::new(&["radius", "index", "query I/O", "query ms"]);
+    for &radius in &radii {
+        let mut cfg = base.clone();
+        cfg.workload.query.shape = QueryShape::Circle { radius };
+        eprintln!("fig22: radius {radius}...");
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                fmt(radius),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 22: effect of query radius (CH)");
+    t.print();
+}

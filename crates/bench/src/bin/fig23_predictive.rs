@@ -1,0 +1,30 @@
+//! Figure 23 — effect of query predictive time on the range query.
+//!
+//! Sweeps the predictive time 20…120 ts on Chicago. The paper: Bx
+//! degrades fastest with predictive time; VP restrains the search
+//! space expansion for both structures.
+
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
+use vp_bench::report::{fmt, Table};
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let times = [20.0, 40.0, 60.0, 80.0, 100.0, 120.0];
+
+    let mut t = Table::new(&["predictive ts", "index", "query I/O", "query ms"]);
+    for &pt in &times {
+        let mut cfg = base.clone();
+        cfg.workload.query.predictive_time = pt;
+        eprintln!("fig23: predictive time {pt}...");
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                fmt(pt),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 23: effect of query predictive time (CH, circular)");
+    t.print();
+}

@@ -1,0 +1,36 @@
+//! Figure 24 — rectangular range queries: effect of query predictive
+//! time.
+//!
+//! Same sweep as Figure 23 but with 1000 m × 1000 m rectangular range
+//! queries. The paper reports results almost identical to the
+//! circular case.
+
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
+use vp_bench::report::{fmt, Table};
+use vp_workload::QueryShape;
+
+fn main() {
+    let base = parse_common_args(RunConfig::default());
+    let times = [20.0, 40.0, 60.0, 80.0, 100.0, 120.0];
+
+    let mut t = Table::new(&["predictive ts", "index", "query I/O", "query ms"]);
+    for &pt in &times {
+        let mut cfg = base.clone();
+        cfg.workload.query.shape = QueryShape::Rect {
+            width: 1000.0,
+            height: 1000.0,
+        };
+        cfg.workload.query.predictive_time = pt;
+        eprintln!("fig24: predictive time {pt} (rect)...");
+        for r in run_paper_contenders(&cfg).expect("run") {
+            t.row(vec![
+                fmt(pt),
+                r.kind.label().into(),
+                fmt(r.metrics.avg_query_io()),
+                fmt(r.metrics.avg_query_ms()),
+            ]);
+        }
+    }
+    println!("# Figure 24: rectangular range query, predictive time sweep (CH)");
+    t.print();
+}

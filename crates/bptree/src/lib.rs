@@ -1,0 +1,21 @@
+//! # vp-bptree — a paged B+-tree
+//!
+//! The disk-resident B+-tree underneath the Bx-tree (`vp-bx`). Keys are
+//! 128-bit composites ([`Key128`]) — the Bx-tree packs
+//! `(time-bucket ‖ space-filling-curve value, object id)` into them so
+//! that objects sharing a grid cell coexist without duplicate-key
+//! machinery. Values are fixed-size byte records ([`VALUE_LEN`] bytes),
+//! large enough for the Bx-tree's `(position, velocity, ref time)`
+//! payload.
+//!
+//! Features: recursive insert with node splits, full deletion with
+//! sibling borrowing and merging, point lookups, and ordered range
+//! scans over the leaf chain. All node accesses go through the shared
+//! `vp-storage` buffer pool and are attributed to the tree's own I/O
+//! counters, matching the accounting discipline of the other indexes.
+
+pub mod node;
+pub mod tree;
+
+pub use node::{Key128, Value, VALUE_LEN};
+pub use tree::BPlusTree;

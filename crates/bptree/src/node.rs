@@ -1,0 +1,280 @@
+//! B+-tree node layout and page codec.
+//!
+//! ```text
+//! header:        tag(u8) level(u8) count(u16) pad(u32)      = 8 bytes
+//! leaf:          next_leaf(u64)                             = 8 bytes
+//!                entries: key(16) value(VALUE_LEN)          = 56 bytes each
+//! internal:      keys: count x 16 bytes
+//!                children: (count + 1) x 8 bytes
+//! ```
+
+use vp_storage::codec::{PageReader, PageWriter};
+use vp_storage::{PageId, StorageError, StorageResult};
+
+/// Fixed value record length (fits the Bx-tree payload: object id is in
+/// the key; x, y, vx, vy, ref_time are 5 × f64 = 40 bytes).
+pub const VALUE_LEN: usize = 40;
+
+/// A fixed-size value record.
+pub type Value = [u8; VALUE_LEN];
+
+const HEADER_LEN: usize = 8;
+const KEY_LEN: usize = 16;
+const LEAF_META: usize = 8; // next_leaf pointer
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// A 128-bit composite key ordered by `(hi, lo)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key128 {
+    pub hi: u64,
+    pub lo: u64,
+}
+
+impl Key128 {
+    /// Creates a key from its components.
+    #[inline]
+    pub const fn new(hi: u64, lo: u64) -> Key128 {
+        Key128 { hi, lo }
+    }
+
+    /// The smallest key.
+    pub const MIN: Key128 = Key128 { hi: 0, lo: 0 };
+
+    /// The largest key.
+    pub const MAX: Key128 = Key128 {
+        hi: u64::MAX,
+        lo: u64::MAX,
+    };
+}
+
+/// A decoded B+-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BNode {
+    Leaf {
+        next: PageId,
+        keys: Vec<Key128>,
+        values: Vec<Value>,
+    },
+    Internal {
+        level: u8,
+        /// Separator keys; `children.len() == keys.len() + 1`. Subtree
+        /// `children[i]` holds keys `< keys[i]`; `children[last]` holds
+        /// the rest.
+        keys: Vec<Key128>,
+        children: Vec<PageId>,
+    },
+}
+
+impl BNode {
+    /// Creates an empty leaf with no successor.
+    pub fn empty_leaf() -> BNode {
+        BNode::Leaf {
+            next: PageId::INVALID,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        match self {
+            BNode::Leaf { keys, .. } => keys.len(),
+            BNode::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, BNode::Leaf { .. })
+    }
+
+    /// Serializes into a page buffer.
+    pub fn encode(&self, buf: &mut [u8]) -> StorageResult<()> {
+        let mut w = PageWriter::new(buf);
+        match self {
+            BNode::Leaf { next, keys, values } => {
+                debug_assert_eq!(keys.len(), values.len());
+                w.put_u8(TAG_LEAF)?;
+                w.put_u8(0)?;
+                w.put_u16(keys.len() as u16)?;
+                w.put_u32(0)?;
+                w.put_page_id(*next)?;
+                for (k, v) in keys.iter().zip(values) {
+                    w.put_u64(k.hi)?;
+                    w.put_u64(k.lo)?;
+                    w.put_bytes(v)?;
+                }
+            }
+            BNode::Internal {
+                level,
+                keys,
+                children,
+            } => {
+                debug_assert_eq!(children.len(), keys.len() + 1);
+                w.put_u8(TAG_INTERNAL)?;
+                w.put_u8(*level)?;
+                w.put_u16(keys.len() as u16)?;
+                w.put_u32(0)?;
+                for k in keys {
+                    w.put_u64(k.hi)?;
+                    w.put_u64(k.lo)?;
+                }
+                for c in children {
+                    w.put_page_id(*c)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a page buffer.
+    pub fn decode(buf: &[u8]) -> StorageResult<BNode> {
+        let mut r = PageReader::new(buf);
+        let tag = r.get_u8()?;
+        let level = r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        let _pad = r.get_u32()?;
+        match tag {
+            TAG_LEAF => {
+                let next = r.get_page_id()?;
+                let mut keys = Vec::with_capacity(count);
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(Key128::new(r.get_u64()?, r.get_u64()?));
+                    let mut v = [0u8; VALUE_LEN];
+                    v.copy_from_slice(r.get_bytes(VALUE_LEN)?);
+                    values.push(v);
+                }
+                Ok(BNode::Leaf { next, keys, values })
+            }
+            TAG_INTERNAL => {
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(Key128::new(r.get_u64()?, r.get_u64()?));
+                }
+                let mut children = Vec::with_capacity(count + 1);
+                for _ in 0..=count {
+                    children.push(r.get_page_id()?);
+                }
+                Ok(BNode::Internal {
+                    level,
+                    keys,
+                    children,
+                })
+            }
+            other => Err(StorageError::Corrupt(format!("unknown bnode tag {other}"))),
+        }
+    }
+}
+
+/// Fanout limits derived from the page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BLayout {
+    /// Max key/value pairs per leaf.
+    pub max_leaf: usize,
+    /// Max separator keys per internal node (children = keys + 1).
+    pub max_internal: usize,
+    pub min_leaf: usize,
+    pub min_internal: usize,
+}
+
+impl BLayout {
+    /// Computes fanouts for a page size.
+    pub fn for_page_size(page_size: usize) -> BLayout {
+        let max_leaf = (page_size - HEADER_LEN - LEAF_META) / (KEY_LEN + VALUE_LEN);
+        // keys * 16 + (keys + 1) * 8 <= page - header
+        let max_internal = (page_size - HEADER_LEN - 8) / (KEY_LEN + 8);
+        assert!(
+            max_leaf >= 4 && max_internal >= 4,
+            "page size {page_size} too small for a B+-tree node"
+        );
+        BLayout {
+            max_leaf,
+            max_internal,
+            min_leaf: (max_leaf / 2).max(1),
+            min_internal: (max_internal / 2).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(b: u8) -> Value {
+        [b; VALUE_LEN]
+    }
+
+    #[test]
+    fn key_ordering() {
+        assert!(Key128::new(1, 0) < Key128::new(2, 0));
+        assert!(Key128::new(1, 5) < Key128::new(1, 6));
+        assert!(Key128::new(1, u64::MAX) < Key128::new(2, 0));
+        assert!(Key128::MIN < Key128::MAX);
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let node = BNode::Leaf {
+            next: PageId(9),
+            keys: (0..5).map(|i| Key128::new(i, i * 2)).collect(),
+            values: (0..5).map(|i| val(i as u8)).collect(),
+        };
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf).unwrap();
+        assert_eq!(BNode::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let node = BNode::Internal {
+            level: 2,
+            keys: (0..4).map(|i| Key128::new(i, 0)).collect(),
+            children: (0..5).map(PageId).collect(),
+        };
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf).unwrap();
+        assert_eq!(BNode::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            BNode::decode(&[9u8; 64]),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn layout_4k() {
+        let l = BLayout::for_page_size(4096);
+        assert_eq!(l.max_leaf, (4096 - 16) / 56); // 72
+        assert_eq!(l.max_internal, (4096 - 16) / 24); // 170
+        assert!(l.min_leaf >= 1 && l.min_leaf <= l.max_leaf / 2);
+    }
+
+    #[test]
+    fn full_nodes_fit_page() {
+        let l = BLayout::for_page_size(4096);
+        let leaf = BNode::Leaf {
+            next: PageId::INVALID,
+            keys: (0..l.max_leaf as u64).map(|i| Key128::new(i, 0)).collect(),
+            values: (0..l.max_leaf).map(|i| val(i as u8)).collect(),
+        };
+        let mut buf = vec![0u8; 4096];
+        leaf.encode(&mut buf).unwrap();
+
+        let internal = BNode::Internal {
+            level: 1,
+            keys: (0..l.max_internal as u64).map(|i| Key128::new(i, 0)).collect(),
+            children: (0..=l.max_internal as u64).map(PageId).collect(),
+        };
+        internal.encode(&mut buf).unwrap();
+    }
+}

@@ -1,0 +1,978 @@
+//! The paged B+-tree.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use vp_storage::{BufferPool, IoStats, PageId, StorageError, StorageResult};
+
+use crate::node::{BLayout, BNode, Key128, Value};
+
+/// A disk-paged B+-tree with 128-bit keys and fixed-size values.
+///
+/// Like every index in this workspace it shares a buffer pool and
+/// tracks its own attributable I/O via pool-stat deltas.
+pub struct BPlusTree {
+    pool: Arc<BufferPool>,
+    layout: BLayout,
+    root: PageId,
+    /// Levels in the tree; the root is at `height - 1`, leaves at 0.
+    height: u8,
+    len: usize,
+    own: Cell<IoStats>,
+}
+
+enum InsOutcome {
+    Fit,
+    Split { sep: Key128, right: PageId },
+}
+
+impl BPlusTree {
+    /// Creates an empty tree (a single empty leaf root).
+    pub fn new(pool: Arc<BufferPool>) -> StorageResult<BPlusTree> {
+        let layout = BLayout::for_page_size(pool.page_size());
+        let root = pool.new_page()?;
+        let tree = BPlusTree {
+            pool,
+            layout,
+            root,
+            height: 1,
+            len: 0,
+            own: Cell::new(IoStats::zero()),
+        };
+        tree.write_node(tree.root, &BNode::empty_leaf())?;
+        Ok(tree)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// I/O attributable to this tree.
+    pub fn io_stats(&self) -> IoStats {
+        self.own.get()
+    }
+
+    /// Resets the attributable I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.own.set(IoStats::zero());
+    }
+
+    // ----- page helpers -------------------------------------------------
+
+    fn read_node(&self, pid: PageId) -> StorageResult<BNode> {
+        self.pool.with_page(pid, BNode::decode)?
+    }
+
+    fn write_node(&self, pid: PageId, node: &BNode) -> StorageResult<()> {
+        self.pool.with_page_mut(pid, |buf| node.encode(buf))?
+    }
+
+    fn alloc_node(&self, node: &BNode) -> StorageResult<PageId> {
+        let pid = self.pool.new_page()?;
+        self.write_node(pid, node)?;
+        Ok(pid)
+    }
+
+    fn track<R>(&self, f: impl FnOnce(&Self) -> StorageResult<R>) -> StorageResult<R> {
+        let before = self.pool.stats();
+        let out = f(self);
+        let delta = self.pool.stats().delta(&before);
+        self.own.set(self.own.get() + delta);
+        out
+    }
+
+    fn track_mut<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> StorageResult<R>,
+    ) -> StorageResult<R> {
+        let before = self.pool.stats();
+        let out = f(self);
+        let delta = self.pool.stats().delta(&before);
+        self.own.set(self.own.get() + delta);
+        out
+    }
+
+    // ----- lookup -------------------------------------------------------
+
+    /// Returns the value stored for `key`, if any.
+    pub fn get(&self, key: Key128) -> StorageResult<Option<Value>> {
+        self.track(|t| {
+            let mut pid = t.root;
+            loop {
+                match t.read_node(pid)? {
+                    BNode::Leaf { keys, values, .. } => {
+                        return Ok(keys
+                            .binary_search(&key)
+                            .ok()
+                            .map(|i| values[i]));
+                    }
+                    BNode::Internal { keys, children, .. } => {
+                        let idx = keys.partition_point(|k| *k <= key);
+                        pid = children[idx];
+                    }
+                }
+            }
+        })
+    }
+
+    // ----- insert -------------------------------------------------------
+
+    /// Inserts `key -> value`. Returns `true` when the key was new,
+    /// `false` when an existing value was overwritten.
+    pub fn insert(&mut self, key: Key128, value: Value) -> StorageResult<bool> {
+        self.track_mut(|t| {
+            let (new, outcome) = t.insert_rec(t.root, key, value)?;
+            if let InsOutcome::Split { sep, right } = outcome {
+                let new_root = BNode::Internal {
+                    level: t.height,
+                    keys: vec![sep],
+                    children: vec![t.root, right],
+                };
+                t.root = t.alloc_node(&new_root)?;
+                t.height += 1;
+            }
+            if new {
+                t.len += 1;
+            }
+            Ok(new)
+        })
+    }
+
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        key: Key128,
+        value: Value,
+    ) -> StorageResult<(bool, InsOutcome)> {
+        match self.read_node(pid)? {
+            BNode::Leaf {
+                next,
+                mut keys,
+                mut values,
+            } => {
+                let new = match keys.binary_search(&key) {
+                    Ok(i) => {
+                        values[i] = value;
+                        false
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        true
+                    }
+                };
+                if keys.len() <= self.layout.max_leaf {
+                    self.write_node(pid, &BNode::Leaf { next, keys, values })?;
+                    return Ok((new, InsOutcome::Fit));
+                }
+                // Split the leaf in half; the separator is the first key
+                // of the right node.
+                let h = keys.len() / 2;
+                let right_keys = keys.split_off(h);
+                let right_values = values.split_off(h);
+                let sep = right_keys[0];
+                let right = BNode::Leaf {
+                    next,
+                    keys: right_keys,
+                    values: right_values,
+                };
+                let right_pid = self.alloc_node(&right)?;
+                self.write_node(
+                    pid,
+                    &BNode::Leaf {
+                        next: right_pid,
+                        keys,
+                        values,
+                    },
+                )?;
+                Ok((
+                    new,
+                    InsOutcome::Split {
+                        sep,
+                        right: right_pid,
+                    },
+                ))
+            }
+            BNode::Internal {
+                level,
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let (new, outcome) = self.insert_rec(children[idx], key, value)?;
+                if let InsOutcome::Split { sep, right } = outcome {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+                if keys.len() <= self.layout.max_internal {
+                    self.write_node(
+                        pid,
+                        &BNode::Internal {
+                            level,
+                            keys,
+                            children,
+                        },
+                    )?;
+                    return Ok((new, InsOutcome::Fit));
+                }
+                // Split the internal node: the middle key moves up.
+                let m = keys.len() / 2;
+                let sep_up = keys[m];
+                let right_keys = keys.split_off(m + 1);
+                keys.pop(); // drop sep_up from the left node
+                let right_children = children.split_off(m + 1);
+                let right = BNode::Internal {
+                    level,
+                    keys: right_keys,
+                    children: right_children,
+                };
+                let right_pid = self.alloc_node(&right)?;
+                self.write_node(
+                    pid,
+                    &BNode::Internal {
+                        level,
+                        keys,
+                        children,
+                    },
+                )?;
+                Ok((
+                    new,
+                    InsOutcome::Split {
+                        sep: sep_up,
+                        right: right_pid,
+                    },
+                ))
+            }
+        }
+    }
+
+    // ----- delete -------------------------------------------------------
+
+    /// Deletes `key`. Returns `true` when it was present.
+    pub fn delete(&mut self, key: Key128) -> StorageResult<bool> {
+        self.track_mut(|t| {
+            let (found, _underflow) = t.delete_rec(t.root, key)?;
+            if found {
+                t.len -= 1;
+            }
+            // Collapse a root that lost all separators.
+            loop {
+                match t.read_node(t.root)? {
+                    BNode::Internal { keys, children, .. } if keys.is_empty() => {
+                        let old = t.root;
+                        t.root = children[0];
+                        t.height -= 1;
+                        t.pool.free_page(old)?;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(found)
+        })
+    }
+
+    fn delete_rec(&mut self, pid: PageId, key: Key128) -> StorageResult<(bool, bool)> {
+        match self.read_node(pid)? {
+            BNode::Leaf {
+                next,
+                mut keys,
+                mut values,
+            } => {
+                let Ok(i) = keys.binary_search(&key) else {
+                    return Ok((false, false));
+                };
+                keys.remove(i);
+                values.remove(i);
+                let underflow = pid != self.root && keys.len() < self.layout.min_leaf;
+                self.write_node(pid, &BNode::Leaf { next, keys, values })?;
+                Ok((true, underflow))
+            }
+            BNode::Internal {
+                level,
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let (found, child_underflow) = self.delete_rec(children[idx], key)?;
+                if !found {
+                    return Ok((false, false));
+                }
+                if child_underflow {
+                    self.rebalance_child(&mut keys, &mut children, idx)?;
+                }
+                let underflow = pid != self.root && keys.len() < self.layout.min_internal;
+                self.write_node(
+                    pid,
+                    &BNode::Internal {
+                        level,
+                        keys,
+                        children,
+                    },
+                )?;
+                Ok((true, underflow))
+            }
+        }
+    }
+
+    /// Restores the minimum occupancy of `children[idx]` by borrowing
+    /// from a sibling or merging with one, adjusting the separators.
+    fn rebalance_child(
+        &mut self,
+        keys: &mut Vec<Key128>,
+        children: &mut Vec<PageId>,
+        idx: usize,
+    ) -> StorageResult<()> {
+        let child = self.read_node(children[idx])?;
+        // Try the left sibling first, then the right.
+        if idx > 0 {
+            let left = self.read_node(children[idx - 1])?;
+            if self.can_lend(&left) {
+                self.borrow_from_left(keys, children, idx, left, child)?;
+                return Ok(());
+            }
+        }
+        if idx + 1 < children.len() {
+            let right = self.read_node(children[idx + 1])?;
+            if self.can_lend(&right) {
+                self.borrow_from_right(keys, children, idx, child, right)?;
+                return Ok(());
+            }
+        }
+        // Merge with a sibling (prefer left).
+        if idx > 0 {
+            let left = self.read_node(children[idx - 1])?;
+            self.merge(keys, children, idx - 1, left, child)
+        } else {
+            let right = self.read_node(children[idx + 1])?;
+            self.merge(keys, children, idx, child, right)
+        }
+    }
+
+    fn can_lend(&self, node: &BNode) -> bool {
+        match node {
+            BNode::Leaf { keys, .. } => keys.len() > self.layout.min_leaf,
+            BNode::Internal { keys, .. } => keys.len() > self.layout.min_internal,
+        }
+    }
+
+    fn borrow_from_left(
+        &mut self,
+        keys: &mut [Key128],
+        children: &[PageId],
+        idx: usize,
+        left: BNode,
+        child: BNode,
+    ) -> StorageResult<()> {
+        match (left, child) {
+            (
+                BNode::Leaf {
+                    next: lnext,
+                    keys: mut lk,
+                    values: mut lv,
+                },
+                BNode::Leaf {
+                    next: cnext,
+                    keys: mut ck,
+                    values: mut cv,
+                },
+            ) => {
+                let k = lk.pop().expect("lender is non-empty");
+                let v = lv.pop().expect("lender is non-empty");
+                ck.insert(0, k);
+                cv.insert(0, v);
+                keys[idx - 1] = ck[0];
+                self.write_node(
+                    children[idx - 1],
+                    &BNode::Leaf {
+                        next: lnext,
+                        keys: lk,
+                        values: lv,
+                    },
+                )?;
+                self.write_node(
+                    children[idx],
+                    &BNode::Leaf {
+                        next: cnext,
+                        keys: ck,
+                        values: cv,
+                    },
+                )
+            }
+            (
+                BNode::Internal {
+                    level,
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                BNode::Internal {
+                    keys: mut ck,
+                    children: mut cc,
+                    ..
+                },
+            ) => {
+                // Rotate through the parent separator.
+                ck.insert(0, keys[idx - 1]);
+                keys[idx - 1] = lk.pop().expect("lender is non-empty");
+                cc.insert(0, lc.pop().expect("lender has children"));
+                self.write_node(
+                    children[idx - 1],
+                    &BNode::Internal {
+                        level,
+                        keys: lk,
+                        children: lc,
+                    },
+                )?;
+                self.write_node(
+                    children[idx],
+                    &BNode::Internal {
+                        level,
+                        keys: ck,
+                        children: cc,
+                    },
+                )
+            }
+            _ => Err(StorageError::Corrupt(
+                "sibling level mismatch during borrow".into(),
+            )),
+        }
+    }
+
+    fn borrow_from_right(
+        &mut self,
+        keys: &mut [Key128],
+        children: &[PageId],
+        idx: usize,
+        child: BNode,
+        right: BNode,
+    ) -> StorageResult<()> {
+        match (child, right) {
+            (
+                BNode::Leaf {
+                    next: cnext,
+                    keys: mut ck,
+                    values: mut cv,
+                },
+                BNode::Leaf {
+                    next: rnext,
+                    keys: mut rk,
+                    values: mut rv,
+                },
+            ) => {
+                ck.push(rk.remove(0));
+                cv.push(rv.remove(0));
+                keys[idx] = rk[0];
+                self.write_node(
+                    children[idx],
+                    &BNode::Leaf {
+                        next: cnext,
+                        keys: ck,
+                        values: cv,
+                    },
+                )?;
+                self.write_node(
+                    children[idx + 1],
+                    &BNode::Leaf {
+                        next: rnext,
+                        keys: rk,
+                        values: rv,
+                    },
+                )
+            }
+            (
+                BNode::Internal {
+                    level,
+                    keys: mut ck,
+                    children: mut cc,
+                },
+                BNode::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                    ..
+                },
+            ) => {
+                ck.push(keys[idx]);
+                keys[idx] = rk.remove(0);
+                cc.push(rc.remove(0));
+                self.write_node(
+                    children[idx],
+                    &BNode::Internal {
+                        level,
+                        keys: ck,
+                        children: cc,
+                    },
+                )?;
+                self.write_node(
+                    children[idx + 1],
+                    &BNode::Internal {
+                        level,
+                        keys: rk,
+                        children: rc,
+                    },
+                )
+            }
+            _ => Err(StorageError::Corrupt(
+                "sibling level mismatch during borrow".into(),
+            )),
+        }
+    }
+
+    /// Merges `children[at + 1]` into `children[at]`, dropping the
+    /// separator `keys[at]`.
+    fn merge(
+        &mut self,
+        keys: &mut Vec<Key128>,
+        children: &mut Vec<PageId>,
+        at: usize,
+        left: BNode,
+        right: BNode,
+    ) -> StorageResult<()> {
+        match (left, right) {
+            (
+                BNode::Leaf {
+                    keys: mut lk,
+                    values: mut lv,
+                    ..
+                },
+                BNode::Leaf {
+                    next: rnext,
+                    keys: rk,
+                    values: rv,
+                },
+            ) => {
+                lk.extend(rk);
+                lv.extend(rv);
+                self.write_node(
+                    children[at],
+                    &BNode::Leaf {
+                        next: rnext,
+                        keys: lk,
+                        values: lv,
+                    },
+                )?;
+            }
+            (
+                BNode::Internal {
+                    level,
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                BNode::Internal {
+                    keys: rk,
+                    children: rc,
+                    ..
+                },
+            ) => {
+                lk.push(keys[at]);
+                lk.extend(rk);
+                lc.extend(rc);
+                self.write_node(
+                    children[at],
+                    &BNode::Internal {
+                        level,
+                        keys: lk,
+                        children: lc,
+                    },
+                )?;
+            }
+            _ => {
+                return Err(StorageError::Corrupt(
+                    "sibling level mismatch during merge".into(),
+                ))
+            }
+        }
+        self.pool.free_page(children[at + 1])?;
+        keys.remove(at);
+        children.remove(at + 1);
+        Ok(())
+    }
+
+    /// Exhaustively validates the B+-tree's structural invariants;
+    /// returns a human-readable violation description on failure.
+    /// Intended for tests and debugging (visits every page).
+    ///
+    /// Checked invariants:
+    /// * keys strictly ordered within nodes and across the leaf chain;
+    /// * every subtree's keys respect the parent separator bounds;
+    /// * occupancy limits for non-root nodes;
+    /// * uniform leaf depth;
+    /// * leaf chain visits exactly the tree's key count in order.
+    pub fn check_invariants(&self) -> StorageResult<Result<(), String>> {
+        // Recursive structural walk with key-range bounds.
+        fn walk(
+            t: &BPlusTree,
+            pid: PageId,
+            depth: u8,
+            lo: Option<Key128>,
+            hi: Option<Key128>,
+            leaf_depth: &mut Option<u8>,
+            count: &mut usize,
+        ) -> StorageResult<Result<(), String>> {
+            let node = t.read_node(pid)?;
+            let is_root = pid == t.root;
+            match node {
+                BNode::Leaf { keys, values, .. } => {
+                    if keys.len() != values.len() {
+                        return Ok(Err(format!("leaf {pid}: key/value arity mismatch")));
+                    }
+                    if !is_root && keys.len() < t.layout.min_leaf {
+                        return Ok(Err(format!("leaf {pid} underfull: {}", keys.len())));
+                    }
+                    if keys.len() > t.layout.max_leaf {
+                        return Ok(Err(format!("leaf {pid} overfull: {}", keys.len())));
+                    }
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) if *d != depth => {
+                            return Ok(Err(format!(
+                                "leaf {pid} at depth {depth}, expected {d}"
+                            )))
+                        }
+                        _ => {}
+                    }
+                    for w in keys.windows(2) {
+                        if w[0] >= w[1] {
+                            return Ok(Err(format!("leaf {pid}: keys out of order")));
+                        }
+                    }
+                    if let Some(lo) = lo {
+                        if keys.first().is_some_and(|k| *k < lo) {
+                            return Ok(Err(format!("leaf {pid}: key below separator")));
+                        }
+                    }
+                    if let Some(hi) = hi {
+                        if keys.last().is_some_and(|k| *k >= hi) {
+                            return Ok(Err(format!("leaf {pid}: key above separator")));
+                        }
+                    }
+                    *count += keys.len();
+                }
+                BNode::Internal { keys, children, .. } => {
+                    if children.len() != keys.len() + 1 {
+                        return Ok(Err(format!("internal {pid}: arity mismatch")));
+                    }
+                    if !is_root && keys.len() < t.layout.min_internal {
+                        return Ok(Err(format!("internal {pid} underfull")));
+                    }
+                    if keys.len() > t.layout.max_internal {
+                        return Ok(Err(format!("internal {pid} overfull")));
+                    }
+                    for w in keys.windows(2) {
+                        if w[0] >= w[1] {
+                            return Ok(Err(format!("internal {pid}: separators out of order")));
+                        }
+                    }
+                    for (i, &child) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        match walk(t, child, depth + 1, clo, chi, leaf_depth, count)? {
+                            Ok(()) => {}
+                            Err(e) => return Ok(Err(e)),
+                        }
+                    }
+                }
+            }
+            Ok(Ok(()))
+        }
+
+        let mut leaf_depth = None;
+        let mut count = 0usize;
+        match walk(self, self.root, 0, None, None, &mut leaf_depth, &mut count)? {
+            Ok(()) => {}
+            Err(e) => return Ok(Err(e)),
+        }
+        if count != self.len {
+            return Ok(Err(format!(
+                "structural count {count} != len {}",
+                self.len
+            )));
+        }
+        // Leaf chain: ordered, complete.
+        let mut chained = 0usize;
+        let mut prev: Option<Key128> = None;
+        let n = self.range_scan(Key128::MIN, Key128::MAX, |k, _| {
+            if let Some(p) = prev {
+                debug_assert!(p < k);
+            }
+            prev = Some(k);
+            chained += 1;
+        })?;
+        if n != self.len {
+            return Ok(Err(format!("leaf chain visits {n}, len {}", self.len)));
+        }
+        Ok(Ok(()))
+    }
+
+    // ----- scans ----------------------------------------------------------
+
+    /// Visits every `(key, value)` with `lo <= key <= hi` in key order.
+    /// Returns the number of entries visited.
+    pub fn range_scan(
+        &self,
+        lo: Key128,
+        hi: Key128,
+        mut f: impl FnMut(Key128, &Value),
+    ) -> StorageResult<usize> {
+        self.track(|t| {
+            if hi < lo {
+                return Ok(0);
+            }
+            // Descend to the leaf that would contain `lo`.
+            let mut pid = t.root;
+            while let BNode::Internal { keys, children, .. } = t.read_node(pid)? {
+                let idx = keys.partition_point(|k| *k <= lo);
+                pid = children[idx];
+            }
+            let mut count = 0usize;
+            loop {
+                let BNode::Leaf { next, keys, values } = t.read_node(pid)? else {
+                    return Err(StorageError::Corrupt("leaf chain hit internal node".into()));
+                };
+                let start = keys.partition_point(|k| *k < lo);
+                for i in start..keys.len() {
+                    if keys[i] > hi {
+                        return Ok(count);
+                    }
+                    f(keys[i], &values[i]);
+                    count += 1;
+                }
+                if !next.is_valid() {
+                    return Ok(count);
+                }
+                pid = next;
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vp_storage::DiskManager;
+
+    fn pool(page: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::with_capacity(
+            DiskManager::with_page_size(page),
+            64,
+        ))
+    }
+
+    fn val(n: u64) -> Value {
+        let mut v = [0u8; crate::VALUE_LEN];
+        v[..8].copy_from_slice(&n.to_le_bytes());
+        v
+    }
+
+    fn key(n: u64) -> Key128 {
+        Key128::new(n / 7, n)
+    }
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        assert!(t.is_empty());
+        for i in 0..10u64 {
+            assert!(t.insert(key(i), val(i)).unwrap());
+        }
+        assert_eq!(t.len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(t.get(key(i)).unwrap(), Some(val(i)));
+        }
+        assert_eq!(t.get(key(99)).unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_false() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        assert!(t.insert(key(1), val(1)).unwrap());
+        assert!(!t.insert(key(1), val(2)).unwrap());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(key(1)).unwrap(), Some(val(2)));
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let n = 2000u64;
+        for i in 0..n {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() >= 3, "tree should be deep, got {}", t.height());
+        for i in (0..n).step_by(37) {
+            assert_eq!(t.get(key(i)).unwrap(), Some(val(i)));
+        }
+    }
+
+    #[test]
+    fn range_scan_matches_btreemap() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let mut reference = BTreeMap::new();
+        let mut rng = Rng(0xCAFE);
+        for _ in 0..1500 {
+            let k = rng.next() % 10_000;
+            t.insert(key(k), val(k)).unwrap();
+            reference.insert(key(k), val(k));
+        }
+        for _ in 0..50 {
+            let a = rng.next() % 10_000;
+            let b = rng.next() % 10_000;
+            let (lo, hi) = (key(a.min(b)), key(a.max(b)));
+            let mut got = Vec::new();
+            t.range_scan(lo, hi, |k, v| got.push((k, *v))).unwrap();
+            let want: Vec<(Key128, Value)> =
+                reference.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn full_range_scan_is_ordered() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let mut rng = Rng(0x5150);
+        for _ in 0..800 {
+            let k = rng.next() % 100_000;
+            t.insert(key(k), val(k)).unwrap();
+        }
+        let mut prev: Option<Key128> = None;
+        let n = t
+            .range_scan(Key128::MIN, Key128::MAX, |k, _| {
+                if let Some(p) = prev {
+                    assert!(p < k, "scan out of order");
+                }
+                prev = Some(k);
+            })
+            .unwrap();
+        assert_eq!(n, t.len());
+    }
+
+    #[test]
+    fn delete_random_matches_btreemap() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let mut reference = BTreeMap::new();
+        let mut rng = Rng(0xBEEF);
+        for _ in 0..1200 {
+            let k = rng.next() % 3_000;
+            t.insert(key(k), val(k)).unwrap();
+            reference.insert(key(k), val(k));
+        }
+        // Delete half at random.
+        let all: Vec<u64> = (0..3_000).collect();
+        for &k in all.iter().filter(|k| *k % 2 == 0) {
+            let got = t.delete(key(k)).unwrap();
+            let want = reference.remove(&key(k)).is_some();
+            assert_eq!(got, want, "delete {k}");
+        }
+        assert_eq!(t.len(), reference.len());
+        for (&k, v) in &reference {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        // Scan still consistent.
+        let mut got = Vec::new();
+        t.range_scan(Key128::MIN, Key128::MAX, |k, v| got.push((k, *v)))
+            .unwrap();
+        let want: Vec<(Key128, Value)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delete_everything_then_reuse() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        for i in 0..500u64 {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        for i in 0..500u64 {
+            assert!(t.delete(key(i)).unwrap());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1, "tree should collapse to a single leaf");
+        t.check_invariants().unwrap().expect("empty tree is valid");
+        assert!(!t.delete(key(0)).unwrap());
+        // Reusable after emptying.
+        for i in 0..100u64 {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn mixed_operations_fuzz() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let mut reference = BTreeMap::new();
+        let mut rng = Rng(0x1DEA);
+        for step in 0..5000 {
+            let k = rng.next() % 2_000;
+            match rng.next() % 3 {
+                0 => {
+                    let got = t.insert(key(k), val(step)).unwrap();
+                    let want = reference.insert(key(k), val(step)).is_none();
+                    assert_eq!(got, want);
+                }
+                1 => {
+                    let got = t.delete(key(k)).unwrap();
+                    let want = reference.remove(&key(k)).is_some();
+                    assert_eq!(got, want);
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(key(k)).unwrap(),
+                        reference.get(&key(k)).copied(),
+                        "get {k} at step {step}"
+                    );
+                }
+            }
+            assert_eq!(t.len(), reference.len());
+            if step % 500 == 0 {
+                t.check_invariants().unwrap().expect("invariants hold mid-fuzz");
+            }
+        }
+        t.check_invariants().unwrap().expect("invariants hold at end");
+    }
+
+    #[test]
+    fn io_stats_attributed() {
+        let mut t = BPlusTree::new(pool(4096)).unwrap();
+        t.reset_io_stats();
+        for i in 0..200u64 {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        assert!(t.io_stats().logical_reads > 0);
+        t.reset_io_stats();
+        assert_eq!(t.io_stats(), IoStats::zero());
+    }
+
+    #[test]
+    fn empty_scan_ranges() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        t.insert(key(5), val(5)).unwrap();
+        let n = t
+            .range_scan(key(10), key(2), |_, _| panic!("nothing in range"))
+            .unwrap();
+        assert_eq!(n, 0);
+        let n = t.range_scan(key(6), key(9), |_, _| {}).unwrap();
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Space-filling curves over a `2^order × 2^order` cell grid.
+//!
+//! The Bx-tree linearizes 2-D cell coordinates into 1-D keys with a
+//! space-filling curve — the paper uses the Hilbert curve and mentions
+//! the Z-curve as the alternative. Both are provided, plus the
+//! operation queries depend on: decomposing a rectangular cell window
+//! into contiguous curve-value ranges.
+//!
+//! Both curves share the property that any *aligned* `2^k × 2^k` quad
+//! maps to one contiguous, `4^k`-aligned block of curve values, so the
+//! decomposition is a quadtree descent. The descent is budgeted: when
+//! the range budget runs out, partially covered quads are accepted
+//! whole. That only over-approximates the window — harmless, since
+//! query results are exact-filtered at the leaves.
+
+/// Curve selection for [`crate::BxConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveKind {
+    /// Hilbert curve (the paper's choice; better locality).
+    Hilbert,
+    /// Z-order (Morton) curve (cheaper encode/decode, worse locality).
+    Z,
+}
+
+/// A space-filling curve over a square grid of `2^order` cells per
+/// axis.
+pub trait SpaceFillingCurve {
+    /// Bits per axis.
+    fn order(&self) -> u32;
+
+    /// Cells per axis (`2^order`).
+    fn side(&self) -> u32 {
+        1 << self.order()
+    }
+
+    /// Maps cell coordinates to a curve value in `[0, 4^order)`.
+    fn encode(&self, x: u32, y: u32) -> u64;
+
+    /// Inverse of [`SpaceFillingCurve::encode`].
+    fn decode(&self, d: u64) -> (u32, u32);
+
+    /// Decomposes the inclusive cell window `[x0, x1] × [y0, y1]` into
+    /// at most `max_ranges` disjoint, sorted, inclusive curve ranges
+    /// whose union covers the window (and possibly a little more when
+    /// the budget forces coarsening).
+    fn ranges(&self, x0: u32, y0: u32, x1: u32, y1: u32, max_ranges: usize) -> Vec<(u64, u64)> {
+        debug_assert!(x0 <= x1 && y0 <= y1);
+        let side = self.side();
+        debug_assert!(x1 < side && y1 < side);
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        // Quadtree descent. Each frame: an aligned quad (qx, qy, size).
+        let mut stack = vec![(0u32, 0u32, side)];
+        let mut budget_frames = max_ranges.max(4).saturating_mul(4);
+        while let Some((qx, qy, size)) = stack.pop() {
+            // Disjoint?
+            if qx > x1 || qy > y1 || qx + size - 1 < x0 || qy + size - 1 < y0 {
+                continue;
+            }
+            let fully_inside =
+                qx >= x0 && qy >= y0 && qx + size - 1 <= x1 && qy + size - 1 <= y1;
+            let exhausted = budget_frames == 0 || size == 1;
+            if fully_inside || (exhausted && size >= 1) {
+                // An aligned quad is one contiguous 4^k-aligned block.
+                let k2 = (size.trailing_zeros() * 2) as u64;
+                let block = 1u64 << k2;
+                let base = self.encode(qx, qy) & !(block - 1);
+                out.push((base, base + block - 1));
+                continue;
+            }
+            budget_frames -= 1;
+            let h = size / 2;
+            stack.push((qx, qy, h));
+            stack.push((qx + h, qy, h));
+            stack.push((qx, qy + h, h));
+            stack.push((qx + h, qy + h, h));
+        }
+        out.sort_unstable();
+        // Merge adjacent/overlapping ranges and enforce the budget by
+        // bridging the smallest gaps if still over (rare).
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(out.len());
+        for (a, b) in out {
+            match merged.last_mut() {
+                Some((_, pb)) if a <= *pb + 1 => *pb = (*pb).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        while merged.len() > max_ranges.max(1) {
+            // Bridge the smallest gap.
+            let mut best = 1usize;
+            let mut best_gap = u64::MAX;
+            for i in 1..merged.len() {
+                let gap = merged[i].0 - merged[i - 1].1;
+                if gap < best_gap {
+                    best_gap = gap;
+                    best = i;
+                }
+            }
+            let (_, b) = merged.remove(best);
+            merged[best - 1].1 = merged[best - 1].1.max(b);
+        }
+        merged
+    }
+}
+
+/// Z-order (Morton) curve: bit interleaving.
+#[derive(Debug, Clone, Copy)]
+pub struct ZCurve {
+    order: u32,
+}
+
+impl ZCurve {
+    /// Creates a Z curve with `order` bits per axis (max 31).
+    pub fn new(order: u32) -> ZCurve {
+        assert!((1..=31).contains(&order), "order out of range");
+        ZCurve { order }
+    }
+}
+
+/// Spreads the low 32 bits of `v` into the even bit positions.
+#[inline]
+fn interleave_zeros(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`interleave_zeros`].
+#[inline]
+fn compact_even_bits(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+impl SpaceFillingCurve for ZCurve {
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn encode(&self, x: u32, y: u32) -> u64 {
+        debug_assert!(x < self.side() && y < self.side());
+        interleave_zeros(x) | (interleave_zeros(y) << 1)
+    }
+
+    fn decode(&self, d: u64) -> (u32, u32) {
+        (compact_even_bits(d), compact_even_bits(d >> 1))
+    }
+}
+
+/// Hilbert curve via the classic rotate-and-accumulate algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct HilbertCurve {
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a Hilbert curve with `order` bits per axis (max 31).
+    pub fn new(order: u32) -> HilbertCurve {
+        assert!((1..=31).contains(&order), "order out of range");
+        HilbertCurve { order }
+    }
+
+    #[inline]
+    fn rot(n: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+        if ry == 0 {
+            if rx == 1 {
+                *x = n - 1 - *x;
+                *y = n - 1 - *y;
+            }
+            std::mem::swap(x, y);
+        }
+    }
+}
+
+impl SpaceFillingCurve for HilbertCurve {
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn encode(&self, x: u32, y: u32) -> u64 {
+        debug_assert!(x < self.side() && y < self.side());
+        let n = self.side();
+        let (mut x, mut y) = (x, y);
+        let mut d: u64 = 0;
+        let mut s = n / 2;
+        while s > 0 {
+            let rx = u32::from((x & s) > 0);
+            let ry = u32::from((y & s) > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            Self::rot(n, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+
+    fn decode(&self, d: u64) -> (u32, u32) {
+        let n = self.side();
+        let (mut x, mut y) = (0u32, 0u32);
+        let mut t = d;
+        let mut s = 1u32;
+        while s < n {
+            let rx = (1 & (t / 2)) as u32;
+            let ry = (1 & (t ^ rx as u64)) as u32;
+            Self::rot(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijection(c: &impl SpaceFillingCurve) {
+        let side = c.side();
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let d = c.encode(x, y);
+                assert!(d < (side as u64) * (side as u64));
+                assert!(!seen[d as usize], "duplicate curve value {d}");
+                seen[d as usize] = true;
+                assert_eq!(c.decode(d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn z_curve_bijective() {
+        check_bijection(&ZCurve::new(4));
+    }
+
+    #[test]
+    fn hilbert_bijective() {
+        check_bijection(&HilbertCurve::new(4));
+    }
+
+    #[test]
+    fn hilbert_is_continuous() {
+        // Consecutive curve values are adjacent cells — the defining
+        // locality property (Z-order does not have it).
+        let c = HilbertCurve::new(5);
+        let n = (c.side() as u64) * (c.side() as u64);
+        let mut prev = c.decode(0);
+        for d in 1..n {
+            let cur = c.decode(d);
+            let dist = (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(dist, 1, "discontinuity at {d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn z_curve_known_values() {
+        let c = ZCurve::new(4);
+        assert_eq!(c.encode(0, 0), 0);
+        assert_eq!(c.encode(1, 0), 1);
+        assert_eq!(c.encode(0, 1), 2);
+        assert_eq!(c.encode(1, 1), 3);
+        assert_eq!(c.encode(2, 0), 4);
+    }
+
+    fn check_ranges_cover(c: &impl SpaceFillingCurve, x0: u32, y0: u32, x1: u32, y1: u32) {
+        let ranges = c.ranges(x0, y0, x1, y1, usize::MAX);
+        // Disjoint + sorted.
+        for w in ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges overlap or unsorted");
+        }
+        // Exact cover (unbudgeted): every in-window cell in some range,
+        // every range value in the window.
+        let total: u64 = ranges.iter().map(|(a, b)| b - a + 1).sum();
+        let expect = ((x1 - x0 + 1) as u64) * ((y1 - y0 + 1) as u64);
+        assert_eq!(total, expect, "cover size mismatch");
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                let d = c.encode(x, y);
+                assert!(
+                    ranges.iter().any(|(a, b)| d >= *a && d <= *b),
+                    "cell ({x},{y}) missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_decomposition_exact_for_both_curves() {
+        let h = HilbertCurve::new(4);
+        let z = ZCurve::new(4);
+        for (x0, y0, x1, y1) in [
+            (0, 0, 15, 15),
+            (3, 5, 9, 12),
+            (0, 0, 0, 0),
+            (7, 7, 8, 8),
+            (0, 14, 15, 15),
+            (5, 0, 5, 15),
+        ] {
+            check_ranges_cover(&h, x0, y0, x1, y1);
+            check_ranges_cover(&z, x0, y0, x1, y1);
+        }
+    }
+
+    #[test]
+    fn budgeted_ranges_are_supersets() {
+        let h = HilbertCurve::new(6);
+        let exact = h.ranges(5, 9, 40, 47, usize::MAX);
+        let budgeted = h.ranges(5, 9, 40, 47, 8);
+        assert!(budgeted.len() <= 8);
+        // Every exact value is inside some budgeted range.
+        for (a, b) in &exact {
+            for d in [*a, *b] {
+                assert!(
+                    budgeted.iter().any(|(x, y)| d >= *x && d <= *y),
+                    "budgeted ranges dropped value {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_locality_beats_z() {
+        // Average curve-range span for a small window: Hilbert should
+        // need no more total span than Z for typical windows.
+        let h = HilbertCurve::new(8);
+        let z = ZCurve::new(8);
+        let mut h_span = 0u64;
+        let mut z_span = 0u64;
+        for x in (10..200).step_by(37) {
+            for y in (10..200).step_by(41) {
+                let hr = h.ranges(x, y, x + 6, y + 6, usize::MAX);
+                let zr = z.ranges(x, y, x + 6, y + 6, usize::MAX);
+                h_span += hr.last().unwrap().1 - hr.first().unwrap().0;
+                z_span += zr.last().unwrap().1 - zr.first().unwrap().0;
+            }
+        }
+        assert!(
+            h_span <= z_span * 2,
+            "hilbert span {h_span} unexpectedly dwarfs z span {z_span}"
+        );
+    }
+}

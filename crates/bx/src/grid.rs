@@ -1,0 +1,213 @@
+//! Velocity histograms on a grid.
+//!
+//! The Bx-tree enlarges query windows by the maximum/minimum object
+//! velocities. To avoid a few fast objects inflating *every* query, the
+//! paper's implementation keeps "histograms on a grid base … for the
+//! maximum/minimum velocity of different portions of the data space"
+//! (Section 3.2; 1000×1000 cells in the experiments). This module is
+//! that structure: per-cell min/max of each velocity component,
+//! aggregated over any query rectangle.
+//!
+//! Maintenance is insert-only (deletions leave bounds conservative —
+//! still correct, just looser); [`VelocityGrid::reset`] supports the
+//! periodic rebuild strategy.
+
+use vp_geom::{Point, Rect, Vec2};
+
+/// Per-cell velocity bounds over a gridded domain.
+#[derive(Debug, Clone)]
+pub struct VelocityGrid {
+    domain: Rect,
+    n: usize,
+    min_vx: Vec<f32>,
+    max_vx: Vec<f32>,
+    min_vy: Vec<f32>,
+    max_vy: Vec<f32>,
+    /// Global fallback bounds (also insert-only).
+    global: Option<(Vec2, Vec2)>,
+}
+
+impl VelocityGrid {
+    /// Creates an empty grid with `n × n` cells over `domain`.
+    pub fn new(domain: Rect, n: usize) -> VelocityGrid {
+        assert!(n >= 1, "grid needs at least one cell");
+        assert!(!domain.is_empty() && domain.area() > 0.0, "empty domain");
+        VelocityGrid {
+            domain,
+            n,
+            min_vx: vec![f32::INFINITY; n * n],
+            max_vx: vec![f32::NEG_INFINITY; n * n],
+            min_vy: vec![f32::INFINITY; n * n],
+            max_vy: vec![f32::NEG_INFINITY; n * n],
+            global: None,
+        }
+    }
+
+    /// Cells per axis.
+    pub fn cells_per_axis(&self) -> usize {
+        self.n
+    }
+
+    /// The gridded domain.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Clears all recorded bounds (periodic rebuild entry point).
+    pub fn reset(&mut self) {
+        self.min_vx.fill(f32::INFINITY);
+        self.max_vx.fill(f32::NEG_INFINITY);
+        self.min_vy.fill(f32::INFINITY);
+        self.max_vy.fill(f32::NEG_INFINITY);
+        self.global = None;
+    }
+
+    /// Cell coordinates of a position (clamped into the domain).
+    pub fn cell_of(&self, p: Point) -> (usize, usize) {
+        let fx = ((p.x - self.domain.lo.x) / self.domain.width()).clamp(0.0, 1.0);
+        let fy = ((p.y - self.domain.lo.y) / self.domain.height()).clamp(0.0, 1.0);
+        let cx = ((fx * self.n as f64) as usize).min(self.n - 1);
+        let cy = ((fy * self.n as f64) as usize).min(self.n - 1);
+        (cx, cy)
+    }
+
+    /// Records an object's velocity at its (indexed) position.
+    pub fn record(&mut self, pos: Point, vel: Vec2) {
+        let (cx, cy) = self.cell_of(pos);
+        let i = cy * self.n + cx;
+        self.min_vx[i] = self.min_vx[i].min(vel.x as f32);
+        self.max_vx[i] = self.max_vx[i].max(vel.x as f32);
+        self.min_vy[i] = self.min_vy[i].min(vel.y as f32);
+        self.max_vy[i] = self.max_vy[i].max(vel.y as f32);
+        self.global = Some(match self.global {
+            None => (vel, vel),
+            Some((lo, hi)) => (lo.min(vel), hi.max(vel)),
+        });
+    }
+
+    /// Velocity bounds `(min, max)` per component over all cells
+    /// intersecting `window`. `None` when no object was ever recorded
+    /// there.
+    pub fn bounds_over(&self, window: &Rect) -> Option<(Vec2, Vec2)> {
+        if window.is_empty() {
+            return None;
+        }
+        let (cx0, cy0) = self.cell_of(window.lo);
+        let (cx1, cy1) = self.cell_of(window.hi);
+        let mut lo = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for cy in cy0..=cy1 {
+            let row = cy * self.n;
+            for cx in cx0..=cx1 {
+                let i = row + cx;
+                if self.max_vx[i] == f32::NEG_INFINITY {
+                    continue;
+                }
+                any = true;
+                lo.x = lo.x.min(self.min_vx[i] as f64);
+                hi.x = hi.x.max(self.max_vx[i] as f64);
+                lo.y = lo.y.min(self.min_vy[i] as f64);
+                hi.y = hi.y.max(self.max_vy[i] as f64);
+            }
+        }
+        if any {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Global (whole-domain) velocity bounds, if any object was
+    /// recorded.
+    pub fn global_bounds(&self) -> Option<(Vec2, Vec2)> {
+        self.global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> VelocityGrid {
+        VelocityGrid::new(Rect::from_bounds(0.0, 0.0, 100.0, 100.0), 10)
+    }
+
+    #[test]
+    fn cell_mapping() {
+        let g = grid();
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(99.9, 99.9)), (9, 9));
+        assert_eq!(g.cell_of(Point::new(100.0, 100.0)), (9, 9)); // clamp
+        assert_eq!(g.cell_of(Point::new(-5.0, 50.0)), (0, 5)); // clamp
+        assert_eq!(g.cell_of(Point::new(35.0, 72.0)), (3, 7));
+    }
+
+    #[test]
+    fn bounds_localized() {
+        let mut g = grid();
+        g.record(Point::new(5.0, 5.0), Point::new(10.0, -3.0));
+        g.record(Point::new(95.0, 95.0), Point::new(-50.0, 80.0));
+        // Window covering only the first object's cell.
+        let b = g
+            .bounds_over(&Rect::from_bounds(0.0, 0.0, 9.0, 9.0))
+            .unwrap();
+        assert_eq!(b.0, Point::new(10.0, -3.0));
+        assert_eq!(b.1, Point::new(10.0, -3.0));
+        // Window covering both.
+        let b = g
+            .bounds_over(&Rect::from_bounds(0.0, 0.0, 100.0, 100.0))
+            .unwrap();
+        assert_eq!(b.0, Point::new(-50.0, -3.0));
+        assert_eq!(b.1, Point::new(10.0, 80.0));
+        // Empty corner.
+        assert!(g
+            .bounds_over(&Rect::from_bounds(50.0, 0.0, 60.0, 9.0))
+            .is_none());
+    }
+
+    #[test]
+    fn fast_outlier_contained_to_its_region() {
+        // The motivating case: one fast object should not inflate
+        // queries elsewhere.
+        let mut g = grid();
+        for i in 0..9 {
+            g.record(Point::new(i as f64 * 10.0 + 5.0, 5.0), Point::new(1.0, 0.0));
+        }
+        g.record(Point::new(95.0, 5.0), Point::new(200.0, 0.0));
+        let slow = g
+            .bounds_over(&Rect::from_bounds(0.0, 0.0, 50.0, 9.0))
+            .unwrap();
+        assert_eq!(slow.1.x, 1.0);
+        let fast = g
+            .bounds_over(&Rect::from_bounds(90.0, 0.0, 99.0, 9.0))
+            .unwrap();
+        assert_eq!(fast.1.x, 200.0);
+    }
+
+    #[test]
+    fn global_bounds_and_reset() {
+        let mut g = grid();
+        assert!(g.global_bounds().is_none());
+        g.record(Point::new(1.0, 1.0), Point::new(3.0, 4.0));
+        g.record(Point::new(99.0, 99.0), Point::new(-7.0, 1.0));
+        let (lo, hi) = g.global_bounds().unwrap();
+        assert_eq!(lo, Point::new(-7.0, 1.0));
+        assert_eq!(hi, Point::new(3.0, 4.0));
+        g.reset();
+        assert!(g.global_bounds().is_none());
+        assert!(g
+            .bounds_over(&Rect::from_bounds(0.0, 0.0, 100.0, 100.0))
+            .is_none());
+    }
+
+    #[test]
+    fn positions_outside_domain_clamp() {
+        let mut g = grid();
+        g.record(Point::new(150.0, -20.0), Point::new(5.0, 5.0));
+        let b = g
+            .bounds_over(&Rect::from_bounds(90.0, 0.0, 100.0, 10.0))
+            .unwrap();
+        assert_eq!(b.1, Point::new(5.0, 5.0));
+    }
+}

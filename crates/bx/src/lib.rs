@@ -1,0 +1,24 @@
+//! # vp-bx — the Bx-tree
+//!
+//! The paper's second baseline index (Jensen, Lin, Ooi — VLDB 2004): a
+//! B+-tree over a space-filling-curve linearization of the space,
+//! partitioned into time buckets, with *query window enlargement*
+//! driven by velocity histograms and the iterative-expansion
+//! improvement of Jensen et al. (MDM 2006).
+//!
+//! * [`curve`] — Hilbert and Z-order curves with exact decomposition of
+//!   a cell window into contiguous curve ranges (budgeted, so a query
+//!   never degenerates into thousands of tiny scans).
+//! * [`grid`] — the velocity histogram: per-cell min/max velocity
+//!   components used to bound the enlargement (the paper's setup keeps
+//!   a 1000×1000-cell histogram).
+//! * [`tree`] — the Bx-tree proper, implementing
+//!   [`vp_core::MovingObjectIndex`] over `vp-bptree`.
+
+pub mod curve;
+pub mod grid;
+pub mod tree;
+
+pub use curve::{CurveKind, HilbertCurve, SpaceFillingCurve, ZCurve};
+pub use grid::VelocityGrid;
+pub use tree::{BxConfig, BxEnlargement, BxTree, EnlargedWindow};

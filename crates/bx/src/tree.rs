@@ -1,0 +1,848 @@
+//! The Bx-tree proper.
+//!
+//! Key construction (Section 3.2): time is partitioned into buckets of
+//! `update_interval / num_buckets` timestamps. An object inserted at
+//! time `t` belongs to the bucket containing `t`; its position is
+//! projected forward to the bucket's *label timestamp* (the bucket's
+//! end), mapped to a grid cell, and linearized by a space-filling
+//! curve. The B+-tree key is `(bucket_seq ‖ curve_value, object_id)` —
+//! packing the object id into the key's low half sidesteps duplicate
+//! keys when objects share a cell.
+//!
+//! Queries enlarge their window per live bucket: the window is pushed
+//! to the bucket's label time using min/max velocities from the
+//! velocity histogram. Rather than one global enlargement, each
+//! histogram cell is qualified with *its own* recorded velocity bounds
+//! (the refinement spirit of Jensen et al., MDM 2006 — reference [14]
+//! of the paper), so a distant speeder cannot inflate unrelated
+//! queries. The qualifying cells decompose into contiguous curve
+//! ranges scanned on the B+-tree, and candidates are exact-filtered.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use vp_bptree::{BPlusTree, Key128, Value};
+use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
+use vp_geom::{Point, Rect, Vec2};
+use vp_storage::{BufferPool, IoStats};
+
+use crate::curve::{CurveKind, HilbertCurve, SpaceFillingCurve, ZCurve};
+use crate::grid::VelocityGrid;
+
+/// Bx-tree configuration.
+#[derive(Debug, Clone)]
+pub struct BxConfig {
+    /// Data domain mapped onto the curve grid.
+    pub domain: Rect,
+    /// Bits per axis of the curve grid (`2^lambda` cells per axis).
+    pub lambda: u32,
+    /// Space-filling curve (the paper uses Hilbert).
+    pub curve: CurveKind,
+    /// Number of time buckets (the paper uses 2).
+    pub num_buckets: u32,
+    /// Maximum update interval Δt_mu (paper Table 1: 120 ts).
+    pub update_interval: f64,
+    /// Velocity histogram cells per axis (paper: 1000).
+    pub hist_cells: usize,
+    /// Budget of contiguous curve ranges scanned per bucket per query.
+    pub max_scan_ranges: usize,
+    /// How the enlarged region is turned into B+-tree scans.
+    pub enlargement: BxEnlargement,
+}
+
+/// Strategy for scanning the velocity-enlarged query region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BxEnlargement {
+    /// Scan the single bounding window of all qualifying cells — the
+    /// paper's behaviour ("the enlarged query window"), including its
+    /// drawback that a few fast objects make the window unnecessarily
+    /// large for everyone else.
+    Window,
+    /// Scan only the qualifying cells themselves (tighter; an
+    /// improvement over the paper, kept as an ablation).
+    CellSet,
+}
+
+impl Default for BxConfig {
+    fn default() -> Self {
+        BxConfig {
+            domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
+            lambda: 10,
+            curve: CurveKind::Hilbert,
+            num_buckets: 2,
+            update_interval: 120.0,
+            hist_cells: 1000,
+            max_scan_ranges: 16,
+            enlargement: BxEnlargement::Window,
+        }
+    }
+}
+
+enum Curve {
+    Hilbert(HilbertCurve),
+    Z(ZCurve),
+}
+
+impl Curve {
+    fn encode(&self, x: u32, y: u32) -> u64 {
+        match self {
+            Curve::Hilbert(c) => c.encode(x, y),
+            Curve::Z(c) => c.encode(x, y),
+        }
+    }
+
+    fn ranges(&self, x0: u32, y0: u32, x1: u32, y1: u32, max: usize) -> Vec<(u64, u64)> {
+        match self {
+            Curve::Hilbert(c) => c.ranges(x0, y0, x1, y1, max),
+            Curve::Z(c) => c.ranges(x0, y0, x1, y1, max),
+        }
+    }
+}
+
+/// One bucket's enlarged query window (diagnostics for the paper's
+/// Figure 7: query expansion rates).
+#[derive(Debug, Clone, Copy)]
+pub struct EnlargedWindow {
+    /// Bucket sequence number.
+    pub bucket_seq: u64,
+    /// The bucket's label timestamp.
+    pub label: f64,
+    /// Query window before enlargement.
+    pub base: Rect,
+    /// Window after velocity enlargement to the label timestamp.
+    pub enlarged: Rect,
+}
+
+/// The Bx-tree, a [`MovingObjectIndex`] over a paged B+-tree.
+pub struct BxTree {
+    config: BxConfig,
+    curve: Curve,
+    btree: BPlusTree,
+    hist: VelocityGrid,
+    /// Live object count per bucket sequence number.
+    buckets: BTreeMap<u64, usize>,
+    /// Lookup table: object id -> its current B+-tree key.
+    keys: HashMap<ObjectId, Key128>,
+    now: f64,
+}
+
+impl BxTree {
+    /// Creates an empty Bx-tree over the shared buffer pool.
+    pub fn new(pool: Arc<BufferPool>, config: BxConfig) -> IndexResult<BxTree> {
+        assert!(config.lambda >= 1 && config.lambda <= 20, "lambda out of range");
+        assert!(config.num_buckets >= 1, "need at least one time bucket");
+        assert!(config.update_interval > 0.0, "update interval must be positive");
+        let curve = match config.curve {
+            CurveKind::Hilbert => Curve::Hilbert(HilbertCurve::new(config.lambda)),
+            CurveKind::Z => Curve::Z(ZCurve::new(config.lambda)),
+        };
+        let hist = VelocityGrid::new(config.domain, config.hist_cells);
+        let btree = BPlusTree::new(pool)?;
+        Ok(BxTree {
+            config,
+            curve,
+            btree,
+            hist,
+            buckets: BTreeMap::new(),
+            keys: HashMap::new(),
+            now: 0.0,
+        })
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &BxConfig {
+        &self.config
+    }
+
+    /// Height of the underlying B+-tree.
+    pub fn btree_height(&self) -> u8 {
+        self.btree.height()
+    }
+
+    /// Bucket duration Δt_mu / n.
+    fn bucket_duration(&self) -> f64 {
+        self.config.update_interval / self.config.num_buckets as f64
+    }
+
+    /// The bucket holding insertion time `t` (1-based so label > t - ε).
+    fn bucket_seq(&self, t: f64) -> u64 {
+        (t / self.bucket_duration()).floor() as u64 + 1
+    }
+
+    /// Label timestamp (end) of a bucket.
+    fn label_of(&self, seq: u64) -> f64 {
+        seq as f64 * self.bucket_duration()
+    }
+
+    /// Cell coordinates of a position on the curve grid (clamped).
+    fn cell_of(&self, p: Point) -> (u32, u32) {
+        let side = (1u32 << self.config.lambda) as f64;
+        let d = &self.config.domain;
+        let fx = ((p.x - d.lo.x) / d.width()).clamp(0.0, 1.0);
+        let fy = ((p.y - d.lo.y) / d.height()).clamp(0.0, 1.0);
+        let cx = ((fx * side) as u32).min(side as u32 - 1);
+        let cy = ((fy * side) as u32).min(side as u32 - 1);
+        (cx, cy)
+    }
+
+    fn make_key(&self, seq: u64, curve_value: u64, id: ObjectId) -> Key128 {
+        Key128::new((seq << (2 * self.config.lambda)) | curve_value, id)
+    }
+
+    fn encode_value(pos: Point, vel: Vec2, label: f64) -> Value {
+        let mut v = [0u8; vp_bptree::VALUE_LEN];
+        v[0..8].copy_from_slice(&pos.x.to_le_bytes());
+        v[8..16].copy_from_slice(&pos.y.to_le_bytes());
+        v[16..24].copy_from_slice(&vel.x.to_le_bytes());
+        v[24..32].copy_from_slice(&vel.y.to_le_bytes());
+        v[32..40].copy_from_slice(&label.to_le_bytes());
+        v
+    }
+
+    fn decode_value(v: &Value) -> (Point, Vec2, f64) {
+        let f = |r: std::ops::Range<usize>| f64::from_le_bytes(v[r].try_into().unwrap());
+        (
+            Point::new(f(0..8), f(8..16)),
+            Point::new(f(16..24), f(24..32)),
+            f(32..40),
+        )
+    }
+
+    /// Per-axis window enlargement: where must an object indexed at the
+    /// label time have been, given it lies in `rect` at the query time
+    /// and moves within `bounds`? (`s` = label − query time; both signs
+    /// supported.)
+    fn enlarge(rect: &Rect, s: f64, bounds: (Vec2, Vec2)) -> Rect {
+        let (vlo, vhi) = bounds;
+        let lo_shift = |vl: f64, vh: f64| (vl * s).min(vh * s);
+        let hi_shift = |vl: f64, vh: f64| (vl * s).max(vh * s);
+        Rect {
+            lo: Point::new(
+                rect.lo.x + lo_shift(vlo.x, vhi.x),
+                rect.lo.y + lo_shift(vlo.y, vhi.y),
+            ),
+            hi: Point::new(
+                rect.hi.x + hi_shift(vlo.x, vhi.x),
+                rect.hi.y + hi_shift(vlo.y, vhi.y),
+            ),
+        }
+    }
+
+    /// Clamps a window's corners into the domain (degenerating to an
+    /// edge strip when fully outside — clamped object cells live there).
+    fn clamp_window(&self, w: &Rect) -> Rect {
+        let d = &self.config.domain;
+        Rect {
+            lo: w.lo.max(d.lo).min(d.hi),
+            hi: w.hi.max(d.lo).min(d.hi),
+        }
+    }
+
+    /// Sample times at which the enlargement must be evaluated so that
+    /// its bounding box covers every instant of the query window. The
+    /// reach rectangle's corners are piecewise-linear in `t` with a
+    /// single kink at `t = label` (where the enlargement changes sign),
+    /// so the endpoints plus that kink suffice.
+    fn sample_rects(query: &RangeQuery, label: f64) -> Vec<(f64, Rect)> {
+        let region = query.region.bounding_rect();
+        let rect_at = |te: f64| -> Rect {
+            let d = query.velocity * (te - query.region_ref_time);
+            Rect {
+                lo: region.lo + d,
+                hi: region.hi + d,
+            }
+        };
+        let mut times = vec![query.t_start];
+        if !query.is_time_slice() {
+            times.push(query.t_end);
+            if label > query.t_start && label < query.t_end {
+                times.push(label);
+            }
+        }
+        times.into_iter().map(|t| (t, rect_at(t))).collect()
+    }
+
+    /// Bounding box of the enlargement over all sample times for the
+    /// given velocity bounds — a sound superset of where a candidate's
+    /// label position can be.
+    fn reach_bbox(samples: &[(f64, Rect)], label: f64, bounds: (Vec2, Vec2)) -> Rect {
+        let mut w = Rect::EMPTY;
+        for (te, r) in samples {
+            w = w.union(&Self::enlarge(r, label - te, bounds));
+        }
+        w
+    }
+
+    /// The domain rectangle of a curve-grid cell, with edge cells
+    /// extended to infinity: positions outside the domain clamp onto
+    /// the boundary cells, so those cells stand in for everything
+    /// beyond the edge.
+    fn cell_rect_extended(&self, cx: u32, cy: u32) -> Rect {
+        let side = (1u32 << self.config.lambda) as f64;
+        let d = &self.config.domain;
+        let cw = d.width() / side;
+        let ch = d.height() / side;
+        let lo_x = if cx == 0 { f64::NEG_INFINITY } else { d.lo.x + cx as f64 * cw };
+        let lo_y = if cy == 0 { f64::NEG_INFINITY } else { d.lo.y + cy as f64 * ch };
+        let hi_x = if cx as f64 + 1.0 >= side {
+            f64::INFINITY
+        } else {
+            d.lo.x + (cx as f64 + 1.0) * cw
+        };
+        let hi_y = if cy as f64 + 1.0 >= side {
+            f64::INFINITY
+        } else {
+            d.lo.y + (cy as f64 + 1.0) * ch
+        };
+        Rect {
+            lo: Point::new(lo_x, lo_y),
+            hi: Point::new(hi_x, hi_y),
+        }
+    }
+
+    /// Collects the curve-grid cells that could hold a candidate for
+    /// one bucket. A cell qualifies when an object indexed there (its
+    /// label position falls in the cell) moving within *that cell's*
+    /// recorded velocity bounds could intersect the query region at
+    /// some endpoint — the "enlarge according to the max/min velocity
+    /// in the region it covers" rule of Section 3.2, evaluated per
+    /// histogram cell. This is sound (every candidate's cell qualifies)
+    /// and keeps a distant speeder from inflating unrelated queries.
+    ///
+    /// Returns `(cells, bounding box of the cells in domain space)`, or
+    /// `None` when no cell qualifies.
+    fn qualifying_cells(&self, query: &RangeQuery, label: f64) -> Option<(Vec<(u32, u32)>, Rect)> {
+        let samples = Self::sample_rects(query, label);
+        let global = self.hist.global_bounds()?;
+        // Outer iteration window from the global bounds (sound superset).
+        let w0 = self.clamp_window(&Self::reach_bbox(&samples, label, global));
+        let (cx0, cy0) = self.cell_of(w0.lo);
+        let (cx1, cy1) = self.cell_of(w0.hi);
+        let mut cells = Vec::new();
+        let mut bbox = Rect::EMPTY;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let cell_rect = self.cell_rect_extended(cx, cy);
+                // Histogram cells are coarser/finer than curve cells in
+                // general; use the cell's own center region for bounds.
+                let probe = Rect {
+                    lo: Point::new(
+                        cell_rect.lo.x.max(self.config.domain.lo.x),
+                        cell_rect.lo.y.max(self.config.domain.lo.y),
+                    ),
+                    hi: Point::new(
+                        cell_rect.hi.x.min(self.config.domain.hi.x),
+                        cell_rect.hi.y.min(self.config.domain.hi.y),
+                    ),
+                };
+                let Some(bounds) = self.hist.bounds_over(&probe) else {
+                    continue;
+                };
+                let reach = Self::reach_bbox(&samples, label, bounds);
+                if cell_rect.intersects(&reach) {
+                    cells.push((cx, cy));
+                    bbox = bbox.union(&probe);
+                }
+            }
+        }
+        if cells.is_empty() {
+            None
+        } else {
+            Some((cells, bbox))
+        }
+    }
+
+    /// The enlarged windows a query would scan, per live bucket —
+    /// diagnostics for the paper's Figure 7 (query expansion rates).
+    /// `enlarged` is the bounding box of the qualifying cells.
+    pub fn enlarged_windows(&self, query: &RangeQuery) -> Vec<EnlargedWindow> {
+        let region = query.region.bounding_rect();
+        self.buckets
+            .keys()
+            .filter_map(|&seq| {
+                let label = self.label_of(seq);
+                self.qualifying_cells(query, label)
+                    .map(|(_, bbox)| EnlargedWindow {
+                        bucket_seq: seq,
+                        label,
+                        base: region,
+                        enlarged: bbox,
+                    })
+            })
+            .collect()
+    }
+
+    /// Rebuilds the velocity histogram from the indexed objects
+    /// (supports the periodic-rebuild maintenance strategy; deletions
+    /// otherwise leave the histogram conservatively loose).
+    pub fn rebuild_histogram(&mut self) -> IndexResult<()> {
+        self.hist.reset();
+        let mut records = Vec::with_capacity(self.keys.len());
+        self.btree
+            .range_scan(Key128::MIN, Key128::MAX, |_k, v| {
+                let (pos, vel, _label) = Self::decode_value(v);
+                records.push((pos, vel));
+            })
+            .map_err(IndexError::from)?;
+        for (pos, vel) in records {
+            self.hist.record(pos, vel);
+        }
+        Ok(())
+    }
+}
+
+impl MovingObjectIndex for BxTree {
+    fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
+        if self.keys.contains_key(&obj.id) {
+            return Err(IndexError::DuplicateObject(obj.id));
+        }
+        self.now = self.now.max(obj.ref_time);
+        let seq = self.bucket_seq(obj.ref_time);
+        let label = self.label_of(seq);
+        let pos_label = obj.position_at(label);
+        let (cx, cy) = self.cell_of(pos_label);
+        let key = self.make_key(seq, self.curve.encode(cx, cy), obj.id);
+        let value = Self::encode_value(pos_label, obj.vel, label);
+        self.btree.insert(key, value).map_err(IndexError::from)?;
+        self.keys.insert(obj.id, key);
+        *self.buckets.entry(seq).or_insert(0) += 1;
+        self.hist.record(pos_label, obj.vel);
+        Ok(())
+    }
+
+    fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
+        let Some(key) = self.keys.remove(&id) else {
+            return Err(IndexError::UnknownObject(id));
+        };
+        let found = self.btree.delete(key).map_err(IndexError::from)?;
+        debug_assert!(found, "lookup table out of sync with B+-tree");
+        let seq = key.hi >> (2 * self.config.lambda);
+        if let Some(n) = self.buckets.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                self.buckets.remove(&seq);
+            }
+        }
+        Ok(())
+    }
+
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        for &seq in self.buckets.keys() {
+            let label = self.label_of(seq);
+            let Some((cells, _bbox)) = self.qualifying_cells(query, label) else {
+                continue;
+            };
+            let seq_base = seq << (2 * self.config.lambda);
+            let ranges = match self.config.enlargement {
+                BxEnlargement::Window => {
+                    // The paper's single enlarged window: the bounding
+                    // rectangle of all qualifying cells, decomposed into
+                    // curve ranges.
+                    let (mut cx0, mut cy0) = cells[0];
+                    let (mut cx1, mut cy1) = cells[0];
+                    for &(cx, cy) in &cells {
+                        cx0 = cx0.min(cx);
+                        cy0 = cy0.min(cy);
+                        cx1 = cx1.max(cx);
+                        cy1 = cy1.max(cy);
+                    }
+                    self.curve
+                        .ranges(cx0, cy0, cx1, cy1, self.config.max_scan_ranges)
+                }
+                BxEnlargement::CellSet => {
+                    // Ablation: linearize exactly the qualifying cells
+                    // (merge adjacent values; bridge the smallest gaps
+                    // down to the scan budget).
+                    let mut values: Vec<u64> = cells
+                        .iter()
+                        .map(|&(cx, cy)| self.curve.encode(cx, cy))
+                        .collect();
+                    values.sort_unstable();
+                    let mut ranges: Vec<(u64, u64)> = Vec::new();
+                    for v in values {
+                        match ranges.last_mut() {
+                            Some((_, b)) if v <= *b + 1 => *b = (*b).max(v),
+                            _ => ranges.push((v, v)),
+                        }
+                    }
+                    while ranges.len() > self.config.max_scan_ranges.max(1) {
+                        let mut best = 1usize;
+                        let mut best_gap = u64::MAX;
+                        for i in 1..ranges.len() {
+                            let gap = ranges[i].0 - ranges[i - 1].1;
+                            if gap < best_gap {
+                                best_gap = gap;
+                                best = i;
+                            }
+                        }
+                        let (_, b) = ranges.remove(best);
+                        ranges[best - 1].1 = ranges[best - 1].1.max(b);
+                    }
+                    ranges
+                }
+            };
+            for (a, b) in ranges {
+                let lo = Key128::new(seq_base | a, 0);
+                let hi = Key128::new(seq_base | b, u64::MAX);
+                self.btree
+                    .range_scan(lo, hi, |k, v| {
+                        let (pos, vel, lab) = Self::decode_value(v);
+                        let obj = MovingObject::new(k.lo, pos, vel, lab);
+                        if query.matches(&obj) {
+                            out.push(k.lo);
+                        }
+                    })
+                    .map_err(IndexError::from)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
+        let key = self.keys.get(&id)?;
+        let value = self.btree.get(*key).ok().flatten()?;
+        let (pos, vel, label) = Self::decode_value(&value);
+        Some(MovingObject::new(id, pos, vel, label))
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.btree.io_stats()
+    }
+
+    fn reset_io_stats(&self) {
+        self.btree.reset_io_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_core::QueryRegion;
+    use vp_geom::Circle;
+    use vp_storage::DiskManager;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::with_capacity(
+            DiskManager::with_page_size(512),
+            64,
+        ))
+    }
+
+    fn small_config() -> BxConfig {
+        BxConfig {
+            domain: Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0),
+            lambda: 8,
+            hist_cells: 64,
+            ..BxConfig::default()
+        }
+    }
+
+    fn tree() -> BxTree {
+        BxTree::new(pool(), small_config()).unwrap()
+    }
+
+    fn obj(id: u64, x: f64, y: f64, vx: f64, vy: f64, t: f64) -> MovingObject {
+        MovingObject::new(id, Point::new(x, y), Point::new(vx, vy), t)
+    }
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x % 1_000_000) as f64 / 1_000_000.0
+        }
+    }
+
+    fn random_objects(n: usize, seed: u64, max_speed: f64, t: f64) -> Vec<MovingObject> {
+        let mut rng = Rng(seed);
+        (0..n as u64)
+            .map(|id| {
+                let x = rng.next() * 10_000.0;
+                let y = rng.next() * 10_000.0;
+                let ang = rng.next() * std::f64::consts::TAU;
+                let speed = rng.next() * max_speed;
+                obj(id, x, y, ang.cos() * speed, ang.sin() * speed, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_and_label_arithmetic() {
+        let t = tree();
+        // Default: 120 / 2 = 60 ts buckets.
+        assert_eq!(t.bucket_seq(0.0), 1);
+        assert_eq!(t.label_of(t.bucket_seq(0.0)), 60.0);
+        assert_eq!(t.bucket_seq(59.9), 1);
+        assert_eq!(t.bucket_seq(60.0), 2);
+        assert_eq!(t.label_of(t.bucket_seq(60.0)), 120.0);
+    }
+
+    #[test]
+    fn insert_query_basic() {
+        let mut t = tree();
+        t.insert(obj(1, 5_000.0, 5_000.0, 10.0, 0.0, 0.0)).unwrap();
+        t.insert(obj(2, 1_000.0, 1_000.0, 0.0, 0.0, 0.0)).unwrap();
+        assert_eq!(t.len(), 2);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 100.0)),
+            0.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+        // Predictive query at t=50: object 1 has moved 500 m right.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_500.0, 5_000.0), 100.0)),
+            50.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_errors() {
+        let mut t = tree();
+        t.insert(obj(1, 0.0, 0.0, 0.0, 0.0, 0.0)).unwrap();
+        assert!(matches!(
+            t.insert(obj(1, 1.0, 1.0, 0.0, 0.0, 0.0)),
+            Err(IndexError::DuplicateObject(1))
+        ));
+        assert!(matches!(t.delete(7), Err(IndexError::UnknownObject(7))));
+    }
+
+    #[test]
+    fn matches_scan_on_random_workload() {
+        let mut t = tree();
+        let objs = random_objects(500, 0xB0B, 100.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x9);
+        for qi in 0..40 {
+            let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+            let tq = (qi % 7) as f64 * 10.0;
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(c, 600.0)),
+                tq,
+            );
+            let mut got = t.range_query(&q).unwrap();
+            let mut want: Vec<u64> =
+                objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} (t={tq}) diverged");
+        }
+    }
+
+    #[test]
+    fn objects_in_multiple_buckets() {
+        let mut t = tree();
+        // Insert at different times spanning several buckets.
+        let mut all = Vec::new();
+        for (i, ti) in [(0u64, 0.0), (1, 30.0), (2, 61.0), (3, 100.0), (4, 125.0)] {
+            let o = obj(i, 3_000.0 + i as f64 * 10.0, 3_000.0, 5.0, 5.0, ti);
+            t.insert(o).unwrap();
+            all.push(o);
+        }
+        assert!(t.buckets.len() >= 2, "expected several live buckets");
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(3_700.0, 3_650.0), 800.0)),
+            130.0,
+        );
+        let mut got = t.range_query(&q).unwrap();
+        let mut want: Vec<u64> = all.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert!(!want.is_empty(), "test should have matches");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn interval_and_moving_queries() {
+        let mut t = tree();
+        let objs = random_objects(300, 0x77AA, 80.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x31337);
+        for qi in 0..30 {
+            let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+            let region = QueryRegion::Rect(Rect::centered(c, 400.0, 400.0));
+            let q = if qi % 2 == 0 {
+                RangeQuery::time_interval(region, 5.0, 40.0)
+            } else {
+                RangeQuery::moving(region, Point::new(rng.next() * 40.0 - 20.0, 10.0), 5.0, 40.0)
+            };
+            let mut got = t.range_query(&q).unwrap();
+            let mut want: Vec<u64> =
+                objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn update_migrates_to_new_bucket() {
+        let mut t = tree();
+        t.insert(obj(1, 5_000.0, 5_000.0, 20.0, 0.0, 10.0)).unwrap();
+        let seq_before = *t.buckets.keys().next().unwrap();
+        // Update well into a later bucket.
+        t.update(obj(1, 6_400.0, 5_000.0, -20.0, 0.0, 80.0)).unwrap();
+        let seq_after = *t.buckets.keys().next().unwrap();
+        assert!(seq_after > seq_before);
+        assert_eq!(t.len(), 1);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(6_000.0, 5_000.0), 50.0)),
+            100.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn delete_then_absent_from_queries() {
+        let mut t = tree();
+        let objs = random_objects(200, 0xD1E, 50.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        for o in objs.iter().take(100) {
+            t.delete(o.id).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0)),
+            0.0,
+        );
+        let got = t.range_query(&q).unwrap();
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|id| *id >= 100));
+    }
+
+    #[test]
+    fn fast_outlier_far_away_does_not_bloat_local_queries() {
+        // With the CellSet enlargement (our refinement), a single fast
+        // object in a far corner shouldn't enlarge scans near slow
+        // traffic. (The paper's Window enlargement *does* suffer from
+        // this — its documented drawback — see the ablation benches.)
+        let mut cfg = small_config();
+        cfg.enlargement = BxEnlargement::CellSet;
+        let mut slow_only = BxTree::new(pool(), cfg.clone()).unwrap();
+        let mut with_fast = BxTree::new(pool(), cfg).unwrap();
+        let mut objs = random_objects(300, 0xFA57, 10.0, 0.0);
+        // Guarantee slow traffic right where the query looks, so the
+        // enlargement windows are non-empty in both trees.
+        for i in 0..20 {
+            objs.push(obj(
+                1_000 + i,
+                1_900.0 + i as f64 * 10.0,
+                2_000.0,
+                5.0,
+                0.0,
+                0.0,
+            ));
+        }
+        for o in &objs {
+            slow_only.insert(*o).unwrap();
+            with_fast.insert(*o).unwrap();
+        }
+        with_fast
+            .insert(obj(9_999, 9_900.0, 9_900.0, 400.0, 400.0, 0.0))
+            .unwrap();
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(2_000.0, 2_000.0), 300.0)),
+            40.0,
+        );
+        assert!(!slow_only.enlarged_windows(&q).is_empty());
+        // The relevant metric is the scan cost: the distant speeder may
+        // add its own edge cells but must not multiply the local scan.
+        slow_only.reset_io_stats();
+        with_fast.reset_io_stats();
+        let a = slow_only.range_query(&q).unwrap();
+        let b = with_fast.range_query(&q).unwrap();
+        assert_eq!(a.len(), b.len(), "same matches either way");
+        let slow_io = slow_only.io_stats().logical_reads;
+        let fast_io = with_fast.io_stats().logical_reads;
+        assert!(
+            fast_io <= slow_io * 3 + 20,
+            "distant speeder bloated query I/O: {fast_io} vs {slow_io}"
+        );
+    }
+
+    #[test]
+    fn rebuild_histogram_tightens_after_deletes() {
+        let mut t = tree();
+        // A fast cohort that later disappears.
+        for i in 0..50 {
+            t.insert(obj(i, 5_000.0, 5_000.0, 300.0, 300.0, 0.0)).unwrap();
+        }
+        for i in 50..100 {
+            t.insert(obj(i, 2_000.0, 2_000.0, 5.0, 5.0, 0.0)).unwrap();
+        }
+        for i in 0..50 {
+            t.delete(i).unwrap();
+        }
+        // The slow cohort sits at (2000,2000) moving at (5,5): by t=50
+        // it has reached (2250,2250).
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(2_250.0, 2_250.0), 200.0)),
+            50.0,
+        );
+        let before: f64 = t.enlarged_windows(&q).iter().map(|w| w.enlarged.area()).sum();
+        t.rebuild_histogram().unwrap();
+        let after: f64 = t.enlarged_windows(&q).iter().map(|w| w.enlarged.area()).sum();
+        assert!(after <= before, "rebuild should not loosen windows");
+        // Queries still correct after rebuild.
+        let got = t.range_query(&q).unwrap();
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn z_curve_variant_matches_scan() {
+        let mut cfg = small_config();
+        cfg.curve = CurveKind::Z;
+        let mut t = BxTree::new(pool(), cfg).unwrap();
+        let objs = random_objects(300, 0x2222, 60.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 1_500.0)),
+            30.0,
+        );
+        let mut got = t.range_query(&q).unwrap();
+        let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn objects_leaving_domain_remain_queryable() {
+        let mut t = tree();
+        // Heads out of the domain; its label position clamps to the edge.
+        t.insert(obj(1, 9_950.0, 5_000.0, 100.0, 0.0, 0.0)).unwrap();
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(11_950.0, 5_000.0), 100.0)),
+            20.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn io_stats_flow_through() {
+        let mut t = tree();
+        for o in random_objects(200, 0x5, 50.0, 0.0) {
+            t.insert(o).unwrap();
+        }
+        assert!(t.io_stats().logical_reads > 0);
+        t.reset_io_stats();
+        assert_eq!(t.io_stats(), IoStats::zero());
+    }
+}

@@ -1,0 +1,268 @@
+//! The velocity analyzer — Algorithm 1 (`VelocityPartitioning`).
+//!
+//! Given a sample of velocity points from the current workload the
+//! analyzer:
+//!
+//! 1. finds the `k` dominant velocity axes with PCA-guided k-means
+//!    clustering ([`crate::kmeans::find_dvas`], Algorithm 2);
+//! 2. selects an outlier threshold τ per partition by minimizing the
+//!    search-area expansion rate ([`crate::tau::optimal_tau`],
+//!    Section 5.2);
+//! 3. evicts sample points whose perpendicular speed exceeds τ into the
+//!    outlier set;
+//! 4. refits each partition's DVA on the surviving points (Algorithm 1
+//!    line 6) so the axis reflects the cleaned partition.
+//!
+//! The output — DVA directions with their τ thresholds — is what the
+//! index manager uses to route every future insertion and query.
+
+use std::time::Instant;
+
+use vp_geom::Vec2;
+
+use crate::config::VpConfig;
+use crate::kmeans::find_dvas;
+use crate::pca::{pca_origin, PcaResult};
+use crate::tau::{optimal_tau_from_samples, TauDecision};
+
+/// One fitted DVA partition.
+#[derive(Debug, Clone)]
+pub struct DvaPartition {
+    /// Unit direction of the dominant velocity axis (after the
+    /// post-eviction refit).
+    pub axis: Vec2,
+    /// Outlier threshold: maximum perpendicular speed accepted.
+    pub tau: f64,
+    /// Sample-point indices retained by this partition.
+    pub members: Vec<usize>,
+    /// PCA summary of the retained members.
+    pub pca: PcaResult,
+    /// Details of the τ decision.
+    pub tau_decision: TauDecision,
+}
+
+/// The analyzer's output: partitions plus the outlier sample set.
+#[derive(Debug, Clone)]
+pub struct AnalyzerOutput {
+    pub partitions: Vec<DvaPartition>,
+    /// Sample-point indices routed to the outlier partition.
+    pub outliers: Vec<usize>,
+    /// K-means iterations executed.
+    pub kmeans_iterations: usize,
+    /// Wall-clock time of the whole analysis (the overhead measured by
+    /// the paper's Figure 18).
+    pub elapsed: std::time::Duration,
+}
+
+impl AnalyzerOutput {
+    /// Fraction of the sample classified as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        let total: usize =
+            self.partitions.iter().map(|p| p.members.len()).sum::<usize>() + self.outliers.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.outliers.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The velocity analyzer.
+#[derive(Debug, Clone)]
+pub struct VelocityAnalyzer {
+    config: VpConfig,
+}
+
+impl VelocityAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: VpConfig) -> VelocityAnalyzer {
+        VelocityAnalyzer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VpConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 on a sample of velocity points.
+    pub fn analyze(&self, sample: &[Vec2]) -> AnalyzerOutput {
+        let start = Instant::now();
+        // Line 2: find DVAs via PCA-guided k-means.
+        let km = find_dvas(
+            sample,
+            self.config.k,
+            self.config.seed,
+            self.config.max_iters,
+        );
+
+        let mut partitions = Vec::with_capacity(km.clusters.len());
+        let mut outliers = Vec::new();
+
+        for cluster in &km.clusters {
+            // Line 4: τ from the cumulative histogram of perpendicular
+            // speeds within the cluster.
+            let perp: Vec<f64> = cluster
+                .members
+                .iter()
+                .map(|&i| sample[i].perp_distance_to_axis(cluster.axis))
+                .collect();
+            let decision = optimal_tau_from_samples(&perp, self.config.tau_buckets)
+                .unwrap_or(TauDecision {
+                    tau: f64::INFINITY,
+                    retained: 0,
+                    objective: 0.0,
+                });
+
+            // Line 5: move points beyond τ into the outlier set.
+            let mut kept = Vec::with_capacity(cluster.members.len());
+            for (&idx, &d) in cluster.members.iter().zip(&perp) {
+                if d <= decision.tau {
+                    kept.push(idx);
+                } else {
+                    outliers.push(idx);
+                }
+            }
+
+            // Line 6: refit the DVA on the survivors.
+            let kept_points: Vec<Vec2> = kept.iter().map(|&i| sample[i]).collect();
+            let pca = pca_origin(&kept_points);
+            let axis = if kept.is_empty() { cluster.axis } else { pca.pc1 };
+
+            partitions.push(DvaPartition {
+                axis,
+                tau: decision.tau,
+                members: kept,
+                pca,
+                tau_decision: decision,
+            });
+        }
+
+        AnalyzerOutput {
+            partitions,
+            outliers,
+            kmeans_iterations: km.iterations,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_geom::Point;
+
+    /// Deterministic synthetic sample: two roads plus random outliers.
+    fn sample_two_roads(n_per_road: usize, n_outliers: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 10_000.0
+        };
+        for axis_deg in [15.0_f64, 105.0] {
+            let a = axis_deg.to_radians();
+            let dir = Point::new(a.cos(), a.sin());
+            let perp = Point::new(-a.sin(), a.cos());
+            for i in 0..n_per_road {
+                let speed = 20.0 + next() * 60.0;
+                // Perpendicular wobble concentrated near zero, as on a
+                // real road (|perp| mostly << 1, rare excursions to 1).
+                let u = next();
+                let wobble = (next() - 0.5).signum() * u * u * u;
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                pts.push(dir * (speed * sign) + perp * wobble);
+            }
+        }
+        // Fast diagonal movers far from both axes; two groups so each
+        // DVA partition sees a fast tail (as real data does — v_ymax in
+        // Equation 10 is dominated by such movers).
+        for i in 0..n_outliers {
+            let ang = if i % 2 == 0 { 55.0_f64 } else { 70.0 }.to_radians();
+            let dir = Point::new(ang.cos(), ang.sin());
+            pts.push(dir * (50.0 + next() * 50.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn analyze_recovers_axes_and_evicts_outliers() {
+        let sample = sample_two_roads(1000, 60);
+        let analyzer = VelocityAnalyzer::new(VpConfig::default());
+        let out = analyzer.analyze(&sample);
+        assert_eq!(out.partitions.len(), 2);
+
+        let dist = |axis: Point, ref_deg: f64| -> f64 {
+            let a = axis.y.atan2(axis.x);
+            let r = ref_deg.to_radians();
+            let mut d = (a - r).rem_euclid(std::f64::consts::PI);
+            if d > std::f64::consts::FRAC_PI_2 {
+                d = std::f64::consts::PI - d;
+            }
+            d.to_degrees()
+        };
+        let d15: Vec<f64> = out.partitions.iter().map(|p| dist(p.axis, 15.0)).collect();
+        let d105: Vec<f64> = out.partitions.iter().map(|p| dist(p.axis, 105.0)).collect();
+        let ok = (d15[0] < 4.0 && d105[1] < 4.0) || (d15[1] < 4.0 && d105[0] < 4.0);
+        assert!(ok, "axes missed the roads: d15={d15:?} d105={d105:?}");
+
+        // The diagonal speeders (perp speed ~ tens of m/ts to both axes)
+        // must be outliers; wobble-level members must not.
+        assert!(
+            out.outliers.len() >= 50,
+            "expected the 60 diagonal movers out, got {}",
+            out.outliers.len()
+        );
+        assert!(out.outlier_fraction() < 0.2);
+    }
+
+    #[test]
+    fn analyze_respects_tau_semantics() {
+        let sample = sample_two_roads(500, 30);
+        let analyzer = VelocityAnalyzer::new(VpConfig::default());
+        let out = analyzer.analyze(&sample);
+        for p in &out.partitions {
+            for &m in &p.members {
+                // Note: members were retained against the *pre-refit*
+                // axis; allow a tolerance for the refit shift.
+                let d = sample[m].perp_distance_to_axis(p.axis);
+                assert!(
+                    d <= p.tau * 1.5 + 1.0,
+                    "member perp {d} far beyond tau {}",
+                    p.tau
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_empty_sample() {
+        let analyzer = VelocityAnalyzer::new(VpConfig::default());
+        let out = analyzer.analyze(&[]);
+        assert!(out.partitions.is_empty());
+        assert!(out.outliers.is_empty());
+        assert_eq!(out.outlier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        let sample = sample_two_roads(300, 10);
+        let analyzer = VelocityAnalyzer::new(VpConfig::default());
+        let a = analyzer.analyze(&sample);
+        let b = analyzer.analyze(&sample);
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.members, pb.members);
+            assert_eq!(pa.tau, pb.tau);
+        }
+    }
+
+    #[test]
+    fn k_one_single_partition() {
+        let sample = sample_two_roads(200, 0);
+        let mut cfg = VpConfig::default();
+        cfg.k = 1;
+        let out = VelocityAnalyzer::new(cfg).analyze(&sample);
+        assert_eq!(out.partitions.len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Configuration of the VP technique.
+
+use vp_geom::{Point, Rect};
+
+/// Tunables for the velocity analyzer and the VP index manager.
+///
+/// Defaults follow the paper's experimental setup (Section 6): 2 DVA
+/// indexes, a 10,000-point velocity sample, a 100-bucket histogram for
+/// τ selection, and the 100 km × 100 km data domain of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpConfig {
+    /// Number of DVA partitions (`k`). The paper sets 2 for road
+    /// networks ("most road networks have two dominant traffic
+    /// directions").
+    pub k: usize,
+    /// Velocity sample size fed to the analyzer.
+    pub sample_size: usize,
+    /// Buckets in the per-partition cumulative speed histogram used for
+    /// τ selection.
+    pub tau_buckets: usize,
+    /// Seed for the k-means random initialization (the analyzer is
+    /// fully deterministic given this seed).
+    pub seed: u64,
+    /// Maximum k-means reassignment rounds.
+    pub max_iters: usize,
+    /// World-space data domain; DVA frames pivot about its center.
+    pub domain: Rect,
+}
+
+impl Default for VpConfig {
+    fn default() -> Self {
+        VpConfig {
+            k: 2,
+            sample_size: 10_000,
+            tau_buckets: 100,
+            seed: 0x5eed,
+            max_iters: 100,
+            domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
+        }
+    }
+}
+
+impl VpConfig {
+    /// The pivot about which DVA frames rotate (domain center).
+    pub fn pivot(&self) -> Point {
+        self.domain.center()
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be >= 1".into());
+        }
+        if self.tau_buckets == 0 {
+            return Err("tau_buckets must be >= 1".into());
+        }
+        if self.domain.is_empty() || self.domain.area() <= 0.0 {
+            return Err("domain must have positive area".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = VpConfig::default();
+        assert_eq!(c.k, 2);
+        assert_eq!(c.sample_size, 10_000);
+        assert_eq!(c.tau_buckets, 100);
+        assert_eq!(c.domain.width(), 100_000.0);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.pivot(), Point::new(50_000.0, 50_000.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = VpConfig::default();
+        c.k = 0;
+        assert!(c.validate().is_err());
+        let mut c = VpConfig::default();
+        c.tau_buckets = 0;
+        assert!(c.validate().is_err());
+        let mut c = VpConfig::default();
+        c.domain = Rect::EMPTY;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types shared by all moving-object indexes.
+
+use vp_storage::StorageError;
+
+use crate::object::ObjectId;
+
+/// Errors surfaced by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Underlying page storage failed.
+    Storage(StorageError),
+    /// Insert of an object id that is already present.
+    DuplicateObject(ObjectId),
+    /// Delete/update of an object id that is not present.
+    UnknownObject(ObjectId),
+    /// An object lies outside the index's configured data domain.
+    OutOfDomain(ObjectId),
+    /// Invalid configuration (e.g. zero partitions requested).
+    Config(String),
+}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::DuplicateObject(id) => write!(f, "object {id} already present"),
+            IndexError::UnknownObject(id) => write!(f, "object {id} not present"),
+            IndexError::OutOfDomain(id) => write!(f, "object {id} outside the data domain"),
+            IndexError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for index operations.
+pub type IndexResult<T> = Result<T, IndexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = IndexError::DuplicateObject(7);
+        assert!(e.to_string().contains("7"));
+        let s: IndexError = StorageError::PoolExhausted.into();
+        assert!(matches!(s, IndexError::Storage(_)));
+        use std::error::Error;
+        assert!(s.source().is_some());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! K-means clustering of velocity points by perpendicular distance to
+//! each cluster's 1st principal component — Algorithm 2 (`FindDVAs`).
+//!
+//! This is *not* centroid k-means (naïve approach II of Section 5.1):
+//! the distance from a velocity point to a cluster is its perpendicular
+//! distance to the cluster's DVA (an axis through the origin), so
+//! points are grouped by *direction of travel* rather than by proximity
+//! in velocity space. See the paper's Figure 12 for why this matters.
+
+use vp_geom::Vec2;
+
+use crate::pca::{pca_origin, PcaResult};
+
+/// One velocity cluster: the indices of its member points (into the
+/// input slice) and its fitted axis.
+#[derive(Debug, Clone)]
+pub struct VelocityCluster {
+    /// Indices into the input point slice.
+    pub members: Vec<usize>,
+    /// Unit 1st principal component of the members — the cluster's DVA.
+    pub axis: Vec2,
+    /// Full PCA summary of the members.
+    pub pca: PcaResult,
+}
+
+/// Outcome of [`find_dvas`].
+#[derive(Debug, Clone)]
+pub struct KmeansOutcome {
+    pub clusters: Vec<VelocityCluster>,
+    /// Number of reassignment iterations executed.
+    pub iterations: usize,
+    /// Whether the loop converged (no point moved) before the iteration
+    /// cap.
+    pub converged: bool,
+}
+
+/// A small deterministic xorshift PRNG. The analyzer must be
+/// reproducible run-to-run (the harness compares figures across
+/// configurations), so we keep randomness seeded and local instead of
+/// pulling in a RNG dependency for two calls.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.max(1),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub(crate) fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runs Algorithm 2: k-means over `points` using perpendicular distance
+/// to each cluster's 1st PC, starting from a random assignment drawn
+/// from `seed`.
+///
+/// Guarantees:
+/// * deterministic for a given `(points, k, seed)`;
+/// * every returned cluster is non-empty when `points.len() >= k`
+///   (empty clusters are reseeded with the globally worst-fitting
+///   point);
+/// * terminates after at most `max_iters` reassignment rounds.
+pub fn find_dvas(points: &[Vec2], k: usize, seed: u64, max_iters: usize) -> KmeansOutcome {
+    assert!(k >= 1, "k must be at least 1");
+    let n = points.len();
+    if n == 0 {
+        return KmeansOutcome {
+            clusters: Vec::new(),
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = XorShift64::new(seed);
+
+    // Initial axes. Algorithm 2 assigns points to partitions uniformly
+    // at random; on real data the two random halves have slightly
+    // different 1st PCs which the loop then amplifies (paper Figure
+    // 11a-b). On *perfectly symmetric* data, however, random halves can
+    // yield numerically identical (degenerate) PCs and the loop would
+    // converge immediately to a useless fixpoint. We therefore seed the
+    // axes k-means++-style: the direction of a random point first, then
+    // the directions of points maximizing their perpendicular distance
+    // to all axes chosen so far. The iterative refinement below is
+    // unchanged from Algorithm 2.
+    let mut seed_axes: Vec<Vec2> = Vec::with_capacity(k);
+    let first = pick_nonzero(points, &mut rng);
+    seed_axes.push(first);
+    while seed_axes.len() < k {
+        let far = points
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da = seed_axes
+                    .iter()
+                    .map(|ax| a.perp_distance_to_axis(*ax))
+                    .fold(f64::INFINITY, f64::min);
+                let db = seed_axes
+                    .iter()
+                    .map(|ax| b.perp_distance_to_axis(*ax))
+                    .fold(f64::INFINITY, f64::min);
+                da.total_cmp(&db)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        seed_axes.push(
+            points[far]
+                .normalized()
+                .unwrap_or(Vec2::new(0.0, 1.0)),
+        );
+    }
+    // Assign every point to its nearest seed axis.
+    let mut assign: Vec<usize> = points
+        .iter()
+        .map(|p| {
+            (0..k)
+                .min_by(|&a, &b| {
+                    p.perp_distance_to_axis(seed_axes[a])
+                        .total_cmp(&p.perp_distance_to_axis(seed_axes[b]))
+                })
+                .unwrap()
+        })
+        .collect();
+    // Guard: make sure every cluster starts non-empty.
+    for c in 0..k {
+        if !assign.contains(&c) {
+            let idx = rng.next_below(n);
+            assign[idx] = c;
+        }
+    }
+
+    let mut axes: Vec<PcaResult> = vec![fit(points, &assign, 0); k];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Line 6: fit the 1st PC of each partition.
+        for (c, axis) in axes.iter_mut().enumerate() {
+            *axis = fit(points, &assign, c);
+        }
+        // Lines 7-9: move each point to the cluster whose 1st PC is
+        // nearest (perpendicular distance).
+        let mut moved = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = assign[i];
+            let mut best_d = p.perp_distance_to_axis(axes[best].pc1);
+            for (c, ax) in axes.iter().enumerate() {
+                let d = p.perp_distance_to_axis(ax.pc1);
+                if d + 1e-12 < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            if best != assign[i] {
+                assign[i] = best;
+                moved += 1;
+            }
+        }
+        // Reseed any cluster that lost all members with the point
+        // farthest from its current axis.
+        for c in 0..k {
+            if !assign.contains(&c) {
+                if let Some((worst, _)) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.perp_distance_to_axis(axes[assign[i]].pc1)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                {
+                    assign[worst] = c;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final fit and cluster materialization.
+    let clusters = (0..k)
+        .map(|c| {
+            let members: Vec<usize> = (0..n).filter(|&i| assign[i] == c).collect();
+            let pca = fit(points, &assign, c);
+            VelocityCluster {
+                members,
+                axis: pca.pc1,
+                pca,
+            }
+        })
+        .collect();
+
+    KmeansOutcome {
+        clusters,
+        iterations,
+        converged,
+    }
+}
+
+/// Picks a random non-zero point's direction (unit vector); falls back
+/// to the x-axis when every point is zero.
+fn pick_nonzero(points: &[Vec2], rng: &mut XorShift64) -> Vec2 {
+    for _ in 0..32 {
+        let p = points[rng.next_below(points.len())];
+        if let Some(u) = p.normalized() {
+            return u;
+        }
+    }
+    points
+        .iter()
+        .find_map(|p| p.normalized())
+        .unwrap_or(Vec2::new(1.0, 0.0))
+}
+
+fn fit(points: &[Vec2], assign: &[usize], cluster: usize) -> PcaResult {
+    let members: Vec<Vec2> = points
+        .iter()
+        .zip(assign)
+        .filter(|(_, &a)| a == cluster)
+        .map(|(p, _)| *p)
+        .collect();
+    pca_origin(&members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_geom::Point;
+
+    /// Two-way traffic along `angle_deg` with small perpendicular noise.
+    fn road(points: &mut Vec<Point>, angle_deg: f64, n: usize, rng: &mut XorShift64) {
+        let a = angle_deg.to_radians();
+        let dir = Point::new(a.cos(), a.sin());
+        let perp = Point::new(-a.sin(), a.cos());
+        for i in 0..n {
+            let speed = 5.0 + (rng.next_below(1000) as f64) / 100.0; // 5..15
+            let noise = ((rng.next_below(2001) as f64) - 1000.0) / 1000.0 * 0.4;
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            points.push(dir * (speed * sign) + perp * noise);
+        }
+    }
+
+    #[test]
+    fn recovers_two_perpendicular_dvas() {
+        let mut rng = XorShift64::new(42);
+        let mut pts = Vec::new();
+        road(&mut pts, 0.0, 500, &mut rng);
+        road(&mut pts, 90.0, 500, &mut rng);
+        let out = find_dvas(&pts, 2, 7, 100);
+        assert!(out.converged);
+        assert_eq!(out.clusters.len(), 2);
+        // Axes are undirected: compare via the angular distance of each
+        // cluster axis to the expected road directions.
+        let d0: Vec<f64> = out
+            .clusters
+            .iter()
+            .map(|c| axis_angle_dist(c.axis, 0.0))
+            .collect();
+        let d90: Vec<f64> = out
+            .clusters
+            .iter()
+            .map(|c| axis_angle_dist(c.axis, 90.0))
+            .collect();
+        let ok = (d0[0] < 0.1 && d90[1] < 0.1) || (d0[1] < 0.1 && d90[0] < 0.1);
+        assert!(ok, "axes missed the roads: d0={d0:?} d90={d90:?}");
+        // Both clusters captured roughly half the points.
+        for c in &out.clusters {
+            assert!(c.members.len() > 300, "unbalanced: {}", c.members.len());
+        }
+    }
+
+    /// Angular distance (radians, in `[0, pi/2]`) between an undirected
+    /// axis and a reference direction given in degrees.
+    fn axis_angle_dist(axis: Point, ref_deg: f64) -> f64 {
+        let a = axis.y.atan2(axis.x);
+        let r = ref_deg.to_radians();
+        let mut d = (a - r).rem_euclid(std::f64::consts::PI);
+        if d > std::f64::consts::FRAC_PI_2 {
+            d = std::f64::consts::PI - d;
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_non_perpendicular_dvas() {
+        // The paper stresses VP is not restricted to perpendicular DVAs.
+        let mut rng = XorShift64::new(1);
+        let mut pts = Vec::new();
+        road(&mut pts, 20.0, 400, &mut rng);
+        road(&mut pts, 75.0, 400, &mut rng);
+        let out = find_dvas(&pts, 2, 3, 100);
+        let d20: Vec<f64> = out
+            .clusters
+            .iter()
+            .map(|c| axis_angle_dist(c.axis, 20.0))
+            .collect();
+        let d75: Vec<f64> = out
+            .clusters
+            .iter()
+            .map(|c| axis_angle_dist(c.axis, 75.0))
+            .collect();
+        let tol = 5.0_f64.to_radians();
+        let ok = (d20[0] < tol && d75[1] < tol) || (d20[1] < tol && d75[0] < tol);
+        assert!(ok, "axes missed the roads: d20={d20:?} d75={d75:?}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut rng = XorShift64::new(5);
+        let mut pts = Vec::new();
+        road(&mut pts, 10.0, 200, &mut rng);
+        road(&mut pts, 100.0, 200, &mut rng);
+        let a = find_dvas(&pts, 2, 99, 100);
+        let b = find_dvas(&pts, 2, 99, 100);
+        for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+            assert_eq!(ca.members, cb.members);
+        }
+    }
+
+    #[test]
+    fn k_one_is_plain_pca() {
+        let mut rng = XorShift64::new(5);
+        let mut pts = Vec::new();
+        road(&mut pts, 45.0, 300, &mut rng);
+        let out = find_dvas(&pts, 1, 1, 100);
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].members.len(), 300);
+        let expect = crate::pca::pca_origin(&pts).pc1;
+        assert!(out.clusters[0].axis.cross(expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_small_inputs() {
+        let out = find_dvas(&[], 2, 1, 10);
+        assert!(out.clusters.is_empty());
+        let pts = [Point::new(1.0, 0.0)];
+        let out = find_dvas(&pts, 3, 1, 10);
+        assert_eq!(out.clusters.len(), 1, "k clamped to n");
+        assert_eq!(out.clusters[0].members, vec![0]);
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let mut rng = XorShift64::new(8);
+        let mut pts = Vec::new();
+        road(&mut pts, 0.0, 100, &mut rng);
+        road(&mut pts, 90.0, 100, &mut rng);
+        let out = find_dvas(&pts, 2, 4, 100);
+        let mut seen = vec![false; pts.len()];
+        for c in &out.clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "point {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every point assigned");
+    }
+}

@@ -1,0 +1,521 @@
+//! The index manager — routing and querying of partitioned indexes
+//! (Sections 5.3–5.5, Algorithm 3).
+//!
+//! [`VpIndex`] owns one sub-index per DVA plus one outlier sub-index.
+//! Each DVA sub-index stores objects in the DVA's rotated coordinate
+//! [`Frame`]; the outlier index uses world coordinates. The manager:
+//!
+//! * routes an insertion to the DVA whose axis is closest (by
+//!   perpendicular velocity distance) to the object's velocity, unless
+//!   that distance exceeds the partition's τ — then to the outlier
+//!   index;
+//! * handles updates as delete + insert, which migrates objects whose
+//!   direction of travel changed partitions;
+//! * executes range queries by transforming the query into every DVA
+//!   frame (Algorithm 3), running the underlying index's query, and
+//!   exact-filtering the merged candidates in world space;
+//! * maintains online perpendicular-speed histograms so τ can be
+//!   recomputed cheaply as speed distributions drift (Section 5.5,
+//!   [`VpIndex::refresh_tau`]).
+//!
+//! `VpIndex` itself implements [`MovingObjectIndex`], so a partitioned
+//! index is a drop-in replacement for its unpartitioned counterpart.
+
+use std::collections::HashMap;
+
+use vp_geom::{Frame, Rect, Vec2};
+use vp_storage::IoStats;
+
+use crate::analyzer::AnalyzerOutput;
+use crate::config::VpConfig;
+use crate::error::{IndexError, IndexResult};
+use crate::histogram::CumulativeHistogram;
+use crate::object::{MovingObject, ObjectId};
+use crate::query::RangeQuery;
+use crate::tau::optimal_tau;
+use crate::traits::MovingObjectIndex;
+
+/// Index of a partition inside a [`VpIndex`]: `0..k` are DVA
+/// partitions, `k` is the outlier partition.
+pub type PartitionId = usize;
+
+/// Everything a sub-index factory needs to construct one partition's
+/// index.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// Which partition this is.
+    pub id: PartitionId,
+    /// Rotation frame of the partition (identity for the outlier
+    /// partition).
+    pub frame: Frame,
+    /// Data domain in *frame coordinates* — the coordinate range the
+    /// sub-index must accommodate (the rotated bounding box of the
+    /// world domain).
+    pub domain: Rect,
+    /// Outlier threshold (`f64::INFINITY` for the outlier partition).
+    pub tau: f64,
+    /// True for the outlier partition.
+    pub is_outlier: bool,
+}
+
+/// A velocity-partitioned moving-object index.
+///
+/// Generic over the underlying index type `I`; construct with
+/// [`VpIndex::build`] and a factory closure that creates one `I` per
+/// [`PartitionSpec`].
+pub struct VpIndex<I> {
+    config: VpConfig,
+    specs: Vec<PartitionSpec>,
+    indexes: Vec<I>,
+    /// Which partition each live object resides in (the "simple lookup
+    /// table" of Section 5.3).
+    assignment: HashMap<ObjectId, PartitionId>,
+    /// World-space state of each live object, used for exact query
+    /// filtering and for delete/update routing.
+    objects: HashMap<ObjectId, MovingObject>,
+    /// Online per-DVA histograms of perpendicular speeds (Section 5.5).
+    perp_hists: Vec<CumulativeHistogram>,
+}
+
+impl<I> VpIndex<I> {
+    /// Builds a partitioned index from analyzer output. The factory is
+    /// invoked once per partition, DVA partitions first, outlier last.
+    pub fn build<F>(
+        config: VpConfig,
+        analysis: &AnalyzerOutput,
+        factory: F,
+    ) -> IndexResult<VpIndex<I>>
+    where
+        F: FnMut(&PartitionSpec) -> I,
+    {
+        config.validate().map_err(IndexError::Config)?;
+        if analysis.partitions.is_empty() {
+            return Err(IndexError::Config(
+                "analyzer produced no partitions (empty sample?)".into(),
+            ));
+        }
+        let pivot = config.pivot();
+        let mut specs = Vec::with_capacity(analysis.partitions.len() + 1);
+        for (i, p) in analysis.partitions.iter().enumerate() {
+            let frame = Frame::new(p.axis, pivot);
+            specs.push(PartitionSpec {
+                id: i,
+                frame,
+                domain: frame.domain_in_frame(&config.domain),
+                tau: p.tau,
+                is_outlier: false,
+            });
+        }
+        let outlier_id = specs.len();
+        specs.push(PartitionSpec {
+            id: outlier_id,
+            frame: Frame::identity(),
+            domain: config.domain,
+            tau: f64::INFINITY,
+            is_outlier: true,
+        });
+
+        let indexes: Vec<I> = specs.iter().map(factory).collect();
+        let perp_hists = analysis
+            .partitions
+            .iter()
+            .map(|p| {
+                CumulativeHistogram::new(
+                    config.tau_buckets,
+                    // Track speeds up to well beyond the current τ so a
+                    // drifting distribution stays in range.
+                    (p.tau_decision.tau * 4.0).clamp(1.0, 1e9),
+                )
+            })
+            .collect();
+
+        Ok(VpIndex {
+            config,
+            specs,
+            indexes,
+            assignment: HashMap::new(),
+            objects: HashMap::new(),
+            perp_hists,
+        })
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &VpConfig {
+        &self.config
+    }
+
+    /// The partition specifications (DVA partitions then outlier).
+    pub fn specs(&self) -> &[PartitionSpec] {
+        &self.specs
+    }
+
+    /// Number of DVA partitions (excluding the outlier partition).
+    pub fn dva_count(&self) -> usize {
+        self.specs.len() - 1
+    }
+
+    /// The partition currently holding `id`, if present.
+    pub fn partition_of(&self, id: ObjectId) -> Option<PartitionId> {
+        self.assignment.get(&id).copied()
+    }
+
+    /// Number of objects in each partition.
+    pub fn partition_sizes(&self) -> Vec<usize>
+    where
+        I: MovingObjectIndex,
+    {
+        self.indexes.iter().map(|i| i.len()).collect()
+    }
+
+    /// Direct access to a partition's sub-index (diagnostics /
+    /// figure-generation).
+    pub fn partition_index(&self, p: PartitionId) -> &I {
+        &self.indexes[p]
+    }
+
+    /// Chooses the partition for a velocity: the DVA with the smallest
+    /// perpendicular distance, or the outlier partition when that
+    /// distance exceeds the DVA's τ (Section 5.3).
+    pub fn choose_partition(&self, vel: Vec2) -> PartitionId {
+        let outlier = self.specs.len() - 1;
+        let mut best: Option<(PartitionId, f64)> = None;
+        for spec in &self.specs[..outlier] {
+            let d = vel.perp_distance_to_axis(spec.frame.axis());
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((spec.id, d)),
+            }
+        }
+        match best {
+            Some((p, d)) if d <= self.specs[p].tau => p,
+            _ => outlier,
+        }
+    }
+
+    /// Recomputes each DVA partition's τ from the online histograms
+    /// (Section 5.5). Cheap — Equation 10 over the histogram edges —
+    /// and intended to be called periodically by the application.
+    /// Returns the new τ per DVA partition. Existing objects are not
+    /// re-routed; the thresholds apply to future insertions/updates.
+    pub fn refresh_tau(&mut self) -> Vec<f64> {
+        let mut taus = Vec::with_capacity(self.perp_hists.len());
+        for (spec, hist) in self.specs.iter_mut().zip(self.perp_hists.iter_mut()) {
+            if hist.total() > 0 {
+                spec.tau = optimal_tau(hist).tau;
+                // Start a fresh accumulation period so the next refresh
+                // reflects the *current* speed distribution rather than
+                // an all-time average (Section 5.5).
+                hist.reset();
+            }
+            taus.push(spec.tau);
+        }
+        taus
+    }
+
+    fn record_perp_speed(&mut self, vel: Vec2) {
+        // Track the perpendicular speed against the *closest* DVA — the
+        // candidate population of that DVA's τ decision.
+        let outlier = self.specs.len() - 1;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, spec) in self.specs[..outlier].iter().enumerate() {
+            let d = vel.perp_distance_to_axis(spec.frame.axis());
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        if let Some((i, d)) = best {
+            self.perp_hists[i].add(d);
+        }
+    }
+}
+
+impl<I: MovingObjectIndex> MovingObjectIndex for VpIndex<I> {
+    fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
+        if self.assignment.contains_key(&obj.id) {
+            return Err(IndexError::DuplicateObject(obj.id));
+        }
+        let p = self.choose_partition(obj.vel);
+        let local = obj.to_frame(&self.specs[p].frame);
+        self.indexes[p].insert(local)?;
+        self.assignment.insert(obj.id, p);
+        self.objects.insert(obj.id, obj);
+        self.record_perp_speed(obj.vel);
+        Ok(())
+    }
+
+    fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
+        let p = self
+            .assignment
+            .get(&id)
+            .copied()
+            .ok_or(IndexError::UnknownObject(id))?;
+        self.indexes[p].delete(id)?;
+        self.assignment.remove(&id);
+        self.objects.remove(&id);
+        Ok(())
+    }
+
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        // Algorithm 3: query every partition in its own frame, merge,
+        // and exact-filter in world space.
+        let mut results = Vec::new();
+        for (spec, index) in self.specs.iter().zip(&self.indexes) {
+            let local = if spec.is_outlier {
+                *query
+            } else {
+                query.to_frame(&spec.frame)
+            };
+            for id in index.range_query(&local)? {
+                if let Some(obj) = self.objects.get(&id) {
+                    if query.matches(obj) {
+                        results.push(id);
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
+        self.objects.get(&id).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.indexes
+            .iter()
+            .map(|i| i.io_stats())
+            .fold(IoStats::zero(), |a, b| a + b)
+    }
+
+    fn reset_io_stats(&self) {
+        for i in &self.indexes {
+            i.reset_io_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::VelocityAnalyzer;
+    use crate::query::QueryRegion;
+    use crate::traits::reference::ScanIndex;
+    use vp_geom::{Circle, Point};
+
+    fn sample() -> Vec<Point> {
+        // Two roads at 0 and 90 degrees plus diagonal outliers.
+        let mut pts = Vec::new();
+        for i in 1..=300 {
+            let s = 10.0 + (i % 90) as f64;
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            pts.push(Point::new(s * sign, (i % 5) as f64 * 0.2 - 0.4));
+            pts.push(Point::new((i % 5) as f64 * 0.2 - 0.4, s * sign));
+        }
+        for i in 0..20 {
+            pts.push(Point::new(40.0 + i as f64, 40.0 + i as f64));
+        }
+        pts
+    }
+
+    fn build_vp() -> VpIndex<ScanIndex> {
+        let cfg = VpConfig::default();
+        let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample());
+        VpIndex::build(cfg, &analysis, |_spec| ScanIndex::new()).unwrap()
+    }
+
+    #[test]
+    fn builds_k_plus_one_partitions() {
+        let vp = build_vp();
+        assert_eq!(vp.specs().len(), 3);
+        assert_eq!(vp.dva_count(), 2);
+        assert!(vp.specs()[2].is_outlier);
+        assert!(vp.specs()[2].frame.is_identity());
+        assert_eq!(vp.specs()[2].tau, f64::INFINITY);
+        // DVA domains are the rotated world domain.
+        assert!(vp.specs()[0].domain.area() >= vp.config.domain.area());
+    }
+
+    #[test]
+    fn routes_by_direction_and_tau() {
+        let vp = build_vp();
+        // Identify which DVA is (near) horizontal.
+        let horiz = (0..2)
+            .min_by(|&a, &b| {
+                vp.specs()[a]
+                    .frame
+                    .axis()
+                    .y
+                    .abs()
+                    .total_cmp(&vp.specs()[b].frame.axis().y.abs())
+            })
+            .unwrap();
+        let vert = 1 - horiz;
+        assert_eq!(vp.choose_partition(Point::new(50.0, 0.05)), horiz);
+        assert_eq!(vp.choose_partition(Point::new(-40.0, 0.0)), horiz);
+        assert_eq!(vp.choose_partition(Point::new(0.05, 70.0)), vert);
+        // Fast diagonal: far from both axes -> outlier.
+        assert_eq!(vp.choose_partition(Point::new(60.0, 60.0)), 2);
+    }
+
+    #[test]
+    fn insert_query_delete_round_trip() {
+        let mut vp = build_vp();
+        let objs = [
+            MovingObject::new(1, Point::new(50_000.0, 50_000.0), Point::new(30.0, 0.1), 0.0),
+            MovingObject::new(2, Point::new(50_100.0, 50_000.0), Point::new(0.1, 30.0), 0.0),
+            MovingObject::new(3, Point::new(50_000.0, 50_100.0), Point::new(40.0, 40.0), 0.0),
+            MovingObject::new(4, Point::new(90_000.0, 90_000.0), Point::new(-30.0, 0.0), 0.0),
+        ];
+        for o in objs {
+            vp.insert(o).unwrap();
+        }
+        assert_eq!(vp.len(), 4);
+        // Objects 1-3 are near (50k, 50k): a 300m circle finds them all,
+        // regardless of partition.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 300.0)),
+            0.0,
+        );
+        let mut got = vp.range_query(&q).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+
+        vp.delete(2).unwrap();
+        let mut got = vp.range_query(&q).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+        assert!(matches!(vp.delete(2), Err(IndexError::UnknownObject(2))));
+    }
+
+    #[test]
+    fn update_migrates_partitions() {
+        let mut vp = build_vp();
+        let o = MovingObject::new(7, Point::new(50_000.0, 50_000.0), Point::new(30.0, 0.0), 0.0);
+        vp.insert(o).unwrap();
+        let before = vp.partition_of(7).unwrap();
+        // The object turns 90 degrees: must migrate to the other DVA.
+        vp.update(MovingObject::new(
+            7,
+            Point::new(50_010.0, 50_000.0),
+            Point::new(0.0, 30.0),
+            1.0,
+        ))
+        .unwrap();
+        let after = vp.partition_of(7).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(vp.len(), 1);
+        // Still findable by query after migration.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(50_010.0, 50_000.0), 50.0)),
+            1.0,
+        );
+        assert_eq!(vp.range_query(&q).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn predictive_query_crosses_partitions() {
+        let mut vp = build_vp();
+        // Two objects converging on (60k, 50k) at t=100 from different
+        // directions/partitions.
+        vp.insert(MovingObject::new(
+            1,
+            Point::new(59_000.0, 50_000.0),
+            Point::new(10.0, 0.0),
+            0.0,
+        ))
+        .unwrap();
+        vp.insert(MovingObject::new(
+            2,
+            Point::new(60_000.0, 49_000.0),
+            Point::new(0.0, 10.0),
+            0.0,
+        ))
+        .unwrap();
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(60_000.0, 50_000.0), 100.0)),
+            100.0,
+        );
+        let mut got = vp.range_query(&q).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        // At t=0 neither matches.
+        let q0 = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(60_000.0, 50_000.0), 100.0)),
+            0.0,
+        );
+        assert!(vp.range_query(&q0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn matches_reference_index_on_random_workload() {
+        let mut vp = build_vp();
+        let mut reference = ScanIndex::new();
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64 / 1_000_000.0
+        };
+        for id in 0..500u64 {
+            let pos = Point::new(next() * 100_000.0, next() * 100_000.0);
+            let ang = next() * std::f64::consts::TAU;
+            let speed = next() * 100.0;
+            let vel = Point::new(ang.cos() * speed, ang.sin() * speed);
+            let o = MovingObject::new(id, pos, vel, 0.0);
+            vp.insert(o).unwrap();
+            reference.insert(o).unwrap();
+        }
+        for qi in 0..50 {
+            let center = Point::new(next() * 100_000.0, next() * 100_000.0);
+            let t = (qi % 10) as f64 * 12.0;
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(center, 2_000.0)),
+                t,
+            );
+            let mut a = vp.range_query(&q).unwrap();
+            let mut b = reference.range_query(&q).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn refresh_tau_tracks_speed_drift() {
+        let mut vp = build_vp();
+        let tau0 = vp.specs()[0].tau;
+        // Feed many inserts whose perpendicular speeds are tiny: τ should
+        // tighten (or at least not blow up) after refresh.
+        for id in 0..2000u64 {
+            let o = MovingObject::new(
+                id,
+                Point::new(50_000.0, 50_000.0),
+                Point::new(20.0 + (id % 50) as f64, 0.01),
+                0.0,
+            );
+            vp.insert(o).unwrap();
+        }
+        let taus = vp.refresh_tau();
+        assert_eq!(taus.len(), 2);
+        let tau1 = vp.specs()[0].tau.min(vp.specs()[1].tau);
+        assert!(tau1.is_finite());
+        // With a nearly perfectly 1-D feed, τ should not exceed the
+        // original by much.
+        assert!(tau1 <= tau0.max(1.0) * 4.0);
+    }
+
+    #[test]
+    fn build_rejects_empty_analysis() {
+        let cfg = VpConfig::default();
+        let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&[]);
+        let r: IndexResult<VpIndex<ScanIndex>> =
+            VpIndex::build(cfg, &analysis, |_s| ScanIndex::new());
+        assert!(matches!(r, Err(IndexError::Config(_))));
+    }
+}

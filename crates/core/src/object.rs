@@ -1,0 +1,105 @@
+//! Moving object representation.
+//!
+//! Following the linear model used by the paper (Section 2.1), a moving
+//! object is a point with a position sampled at a reference time and a
+//! velocity vector; its predicted position at time `t` is
+//! `pos + vel * (t - ref_time)`. Objects issue updates when their
+//! velocity changes, which indexes process as a delete followed by an
+//! insert.
+
+use vp_geom::{Frame, Point, Vec2};
+
+/// Unique identifier of a moving object.
+pub type ObjectId = u64;
+
+/// A moving point: position at `ref_time` plus a constant velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingObject {
+    pub id: ObjectId,
+    /// Position at `ref_time`.
+    pub pos: Point,
+    /// Velocity (distance units per timestamp).
+    pub vel: Vec2,
+    /// Time at which `pos` was sampled.
+    pub ref_time: f64,
+}
+
+impl MovingObject {
+    /// Creates a moving object.
+    #[inline]
+    pub fn new(id: ObjectId, pos: Point, vel: Vec2, ref_time: f64) -> Self {
+        MovingObject {
+            id,
+            pos,
+            vel,
+            ref_time,
+        }
+    }
+
+    /// Predicted position at absolute time `t` under the linear model.
+    #[inline]
+    pub fn position_at(&self, t: f64) -> Point {
+        self.pos.advance(self.vel, t - self.ref_time)
+    }
+
+    /// Current speed (velocity magnitude).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.vel.norm()
+    }
+
+    /// The same object expressed in a DVA coordinate [`Frame`]:
+    /// position and velocity rotated into the frame, id and reference
+    /// time unchanged.
+    pub fn to_frame(&self, frame: &Frame) -> MovingObject {
+        MovingObject {
+            id: self.id,
+            pos: frame.to_frame(self.pos),
+            vel: frame.vel_to_frame(self.vel),
+            ref_time: self.ref_time,
+        }
+    }
+
+    /// Inverse of [`MovingObject::to_frame`].
+    pub fn from_frame(&self, frame: &Frame) -> MovingObject {
+        MovingObject {
+            id: self.id,
+            pos: frame.from_frame(self.pos),
+            vel: frame.vel_from_frame(self.vel),
+            ref_time: self.ref_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_extrapolates() {
+        let o = MovingObject::new(1, Point::new(10.0, 20.0), Point::new(2.0, -1.0), 5.0);
+        assert_eq!(o.position_at(5.0), Point::new(10.0, 20.0));
+        assert_eq!(o.position_at(8.0), Point::new(16.0, 17.0));
+        assert_eq!(o.position_at(3.0), Point::new(6.0, 22.0));
+        assert!((o.speed() - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_round_trip_preserves_trajectory() {
+        let o = MovingObject::new(9, Point::new(100.0, 50.0), Point::new(3.0, 4.0), 2.0);
+        let f = Frame::new(Point::new(1.0, 1.0), Point::new(500.0, 500.0));
+        let of = o.to_frame(&f);
+        let back = of.from_frame(&f);
+        assert!((back.pos.x - o.pos.x).abs() < 1e-9);
+        assert!((back.vel.y - o.vel.y).abs() < 1e-9);
+        // The frame-space trajectory is the transform of the world
+        // trajectory at every time.
+        for t in [2.0, 4.0, 10.0] {
+            let world = o.position_at(t);
+            let framed = of.position_at(t);
+            let expect = f.to_frame(world);
+            assert!((framed.x - expect.x).abs() < 1e-9);
+            assert!((framed.y - expect.y).abs() < 1e-9);
+        }
+    }
+}

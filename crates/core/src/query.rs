@@ -1,0 +1,265 @@
+//! Range query types.
+//!
+//! The paper supports three range query flavors (Section 2.1), all
+//! represented by [`RangeQuery`]:
+//!
+//! * **time slice** — `t_start == t_end`: report objects inside the
+//!   region at one (possibly future) timestamp;
+//! * **time interval** — `t_start < t_end`, zero query velocity;
+//! * **moving range** — the region itself translates with `velocity`.
+//!
+//! Regions are circles (the paper's default; used by the kNN filter
+//! step) or rectangles.
+
+use vp_geom::{Circle, Frame, MovingCircle, MovingRect, Point, Rect, Tpbr, Vbr, Vec2};
+
+use crate::object::MovingObject;
+
+/// The spatial shape of a range query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryRegion {
+    /// Circular range (center, radius).
+    Circle(Circle),
+    /// Rectangular range.
+    Rect(Rect),
+}
+
+impl QueryRegion {
+    /// The axis-aligned bounding rectangle of the region.
+    pub fn bounding_rect(&self) -> Rect {
+        match self {
+            QueryRegion::Circle(c) => c.bounding_rect(),
+            QueryRegion::Rect(r) => *r,
+        }
+    }
+
+    /// True when the region contains `p`.
+    pub fn contains_point(&self, p: Point) -> bool {
+        match self {
+            QueryRegion::Circle(c) => c.contains_point(p),
+            QueryRegion::Rect(r) => r.contains_point(p),
+        }
+    }
+}
+
+/// A (possibly predictive, possibly moving) range query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// The query region, valid at `region_ref_time`.
+    pub region: QueryRegion,
+    /// Velocity of the region (zero for static queries).
+    pub velocity: Vec2,
+    /// Time at which `region` is anchored.
+    pub region_ref_time: f64,
+    /// Start of the query time window.
+    pub t_start: f64,
+    /// End of the query time window (equal to `t_start` for time slice
+    /// queries).
+    pub t_end: f64,
+}
+
+impl RangeQuery {
+    /// A time slice query: objects inside `region` at time `t`.
+    pub fn time_slice(region: QueryRegion, t: f64) -> RangeQuery {
+        RangeQuery {
+            region,
+            velocity: Point::ZERO,
+            region_ref_time: t,
+            t_start: t,
+            t_end: t,
+        }
+    }
+
+    /// A time interval query: objects inside the static `region` at any
+    /// time in `[t1, t2]`.
+    pub fn time_interval(region: QueryRegion, t1: f64, t2: f64) -> RangeQuery {
+        debug_assert!(t2 >= t1);
+        RangeQuery {
+            region,
+            velocity: Point::ZERO,
+            region_ref_time: t1,
+            t_start: t1,
+            t_end: t2,
+        }
+    }
+
+    /// A moving range query: the region translates with `velocity`
+    /// (anchored at `t1`); objects intersecting it at any time in
+    /// `[t1, t2]` are reported.
+    pub fn moving(region: QueryRegion, velocity: Vec2, t1: f64, t2: f64) -> RangeQuery {
+        debug_assert!(t2 >= t1);
+        RangeQuery {
+            region,
+            velocity,
+            region_ref_time: t1,
+            t_start: t1,
+            t_end: t2,
+        }
+    }
+
+    /// True for time slice queries.
+    #[inline]
+    pub fn is_time_slice(&self) -> bool {
+        self.t_start == self.t_end
+    }
+
+    /// The time-parameterized bounding rectangle of the query region —
+    /// what tree traversals prune against.
+    pub fn tpbr(&self) -> Tpbr {
+        Tpbr::new(
+            self.region.bounding_rect(),
+            Vbr::from_velocity(self.velocity),
+            self.region_ref_time,
+        )
+    }
+
+    /// Exact predicate: does this query match the given moving object?
+    /// This is the authoritative filter applied to leaf entries (and by
+    /// the VP manager after frame transformation, Algorithm 3 line 8).
+    pub fn matches(&self, obj: &MovingObject) -> bool {
+        match self.region {
+            QueryRegion::Circle(c) => MovingCircle::new(c, self.velocity, self.region_ref_time)
+                .contains_moving_point_during(
+                    obj.pos,
+                    obj.vel,
+                    obj.ref_time,
+                    self.t_start,
+                    self.t_end,
+                ),
+            QueryRegion::Rect(r) => MovingRect::new(r, self.velocity, self.region_ref_time)
+                .contains_moving_point_during(
+                    obj.pos,
+                    obj.vel,
+                    obj.ref_time,
+                    self.t_start,
+                    self.t_end,
+                ),
+        }
+    }
+
+    /// The query expressed in a DVA coordinate frame: the region is
+    /// transformed and bounded by an axis-aligned *rectangle* in frame
+    /// space (circles stay circles under rotation; rectangles get their
+    /// rotated corners bounded — Algorithm 3, lines 3–4). The result is
+    /// a conservative superset query; exact filtering happens in world
+    /// space via [`RangeQuery::matches`].
+    pub fn to_frame(&self, frame: &Frame) -> RangeQuery {
+        let region = match self.region {
+            QueryRegion::Circle(c) => {
+                // Rotation preserves circles exactly.
+                QueryRegion::Circle(Circle::new(frame.to_frame(c.center), c.radius))
+            }
+            QueryRegion::Rect(r) => QueryRegion::Rect(frame.rect_to_frame_mbr(&r)),
+        };
+        RangeQuery {
+            region,
+            velocity: frame.vel_to_frame(self.velocity),
+            region_ref_time: self.region_ref_time,
+            t_start: self.t_start,
+            t_end: self.t_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(x: f64, y: f64, vx: f64, vy: f64, t: f64) -> MovingObject {
+        MovingObject::new(1, Point::new(x, y), Point::new(vx, vy), t)
+    }
+
+    #[test]
+    fn time_slice_circle_matches() {
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(0.0, 0.0), 5.0)),
+            10.0,
+        );
+        assert!(q.is_time_slice());
+        // Object at (20, 0) at t=0 moving left at 2: at t=10 it is at 0.
+        assert!(q.matches(&obj(20.0, 0.0, -2.0, 0.0, 0.0)));
+        // Same object queried at its start position: outside.
+        let q0 = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(0.0, 0.0), 5.0)),
+            0.0,
+        );
+        assert!(!q0.matches(&obj(20.0, 0.0, -2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn time_interval_rect_matches() {
+        let q = RangeQuery::time_interval(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10.0, 10.0)),
+            0.0,
+            5.0,
+        );
+        // Passes through the rect during [0,5].
+        assert!(q.matches(&obj(-5.0, 5.0, 2.0, 0.0, 0.0)));
+        // Reaches the rect only after t=5.
+        assert!(!q.matches(&obj(-20.0, 5.0, 2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn moving_query_matches() {
+        // Query circle chasing an object moving the same way never
+        // catches it; chasing faster does.
+        let region = QueryRegion::Circle(Circle::new(Point::new(0.0, 0.0), 1.0));
+        let slow = RangeQuery::moving(region, Point::new(1.0, 0.0), 0.0, 100.0);
+        let fast = RangeQuery::moving(region, Point::new(3.0, 0.0), 0.0, 100.0);
+        let target = obj(10.0, 0.0, 1.0, 0.0, 0.0);
+        assert!(!slow.matches(&target));
+        assert!(fast.matches(&target));
+    }
+
+    #[test]
+    fn tpbr_bounds_region() {
+        let q = RangeQuery::moving(
+            QueryRegion::Circle(Circle::new(Point::new(5.0, 5.0), 2.0)),
+            Point::new(1.0, 0.0),
+            1.0,
+            3.0,
+        );
+        let b = q.tpbr();
+        assert_eq!(b.rect, Rect::from_bounds(3.0, 3.0, 7.0, 7.0));
+        assert_eq!(b.ref_time, 1.0);
+        assert_eq!(b.vbr.hi, Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn frame_transform_is_conservative() {
+        // A rotated query matched in world space must also be matched by
+        // the frame-space query against the frame-space object.
+        let frame = Frame::new(Point::new(1.0, 1.0), Point::new(50.0, 50.0));
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(40.0, 40.0, 60.0, 60.0)),
+            4.0,
+        );
+        let qf = q.to_frame(&frame);
+        for (x, y) in [(45.0, 45.0), (41.0, 59.0), (59.0, 41.0)] {
+            let o = obj(x, y, 0.5, -0.5, 4.0);
+            if q.matches(&o) {
+                assert!(qf.matches(&o.to_frame(&frame)), "not conservative at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn circle_stays_exact_under_rotation() {
+        // For circles, the frame query is exact (not just conservative):
+        // matches in frame space iff matches in world space.
+        let frame = Frame::new(Point::new(2.0, 1.0), Point::new(10.0, 10.0));
+        // Radius chosen so no integer-lattice point sits exactly on the
+        // boundary (rotation would make such ties float-order dependent).
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(12.0, 9.0), 2.75)),
+            0.0,
+        );
+        let qf = q.to_frame(&frame);
+        for i in 0..100 {
+            let x = 6.0 + (i % 10) as f64;
+            let y = 5.0 + (i / 10) as f64;
+            let o = obj(x, y, 0.0, 0.0, 0.0);
+            assert_eq!(q.matches(&o), qf.matches(&o.to_frame(&frame)), "({x},{y})");
+        }
+    }
+}

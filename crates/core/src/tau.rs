@@ -1,0 +1,135 @@
+//! Outlier threshold (τ) selection — Section 5.2.
+//!
+//! For a DVA partition, τ is the largest perpendicular speed (speed
+//! orthogonal to the DVA, in the DVA's frame) an object may have and
+//! still be stored in the partition; anything faster goes to the
+//! outlier index. The paper derives (Equations 8–10) that minimizing
+//! the total rate of search-area expansion of the DVA + outlier
+//! partitions reduces to minimizing
+//!
+//! ```text
+//!     n_d (v_yd(n_d) − v_ymax)                       (Equation 10)
+//! ```
+//!
+//! where `n_d` is the number of objects kept in the DVA partition when
+//! its perpendicular-speed cap is `v_yd`, and `v_ymax` is the maximum
+//! perpendicular speed over all objects. The expression is evaluated at
+//! each edge of a cumulative histogram of perpendicular speeds
+//! ([`CumulativeHistogram`]) and the minimizing edge becomes τ.
+
+use crate::histogram::CumulativeHistogram;
+
+/// The outcome of τ selection for one DVA partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauDecision {
+    /// The chosen threshold: objects with perpendicular speed above τ
+    /// are outliers.
+    pub tau: f64,
+    /// Objects retained in the DVA partition at this τ.
+    pub retained: u64,
+    /// Value of Equation 10 at the chosen τ (more negative = larger
+    /// predicted reduction in expansion rate).
+    pub objective: f64,
+}
+
+/// Evaluates Equation 10 at a candidate cap.
+#[inline]
+pub fn objective(n_d: u64, v_yd: f64, v_ymax: f64) -> f64 {
+    n_d as f64 * (v_yd - v_ymax)
+}
+
+/// Selects τ for one partition from a cumulative histogram of
+/// perpendicular speeds. `v_ymax` defaults to the histogram's upper
+/// range edge (the largest observed perpendicular speed when the
+/// histogram was built with [`CumulativeHistogram::from_samples`]).
+///
+/// When every candidate scores 0 (e.g. all objects share one speed),
+/// τ is the maximum speed — no outliers, matching the paper's behaviour
+/// on perfectly tight partitions.
+pub fn optimal_tau(hist: &CumulativeHistogram) -> TauDecision {
+    let v_ymax = hist.max_value();
+    let mut best = TauDecision {
+        tau: v_ymax,
+        retained: hist.total(),
+        objective: 0.0,
+    };
+    for (edge, n_d) in hist.cumulative_iter() {
+        let obj = objective(n_d, edge, v_ymax);
+        if obj < best.objective {
+            best = TauDecision {
+                tau: edge,
+                retained: n_d,
+                objective: obj,
+            };
+        }
+    }
+    best
+}
+
+/// Convenience: builds the histogram from raw perpendicular speeds and
+/// selects τ. Returns `None` for an empty sample.
+pub fn optimal_tau_from_samples(perp_speeds: &[f64], buckets: usize) -> Option<TauDecision> {
+    if perp_speeds.is_empty() {
+        return None;
+    }
+    let hist = CumulativeHistogram::from_samples(buckets, perp_speeds);
+    Some(optimal_tau(&hist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_partition_keeps_everything() {
+        // All perpendicular speeds equal: no benefit in evicting.
+        let speeds = vec![2.0; 100];
+        let d = optimal_tau_from_samples(&speeds, 10).unwrap();
+        assert_eq!(d.retained, 100);
+        assert!(d.tau >= 2.0);
+    }
+
+    #[test]
+    fn few_fast_outliers_are_cut() {
+        // 990 slow objects (perp <= 1) and 10 fast ones (perp ~ 100):
+        // keeping the slow mass and evicting the tail wins.
+        let mut speeds = vec![1.0; 990];
+        speeds.extend(vec![100.0; 10]);
+        let d = optimal_tau_from_samples(&speeds, 100).unwrap();
+        assert!(d.tau < 100.0, "tau {} should exclude the tail", d.tau);
+        assert!(d.retained >= 990);
+        assert!(d.objective < 0.0);
+    }
+
+    #[test]
+    fn uniform_speeds_cut_at_half() {
+        // Uniform perp speeds in (0, 100]: Eq. 10 at cap v keeps
+        // n*v/100 objects scoring (n*v/100)(v-100) ∝ v^2 - 100v,
+        // minimized at v = 50.
+        let speeds: Vec<f64> = (1..=1000).map(|i| i as f64 / 10.0).collect();
+        let d = optimal_tau_from_samples(&speeds, 100).unwrap();
+        assert!(
+            (d.tau - 50.0).abs() < 2.0,
+            "analytic optimum 50, got {}",
+            d.tau
+        );
+    }
+
+    #[test]
+    fn objective_formula() {
+        assert_eq!(objective(10, 5.0, 20.0), -150.0);
+        assert_eq!(objective(0, 5.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn empty_samples() {
+        assert!(optimal_tau_from_samples(&[], 10).is_none());
+    }
+
+    #[test]
+    fn single_bucket_degenerate() {
+        let d = optimal_tau_from_samples(&[1.0, 2.0, 3.0], 1).unwrap();
+        // Only candidate is the max edge: keep everything.
+        assert_eq!(d.retained, 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Rotation frames for DVA coordinate systems.
+//!
+//! A DVA index stores objects in the coordinate system whose x-axis is
+//! the dominant velocity axis (the partition's 1st principal component)
+//! and whose origin is a chosen pivot (the center of the data space).
+//! [`Frame`] performs the forward and inverse transforms for positions,
+//! velocities, and query regions — the "simple matrix multiplication" of
+//! Sections 5.3–5.4.
+
+use crate::point::{Point, Vec2};
+use crate::rect::Rect;
+
+/// An orthonormal rotation frame: `axis` is the world-space direction of
+/// the frame's x-axis (unit length), `pivot` the world-space point that
+/// maps to the frame origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    axis: Vec2,
+    pivot: Point,
+}
+
+impl Frame {
+    /// The identity frame (world coordinates), as used by the outlier
+    /// index.
+    pub fn identity() -> Frame {
+        Frame {
+            axis: Point::new(1.0, 0.0),
+            pivot: Point::ZERO,
+        }
+    }
+
+    /// Creates a frame whose x-axis points along `axis` (normalized
+    /// internally; a zero axis falls back to the world x-axis) rotating
+    /// about `pivot`.
+    pub fn new(axis: Vec2, pivot: Point) -> Frame {
+        Frame {
+            axis: axis.normalized().unwrap_or(Point::new(1.0, 0.0)),
+            pivot,
+        }
+    }
+
+    /// The world-space unit direction of the frame x-axis.
+    #[inline]
+    pub fn axis(&self) -> Vec2 {
+        self.axis
+    }
+
+    /// The pivot (world-space origin of the frame).
+    #[inline]
+    pub fn pivot(&self) -> Point {
+        self.pivot
+    }
+
+    /// True when this is (numerically) the identity frame.
+    pub fn is_identity(&self) -> bool {
+        (self.axis.x - 1.0).abs() < 1e-12
+            && self.axis.y.abs() < 1e-12
+            && self.pivot.x.abs() < 1e-12
+            && self.pivot.y.abs() < 1e-12
+    }
+
+    /// World position → frame position.
+    #[inline]
+    pub fn to_frame(&self, p: Point) -> Point {
+        let d = p - self.pivot;
+        Point::new(
+            d.x * self.axis.x + d.y * self.axis.y,
+            -d.x * self.axis.y + d.y * self.axis.x,
+        )
+    }
+
+    /// Frame position → world position.
+    #[inline]
+    pub fn from_frame(&self, p: Point) -> Point {
+        Point::new(
+            p.x * self.axis.x - p.y * self.axis.y + self.pivot.x,
+            p.x * self.axis.y + p.y * self.axis.x + self.pivot.y,
+        )
+    }
+
+    /// World velocity → frame velocity (rotation only — velocities are
+    /// direction vectors, unaffected by the pivot translation).
+    #[inline]
+    pub fn vel_to_frame(&self, v: Vec2) -> Vec2 {
+        Point::new(
+            v.x * self.axis.x + v.y * self.axis.y,
+            -v.x * self.axis.y + v.y * self.axis.x,
+        )
+    }
+
+    /// Frame velocity → world velocity.
+    #[inline]
+    pub fn vel_from_frame(&self, v: Vec2) -> Vec2 {
+        Point::new(
+            v.x * self.axis.x - v.y * self.axis.y,
+            v.x * self.axis.y + v.y * self.axis.x,
+        )
+    }
+
+    /// The axis-aligned MBR, *in frame coordinates*, of a world-space
+    /// rectangle (Algorithm 3, line 4: the transformed query range is
+    /// bounded by an axis-aligned MBR in the DVA coordinate space).
+    pub fn rect_to_frame_mbr(&self, r: &Rect) -> Rect {
+        if r.is_empty() {
+            return Rect::EMPTY;
+        }
+        let mut out = Rect::EMPTY;
+        for c in r.corners() {
+            out.expand_to_point(self.to_frame(c));
+        }
+        out
+    }
+
+    /// The axis-aligned MBR, *in world coordinates*, of a frame-space
+    /// rectangle (used to size DVA index domains).
+    pub fn rect_from_frame_mbr(&self, r: &Rect) -> Rect {
+        if r.is_empty() {
+            return Rect::EMPTY;
+        }
+        let mut out = Rect::EMPTY;
+        for c in r.corners() {
+            out.expand_to_point(self.from_frame(c));
+        }
+        out
+    }
+
+    /// The frame-space domain: the MBR (in frame coordinates) of the
+    /// world-space data domain, i.e. the coordinate range a DVA index
+    /// must be prepared to store.
+    pub fn domain_in_frame(&self, world_domain: &Rect) -> Rect {
+        self.rect_to_frame_mbr(world_domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_pt(a: Point, b: Point) {
+        assert!(
+            approx_eq(a.x, b.x) && approx_eq(a.y, b.y),
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn identity_frame_is_noop() {
+        let f = Frame::identity();
+        assert!(f.is_identity());
+        let p = Point::new(3.0, -2.0);
+        assert_pt(f.to_frame(p), p);
+        assert_pt(f.from_frame(p), p);
+    }
+
+    #[test]
+    fn rotation_90_degrees() {
+        // Frame x-axis along world +y.
+        let f = Frame::new(Point::new(0.0, 1.0), Point::ZERO);
+        assert_pt(f.to_frame(Point::new(0.0, 5.0)), Point::new(5.0, 0.0));
+        assert_pt(f.to_frame(Point::new(1.0, 0.0)), Point::new(0.0, -1.0));
+        assert_pt(f.from_frame(Point::new(5.0, 0.0)), Point::new(0.0, 5.0));
+    }
+
+    #[test]
+    fn round_trip_with_pivot() {
+        let f = Frame::new(Point::new(1.0, 2.0), Point::new(50.0, 60.0));
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, -3.0),
+            Point::new(-7.5, 42.0),
+        ] {
+            assert_pt(f.from_frame(f.to_frame(p)), p);
+            assert_pt(f.to_frame(f.from_frame(p)), p);
+        }
+    }
+
+    #[test]
+    fn velocity_transform_is_rotation_only() {
+        let f = Frame::new(Point::new(0.0, 1.0), Point::new(100.0, 100.0));
+        // A velocity along the frame axis maps to +x in frame space
+        // regardless of pivot.
+        assert_pt(f.vel_to_frame(Point::new(0.0, 3.0)), Point::new(3.0, 0.0));
+        assert_pt(f.vel_from_frame(Point::new(3.0, 0.0)), Point::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn transforms_preserve_distances() {
+        let f = Frame::new(Point::new(3.0, 4.0), Point::new(10.0, -5.0));
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-4.0, 7.0);
+        assert!(approx_eq(a.dist(b), f.to_frame(a).dist(f.to_frame(b))));
+    }
+
+    #[test]
+    fn rect_to_frame_mbr_bounds_rotated_rect() {
+        // Unit square rotated 45 degrees has a bounding box of diagonal
+        // sqrt(2) per axis.
+        let f = Frame::new(Point::new(1.0, 1.0), Point::ZERO);
+        let r = Rect::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let m = f.rect_to_frame_mbr(&r);
+        let s = std::f64::consts::SQRT_2;
+        assert!(approx_eq(m.width(), s));
+        assert!(approx_eq(m.height(), s));
+        // Every transformed corner is inside the MBR.
+        for c in r.corners() {
+            assert!(m.contains_point(f.to_frame(c)));
+        }
+    }
+
+    #[test]
+    fn frame_mbr_of_empty_is_empty() {
+        let f = Frame::new(Point::new(1.0, 1.0), Point::ZERO);
+        assert!(f.rect_to_frame_mbr(&Rect::EMPTY).is_empty());
+        assert!(f.rect_from_frame_mbr(&Rect::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn domain_in_frame_covers_all_transformed_points() {
+        let f = Frame::new(Point::new(1.0, 2.0), Point::new(50_000.0, 50_000.0));
+        let dom = Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0);
+        let fd = f.domain_in_frame(&dom);
+        // Sample grid points; every transform must land inside.
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = Point::new(i as f64 * 10_000.0, j as f64 * 10_000.0);
+                let fp = f.to_frame(p);
+                assert!(
+                    fd.contains_point(fp) || fd.inflate(1e-6, 1e-6).contains_point(fp),
+                    "{fp:?} outside {fd:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # vp-geom — geometry kernel for moving-object indexing
+//!
+//! This crate provides the geometric primitives shared by every index in
+//! the velocity-partitioning (VP) workspace:
+//!
+//! * [`Point`] / [`Vec2`] — 2-D positions and velocity vectors.
+//! * [`Rect`] — axis-aligned minimum bounding rectangles (MBRs).
+//! * [`Vbr`] — velocity bounding rectangles (per-axis min/max speeds).
+//! * [`Tpbr`] — *time-parameterized* bounding rectangles: an MBR anchored
+//!   at a reference time together with a VBR describing how each face
+//!   moves. This is the node geometry of the TPR/TPR\*-tree and the basis
+//!   of the Tao et al. cost model (sweep-region integrals).
+//! * [`Mat2`] — symmetric 2×2 matrices with closed-form eigen
+//!   decomposition, used by the PCA step of the velocity analyzer.
+//! * [`Frame`] — rotation frames mapping world coordinates into the
+//!   coordinate system of a dominant velocity axis (DVA) and back.
+//! * [`Circle`] / [`MovingRect`] — query shapes (circular range queries
+//!   and moving range queries).
+//!
+//! All computations use `f64`. The crate is `no_std`-agnostic in spirit
+//! (no I/O, no allocation outside of trivial helpers) and is fully
+//! deterministic, which the reproduction harness relies on.
+
+pub mod frame;
+pub mod mat2;
+pub mod point;
+pub mod rect;
+pub mod shapes;
+pub mod tpbr;
+pub mod vbr;
+
+pub use frame::Frame;
+pub use mat2::Mat2;
+pub use point::{Point, Vec2};
+pub use rect::Rect;
+pub use shapes::{Circle, MovingCircle, MovingRect};
+pub use tpbr::Tpbr;
+pub use vbr::Vbr;
+
+/// Comparison tolerance used across the geometry kernel.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within [`EPS`] (scaled by the
+/// magnitude of the operands so large coordinates keep working).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0001));
+        assert!(approx_eq(1e12, 1e12 + 1e-3 * 0.5));
+    }
+}

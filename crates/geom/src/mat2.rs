@@ -1,0 +1,216 @@
+//! Symmetric 2×2 matrices and their eigen decomposition.
+//!
+//! The velocity analyzer runs PCA over 2-D velocity points, which for
+//! two dimensions reduces to the closed-form eigen decomposition of the
+//! 2×2 covariance matrix implemented here — no linear-algebra dependency
+//! is needed.
+
+use crate::point::{Point, Vec2};
+
+/// A symmetric 2×2 matrix `[[a, b], [b, c]]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+/// Result of an eigen decomposition: eigenvalues in descending order
+/// with their (unit) eigenvectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eigen {
+    /// Largest eigenvalue.
+    pub l1: f64,
+    /// Smallest eigenvalue.
+    pub l2: f64,
+    /// Unit eigenvector for `l1` — the 1st principal component when the
+    /// matrix is a covariance matrix.
+    pub v1: Vec2,
+    /// Unit eigenvector for `l2`, orthogonal to `v1`.
+    pub v2: Vec2,
+}
+
+impl Mat2 {
+    /// Creates a symmetric matrix from its three independent entries.
+    #[inline]
+    pub fn symmetric(a: f64, b: f64, c: f64) -> Self {
+        Mat2 { a, b, c }
+    }
+
+    /// The covariance matrix of a set of 2-D points (population
+    /// covariance, i.e. normalized by `n`). Returns the zero matrix for
+    /// an empty slice.
+    pub fn covariance(points: &[Point]) -> Mat2 {
+        let n = points.len();
+        if n == 0 {
+            return Mat2::symmetric(0.0, 0.0, 0.0);
+        }
+        let inv = 1.0 / n as f64;
+        let mut mean = Point::ZERO;
+        for p in points {
+            mean += *p;
+        }
+        mean = mean * inv;
+        let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+        for p in points {
+            let d = *p - mean;
+            sxx += d.x * d.x;
+            sxy += d.x * d.y;
+            syy += d.y * d.y;
+        }
+        Mat2::symmetric(sxx * inv, sxy * inv, syy * inv)
+    }
+
+    /// Second moment about the origin (no mean subtraction). The
+    /// velocity analyzer uses this variant when fitting an *axis through
+    /// the origin* of velocity space: a DVA is a direction, so points at
+    /// `v` and `-v` (traffic flowing both ways along a road) must
+    /// reinforce rather than cancel.
+    pub fn second_moment_origin(points: &[Point]) -> Mat2 {
+        let n = points.len();
+        if n == 0 {
+            return Mat2::symmetric(0.0, 0.0, 0.0);
+        }
+        let inv = 1.0 / n as f64;
+        let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+        for p in points {
+            sxx += p.x * p.x;
+            sxy += p.x * p.y;
+            syy += p.y * p.y;
+        }
+        Mat2::symmetric(sxx * inv, sxy * inv, syy * inv)
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec2) -> Vec2 {
+        Point::new(self.a * v.x + self.b * v.y, self.b * v.x + self.c * v.y)
+    }
+
+    /// Trace.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.a + self.c
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self.a * self.c - self.b * self.b
+    }
+
+    /// Closed-form eigen decomposition of the symmetric matrix.
+    ///
+    /// For the (degenerate) isotropic case — e.g. the covariance of a
+    /// perfectly uniform velocity distribution — any direction is an
+    /// eigenvector; the x-axis is returned by convention.
+    pub fn eigen(&self) -> Eigen {
+        let half_tr = self.trace() * 0.5;
+        // Discriminant of the characteristic polynomial; always >= 0 for
+        // symmetric matrices (clamped against rounding).
+        let disc = (half_tr * half_tr - self.det()).max(0.0).sqrt();
+        let l1 = half_tr + disc;
+        let l2 = half_tr - disc;
+        let v1 = if self.b.abs() > 1e-12 {
+            Point::new(l1 - self.c, self.b)
+                .normalized()
+                .unwrap_or(Point::new(1.0, 0.0))
+        } else if self.a >= self.c {
+            Point::new(1.0, 0.0)
+        } else {
+            Point::new(0.0, 1.0)
+        };
+        // v2 is the orthogonal complement.
+        let v2 = Point::new(-v1.y, v1.x);
+        Eigen { l1, l2, v1, v2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn eigen_diagonal() {
+        let e = Mat2::symmetric(4.0, 0.0, 1.0).eigen();
+        assert!(approx_eq(e.l1, 4.0));
+        assert!(approx_eq(e.l2, 1.0));
+        assert!(approx_eq(e.v1.x.abs(), 1.0));
+        assert!(approx_eq(e.v2.y.abs(), 1.0));
+    }
+
+    #[test]
+    fn eigen_diagonal_swapped() {
+        let e = Mat2::symmetric(1.0, 0.0, 9.0).eigen();
+        assert!(approx_eq(e.l1, 9.0));
+        assert!(approx_eq(e.v1.y.abs(), 1.0));
+    }
+
+    #[test]
+    fn eigen_off_diagonal() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1) and (1,-1).
+        let m = Mat2::symmetric(2.0, 1.0, 2.0);
+        let e = m.eigen();
+        assert!(approx_eq(e.l1, 3.0));
+        assert!(approx_eq(e.l2, 1.0));
+        assert!(approx_eq(e.v1.x.abs(), e.v1.y.abs()));
+        // Verify the eigen equations M v = λ v.
+        let mv1 = m.mul_vec(e.v1);
+        assert!(approx_eq(mv1.x, e.l1 * e.v1.x));
+        assert!(approx_eq(mv1.y, e.l1 * e.v1.y));
+        let mv2 = m.mul_vec(e.v2);
+        assert!(approx_eq(mv2.x, e.l2 * e.v2.x));
+        assert!(approx_eq(mv2.y, e.l2 * e.v2.y));
+    }
+
+    #[test]
+    fn eigen_isotropic_degenerate() {
+        let e = Mat2::symmetric(2.0, 0.0, 2.0).eigen();
+        assert!(approx_eq(e.l1, 2.0));
+        assert!(approx_eq(e.l2, 2.0));
+        assert!(approx_eq(e.v1.norm(), 1.0));
+    }
+
+    #[test]
+    fn covariance_of_line() {
+        // Points on the line y = x have their 1st PC along (1,1).
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64, i as f64)).collect();
+        let e = Mat2::covariance(&pts).eigen();
+        assert!(approx_eq(e.l2, 0.0));
+        assert!(approx_eq(e.v1.x.abs(), e.v1.y.abs()));
+    }
+
+    #[test]
+    fn covariance_empty_and_single() {
+        assert_eq!(
+            Mat2::covariance(&[]),
+            Mat2::symmetric(0.0, 0.0, 0.0)
+        );
+        let c = Mat2::covariance(&[Point::new(3.0, 4.0)]);
+        assert!(approx_eq(c.a, 0.0));
+        assert!(approx_eq(c.c, 0.0));
+    }
+
+    #[test]
+    fn second_moment_handles_bidirectional_traffic() {
+        // Velocities +v and -v along the x-axis: mean-centered covariance
+        // and origin moment agree here, but a *single* direction with all
+        // traffic one way must still produce the axis through the origin.
+        let pts = vec![
+            Point::new(10.0, 0.1),
+            Point::new(-10.0, -0.1),
+            Point::new(9.0, -0.1),
+            Point::new(-9.0, 0.1),
+        ];
+        let e = Mat2::second_moment_origin(&pts).eigen();
+        assert!(e.v1.x.abs() > 0.99, "1st PC should align with x-axis");
+    }
+
+    #[test]
+    fn trace_det() {
+        let m = Mat2::symmetric(2.0, 1.0, 3.0);
+        assert!(approx_eq(m.trace(), 5.0));
+        assert!(approx_eq(m.det(), 5.0));
+    }
+}

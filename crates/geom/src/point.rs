@@ -1,0 +1,259 @@
+//! 2-D points and vectors.
+//!
+//! [`Point`] doubles as a position and, via the [`Vec2`] alias, as a
+//! velocity vector. The velocity analyzer treats object velocities as
+//! points in *velocity space* (the paper calls them "velocity points"),
+//! so sharing one type keeps the code honest about that identification.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D point (or vector) with `f64` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// Alias emphasising vector (velocity / displacement) usage.
+pub type Vec2 = Point;
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ZERO: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product). The
+    /// magnitude equals the area of the parallelogram spanned by the two
+    /// vectors; the sign gives orientation.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (cheaper than [`Point::norm`]).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Returns the unit vector in the direction of `self`, or `None` for
+    /// the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Perpendicular distance from this point (treated as a position in
+    /// velocity space) to the line through the origin with unit direction
+    /// `axis`.
+    ///
+    /// This is the distance measure of the paper's clustering algorithm:
+    /// velocity points are assigned to the DVA whose axis they are
+    /// closest to (Section 5.1).
+    #[inline]
+    pub fn perp_distance_to_axis(self, axis: Vec2) -> f64 {
+        // |self × axis| / |axis|; axis is expected to be unit length but
+        // we normalise defensively so callers cannot misuse the API.
+        let n = axis.norm();
+        if n <= f64::EPSILON {
+            return self.norm();
+        }
+        (self.cross(axis) / n).abs()
+    }
+
+    /// Projection length of this vector onto unit direction `axis`.
+    #[inline]
+    pub fn proj_on_axis(self, axis: Vec2) -> f64 {
+        let n = axis.norm();
+        if n <= f64::EPSILON {
+            return 0.0;
+        }
+        self.dot(axis) / n
+    }
+
+    /// Position of a point moving from `self` with velocity `v` after
+    /// `dt` time units.
+    #[inline]
+    pub fn advance(self, v: Vec2, dt: f64) -> Point {
+        Point::new(self.x + v.x * dt, self.y + v.y * dt)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_cross_norm() {
+        let a = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.norm(), 5.0));
+        assert!(approx_eq(a.norm_sq(), 25.0));
+        let b = Point::new(-4.0, 3.0);
+        assert!(approx_eq(a.dot(b), 0.0));
+        assert!(approx_eq(a.cross(b), 25.0));
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Point::ZERO.normalized().is_none());
+        let u = Point::new(0.0, 2.0).normalized().unwrap();
+        assert!(approx_eq(u.y, 1.0));
+    }
+
+    #[test]
+    fn perp_distance_to_axis_matches_geometry() {
+        // Point (1, 1) relative to the x-axis: perpendicular distance 1.
+        let p = Point::new(1.0, 1.0);
+        assert!(approx_eq(p.perp_distance_to_axis(Point::new(1.0, 0.0)), 1.0));
+        // Distance to the 45-degree axis is 0 for points on the axis.
+        let axis = Point::new(1.0, 1.0);
+        assert!(approx_eq(p.perp_distance_to_axis(axis), 0.0));
+        // Non-unit axes are normalised internally.
+        let q = Point::new(0.0, 3.0);
+        assert!(approx_eq(q.perp_distance_to_axis(Point::new(5.0, 0.0)), 3.0));
+        // Degenerate axis falls back to point norm.
+        assert!(approx_eq(q.perp_distance_to_axis(Point::ZERO), 3.0));
+    }
+
+    #[test]
+    fn projection() {
+        let p = Point::new(3.0, 4.0);
+        assert!(approx_eq(p.proj_on_axis(Point::new(1.0, 0.0)), 3.0));
+        assert!(approx_eq(p.proj_on_axis(Point::new(0.0, -1.0)), -4.0));
+        assert!(approx_eq(p.proj_on_axis(Point::ZERO), 0.0));
+    }
+
+    #[test]
+    fn advance_moves_linearly() {
+        let p = Point::new(1.0, 1.0).advance(Point::new(2.0, -1.0), 3.0);
+        assert_eq!(p, Point::new(7.0, -2.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 3.0);
+        assert_eq!(a.min(b), Point::new(1.0, 3.0));
+        assert_eq!(a.max(b), Point::new(2.0, 5.0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Axis-aligned rectangles (MBRs).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle described by its lower-left and upper-right
+/// corners. Degenerate rectangles (zero extent) are valid; an *empty*
+/// rectangle — one whose `lo` exceeds `hi` — is representable through
+/// [`Rect::EMPTY`] and behaves as the identity for [`Rect::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub lo: Point,
+    pub hi: Point,
+}
+
+impl Rect {
+    /// The empty rectangle: the identity for unions, intersects nothing.
+    pub const EMPTY: Rect = Rect {
+        lo: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        hi: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a rectangle from corner points. Debug-asserts that the
+    /// rectangle is well-formed (`lo <= hi` per axis).
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        debug_assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "malformed Rect: lo={lo:?} hi={hi:?}"
+        );
+        Rect { lo, hi }
+    }
+
+    /// Creates a rectangle from individual bounds.
+    #[inline]
+    pub fn from_bounds(x_lo: f64, y_lo: f64, x_hi: f64, y_hi: f64) -> Self {
+        Rect::new(Point::new(x_lo, y_lo), Point::new(x_hi, y_hi))
+    }
+
+    /// A zero-extent rectangle at `p`.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// A rectangle centered on `c` with half-extents `hx`, `hy`.
+    #[inline]
+    pub fn centered(c: Point, hx: f64, hy: f64) -> Self {
+        Rect::new(
+            Point::new(c.x - hx, c.y - hy),
+            Point::new(c.x + hx, c.y + hy),
+        )
+    }
+
+    /// True when this rectangle is the empty rectangle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Extent along the x-axis (0 for empty rectangles).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.hi.x - self.lo.x).max(0.0)
+    }
+
+    /// Extent along the y-axis (0 for empty rectangles).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.hi.y - self.lo.y).max(0.0)
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half the perimeter; the R\*-tree "margin" metric.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point. Undefined for empty rectangles.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.lo.x + self.hi.x) * 0.5, (self.lo.y + self.hi.y) * 0.5)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// True when the two rectangles share at least one point (closed
+    /// rectangles: touching edges intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// The intersection of two rectangles, or [`Rect::EMPTY`] when they
+    /// do not intersect.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        if !self.intersects(other) {
+            return Rect::EMPTY;
+        }
+        Rect {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// The smallest rectangle containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Grows the rectangle to cover `p`.
+    #[inline]
+    pub fn expand_to_point(&mut self, p: Point) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// The rectangle inflated by `dx`/`dy` on each side (used for the
+    /// transformed-node construction in the Tao cost model, where the
+    /// node MBR is inflated by half the query extent per axis).
+    #[inline]
+    pub fn inflate(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x - dx, self.lo.y - dy),
+            hi: Point::new(self.hi.x + dx, self.hi.y + dy),
+        }
+    }
+
+    /// Overlap area with `other`.
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        self.intersection(other).area()
+    }
+
+    /// Minimum distance from `p` to this rectangle (0 when inside).
+    #[inline]
+    pub fn min_dist_to_point(&self, p: Point) -> f64 {
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        dx.hypot(dy)
+    }
+
+    /// The four corner points in counter-clockwise order starting from
+    /// `lo`.
+    #[inline]
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.lo,
+            Point::new(self.hi.x, self.lo.y),
+            self.hi,
+            Point::new(self.lo.x, self.hi.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::from_bounds(a, b, c, d)
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let rc = r(0.0, 0.0, 4.0, 2.0);
+        assert!(approx_eq(rc.area(), 8.0));
+        assert!(approx_eq(rc.margin(), 6.0));
+        assert_eq!(rc.center(), Point::new(2.0, 1.0));
+        assert!(approx_eq(rc.width(), 4.0));
+        assert!(approx_eq(rc.height(), 2.0));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        assert!(Rect::EMPTY.is_empty());
+        assert!(approx_eq(Rect::EMPTY.area(), 0.0));
+        let rc = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(Rect::EMPTY.union(&rc), rc);
+        assert_eq!(rc.union(&Rect::EMPTY), rc);
+        assert!(!Rect::EMPTY.intersects(&rc));
+        assert!(rc.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r(0.0, 0.0, 10.0, 10.0);
+        let inner = r(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_point(Point::new(10.0, 10.0)));
+        assert!(!outer.contains_point(Point::new(10.0001, 10.0)));
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        let b = r(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), r(2.0, 2.0, 4.0, 4.0));
+        assert!(approx_eq(a.overlap_area(&b), 4.0));
+        assert_eq!(a.union(&b), r(0.0, 0.0, 6.0, 6.0));
+
+        let c = r(5.0, 5.0, 7.0, 7.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+        // Touching edges count as intersecting (closed rectangles).
+        let d = r(4.0, 0.0, 5.0, 4.0);
+        assert!(a.intersects(&d));
+        assert!(approx_eq(a.overlap_area(&d), 0.0));
+    }
+
+    #[test]
+    fn inflate_and_expand() {
+        let a = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.inflate(0.5, 1.0), r(0.5, 0.0, 2.5, 3.0));
+        let mut b = Rect::from_point(Point::new(1.0, 1.0));
+        b.expand_to_point(Point::new(-1.0, 3.0));
+        assert_eq!(b, r(-1.0, 1.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn min_dist() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(approx_eq(a.min_dist_to_point(Point::new(1.0, 1.0)), 0.0));
+        assert!(approx_eq(a.min_dist_to_point(Point::new(5.0, 2.0)), 3.0));
+        assert!(approx_eq(
+            a.min_dist_to_point(Point::new(5.0, 6.0)),
+            5.0
+        ));
+    }
+
+    #[test]
+    fn corners_order() {
+        let a = r(0.0, 0.0, 1.0, 2.0);
+        let c = a.corners();
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[1], Point::new(1.0, 0.0));
+        assert_eq!(c[2], Point::new(1.0, 2.0));
+        assert_eq!(c[3], Point::new(0.0, 2.0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Query shapes: circles and moving rectangles.
+//!
+//! The paper's default workload is the *circular time slice range query*
+//! (Section 6); rectangular and moving range queries are also supported.
+//! These shapes carry the exact-geometry predicates used in the final
+//! filtering step of Algorithm 3 (line 8), after the index has been
+//! probed with a bounding MBR.
+
+use crate::point::{Point, Vec2};
+use crate::rect::Rect;
+
+/// A circle — the range of a circular range query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle. Debug-asserts a non-negative radius.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative radius {radius}");
+        Circle { center, radius }
+    }
+
+    /// True when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// True when the circle and rectangle share at least one point.
+    #[inline]
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        !r.is_empty() && r.min_dist_to_point(self.center) <= self.radius
+    }
+
+    /// The axis-aligned bounding box of the circle.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::centered(self.center, self.radius, self.radius)
+    }
+}
+
+/// A moving circle: the range of a *moving* circular range query whose
+/// center translates linearly with time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingCircle {
+    pub circle: Circle,
+    pub velocity: Vec2,
+    /// Time at which `circle.center` holds.
+    pub ref_time: f64,
+}
+
+impl MovingCircle {
+    /// Creates a moving circle.
+    #[inline]
+    pub fn new(circle: Circle, velocity: Vec2, ref_time: f64) -> Self {
+        MovingCircle {
+            circle,
+            velocity,
+            ref_time,
+        }
+    }
+
+    /// The circle at absolute time `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Circle {
+        Circle::new(
+            self.circle.center.advance(self.velocity, t - self.ref_time),
+            self.circle.radius,
+        )
+    }
+
+    /// True when the moving circle contains the moving point
+    /// `(pos, vel, pos_ref_time)` at time `t`.
+    pub fn contains_moving_point_at(&self, pos: Point, vel: Vec2, pos_ref: f64, t: f64) -> bool {
+        self.at(t).contains_point(pos.advance(vel, t - pos_ref))
+    }
+
+    /// Whether the moving circle ever contains the moving point during
+    /// `[t1, t2]`. The squared distance between the two centers is a
+    /// quadratic in `t`; we test its minimum over the interval against
+    /// the squared radius.
+    pub fn contains_moving_point_during(
+        &self,
+        pos: Point,
+        vel: Vec2,
+        pos_ref: f64,
+        t1: f64,
+        t2: f64,
+    ) -> bool {
+        if t2 < t1 {
+            return false;
+        }
+        // Relative displacement d(t) = (p0 + v_p (t - pos_ref)) - (c0 + v_c (t - ref_time))
+        //                           = base + dv * t
+        let base = Point::new(
+            pos.x - vel.x * pos_ref - (self.circle.center.x - self.velocity.x * self.ref_time),
+            pos.y - vel.y * pos_ref - (self.circle.center.y - self.velocity.y * self.ref_time),
+        );
+        let dv = vel - self.velocity;
+        let r2 = self.circle.radius * self.circle.radius;
+        let dist2 = |t: f64| {
+            let d = base + dv * t;
+            d.norm_sq()
+        };
+        // Quadratic a t^2 + b t + c with a = |dv|^2 >= 0; minimum at
+        // t* = -b / (2a) when a > 0.
+        let a = dv.norm_sq();
+        if a <= 1e-18 {
+            return dist2(t1) <= r2;
+        }
+        let b = 2.0 * base.dot(dv);
+        let tstar = (-b / (2.0 * a)).clamp(t1, t2);
+        dist2(tstar) <= r2 || dist2(t1) <= r2 || dist2(t2) <= r2
+    }
+}
+
+/// A moving rectangle: the range of a moving rectangular query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingRect {
+    pub rect: Rect,
+    pub velocity: Vec2,
+    /// Time at which `rect` holds.
+    pub ref_time: f64,
+}
+
+impl MovingRect {
+    /// Creates a moving rectangle.
+    #[inline]
+    pub fn new(rect: Rect, velocity: Vec2, ref_time: f64) -> Self {
+        MovingRect {
+            rect,
+            velocity,
+            ref_time,
+        }
+    }
+
+    /// A stationary rectangle as a degenerate moving rectangle.
+    #[inline]
+    pub fn stationary(rect: Rect, ref_time: f64) -> Self {
+        MovingRect::new(rect, Point::ZERO, ref_time)
+    }
+
+    /// The rectangle at absolute time `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Rect {
+        let dt = t - self.ref_time;
+        let d = self.velocity * dt;
+        Rect {
+            lo: self.rect.lo + d,
+            hi: self.rect.hi + d,
+        }
+    }
+
+    /// True when the moving rectangle contains the moving point at `t`.
+    pub fn contains_moving_point_at(&self, pos: Point, vel: Vec2, pos_ref: f64, t: f64) -> bool {
+        self.at(t).contains_point(pos.advance(vel, t - pos_ref))
+    }
+
+    /// Whether the moving rectangle ever contains the moving point over
+    /// `[t1, t2]`. Per-axis the containment constraints are linear in
+    /// `t`, so the feasible set is an interval.
+    pub fn contains_moving_point_during(
+        &self,
+        pos: Point,
+        vel: Vec2,
+        pos_ref: f64,
+        t1: f64,
+        t2: f64,
+    ) -> bool {
+        if t2 < t1 {
+            return false;
+        }
+        let mut lo = t1;
+        let mut hi = t2;
+        // Point coordinate: p0 + vp (t - pos_ref); rect faces: f0 + vq (t - ref).
+        let mut constrain = |p0: f64, vp: f64, f0: f64, vq: f64, point_below: bool| -> bool {
+            // point_below: p(t) >= f(t)  <=>  (f - p)(t) <= 0.
+            let (c, m) = if point_below {
+                (
+                    (f0 - vq * self.ref_time) - (p0 - vp * pos_ref),
+                    vq - vp,
+                )
+            } else {
+                (
+                    (p0 - vp * pos_ref) - (f0 - vq * self.ref_time),
+                    vp - vq,
+                )
+            };
+            const EPS: f64 = 1e-12;
+            if m.abs() <= EPS {
+                c <= EPS
+            } else if m > 0.0 {
+                hi = hi.min(-c / m);
+                true
+            } else {
+                lo = lo.max(-c / m);
+                true
+            }
+        };
+        let ok = constrain(pos.x, vel.x, self.rect.lo.x, self.velocity.x, true)
+            && constrain(pos.x, vel.x, self.rect.hi.x, self.velocity.x, false)
+            && constrain(pos.y, vel.y, self.rect.lo.y, self.velocity.y, true)
+            && constrain(pos.y, vel.y, self.rect.hi.y, self.velocity.y, false);
+        ok && hi >= lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_point_and_rect() {
+        let c = Circle::new(Point::new(0.0, 0.0), 5.0);
+        assert!(c.contains_point(Point::new(3.0, 4.0)));
+        assert!(!c.contains_point(Point::new(3.1, 4.0)));
+        assert!(c.intersects_rect(&Rect::from_bounds(4.0, 0.0, 10.0, 1.0)));
+        assert!(!c.intersects_rect(&Rect::from_bounds(4.0, 4.0, 10.0, 10.0)));
+        assert_eq!(c.bounding_rect(), Rect::from_bounds(-5.0, -5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn circle_rect_corner_case() {
+        let c = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Corner at distance sqrt(2)*0.8 < 1: intersects.
+        assert!(c.intersects_rect(&Rect::from_bounds(0.56, 0.56, 2.0, 2.0)));
+        // Corner at distance sqrt(2)*0.8 > 1 when corner = (0.8, 0.8).
+        assert!(!c.intersects_rect(&Rect::from_bounds(0.8, 0.8, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn moving_circle_timeslice() {
+        let mc = MovingCircle::new(
+            Circle::new(Point::new(0.0, 0.0), 1.0),
+            Point::new(1.0, 0.0),
+            0.0,
+        );
+        assert_eq!(mc.at(3.0).center, Point::new(3.0, 0.0));
+        // Stationary point at (5, 0): circle reaches it at t in [4, 6].
+        let p = Point::new(5.0, 0.0);
+        assert!(!mc.contains_moving_point_at(p, Point::ZERO, 0.0, 3.0));
+        assert!(mc.contains_moving_point_at(p, Point::ZERO, 0.0, 5.0));
+        assert!(mc.contains_moving_point_during(p, Point::ZERO, 0.0, 0.0, 10.0));
+        assert!(!mc.contains_moving_point_during(p, Point::ZERO, 0.0, 0.0, 3.5));
+    }
+
+    #[test]
+    fn moving_circle_closest_approach_inside_interval() {
+        // Point crosses near the circle: closest approach at t=5 with
+        // distance 0.5 < radius 1.
+        let mc = MovingCircle::new(Circle::new(Point::new(0.0, 0.5), 1.0), Point::ZERO, 0.0);
+        let pos = Point::new(-5.0, 0.0);
+        let vel = Point::new(1.0, 0.0);
+        assert!(mc.contains_moving_point_during(pos, vel, 0.0, 0.0, 10.0));
+        // Outside the pass window nothing matches.
+        assert!(!mc.contains_moving_point_during(pos, vel, 0.0, 0.0, 3.0));
+    }
+
+    #[test]
+    fn moving_rect_timeslice_and_interval() {
+        let mr = MovingRect::new(
+            Rect::from_bounds(0.0, 0.0, 2.0, 2.0),
+            Point::new(1.0, 0.0),
+            0.0,
+        );
+        assert_eq!(mr.at(2.0), Rect::from_bounds(2.0, 0.0, 4.0, 2.0));
+        let p = Point::new(6.0, 1.0);
+        // Rect reaches x=6 at t=4 (leading face), leaves at t=6 (trailing).
+        assert!(mr.contains_moving_point_at(p, Point::ZERO, 0.0, 5.0));
+        assert!(!mr.contains_moving_point_at(p, Point::ZERO, 0.0, 3.0));
+        assert!(mr.contains_moving_point_during(p, Point::ZERO, 0.0, 0.0, 10.0));
+        assert!(!mr.contains_moving_point_during(p, Point::ZERO, 0.0, 0.0, 3.9));
+    }
+
+    #[test]
+    fn moving_rect_point_moving_away_never_contained() {
+        let mr = MovingRect::stationary(Rect::from_bounds(0.0, 0.0, 1.0, 1.0), 0.0);
+        // Point starts right of the rect moving further right.
+        assert!(!mr.contains_moving_point_during(
+            Point::new(2.0, 0.5),
+            Point::new(1.0, 0.0),
+            0.0,
+            0.0,
+            100.0
+        ));
+    }
+
+    #[test]
+    fn moving_rect_point_with_nonzero_ref_times() {
+        let mr = MovingRect::new(
+            Rect::from_bounds(0.0, 0.0, 1.0, 1.0),
+            Point::new(0.0, 0.0),
+            5.0,
+        );
+        // Point anchored at t=10 at x=3 moving left at 1: at t=12 it is at
+        // x=1 -> inside.
+        let pos = Point::new(3.0, 0.5);
+        let vel = Point::new(-1.0, 0.0);
+        assert!(mr.contains_moving_point_at(pos, vel, 10.0, 12.0));
+        assert!(!mr.contains_moving_point_at(pos, vel, 10.0, 10.0));
+        assert!(mr.contains_moving_point_during(pos, vel, 10.0, 10.0, 20.0));
+    }
+}

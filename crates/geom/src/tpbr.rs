@@ -1,0 +1,575 @@
+//! Time-parameterized bounding rectangles (TPBRs).
+//!
+//! A [`Tpbr`] is the geometry of a TPR/TPR\*-tree node: an MBR anchored
+//! at a reference time plus a [`Vbr`] giving the velocity of each face.
+//! The rectangle covered at time `t >= ref_time` is the MBR with each
+//! face moved by its velocity times the elapsed time.
+//!
+//! This module also implements the analytic pieces of the Tao et al.
+//! cost model used throughout the paper:
+//!
+//! * [`Tpbr::sweep_volume`] — the volume of the region swept by the
+//!   (possibly shrinking) rectangle over a time interval, i.e.
+//!   `∫ area(t) dt`, with extents clamped at zero. Equation (1) of the
+//!   paper sums this quantity over all nodes to estimate query cost.
+//! * [`Tpbr::transformed_wrt`] — the transformed node `N'` of a node
+//!   w.r.t. a moving query `Q` (Section 3.1, Figure 3): the MBR is
+//!   inflated by half the query extent per axis and the VBR becomes the
+//!   relative velocity bound.
+//! * [`Tpbr::intersection_interval`] — the exact time interval during
+//!   which two moving rectangles intersect, used by interval and moving
+//!   range queries.
+
+use crate::point::{Point, Vec2};
+use crate::rect::Rect;
+use crate::vbr::Vbr;
+
+/// A time-parameterized bounding rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tpbr {
+    /// Bounds at `ref_time`.
+    pub rect: Rect,
+    /// Face velocities.
+    pub vbr: Vbr,
+    /// Reference time at which `rect` holds.
+    pub ref_time: f64,
+}
+
+impl Tpbr {
+    /// Creates a TPBR from its parts.
+    #[inline]
+    pub fn new(rect: Rect, vbr: Vbr, ref_time: f64) -> Self {
+        Tpbr {
+            rect,
+            vbr,
+            ref_time,
+        }
+    }
+
+    /// The TPBR of a single moving point.
+    #[inline]
+    pub fn from_moving_point(pos: Point, vel: Vec2, ref_time: f64) -> Self {
+        Tpbr {
+            rect: Rect::from_point(pos),
+            vbr: Vbr::from_velocity(vel),
+            ref_time,
+        }
+    }
+
+    /// The identity for [`Tpbr::union`].
+    #[inline]
+    pub fn empty(ref_time: f64) -> Self {
+        Tpbr {
+            rect: Rect::EMPTY,
+            vbr: Vbr::EMPTY,
+            ref_time,
+        }
+    }
+
+    /// True when this TPBR bounds nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rect.is_empty()
+    }
+
+    /// The (conservative) rectangle covered at absolute time `t`.
+    ///
+    /// For `t >= ref_time` faces move with their VBR velocities. Extents
+    /// are clamped at zero: a transformed TPBR (relative to a query) may
+    /// legitimately shrink through zero, at which point it covers a
+    /// degenerate rectangle at the collapse point.
+    pub fn rect_at(&self, t: f64) -> Rect {
+        let dt = t - self.ref_time;
+        let mut lo = Point::new(
+            self.rect.lo.x + self.vbr.lo.x * dt,
+            self.rect.lo.y + self.vbr.lo.y * dt,
+        );
+        let mut hi = Point::new(
+            self.rect.hi.x + self.vbr.hi.x * dt,
+            self.rect.hi.y + self.vbr.hi.y * dt,
+        );
+        if lo.x > hi.x {
+            let m = (lo.x + hi.x) * 0.5;
+            lo.x = m;
+            hi.x = m;
+        }
+        if lo.y > hi.y {
+            let m = (lo.y + hi.y) * 0.5;
+            lo.y = m;
+            hi.y = m;
+        }
+        Rect { lo, hi }
+    }
+
+    /// Re-anchors the TPBR at a later reference time. The set of points
+    /// covered at any `t >= new_ref` is unchanged (faces keep moving with
+    /// the same velocities).
+    pub fn rebase(&self, new_ref: f64) -> Tpbr {
+        Tpbr {
+            rect: self.rect_at(new_ref),
+            vbr: self.vbr,
+            ref_time: new_ref,
+        }
+    }
+
+    /// The tightest TPBR (anchored at `self.ref_time`) covering both
+    /// operands at all times `t >= ref_time`.
+    ///
+    /// Both operands are first rebased to a common reference time; the
+    /// MBRs and VBRs are then unioned independently, which is exactly the
+    /// TPR-tree bounding rule.
+    pub fn union(&self, other: &Tpbr) -> Tpbr {
+        if self.is_empty() {
+            let mut o = *other;
+            if !crate::approx_eq(o.ref_time, self.ref_time) && !o.is_empty() {
+                o = o.rebase(self.ref_time.max(o.ref_time));
+            }
+            return o;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let t0 = self.ref_time.max(other.ref_time);
+        let a = self.rebase(t0);
+        let b = other.rebase(t0);
+        Tpbr {
+            rect: a.rect.union(&b.rect),
+            vbr: a.vbr.union(&b.vbr),
+            ref_time: t0,
+        }
+    }
+
+    /// Grows the TPBR in place to cover a moving point given at
+    /// `self.ref_time`.
+    pub fn expand_to_moving_point(&mut self, pos: Point, vel: Vec2) {
+        self.rect.expand_to_point(pos);
+        self.vbr.expand_to_velocity(vel);
+    }
+
+    /// Extent along x at time `t` (clamped at zero).
+    #[inline]
+    pub fn extent_x_at(&self, t: f64) -> f64 {
+        let dt = t - self.ref_time;
+        (self.rect.width() + self.vbr.growth_x() * dt).max(0.0)
+    }
+
+    /// Extent along y at time `t` (clamped at zero).
+    #[inline]
+    pub fn extent_y_at(&self, t: f64) -> f64 {
+        let dt = t - self.ref_time;
+        (self.rect.height() + self.vbr.growth_y() * dt).max(0.0)
+    }
+
+    /// Area at time `t`.
+    #[inline]
+    pub fn area_at(&self, t: f64) -> f64 {
+        self.extent_x_at(t) * self.extent_y_at(t)
+    }
+
+    /// The transformed node `N'` w.r.t. a moving query `q` (Section 3.1):
+    /// the MBR is inflated by `|QRi|/2` per axis and the VBR becomes
+    /// `<NVi- - QVi+, NVi+ - QVi->`. Testing whether `N` intersects `Q`
+    /// over a time interval is equivalent to testing whether `N'`
+    /// contains the (moving) center of `Q`.
+    pub fn transformed_wrt(&self, q: &Tpbr) -> Tpbr {
+        let base = self.rebase(self.ref_time.max(q.ref_time));
+        let qr = q.rect_at(base.ref_time);
+        Tpbr {
+            rect: base.rect.inflate(qr.width() * 0.5, qr.height() * 0.5),
+            vbr: base.vbr.transform_wrt(&q.vbr),
+            ref_time: base.ref_time,
+        }
+    }
+
+    /// `∫_{t1}^{t2} area(t) dt` — the sweep volume of the rectangle over
+    /// an absolute time interval, with per-axis extents clamped at zero.
+    ///
+    /// Summed over all tree nodes (after transforming w.r.t. the query)
+    /// this is the expected number of node accesses of Equation (1); the
+    /// TPR\*-tree insertion algorithm minimizes increases of this
+    /// quantity over the tree horizon.
+    pub fn sweep_volume(&self, t1: f64, t2: f64) -> f64 {
+        if self.is_empty() || t2 <= t1 {
+            return 0.0;
+        }
+        // Work in local time s = t - ref_time.
+        let s1 = t1 - self.ref_time;
+        let s2 = t2 - self.ref_time;
+        let ex0 = self.rect.width();
+        let ey0 = self.rect.height();
+        let rx = self.vbr.growth_x();
+        let ry = self.vbr.growth_y();
+        // Positivity windows of each (linear) extent.
+        let (ax, bx) = positive_window(ex0, rx, s1, s2);
+        let (ay, by) = positive_window(ey0, ry, s1, s2);
+        let a = ax.max(ay);
+        let b = bx.min(by);
+        if b <= a {
+            return 0.0;
+        }
+        // ∫ (ex0 + rx s)(ey0 + ry s) ds over [a, b].
+        let c0 = ex0 * ey0;
+        let c1 = ex0 * ry + ey0 * rx;
+        let c2 = rx * ry;
+        let f = |s: f64| c0 * s + c1 * s * s / 2.0 + c2 * s * s * s / 3.0;
+        f(b) - f(a)
+    }
+
+    /// True when the TPBR covers point `p` at time `t`.
+    #[inline]
+    pub fn contains_point_at(&self, p: Point, t: f64) -> bool {
+        self.rect_at(t).contains_point(p)
+    }
+
+    /// True when this TPBR intersects `other` at time `t`.
+    #[inline]
+    pub fn intersects_at(&self, other: &Tpbr, t: f64) -> bool {
+        self.rect_at(t).intersects(&other.rect_at(t))
+    }
+
+    /// The sub-interval of `[t1, t2]` during which the two moving
+    /// rectangles intersect, or `None` when they never do.
+    ///
+    /// Each face-ordering constraint (`lo_a(t) <= hi_b(t)` etc.) is
+    /// linear in `t`, so the answer is the intersection of four
+    /// half-lines with `[t1, t2]`.
+    pub fn intersection_interval(&self, other: &Tpbr, t1: f64, t2: f64) -> Option<(f64, f64)> {
+        if self.is_empty() || other.is_empty() || t2 < t1 {
+            return None;
+        }
+        let mut lo = t1;
+        let mut hi = t2;
+        // lo_a(t) <= hi_b(t): (a.lo + a.vlo (t - ra)) - (b.hi + b.vhi (t - rb)) <= 0
+        let mut apply = |pa: f64, va: f64, ra: f64, pb: f64, vb: f64, rb: f64| -> bool {
+            // g(t) = (pa - va*ra) - (pb - vb*rb) + (va - vb) t <= 0
+            let c = (pa - va * ra) - (pb - vb * rb);
+            let m = va - vb;
+            constrain_le_zero(c, m, &mut lo, &mut hi)
+        };
+        let (a, b) = (self, other);
+        let ok = apply(
+            a.rect.lo.x,
+            a.vbr.lo.x,
+            a.ref_time,
+            b.rect.hi.x,
+            b.vbr.hi.x,
+            b.ref_time,
+        ) && apply(
+            b.rect.lo.x,
+            b.vbr.lo.x,
+            b.ref_time,
+            a.rect.hi.x,
+            a.vbr.hi.x,
+            a.ref_time,
+        ) && apply(
+            a.rect.lo.y,
+            a.vbr.lo.y,
+            a.ref_time,
+            b.rect.hi.y,
+            b.vbr.hi.y,
+            b.ref_time,
+        ) && apply(
+            b.rect.lo.y,
+            b.vbr.lo.y,
+            b.ref_time,
+            a.rect.hi.y,
+            a.vbr.hi.y,
+            a.ref_time,
+        );
+        if ok && hi >= lo {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: true when the two moving rectangles intersect at any
+    /// point of `[t1, t2]`.
+    #[inline]
+    pub fn intersects_during(&self, other: &Tpbr, t1: f64, t2: f64) -> bool {
+        self.intersection_interval(other, t1, t2).is_some()
+    }
+}
+
+/// Clips `[lo, hi]` to `{t : c + m t <= 0}`. Returns `false` when the
+/// constraint is globally infeasible.
+#[inline]
+fn constrain_le_zero(c: f64, m: f64, lo: &mut f64, hi: &mut f64) -> bool {
+    const EPS: f64 = 1e-12;
+    if m.abs() <= EPS {
+        // Constant constraint.
+        c <= EPS
+    } else if m > 0.0 {
+        // t <= -c/m
+        *hi = hi.min(-c / m);
+        true
+    } else {
+        // t >= -c/m
+        *lo = lo.max(-c / m);
+        true
+    }
+}
+
+/// The sub-interval of `[s1, s2]` where the linear extent `e0 + r s` is
+/// positive. Returns an empty interval `(s2, s2)` when never positive.
+#[inline]
+fn positive_window(e0: f64, r: f64, s1: f64, s2: f64) -> (f64, f64) {
+    const EPS: f64 = 1e-12;
+    if r.abs() <= EPS {
+        if e0 > 0.0 {
+            (s1, s2)
+        } else {
+            (s2, s2)
+        }
+    } else if r > 0.0 {
+        // Positive for s > -e0/r.
+        ((-e0 / r).max(s1), s2)
+    } else {
+        // Positive for s < -e0/r.
+        (s1, (-e0 / r).min(s2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn tp(x0: f64, y0: f64, x1: f64, y1: f64, vbr: Vbr, t: f64) -> Tpbr {
+        Tpbr::new(Rect::from_bounds(x0, y0, x1, y1), vbr, t)
+    }
+
+    #[test]
+    fn rect_at_grows_with_vbr() {
+        let n = tp(
+            0.0,
+            0.0,
+            2.0,
+            2.0,
+            Vbr::new(Point::new(-1.0, -2.0), Point::new(1.0, 0.0)),
+            0.0,
+        );
+        let r = n.rect_at(2.0);
+        assert_eq!(r, Rect::from_bounds(-2.0, -4.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn rect_at_collapses_when_shrinking() {
+        // Faces approach each other at rate 2 from extent 2: collapse at t=1.
+        let n = tp(
+            0.0,
+            0.0,
+            2.0,
+            2.0,
+            Vbr::new(Point::new(1.0, 0.0), Point::new(-1.0, 0.0)),
+            0.0,
+        );
+        let r = n.rect_at(3.0);
+        assert!(approx_eq(r.width(), 0.0));
+        assert!(approx_eq(r.height(), 2.0));
+    }
+
+    #[test]
+    fn rebase_preserves_future_rects() {
+        let n = tp(
+            0.0,
+            0.0,
+            2.0,
+            2.0,
+            Vbr::new(Point::new(-1.0, 0.5), Point::new(2.0, 1.0)),
+            1.0,
+        );
+        let rb = n.rebase(3.0);
+        for t in [3.0, 4.5, 10.0] {
+            assert_eq!(n.rect_at(t), rb.rect_at(t));
+        }
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Tpbr::from_moving_point(Point::new(0.0, 0.0), Point::new(1.0, 0.0), 0.0);
+        let b = Tpbr::from_moving_point(Point::new(4.0, 4.0), Point::new(-1.0, -1.0), 0.0);
+        let u = a.union(&b);
+        for t in [0.0, 1.0, 2.0, 5.0] {
+            assert!(u
+                .rect_at(t)
+                .contains_point(Point::new(0.0, 0.0).advance(Point::new(1.0, 0.0), t)));
+            assert!(u
+                .rect_at(t)
+                .contains_point(Point::new(4.0, 4.0).advance(Point::new(-1.0, -1.0), t)));
+        }
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = Tpbr::from_moving_point(Point::new(1.0, 1.0), Point::new(0.0, 0.0), 0.0);
+        let e = Tpbr::empty(0.0);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+    }
+
+    #[test]
+    fn sweep_volume_static_rect() {
+        // Static 2x3 rect over 5 time units: volume = 30.
+        let n = tp(0.0, 0.0, 2.0, 3.0, Vbr::ZERO, 0.0);
+        assert!(approx_eq(n.sweep_volume(0.0, 5.0), 30.0));
+    }
+
+    #[test]
+    fn sweep_volume_matches_paper_equation_4() {
+        // Equation (4): a d x d node growing at speed v on all faces has
+        // volume d^2 th + 2 d v th^2 + (4/3) v^2 th^3.
+        let d = 2.0;
+        let v = 0.5;
+        let th = 3.0;
+        let n = tp(
+            0.0,
+            0.0,
+            d,
+            d,
+            Vbr::new(Point::new(-v, -v), Point::new(v, v)),
+            0.0,
+        );
+        let expect = d * d * th + 2.0 * d * v * th * th + 4.0 / 3.0 * v * v * th * th * th;
+        assert!(approx_eq(n.sweep_volume(0.0, th), expect));
+    }
+
+    #[test]
+    fn sweep_volume_clamps_collapsed_axis() {
+        // Extent 2 shrinking at rate 2 per axis: positive only until t=1.
+        let n = tp(
+            0.0,
+            0.0,
+            2.0,
+            2.0,
+            Vbr::new(Point::new(1.0, 1.0), Point::new(-1.0, -1.0)),
+            0.0,
+        );
+        // ∫_0^1 (2-2t)^2 dt = 4/3, and nothing afterwards.
+        assert!(approx_eq(n.sweep_volume(0.0, 5.0), 4.0 / 3.0));
+    }
+
+    #[test]
+    fn sweep_volume_with_offset_interval() {
+        let n = tp(
+            0.0,
+            0.0,
+            1.0,
+            1.0,
+            Vbr::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            0.0,
+        );
+        // area(t) = (1 + t) * 1 ; ∫_1^3 = [t + t^2/2] = (3+4.5)-(1+0.5) = 6.
+        assert!(approx_eq(n.sweep_volume(1.0, 3.0), 6.0));
+    }
+
+    #[test]
+    fn transformed_wrt_inflates_and_relativizes() {
+        let n = tp(2.0, 2.0, 4.0, 4.0, Vbr::ZERO, 0.0);
+        let q = Tpbr::new(
+            Rect::from_bounds(0.0, 0.0, 2.0, 1.0),
+            Vbr::from_velocity(Point::new(1.0, 0.0)),
+            0.0,
+        );
+        let t = n.transformed_wrt(&q);
+        assert_eq!(t.rect, Rect::from_bounds(1.0, 1.5, 5.0, 4.5));
+        // Node static, query moving +1 in x: relative velocity -1 on both faces.
+        assert_eq!(t.vbr.lo, Point::new(-1.0, 0.0));
+        assert_eq!(t.vbr.hi, Point::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn transformed_node_equivalence_with_direct_intersection() {
+        // N intersects Q at time t iff N' contains Q's center at t.
+        let n = tp(
+            0.0,
+            0.0,
+            2.0,
+            2.0,
+            Vbr::new(Point::new(0.2, -0.1), Point::new(0.5, 0.3)),
+            0.0,
+        );
+        let q = Tpbr::new(
+            Rect::from_bounds(5.0, 1.0, 7.0, 2.0),
+            Vbr::from_velocity(Point::new(-1.0, 0.0)),
+            0.0,
+        );
+        let np = n.transformed_wrt(&q);
+        // In the transformed view the query collapses to its *static*
+        // center point: N' absorbs the query's motion in its VBR.
+        let qc0 = q.rect.center();
+        for i in 0..60 {
+            let t = i as f64 * 0.25;
+            let direct = n.intersects_at(&q, t);
+            let via_transform = np.contains_point_at(qc0, t);
+            assert_eq!(direct, via_transform, "mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn intersection_interval_head_on() {
+        // Unit squares approaching along x: gap 3 closes at rate 1.
+        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
+        let b = tp(4.0, 0.0, 5.0, 1.0, Vbr::ZERO, 0.0);
+        // Leading face reaches b at t=3; trailing face exits at t=5.
+        let (lo, hi) = a.intersection_interval(&b, 0.0, 100.0).unwrap();
+        assert!(approx_eq(lo, 3.0));
+        assert!(approx_eq(hi, 5.0));
+        // Constrained window that ends before contact:
+        assert!(a.intersection_interval(&b, 0.0, 2.5).is_none());
+    }
+
+    #[test]
+    fn intersection_interval_flyby() {
+        // b passes over a: contact while x-overlap holds.
+        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::ZERO, 0.0);
+        let b = tp(
+            2.0,
+            0.0,
+            3.0,
+            1.0,
+            Vbr::from_velocity(Point::new(-1.0, 0.0)),
+            0.0,
+        );
+        // b.lo(t) = 2 - t <= 1 from t=1; b.hi(t) = 3 - t >= 0 until t=3.
+        let (lo, hi) = a.intersection_interval(&b, 0.0, 10.0).unwrap();
+        assert!(approx_eq(lo, 1.0));
+        assert!(approx_eq(hi, 3.0));
+    }
+
+    #[test]
+    fn intersection_interval_differing_ref_times() {
+        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::ZERO, 0.0);
+        // Same geometry as the flyby test but b anchored at t=2 (already
+        // advanced to x in [0,1] at its own reference time).
+        let b = tp(
+            0.0,
+            0.0,
+            1.0,
+            1.0,
+            Vbr::from_velocity(Point::new(-1.0, 0.0)),
+            2.0,
+        );
+        let (lo, hi) = a.intersection_interval(&b, 0.0, 10.0).unwrap();
+        // b's faces at time t are [(0 - (t-2)), (1 - (t-2))]; overlap with
+        // [0,1] holds while t-2 in [-1, 1] i.e. t in [1, 3].
+        assert!(approx_eq(lo, 1.0));
+        assert!(approx_eq(hi, 3.0));
+    }
+
+    #[test]
+    fn never_intersecting_parallel_motion() {
+        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
+        let b = tp(0.0, 3.0, 1.0, 4.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
+        assert!(a.intersection_interval(&b, 0.0, 1000.0).is_none());
+    }
+
+    #[test]
+    fn expand_to_moving_point() {
+        let mut n = Tpbr::from_moving_point(Point::new(1.0, 1.0), Point::new(0.0, 1.0), 0.0);
+        n.expand_to_moving_point(Point::new(3.0, 0.0), Point::new(-1.0, 2.0));
+        assert_eq!(n.rect, Rect::from_bounds(1.0, 0.0, 3.0, 1.0));
+        assert_eq!(n.vbr.lo, Point::new(-1.0, 1.0));
+        assert_eq!(n.vbr.hi, Point::new(0.0, 2.0));
+    }
+}

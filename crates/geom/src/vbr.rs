@@ -1,0 +1,167 @@
+//! Velocity bounding rectangles (VBRs).
+
+use crate::point::Vec2;
+
+/// A velocity bounding rectangle: per-axis minimum and maximum
+/// velocities of the objects grouped under a TPR-tree node.
+///
+/// `lo.x` (`NV 1-` in the paper's notation) is the speed at which the
+/// node's lower x-face moves, `hi.x` (`NV 1+`) the upper x-face, and
+/// likewise for y. A negative `lo` component means the lower face is
+/// moving towards the negative axis direction, i.e. the node is growing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vbr {
+    pub lo: Vec2,
+    pub hi: Vec2,
+}
+
+impl Vbr {
+    /// The VBR of a stationary object: all faces at rest.
+    pub const ZERO: Vbr = Vbr {
+        lo: Vec2 { x: 0.0, y: 0.0 },
+        hi: Vec2 { x: 0.0, y: 0.0 },
+    };
+
+    /// The identity for [`Vbr::union`]: every face velocity dominated by
+    /// any real velocity.
+    pub const EMPTY: Vbr = Vbr {
+        lo: Vec2 {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        hi: Vec2 {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a VBR from face velocities.
+    #[inline]
+    pub fn new(lo: Vec2, hi: Vec2) -> Self {
+        Vbr { lo, hi }
+    }
+
+    /// The VBR of a single object moving with velocity `v`: all four
+    /// faces move with the object.
+    #[inline]
+    pub fn from_velocity(v: Vec2) -> Self {
+        Vbr { lo: v, hi: v }
+    }
+
+    /// True when this is the [`Vbr::EMPTY`] identity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// The tightest VBR dominating both operands: lower faces take the
+    /// minimum (fastest leftward/downward) velocity, upper faces the
+    /// maximum.
+    #[inline]
+    pub fn union(&self, other: &Vbr) -> Vbr {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Vbr {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Expands the VBR to dominate a point velocity.
+    #[inline]
+    pub fn expand_to_velocity(&mut self, v: Vec2) {
+        *self = self.union(&Vbr::from_velocity(v));
+    }
+
+    /// Rate of extent growth along x: `hi.x - lo.x`. Non-negative for
+    /// any VBR produced by unions of object velocities, but transformed
+    /// VBRs (relative to a query, Section 3.1) may shrink.
+    #[inline]
+    pub fn growth_x(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Rate of extent growth along y.
+    #[inline]
+    pub fn growth_y(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// The transformed VBR of a node w.r.t. a moving query `q` (Tao et
+    /// al. cost model): `<NV i- - QV i+, NV i+ - QV i->`.
+    #[inline]
+    pub fn transform_wrt(&self, q: &Vbr) -> Vbr {
+        Vbr {
+            lo: Vec2::new(self.lo.x - q.hi.x, self.lo.y - q.hi.y),
+            hi: Vec2::new(self.hi.x - q.lo.x, self.hi.y - q.lo.y),
+        }
+    }
+
+    /// Largest absolute face speed, any axis (used for diagnostics and
+    /// expansion-rate figures).
+    #[inline]
+    pub fn max_abs_speed(&self) -> f64 {
+        self.lo
+            .x
+            .abs()
+            .max(self.hi.x.abs())
+            .max(self.lo.y.abs())
+            .max(self.hi.y.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::point::Point;
+
+    #[test]
+    fn union_dominates() {
+        let a = Vbr::from_velocity(Point::new(2.0, -1.0));
+        let b = Vbr::from_velocity(Point::new(-1.0, 3.0));
+        let u = a.union(&b);
+        assert_eq!(u.lo, Point::new(-1.0, -1.0));
+        assert_eq!(u.hi, Point::new(2.0, 3.0));
+        assert!(approx_eq(u.growth_x(), 3.0));
+        assert!(approx_eq(u.growth_y(), 4.0));
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let a = Vbr::from_velocity(Point::new(2.0, -1.0));
+        assert_eq!(Vbr::EMPTY.union(&a), a);
+        assert_eq!(a.union(&Vbr::EMPTY), a);
+        assert!(Vbr::EMPTY.is_empty());
+        assert!(!Vbr::ZERO.is_empty());
+    }
+
+    #[test]
+    fn transform_matches_paper_definition() {
+        // Node faces move at [-1, 2] x, [0, 1] y; query at [1, 1] x, [-1, 0] y.
+        let n = Vbr::new(Point::new(-1.0, 0.0), Point::new(2.0, 1.0));
+        let q = Vbr::new(Point::new(1.0, -1.0), Point::new(1.0, 0.0));
+        let t = n.transform_wrt(&q);
+        // lo = NV- - QV+ = (-1-1, 0-0) ; hi = NV+ - QV- = (2-1, 1-(-1)).
+        assert_eq!(t.lo, Point::new(-2.0, 0.0));
+        assert_eq!(t.hi, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn expand_to_velocity() {
+        let mut v = Vbr::from_velocity(Point::new(1.0, 1.0));
+        v.expand_to_velocity(Point::new(-2.0, 4.0));
+        assert_eq!(v.lo, Point::new(-2.0, 1.0));
+        assert_eq!(v.hi, Point::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn max_abs_speed() {
+        let v = Vbr::new(Point::new(-5.0, 1.0), Point::new(2.0, 3.0));
+        assert!(approx_eq(v.max_abs_speed(), 5.0));
+    }
+}

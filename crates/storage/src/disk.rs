@@ -1,0 +1,174 @@
+//! Simulated disk: fixed-size pages with a free list.
+
+use crate::{PageId, StorageError, StorageResult, DEFAULT_PAGE_SIZE};
+
+/// A simulated disk storing fixed-size pages in memory.
+///
+/// Pages are allocated from a free list (reusing freed slots first) and
+/// read/written by copy, as a real disk would. The manager counts
+/// physical operations; the buffer pool above it decides when those
+/// operations happen.
+#[derive(Debug)]
+pub struct DiskManager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<u64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl DiskManager {
+    /// Creates a disk with the default 4 KB page size.
+    pub fn new() -> DiskManager {
+        DiskManager::with_page_size(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates a disk with a custom page size (must be non-zero).
+    pub fn with_page_size(page_size: usize) -> DiskManager {
+        assert!(page_size > 0, "page size must be positive");
+        DiskManager {
+            page_size,
+            pages: Vec::new(),
+            free: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total physical reads performed.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total physical writes performed.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Allocates a zeroed page and returns its id.
+    pub fn allocate(&mut self) -> PageId {
+        let buf = vec![0u8; self.page_size].into_boxed_slice();
+        if let Some(slot) = self.free.pop() {
+            self.pages[slot as usize] = Some(buf);
+            PageId(slot)
+        } else {
+            self.pages.push(Some(buf));
+            PageId(self.pages.len() as u64 - 1)
+        }
+    }
+
+    /// Frees a page, making its id reusable.
+    pub fn deallocate(&mut self, pid: PageId) -> StorageResult<()> {
+        let slot = self.slot(pid)?;
+        self.pages[slot] = None;
+        self.free.push(pid.0);
+        Ok(())
+    }
+
+    /// Reads a page into `out` (which must be exactly one page long).
+    pub fn read(&mut self, pid: PageId, out: &mut [u8]) -> StorageResult<()> {
+        debug_assert_eq!(out.len(), self.page_size);
+        let slot = self.slot(pid)?;
+        let src = self.pages[slot]
+            .as_ref()
+            .ok_or(StorageError::InvalidPage(pid))?;
+        out.copy_from_slice(src);
+        self.reads += 1;
+        Ok(())
+    }
+
+    /// Writes a page from `data` (exactly one page long).
+    pub fn write(&mut self, pid: PageId, data: &[u8]) -> StorageResult<()> {
+        debug_assert_eq!(data.len(), self.page_size);
+        let slot = self.slot(pid)?;
+        let dst = self.pages[slot]
+            .as_mut()
+            .ok_or(StorageError::InvalidPage(pid))?;
+        dst.copy_from_slice(data);
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn slot(&self, pid: PageId) -> StorageResult<usize> {
+        let slot = pid.0 as usize;
+        if !pid.is_valid() || slot >= self.pages.len() || self.pages[slot].is_none() {
+            return Err(StorageError::InvalidPage(pid));
+        }
+        Ok(slot)
+    }
+}
+
+impl Default for DiskManager {
+    fn default() -> Self {
+        DiskManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_roundtrip() {
+        let mut d = DiskManager::with_page_size(64);
+        let pid = d.allocate();
+        let mut buf = vec![0u8; 64];
+        d.read(pid, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "fresh pages are zeroed");
+
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        d.write(pid, &data).unwrap();
+        d.read(pid, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(d.reads(), 2);
+        assert_eq!(d.writes(), 1);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut d = DiskManager::with_page_size(16);
+        let a = d.allocate();
+        let b = d.allocate();
+        assert_ne!(a, b);
+        d.deallocate(a).unwrap();
+        assert_eq!(d.live_pages(), 1);
+        let c = d.allocate();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(d.live_pages(), 2);
+    }
+
+    #[test]
+    fn invalid_access_errors() {
+        let mut d = DiskManager::with_page_size(16);
+        let mut buf = vec![0u8; 16];
+        assert!(matches!(
+            d.read(PageId(0), &mut buf),
+            Err(StorageError::InvalidPage(_))
+        ));
+        let pid = d.allocate();
+        d.deallocate(pid).unwrap();
+        assert!(d.read(pid, &mut buf).is_err());
+        assert!(d.write(pid, &buf).is_err());
+        assert!(d.deallocate(pid).is_err());
+        assert!(d.read(PageId::INVALID, &mut buf).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_page_size_rejected() {
+        let _ = DiskManager::with_page_size(0);
+    }
+}

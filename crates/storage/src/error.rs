@@ -1,0 +1,73 @@
+//! Storage error types.
+
+use crate::PageId;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id that was never allocated or has been freed.
+    InvalidPage(PageId),
+    /// A codec read/write ran past the end of a page.
+    PageOverflow {
+        /// Byte offset at which the access started.
+        offset: usize,
+        /// Bytes requested.
+        len: usize,
+        /// Page capacity.
+        capacity: usize,
+    },
+    /// The buffer pool has no evictable frame (all pages pinned).
+    PoolExhausted,
+    /// A page's serialized content failed validation during decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::InvalidPage(pid) => write!(f, "invalid page {pid}"),
+            StorageError::PageOverflow {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "page overflow: access [{offset}, {}) exceeds capacity {capacity}",
+                offset + len
+            ),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::InvalidPage(PageId(3)).to_string(),
+            "invalid page P3"
+        );
+        assert_eq!(
+            StorageError::PageOverflow {
+                offset: 4090,
+                len: 8,
+                capacity: 4096
+            }
+            .to_string(),
+            "page overflow: access [4090, 4098) exceeds capacity 4096"
+        );
+        assert!(StorageError::PoolExhausted.to_string().contains("pinned"));
+        assert!(StorageError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,76 @@
+//! # vp-storage — simulated disk pages and an I/O-counting buffer pool
+//!
+//! Every disk-based index in this workspace (the TPR/TPR\*-tree, the
+//! B+-tree under the Bx-tree) stores its nodes in fixed-size pages
+//! managed by this crate:
+//!
+//! * [`DiskManager`] — a simulated disk: an append-mostly array of
+//!   fixed-size pages with a free list. Physical reads/writes are
+//!   counted; this is the "disk" under the buffer pool.
+//! * [`BufferPool`] — a fixed-capacity page cache with LRU eviction.
+//!   The paper's experiments use a 50-page buffer over 4 KB pages
+//!   (Table 1); *query I/O* is the number of buffer misses, which is
+//!   exactly what [`IoStats::physical_reads`] counts.
+//! * [`codec`] — bounds-checked little-endian readers/writers used by
+//!   the node serializers of the index crates.
+//!
+//! The design goal is faithful *logical* I/O accounting rather than raw
+//! speed: every page access goes through the pool, misses hit the
+//! simulated disk, and hot top levels of a tree stay resident exactly as
+//! they would in the paper's setup (the paper notes non-leaf nodes are
+//! typically cached; with LRU this emerges naturally).
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod error;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use disk::DiskManager;
+pub use error::{StorageError, StorageResult};
+pub use stats::IoStats;
+
+/// Default page size in bytes (paper Table 1: 4 KB disk pages).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Default buffer-pool capacity in pages (paper Table 1: 50 pages).
+pub const DEFAULT_BUFFER_PAGES: usize = 50;
+
+/// Identifier of a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. absent child pointers).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// True when this is a real page id.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P<invalid>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(format!("{}", PageId(7)), "P7");
+        assert_eq!(format!("{}", PageId::INVALID), "P<invalid>");
+    }
+}

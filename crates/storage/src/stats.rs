@@ -1,0 +1,112 @@
+//! I/O statistics counters.
+
+/// Counters accumulated by the storage layer.
+///
+/// * `logical_reads` — page accesses requested from the buffer pool.
+/// * `physical_reads` — accesses that missed the pool and hit the
+///   simulated disk. This is the paper's "I/O" metric.
+/// * `physical_writes` — dirty pages written back on eviction or flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub logical_reads: u64,
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+}
+
+impl IoStats {
+    /// All-zero counters.
+    pub fn zero() -> IoStats {
+        IoStats::default()
+    }
+
+    /// Total physical I/O (reads + writes).
+    #[inline]
+    pub fn physical_total(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; 1.0 when there were no reads.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            1.0 - self.physical_reads as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Component-wise difference `self - earlier`, for measuring the
+    /// cost of an operation as `stats_after.delta(&stats_before)`.
+    pub fn delta(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads + rhs.logical_reads,
+            physical_reads: self.physical_reads + rhs.physical_reads,
+            physical_writes: self.physical_writes + rhs.physical_writes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_total() {
+        let before = IoStats {
+            logical_reads: 10,
+            physical_reads: 4,
+            physical_writes: 1,
+        };
+        let after = IoStats {
+            logical_reads: 25,
+            physical_reads: 9,
+            physical_writes: 3,
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.logical_reads, 15);
+        assert_eq!(d.physical_reads, 5);
+        assert_eq!(d.physical_writes, 2);
+        assert_eq!(d.physical_total(), 7);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        assert_eq!(IoStats::zero().hit_ratio(), 1.0);
+        let s = IoStats {
+            logical_reads: 10,
+            physical_reads: 2,
+            physical_writes: 0,
+        };
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add() {
+        let a = IoStats {
+            logical_reads: 1,
+            physical_reads: 2,
+            physical_writes: 3,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.logical_reads, 2);
+        assert_eq!(b.physical_reads, 4);
+        assert_eq!(b.physical_writes, 6);
+    }
+}

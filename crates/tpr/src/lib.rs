@@ -1,0 +1,26 @@
+//! # vp-tpr — the TPR-tree and TPR\*-tree
+//!
+//! A from-scratch, paged implementation of the time-parameterized
+//! R-tree family used as the paper's first baseline index:
+//!
+//! * **TPR\*-tree** (Tao, Papadias, Sun — VLDB 2003): insertion chooses
+//!   subtrees and split points by minimizing *sweep-region volume*
+//!   integrals over a horizon (the expected-node-access cost model of
+//!   the paper's Equation 1), with R\*-style forced reinsertion.
+//! * **TPR-tree** (Šaltenis et al. — SIGMOD 2000) mode: the classic
+//!   variant using area-at-midpoint metrics, kept as an ablation
+//!   baseline ([`TprVariant::Classic`]).
+//!
+//! Nodes live in 4 KB pages behind the `vp-storage` buffer pool; every
+//! node visit is a logical page access, so the paper's query/update I/O
+//! metrics fall out of the pool statistics. The tree implements
+//! [`vp_core::MovingObjectIndex`], so it can be wrapped by the VP index
+//! manager unchanged.
+
+pub mod cost;
+pub mod node;
+pub mod tree;
+
+pub use cost::sweep_cost;
+pub use node::{InternalEntry, LeafEntry, Node, NodeLayout};
+pub use tree::{TprConfig, TprTree, TprVariant};

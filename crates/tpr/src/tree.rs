@@ -1,0 +1,1151 @@
+//! The TPR/TPR\*-tree proper.
+//!
+//! Structure and algorithms:
+//!
+//! * **ChooseSubtree** — descend towards the child whose cost metric
+//!   (sweep volume over the horizon for [`TprVariant::Star`], area at
+//!   the horizon midpoint for [`TprVariant::Classic`]) increases least
+//!   when absorbing the new entry.
+//! * **Overflow** — on the first leaf overflow per insertion, the
+//!   entries farthest from the node center (evaluated at the horizon
+//!   midpoint) are *force-reinserted* (R\*-tree style); a second
+//!   overflow splits. Internal overflows always split.
+//! * **Split** — candidate sortings along position x/y and (for the
+//!   TPR\* variant) velocity x/y; every legal split point is scored by
+//!   the summed cost metric of the two groups using prefix/suffix TPBR
+//!   unions, and the cheapest is taken. Sorting by velocity lets the
+//!   TPR\*-tree group objects moving in the same direction — the local
+//!   optimization the paper contrasts with VP's global partitioning.
+//! * **Delete** — guided descent using the recorded entry (the paper's
+//!   "simple lookup table", Section 5.3); underflowing nodes are
+//!   dissolved and their entries reinserted (R-tree condense).
+//! * **Tightening** — whenever an insertion or deletion touches a
+//!   path, parent entries are rewritten with the exact union of the
+//!   child's contents, curbing MBR/VBR drift.
+//!
+//! All node accesses go through the shared buffer pool; the tree keeps
+//! its own attributable I/O counters (pool deltas), so several trees
+//! (the VP sub-indexes) can share one pool without double counting.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
+use vp_geom::Tpbr;
+#[cfg(test)]
+use vp_geom::Point;
+use vp_storage::{BufferPool, IoStats, PageId};
+
+use crate::cost::{midpoint_area, sweep_cost};
+use crate::node::{InternalEntry, LeafEntry, Node, NodeLayout};
+
+/// Which member of the TPR family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TprVariant {
+    /// TPR\*-tree: sweep-volume cost metric, velocity-aware splits.
+    Star,
+    /// Classic TPR-tree: midpoint-area metric, position-only splits.
+    Classic,
+}
+
+/// TPR-tree configuration.
+#[derive(Debug, Clone)]
+pub struct TprConfig {
+    pub variant: TprVariant,
+    /// Cost-integration horizon (timestamps). The paper's workloads use
+    /// a 120 ts maximum update interval; costs are integrated that far.
+    pub horizon: f64,
+    /// Extent of the optimization query per axis (the paper optimizes
+    /// the TPR\*-tree for 1000 m × 1000 m queries).
+    pub query_len: f64,
+    /// Minimum node fill factor.
+    pub min_fill: f64,
+    /// Fraction of a leaf force-reinserted on first overflow.
+    pub reinsert_fraction: f64,
+}
+
+impl Default for TprConfig {
+    fn default() -> Self {
+        TprConfig {
+            variant: TprVariant::Star,
+            horizon: 120.0,
+            query_len: 1000.0,
+            min_fill: 0.4,
+            reinsert_fraction: 0.3,
+        }
+    }
+}
+
+/// Tolerances for guided-descent containment tests (deletion). Erring
+/// on the inclusive side only costs a little extra traversal.
+const EPS_POS: f64 = 1e-4;
+const EPS_VEL: f64 = 1e-6;
+
+/// A paged TPR/TPR\*-tree implementing [`MovingObjectIndex`].
+pub struct TprTree {
+    pool: Arc<BufferPool>,
+    config: TprConfig,
+    layout: NodeLayout,
+    root: PageId,
+    /// Number of levels (0 = empty tree; root level = height - 1).
+    height: u8,
+    len: usize,
+    /// Logical clock: the largest reference time seen.
+    now: f64,
+    /// Lookup table: object id -> the exact entry stored in the tree.
+    entries: HashMap<ObjectId, LeafEntry>,
+    /// I/O attributable to this tree (pool deltas).
+    own: Cell<IoStats>,
+}
+
+impl TprTree {
+    /// Creates an empty tree over the shared buffer pool.
+    pub fn new(pool: Arc<BufferPool>, config: TprConfig) -> TprTree {
+        let layout = NodeLayout::for_page_size(pool.page_size(), config.min_fill);
+        TprTree {
+            pool,
+            config,
+            layout,
+            root: PageId::INVALID,
+            height: 0,
+            len: 0,
+            now: 0.0,
+            entries: HashMap::new(),
+            own: Cell::new(IoStats::zero()),
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &TprConfig {
+        &self.config
+    }
+
+    /// Tree height in levels (0 when empty).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// The logical current time (max reference time inserted).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Visits the exact bounding TPBR of every leaf (used to plot the
+    /// paper's Figure 7 — leaf MBR expansion rates).
+    pub fn visit_leaf_tpbrs(&self, mut f: impl FnMut(&Tpbr)) -> IndexResult<()> {
+        if !self.root.is_valid() {
+            return Ok(());
+        }
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Leaf { entries } => {
+                    let b = Node::Leaf { entries }.bounding_tpbr();
+                    if !b.is_empty() {
+                        f(&b);
+                    }
+                }
+                Node::Internal { entries, .. } => {
+                    stack.extend(entries.iter().map(|e| e.child));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustively validates the tree's structural invariants; returns
+    /// a human-readable violation description on failure. Intended for
+    /// tests and debugging (visits every page).
+    ///
+    /// Checked invariants:
+    /// * stored entry count equals the lookup table and `len()`;
+    /// * every parent entry's TPBR dominates its child's exact bounding
+    ///   TPBR (within float tolerance) at the union reference time;
+    /// * fanout bounds: non-root nodes hold at least the minimum and at
+    ///   most the maximum number of entries;
+    /// * levels decrease by exactly one per tree level and leaves sit
+    ///   at level 0;
+    /// * every object in the lookup table is reachable by guided
+    ///   descent.
+    pub fn check_invariants(&self) -> IndexResult<Result<(), String>> {
+        if !self.root.is_valid() {
+            return Ok(if self.len == 0 && self.entries.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("empty tree but len = {}", self.len))
+            });
+        }
+        let mut total_entries = 0usize;
+        // (pid, expected_level, bounding tpbr claimed by the parent)
+        let mut stack: Vec<(PageId, u8, Option<Tpbr>)> =
+            vec![(self.root, self.height - 1, None)];
+        while let Some((pid, level, claimed)) = stack.pop() {
+            let node = self.read_node(pid)?;
+            if node.level() != level {
+                return Ok(Err(format!(
+                    "node {pid} has level {} but expected {level}",
+                    node.level()
+                )));
+            }
+            let is_root = pid == self.root;
+            let min = self.layout.min_for_level(level);
+            let max = self.layout.max_for_level(level);
+            if node.len() > max {
+                return Ok(Err(format!("node {pid} overfull: {} > {max}", node.len())));
+            }
+            if !is_root && node.len() < min {
+                return Ok(Err(format!(
+                    "node {pid} underfull: {} < {min}",
+                    node.len()
+                )));
+            }
+            if let Some(parent_tpbr) = claimed {
+                let exact = node.bounding_tpbr();
+                let t0 = parent_tpbr.ref_time.max(exact.ref_time);
+                let pr = parent_tpbr.rect_at(t0).inflate(EPS_POS, EPS_POS);
+                if !pr.contains_rect(&exact.rect_at(t0)) {
+                    return Ok(Err(format!(
+                        "parent TPBR does not dominate child {pid} at t={t0}"
+                    )));
+                }
+            }
+            match node {
+                Node::Leaf { entries } => {
+                    total_entries += entries.len();
+                    for e in &entries {
+                        match self.entries.get(&e.id) {
+                            None => {
+                                return Ok(Err(format!(
+                                    "leaf entry {} missing from lookup table",
+                                    e.id
+                                )))
+                            }
+                            Some(rec) if rec != e => {
+                                return Ok(Err(format!(
+                                    "lookup table stale for object {}",
+                                    e.id
+                                )))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Node::Internal { entries, .. } => {
+                    for e in &entries {
+                        stack.push((e.child, level - 1, Some(e.tpbr)));
+                    }
+                }
+            }
+        }
+        if total_entries != self.len || total_entries != self.entries.len() {
+            return Ok(Err(format!(
+                "entry count mismatch: tree {total_entries}, len {}, table {}",
+                self.len,
+                self.entries.len()
+            )));
+        }
+        Ok(Ok(()))
+    }
+
+    // ----- page helpers -------------------------------------------------
+
+    fn read_node(&self, pid: PageId) -> IndexResult<Node> {
+        let node = self.pool.with_page(pid, Node::decode)??;
+        Ok(node)
+    }
+
+    fn write_node(&self, pid: PageId, node: &Node) -> IndexResult<()> {
+        self.pool.with_page_mut(pid, |buf| node.encode(buf))??;
+        Ok(())
+    }
+
+    fn alloc_node(&self, node: &Node) -> IndexResult<PageId> {
+        let pid = self.pool.new_page()?;
+        self.write_node(pid, node)?;
+        Ok(pid)
+    }
+
+    fn track_begin(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    fn track_end(&self, before: IoStats) {
+        let delta = self.pool.stats().delta(&before);
+        self.own.set(self.own.get() + delta);
+    }
+
+    // ----- cost metric --------------------------------------------------
+
+    fn metric(&self, tpbr: &Tpbr) -> f64 {
+        match self.config.variant {
+            TprVariant::Star => sweep_cost(tpbr, self.now, self.config.horizon, self.config.query_len),
+            TprVariant::Classic => {
+                midpoint_area(tpbr, self.now, self.config.horizon, self.config.query_len)
+            }
+        }
+    }
+
+    // ----- insertion ----------------------------------------------------
+
+    fn insert_entry_toplevel(&mut self, entry: LeafEntry) -> IndexResult<()> {
+        if !self.root.is_valid() {
+            let node = Node::Leaf {
+                entries: vec![entry],
+            };
+            self.root = self.alloc_node(&node)?;
+            self.height = 1;
+            return Ok(());
+        }
+        let mut pending: Vec<LeafEntry> = Vec::new();
+        let mut reinserted = false;
+        self.insert_from_root(entry, &mut pending, &mut reinserted)?;
+        // Reinsert evicted entries; further reinsertion is disabled
+        // (standard R* policy: once per level per insertion — we apply
+        // forced reinsert at the leaf level only).
+        while let Some(e) = pending.pop() {
+            let mut nobody = true;
+            self.insert_from_root(e, &mut Vec::new(), &mut nobody)?;
+        }
+        Ok(())
+    }
+
+    fn insert_from_root(
+        &mut self,
+        entry: LeafEntry,
+        pending: &mut Vec<LeafEntry>,
+        reinserted: &mut bool,
+    ) -> IndexResult<()> {
+        match self.insert_rec(self.root, entry, pending, reinserted)? {
+            RecOutcome::Fit(_) => Ok(()),
+            RecOutcome::Split(left_tpbr, right_pid, right_tpbr) => {
+                // Root split: grow the tree.
+                let new_root = Node::Internal {
+                    level: self.height,
+                    entries: vec![
+                        InternalEntry {
+                            child: self.root,
+                            tpbr: left_tpbr,
+                        },
+                        InternalEntry {
+                            child: right_pid,
+                            tpbr: right_tpbr,
+                        },
+                    ],
+                };
+                self.root = self.alloc_node(&new_root)?;
+                self.height += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        entry: LeafEntry,
+        pending: &mut Vec<LeafEntry>,
+        reinserted: &mut bool,
+    ) -> IndexResult<RecOutcome> {
+        match self.read_node(pid)? {
+            Node::Leaf { mut entries } => {
+                entries.push(entry);
+                if entries.len() <= self.layout.max_leaf {
+                    let node = Node::Leaf { entries };
+                    self.write_node(pid, &node)?;
+                    return Ok(RecOutcome::Fit(node.bounding_tpbr()));
+                }
+                // Overflow. Forced reinsert once per insertion, and only
+                // when the leaf is not the root (splitting the root is
+                // how the tree grows).
+                if !*reinserted && self.height > 1 {
+                    *reinserted = true;
+                    let keep = self.select_reinsert(&mut entries);
+                    pending.extend(entries.drain(keep..));
+                    let node = Node::Leaf { entries };
+                    self.write_node(pid, &node)?;
+                    return Ok(RecOutcome::Fit(node.bounding_tpbr()));
+                }
+                // Split.
+                let (left, right) = self.split_leaf(entries);
+                let left_node = Node::Leaf { entries: left };
+                let right_node = Node::Leaf { entries: right };
+                self.write_node(pid, &left_node)?;
+                let right_pid = self.alloc_node(&right_node)?;
+                Ok(RecOutcome::Split(
+                    left_node.bounding_tpbr(),
+                    right_pid,
+                    right_node.bounding_tpbr(),
+                ))
+            }
+            Node::Internal { level, mut entries } => {
+                let chosen = self.choose_subtree(&entries, &entry);
+                let child_pid = entries[chosen].child;
+                match self.insert_rec(child_pid, entry, pending, reinserted)? {
+                    RecOutcome::Fit(tpbr) => {
+                        // Tighten: the child's exact bounding TPBR.
+                        entries[chosen].tpbr = tpbr;
+                        let node = Node::Internal { level, entries };
+                        self.write_node(pid, &node)?;
+                        Ok(RecOutcome::Fit(node.bounding_tpbr()))
+                    }
+                    RecOutcome::Split(left_tpbr, right_pid, right_tpbr) => {
+                        entries[chosen].tpbr = left_tpbr;
+                        entries.push(InternalEntry {
+                            child: right_pid,
+                            tpbr: right_tpbr,
+                        });
+                        if entries.len() <= self.layout.max_internal {
+                            let node = Node::Internal { level, entries };
+                            self.write_node(pid, &node)?;
+                            return Ok(RecOutcome::Fit(node.bounding_tpbr()));
+                        }
+                        let (left, right) = self.split_internal(entries);
+                        let left_node = Node::Internal {
+                            level,
+                            entries: left,
+                        };
+                        let right_node = Node::Internal {
+                            level,
+                            entries: right,
+                        };
+                        self.write_node(pid, &left_node)?;
+                        let right_pid = self.alloc_node(&right_node)?;
+                        Ok(RecOutcome::Split(
+                            left_node.bounding_tpbr(),
+                            right_pid,
+                            right_node.bounding_tpbr(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks the child minimizing the cost-metric increase.
+    fn choose_subtree(&self, entries: &[InternalEntry], entry: &LeafEntry) -> usize {
+        let e_tpbr = entry.tpbr();
+        let mut best = 0usize;
+        let mut best_delta = f64::INFINITY;
+        let mut best_cost = f64::INFINITY;
+        for (i, ie) in entries.iter().enumerate() {
+            let cost = self.metric(&ie.tpbr);
+            let grown = self.metric(&ie.tpbr.union(&e_tpbr));
+            let delta = grown - cost;
+            if delta < best_delta - 1e-12
+                || ((delta - best_delta).abs() <= 1e-12 && cost < best_cost)
+            {
+                best = i;
+                best_delta = delta;
+                best_cost = cost;
+            }
+        }
+        best
+    }
+
+    /// Reorders `entries` so the kept prefix stays in the node; returns
+    /// the prefix length. Eviction candidates are the entries farthest
+    /// from the node center at the horizon midpoint.
+    fn select_reinsert(&self, entries: &mut [LeafEntry]) -> usize {
+        let node = Node::Leaf {
+            entries: entries.to_vec(),
+        };
+        let tm = self.now + self.config.horizon * 0.5;
+        let center = node.bounding_tpbr().rect_at(tm).center();
+        entries.sort_by(|a, b| {
+            let da = a.position_at(tm).dist_sq(center);
+            let db = b.position_at(tm).dist_sq(center);
+            da.total_cmp(&db) // ascending: nearest first (kept)
+        });
+        let n = entries.len();
+        let evict = ((n as f64 * self.config.reinsert_fraction).ceil() as usize)
+            .min(n - self.layout.min_leaf)
+            .max(1);
+        n - evict
+    }
+
+    /// TPR\*-style leaf split: try sortings by position x/y (advanced to
+    /// `now`) and — in Star mode — velocity x/y; score every legal split
+    /// point with the summed cost metric via prefix/suffix TPBR unions.
+    fn split_leaf(&self, entries: Vec<LeafEntry>) -> (Vec<LeafEntry>, Vec<LeafEntry>) {
+        let now = self.now;
+        let keys: &[fn(&LeafEntry, f64) -> f64] = match self.config.variant {
+            TprVariant::Star => &[
+                |e, t| e.position_at(t).x,
+                |e, t| e.position_at(t).y,
+                |e, _| e.vel.x,
+                |e, _| e.vel.y,
+            ],
+            TprVariant::Classic => &[|e, t| e.position_at(t).x, |e, t| e.position_at(t).y],
+        };
+        let min = self.layout.min_leaf;
+        let mut best: Option<(f64, Vec<LeafEntry>, usize)> = None;
+        for key in keys {
+            let mut sorted = entries.clone();
+            sorted.sort_by(|a, b| key(a, now).total_cmp(&key(b, now)));
+            let tpbrs: Vec<Tpbr> = sorted.iter().map(|e| e.tpbr()).collect();
+            if let Some((cost, at)) = self.best_split_point(&tpbrs, min) {
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, sorted, at));
+                }
+            }
+        }
+        let (_, sorted, at) =
+            best.expect("split invoked on a node with enough entries for a legal split");
+        let mut left = sorted;
+        let right = left.split_off(at);
+        (left, right)
+    }
+
+    fn split_internal(
+        &self,
+        entries: Vec<InternalEntry>,
+    ) -> (Vec<InternalEntry>, Vec<InternalEntry>) {
+        let keys: &[fn(&InternalEntry) -> f64] = match self.config.variant {
+            TprVariant::Star => &[
+                |e| e.tpbr.rect.center().x,
+                |e| e.tpbr.rect.center().y,
+                |e| (e.tpbr.vbr.lo.x + e.tpbr.vbr.hi.x) * 0.5,
+                |e| (e.tpbr.vbr.lo.y + e.tpbr.vbr.hi.y) * 0.5,
+            ],
+            TprVariant::Classic => &[|e| e.tpbr.rect.center().x, |e| e.tpbr.rect.center().y],
+        };
+        let min = self.layout.min_internal;
+        let mut best: Option<(f64, Vec<InternalEntry>, usize)> = None;
+        for key in keys {
+            let mut sorted = entries.clone();
+            sorted.sort_by(|a, b| key(a).total_cmp(&key(b)));
+            let tpbrs: Vec<Tpbr> = sorted.iter().map(|e| e.tpbr).collect();
+            if let Some((cost, at)) = self.best_split_point(&tpbrs, min) {
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, sorted, at));
+                }
+            }
+        }
+        let (_, sorted, at) =
+            best.expect("split invoked on a node with enough entries for a legal split");
+        let mut left = sorted;
+        let right = left.split_off(at);
+        (left, right)
+    }
+
+    /// For a fixed ordering, finds the split index minimizing the summed
+    /// cost metric of the two groups using O(n) prefix/suffix unions.
+    fn best_split_point(&self, tpbrs: &[Tpbr], min: usize) -> Option<(f64, usize)> {
+        let n = tpbrs.len();
+        if n < 2 * min {
+            return None;
+        }
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc = Tpbr::empty(0.0);
+        for t in tpbrs {
+            acc = acc.union(t);
+            prefix.push(acc);
+        }
+        let mut suffix = vec![Tpbr::empty(0.0); n];
+        let mut acc = Tpbr::empty(0.0);
+        for i in (0..n).rev() {
+            acc = acc.union(&tpbrs[i]);
+            suffix[i] = acc;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for at in min..=(n - min) {
+            let cost = self.metric(&prefix[at - 1]) + self.metric(&suffix[at]);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, at));
+            }
+        }
+        best
+    }
+
+    // ----- deletion -----------------------------------------------------
+
+    fn delete_entry_toplevel(&mut self, target: LeafEntry) -> IndexResult<bool> {
+        let mut orphans: Vec<LeafEntry> = Vec::new();
+        let outcome = self.delete_rec(self.root, self.height - 1, &target, &mut orphans)?;
+        let found = match outcome {
+            DelOutcome::NotFound => false,
+            DelOutcome::Deleted { .. } => true,
+        };
+        if !found {
+            return Ok(false);
+        }
+        // Root adjustments.
+        loop {
+            match self.read_node(self.root)? {
+                Node::Internal { entries, .. } if entries.len() == 1 => {
+                    let old_root = self.root;
+                    self.root = entries[0].child;
+                    self.height -= 1;
+                    self.pool.free_page(old_root)?;
+                }
+                Node::Internal { entries, .. } if entries.is_empty() => {
+                    // All children dissolved into orphans.
+                    self.pool.free_page(self.root)?;
+                    self.root = PageId::INVALID;
+                    self.height = 0;
+                    break;
+                }
+                Node::Leaf { entries } if entries.is_empty() => {
+                    self.pool.free_page(self.root)?;
+                    self.root = PageId::INVALID;
+                    self.height = 0;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // Reinsert orphaned entries. Dissolved subtrees were dismantled
+        // to leaf entries during the descent, so everything reinserts
+        // uniformly at the leaf level.
+        for e in orphans {
+            self.insert_entry_toplevel(e)?;
+        }
+        Ok(true)
+    }
+
+    /// Dismantles a subtree into its leaf entries, freeing every page.
+    /// Used when an internal node underflows: reinserting the leaves is
+    /// simpler and more robust than grafting subtrees at matching
+    /// levels, and internal underflow is rare in the paper's workloads.
+    fn dismantle_subtree(&mut self, root: PageId, out: &mut Vec<LeafEntry>) -> IndexResult<()> {
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Leaf { entries } => out.extend(entries),
+                Node::Internal { entries, .. } => {
+                    stack.extend(entries.iter().map(|e| e.child));
+                }
+            }
+            self.pool.free_page(pid)?;
+        }
+        Ok(())
+    }
+
+    fn delete_rec(
+        &mut self,
+        pid: PageId,
+        level: u8,
+        target: &LeafEntry,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> IndexResult<DelOutcome> {
+        match self.read_node(pid)? {
+            Node::Leaf { mut entries } => {
+                let Some(at) = entries.iter().position(|e| e.id == target.id) else {
+                    return Ok(DelOutcome::NotFound);
+                };
+                entries.remove(at);
+                let is_root = pid == self.root;
+                if !is_root && entries.len() < self.layout.min_leaf {
+                    // Dissolve: caller removes this node; entries become
+                    // orphans.
+                    orphans.extend(entries);
+                    self.pool.free_page(pid)?;
+                    return Ok(DelOutcome::Deleted {
+                        tpbr: None,
+                        dissolved: true,
+                    });
+                }
+                let node = Node::Leaf { entries };
+                self.write_node(pid, &node)?;
+                Ok(DelOutcome::Deleted {
+                    tpbr: Some(node.bounding_tpbr()),
+                    dissolved: false,
+                })
+            }
+            Node::Internal { level: lvl, mut entries } => {
+                debug_assert_eq!(lvl, level);
+                let mut found_at: Option<(usize, Option<Tpbr>, bool)> = None;
+                // Indexing (not iterating) because the loop body calls
+                // `&mut self` methods while `entries` stays borrowed.
+                #[allow(clippy::needless_range_loop)]
+                for i in 0..entries.len() {
+                    if !could_contain(&entries[i].tpbr, target) {
+                        continue;
+                    }
+                    match self.delete_rec(entries[i].child, level - 1, target, orphans)? {
+                        DelOutcome::NotFound => continue,
+                        DelOutcome::Deleted { tpbr, dissolved } => {
+                            found_at = Some((i, tpbr, dissolved));
+                            break;
+                        }
+                    }
+                }
+                let Some((i, child_tpbr, dissolved)) = found_at else {
+                    return Ok(DelOutcome::NotFound);
+                };
+                if dissolved {
+                    entries.remove(i);
+                } else if let Some(t) = child_tpbr {
+                    entries[i].tpbr = t; // tighten
+                }
+                let is_root = pid == self.root;
+                if !is_root && entries.len() < self.layout.min_internal {
+                    for e in &entries {
+                        self.dismantle_subtree(e.child, orphans)?;
+                    }
+                    self.pool.free_page(pid)?;
+                    return Ok(DelOutcome::Deleted {
+                        tpbr: None,
+                        dissolved: true,
+                    });
+                }
+                let node = Node::Internal { level, entries };
+                self.write_node(pid, &node)?;
+                Ok(DelOutcome::Deleted {
+                    tpbr: Some(node.bounding_tpbr()),
+                    dissolved: false,
+                })
+            }
+        }
+    }
+
+}
+
+enum RecOutcome {
+    /// Child absorbed the entry; its new exact bounding TPBR.
+    Fit(Tpbr),
+    /// Child split: (left TPBR, right page, right TPBR).
+    Split(Tpbr, PageId, Tpbr),
+}
+
+enum DelOutcome {
+    NotFound,
+    Deleted {
+        /// The child's new bounding TPBR (None when dissolved).
+        tpbr: Option<Tpbr>,
+        dissolved: bool,
+    },
+}
+
+/// Conservative test: could this node's TPBR contain the given entry?
+/// Exact containment holds by construction (parent TPBRs are unions of
+/// their children); epsilons absorb floating-point drift.
+fn could_contain(node: &Tpbr, e: &LeafEntry) -> bool {
+    let t0 = node.ref_time.max(e.ref_time);
+    let r = node.rect_at(t0);
+    let p = e.position_at(t0);
+    r.inflate(EPS_POS, EPS_POS).contains_point(p)
+        && node.vbr.lo.x - EPS_VEL <= e.vel.x
+        && e.vel.x <= node.vbr.hi.x + EPS_VEL
+        && node.vbr.lo.y - EPS_VEL <= e.vel.y
+        && e.vel.y <= node.vbr.hi.y + EPS_VEL
+}
+
+impl MovingObjectIndex for TprTree {
+    fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
+        if self.entries.contains_key(&obj.id) {
+            return Err(IndexError::DuplicateObject(obj.id));
+        }
+        let before = self.track_begin();
+        self.now = self.now.max(obj.ref_time);
+        let entry = LeafEntry::from_object(&obj);
+        let result = self.insert_entry_toplevel(entry);
+        self.track_end(before);
+        result?;
+        self.entries.insert(obj.id, entry);
+        self.len += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
+        let Some(entry) = self.entries.get(&id).copied() else {
+            return Err(IndexError::UnknownObject(id));
+        };
+        let before = self.track_begin();
+        let found = self.delete_entry_toplevel(entry);
+        self.track_end(before);
+        if !found? {
+            // The lookup table says it exists; a miss means drift beyond
+            // the containment epsilons — surface loudly rather than
+            // corrupting the table.
+            return Err(IndexError::Storage(vp_storage::StorageError::Corrupt(
+                format!("entry for object {id} not reachable by guided descent"),
+            )));
+        }
+        self.entries.remove(&id);
+        self.len -= 1;
+        Ok(())
+    }
+
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        let before = self.track_begin();
+        let mut out = Vec::new();
+        if self.root.is_valid() {
+            let q_tpbr = query.tpbr();
+            let mut stack = vec![self.root];
+            while let Some(pid) = stack.pop() {
+                match self.read_node(pid)? {
+                    Node::Leaf { entries } => {
+                        for e in &entries {
+                            if query.matches(&e.to_object()) {
+                                out.push(e.id);
+                            }
+                        }
+                    }
+                    Node::Internal { entries, .. } => {
+                        for e in &entries {
+                            if e.tpbr
+                                .intersects_during(&q_tpbr, query.t_start, query.t_end)
+                            {
+                                stack.push(e.child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.track_end(before);
+        Ok(out)
+    }
+
+    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
+        self.entries.get(&id).map(|e| e.to_object())
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.own.get()
+    }
+
+    fn reset_io_stats(&self) {
+        self.own.set(IoStats::zero());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_core::QueryRegion;
+    use vp_geom::{Circle, Rect};
+    use vp_storage::DiskManager;
+
+    fn small_pool() -> Arc<BufferPool> {
+        // 512-byte pages: 10 leaf entries, 6 internal entries. Small
+        // fanout exercises splits/underflows with few objects.
+        Arc::new(BufferPool::with_capacity(
+            DiskManager::with_page_size(512),
+            50,
+        ))
+    }
+
+    fn tree() -> TprTree {
+        TprTree::new(small_pool(), TprConfig::default())
+    }
+
+    fn obj(id: u64, x: f64, y: f64, vx: f64, vy: f64, t: f64) -> MovingObject {
+        MovingObject::new(id, Point::new(x, y), Point::new(vx, vy), t)
+    }
+
+    /// Deterministic pseudo-random stream.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x % 1_000_000) as f64 / 1_000_000.0
+        }
+    }
+
+    fn random_objects(n: usize, seed: u64) -> Vec<MovingObject> {
+        let mut rng = Rng(seed);
+        (0..n as u64)
+            .map(|id| {
+                let x = rng.next() * 10_000.0;
+                let y = rng.next() * 10_000.0;
+                let ang = rng.next() * std::f64::consts::TAU;
+                let speed = rng.next() * 100.0;
+                obj(id, x, y, ang.cos() * speed, ang.sin() * speed, 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_point_query() {
+        let mut t = tree();
+        t.insert(obj(1, 100.0, 100.0, 1.0, 0.0, 0.0)).unwrap();
+        t.insert(obj(2, 500.0, 500.0, 0.0, 1.0, 0.0)).unwrap();
+        assert_eq!(t.len(), 2);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(90.0, 90.0, 110.0, 110.0)),
+            0.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = tree();
+        t.insert(obj(1, 0.0, 0.0, 0.0, 0.0, 0.0)).unwrap();
+        assert!(matches!(
+            t.insert(obj(1, 5.0, 5.0, 0.0, 0.0, 0.0)),
+            Err(IndexError::DuplicateObject(1))
+        ));
+    }
+
+    #[test]
+    fn grows_and_queries_through_splits() {
+        let mut t = tree();
+        let objs = random_objects(500, 0xABCD);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 2, "tree should have split");
+        // Every object findable by a tight query at its own position.
+        for o in objs.iter().step_by(37) {
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(o.pos, 1.0)),
+                0.0,
+            );
+            let got = t.range_query(&q).unwrap();
+            assert!(got.contains(&o.id), "object {} lost", o.id);
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_on_predictive_queries() {
+        let mut t = tree();
+        let objs = random_objects(400, 0x77);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x1234);
+        for qi in 0..40 {
+            let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+            let horizon = (qi % 5) as f64 * 20.0;
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(c, 800.0)),
+                horizon,
+            );
+            let mut got = t.range_query(&q).unwrap();
+            let mut want: Vec<u64> = objs
+                .iter()
+                .filter(|o| q.matches(o))
+                .map(|o| o.id)
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn interval_and_moving_queries_match_scan() {
+        let mut t = tree();
+        let objs = random_objects(300, 0x99);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x555);
+        for qi in 0..30 {
+            let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+            let region = QueryRegion::Rect(Rect::centered(c, 500.0, 500.0));
+            let q = if qi % 2 == 0 {
+                RangeQuery::time_interval(region, 10.0, 50.0)
+            } else {
+                RangeQuery::moving(region, Point::new(rng.next() * 50.0, 0.0), 10.0, 50.0)
+            };
+            let mut got = t.range_query(&q).unwrap();
+            let mut want: Vec<u64> = objs
+                .iter()
+                .filter(|o| q.matches(o))
+                .map(|o| o.id)
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi} diverged");
+        }
+    }
+
+    #[test]
+    fn delete_all_objects() {
+        let mut t = tree();
+        let objs = random_objects(300, 0x31);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        for (i, o) in objs.iter().enumerate() {
+            t.delete(o.id).unwrap();
+            assert_eq!(t.len(), 300 - i - 1);
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap().expect("empty tree is valid");
+        assert_eq!(t.height(), 0);
+        // Everything gone.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 1e5, 1e5)),
+            0.0,
+        );
+        assert!(t.range_query(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_unknown_errors() {
+        let mut t = tree();
+        assert!(matches!(t.delete(9), Err(IndexError::UnknownObject(9))));
+    }
+
+    #[test]
+    fn update_moves_object() {
+        let mut t = tree();
+        for o in random_objects(200, 0x42) {
+            t.insert(o).unwrap();
+        }
+        t.update(obj(5, 9_999.0, 9_999.0, 0.0, 0.0, 10.0)).unwrap();
+        assert_eq!(t.len(), 200);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(9_999.0, 9_999.0), 5.0)),
+            10.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn mixed_workload_stays_consistent() {
+        let mut t = tree();
+        let mut live: std::collections::BTreeMap<u64, MovingObject> = Default::default();
+        let mut rng = Rng(0xFEED);
+        let mut next_id = 0u64;
+        for step in 0..2000 {
+            let r = rng.next();
+            if r < 0.5 || live.is_empty() {
+                let o = obj(
+                    next_id,
+                    rng.next() * 10_000.0,
+                    rng.next() * 10_000.0,
+                    rng.next() * 100.0 - 50.0,
+                    rng.next() * 100.0 - 50.0,
+                    (step / 100) as f64,
+                );
+                next_id += 1;
+                t.insert(o).unwrap();
+                live.insert(o.id, o);
+            } else if r < 0.75 {
+                let k = *live
+                    .keys()
+                    .nth((rng.next() * live.len() as f64) as usize)
+                    .unwrap();
+                t.delete(k).unwrap();
+                live.remove(&k);
+            } else {
+                let k = *live
+                    .keys()
+                    .nth((rng.next() * live.len() as f64) as usize)
+                    .unwrap();
+                let o = obj(
+                    k,
+                    rng.next() * 10_000.0,
+                    rng.next() * 10_000.0,
+                    rng.next() * 100.0 - 50.0,
+                    rng.next() * 100.0 - 50.0,
+                    (step / 100) as f64,
+                );
+                t.update(o).unwrap();
+                live.insert(k, o);
+            }
+            assert_eq!(t.len(), live.len());
+            if step % 500 == 0 {
+                t.check_invariants().unwrap().expect("invariants hold mid-fuzz");
+            }
+        }
+        t.check_invariants().unwrap().expect("invariants hold at end");
+        // Final consistency check against a scan.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 3_000.0)),
+            25.0,
+        );
+        let mut got = t.range_query(&q).unwrap();
+        let mut want: Vec<u64> = live
+            .values()
+            .filter(|o| q.matches(o))
+            .map(|o| o.id)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn io_stats_accumulate_and_reset() {
+        let mut t = tree();
+        for o in random_objects(200, 0x10) {
+            t.insert(o).unwrap();
+        }
+        assert!(t.io_stats().logical_reads > 0);
+        t.reset_io_stats();
+        assert_eq!(t.io_stats(), IoStats::zero());
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 2_000.0)),
+            0.0,
+        );
+        t.range_query(&q).unwrap();
+        assert!(t.io_stats().logical_reads > 0);
+    }
+
+    #[test]
+    fn two_trees_share_pool_without_stat_crosstalk() {
+        let pool = small_pool();
+        let mut a = TprTree::new(Arc::clone(&pool), TprConfig::default());
+        let mut b = TprTree::new(Arc::clone(&pool), TprConfig::default());
+        for o in random_objects(100, 0x1) {
+            a.insert(o).unwrap();
+        }
+        let a_io = a.io_stats();
+        assert!(a_io.logical_reads > 0);
+        assert_eq!(b.io_stats(), IoStats::zero());
+        for o in random_objects(100, 0x2) {
+            b.insert(o).unwrap();
+        }
+        // a unchanged while b worked.
+        assert_eq!(a.io_stats(), a_io);
+    }
+
+    #[test]
+    fn classic_variant_works_too() {
+        let mut t = TprTree::new(
+            small_pool(),
+            TprConfig {
+                variant: TprVariant::Classic,
+                ..TprConfig::default()
+            },
+        );
+        let objs = random_objects(300, 0x66);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 2_000.0)),
+            30.0,
+        );
+        let mut got = t.range_query(&q).unwrap();
+        let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn visit_leaf_tpbrs_covers_objects() {
+        let mut t = tree();
+        let objs = random_objects(150, 0x8);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut count = 0;
+        let mut total_entries_bound = 0.0;
+        t.visit_leaf_tpbrs(|tp| {
+            count += 1;
+            total_entries_bound += tp.rect_at(0.0).area();
+        })
+        .unwrap();
+        assert!(count >= 150 / 10, "expected several leaves, got {count}");
+        assert!(total_entries_bound >= 0.0);
+    }
+}

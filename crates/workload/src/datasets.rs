@@ -1,0 +1,150 @@
+//! Dataset presets.
+//!
+//! The paper evaluates on four OSM-derived road networks plus a
+//! uniform synthetic dataset. The presets below encode the
+//! characteristics Section 6 calls out:
+//!
+//! * **CH (Chicago)** — the most direction-skewed network; fewer
+//!   nodes/edges (longer edges, fewer updates).
+//! * **SA (San Francisco)** — skewed, slightly less than CH; similar
+//!   density to CH. Rotated grid (San Francisco's famous off-north
+//!   street angle).
+//! * **MEL (Melbourne CBD)** — denser (more nodes/edges, more
+//!   updates), moderate skew.
+//! * **NY (New York CBD)** — densest, least skewed of the four.
+//! * **Uniform** — no network: positions and directions uniform; the
+//!   control case where VP has nothing to exploit.
+
+use crate::network::NetworkParams;
+
+/// The benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    Chicago,
+    SanFrancisco,
+    Melbourne,
+    NewYork,
+    Uniform,
+}
+
+impl Dataset {
+    /// All datasets in the order the paper's Figure 19 lists them.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Chicago,
+        Dataset::SanFrancisco,
+        Dataset::Melbourne,
+        Dataset::NewYork,
+        Dataset::Uniform,
+    ];
+
+    /// The short label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataset::Chicago => "CH",
+            Dataset::SanFrancisco => "SA",
+            Dataset::Melbourne => "MEL",
+            Dataset::NewYork => "NY",
+            Dataset::Uniform => "uniform",
+        }
+    }
+
+    /// Network generation parameters; `None` for the uniform dataset.
+    pub fn network_params(&self, seed: u64) -> Option<NetworkParams> {
+        let base = NetworkParams::default();
+        match self {
+            // jitter/diagonal_fraction encode the skew ordering
+            // CH > SA > MEL > NY; streets_per_axis encodes density
+            // (update frequency ordering NY ~ MEL > SA ~ CH).
+            Dataset::Chicago => Some(NetworkParams {
+                orientation: 0.0,
+                streets_per_axis: 28,
+                jitter: 0.02,
+                diagonal_fraction: 0.02,
+                seed,
+                ..base
+            }),
+            Dataset::SanFrancisco => Some(NetworkParams {
+                orientation: 0.18, // SF's grid sits ~10 degrees off north
+                streets_per_axis: 30,
+                jitter: 0.05,
+                diagonal_fraction: 0.05,
+                seed,
+                ..base
+            }),
+            Dataset::Melbourne => Some(NetworkParams {
+                orientation: 0.12,
+                streets_per_axis: 48,
+                jitter: 0.10,
+                diagonal_fraction: 0.10,
+                seed,
+                ..base
+            }),
+            Dataset::NewYork => Some(NetworkParams {
+                orientation: 0.50, // Manhattan's ~29-degree grid
+                streets_per_axis: 52,
+                jitter: 0.16,
+                diagonal_fraction: 0.16,
+                seed,
+                ..base
+            }),
+            Dataset::Uniform => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadNetwork;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Dataset::Chicago.label(), "CH");
+        assert_eq!(Dataset::Uniform.to_string(), "uniform");
+        assert_eq!(Dataset::ALL.len(), 5);
+    }
+
+    #[test]
+    fn skew_ordering_holds() {
+        // Generated networks must reproduce the paper's skew ordering
+        // CH > SA > MEL > NY (measured as axis alignment).
+        let mut scores = Vec::new();
+        for ds in [
+            Dataset::Chicago,
+            Dataset::SanFrancisco,
+            Dataset::Melbourne,
+            Dataset::NewYork,
+        ] {
+            let p = ds.network_params(1).unwrap();
+            let net = RoadNetwork::generate(&p);
+            scores.push((ds.label(), net.axis_alignment(p.orientation, 0.08)));
+        }
+        for w in scores.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "skew ordering violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn density_ordering_holds() {
+        let ch = RoadNetwork::generate(&Dataset::Chicago.network_params(1).unwrap());
+        let ny = RoadNetwork::generate(&Dataset::NewYork.network_params(1).unwrap());
+        assert!(ny.node_count() > ch.node_count() * 2);
+        assert!(ny.mean_edge_length() < ch.mean_edge_length());
+    }
+
+    #[test]
+    fn uniform_has_no_network() {
+        assert!(Dataset::Uniform.network_params(1).is_none());
+    }
+}

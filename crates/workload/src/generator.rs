@@ -1,0 +1,421 @@
+//! Network-constrained moving-object simulation (Chen et al.
+//! benchmark style).
+//!
+//! Objects travel along road-network edges with per-leg speeds. An
+//! object reports a velocity update when it reaches a node and turns,
+//! and is forced to report at least once per maximum update interval
+//! (Table 1: 120 ts). The uniform dataset skips the network: objects
+//! move freely, redrawing direction and speed at random update times
+//! and reflecting off the domain boundary.
+//!
+//! The generator materializes the whole trace up front — initial
+//! inserts, a time-sorted stream of updates, and a query stream — so
+//! every index sees byte-identical workloads.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vp_core::{MovingObject, RangeQuery};
+use vp_geom::{Point, Rect, Vec2};
+
+use crate::datasets::Dataset;
+use crate::network::RoadNetwork;
+use crate::queries::QuerySpec;
+
+/// Workload generation parameters (defaults = paper Table 1 bold
+/// values, scaled-down object count for unit tests).
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of moving objects (paper default 100 K).
+    pub n_objects: usize,
+    /// Maximum object speed in m/ts (paper default 100).
+    pub max_speed: f64,
+    /// Simulated duration in timestamps (paper: 240).
+    pub duration: f64,
+    /// Maximum update interval (paper: 120 ts).
+    pub max_update_interval: f64,
+    /// Number of range queries spread over the run.
+    pub n_queries: usize,
+    /// Query shape/timing parameters.
+    pub query: QuerySpec,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_objects: 100_000,
+            max_speed: 100.0,
+            duration: 240.0,
+            max_update_interval: 120.0,
+            n_queries: 200,
+            query: QuerySpec::default(),
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// One timed benchmark event.
+#[derive(Debug, Clone)]
+pub enum WorkloadEvent {
+    /// A velocity update (delete + insert) of an existing object.
+    Update(MovingObject),
+    /// A range query to execute.
+    Query(RangeQuery),
+}
+
+/// A fully materialized benchmark trace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The dataset this trace was generated from.
+    pub dataset: Dataset,
+    /// The data domain.
+    pub domain: Rect,
+    /// Initial objects (reference time 0), inserted before the run.
+    pub initial: Vec<MovingObject>,
+    /// Time-sorted stream of updates and queries.
+    pub events: Vec<(f64, WorkloadEvent)>,
+}
+
+impl Workload {
+    /// Generates the trace for a dataset.
+    pub fn generate(dataset: Dataset, cfg: &WorkloadConfig) -> Workload {
+        let domain = Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let network = dataset
+            .network_params(cfg.seed ^ 0x5EED)
+            .map(|p| RoadNetwork::generate(&p));
+
+        let mut initial = Vec::with_capacity(cfg.n_objects);
+        let mut events: Vec<(f64, WorkloadEvent)> = Vec::new();
+
+        match &network {
+            Some(net) => {
+                for id in 0..cfg.n_objects as u64 {
+                    simulate_network_object(id, net, cfg, &mut rng, &mut initial, &mut events);
+                }
+            }
+            None => {
+                for id in 0..cfg.n_objects as u64 {
+                    simulate_free_object(id, &domain, cfg, &mut rng, &mut initial, &mut events);
+                }
+            }
+        }
+
+        // Query stream: evenly spaced issue times, uniform centers.
+        for qi in 0..cfg.n_queries {
+            let t = if cfg.n_queries <= 1 {
+                0.0
+            } else {
+                cfg.duration * qi as f64 / (cfg.n_queries - 1) as f64
+            };
+            let q = cfg.query.random(&domain, t, &mut rng);
+            events.push((t, WorkloadEvent::Query(q)));
+        }
+
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Workload {
+            dataset,
+            domain,
+            initial,
+            events,
+        }
+    }
+
+    /// A sample of `n` current velocities (from the initial objects) —
+    /// the velocity analyzer's input (paper: 10,000 points).
+    pub fn velocity_sample(&self, n: usize, seed: u64) -> Vec<Vec2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if self.initial.is_empty() {
+            return Vec::new();
+        }
+        (0..n.min(self.initial.len()))
+            .map(|_| self.initial[rng.random_range(0..self.initial.len())].vel)
+            .collect()
+    }
+
+    /// Total number of updates in the trace.
+    pub fn update_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Update(_)))
+            .count()
+    }
+
+    /// Total number of queries in the trace.
+    pub fn query_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Query(_)))
+            .count()
+    }
+}
+
+fn draw_speed(cfg: &WorkloadConfig, rng: &mut StdRng) -> f64 {
+    // Speeds span (5%, 100%] of the maximum, as in the benchmark's
+    // mixed speed classes.
+    rng.random_range(0.05..=1.0) * cfg.max_speed
+}
+
+fn simulate_network_object(
+    id: u64,
+    net: &RoadNetwork,
+    cfg: &WorkloadConfig,
+    rng: &mut StdRng,
+    initial: &mut Vec<MovingObject>,
+    events: &mut Vec<(f64, WorkloadEvent)>,
+) {
+    let (mut from, mut to) = net.random_edge(rng);
+    let a = net.node(from);
+    let b = net.node(to);
+    let u: f64 = rng.random_range(0.0..1.0);
+    let mut pos = Point::new(a.x + (b.x - a.x) * u, a.y + (b.y - a.y) * u);
+    let mut speed = draw_speed(cfg, rng);
+    let mut t = 0.0_f64;
+    let mut first = true;
+
+    loop {
+        let target = net.node(to);
+        let dist = pos.dist(target);
+        let dir = if dist > 1e-9 {
+            (target - pos) / dist
+        } else {
+            Point::new(1.0, 0.0)
+        };
+        let vel = dir * speed;
+        let obj = MovingObject::new(id, pos, vel, t);
+        if first {
+            initial.push(obj);
+            first = false;
+        } else {
+            events.push((t, WorkloadEvent::Update(obj)));
+        }
+
+        // Next report: node arrival or forced update, whichever first.
+        let t_arrive = t + dist / speed.max(1e-9);
+        let t_forced = t + cfg.max_update_interval;
+        if t_arrive.min(t_forced) > cfg.duration {
+            break;
+        }
+        if t_arrive <= t_forced {
+            // Reached the node: turn onto the next edge, redraw speed.
+            t = t_arrive;
+            pos = target;
+            let (f, nto) = net.next_edge(from, to, rng);
+            from = f;
+            to = nto;
+            speed = draw_speed(cfg, rng);
+        } else {
+            // Forced mid-edge report: redraw the speed (traffic),
+            // keep heading to the same node.
+            t = t_forced;
+            pos = pos.advance(vel, cfg.max_update_interval);
+            speed = draw_speed(cfg, rng);
+        }
+    }
+}
+
+fn simulate_free_object(
+    id: u64,
+    domain: &Rect,
+    cfg: &WorkloadConfig,
+    rng: &mut StdRng,
+    initial: &mut Vec<MovingObject>,
+    events: &mut Vec<(f64, WorkloadEvent)>,
+) {
+    let mut pos = Point::new(
+        rng.random_range(domain.lo.x..=domain.hi.x),
+        rng.random_range(domain.lo.y..=domain.hi.y),
+    );
+    let mut t = 0.0_f64;
+    let mut first = true;
+    loop {
+        let ang = rng.random_range(0.0..std::f64::consts::TAU);
+        let speed = draw_speed(cfg, rng);
+        let vel = Point::new(ang.cos() * speed, ang.sin() * speed);
+        let obj = MovingObject::new(id, pos, vel, t);
+        if first {
+            initial.push(obj);
+            first = false;
+        } else {
+            events.push((t, WorkloadEvent::Update(obj)));
+        }
+        let dt: f64 = rng.random_range(1.0..=cfg.max_update_interval);
+        if t + dt > cfg.duration {
+            break;
+        }
+        t += dt;
+        pos = reflect(pos.advance(vel, dt), domain);
+    }
+}
+
+/// Reflects a position back into the domain (mirror at the borders).
+fn reflect(p: Point, domain: &Rect) -> Point {
+    let reflect1 = |mut v: f64, lo: f64, hi: f64| -> f64 {
+        let w = hi - lo;
+        if w <= 0.0 {
+            return lo;
+        }
+        // Fold into [lo, lo + 2w), then mirror the upper half.
+        v = (v - lo).rem_euclid(2.0 * w);
+        if v > w {
+            v = 2.0 * w - v;
+        }
+        lo + v
+    };
+    Point::new(
+        reflect1(p.x, domain.lo.x, domain.hi.x),
+        reflect1(p.y, domain.lo.y, domain.hi.y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_core::MovingObjectIndex;
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            n_objects: 500,
+            n_queries: 20,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_expected_counts() {
+        let w = Workload::generate(Dataset::Chicago, &small_cfg());
+        assert_eq!(w.initial.len(), 500);
+        assert_eq!(w.query_count(), 20);
+        assert!(w.update_count() > 500, "expected several updates/object");
+        // Events sorted by time.
+        for pair in w.events.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Workload::generate(Dataset::SanFrancisco, &small_cfg());
+        let b = Workload::generate(Dataset::SanFrancisco, &small_cfg());
+        assert_eq!(a.initial.len(), b.initial.len());
+        for (x, y) in a.initial.iter().zip(&b.initial) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn updates_respect_max_interval() {
+        let w = Workload::generate(Dataset::Chicago, &small_cfg());
+        // Per object, consecutive reports are at most max_update_interval
+        // apart (within fp tolerance).
+        let mut last: std::collections::HashMap<u64, f64> =
+            w.initial.iter().map(|o| (o.id, 0.0)).collect();
+        for (t, e) in &w.events {
+            if let WorkloadEvent::Update(o) = e {
+                let prev = last.insert(o.id, *t).unwrap();
+                assert!(
+                    *t - prev <= 120.0 + 1e-6,
+                    "object {} waited {} ts",
+                    o.id,
+                    t - prev
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_velocities_are_direction_skewed() {
+        let w = Workload::generate(Dataset::Chicago, &small_cfg());
+        let sample = w.velocity_sample(500, 1);
+        // Most velocities near the two grid axes.
+        let aligned = sample
+            .iter()
+            .filter(|v| {
+                let ang = v.y.atan2(v.x).rem_euclid(std::f64::consts::FRAC_PI_2);
+                ang.min(std::f64::consts::FRAC_PI_2 - ang) < 0.15
+            })
+            .count();
+        assert!(
+            aligned as f64 > sample.len() as f64 * 0.8,
+            "only {aligned}/{} aligned",
+            sample.len()
+        );
+    }
+
+    #[test]
+    fn uniform_velocities_are_isotropic() {
+        let w = Workload::generate(Dataset::Uniform, &small_cfg());
+        let sample = w.velocity_sample(500, 1);
+        let aligned = sample
+            .iter()
+            .filter(|v| {
+                let ang = v.y.atan2(v.x).rem_euclid(std::f64::consts::FRAC_PI_2);
+                ang.min(std::f64::consts::FRAC_PI_2 - ang) < 0.15
+            })
+            .count();
+        // ~19% of directions fall within 0.15 rad of an axis by chance.
+        assert!(
+            (aligned as f64) < sample.len() as f64 * 0.4,
+            "{aligned}/{} aligned — too skewed for uniform",
+            sample.len()
+        );
+    }
+
+    #[test]
+    fn positions_stay_in_domain() {
+        for ds in [Dataset::NewYork, Dataset::Uniform] {
+            let w = Workload::generate(ds, &small_cfg());
+            for o in &w.initial {
+                assert!(w.domain.contains_point(o.pos), "{ds}: {:?}", o.pos);
+            }
+            for (_, e) in &w.events {
+                if let WorkloadEvent::Update(o) = e {
+                    assert!(
+                        w.domain.inflate(1.0, 1.0).contains_point(o.pos),
+                        "{ds}: {:?}",
+                        o.pos
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replays_cleanly_on_an_index() {
+        // End-to-end smoke: the trace applies without duplicate/unknown
+        // id errors on a reference index.
+        use vp_core::traits::reference::ScanIndex;
+        let w = Workload::generate(Dataset::Melbourne, &small_cfg());
+        let mut idx = ScanIndex::new();
+        for o in &w.initial {
+            idx.insert(*o).unwrap();
+        }
+        for (_, e) in &w.events {
+            match e {
+                WorkloadEvent::Update(o) => idx.update(*o).unwrap(),
+                WorkloadEvent::Query(q) => {
+                    idx.range_query(q).unwrap();
+                }
+            }
+        }
+        assert_eq!(idx.len(), 500);
+    }
+
+    #[test]
+    fn reflect_folds_into_domain() {
+        let d = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(reflect(Point::new(5.0, 5.0), &d), Point::new(5.0, 5.0));
+        assert_eq!(reflect(Point::new(12.0, 5.0), &d), Point::new(8.0, 5.0));
+        assert_eq!(reflect(Point::new(-3.0, 5.0), &d), Point::new(3.0, 5.0));
+        assert_eq!(reflect(Point::new(5.0, 27.0), &d), Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn velocity_sample_size() {
+        let w = Workload::generate(Dataset::Uniform, &small_cfg());
+        assert_eq!(w.velocity_sample(100, 2).len(), 100);
+        assert_eq!(w.velocity_sample(10_000, 2).len(), 500);
+    }
+}

@@ -1,0 +1,30 @@
+//! # vp-workload — moving-object workload generation
+//!
+//! Reproduces the experimental setup of the paper (Section 6), which
+//! used the Chen et al. benchmark generator fed with OpenStreetMap
+//! road networks. OSM extracts are not available offline, so
+//! [`network`] procedurally generates road networks with the exact
+//! knobs the paper's datasets vary:
+//!
+//! * **direction skew** — how tightly edge directions hug the two
+//!   dominant axes (CH most skewed > SA > MEL > NY), plus a fraction
+//!   of off-axis "diagonal" connectors;
+//! * **density** — nodes/edges per unit area; denser networks (MEL,
+//!   NY) have shorter edges and therefore more frequent updates;
+//! * **orientation** — the angle of the primary axis.
+//!
+//! [`generator`] simulates network-constrained movement: objects
+//! travel along edges, turn (and report a velocity update) at nodes,
+//! and are forced to report at least every maximum-update-interval.
+//! [`datasets`] holds the per-city presets and the uniform synthetic
+//! dataset; [`queries`] builds the benchmark's range-query streams.
+
+pub mod datasets;
+pub mod generator;
+pub mod network;
+pub mod queries;
+
+pub use datasets::Dataset;
+pub use generator::{Workload, WorkloadConfig, WorkloadEvent};
+pub use network::{NetworkParams, RoadNetwork};
+pub use queries::{QueryShape, QuerySpec};

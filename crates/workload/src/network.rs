@@ -1,0 +1,342 @@
+//! Procedural road networks.
+//!
+//! A network is a jittered grid: two families of parallel streets
+//! aligned with a (rotated) primary axis, intersecting at nodes, plus
+//! a configurable fraction of off-axis diagonal connectors. Node
+//! positions are perturbed so edge directions wobble around the two
+//! dominant axes — the *direction skew* the paper's datasets differ
+//! in. All coordinates stay inside the configured domain.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vp_geom::{Frame, Point, Rect};
+
+/// Parameters of the procedural network generator.
+#[derive(Debug, Clone)]
+pub struct NetworkParams {
+    /// World domain the network spans.
+    pub domain: Rect,
+    /// Angle (radians) of the primary street axis; the secondary axis
+    /// is perpendicular.
+    pub orientation: f64,
+    /// Streets per axis — the grid is `streets × streets`.
+    pub streets_per_axis: usize,
+    /// Node position jitter as a fraction of street spacing (drives
+    /// how far edge directions stray from the dominant axes).
+    pub jitter: f64,
+    /// Fraction of extra off-axis diagonal edges, relative to the
+    /// number of grid edges.
+    pub diagonal_fraction: f64,
+    /// RNG seed — networks are fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
+            orientation: 0.0,
+            streets_per_axis: 32,
+            jitter: 0.05,
+            diagonal_fraction: 0.05,
+            seed: 0x0A0D,
+        }
+    }
+}
+
+/// An undirected road network embedded in the plane.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    nodes: Vec<Point>,
+    /// Adjacency list; `adj[n]` lists the neighbor node ids of `n`.
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+    domain: Rect,
+}
+
+impl RoadNetwork {
+    /// Generates a network from parameters.
+    pub fn generate(params: &NetworkParams) -> RoadNetwork {
+        assert!(params.streets_per_axis >= 2, "need at least a 2x2 grid");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = params.streets_per_axis;
+        let d = &params.domain;
+        let frame = Frame::new(
+            Point::new(params.orientation.cos(), params.orientation.sin()),
+            d.center(),
+        );
+        // Lay the grid out in the rotated frame, inset so rotation
+        // keeps nodes inside the domain.
+        let half = 0.5 / std::f64::consts::SQRT_2;
+        let w = d.width() * half * 2.0;
+        let h = d.height() * half * 2.0;
+        let sx = w / (n - 1) as f64;
+        let sy = h / (n - 1) as f64;
+
+        let mut nodes = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                let jx = (rng.random::<f64>() - 0.5) * 2.0 * params.jitter * sx;
+                let jy = (rng.random::<f64>() - 0.5) * 2.0 * params.jitter * sy;
+                let fx = -w * 0.5 + i as f64 * sx + jx;
+                let fy = -h * 0.5 + j as f64 * sy + jy;
+                let p = frame.from_frame(Point::new(fx, fy));
+                nodes.push(Point::new(
+                    p.x.clamp(d.lo.x, d.hi.x),
+                    p.y.clamp(d.lo.y, d.hi.y),
+                ));
+            }
+        }
+
+        let id = |i: usize, j: usize| (j * n + i) as u32;
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n * n];
+        let mut edge_count = 0usize;
+        fn connect(adj: &mut [Vec<u32>], edge_count: &mut usize, a: u32, b: u32) {
+            if a != b && !adj[a as usize].contains(&b) {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+                *edge_count += 1;
+            }
+        }
+        for j in 0..n {
+            for i in 0..n {
+                if i + 1 < n {
+                    connect(&mut adj, &mut edge_count, id(i, j), id(i + 1, j));
+                }
+                if j + 1 < n {
+                    connect(&mut adj, &mut edge_count, id(i, j), id(i, j + 1));
+                }
+            }
+        }
+        // Off-axis diagonal connectors.
+        let diagonals = (edge_count as f64 * params.diagonal_fraction) as usize;
+        for _ in 0..diagonals {
+            let i = rng.random_range(0..n - 1);
+            let j = rng.random_range(0..n - 1);
+            if rng.random::<bool>() {
+                connect(&mut adj, &mut edge_count, id(i, j), id(i + 1, j + 1));
+            } else {
+                connect(&mut adj, &mut edge_count, id(i + 1, j), id(i, j + 1));
+            }
+        }
+
+        RoadNetwork {
+            nodes,
+            adj,
+            edge_count,
+            domain: *d,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The network's domain.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Position of a node.
+    pub fn node(&self, id: u32) -> Point {
+        self.nodes[id as usize]
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, id: u32) -> &[u32] {
+        &self.adj[id as usize]
+    }
+
+    /// A uniformly random directed edge `(from, to)`.
+    pub fn random_edge(&self, rng: &mut StdRng) -> (u32, u32) {
+        loop {
+            let a = rng.random_range(0..self.nodes.len()) as u32;
+            if let Some(&b) = pick(&self.adj[a as usize], rng) {
+                return (a, b);
+            }
+        }
+    }
+
+    /// The next directed edge after arriving at `at` from `from`:
+    /// a random outgoing edge, avoiding an immediate U-turn when any
+    /// alternative exists.
+    pub fn next_edge(&self, from: u32, at: u32, rng: &mut StdRng) -> (u32, u32) {
+        let nbrs = &self.adj[at as usize];
+        debug_assert!(!nbrs.is_empty(), "dangling node {at}");
+        let choices: Vec<u32> = nbrs.iter().copied().filter(|&b| b != from).collect();
+        let to = if choices.is_empty() {
+            from // dead end: turn back
+        } else {
+            *pick(&choices, rng).expect("non-empty")
+        };
+        (at, to)
+    }
+
+    /// Average edge length — the main driver of update frequency.
+    pub fn mean_edge_length(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (a, nbrs) in self.adj.iter().enumerate() {
+            for &b in nbrs {
+                if (a as u32) < b {
+                    total += self.nodes[a].dist(self.nodes[b as usize]);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Histogram quality metric: the fraction of total edge length
+    /// whose direction lies within `tol` radians of one of the two
+    /// grid axes (modulo π). Higher = more direction-skewed network.
+    pub fn axis_alignment(&self, orientation: f64, tol: f64) -> f64 {
+        let mut aligned = 0.0;
+        let mut total = 0.0;
+        for (a, nbrs) in self.adj.iter().enumerate() {
+            for &b in nbrs {
+                if (a as u32) < b {
+                    let v = self.nodes[b as usize] - self.nodes[a];
+                    let len = v.norm();
+                    if len <= 0.0 {
+                        continue;
+                    }
+                    let ang = v.y.atan2(v.x);
+                    let rel = (ang - orientation).rem_euclid(std::f64::consts::FRAC_PI_2);
+                    let dev = rel.min(std::f64::consts::FRAC_PI_2 - rel);
+                    total += len;
+                    if dev <= tol {
+                        aligned += len;
+                    }
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            aligned / total
+        }
+    }
+}
+
+fn pick<'a, T>(slice: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.random_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(jitter: f64, diag: f64) -> NetworkParams {
+        NetworkParams {
+            streets_per_axis: 16,
+            jitter,
+            diagonal_fraction: diag,
+            seed: 7,
+            ..NetworkParams::default()
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let net = RoadNetwork::generate(&params(0.0, 0.0));
+        assert_eq!(net.node_count(), 256);
+        // 2 * n * (n-1) grid edges.
+        assert_eq!(net.edge_count(), 2 * 16 * 15);
+        // Interior nodes have 4 neighbors; corners 2.
+        assert_eq!(net.neighbors(0).len(), 2);
+        let interior = 5 * 16 + 5;
+        assert_eq!(net.neighbors(interior).len(), 4);
+    }
+
+    #[test]
+    fn nodes_inside_domain() {
+        for orientation in [0.0, 0.4, 1.0] {
+            let mut p = params(0.2, 0.1);
+            p.orientation = orientation;
+            let net = RoadNetwork::generate(&p);
+            for i in 0..net.node_count() {
+                assert!(net.domain().contains_point(net.node(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RoadNetwork::generate(&params(0.1, 0.05));
+        let b = RoadNetwork::generate(&params(0.1, 0.05));
+        assert_eq!(a.node_count(), b.node_count());
+        for i in 0..a.node_count() {
+            assert_eq!(a.node(i as u32), b.node(i as u32));
+        }
+    }
+
+    #[test]
+    fn jitter_reduces_axis_alignment() {
+        let tight = RoadNetwork::generate(&params(0.01, 0.0));
+        let loose = RoadNetwork::generate(&params(0.45, 0.0));
+        let a_tight = tight.axis_alignment(0.0, 0.1);
+        let a_loose = loose.axis_alignment(0.0, 0.1);
+        assert!(a_tight > 0.95, "tight grid alignment {a_tight}");
+        assert!(
+            a_loose < a_tight,
+            "jitter should reduce alignment: {a_loose} vs {a_tight}"
+        );
+    }
+
+    #[test]
+    fn diagonals_add_edges() {
+        let plain = RoadNetwork::generate(&params(0.05, 0.0));
+        let diag = RoadNetwork::generate(&params(0.05, 0.2));
+        assert!(diag.edge_count() > plain.edge_count());
+    }
+
+    #[test]
+    fn walks_never_dead_end() {
+        let net = RoadNetwork::generate(&params(0.1, 0.05));
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut from, mut to) = net.random_edge(&mut rng);
+        for _ in 0..1000 {
+            let (f, t) = net.next_edge(from, to, &mut rng);
+            assert_ne!(f, t, "self-loop");
+            from = f;
+            to = t;
+        }
+    }
+
+    #[test]
+    fn rotated_network_aligns_with_orientation() {
+        let mut p = params(0.02, 0.0);
+        p.orientation = 0.5;
+        let net = RoadNetwork::generate(&p);
+        assert!(net.axis_alignment(0.5, 0.1) > 0.9);
+        assert!(net.axis_alignment(0.0, 0.1) < 0.5);
+    }
+
+    #[test]
+    fn mean_edge_length_scales_with_density() {
+        let sparse = RoadNetwork::generate(&NetworkParams {
+            streets_per_axis: 8,
+            ..params(0.05, 0.0)
+        });
+        let dense = RoadNetwork::generate(&NetworkParams {
+            streets_per_axis: 32,
+            ..params(0.05, 0.0)
+        });
+        assert!(sparse.mean_edge_length() > dense.mean_edge_length() * 2.0);
+    }
+}

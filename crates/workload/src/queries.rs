@@ -1,0 +1,136 @@
+//! Query stream generation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vp_core::{QueryRegion, RangeQuery};
+use vp_geom::{Circle, Point, Rect};
+
+/// Shape of the benchmark queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// Circular range query of the given radius (the paper's default;
+    /// Table 1 radius 100–1000 m, default 500 m).
+    Circle { radius: f64 },
+    /// Rectangular range query with the given side lengths (Section
+    /// 6.8 uses 1000 m × 1000 m).
+    Rect { width: f64, height: f64 },
+}
+
+/// Parameters of a query stream.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec {
+    pub shape: QueryShape,
+    /// Offset added to the issue time to form the (future) query time
+    /// — the paper's "query predictive time" (default 60 ts).
+    pub predictive_time: f64,
+    /// For time-interval / moving queries: the window length after the
+    /// predictive time (0 = time slice).
+    pub interval_len: f64,
+    /// Velocity of a moving range query (zero = static).
+    pub query_velocity: Point,
+}
+
+impl Default for QuerySpec {
+    fn default() -> Self {
+        QuerySpec {
+            shape: QueryShape::Circle { radius: 500.0 },
+            predictive_time: 60.0,
+            interval_len: 0.0,
+            query_velocity: Point::ZERO,
+        }
+    }
+}
+
+impl QuerySpec {
+    /// Builds one query issued at `issue_time` centered at `center`.
+    pub fn build(&self, center: Point, issue_time: f64) -> RangeQuery {
+        let region = match self.shape {
+            QueryShape::Circle { radius } => QueryRegion::Circle(Circle::new(center, radius)),
+            QueryShape::Rect { width, height } => {
+                QueryRegion::Rect(Rect::centered(center, width * 0.5, height * 0.5))
+            }
+        };
+        let t1 = issue_time + self.predictive_time;
+        if self.interval_len <= 0.0 && self.query_velocity == Point::ZERO {
+            RangeQuery::time_slice(region, t1)
+        } else if self.query_velocity == Point::ZERO {
+            RangeQuery::time_interval(region, t1, t1 + self.interval_len)
+        } else {
+            RangeQuery::moving(region, self.query_velocity, t1, t1 + self.interval_len)
+        }
+    }
+
+    /// Builds one query with a uniformly random center in `domain`.
+    pub fn random(&self, domain: &Rect, issue_time: f64, rng: &mut StdRng) -> RangeQuery {
+        let c = Point::new(
+            rng.random_range(domain.lo.x..=domain.hi.x),
+            rng.random_range(domain.lo.y..=domain.hi.y),
+        );
+        self.build(c, issue_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn time_slice_circle() {
+        let spec = QuerySpec::default();
+        let q = spec.build(Point::new(10.0, 20.0), 5.0);
+        assert!(q.is_time_slice());
+        assert_eq!(q.t_start, 65.0);
+        match q.region {
+            QueryRegion::Circle(c) => {
+                assert_eq!(c.center, Point::new(10.0, 20.0));
+                assert_eq!(c.radius, 500.0);
+            }
+            _ => panic!("expected circle"),
+        }
+    }
+
+    #[test]
+    fn rect_interval_query() {
+        let spec = QuerySpec {
+            shape: QueryShape::Rect {
+                width: 1000.0,
+                height: 1000.0,
+            },
+            predictive_time: 20.0,
+            interval_len: 10.0,
+            query_velocity: Point::ZERO,
+        };
+        let q = spec.build(Point::new(0.0, 0.0), 0.0);
+        assert!(!q.is_time_slice());
+        assert_eq!((q.t_start, q.t_end), (20.0, 30.0));
+        assert_eq!(
+            q.region.bounding_rect(),
+            Rect::from_bounds(-500.0, -500.0, 500.0, 500.0)
+        );
+    }
+
+    #[test]
+    fn moving_query() {
+        let spec = QuerySpec {
+            query_velocity: Point::new(5.0, 0.0),
+            interval_len: 10.0,
+            ..QuerySpec::default()
+        };
+        let q = spec.build(Point::ZERO, 0.0);
+        assert_eq!(q.velocity, Point::new(5.0, 0.0));
+        assert_eq!((q.t_start, q.t_end), (60.0, 70.0));
+    }
+
+    #[test]
+    fn random_centers_in_domain() {
+        let spec = QuerySpec::default();
+        let domain = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let q = spec.random(&domain, 0.0, &mut rng);
+            let b = q.region.bounding_rect();
+            assert!(domain.contains_point(b.center()));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Fleet telemetry with drifting speed distributions (Section 5.5).
+//!
+//! A delivery fleet's *directions* stay fixed (the road network does
+//! not change) but its *speeds* drift with the time of day: free-flow
+//! traffic at night, congestion at rush hour. The τ threshold is a
+//! speed quantity, so it must track the drift — `VpIndex` maintains
+//! online perpendicular-speed histograms and recomputes τ on demand
+//! ([`VpIndex::refresh_tau`]).
+//!
+//! Run with: `cargo run --release --example fleet_telemetry`
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use velocity_partitioning::prelude::*;
+
+fn vehicle(id: u64, rng: &mut StdRng, speed_scale: f64, t: f64) -> MovingObject {
+    // Grid-city traffic: mostly axis-aligned with small perpendicular
+    // wobble; speeds scaled by the current congestion factor.
+    let along = rng.random_range(10.0..40.0) * speed_scale;
+    let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+    let u: f64 = rng.random_range(0.0..1.0);
+    let wobble = (rng.random_range(0.0..1.0) - 0.5) * 2.0 * u * u * 3.0;
+    let vel = if rng.random::<bool>() {
+        Point::new(along * sign, wobble)
+    } else {
+        Point::new(wobble, along * sign)
+    };
+    let pos = Point::new(
+        rng.random_range(0.0..100_000.0),
+        rng.random_range(0.0..100_000.0),
+    );
+    MovingObject::new(id, pos, vel, t)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 10_000u64;
+
+    // Night-time sample trains the analyzer.
+    let night: Vec<MovingObject> = (0..n).map(|id| vehicle(id, &mut rng, 1.0, 0.0)).collect();
+    let vp_cfg = VpConfig::default();
+    let sample: Vec<Vec2> = night.iter().map(|o| o.vel).collect();
+    let analysis = VelocityAnalyzer::new(vp_cfg.clone()).analyze(&sample);
+
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut index = VpIndex::build(vp_cfg, &analysis, |_| {
+        TprTree::new(Arc::clone(&pool), TprConfig::default())
+    })
+    .unwrap();
+    for o in &night {
+        index.insert(*o).unwrap();
+    }
+    let tau_night: Vec<f64> = index.specs()[..2].iter().map(|s| s.tau).collect();
+    println!("night tau per DVA: {tau_night:?}");
+
+    // Morning rush: everything slows to 40%. Replay one update round
+    // per vehicle with the congested speeds.
+    for id in 0..n {
+        index
+            .update(vehicle(id, &mut rng, 0.4, 60.0))
+            .unwrap();
+    }
+    let taus = index.refresh_tau();
+    println!("after rush-hour drift, refreshed tau: {taus:?}");
+    assert!(
+        taus[0] <= tau_night[0] * 1.5,
+        "tau should track the tighter speed distribution"
+    );
+
+    // Queries remain correct across the refresh.
+    let q = RangeQuery::time_slice(
+        QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 5_000.0)),
+        90.0,
+    );
+    let got = index.range_query(&q).unwrap();
+    println!("rush-hour probe: {} vehicles in range", got.len());
+
+    // Evening: free flow returns; another round of updates and a
+    // refresh loosens tau again.
+    for id in 0..n {
+        index
+            .update(vehicle(id, &mut rng, 1.2, 120.0))
+            .unwrap();
+    }
+    let taus_evening = index.refresh_tau();
+    println!("evening refreshed tau: {taus_evening:?}");
+    println!(
+        "partition sizes (DVA..., outliers): {:?}",
+        index.partition_sizes()
+    );
+    println!("total I/O so far: {:?}", index.io_stats());
+}

@@ -1,0 +1,95 @@
+//! Quickstart: velocity-partition a TPR*-tree and a Bx-tree, compare
+//! their query I/O against unpartitioned counterparts on a small
+//! road-network workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use velocity_partitioning::prelude::*;
+use vp_workload::WorkloadEvent;
+
+fn main() {
+    // 1. A small Chicago-style workload: 5,000 objects on a skewed
+    //    road network, 120 timestamps, circular predictive queries.
+    let wl_cfg = WorkloadConfig {
+        n_objects: 5_000,
+        n_queries: 40,
+        duration: 120.0,
+        ..WorkloadConfig::default()
+    };
+    let workload = Workload::generate(Dataset::Chicago, &wl_cfg);
+    println!(
+        "workload: {} objects, {} updates, {} queries",
+        workload.initial.len(),
+        workload.update_count(),
+        workload.query_count()
+    );
+
+    // 2. The velocity analyzer: sample velocities, find the dominant
+    //    velocity axes and outlier thresholds.
+    let vp_cfg = VpConfig::default();
+    let sample = workload.velocity_sample(vp_cfg.sample_size, 7);
+    let analysis = VelocityAnalyzer::new(vp_cfg.clone()).analyze(&sample);
+    for (i, p) in analysis.partitions.iter().enumerate() {
+        let deg = p.axis.y.atan2(p.axis.x).to_degrees();
+        println!(
+            "DVA {i}: axis {deg:.1} deg, tau {:.2} m/ts, {} sample members",
+            p.tau,
+            p.members.len()
+        );
+    }
+    println!(
+        "outliers: {:.1}% of sample, analyzer took {:?}",
+        analysis.outlier_fraction() * 100.0,
+        analysis.elapsed
+    );
+
+    // 3. Build plain and VP indexes (each gets its own 50-page pool).
+    let pool_plain = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut plain = TprTree::new(Arc::clone(&pool_plain), TprConfig::default());
+
+    let pool_vp = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut vp = VpIndex::build(vp_cfg, &analysis, |_spec| {
+        TprTree::new(Arc::clone(&pool_vp), TprConfig::default())
+    })
+    .expect("build VP index");
+
+    for obj in &workload.initial {
+        plain.insert(*obj).unwrap();
+        vp.insert(*obj).unwrap();
+    }
+
+    // 4. Replay the trace, accumulating per-operation I/O.
+    let (mut q_plain, mut q_vp, mut queries) = (0u64, 0u64, 0u64);
+    for (_, event) in &workload.events {
+        match event {
+            WorkloadEvent::Update(obj) => {
+                plain.update(*obj).unwrap();
+                vp.update(*obj).unwrap();
+            }
+            WorkloadEvent::Query(q) => {
+                let before = plain.io_stats();
+                let mut a = plain.range_query(q).unwrap();
+                q_plain += plain.io_stats().delta(&before).physical_total();
+
+                let before = vp.io_stats();
+                let mut b = vp.range_query(q).unwrap();
+                q_vp += vp.io_stats().delta(&before).physical_total();
+
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "plain and VP answers must agree");
+                queries += 1;
+            }
+        }
+    }
+
+    println!("\nresults over {queries} queries (identical answers):");
+    println!("  TPR*      avg query I/O: {:.1}", q_plain as f64 / queries as f64);
+    println!("  TPR*(VP)  avg query I/O: {:.1}", q_vp as f64 / queries as f64);
+    println!(
+        "  improvement: {:.2}x",
+        q_plain as f64 / q_vp.max(1) as f64
+    );
+}

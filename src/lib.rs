@@ -1,0 +1,88 @@
+//! # velocity-partitioning
+//!
+//! A from-scratch Rust reproduction of **"Boosting Moving Object
+//! Indexing through Velocity Partitioning"** (Nguyen, He, Zhang, Ward —
+//! PVLDB 5(9), VLDB 2012), including every substrate the paper's
+//! system depends on:
+//!
+//! * the **TPR\*-tree** and classic TPR-tree ([`TprTree`]) over a paged
+//!   storage engine with an I/O-counting LRU buffer pool;
+//! * the **Bx-tree** ([`BxTree`]) over a from-scratch B+-tree, with
+//!   Hilbert/Z-order curves, time buckets, and velocity-histogram
+//!   query enlargement;
+//! * the **velocity partitioning (VP)** technique itself
+//!   ([`VpIndex`]): PCA-guided k-means discovery of dominant velocity
+//!   axes (DVAs), cost-model-driven outlier thresholds (τ), and an
+//!   index manager that keeps one rotated-frame sub-index per DVA;
+//! * the benchmark workload generator (road networks with controlled
+//!   direction skew, network-constrained movement, query streams).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use velocity_partitioning::prelude::*;
+//!
+//! // A velocity sample: traffic along two roads (the analyzer input).
+//! let mut sample = Vec::new();
+//! for i in 1..=500 {
+//!     let s = 10.0 + (i % 90) as f64;
+//!     let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+//!     sample.push(Point::new(s * sign, 0.1)); // east-west road
+//!     sample.push(Point::new(-0.1, s * sign)); // north-south road
+//! }
+//!
+//! // Analyze: find DVAs and outlier thresholds (Algorithm 1).
+//! let config = VpConfig::default();
+//! let analysis = VelocityAnalyzer::new(config.clone()).analyze(&sample);
+//! assert_eq!(analysis.partitions.len(), 2);
+//!
+//! // Build a velocity-partitioned TPR*-tree: one sub-tree per DVA
+//! // plus an outlier tree, all sharing one 50-page buffer pool.
+//! let pool = Arc::new(BufferPool::new(DiskManager::new()));
+//! let mut index = VpIndex::build(config, &analysis, |_spec| {
+//!     TprTree::new(Arc::clone(&pool), TprConfig::default())
+//! })
+//! .unwrap();
+//!
+//! // Insert a moving object and run a predictive range query.
+//! index
+//!     .insert(MovingObject::new(
+//!         1,
+//!         Point::new(50_000.0, 50_000.0),
+//!         Point::new(30.0, 0.0), // eastbound, 30 m/ts
+//!         0.0,
+//!     ))
+//!     .unwrap();
+//! let query = RangeQuery::time_slice(
+//!     QueryRegion::Circle(Circle::new(Point::new(51_800.0, 50_000.0), 200.0)),
+//!     60.0, // 60 timestamps into the future
+//! );
+//! assert_eq!(index.range_query(&query).unwrap(), vec![1]);
+//! ```
+//!
+//! See `examples/` for larger scenarios and `crates/bench/src/bin/`
+//! for the binaries regenerating every figure of the paper.
+
+pub use vp_bptree;
+pub use vp_bx;
+pub use vp_core;
+pub use vp_geom;
+pub use vp_storage;
+pub use vp_tpr;
+pub use vp_workload;
+
+/// The commonly used API surface in one import.
+pub mod prelude {
+    pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
+    pub use vp_core::{
+        IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, PartitionSpec,
+        QueryRegion, RangeQuery, VelocityAnalyzer, VpConfig, VpIndex,
+    };
+    pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
+    pub use vp_storage::{BufferPool, DiskManager, IoStats};
+    pub use vp_tpr::{TprConfig, TprTree, TprVariant};
+    pub use vp_workload::{Dataset, QueryShape, QuerySpec, Workload, WorkloadConfig};
+}
+
+pub use prelude::*;

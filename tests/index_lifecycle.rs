@@ -1,0 +1,195 @@
+//! Integration tests for index lifecycle across the full stack:
+//! shared buffer pools, I/O attribution, partition migration, τ
+//! refresh, and behaviour at the data-domain edges.
+
+use std::sync::Arc;
+
+use velocity_partitioning::prelude::*;
+
+fn sample_two_roads() -> Vec<Vec2> {
+    let mut pts = Vec::new();
+    for i in 1..=600 {
+        let s = 10.0 + (i % 80) as f64;
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        pts.push(Point::new(s * sign, (i % 7) as f64 * 0.05));
+        pts.push(Point::new((i % 7) as f64 * 0.05, s * sign));
+    }
+    // Fast diagonals so τ has a tail to cut.
+    for i in 0..40 {
+        let a = if i % 2 == 0 { 0.9_f64 } else { 0.6 };
+        pts.push(Point::new(a.cos() * 80.0, a.sin() * 80.0));
+    }
+    pts
+}
+
+fn build_vp_tpr(pool: &Arc<BufferPool>) -> VpIndex<TprTree> {
+    let cfg = VpConfig::default();
+    let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample_two_roads());
+    let p = Arc::clone(pool);
+    VpIndex::build(cfg, &analysis, move |_| {
+        TprTree::new(Arc::clone(&p), TprConfig::default())
+    })
+    .unwrap()
+}
+
+#[test]
+fn vp_and_plain_share_one_pool_with_correct_attribution() {
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut plain = TprTree::new(Arc::clone(&pool), TprConfig::default());
+    let mut vp = build_vp_tpr(&pool);
+
+    for id in 0..500u64 {
+        let o = MovingObject::new(
+            id,
+            Point::new(40_000.0 + (id % 100) as f64 * 100.0, 50_000.0),
+            Point::new(20.0, 0.05),
+            0.0,
+        );
+        plain.insert(o).unwrap();
+        vp.insert(o).unwrap();
+    }
+    let plain_io = plain.io_stats();
+    let vp_io = vp.io_stats();
+    assert!(plain_io.logical_reads > 0);
+    assert!(vp_io.logical_reads > 0);
+    // Attribution is exclusive: a query on `plain` must not move
+    // `vp`'s counters.
+    let q = RangeQuery::time_slice(
+        QueryRegion::Circle(Circle::new(Point::new(45_000.0, 50_000.0), 2_000.0)),
+        10.0,
+    );
+    plain.range_query(&q).unwrap();
+    assert_eq!(vp.io_stats(), vp_io);
+}
+
+#[test]
+fn migration_across_partitions_preserves_answers() {
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut vp = build_vp_tpr(&pool);
+    // A vehicle driving a square loop: E, N, W, S — each turn migrates
+    // it between the two DVA partitions.
+    let legs = [
+        (Point::new(30.0, 0.0), 0.0),
+        (Point::new(0.0, 30.0), 30.0),
+        (Point::new(-30.0, 0.0), 60.0),
+        (Point::new(0.0, -30.0), 90.0),
+    ];
+    let mut pos = Point::new(50_000.0, 50_000.0);
+    vp.insert(MovingObject::new(1, pos, legs[0].0, legs[0].1))
+        .unwrap();
+    let mut seen_partitions = std::collections::HashSet::new();
+    seen_partitions.insert(vp.partition_of(1).unwrap());
+    for w in legs.windows(2) {
+        let (v_prev, t_prev) = w[0];
+        let (v_next, t_next) = w[1];
+        pos = pos.advance(v_prev, t_next - t_prev);
+        vp.update(MovingObject::new(1, pos, v_next, t_next)).unwrap();
+        seen_partitions.insert(vp.partition_of(1).unwrap());
+        // Always findable exactly where it is.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(pos, 10.0)),
+            t_next,
+        );
+        assert_eq!(vp.range_query(&q).unwrap(), vec![1]);
+    }
+    assert!(
+        seen_partitions.len() >= 2,
+        "the loop should have visited both DVA partitions: {seen_partitions:?}"
+    );
+    assert_eq!(vp.len(), 1);
+}
+
+#[test]
+fn objects_near_domain_corners_survive_rotation() {
+    // Rotated DVA frames map corners far from the frame origin; make
+    // sure inserts/queries at the extreme corners round-trip.
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut vp = build_vp_tpr(&pool);
+    let corners = [
+        Point::new(0.0, 0.0),
+        Point::new(100_000.0, 0.0),
+        Point::new(0.0, 100_000.0),
+        Point::new(100_000.0, 100_000.0),
+    ];
+    for (i, &c) in corners.iter().enumerate() {
+        vp.insert(MovingObject::new(i as u64, c, Point::new(25.0, 0.1), 0.0))
+            .unwrap();
+    }
+    for (i, &c) in corners.iter().enumerate() {
+        let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, 5.0)), 0.0);
+        assert_eq!(vp.range_query(&q).unwrap(), vec![i as u64], "corner {c:?}");
+    }
+}
+
+#[test]
+fn tau_refresh_does_not_lose_objects() {
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut vp = build_vp_tpr(&pool);
+    for id in 0..2_000u64 {
+        vp.insert(MovingObject::new(
+            id,
+            Point::new((id % 200) as f64 * 500.0, (id / 200) as f64 * 5_000.0),
+            Point::new(15.0 + (id % 30) as f64, 0.02),
+            0.0,
+        ))
+        .unwrap();
+    }
+    let before = vp.len();
+    vp.refresh_tau();
+    assert_eq!(vp.len(), before);
+    // Everything still reachable through a full-domain query.
+    let q = RangeQuery::time_slice(
+        QueryRegion::Rect(Rect::from_bounds(-1e6, -1e6, 1e6, 1e6)),
+        0.0,
+    );
+    assert_eq!(vp.range_query(&q).unwrap().len(), before);
+}
+
+#[test]
+fn tiny_buffer_pool_still_correct() {
+    // With a 2-page pool everything thrashes; answers must not change.
+    let pool = Arc::new(BufferPool::with_capacity(DiskManager::new(), 2));
+    let mut tree = TprTree::new(Arc::clone(&pool), TprConfig::default());
+    let mut expect = Vec::new();
+    for id in 0..800u64 {
+        let pos = Point::new((id % 40) as f64 * 2_500.0, (id / 40) as f64 * 5_000.0);
+        let o = MovingObject::new(id, pos, Point::new(10.0, 10.0), 0.0);
+        tree.insert(o).unwrap();
+        expect.push(o);
+    }
+    let q = RangeQuery::time_slice(
+        QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 50_000.0, 50_000.0)),
+        30.0,
+    );
+    let mut got = tree.range_query(&q).unwrap();
+    let mut want: Vec<u64> = expect.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+    // And the tiny pool really did thrash.
+    assert!(tree.io_stats().physical_reads > 10);
+}
+
+#[test]
+fn empty_and_single_object_edge_cases() {
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut vp = build_vp_tpr(&pool);
+    let q = RangeQuery::time_slice(
+        QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 1e5)),
+        0.0,
+    );
+    assert!(vp.range_query(&q).unwrap().is_empty());
+    assert!(vp.is_empty());
+
+    vp.insert(MovingObject::new(
+        42,
+        Point::new(50_000.0, 50_000.0),
+        Point::ZERO,
+        0.0,
+    ))
+    .unwrap();
+    assert_eq!(vp.range_query(&q).unwrap(), vec![42]);
+    vp.delete(42).unwrap();
+    assert!(vp.range_query(&q).unwrap().is_empty());
+    assert!(matches!(vp.delete(42), Err(IndexError::UnknownObject(42))));
+}

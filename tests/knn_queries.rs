@@ -1,0 +1,97 @@
+//! kNN integration: the expanding-circle kNN built on range queries
+//! (the paper's "filter step of the k Nearest Neighbor query") must be
+//! exact on every index, partitioned or not.
+
+use std::sync::Arc;
+
+use velocity_partitioning::prelude::*;
+use vp_core::knn::knn_at;
+use vp_core::traits::reference::ScanIndex;
+
+fn workload() -> Workload {
+    Workload::generate(
+        Dataset::Chicago,
+        &WorkloadConfig {
+            n_objects: 1_500,
+            n_queries: 0,
+            duration: 60.0,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+#[test]
+fn knn_exact_on_all_indexes() {
+    let w = workload();
+    let vp_cfg = VpConfig {
+        sample_size: 1_500,
+        ..VpConfig::default()
+    };
+    let sample = w.velocity_sample(vp_cfg.sample_size, 5);
+    let analysis = VelocityAnalyzer::new(vp_cfg.clone()).analyze(&sample);
+
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut oracle = ScanIndex::new();
+    let mut tpr = TprTree::new(Arc::clone(&pool), TprConfig::default());
+    let mut bx = BxTree::new(
+        Arc::clone(&pool),
+        BxConfig {
+            hist_cells: 120,
+            ..BxConfig::default()
+        },
+    )
+    .unwrap();
+    let p = Arc::clone(&pool);
+    let mut vp = VpIndex::build(vp_cfg, &analysis, |_| {
+        TprTree::new(Arc::clone(&p), TprConfig::default())
+    })
+    .unwrap();
+
+    for o in &w.initial {
+        oracle.insert(*o).unwrap();
+        tpr.insert(*o).unwrap();
+        bx.insert(*o).unwrap();
+        vp.insert(*o).unwrap();
+    }
+
+    let centers = [
+        Point::new(50_000.0, 50_000.0),
+        Point::new(12_000.0, 80_000.0),
+        Point::new(95_000.0, 5_000.0),
+    ];
+    for &center in &centers {
+        for k in [1usize, 5, 20] {
+            for t in [0.0, 30.0, 60.0] {
+                let want = knn_at(&oracle, center, k, t, &w.domain).unwrap();
+                let got_tpr = knn_at(&tpr, center, k, t, &w.domain).unwrap();
+                let got_bx = knn_at(&bx, center, k, t, &w.domain).unwrap();
+                let got_vp = knn_at(&vp, center, k, t, &w.domain).unwrap();
+                let ids = |v: &Vec<vp_core::Neighbor>| v.iter().map(|n| n.id).collect::<Vec<_>>();
+                assert_eq!(ids(&got_tpr), ids(&want), "TPR kNN k={k} t={t}");
+                assert_eq!(ids(&got_bx), ids(&want), "Bx kNN k={k} t={t}");
+                assert_eq!(ids(&got_vp), ids(&want), "VP kNN k={k} t={t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_k_larger_than_population() {
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut tpr = TprTree::new(Arc::clone(&pool), TprConfig::default());
+    for i in 0..7u64 {
+        tpr.insert(MovingObject::new(
+            i,
+            Point::new(10_000.0 * i as f64, 50_000.0),
+            Point::new(5.0, 0.0),
+            0.0,
+        ))
+        .unwrap();
+    }
+    let domain = Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0);
+    let got = knn_at(&tpr, Point::new(0.0, 50_000.0), 50, 0.0, &domain).unwrap();
+    assert_eq!(got.len(), 7, "returns everything when k > population");
+    // Ordered by distance: ids 0, 1, 2, ...
+    let ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: every index — plain and velocity
+//! partitioned — must return exactly the same answers as the
+//! linear-scan oracle on shared workload traces, across datasets and
+//! all three query types.
+
+use std::sync::Arc;
+
+use velocity_partitioning::prelude::*;
+use vp_core::traits::reference::ScanIndex;
+use vp_workload::WorkloadEvent;
+
+fn wl_cfg(n: usize, queries: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        n_objects: n,
+        n_queries: queries,
+        duration: 120.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Builds all five indexes over one workload and replays the trace,
+/// asserting identical query answers everywhere.
+fn assert_all_equivalent(dataset: Dataset, cfg: &WorkloadConfig, query: QuerySpec) {
+    let mut cfg = cfg.clone();
+    cfg.query = query;
+    let workload = Workload::generate(dataset, &cfg);
+
+    let vp_cfg = VpConfig {
+        sample_size: 2_000,
+        ..VpConfig::default()
+    };
+    let sample = workload.velocity_sample(vp_cfg.sample_size, 3);
+    let analysis = VelocityAnalyzer::new(vp_cfg.clone()).analyze(&sample);
+
+    let bx_cfg = |domain: Rect| BxConfig {
+        domain,
+        hist_cells: 120,
+        update_interval: cfg.max_update_interval,
+        ..BxConfig::default()
+    };
+
+    let pool = Arc::new(BufferPool::new(DiskManager::new()));
+    let mut oracle = ScanIndex::new();
+    let mut tpr = TprTree::new(Arc::clone(&pool), TprConfig::default());
+    let mut bx = BxTree::new(Arc::clone(&pool), bx_cfg(workload.domain)).unwrap();
+    let p2 = Arc::clone(&pool);
+    let mut tpr_vp = VpIndex::build(vp_cfg.clone(), &analysis, |_| {
+        TprTree::new(Arc::clone(&p2), TprConfig::default())
+    })
+    .unwrap();
+    let p3 = Arc::clone(&pool);
+    let mut bx_vp = VpIndex::build(vp_cfg, &analysis, |spec| {
+        BxTree::new(Arc::clone(&p3), bx_cfg(spec.domain)).unwrap()
+    })
+    .unwrap();
+
+    let all: &mut [&mut dyn MovingObjectIndex] =
+        &mut [&mut oracle, &mut tpr, &mut bx, &mut tpr_vp, &mut bx_vp];
+    for obj in &workload.initial {
+        for idx in all.iter_mut() {
+            idx.insert(*obj).unwrap();
+        }
+    }
+    let mut queries_run = 0;
+    for (_, event) in &workload.events {
+        match event {
+            WorkloadEvent::Update(obj) => {
+                for idx in all.iter_mut() {
+                    idx.update(*obj).unwrap();
+                }
+            }
+            WorkloadEvent::Query(q) => {
+                let mut want = all[0].range_query(q).unwrap();
+                want.sort_unstable();
+                for (i, idx) in all.iter().enumerate().skip(1) {
+                    let mut got = idx.range_query(q).unwrap();
+                    got.sort_unstable();
+                    assert_eq!(
+                        got, want,
+                        "index #{i} diverged from oracle on {dataset} ({q:?})"
+                    );
+                }
+                queries_run += 1;
+            }
+        }
+    }
+    assert!(queries_run > 0, "trace had no queries");
+    // All indexes agree on cardinality at the end.
+    let n = all[0].len();
+    for idx in all.iter() {
+        assert_eq!(idx.len(), n);
+    }
+}
+
+#[test]
+fn timeslice_circle_on_chicago() {
+    assert_all_equivalent(
+        Dataset::Chicago,
+        &wl_cfg(1_200, 25),
+        QuerySpec {
+            shape: QueryShape::Circle { radius: 800.0 },
+            predictive_time: 60.0,
+            ..QuerySpec::default()
+        },
+    );
+}
+
+#[test]
+fn timeslice_rect_on_uniform() {
+    assert_all_equivalent(
+        Dataset::Uniform,
+        &wl_cfg(1_200, 25),
+        QuerySpec {
+            shape: QueryShape::Rect {
+                width: 1_500.0,
+                height: 1_000.0,
+            },
+            predictive_time: 40.0,
+            ..QuerySpec::default()
+        },
+    );
+}
+
+#[test]
+fn interval_queries_on_melbourne() {
+    assert_all_equivalent(
+        Dataset::Melbourne,
+        &wl_cfg(1_000, 20),
+        QuerySpec {
+            shape: QueryShape::Circle { radius: 700.0 },
+            predictive_time: 30.0,
+            interval_len: 30.0,
+            ..QuerySpec::default()
+        },
+    );
+}
+
+#[test]
+fn moving_queries_on_new_york() {
+    assert_all_equivalent(
+        Dataset::NewYork,
+        &wl_cfg(1_000, 20),
+        QuerySpec {
+            shape: QueryShape::Rect {
+                width: 1_200.0,
+                height: 1_200.0,
+            },
+            predictive_time: 20.0,
+            interval_len: 25.0,
+            query_velocity: Point::new(40.0, -15.0),
+        },
+    );
+}
+
+#[test]
+fn zero_predictive_time_on_san_francisco() {
+    assert_all_equivalent(
+        Dataset::SanFrancisco,
+        &wl_cfg(1_000, 20),
+        QuerySpec {
+            shape: QueryShape::Circle { radius: 1_000.0 },
+            predictive_time: 0.0,
+            ..QuerySpec::default()
+        },
+    );
+}
