@@ -1,0 +1,153 @@
+//! Update throughput: one tick of moving-object updates applied
+//! one-at-a-time (`update` = delete + insert, one root descent each)
+//! versus batched (`update_batch` → sorted `apply_batch` run, one
+//! descent per touched leaf).
+//!
+//! Besides the criterion timings, the bench prints the page-write
+//! (IoStats) deltas of a single identical tick under both paths, so
+//! the speedup is attributable to fewer page touches rather than
+//! incidental cache effects.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vp_bx::{BxConfig, BxTree};
+use vp_core::{MovingObject, MovingObjectIndex};
+use vp_geom::{Point, Rect};
+use vp_storage::{BufferPool, DiskManager, IoStats};
+
+const SIZES: [usize; 2] = [10_000, 100_000];
+
+fn config() -> BxConfig {
+    BxConfig {
+        domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
+        hist_cells: 200,
+        ..BxConfig::default()
+    }
+}
+
+fn pool() -> Arc<BufferPool> {
+    // Generous cache so both paths measure CPU work and logical page
+    // traffic rather than simulated-disk thrash.
+    Arc::new(BufferPool::with_capacity(DiskManager::new(), 8_192))
+}
+
+fn objects(n: usize) -> Vec<MovingObject> {
+    let mut rng = StdRng::seed_from_u64(0x0B5E55ED);
+    (0..n as u64)
+        .map(|id| {
+            let pos = Point::new(
+                rng.random_range(0.0..100_000.0),
+                rng.random_range(0.0..100_000.0),
+            );
+            let ang = rng.random_range(0.0..std::f64::consts::TAU);
+            let speed = rng.random_range(5.0..60.0);
+            MovingObject::new(
+                id,
+                pos,
+                Point::new(ang.cos() * speed, ang.sin() * speed),
+                0.0,
+            )
+        })
+        .collect()
+}
+
+/// All objects report at time `t`: the classic full-tick update load.
+fn tick(objs: &[MovingObject], t: f64) -> Vec<MovingObject> {
+    objs.iter()
+        .map(|o| MovingObject::new(o.id, o.position_at(t), o.vel, t))
+        .collect()
+}
+
+fn build(objs: &[MovingObject]) -> BxTree {
+    BxTree::bulk_load(pool(), config(), objs).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    for n in SIZES {
+        let objs = objects(n);
+        let mut group = c.benchmark_group(format!("bx_update/{n}"));
+        group.sample_size(5);
+
+        let mut single = build(&objs);
+        let mut t = 0.0;
+        group.bench_function(BenchmarkId::from_parameter("single_op"), |b| {
+            b.iter(|| {
+                t += 60.0;
+                for u in tick(&objs, t) {
+                    single.update(u).unwrap();
+                }
+                black_box(single.len())
+            })
+        });
+
+        let mut batched = build(&objs);
+        let mut t = 0.0;
+        group.bench_function(BenchmarkId::from_parameter("batched"), |b| {
+            b.iter(|| {
+                t += 60.0;
+                batched.update_batch(&tick(&objs, t)).unwrap();
+                black_box(batched.len())
+            })
+        });
+        group.finish();
+    }
+
+    attribution_report();
+}
+
+/// One identical tick under each path, timed once, with page-write
+/// deltas — the attributable-win check the criterion numbers ride on.
+fn attribution_report() {
+    println!("\n--- group update attribution (one full tick, all objects move) ---");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>10}",
+        "objects", "path", "wall", "logical wr", "logical rd", "speedup"
+    );
+    for n in SIZES {
+        let objs = objects(n);
+        let updates = tick(&objs, 60.0);
+
+        let run = |batched: bool| -> (f64, IoStats) {
+            let mut tree = build(&objs);
+            tree.reset_io_stats();
+            let start = Instant::now();
+            if batched {
+                tree.update_batch(&updates).unwrap();
+            } else {
+                for u in &updates {
+                    tree.update(*u).unwrap();
+                }
+            }
+            (start.elapsed().as_secs_f64(), tree.io_stats())
+        };
+
+        let (t_single, io_single) = run(false);
+        let (t_batch, io_batch) = run(true);
+        for (label, t, io, speedup) in [
+            ("single_op", t_single, io_single, None),
+            ("batched", t_batch, io_batch, Some(t_single / t_batch)),
+        ] {
+            println!(
+                "{:>8} {:>12} {:>12.1}ms {:>14} {:>14} {:>10}",
+                n,
+                label,
+                t * 1e3,
+                io.logical_writes,
+                io.logical_reads,
+                speedup.map_or(String::from("-"), |s| format!("{s:.2}x")),
+            );
+        }
+        assert!(
+            io_batch.logical_writes < io_single.logical_writes,
+            "batched path must write strictly fewer pages"
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

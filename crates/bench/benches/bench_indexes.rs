@@ -38,14 +38,18 @@ fn bench(c: &mut Criterion) {
     for kind in IndexKind::PAPER {
         let prep = prepare_with_workload(kind, &cfg, workload.clone()).unwrap();
         let index = prep.index;
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &index, |b, idx| {
-            let mut i = 0;
-            b.iter(|| {
-                let q = &queries[i % queries.len()];
-                i += 1;
-                black_box(idx.as_index().range_query(q).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &index,
+            |b, idx| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    black_box(idx.as_index().range_query(q).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 

@@ -14,7 +14,10 @@ fn main() {
     let w = Workload::generate(cfg.dataset, &cfg.workload);
     let sample = w.velocity_sample(2_000, 42);
 
-    println!("# Figure 1(b): SA velocity scatter (vx vy), {} points", sample.len());
+    println!(
+        "# Figure 1(b): SA velocity scatter (vx vy), {} points",
+        sample.len()
+    );
     // ASCII density plot: 41x41 bins over [-100, 100]^2.
     const N: usize = 41;
     let mut bins = [[0u32; N]; N];

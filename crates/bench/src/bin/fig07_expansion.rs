@@ -111,7 +111,13 @@ fn main() {
     }
 
     println!("# Figure 7: search-space expansion rates (CH, H=60)");
-    let mut t = Table::new(&["series", "samples", "mean rate axis-1", "mean rate axis-2", "anisotropy"]);
+    let mut t = Table::new(&[
+        "series",
+        "samples",
+        "mean rate axis-1",
+        "mean rate axis-2",
+        "anisotropy",
+    ]);
     for s in &stats {
         let aniso = if s.mean_y.abs() > 1e-9 {
             s.mean_x / s.mean_y
@@ -123,7 +129,11 @@ fn main() {
             s.n.to_string(),
             fmt(s.mean_x),
             fmt(s.mean_y),
-            if aniso.is_finite() { fmt(aniso) } else { "inf".into() },
+            if aniso.is_finite() {
+                fmt(aniso)
+            } else {
+                "inf".into()
+            },
         ]);
     }
     t.print();

@@ -20,9 +20,7 @@ use vp_geom::Vec2;
 use vp_workload::{Dataset, Workload};
 
 fn angle_deg(v: Vec2) -> f64 {
-    v.y.atan2(v.x)
-        .rem_euclid(std::f64::consts::PI)
-        .to_degrees()
+    v.y.atan2(v.x).rem_euclid(std::f64::consts::PI).to_degrees()
 }
 
 fn main() {
@@ -34,7 +32,10 @@ fn main() {
     let w = Workload::generate(cfg.dataset, &cfg.workload);
     let sample = w.velocity_sample(cfg.vp.sample_size, 42);
 
-    println!("# Figures 10/11/13: finding DVAs on the SA sample ({} points)", sample.len());
+    println!(
+        "# Figures 10/11/13: finding DVAs on the SA sample ({} points)",
+        sample.len()
+    );
     let mut t = Table::new(&["method", "axes (deg)", "mean perp dist (m/ts)"]);
 
     // Naive I: one PCA over everything.
@@ -52,7 +53,10 @@ fn main() {
     for members in &naive2 {
         let pts: Vec<Vec2> = members.iter().map(|&i| sample[i]).collect();
         let axis = pca_origin(&pts).pc1;
-        dsum += pts.iter().map(|p| p.perp_distance_to_axis(axis)).sum::<f64>();
+        dsum += pts
+            .iter()
+            .map(|p| p.perp_distance_to_axis(axis))
+            .sum::<f64>();
         axes.push(angle_deg(axis));
     }
     t.row(vec![

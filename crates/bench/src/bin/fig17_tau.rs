@@ -42,7 +42,14 @@ fn main() {
         let bx = run(IndexKind::BxVp, &cfg).expect("run");
         let tpr = run(IndexKind::TprStarVp, &cfg).expect("run");
         t.row(vec![
-            format!("auto ({})", bx.taus.iter().map(|t| format!("{t:.1}")).collect::<Vec<_>>().join("/")),
+            format!(
+                "auto ({})",
+                bx.taus
+                    .iter()
+                    .map(|t| format!("{t:.1}"))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
             fmt(bx.metrics.avg_query_io()),
             fmt(tpr.metrics.avg_query_io()),
         ]);

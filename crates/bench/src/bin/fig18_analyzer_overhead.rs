@@ -11,7 +11,12 @@ use vp_workload::{Dataset, Workload};
 
 fn main() {
     let cfg = parse_common_args(RunConfig::default());
-    let mut t = Table::new(&["dataset", "analyzer ms (avg of 5)", "kmeans iters", "outlier %"]);
+    let mut t = Table::new(&[
+        "dataset",
+        "analyzer ms (avg of 5)",
+        "kmeans iters",
+        "outlier %",
+    ]);
     for dataset in Dataset::ALL {
         let mut wl_cfg = cfg.workload.clone();
         wl_cfg.n_objects = wl_cfg.n_objects.min(20_000);
@@ -33,6 +38,9 @@ fn main() {
             fmt(out.outlier_fraction() * 100.0),
         ]);
     }
-    println!("# Figure 18: velocity analyzer overhead (sample = {} points)", cfg.vp.sample_size);
+    println!(
+        "# Figure 18: velocity analyzer overhead (sample = {} points)",
+        cfg.vp.sample_size
+    );
     t.print();
 }

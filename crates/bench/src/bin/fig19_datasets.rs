@@ -6,14 +6,19 @@
 //! uniform dataset (paper defaults: 100 K objects, max speed 100 m/ts,
 //! radius 500 m circular time-slice queries, predictive time 60 ts).
 
-use vp_bench::harness::{run_paper_contenders, parse_common_args, RunConfig};
+use vp_bench::harness::{parse_common_args, run_paper_contenders, RunConfig};
 use vp_bench::report::{fmt, Table};
 use vp_workload::Dataset;
 
 fn main() {
     let base = parse_common_args(RunConfig::default());
     let mut t = Table::new(&[
-        "dataset", "index", "query I/O", "query ms", "update I/O", "update ms",
+        "dataset",
+        "index",
+        "query I/O",
+        "query ms",
+        "update I/O",
+        "update ms",
     ]);
     for dataset in Dataset::ALL {
         let cfg = RunConfig {
@@ -22,8 +27,7 @@ fn main() {
         };
         eprintln!(
             "fig19: running {} ({} objects)...",
-            dataset,
-            cfg.workload.n_objects
+            dataset, cfg.workload.n_objects
         );
         for r in run_paper_contenders(&cfg).expect("run") {
             t.row(vec![

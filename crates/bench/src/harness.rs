@@ -3,11 +3,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use vp_bx::{BxConfig, BxTree, CurveKind};
 use vp_bx::BxEnlargement;
-use vp_core::{
-    IndexResult, MovingObjectIndex, VelocityAnalyzer, VpConfig, VpIndex,
-};
+use vp_bx::{BxConfig, BxTree, CurveKind};
+use vp_core::{IndexResult, MovingObjectIndex, VelocityAnalyzer, VpConfig, VpIndex};
 use vp_storage::{BufferPool, DiskManager, IoStats};
 use vp_tpr::{TprConfig, TprTree, TprVariant};
 use vp_workload::{Dataset, Workload, WorkloadConfig, WorkloadEvent};
@@ -295,10 +293,9 @@ pub fn prepare_with_workload(
             Arc::clone(&pool),
             bx_cfg(workload.domain, CurveKind::Hilbert, BxEnlargement::CellSet),
         )?),
-        IndexKind::TprStar => BuiltIndex::Tpr(TprTree::new(
-            Arc::clone(&pool),
-            tpr_cfg(TprVariant::Star),
-        )),
+        IndexKind::TprStar => {
+            BuiltIndex::Tpr(TprTree::new(Arc::clone(&pool), tpr_cfg(TprVariant::Star)))
+        }
         IndexKind::TprClassic => BuiltIndex::Tpr(TprTree::new(
             Arc::clone(&pool),
             tpr_cfg(TprVariant::Classic),
@@ -448,7 +445,9 @@ pub fn parse_common_args(mut cfg: RunConfig) -> RunConfig {
                 cfg.workload.seed = args[i + 1].parse().expect("--seed N");
                 i += 1;
             }
-            other => panic!("unknown argument {other} (supported: --quick --objects --queries --seed)"),
+            other => {
+                panic!("unknown argument {other} (supported: --quick --objects --queries --seed)")
+            }
         }
         i += 1;
     }

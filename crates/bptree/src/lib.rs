@@ -13,9 +13,15 @@
 //! scans over the leaf chain. All node accesses go through the shared
 //! `vp-storage` buffer pool and are attributed to the tree's own I/O
 //! counters, matching the accounting discipline of the other indexes.
+//!
+//! The hot path never decodes a node: point ops and scans run over
+//! zero-copy page views ([`node::LeafView`], [`node::InternalView`]
+//! and their `Mut` variants), and two batched entry points —
+//! [`BPlusTree::bulk_load`] and [`BPlusTree::apply_batch`] — amortize
+//! descents and page writes across sorted runs of keys.
 
 pub mod node;
 pub mod tree;
 
-pub use node::{Key128, Value, VALUE_LEN};
-pub use tree::BPlusTree;
+pub use node::{InternalView, InternalViewMut, Key128, LeafView, LeafViewMut, Value, VALUE_LEN};
+pub use tree::{BPlusTree, BatchOp, BatchOutcome};

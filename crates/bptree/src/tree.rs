@@ -1,11 +1,35 @@
 //! The paged B+-tree.
+//!
+//! ## Hot path: zero-copy page operations
+//!
+//! Point lookups, fitting inserts, non-underflowing deletes, range
+//! scans, and [`BPlusTree::apply_batch`] all operate **in place on the
+//! encoded pages** through the [`crate::node`] views: descent binary
+//! searches [`InternalView`]s, and leaf edits are memmoves inside a
+//! [`LeafViewMut`]. No `Vec` materialization, no whole-page re-encode.
+//! Only structural surgery — splits, merges, sibling borrowing — falls
+//! back to the decoded [`BNode`] machinery, which is the rare case by
+//! design (a fraction `1/fanout` of operations).
+//!
+//! ## Batched maintenance
+//!
+//! Moving-object workloads hit the tree with sorted runs of co-located
+//! keys (delete-old/insert-new pairs from one tick). Two entry points
+//! exploit that:
+//!
+//! * [`BPlusTree::bulk_load`] builds a tree from a sorted stream,
+//!   packing leaves left-to-right and stacking internal levels without
+//!   any per-key root descent.
+//! * [`BPlusTree::apply_batch`] applies a sorted op run with one
+//!   descent *per leaf* instead of per key, and one page write per
+//!   touched leaf.
 
 use std::cell::Cell;
 use std::sync::Arc;
 
 use vp_storage::{BufferPool, IoStats, PageId, StorageError, StorageResult};
 
-use crate::node::{BLayout, BNode, Key128, Value};
+use crate::node::{BLayout, BNode, InternalView, Key128, LeafView, LeafViewMut, Value};
 
 /// A disk-paged B+-tree with 128-bit keys and fixed-size values.
 ///
@@ -24,6 +48,28 @@ pub struct BPlusTree {
 enum InsOutcome {
     Fit,
     Split { sep: Key128, right: PageId },
+}
+
+/// One operation of a sorted batch handed to [`BPlusTree::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert the value, or overwrite the existing one (upsert).
+    Put(Value),
+    /// Remove the key if present.
+    Delete,
+}
+
+/// Tallies of what [`BPlusTree::apply_batch`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Keys newly inserted by `Put`.
+    pub inserted: usize,
+    /// Keys whose existing value a `Put` overwrote.
+    pub replaced: usize,
+    /// Keys removed by `Delete`.
+    pub deleted: usize,
+    /// `Delete`s whose key was absent.
+    pub missing: usize,
 }
 
 impl BPlusTree {
@@ -92,10 +138,7 @@ impl BPlusTree {
         out
     }
 
-    fn track_mut<R>(
-        &mut self,
-        f: impl FnOnce(&mut Self) -> StorageResult<R>,
-    ) -> StorageResult<R> {
+    fn track_mut<R>(&mut self, f: impl FnOnce(&mut Self) -> StorageResult<R>) -> StorageResult<R> {
         let before = self.pool.stats();
         let out = f(self);
         let delta = self.pool.stats().delta(&before);
@@ -103,26 +146,32 @@ impl BPlusTree {
         out
     }
 
+    // ----- descent ------------------------------------------------------
+
+    /// Walks from the root to the leaf owning `key` via zero-copy
+    /// [`InternalView`] binary searches.
+    fn descend_to_leaf(&self, key: Key128) -> StorageResult<PageId> {
+        let mut pid = self.root;
+        for _ in 1..self.height {
+            pid = self.pool.with_page(pid, |buf| -> StorageResult<PageId> {
+                let v = InternalView::parse(buf)?;
+                Ok(v.child_at(v.child_for(key)))
+            })??;
+        }
+        Ok(pid)
+    }
+
     // ----- lookup -------------------------------------------------------
 
-    /// Returns the value stored for `key`, if any.
+    /// Returns the value stored for `key`, if any. Zero-copy: the
+    /// descent and the leaf probe never decode a node.
     pub fn get(&self, key: Key128) -> StorageResult<Option<Value>> {
         self.track(|t| {
-            let mut pid = t.root;
-            loop {
-                match t.read_node(pid)? {
-                    BNode::Leaf { keys, values, .. } => {
-                        return Ok(keys
-                            .binary_search(&key)
-                            .ok()
-                            .map(|i| values[i]));
-                    }
-                    BNode::Internal { keys, children, .. } => {
-                        let idx = keys.partition_point(|k| *k <= key);
-                        pid = children[idx];
-                    }
-                }
-            }
+            let leaf = t.descend_to_leaf(key)?;
+            t.pool.with_page(leaf, |buf| -> StorageResult<_> {
+                let v = LeafView::parse(buf)?;
+                Ok(v.search(key).ok().map(|i| *v.value_at(i)))
+            })?
         })
     }
 
@@ -130,23 +179,60 @@ impl BPlusTree {
 
     /// Inserts `key -> value`. Returns `true` when the key was new,
     /// `false` when an existing value was overwritten.
+    ///
+    /// Fast path: when the target leaf has room, the entry is
+    /// memmove-inserted (or the value overwritten) in place via
+    /// [`LeafViewMut`] — one page write, no node decode. A full leaf
+    /// falls back to the decoded split machinery.
     pub fn insert(&mut self, key: Key128, value: Value) -> StorageResult<bool> {
-        self.track_mut(|t| {
-            let (new, outcome) = t.insert_rec(t.root, key, value)?;
-            if let InsOutcome::Split { sep, right } = outcome {
-                let new_root = BNode::Internal {
-                    level: t.height,
-                    keys: vec![sep],
-                    children: vec![t.root, right],
+        self.track_mut(|t| t.insert_untracked(key, value))
+    }
+
+    fn insert_untracked(&mut self, key: Key128, value: Value) -> StorageResult<bool> {
+        let leaf = self.descend_to_leaf(key)?;
+        let max_leaf = self.layout.max_leaf;
+        let fast = self
+            .pool
+            .with_page_probe_mut(leaf, |buf| -> (StorageResult<_>, bool) {
+                let mut v = match LeafViewMut::parse(buf) {
+                    Ok(v) => v,
+                    Err(e) => return (Err(e), false),
                 };
-                t.root = t.alloc_node(&new_root)?;
-                t.height += 1;
-            }
-            if new {
-                t.len += 1;
-            }
-            Ok(new)
-        })
+                match v.search(key) {
+                    Ok(i) => {
+                        v.set_value_at(i, &value);
+                        (Ok(Some(false)), true)
+                    }
+                    Err(i) if v.count() < max_leaf => {
+                        v.insert_at(i, key, &value);
+                        (Ok(Some(true)), true)
+                    }
+                    Err(_) => (Ok(None), false), // full: needs a split
+                }
+            })??;
+        let new = match fast {
+            Some(new) => new,
+            None => self.insert_slow(key, value)?,
+        };
+        if new {
+            self.len += 1;
+        }
+        Ok(new)
+    }
+
+    /// The split-capable insert path (decoded nodes, root growth).
+    fn insert_slow(&mut self, key: Key128, value: Value) -> StorageResult<bool> {
+        let (new, outcome) = self.insert_rec(self.root, key, value)?;
+        if let InsOutcome::Split { sep, right } = outcome {
+            let new_root = BNode::Internal {
+                level: self.height,
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.root = self.alloc_node(&new_root)?;
+            self.height += 1;
+        }
+        Ok(new)
     }
 
     fn insert_rec(
@@ -260,26 +346,61 @@ impl BPlusTree {
     // ----- delete -------------------------------------------------------
 
     /// Deletes `key`. Returns `true` when it was present.
+    ///
+    /// Fast path: when the target leaf stays at or above minimum
+    /// occupancy, the entry is memmove-removed in place via
+    /// [`LeafViewMut`]. Underflow falls back to the decoded
+    /// borrow/merge machinery.
     pub fn delete(&mut self, key: Key128) -> StorageResult<bool> {
-        self.track_mut(|t| {
-            let (found, _underflow) = t.delete_rec(t.root, key)?;
-            if found {
-                t.len -= 1;
-            }
-            // Collapse a root that lost all separators.
-            loop {
-                match t.read_node(t.root)? {
-                    BNode::Internal { keys, children, .. } if keys.is_empty() => {
-                        let old = t.root;
-                        t.root = children[0];
-                        t.height -= 1;
-                        t.pool.free_page(old)?;
+        self.track_mut(|t| t.delete_untracked(key))
+    }
+
+    fn delete_untracked(&mut self, key: Key128) -> StorageResult<bool> {
+        let leaf = self.descend_to_leaf(key)?;
+        let min_leaf = self.layout.min_leaf;
+        let is_root = leaf == self.root;
+        let fast = self
+            .pool
+            .with_page_probe_mut(leaf, |buf| -> (StorageResult<_>, bool) {
+                let mut v = match LeafViewMut::parse(buf) {
+                    Ok(v) => v,
+                    Err(e) => return (Err(e), false),
+                };
+                match v.search(key) {
+                    Err(_) => (Ok(Some(false)), false),
+                    Ok(i) if is_root || v.count() > min_leaf => {
+                        v.remove_at(i);
+                        (Ok(Some(true)), true)
                     }
-                    _ => break,
+                    Ok(_) => (Ok(None), false), // would underflow: needs rebalancing
                 }
+            })??;
+        let found = match fast {
+            Some(found) => found,
+            None => self.delete_slow(key)?,
+        };
+        if found {
+            self.len -= 1;
+        }
+        Ok(found)
+    }
+
+    /// The rebalance-capable delete path (decoded nodes, root collapse).
+    fn delete_slow(&mut self, key: Key128) -> StorageResult<bool> {
+        let (found, _underflow) = self.delete_rec(self.root, key)?;
+        // Collapse a root that lost all separators.
+        loop {
+            match self.read_node(self.root)? {
+                BNode::Internal { keys, children, .. } if keys.is_empty() => {
+                    let old = self.root;
+                    self.root = children[0];
+                    self.height -= 1;
+                    self.pool.free_page(old)?;
+                }
+                _ => break,
             }
-            Ok(found)
-        })
+        }
+        Ok(found)
     }
 
     fn delete_rec(&mut self, pid: PageId, key: Key128) -> StorageResult<(bool, bool)> {
@@ -634,9 +755,7 @@ impl BPlusTree {
                     match leaf_depth {
                         None => *leaf_depth = Some(depth),
                         Some(d) if *d != depth => {
-                            return Ok(Err(format!(
-                                "leaf {pid} at depth {depth}, expected {d}"
-                            )))
+                            return Ok(Err(format!("leaf {pid} at depth {depth}, expected {d}")))
                         }
                         _ => {}
                     }
@@ -692,10 +811,7 @@ impl BPlusTree {
             Err(e) => return Ok(Err(e)),
         }
         if count != self.len {
-            return Ok(Err(format!(
-                "structural count {count} != len {}",
-                self.len
-            )));
+            return Ok(Err(format!("structural count {count} != len {}", self.len)));
         }
         // Leaf chain: ordered, complete.
         let mut chained = 0usize;
@@ -717,6 +833,11 @@ impl BPlusTree {
 
     /// Visits every `(key, value)` with `lo <= key <= hi` in key order.
     /// Returns the number of entries visited.
+    ///
+    /// Zero-copy: values are handed to `f` as borrows into the page
+    /// buffer, and entries outside the range are never touched — the
+    /// scan binary-searches the start slot and stops at the first key
+    /// past `hi` without materializing the rest of the leaf.
     pub fn range_scan(
         &self,
         lo: Key128,
@@ -727,32 +848,638 @@ impl BPlusTree {
             if hi < lo {
                 return Ok(0);
             }
-            // Descend to the leaf that would contain `lo`.
-            let mut pid = t.root;
-            while let BNode::Internal { keys, children, .. } = t.read_node(pid)? {
-                let idx = keys.partition_point(|k| *k <= lo);
-                pid = children[idx];
-            }
+            let mut pid = t.descend_to_leaf(lo)?;
             let mut count = 0usize;
             loop {
-                let BNode::Leaf { next, keys, values } = t.read_node(pid)? else {
-                    return Err(StorageError::Corrupt("leaf chain hit internal node".into()));
-                };
-                let start = keys.partition_point(|k| *k < lo);
-                for i in start..keys.len() {
-                    if keys[i] > hi {
-                        return Ok(count);
-                    }
-                    f(keys[i], &values[i]);
-                    count += 1;
+                let next = t
+                    .pool
+                    .with_page(pid, |buf| -> StorageResult<Option<PageId>> {
+                        let v = LeafView::parse(buf)?;
+                        for i in v.lower_bound(lo)..v.count() {
+                            let k = v.key_at(i);
+                            if k > hi {
+                                return Ok(None);
+                            }
+                            f(k, v.value_at(i));
+                            count += 1;
+                        }
+                        Ok(Some(v.next()).filter(|n| n.is_valid()))
+                    })??;
+                match next {
+                    Some(n) => pid = n,
+                    None => return Ok(count),
                 }
-                if !next.is_valid() {
-                    return Ok(count);
-                }
-                pid = next;
             }
         })
     }
+
+    // ----- bulk loading ---------------------------------------------------
+
+    /// Builds a tree from an iterator of **strictly ascending** keyed
+    /// entries, without any per-key root descent: leaves are packed
+    /// left-to-right at maximum fanout, then internal levels are
+    /// stacked on top until a single root remains. The tail of each
+    /// level is split evenly so every non-root node meets minimum
+    /// occupancy.
+    pub fn bulk_load<I>(pool: Arc<BufferPool>, items: I) -> StorageResult<BPlusTree>
+    where
+        I: IntoIterator<Item = (Key128, Value)>,
+    {
+        let layout = BLayout::for_page_size(pool.page_size());
+        let before = pool.stats();
+
+        let items: Vec<(Key128, Value)> = items.into_iter().collect();
+        for w in items.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(StorageError::Corrupt(
+                    "bulk_load input keys not strictly ascending".into(),
+                ));
+            }
+        }
+        let len = items.len();
+        if len == 0 {
+            return BPlusTree::new(pool);
+        }
+
+        // Pack leaves. `chunk_sizes` keeps every chunk within
+        // [min, max] except a lone root.
+        let leaf_sizes = chunk_sizes(len, layout.min_leaf, layout.max_leaf);
+        let leaf_pids: Vec<PageId> = (0..leaf_sizes.len())
+            .map(|_| pool.new_page())
+            .collect::<StorageResult<_>>()?;
+        let mut level: Vec<(Key128, PageId)> = Vec::with_capacity(leaf_sizes.len());
+        let mut cursor = items.into_iter();
+        for (i, &size) in leaf_sizes.iter().enumerate() {
+            let chunk: Vec<(Key128, Value)> = cursor.by_ref().take(size).collect();
+            let min_key = chunk[0].0;
+            let node = BNode::Leaf {
+                next: leaf_pids.get(i + 1).copied().unwrap_or(PageId::INVALID),
+                keys: chunk.iter().map(|(k, _)| *k).collect(),
+                values: chunk.iter().map(|(_, v)| *v).collect(),
+            };
+            pool.with_page_mut(leaf_pids[i], |buf| node.encode(buf))??;
+            level.push((min_key, leaf_pids[i]));
+        }
+
+        // Stack internal levels until one node remains.
+        let nodes = level
+            .into_iter()
+            .map(|(k, p)| (Some(k), p))
+            .collect::<Vec<_>>();
+        let (root, height) = stack_internal_levels(&pool, &layout, nodes, 1)?;
+
+        let own = pool.stats().delta(&before);
+        Ok(BPlusTree {
+            root,
+            pool,
+            layout,
+            height,
+            len,
+            own: Cell::new(own),
+        })
+    }
+
+    // ----- batched updates ------------------------------------------------
+
+    /// Applies a batch of operations whose keys are **strictly
+    /// ascending** in one recursive tree walk: ops are partitioned
+    /// among children at each internal node, every touched leaf
+    /// absorbs its whole run in a single page write (in place when the
+    /// result fits, multi-way split when it overflows), and occupancy
+    /// repairs happen once per parent — merging or redistributing
+    /// drained siblings — instead of once per key. Compared to a loop
+    /// of single ops this saves one root descent per key and the
+    /// per-key split/rebalance churn of co-located runs.
+    pub fn apply_batch(&mut self, ops: &[(Key128, BatchOp)]) -> StorageResult<BatchOutcome> {
+        if ops.is_empty() {
+            return Ok(BatchOutcome::default());
+        }
+        for w in ops.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(StorageError::Corrupt(
+                    "apply_batch op keys not strictly ascending".into(),
+                ));
+            }
+        }
+        self.track_mut(|t| {
+            let mut out = BatchOutcome::default();
+            let effect = t.apply_rec(t.root, true, ops, &mut out)?;
+            t.len = t.len + out.inserted - out.deleted;
+            if let ApplyEffect::Splits(splits) = effect {
+                t.grow_root(splits)?;
+            }
+            // Collapse a root that lost all separators (possible after
+            // bulk deletion merged everything into one child).
+            loop {
+                match t.read_node(t.root)? {
+                    BNode::Internal { keys, children, .. } if keys.is_empty() => {
+                        let old = t.root;
+                        t.root = children[0];
+                        t.height -= 1;
+                        t.pool.free_page(old)?;
+                    }
+                    _ => break,
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Applies `ops` (all belonging to `pid`'s key range) to the
+    /// subtree under `pid`, reporting the structural effect the parent
+    /// must absorb.
+    fn apply_rec(
+        &mut self,
+        pid: PageId,
+        is_root: bool,
+        ops: &[(Key128, BatchOp)],
+        out: &mut BatchOutcome,
+    ) -> StorageResult<ApplyEffect> {
+        debug_assert!(!ops.is_empty());
+        let leaf = self.pool.with_page(pid, crate::node::is_leaf_page)??;
+        if leaf {
+            self.apply_leaf(pid, is_root, ops, out)
+        } else {
+            self.apply_internal(pid, is_root, ops, out)
+        }
+    }
+
+    /// Leaf case: try the whole run in place through [`LeafViewMut`];
+    /// only an overflow or (non-root) underflow falls back to one
+    /// decode covering the rest of the run.
+    fn apply_leaf(
+        &mut self,
+        pid: PageId,
+        is_root: bool,
+        ops: &[(Key128, BatchOp)],
+        out: &mut BatchOutcome,
+    ) -> StorageResult<ApplyEffect> {
+        let max_leaf = self.layout.max_leaf;
+        let min_leaf = self.layout.min_leaf;
+        let applied =
+            self.pool
+                .with_page_probe_mut(pid, |buf| -> (StorageResult<usize>, bool) {
+                    let mut v = match LeafViewMut::parse(buf) {
+                        Ok(v) => v,
+                        Err(e) => return (Err(e), false),
+                    };
+                    let mut modified = false;
+                    let mut j = 0usize;
+                    while j < ops.len() {
+                        let (k, op) = ops[j];
+                        match op {
+                            BatchOp::Put(val) => match v.search(k) {
+                                Ok(s) => {
+                                    v.set_value_at(s, &val);
+                                    out.replaced += 1;
+                                    modified = true;
+                                }
+                                Err(s) if v.count() < max_leaf => {
+                                    v.insert_at(s, k, &val);
+                                    out.inserted += 1;
+                                    modified = true;
+                                }
+                                Err(_) => break, // overflow: decode path
+                            },
+                            BatchOp::Delete => match v.search(k) {
+                                Ok(s) if is_root || v.count() > min_leaf => {
+                                    v.remove_at(s);
+                                    out.deleted += 1;
+                                    modified = true;
+                                }
+                                Ok(_) => break, // underflow: decode path
+                                Err(_) => out.missing += 1,
+                            },
+                        }
+                        j += 1;
+                    }
+                    (Ok(j), modified)
+                })??;
+        if applied == ops.len() {
+            return Ok(ApplyEffect::Done);
+        }
+
+        // Structural case: decode once, absorb the rest of the run.
+        let BNode::Leaf {
+            next,
+            mut keys,
+            mut values,
+        } = self.read_node(pid)?
+        else {
+            return Err(StorageError::Corrupt(
+                "leaf became internal mid-batch".into(),
+            ));
+        };
+        for &(k, op) in &ops[applied..] {
+            match op {
+                BatchOp::Put(val) => match keys.binary_search(&k) {
+                    Ok(s) => {
+                        values[s] = val;
+                        out.replaced += 1;
+                    }
+                    Err(s) => {
+                        keys.insert(s, k);
+                        values.insert(s, val);
+                        out.inserted += 1;
+                    }
+                },
+                BatchOp::Delete => match keys.binary_search(&k) {
+                    Ok(s) => {
+                        keys.remove(s);
+                        values.remove(s);
+                        out.deleted += 1;
+                    }
+                    Err(_) => out.missing += 1,
+                },
+            }
+        }
+
+        if keys.len() > max_leaf {
+            // Multi-way split: repack into [min, max]-sized leaves.
+            let sizes = chunk_sizes(keys.len(), min_leaf, max_leaf);
+            let extra_pids: Vec<PageId> = (1..sizes.len())
+                .map(|_| self.pool.new_page())
+                .collect::<StorageResult<_>>()?;
+            let mut splits = Vec::with_capacity(extra_pids.len());
+            let mut keys = keys.into_iter();
+            let mut values = values.into_iter();
+            for (gi, &size) in sizes.iter().enumerate() {
+                let node_keys: Vec<Key128> = keys.by_ref().take(size).collect();
+                let node_values: Vec<Value> = values.by_ref().take(size).collect();
+                let node_pid = if gi == 0 { pid } else { extra_pids[gi - 1] };
+                let node_next = extra_pids.get(gi).copied().unwrap_or(next);
+                if gi > 0 {
+                    splits.push((node_keys[0], node_pid));
+                }
+                self.write_node(
+                    node_pid,
+                    &BNode::Leaf {
+                        next: node_next,
+                        keys: node_keys,
+                        values: node_values,
+                    },
+                )?;
+            }
+            return Ok(ApplyEffect::Splits(splits));
+        }
+
+        let underflow = !is_root && keys.len() < min_leaf;
+        self.write_node(pid, &BNode::Leaf { next, keys, values })?;
+        Ok(if underflow {
+            ApplyEffect::Underflow
+        } else {
+            ApplyEffect::Done
+        })
+    }
+
+    /// Internal case: partition `ops` among the children, recurse, and
+    /// absorb the children's structural effects. The node itself is
+    /// only rewritten when some child changed shape.
+    fn apply_internal(
+        &mut self,
+        pid: PageId,
+        is_root: bool,
+        ops: &[(Key128, BatchOp)],
+        out: &mut BatchOutcome,
+    ) -> StorageResult<ApplyEffect> {
+        let BNode::Internal {
+            level,
+            mut keys,
+            mut children,
+        } = self.read_node(pid)?
+        else {
+            return Err(StorageError::Corrupt(
+                "internal became leaf mid-batch".into(),
+            ));
+        };
+
+        // ops[start_of[i]..start_of[i + 1]) belongs to children[i].
+        let mut start_of = Vec::with_capacity(children.len() + 1);
+        start_of.push(0usize);
+        for sep in &keys {
+            let prev = *start_of.last().expect("non-empty");
+            start_of.push(prev + ops[prev..].partition_point(|(k, _)| *k < *sep));
+        }
+        start_of.push(ops.len());
+
+        let mut effects: Vec<(usize, ApplyEffect)> = Vec::new();
+        for i in 0..children.len() {
+            let range = &ops[start_of[i]..start_of[i + 1]];
+            if range.is_empty() {
+                continue;
+            }
+            let effect = self.apply_rec(children[i], false, range, out)?;
+            if !matches!(effect, ApplyEffect::Done) {
+                effects.push((i, effect));
+            }
+        }
+        if effects.is_empty() {
+            return Ok(ApplyEffect::Done); // no separator moved: node untouched
+        }
+
+        // Splice child splits in right-to-left so indices stay valid;
+        // remember underflowed children by page id (repairs below may
+        // shift or even merge them away).
+        let mut underflowed: Vec<PageId> = Vec::new();
+        for (i, effect) in effects.into_iter().rev() {
+            match effect {
+                ApplyEffect::Done => {}
+                ApplyEffect::Underflow => underflowed.push(children[i]),
+                ApplyEffect::Splits(splits) => {
+                    let (seps, pids): (Vec<Key128>, Vec<PageId>) = splits.into_iter().unzip();
+                    keys.splice(i..i, seps);
+                    children.splice(i + 1..i + 1, pids);
+                }
+            }
+        }
+        for upid in underflowed {
+            let Some(idx) = children.iter().position(|c| *c == upid) else {
+                continue; // merged away by an earlier repair
+            };
+            self.repair_child(&mut keys, &mut children, idx)?;
+        }
+
+        if keys.len() > self.layout.max_internal {
+            return Ok(ApplyEffect::Splits(
+                self.split_internal_multiway(pid, level, keys, children)?,
+            ));
+        }
+        let underflow = !is_root && keys.len() < self.layout.min_internal;
+        self.write_node(
+            pid,
+            &BNode::Internal {
+                level,
+                keys,
+                children,
+            },
+        )?;
+        Ok(if underflow {
+            ApplyEffect::Underflow
+        } else {
+            ApplyEffect::Done
+        })
+    }
+
+    /// Restores `children[idx]` to minimum occupancy after a bulk
+    /// drain, which may have left it far below minimum (even empty):
+    /// repeatedly merge it into a sibling when the pair fits one page,
+    /// or redistribute evenly when it does not.
+    fn repair_child(
+        &mut self,
+        keys: &mut Vec<Key128>,
+        children: &mut Vec<PageId>,
+        mut idx: usize,
+    ) -> StorageResult<()> {
+        loop {
+            if children.len() == 1 {
+                return Ok(()); // lone child: parent underflow handles it
+            }
+            let node = self.read_node(children[idx])?;
+            let deficient = match &node {
+                BNode::Leaf { keys, .. } => keys.len() < self.layout.min_leaf,
+                BNode::Internal { keys, .. } => keys.len() < self.layout.min_internal,
+            };
+            if !deficient {
+                return Ok(());
+            }
+            // Pair with the left sibling when one exists.
+            let at = if idx > 0 { idx - 1 } else { idx };
+            let left = self.read_node(children[at])?;
+            let right = self.read_node(children[at + 1])?;
+            match (left, right) {
+                (
+                    BNode::Leaf {
+                        next: _,
+                        keys: mut lk,
+                        values: mut lv,
+                    },
+                    BNode::Leaf {
+                        next: rnext,
+                        keys: rk,
+                        values: rv,
+                    },
+                ) => {
+                    lk.extend(rk);
+                    lv.extend(rv);
+                    if lk.len() <= self.layout.max_leaf {
+                        self.write_node(
+                            children[at],
+                            &BNode::Leaf {
+                                next: rnext,
+                                keys: lk,
+                                values: lv,
+                            },
+                        )?;
+                        self.pool.free_page(children[at + 1])?;
+                        keys.remove(at);
+                        children.remove(at + 1);
+                        idx = at;
+                    } else {
+                        let h = lk.len() - lk.len() / 2;
+                        let rk2 = lk.split_off(h);
+                        let rv2 = lv.split_off(h);
+                        keys[at] = rk2[0];
+                        self.write_node(
+                            children[at + 1],
+                            &BNode::Leaf {
+                                next: rnext,
+                                keys: rk2,
+                                values: rv2,
+                            },
+                        )?;
+                        self.write_node(
+                            children[at],
+                            &BNode::Leaf {
+                                next: children[at + 1],
+                                keys: lk,
+                                values: lv,
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                }
+                (
+                    BNode::Internal {
+                        level,
+                        keys: mut lk,
+                        children: mut lc,
+                    },
+                    BNode::Internal {
+                        keys: rk,
+                        children: rc,
+                        ..
+                    },
+                ) => {
+                    // Combine through the parent separator.
+                    lk.push(keys[at]);
+                    lk.extend(rk);
+                    lc.extend(rc);
+                    if lc.len() <= self.layout.max_internal + 1 {
+                        self.write_node(
+                            children[at],
+                            &BNode::Internal {
+                                level,
+                                keys: lk,
+                                children: lc,
+                            },
+                        )?;
+                        self.pool.free_page(children[at + 1])?;
+                        keys.remove(at);
+                        children.remove(at + 1);
+                        idx = at;
+                    } else {
+                        let m = lc.len() / 2; // left child count
+                        let rc2 = lc.split_off(m);
+                        let rk2 = lk.split_off(m);
+                        let sep_up = lk.pop().expect("split leaves a separator");
+                        keys[at] = sep_up;
+                        self.write_node(
+                            children[at],
+                            &BNode::Internal {
+                                level,
+                                keys: lk,
+                                children: lc,
+                            },
+                        )?;
+                        self.write_node(
+                            children[at + 1],
+                            &BNode::Internal {
+                                level,
+                                keys: rk2,
+                                children: rc2,
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                }
+                _ => {
+                    return Err(StorageError::Corrupt(
+                        "sibling level mismatch during batch repair".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Splits an overfull internal node into `[min, max]`-sized pieces,
+    /// reusing `pid` for the leftmost; returns the promoted separators
+    /// and new page ids for the parent to splice in.
+    fn split_internal_multiway(
+        &mut self,
+        pid: PageId,
+        level: u8,
+        keys: Vec<Key128>,
+        children: Vec<PageId>,
+    ) -> StorageResult<Vec<(Key128, PageId)>> {
+        let sizes = chunk_sizes(
+            children.len(),
+            self.layout.min_internal + 1,
+            self.layout.max_internal + 1,
+        );
+        let mut splits = Vec::with_capacity(sizes.len() - 1);
+        let mut cpos = 0usize;
+        for (gi, &size) in sizes.iter().enumerate() {
+            let node_children = children[cpos..cpos + size].to_vec();
+            let node_keys = keys[cpos..cpos + size - 1].to_vec();
+            let node = BNode::Internal {
+                level,
+                keys: node_keys,
+                children: node_children,
+            };
+            if gi == 0 {
+                self.write_node(pid, &node)?;
+            } else {
+                let sep = keys[cpos - 1]; // promoted between the groups
+                let new_pid = self.alloc_node(&node)?;
+                splits.push((sep, new_pid));
+            }
+            cpos += size;
+        }
+        Ok(splits)
+    }
+
+    /// Grows the root after a batched split: stacks internal levels on
+    /// top of the old root until one node holds everything.
+    fn grow_root(&mut self, splits: Vec<(Key128, PageId)>) -> StorageResult<()> {
+        let nodes: Vec<(Option<Key128>, PageId)> = std::iter::once((None, self.root))
+            .chain(splits.into_iter().map(|(k, p)| (Some(k), p)))
+            .collect();
+        let (root, height) = stack_internal_levels(&self.pool, &self.layout, nodes, self.height)?;
+        self.root = root;
+        self.height = height;
+        Ok(())
+    }
+}
+
+/// Stacks internal levels over `nodes` — `(subtree min key, page)`
+/// pairs, where only the globally leftmost subtree may carry `None` —
+/// until a single node remains. `next_level` is the level number of
+/// the first layer built; returns the final root and the resulting
+/// tree height. Shared by [`BPlusTree::bulk_load`] and the post-batch
+/// root growth.
+fn stack_internal_levels(
+    pool: &BufferPool,
+    layout: &BLayout,
+    mut nodes: Vec<(Option<Key128>, PageId)>,
+    mut next_level: u8,
+) -> StorageResult<(PageId, u8)> {
+    while nodes.len() > 1 {
+        let sizes = chunk_sizes(
+            nodes.len(),
+            layout.min_internal + 1,
+            layout.max_internal + 1,
+        );
+        let mut parent = Vec::with_capacity(sizes.len());
+        let mut it = nodes.into_iter();
+        for size in sizes {
+            let group: Vec<(Option<Key128>, PageId)> = it.by_ref().take(size).collect();
+            let node = BNode::Internal {
+                level: next_level,
+                keys: group[1..]
+                    .iter()
+                    .map(|(k, _)| k.expect("only the leftmost node lacks a separator"))
+                    .collect(),
+                children: group.iter().map(|(_, p)| *p).collect(),
+            };
+            let pid = pool.new_page()?;
+            pool.with_page_mut(pid, |buf| node.encode(buf))??;
+            parent.push((group[0].0, pid));
+        }
+        nodes = parent;
+        next_level += 1;
+    }
+    Ok((nodes[0].1, next_level))
+}
+
+/// Structural effect a subtree reports to its parent after a batch.
+enum ApplyEffect {
+    /// Absorbed in place; no separator changes needed.
+    Done,
+    /// Split into additional right siblings `(separator, page)`.
+    Splits(Vec<(Key128, PageId)>),
+    /// Dropped below minimum occupancy; parent must repair.
+    Underflow,
+}
+
+/// Splits `n` items into chunk sizes within `[min, max]`, filling at
+/// `max` and evening out the tail (a single chunk may undercut `min`
+/// only when `n < min` — the lone-root case).
+fn chunk_sizes(n: usize, min: usize, max: usize) -> Vec<usize> {
+    debug_assert!(min >= 1 && min <= max);
+    let mut sizes = Vec::with_capacity(n / max + 2);
+    let mut rem = n;
+    while rem > max + min {
+        sizes.push(max);
+        rem -= max;
+    }
+    if rem > max {
+        // Two final chunks, split evenly: both land in [min, max].
+        sizes.push(rem - rem / 2);
+        sizes.push(rem / 2);
+    } else if rem > 0 {
+        sizes.push(rem);
+    }
+    sizes
 }
 
 #[cfg(test)]
@@ -946,10 +1673,187 @@ mod tests {
             }
             assert_eq!(t.len(), reference.len());
             if step % 500 == 0 {
-                t.check_invariants().unwrap().expect("invariants hold mid-fuzz");
+                t.check_invariants()
+                    .unwrap()
+                    .expect("invariants hold mid-fuzz");
             }
         }
-        t.check_invariants().unwrap().expect("invariants hold at end");
+        t.check_invariants()
+            .unwrap()
+            .expect("invariants hold at end");
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        for n in 1..500usize {
+            let (min, max) = (3, 7);
+            let sizes = chunk_sizes(n, min, max);
+            assert_eq!(sizes.iter().sum::<usize>(), n, "n={n}");
+            if sizes.len() == 1 {
+                assert!(sizes[0] <= max);
+            } else {
+                assert!(
+                    sizes.iter().all(|&s| (min..=max).contains(&s)),
+                    "n={n}: {sizes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        for n in [0usize, 1, 7, 72, 73, 500, 2000] {
+            let items: Vec<(Key128, Value)> = (0..n as u64).map(|i| (key(i * 3), val(i))).collect();
+            let bulk = BPlusTree::bulk_load(pool(512), items.clone()).unwrap();
+            let mut incr = BPlusTree::new(pool(512)).unwrap();
+            for &(k, v) in &items {
+                incr.insert(k, v).unwrap();
+            }
+            assert_eq!(bulk.len(), n, "n={n}");
+            bulk.check_invariants()
+                .unwrap()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let mut a = Vec::new();
+            bulk.range_scan(Key128::MIN, Key128::MAX, |k, v| a.push((k, *v)))
+                .unwrap();
+            let mut b = Vec::new();
+            incr.range_scan(Key128::MIN, Key128::MAX, |k, v| b.push((k, *v)))
+                .unwrap();
+            assert_eq!(a, b, "n={n}");
+            // Bulk loading packs leaves full, so it can never be taller.
+            assert!(bulk.height() <= incr.height(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let items = vec![(key(5), val(5)), (key(3), val(3))];
+        assert!(BPlusTree::bulk_load(pool(512), items).is_err());
+        let dup = vec![(key(5), val(5)), (key(5), val(6))];
+        assert!(BPlusTree::bulk_load(pool(512), dup).is_err());
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_all_ops() {
+        let items: Vec<(Key128, Value)> = (0..1000u64).map(|i| (key(i * 2), val(i))).collect();
+        let mut t = BPlusTree::bulk_load(pool(512), items).unwrap();
+        assert_eq!(t.get(key(500 * 2)).unwrap(), Some(val(500)));
+        assert_eq!(t.get(key(501)).unwrap(), None);
+        assert!(t.insert(key(501), val(9)).unwrap());
+        assert!(t.delete(key(0)).unwrap());
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap().expect("still valid");
+    }
+
+    #[test]
+    fn apply_batch_matches_single_ops() {
+        let mut batched = BPlusTree::new(pool(512)).unwrap();
+        let mut single = BPlusTree::new(pool(512)).unwrap();
+        let mut reference = BTreeMap::new();
+        let mut rng = Rng(0xABCD);
+        for _round in 0..30 {
+            // A sorted run of mixed upserts and deletes.
+            let mut ops: Vec<(Key128, BatchOp)> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for _ in 0..120 {
+                let k = rng.next() % 4_000;
+                if !seen.insert(k) {
+                    continue;
+                }
+                let op = if rng.next().is_multiple_of(3) {
+                    BatchOp::Delete
+                } else {
+                    BatchOp::Put(val(k))
+                };
+                ops.push((key(k), op));
+            }
+            ops.sort_unstable_by_key(|(k, _)| *k);
+
+            let out = batched.apply_batch(&ops).unwrap();
+            let mut expect = BatchOutcome::default();
+            for &(k, op) in &ops {
+                match op {
+                    BatchOp::Put(v) => {
+                        if single.insert(k, v).unwrap() {
+                            expect.inserted += 1;
+                            reference.insert(k, v);
+                        } else {
+                            expect.replaced += 1;
+                            reference.insert(k, v);
+                        }
+                    }
+                    BatchOp::Delete => {
+                        if single.delete(k).unwrap() {
+                            expect.deleted += 1;
+                            reference.remove(&k);
+                        } else {
+                            expect.missing += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(out, expect);
+            assert_eq!(batched.len(), single.len());
+            assert_eq!(batched.len(), reference.len());
+        }
+        batched
+            .check_invariants()
+            .unwrap()
+            .expect("batched tree valid");
+        let mut a = Vec::new();
+        batched
+            .range_scan(Key128::MIN, Key128::MAX, |k, v| a.push((k, *v)))
+            .unwrap();
+        let want: Vec<(Key128, Value)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn apply_batch_rejects_unsorted() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let ops = vec![(key(5), BatchOp::Delete), (key(3), BatchOp::Delete)];
+        assert!(t.apply_batch(&ops).is_err());
+    }
+
+    #[test]
+    fn apply_batch_writes_fewer_pages_than_single_ops() {
+        // The attributable win: a sorted tick of co-located updates
+        // touches each leaf once, so the batched path must dirty
+        // strictly fewer pages than one-at-a-time delete/insert.
+        let items: Vec<(Key128, Value)> = (0..5_000u64).map(|i| (key(i * 2), val(i))).collect();
+        let mut batched = BPlusTree::bulk_load(pool(4096), items.clone()).unwrap();
+        let mut single = BPlusTree::bulk_load(pool(4096), items).unwrap();
+
+        // One "tick": every 5th object moves to a nearby key.
+        let mut ops: Vec<(Key128, BatchOp)> = Vec::new();
+        for i in (0..5_000u64).step_by(5) {
+            ops.push((key(i * 2), BatchOp::Delete));
+            ops.push((key(i * 2 + 1), BatchOp::Put(val(i))));
+        }
+        ops.sort_unstable_by_key(|(k, _)| *k);
+
+        batched.reset_io_stats();
+        batched.apply_batch(&ops).unwrap();
+        let batch_writes = batched.io_stats().logical_writes;
+
+        single.reset_io_stats();
+        for &(k, op) in &ops {
+            match op {
+                BatchOp::Put(v) => {
+                    single.insert(k, v).unwrap();
+                }
+                BatchOp::Delete => {
+                    single.delete(k).unwrap();
+                }
+            }
+        }
+        let single_writes = single.io_stats().logical_writes;
+
+        assert!(
+            batch_writes < single_writes,
+            "batched {batch_writes} page writes vs single-op {single_writes}"
+        );
+        assert_eq!(batched.len(), single.len());
     }
 
     #[test]

@@ -56,8 +56,7 @@ pub trait SpaceFillingCurve {
             if qx > x1 || qy > y1 || qx + size - 1 < x0 || qy + size - 1 < y0 {
                 continue;
             }
-            let fully_inside =
-                qx >= x0 && qy >= y0 && qx + size - 1 <= x1 && qy + size - 1 <= y1;
+            let fully_inside = qx >= x0 && qy >= y0 && qx + size - 1 <= x1 && qy + size - 1 <= y1;
             let exhausted = budget_frames == 0 || size == 1;
             if fully_inside || (exhausted && size >= 1) {
                 // An aligned quad is one contiguous 4^k-aligned block.

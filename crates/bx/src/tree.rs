@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use vp_bptree::{BPlusTree, Key128, Value};
+use vp_bptree::{BPlusTree, BatchOp, Key128, Value};
 use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
 use vp_geom::{Point, Rect, Vec2};
 use vp_storage::{BufferPool, IoStats};
@@ -127,15 +127,29 @@ pub struct BxTree {
 }
 
 impl BxTree {
-    /// Creates an empty Bx-tree over the shared buffer pool.
-    pub fn new(pool: Arc<BufferPool>, config: BxConfig) -> IndexResult<BxTree> {
-        assert!(config.lambda >= 1 && config.lambda <= 20, "lambda out of range");
+    fn validate_config(config: &BxConfig) {
+        assert!(
+            config.lambda >= 1 && config.lambda <= 20,
+            "lambda out of range"
+        );
         assert!(config.num_buckets >= 1, "need at least one time bucket");
-        assert!(config.update_interval > 0.0, "update interval must be positive");
-        let curve = match config.curve {
+        assert!(
+            config.update_interval > 0.0,
+            "update interval must be positive"
+        );
+    }
+
+    fn make_curve(config: &BxConfig) -> Curve {
+        match config.curve {
             CurveKind::Hilbert => Curve::Hilbert(HilbertCurve::new(config.lambda)),
             CurveKind::Z => Curve::Z(ZCurve::new(config.lambda)),
-        };
+        }
+    }
+
+    /// Creates an empty Bx-tree over the shared buffer pool.
+    pub fn new(pool: Arc<BufferPool>, config: BxConfig) -> IndexResult<BxTree> {
+        Self::validate_config(&config);
+        let curve = Self::make_curve(&config);
         let hist = VelocityGrid::new(config.domain, config.hist_cells);
         let btree = BPlusTree::new(pool)?;
         Ok(BxTree {
@@ -146,6 +160,50 @@ impl BxTree {
             buckets: BTreeMap::new(),
             keys: HashMap::new(),
             now: 0.0,
+        })
+    }
+
+    /// Builds a Bx-tree from a snapshot of objects via B+-tree bulk
+    /// loading: every object's key is computed up front, the entries
+    /// are sorted once, and the underlying tree is packed
+    /// left-to-right without any per-object root descent. Equivalent
+    /// to inserting every object individually, much cheaper.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        config: BxConfig,
+        objects: &[MovingObject],
+    ) -> IndexResult<BxTree> {
+        Self::validate_config(&config);
+        let curve = Self::make_curve(&config);
+        let mut hist = VelocityGrid::new(config.domain, config.hist_cells);
+        let mut keys = HashMap::with_capacity(objects.len());
+        let mut buckets = BTreeMap::new();
+        let mut entries: Vec<(Key128, Value)> = Vec::with_capacity(objects.len());
+        let mut now = 0.0f64;
+        for obj in objects {
+            now = now.max(obj.ref_time);
+            let seq = Self::bucket_seq_cfg(&config, obj.ref_time);
+            let label = Self::label_cfg(&config, seq);
+            let pos_label = obj.position_at(label);
+            let (cx, cy) = Self::cell_cfg(&config, pos_label);
+            let key = Self::make_key_cfg(&config, seq, curve.encode(cx, cy), obj.id);
+            if keys.insert(obj.id, key).is_some() {
+                return Err(IndexError::DuplicateObject(obj.id));
+            }
+            *buckets.entry(seq).or_insert(0) += 1;
+            hist.record(pos_label, obj.vel);
+            entries.push((key, Self::encode_value(pos_label, obj.vel, label)));
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        let btree = BPlusTree::bulk_load(pool, entries).map_err(IndexError::from)?;
+        Ok(BxTree {
+            config,
+            curve,
+            btree,
+            hist,
+            buckets,
+            keys,
+            now,
         })
     }
 
@@ -160,24 +218,32 @@ impl BxTree {
     }
 
     /// Bucket duration Δt_mu / n.
-    fn bucket_duration(&self) -> f64 {
-        self.config.update_interval / self.config.num_buckets as f64
+    fn bucket_duration_cfg(config: &BxConfig) -> f64 {
+        config.update_interval / config.num_buckets as f64
     }
 
     /// The bucket holding insertion time `t` (1-based so label > t - ε).
+    fn bucket_seq_cfg(config: &BxConfig, t: f64) -> u64 {
+        (t / Self::bucket_duration_cfg(config)).floor() as u64 + 1
+    }
+
     fn bucket_seq(&self, t: f64) -> u64 {
-        (t / self.bucket_duration()).floor() as u64 + 1
+        Self::bucket_seq_cfg(&self.config, t)
     }
 
     /// Label timestamp (end) of a bucket.
+    fn label_cfg(config: &BxConfig, seq: u64) -> f64 {
+        seq as f64 * Self::bucket_duration_cfg(config)
+    }
+
     fn label_of(&self, seq: u64) -> f64 {
-        seq as f64 * self.bucket_duration()
+        Self::label_cfg(&self.config, seq)
     }
 
     /// Cell coordinates of a position on the curve grid (clamped).
-    fn cell_of(&self, p: Point) -> (u32, u32) {
-        let side = (1u32 << self.config.lambda) as f64;
-        let d = &self.config.domain;
+    fn cell_cfg(config: &BxConfig, p: Point) -> (u32, u32) {
+        let side = (1u32 << config.lambda) as f64;
+        let d = &config.domain;
         let fx = ((p.x - d.lo.x) / d.width()).clamp(0.0, 1.0);
         let fy = ((p.y - d.lo.y) / d.height()).clamp(0.0, 1.0);
         let cx = ((fx * side) as u32).min(side as u32 - 1);
@@ -185,8 +251,31 @@ impl BxTree {
         (cx, cy)
     }
 
+    fn cell_of(&self, p: Point) -> (u32, u32) {
+        Self::cell_cfg(&self.config, p)
+    }
+
+    fn make_key_cfg(config: &BxConfig, seq: u64, curve_value: u64, id: ObjectId) -> Key128 {
+        Key128::new((seq << (2 * config.lambda)) | curve_value, id)
+    }
+
     fn make_key(&self, seq: u64, curve_value: u64, id: ObjectId) -> Key128 {
-        Key128::new((seq << (2 * self.config.lambda)) | curve_value, id)
+        Self::make_key_cfg(&self.config, seq, curve_value, id)
+    }
+
+    /// The bucket sequence number packed into a B+-tree key.
+    fn seq_of_key(&self, key: Key128) -> u64 {
+        key.hi >> (2 * self.config.lambda)
+    }
+
+    /// Drops one object from a bucket's live count.
+    fn bucket_decrement(&mut self, seq: u64) {
+        if let Some(n) = self.buckets.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                self.buckets.remove(&seq);
+            }
+        }
     }
 
     fn encode_value(pos: Point, vel: Vec2, label: f64) -> Value {
@@ -282,8 +371,16 @@ impl BxTree {
         let d = &self.config.domain;
         let cw = d.width() / side;
         let ch = d.height() / side;
-        let lo_x = if cx == 0 { f64::NEG_INFINITY } else { d.lo.x + cx as f64 * cw };
-        let lo_y = if cy == 0 { f64::NEG_INFINITY } else { d.lo.y + cy as f64 * ch };
+        let lo_x = if cx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            d.lo.x + cx as f64 * cw
+        };
+        let lo_y = if cy == 0 {
+            f64::NEG_INFINITY
+        } else {
+            d.lo.y + cy as f64 * ch
+        };
         let hi_x = if cx as f64 + 1.0 >= side {
             f64::INFINITY
         } else {
@@ -416,13 +513,86 @@ impl MovingObjectIndex for BxTree {
         };
         let found = self.btree.delete(key).map_err(IndexError::from)?;
         debug_assert!(found, "lookup table out of sync with B+-tree");
-        let seq = key.hi >> (2 * self.config.lambda);
-        if let Some(n) = self.buckets.get_mut(&seq) {
-            *n -= 1;
-            if *n == 0 {
-                self.buckets.remove(&seq);
-            }
+        let seq = self.seq_of_key(key);
+        self.bucket_decrement(seq);
+        Ok(())
+    }
+
+    /// Batched per-tick maintenance: the implied delete-old-key /
+    /// insert-new-key pairs of the whole tick are gathered, sorted
+    /// into B+-tree key order, and applied through
+    /// [`BPlusTree::apply_batch`] — one descent and one page write per
+    /// touched leaf instead of per object. Objects whose key is
+    /// unchanged (same bucket, same curve cell) degenerate to an
+    /// in-place value overwrite.
+    fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
+        // Last write wins within one tick.
+        let mut latest: HashMap<ObjectId, usize> = HashMap::with_capacity(updates.len());
+        for (i, obj) in updates.iter().enumerate() {
+            latest.insert(obj.id, i);
         }
+        let mut ops: Vec<(Key128, BatchOp)> = Vec::with_capacity(updates.len() * 2);
+        for (i, obj) in updates.iter().enumerate() {
+            if latest[&obj.id] != i {
+                continue;
+            }
+            self.now = self.now.max(obj.ref_time);
+            let seq = self.bucket_seq(obj.ref_time);
+            let label = self.label_of(seq);
+            let pos_label = obj.position_at(label);
+            let (cx, cy) = self.cell_of(pos_label);
+            let new_key = self.make_key(seq, self.curve.encode(cx, cy), obj.id);
+            let value = Self::encode_value(pos_label, obj.vel, label);
+            match self.keys.insert(obj.id, new_key) {
+                Some(old_key) if old_key != new_key => {
+                    ops.push((old_key, BatchOp::Delete));
+                    let old_seq = self.seq_of_key(old_key);
+                    self.bucket_decrement(old_seq);
+                    *self.buckets.entry(seq).or_insert(0) += 1;
+                }
+                Some(_) => {} // same cell and bucket: value overwrite
+                None => *self.buckets.entry(seq).or_insert(0) += 1,
+            }
+            ops.push((new_key, BatchOp::Put(value)));
+            self.hist.record(pos_label, obj.vel);
+        }
+        // Keys are unique across ops: every key carries its object id
+        // in the low half, and per object old != new here.
+        ops.sort_unstable_by_key(|(k, _)| *k);
+        let out = self.btree.apply_batch(&ops).map_err(IndexError::from)?;
+        debug_assert_eq!(out.missing, 0, "lookup table out of sync with B+-tree");
+        Ok(())
+    }
+
+    /// Batched deletion: all doomed keys are sorted and removed in one
+    /// leaf walk via [`BPlusTree::apply_batch`].
+    fn remove_batch(&mut self, ids: &[ObjectId]) -> IndexResult<()> {
+        // Resolve every id before mutating any bookkeeping, so an
+        // unknown or duplicated id rejects the whole batch and leaves
+        // the index untouched.
+        let mut ops: Vec<(Key128, BatchOp)> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let Some(&key) = self.keys.get(&id) else {
+                return Err(IndexError::UnknownObject(id));
+            };
+            ops.push((key, BatchOp::Delete));
+        }
+        ops.sort_unstable_by_key(|(k, _)| *k);
+        if let Some(w) = ops.windows(2).find(|w| w[0].0 == w[1].0) {
+            // Keys embed the object id, so equal keys = duplicated id.
+            return Err(IndexError::DuplicateObject(w[0].0.lo));
+        }
+        for &id in ids {
+            let key = self.keys.remove(&id).expect("resolved above");
+            let seq = self.seq_of_key(key);
+            self.bucket_decrement(seq);
+        }
+        let out = self.btree.apply_batch(&ops).map_err(IndexError::from)?;
+        debug_assert_eq!(
+            out.deleted,
+            ops.len(),
+            "lookup table out of sync with B+-tree"
+        );
         Ok(())
     }
 
@@ -627,13 +797,9 @@ mod tests {
         for qi in 0..40 {
             let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
             let tq = (qi % 7) as f64 * 10.0;
-            let q = RangeQuery::time_slice(
-                QueryRegion::Circle(Circle::new(c, 600.0)),
-                tq,
-            );
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, 600.0)), tq);
             let mut got = t.range_query(&q).unwrap();
-            let mut want: Vec<u64> =
-                objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+            let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
             got.sort_unstable();
             want.sort_unstable();
             assert_eq!(got, want, "query {qi} (t={tq}) diverged");
@@ -677,11 +843,15 @@ mod tests {
             let q = if qi % 2 == 0 {
                 RangeQuery::time_interval(region, 5.0, 40.0)
             } else {
-                RangeQuery::moving(region, Point::new(rng.next() * 40.0 - 20.0, 10.0), 5.0, 40.0)
+                RangeQuery::moving(
+                    region,
+                    Point::new(rng.next() * 40.0 - 20.0, 10.0),
+                    5.0,
+                    40.0,
+                )
             };
             let mut got = t.range_query(&q).unwrap();
-            let mut want: Vec<u64> =
-                objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+            let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
             got.sort_unstable();
             want.sort_unstable();
             assert_eq!(got, want, "query {qi} diverged");
@@ -694,7 +864,8 @@ mod tests {
         t.insert(obj(1, 5_000.0, 5_000.0, 20.0, 0.0, 10.0)).unwrap();
         let seq_before = *t.buckets.keys().next().unwrap();
         // Update well into a later bucket.
-        t.update(obj(1, 6_400.0, 5_000.0, -20.0, 0.0, 80.0)).unwrap();
+        t.update(obj(1, 6_400.0, 5_000.0, -20.0, 0.0, 80.0))
+            .unwrap();
         let seq_after = *t.buckets.keys().next().unwrap();
         assert!(seq_after > seq_before);
         assert_eq!(t.len(), 1);
@@ -703,6 +874,176 @@ mod tests {
             100.0,
         );
         assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let objs = random_objects(700, 0xB17, 80.0, 15.0);
+        let bulk = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let mut incr = tree();
+        for o in &objs {
+            incr.insert(*o).unwrap();
+        }
+        assert_eq!(bulk.len(), incr.len());
+        let mut rng = Rng(0x41);
+        for qi in 0..30 {
+            let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(c, 900.0)),
+                20.0 + (qi % 5) as f64 * 10.0,
+            );
+            let mut a = bulk.range_query(&q).unwrap();
+            let mut b = incr.range_query(&q).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {qi} diverged");
+        }
+        // Bulk-loaded trees accept further maintenance.
+        let mut bulk = bulk;
+        bulk.delete(0).unwrap();
+        bulk.insert(obj(9_000, 5_000.0, 5_000.0, 1.0, 1.0, 15.0))
+            .unwrap();
+        assert_eq!(bulk.len(), incr.len());
+    }
+
+    #[test]
+    fn bulk_load_rejects_duplicate_ids() {
+        let objs = vec![
+            obj(1, 100.0, 100.0, 1.0, 0.0, 0.0),
+            obj(1, 200.0, 200.0, 0.0, 1.0, 0.0),
+        ];
+        assert!(matches!(
+            BxTree::bulk_load(pool(), small_config(), &objs),
+            Err(IndexError::DuplicateObject(1))
+        ));
+    }
+
+    #[test]
+    fn update_batch_matches_looped_updates() {
+        let objs = random_objects(500, 0x600D, 60.0, 0.0);
+        let mut batched = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let mut looped = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let mut current = objs;
+        for tick in 1..=5 {
+            let t = tick as f64 * 25.0; // crosses bucket boundaries
+            let mut updates = Vec::new();
+            for o in current.iter_mut() {
+                if o.id % 4 == tick % 4 {
+                    *o = MovingObject::new(o.id, o.position_at(t), o.vel, t);
+                    updates.push(*o);
+                }
+            }
+            // Plus a brand-new object (upsert path).
+            let fresh = obj(10_000 + tick, 4_000.0, 4_000.0, 10.0, -5.0, t);
+            updates.push(fresh);
+            current.push(fresh);
+
+            batched.update_batch(&updates).unwrap();
+            for u in &updates {
+                if looped.get_object(u.id).is_some() {
+                    looped.update(*u).unwrap();
+                } else {
+                    looped.insert(*u).unwrap();
+                }
+            }
+            assert_eq!(batched.len(), looped.len(), "tick {tick}");
+
+            let mut rng = Rng(tick * 77 + 1);
+            for qi in 0..10 {
+                let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+                let q =
+                    RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, 1_200.0)), t + 5.0);
+                let mut a = batched.range_query(&q).unwrap();
+                let mut b = looped.range_query(&q).unwrap();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "tick {tick} query {qi} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn update_batch_writes_fewer_pages_than_looped_updates() {
+        let objs = random_objects(2_000, 0x10A, 50.0, 0.0);
+        let mut batched = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let mut looped = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let updates: Vec<MovingObject> = objs
+            .iter()
+            .map(|o| MovingObject::new(o.id, o.position_at(70.0), o.vel, 70.0))
+            .collect();
+
+        batched.reset_io_stats();
+        batched.update_batch(&updates).unwrap();
+        let batch_writes = batched.io_stats().logical_writes;
+
+        looped.reset_io_stats();
+        for u in &updates {
+            looped.update(*u).unwrap();
+        }
+        let loop_writes = looped.io_stats().logical_writes;
+        assert!(
+            batch_writes < loop_writes,
+            "batched {batch_writes} page writes vs looped {loop_writes}"
+        );
+    }
+
+    #[test]
+    fn update_batch_last_write_wins() {
+        let mut t = tree();
+        t.update_batch(&[
+            obj(7, 1_000.0, 1_000.0, 5.0, 0.0, 0.0),
+            obj(7, 8_000.0, 8_000.0, 0.0, 5.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        let got = t.get_object(7).unwrap();
+        assert!(got.pos.x > 7_000.0, "last update should win: {got:?}");
+    }
+
+    #[test]
+    fn remove_batch_clears_objects_and_buckets() {
+        let objs = random_objects(300, 0xDEAD, 40.0, 0.0);
+        let mut t = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        let doomed: Vec<u64> = (0..150).collect();
+        t.remove_batch(&doomed).unwrap();
+        assert_eq!(t.len(), 150);
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0)),
+            0.0,
+        );
+        let got = t.range_query(&q).unwrap();
+        assert_eq!(got.len(), 150);
+        assert!(got.iter().all(|id| *id >= 150));
+        assert!(matches!(
+            t.remove_batch(&[0]),
+            Err(IndexError::UnknownObject(0))
+        ));
+    }
+
+    #[test]
+    fn remove_batch_is_atomic_on_bad_input() {
+        let objs = random_objects(50, 0xA70, 30.0, 0.0);
+        let mut t = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        // One unknown id: nothing may change.
+        assert!(matches!(
+            t.remove_batch(&[1, 2, 999]),
+            Err(IndexError::UnknownObject(999))
+        ));
+        assert_eq!(t.len(), 50);
+        assert!(t.get_object(1).is_some() && t.get_object(2).is_some());
+        // A duplicated id: same guarantee.
+        assert!(matches!(
+            t.remove_batch(&[3, 4, 3]),
+            Err(IndexError::DuplicateObject(3))
+        ));
+        assert_eq!(t.len(), 50);
+        assert!(t.get_object(3).is_some());
+        // Queries still see everything.
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0)),
+            0.0,
+        );
+        assert_eq!(t.range_query(&q).unwrap().len(), 50);
     }
 
     #[test]
@@ -780,7 +1121,8 @@ mod tests {
         let mut t = tree();
         // A fast cohort that later disappears.
         for i in 0..50 {
-            t.insert(obj(i, 5_000.0, 5_000.0, 300.0, 300.0, 0.0)).unwrap();
+            t.insert(obj(i, 5_000.0, 5_000.0, 300.0, 300.0, 0.0))
+                .unwrap();
         }
         for i in 50..100 {
             t.insert(obj(i, 2_000.0, 2_000.0, 5.0, 5.0, 0.0)).unwrap();
@@ -794,9 +1136,17 @@ mod tests {
             QueryRegion::Circle(Circle::new(Point::new(2_250.0, 2_250.0), 200.0)),
             50.0,
         );
-        let before: f64 = t.enlarged_windows(&q).iter().map(|w| w.enlarged.area()).sum();
+        let before: f64 = t
+            .enlarged_windows(&q)
+            .iter()
+            .map(|w| w.enlarged.area())
+            .sum();
         t.rebuild_histogram().unwrap();
-        let after: f64 = t.enlarged_windows(&q).iter().map(|w| w.enlarged.area()).sum();
+        let after: f64 = t
+            .enlarged_windows(&q)
+            .iter()
+            .map(|w| w.enlarged.area())
+            .sum();
         assert!(after <= before, "rebuild should not loosen windows");
         // Queries still correct after rebuild.
         let got = t.range_query(&q).unwrap();

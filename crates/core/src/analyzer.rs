@@ -57,8 +57,12 @@ pub struct AnalyzerOutput {
 impl AnalyzerOutput {
     /// Fraction of the sample classified as outliers.
     pub fn outlier_fraction(&self) -> f64 {
-        let total: usize =
-            self.partitions.iter().map(|p| p.members.len()).sum::<usize>() + self.outliers.len();
+        let total: usize = self
+            .partitions
+            .iter()
+            .map(|p| p.members.len())
+            .sum::<usize>()
+            + self.outliers.len();
         if total == 0 {
             0.0
         } else {
@@ -106,8 +110,8 @@ impl VelocityAnalyzer {
                 .iter()
                 .map(|&i| sample[i].perp_distance_to_axis(cluster.axis))
                 .collect();
-            let decision = optimal_tau_from_samples(&perp, self.config.tau_buckets)
-                .unwrap_or(TauDecision {
+            let decision =
+                optimal_tau_from_samples(&perp, self.config.tau_buckets).unwrap_or(TauDecision {
                     tau: f64::INFINITY,
                     retained: 0,
                     objective: 0.0,
@@ -126,7 +130,11 @@ impl VelocityAnalyzer {
             // Line 6: refit the DVA on the survivors.
             let kept_points: Vec<Vec2> = kept.iter().map(|&i| sample[i]).collect();
             let pca = pca_origin(&kept_points);
-            let axis = if kept.is_empty() { cluster.axis } else { pca.pc1 };
+            let axis = if kept.is_empty() {
+                cluster.axis
+            } else {
+                pca.pc1
+            };
 
             partitions.push(DvaPartition {
                 axis,
@@ -260,8 +268,10 @@ mod tests {
     #[test]
     fn k_one_single_partition() {
         let sample = sample_two_roads(200, 0);
-        let mut cfg = VpConfig::default();
-        cfg.k = 1;
+        let cfg = VpConfig {
+            k: 1,
+            ..VpConfig::default()
+        };
         let out = VelocityAnalyzer::new(cfg).analyze(&sample);
         assert_eq!(out.partitions.len(), 1);
     }

@@ -78,14 +78,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = VpConfig::default();
-        c.k = 0;
+        let c = VpConfig {
+            k: 0,
+            ..VpConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = VpConfig::default();
-        c.tau_buckets = 0;
+        let c = VpConfig {
+            tau_buckets: 0,
+            ..VpConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = VpConfig::default();
-        c.domain = Rect::EMPTY;
+        let c = VpConfig {
+            domain: Rect::EMPTY,
+            ..VpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -115,7 +115,9 @@ impl CumulativeHistogram {
             return 0;
         }
         let f = value / self.max_value * self.counts.len() as f64;
-        (f.ceil() as usize).saturating_sub(1).min(self.counts.len() - 1)
+        (f.ceil() as usize)
+            .saturating_sub(1)
+            .min(self.counts.len() - 1)
     }
 }
 

@@ -45,9 +45,7 @@ pub(crate) struct XorShift64 {
 
 impl XorShift64 {
     pub(crate) fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     pub(crate) fn next_u64(&mut self) -> u64 {
@@ -119,11 +117,7 @@ pub fn find_dvas(points: &[Vec2], k: usize, seed: u64, max_iters: usize) -> Kmea
             })
             .map(|(i, _)| i)
             .unwrap_or(0);
-        seed_axes.push(
-            points[far]
-                .normalized()
-                .unwrap_or(Vec2::new(0.0, 1.0)),
-        );
+        seed_axes.push(points[far].normalized().unwrap_or(Vec2::new(0.0, 1.0)));
     }
     // Assign every point to its nearest seed axis.
     let mut assign: Vec<usize> = points

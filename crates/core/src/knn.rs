@@ -57,10 +57,7 @@ pub fn knn_at<I: MovingObjectIndex + ?Sized>(
         * 1.01;
 
     loop {
-        let q = RangeQuery::time_slice(
-            QueryRegion::Circle(Circle::new(center, radius)),
-            t,
-        );
+        let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, radius)), t);
         let ids = index.range_query(&q)?;
         let mut neighbors: Vec<Neighbor> = ids
             .into_iter()
@@ -123,10 +120,7 @@ mod tests {
 
     /// Brute-force oracle.
     fn brute(idx: &ScanIndex, center: Point, k: usize, t: f64) -> Vec<Neighbor> {
-        let q = RangeQuery::time_slice(
-            QueryRegion::Circle(Circle::new(center, f64::INFINITY)),
-            t,
-        );
+        let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, f64::INFINITY)), t);
         let mut all: Vec<Neighbor> = idx
             .range_query(&q)
             .unwrap()
@@ -173,15 +167,24 @@ mod tests {
     #[test]
     fn knn_handles_small_indexes() {
         let mut idx = ScanIndex::new();
-        assert!(knn_at(&idx, Point::ZERO, 5, 0.0, &domain()).unwrap().is_empty());
-        idx.insert(MovingObject::new(1, Point::new(9_000.0, 9_000.0), Point::ZERO, 0.0))
-            .unwrap();
+        assert!(knn_at(&idx, Point::ZERO, 5, 0.0, &domain())
+            .unwrap()
+            .is_empty());
+        idx.insert(MovingObject::new(
+            1,
+            Point::new(9_000.0, 9_000.0),
+            Point::ZERO,
+            0.0,
+        ))
+        .unwrap();
         // k exceeds population: return what exists.
         let got = knn_at(&idx, Point::ZERO, 5, 0.0, &domain()).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].id, 1);
         // k = 0.
-        assert!(knn_at(&idx, Point::ZERO, 0, 0.0, &domain()).unwrap().is_empty());
+        assert!(knn_at(&idx, Point::ZERO, 0, 0.0, &domain())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -212,6 +212,64 @@ impl<I> VpIndex<I> {
         taus
     }
 
+    /// Applies one tick of updates across the partitioned index
+    /// (upsert semantics, like [`MovingObjectIndex::update_batch`]).
+    ///
+    /// Instead of routing objects one at a time, the whole tick is
+    /// bucketed first: each update is assigned its destination
+    /// partition, migrations are split into a removal from the old
+    /// partition plus an upsert into the new one, and only then is
+    /// each sub-index touched — once, with its full batch, via
+    /// [`MovingObjectIndex::remove_batch`] /
+    /// [`MovingObjectIndex::update_batch`]. Sub-indexes that exploit
+    /// batching (the Bx-tree sorts its batch into B+-tree key order
+    /// and walks each leaf once) therefore see ordered runs rather
+    /// than interleaved single ops.
+    ///
+    /// When the same id appears multiple times in `updates`, the last
+    /// occurrence wins.
+    pub fn apply_updates(&mut self, updates: &[MovingObject]) -> IndexResult<()>
+    where
+        I: MovingObjectIndex,
+    {
+        let parts = self.specs.len();
+        let mut removals: Vec<Vec<ObjectId>> = vec![Vec::new(); parts];
+        let mut upserts: Vec<Vec<MovingObject>> = vec![Vec::new(); parts];
+
+        // Last write wins within one tick.
+        let mut latest: HashMap<ObjectId, usize> = HashMap::with_capacity(updates.len());
+        for (i, obj) in updates.iter().enumerate() {
+            latest.insert(obj.id, i);
+        }
+
+        for (i, obj) in updates.iter().enumerate() {
+            if latest[&obj.id] != i {
+                continue;
+            }
+            let p = self.choose_partition(obj.vel);
+            match self.assignment.get(&obj.id) {
+                Some(&old) if old != p => removals[old].push(obj.id),
+                _ => {}
+            }
+            upserts[p].push(obj.to_frame(&self.specs[p].frame));
+            self.assignment.insert(obj.id, p);
+            self.objects.insert(obj.id, *obj);
+            self.record_perp_speed(obj.vel);
+        }
+
+        for (p, ids) in removals.iter().enumerate() {
+            if !ids.is_empty() {
+                self.indexes[p].remove_batch(ids)?;
+            }
+        }
+        for (p, objs) in upserts.iter().enumerate() {
+            if !objs.is_empty() {
+                self.indexes[p].update_batch(objs)?;
+            }
+        }
+        Ok(())
+    }
+
     fn record_perp_speed(&mut self, vel: Vec2) {
         // Track the perpendicular speed against the *closest* DVA — the
         // candidate population of that DVA's τ decision.
@@ -254,6 +312,10 @@ impl<I: MovingObjectIndex> MovingObjectIndex for VpIndex<I> {
         self.assignment.remove(&id);
         self.objects.remove(&id);
         Ok(())
+    }
+
+    fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
+        self.apply_updates(updates)
     }
 
     fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
@@ -366,10 +428,30 @@ mod tests {
     fn insert_query_delete_round_trip() {
         let mut vp = build_vp();
         let objs = [
-            MovingObject::new(1, Point::new(50_000.0, 50_000.0), Point::new(30.0, 0.1), 0.0),
-            MovingObject::new(2, Point::new(50_100.0, 50_000.0), Point::new(0.1, 30.0), 0.0),
-            MovingObject::new(3, Point::new(50_000.0, 50_100.0), Point::new(40.0, 40.0), 0.0),
-            MovingObject::new(4, Point::new(90_000.0, 90_000.0), Point::new(-30.0, 0.0), 0.0),
+            MovingObject::new(
+                1,
+                Point::new(50_000.0, 50_000.0),
+                Point::new(30.0, 0.1),
+                0.0,
+            ),
+            MovingObject::new(
+                2,
+                Point::new(50_100.0, 50_000.0),
+                Point::new(0.1, 30.0),
+                0.0,
+            ),
+            MovingObject::new(
+                3,
+                Point::new(50_000.0, 50_100.0),
+                Point::new(40.0, 40.0),
+                0.0,
+            ),
+            MovingObject::new(
+                4,
+                Point::new(90_000.0, 90_000.0),
+                Point::new(-30.0, 0.0),
+                0.0,
+            ),
         ];
         for o in objs {
             vp.insert(o).unwrap();
@@ -395,7 +477,12 @@ mod tests {
     #[test]
     fn update_migrates_partitions() {
         let mut vp = build_vp();
-        let o = MovingObject::new(7, Point::new(50_000.0, 50_000.0), Point::new(30.0, 0.0), 0.0);
+        let o = MovingObject::new(
+            7,
+            Point::new(50_000.0, 50_000.0),
+            Point::new(30.0, 0.0),
+            0.0,
+        );
         vp.insert(o).unwrap();
         let before = vp.partition_of(7).unwrap();
         // The object turns 90 degrees: must migrate to the other DVA.
@@ -474,16 +561,117 @@ mod tests {
         for qi in 0..50 {
             let center = Point::new(next() * 100_000.0, next() * 100_000.0);
             let t = (qi % 10) as f64 * 12.0;
-            let q = RangeQuery::time_slice(
-                QueryRegion::Circle(Circle::new(center, 2_000.0)),
-                t,
-            );
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, 2_000.0)), t);
             let mut a = vp.range_query(&q).unwrap();
             let mut b = reference.range_query(&q).unwrap();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "query {qi} diverged");
         }
+    }
+
+    #[test]
+    fn apply_updates_matches_looped_single_ops() {
+        let mut batched = build_vp();
+        let mut looped = build_vp();
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64 / 1_000_000.0
+        };
+        // Seed population.
+        let mut objs = Vec::new();
+        for id in 0..300u64 {
+            let o = MovingObject::new(
+                id,
+                Point::new(next() * 100_000.0, next() * 100_000.0),
+                Point::new(next() * 120.0 - 60.0, next() * 120.0 - 60.0),
+                0.0,
+            );
+            batched.insert(o).unwrap();
+            looped.insert(o).unwrap();
+            objs.push(o);
+        }
+        // Several ticks: moves, direction changes (migrations), and
+        // brand-new ids (upserts).
+        for tick in 1..=4 {
+            let t = tick as f64 * 10.0;
+            let mut updates = Vec::new();
+            for o in objs.iter_mut() {
+                if o.id % 3 == tick % 3 {
+                    let turn = o.id % 2 == 0;
+                    let vel = if turn {
+                        Point::new(-o.vel.y, o.vel.x)
+                    } else {
+                        o.vel
+                    };
+                    *o = MovingObject::new(o.id, o.position_at(t), vel, t);
+                    updates.push(*o);
+                }
+            }
+            let fresh = MovingObject::new(
+                10_000 + tick,
+                Point::new(next() * 100_000.0, next() * 100_000.0),
+                Point::new(30.0, 0.5),
+                t,
+            );
+            updates.push(fresh);
+            objs.push(fresh);
+
+            batched.apply_updates(&updates).unwrap();
+            for u in &updates {
+                if looped.get_object(u.id).is_some() {
+                    looped.update(*u).unwrap();
+                } else {
+                    looped.insert(*u).unwrap();
+                }
+            }
+
+            assert_eq!(batched.len(), looped.len(), "tick {tick}");
+            for o in &objs {
+                assert_eq!(
+                    batched.partition_of(o.id),
+                    looped.partition_of(o.id),
+                    "tick {tick}, object {}",
+                    o.id
+                );
+            }
+            let q = RangeQuery::time_slice(
+                QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 40_000.0)),
+                t,
+            );
+            let mut a = batched.range_query(&q).unwrap();
+            let mut b = looped.range_query(&q).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn apply_updates_last_write_wins() {
+        let mut vp = build_vp();
+        let a = MovingObject::new(
+            1,
+            Point::new(10_000.0, 10_000.0),
+            Point::new(30.0, 0.0),
+            0.0,
+        );
+        let b = MovingObject::new(
+            1,
+            Point::new(90_000.0, 90_000.0),
+            Point::new(0.0, 30.0),
+            0.0,
+        );
+        vp.apply_updates(&[a, b]).unwrap();
+        assert_eq!(vp.len(), 1);
+        let got = vp.get_object(1).unwrap();
+        assert_eq!(got.pos.x, 90_000.0);
+        // Only the winning update's partition holds the object.
+        let sizes = vp.partition_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1);
     }
 
     #[test]

@@ -238,7 +238,10 @@ mod tests {
         for (x, y) in [(45.0, 45.0), (41.0, 59.0), (59.0, 41.0)] {
             let o = obj(x, y, 0.5, -0.5, 4.0);
             if q.matches(&o) {
-                assert!(qf.matches(&o.to_frame(&frame)), "not conservative at ({x},{y})");
+                assert!(
+                    qf.matches(&o.to_frame(&frame)),
+                    "not conservative at ({x},{y})"
+                );
             }
         }
     }

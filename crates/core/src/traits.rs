@@ -31,6 +31,36 @@ pub trait MovingObjectIndex {
         self.insert(obj)
     }
 
+    /// Applies one tick's worth of updates with **upsert** semantics:
+    /// objects already present are moved, new ids are inserted. When
+    /// an id appears multiple times in one batch, the last occurrence
+    /// wins.
+    ///
+    /// The default implementation loops the single-object path.
+    /// Indexes with a cheaper batched plan (e.g. the Bx-tree, which
+    /// sorts the implied delete/insert pairs into one B+-tree leaf
+    /// walk) override it; callers that buffer a tick of updates should
+    /// prefer this over per-object `update` calls.
+    fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
+        for obj in updates {
+            if self.get_object(obj.id).is_some() {
+                self.delete(obj.id)?;
+            }
+            self.insert(*obj)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a set of objects. Each id must be present and appear at
+    /// most once. The default implementation loops `delete`; batched
+    /// indexes override it to share one index walk.
+    fn remove_batch(&mut self, ids: &[ObjectId]) -> IndexResult<()> {
+        for &id in ids {
+            self.delete(id)?;
+        }
+        Ok(())
+    }
+
     /// Executes a range query, returning the ids of all matching
     /// objects (exact — any index-internal approximation must be
     /// filtered before returning).

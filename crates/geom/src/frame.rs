@@ -138,10 +138,7 @@ mod tests {
     use crate::approx_eq;
 
     fn assert_pt(a: Point, b: Point) {
-        assert!(
-            approx_eq(a.x, b.x) && approx_eq(a.y, b.y),
-            "{a:?} != {b:?}"
-        );
+        assert!(approx_eq(a.x, b.x) && approx_eq(a.y, b.y), "{a:?} != {b:?}");
     }
 
     #[test]

@@ -183,10 +183,7 @@ mod tests {
 
     #[test]
     fn covariance_empty_and_single() {
-        assert_eq!(
-            Mat2::covariance(&[]),
-            Mat2::symmetric(0.0, 0.0, 0.0)
-        );
+        assert_eq!(Mat2::covariance(&[]), Mat2::symmetric(0.0, 0.0, 0.0));
         let c = Mat2::covariance(&[Point::new(3.0, 4.0)]);
         assert!(approx_eq(c.a, 0.0));
         assert!(approx_eq(c.c, 0.0));

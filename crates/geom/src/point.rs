@@ -224,13 +224,19 @@ mod tests {
     fn perp_distance_to_axis_matches_geometry() {
         // Point (1, 1) relative to the x-axis: perpendicular distance 1.
         let p = Point::new(1.0, 1.0);
-        assert!(approx_eq(p.perp_distance_to_axis(Point::new(1.0, 0.0)), 1.0));
+        assert!(approx_eq(
+            p.perp_distance_to_axis(Point::new(1.0, 0.0)),
+            1.0
+        ));
         // Distance to the 45-degree axis is 0 for points on the axis.
         let axis = Point::new(1.0, 1.0);
         assert!(approx_eq(p.perp_distance_to_axis(axis), 0.0));
         // Non-unit axes are normalised internally.
         let q = Point::new(0.0, 3.0);
-        assert!(approx_eq(q.perp_distance_to_axis(Point::new(5.0, 0.0)), 3.0));
+        assert!(approx_eq(
+            q.perp_distance_to_axis(Point::new(5.0, 0.0)),
+            3.0
+        ));
         // Degenerate axis falls back to point norm.
         assert!(approx_eq(q.perp_distance_to_axis(Point::ZERO), 3.0));
     }

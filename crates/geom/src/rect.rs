@@ -267,10 +267,7 @@ mod tests {
         let a = r(0.0, 0.0, 2.0, 2.0);
         assert!(approx_eq(a.min_dist_to_point(Point::new(1.0, 1.0)), 0.0));
         assert!(approx_eq(a.min_dist_to_point(Point::new(5.0, 2.0)), 3.0));
-        assert!(approx_eq(
-            a.min_dist_to_point(Point::new(5.0, 6.0)),
-            5.0
-        ));
+        assert!(approx_eq(a.min_dist_to_point(Point::new(5.0, 6.0)), 5.0));
     }
 
     #[test]

@@ -180,15 +180,9 @@ impl MovingRect {
         let mut constrain = |p0: f64, vp: f64, f0: f64, vq: f64, point_below: bool| -> bool {
             // point_below: p(t) >= f(t)  <=>  (f - p)(t) <= 0.
             let (c, m) = if point_below {
-                (
-                    (f0 - vq * self.ref_time) - (p0 - vp * pos_ref),
-                    vq - vp,
-                )
+                ((f0 - vq * self.ref_time) - (p0 - vp * pos_ref), vq - vp)
             } else {
-                (
-                    (p0 - vp * pos_ref) - (f0 - vq * self.ref_time),
-                    vp - vq,
-                )
+                ((p0 - vp * pos_ref) - (f0 - vq * self.ref_time), vp - vq)
             };
             const EPS: f64 = 1e-12;
             if m.abs() <= EPS {

@@ -509,7 +509,14 @@ mod tests {
     #[test]
     fn intersection_interval_head_on() {
         // Unit squares approaching along x: gap 3 closes at rate 1.
-        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
+        let a = tp(
+            0.0,
+            0.0,
+            1.0,
+            1.0,
+            Vbr::from_velocity(Point::new(1.0, 0.0)),
+            0.0,
+        );
         let b = tp(4.0, 0.0, 5.0, 1.0, Vbr::ZERO, 0.0);
         // Leading face reaches b at t=3; trailing face exits at t=5.
         let (lo, hi) = a.intersection_interval(&b, 0.0, 100.0).unwrap();
@@ -559,8 +566,22 @@ mod tests {
 
     #[test]
     fn never_intersecting_parallel_motion() {
-        let a = tp(0.0, 0.0, 1.0, 1.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
-        let b = tp(0.0, 3.0, 1.0, 4.0, Vbr::from_velocity(Point::new(1.0, 0.0)), 0.0);
+        let a = tp(
+            0.0,
+            0.0,
+            1.0,
+            1.0,
+            Vbr::from_velocity(Point::new(1.0, 0.0)),
+            0.0,
+        );
+        let b = tp(
+            0.0,
+            3.0,
+            1.0,
+            4.0,
+            Vbr::from_velocity(Point::new(1.0, 0.0)),
+            0.0,
+        );
         assert!(a.intersection_interval(&b, 0.0, 1000.0).is_none());
     }
 

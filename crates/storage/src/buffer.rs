@@ -92,6 +92,7 @@ impl BufferPool {
         let pid = g.disk.allocate();
         let size = g.disk.page_size();
         let idx = g.acquire_frame(pid)?;
+        g.stats.logical_writes += 1;
         let f = &mut g.frames[idx];
         f.data = vec![0u8; size].into_boxed_slice();
         f.dirty = true;
@@ -130,9 +131,33 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let mut g = self.inner.lock();
         let idx = g.fetch(pid)?;
+        g.stats.logical_writes += 1;
         g.frames[idx].pinned = true;
         g.frames[idx].dirty = true;
         let out = f(&mut g.frames[idx].data);
+        g.frames[idx].pinned = false;
+        Ok(out)
+    }
+
+    /// Runs `f` with write access to the page contents; the closure
+    /// reports whether it actually modified the page, and only then is
+    /// the page marked dirty and counted as a logical write. For
+    /// fast-path probes that may turn out to be no-ops (e.g. a delete
+    /// of an absent key), where unconditional dirtying would inflate
+    /// the write metrics and force a pointless flush.
+    pub fn with_page_probe_mut<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> (R, bool),
+    ) -> StorageResult<R> {
+        let mut g = self.inner.lock();
+        let idx = g.fetch(pid)?;
+        g.frames[idx].pinned = true;
+        let (out, modified) = f(&mut g.frames[idx].data);
+        if modified {
+            g.frames[idx].dirty = true;
+            g.stats.logical_writes += 1;
+        }
         g.frames[idx].pinned = false;
         Ok(out)
     }
@@ -203,10 +228,7 @@ impl PoolInner {
     fn acquire_frame(&mut self, pid: PageId) -> StorageResult<usize> {
         self.clock += 1;
         // Reuse a tombstoned frame if present.
-        let mut victim: Option<usize> = self
-            .frames
-            .iter()
-            .position(|f| !f.pid.is_valid());
+        let mut victim: Option<usize> = self.frames.iter().position(|f| !f.pid.is_valid());
         if victim.is_none() {
             if self.frames.len() < self.capacity {
                 let size = self.disk.page_size();
@@ -291,6 +313,28 @@ mod tests {
         // was LRU; it wasn't. But b's reload evicted c.
         p.with_page(c, |_| ()).unwrap();
         assert_eq!(p.stats().physical_reads, 3);
+    }
+
+    #[test]
+    fn probe_mut_only_dirties_on_modification() {
+        let p = pool(4);
+        let a = p.new_page().unwrap();
+        p.flush_all().unwrap();
+        let w0 = p.stats();
+        // A probe that backs off: no dirty mark, no write counted.
+        p.with_page_probe_mut(a, |_d| ((), false)).unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().physical_writes, w0.physical_writes);
+        assert_eq!(p.stats().logical_writes, w0.logical_writes);
+        // A probe that commits: counted and flushed.
+        p.with_page_probe_mut(a, |d| {
+            d[0] = 9;
+            ((), true)
+        })
+        .unwrap();
+        assert_eq!(p.stats().logical_writes, w0.logical_writes + 1);
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().physical_writes, w0.physical_writes + 1);
     }
 
     #[test]

@@ -4,8 +4,76 @@
 //! deserialize through [`PageReader`]. Both are cursor-based and return
 //! [`StorageError::PageOverflow`] instead of panicking, so a corrupt or
 //! truncated page surfaces as an error rather than a crash.
+//!
+//! The cursor types pay a bounds check per field, which is fine for
+//! whole-node (de)serialization but not for the zero-copy page views
+//! of `vp-bptree` that touch a handful of fields per operation. Those
+//! use the fixed-offset [`slots`] helpers instead: `#[inline]`
+//! load/store of scalars at caller-computed offsets, validated once at
+//! view-construction time rather than per access.
 
 use crate::{PageId, StorageError, StorageResult};
+
+pub mod slots {
+    //! Fixed-offset scalar access into page buffers.
+    //!
+    //! These helpers are the codec layer of the zero-copy node views:
+    //! a view validates its header (tag, count, page capacity) once,
+    //! after which every field offset it computes is in bounds by
+    //! construction. Slice indexing still guards against bugs (a wrong
+    //! offset panics rather than corrupting memory), but there is no
+    //! per-field `Result` plumbing on the hot path.
+
+    use crate::PageId;
+
+    /// Loads a little-endian `u16` at `off`.
+    #[inline(always)]
+    pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+        u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+    }
+
+    /// Stores a little-endian `u16` at `off`.
+    #[inline(always)]
+    pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+        buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Loads a little-endian `u64` at `off`.
+    #[inline(always)]
+    pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+        u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+    }
+
+    /// Stores a little-endian `u64` at `off`.
+    #[inline(always)]
+    pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+        buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Loads a [`PageId`] at `off`.
+    #[inline(always)]
+    pub fn get_page_id(buf: &[u8], off: usize) -> PageId {
+        PageId(get_u64(buf, off))
+    }
+
+    /// Stores a [`PageId`] at `off`.
+    #[inline(always)]
+    pub fn put_page_id(buf: &mut [u8], off: usize, pid: PageId) {
+        put_u64(buf, off, pid.0);
+    }
+
+    /// Borrows a fixed-size array at `off`.
+    #[inline(always)]
+    pub fn get_array<const N: usize>(buf: &[u8], off: usize) -> &[u8; N] {
+        buf[off..off + N].try_into().unwrap()
+    }
+
+    /// Stores a fixed-size array at `off`.
+    #[inline(always)]
+    pub fn put_array<const N: usize>(buf: &mut [u8], off: usize, v: &[u8; N]) {
+        buf[off..off + N].copy_from_slice(v);
+    }
+}
 
 /// A write cursor over a page buffer.
 #[derive(Debug)]
@@ -224,6 +292,26 @@ mod tests {
         assert_eq!(r.get_f64().unwrap(), f64::INFINITY);
         assert_eq!(r.get_f64().unwrap(), f64::NEG_INFINITY);
         assert_eq!(r.get_f64().unwrap(), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn slots_round_trip_and_match_cursor_layout() {
+        let mut buf = vec![0u8; 32];
+        slots::put_u16(&mut buf, 0, 513);
+        slots::put_u64(&mut buf, 2, 1 << 40);
+        slots::put_page_id(&mut buf, 10, PageId(77));
+        slots::put_array(&mut buf, 18, b"xyz");
+        assert_eq!(slots::get_u16(&buf, 0), 513);
+        assert_eq!(slots::get_u64(&buf, 2), 1 << 40);
+        assert_eq!(slots::get_page_id(&buf, 10), PageId(77));
+        assert_eq!(slots::get_array::<3>(&buf, 18), b"xyz");
+
+        // Same wire format as the cursor codec.
+        let mut r = PageReader::new(&buf);
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_page_id().unwrap(), PageId(77));
+        assert_eq!(r.get_bytes(3).unwrap(), b"xyz");
     }
 
     #[test]

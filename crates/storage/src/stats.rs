@@ -3,12 +3,17 @@
 /// Counters accumulated by the storage layer.
 ///
 /// * `logical_reads` — page accesses requested from the buffer pool.
+/// * `logical_writes` — page accesses that dirtied a page
+///   (`with_page_mut` / `new_page`). Batched index maintenance exists
+///   to shrink this number: one leaf rewritten once per batch instead
+///   of once per operation.
 /// * `physical_reads` — accesses that missed the pool and hit the
 ///   simulated disk. This is the paper's "I/O" metric.
 /// * `physical_writes` — dirty pages written back on eviction or flush.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     pub logical_reads: u64,
+    pub logical_writes: u64,
     pub physical_reads: u64,
     pub physical_writes: u64,
 }
@@ -39,6 +44,7 @@ impl IoStats {
     pub fn delta(&self, earlier: &IoStats) -> IoStats {
         IoStats {
             logical_reads: self.logical_reads - earlier.logical_reads,
+            logical_writes: self.logical_writes - earlier.logical_writes,
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
         }
@@ -50,6 +56,7 @@ impl std::ops::Add for IoStats {
     fn add(self, rhs: IoStats) -> IoStats {
         IoStats {
             logical_reads: self.logical_reads + rhs.logical_reads,
+            logical_writes: self.logical_writes + rhs.logical_writes,
             physical_reads: self.physical_reads + rhs.physical_reads,
             physical_writes: self.physical_writes + rhs.physical_writes,
         }
@@ -70,16 +77,19 @@ mod tests {
     fn delta_and_total() {
         let before = IoStats {
             logical_reads: 10,
+            logical_writes: 2,
             physical_reads: 4,
             physical_writes: 1,
         };
         let after = IoStats {
             logical_reads: 25,
+            logical_writes: 7,
             physical_reads: 9,
             physical_writes: 3,
         };
         let d = after.delta(&before);
         assert_eq!(d.logical_reads, 15);
+        assert_eq!(d.logical_writes, 5);
         assert_eq!(d.physical_reads, 5);
         assert_eq!(d.physical_writes, 2);
         assert_eq!(d.physical_total(), 7);
@@ -90,6 +100,7 @@ mod tests {
         assert_eq!(IoStats::zero().hit_ratio(), 1.0);
         let s = IoStats {
             logical_reads: 10,
+            logical_writes: 0,
             physical_reads: 2,
             physical_writes: 0,
         };
@@ -100,12 +111,14 @@ mod tests {
     fn add() {
         let a = IoStats {
             logical_reads: 1,
+            logical_writes: 4,
             physical_reads: 2,
             physical_writes: 3,
         };
         let mut b = a;
         b += a;
         assert_eq!(b.logical_reads, 2);
+        assert_eq!(b.logical_writes, 8);
         assert_eq!(b.physical_reads, 4);
         assert_eq!(b.physical_writes, 6);
     }

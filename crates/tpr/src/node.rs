@@ -325,10 +325,7 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         let buf = vec![0xFFu8; 64];
-        assert!(matches!(
-            Node::decode(&buf),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(Node::decode(&buf), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -32,9 +32,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
-use vp_geom::Tpbr;
 #[cfg(test)]
 use vp_geom::Point;
+use vp_geom::Tpbr;
 use vp_storage::{BufferPool, IoStats, PageId};
 
 use crate::cost::{midpoint_area, sweep_cost};
@@ -178,8 +178,7 @@ impl TprTree {
         }
         let mut total_entries = 0usize;
         // (pid, expected_level, bounding tpbr claimed by the parent)
-        let mut stack: Vec<(PageId, u8, Option<Tpbr>)> =
-            vec![(self.root, self.height - 1, None)];
+        let mut stack: Vec<(PageId, u8, Option<Tpbr>)> = vec![(self.root, self.height - 1, None)];
         while let Some((pid, level, claimed)) = stack.pop() {
             let node = self.read_node(pid)?;
             if node.level() != level {
@@ -195,10 +194,7 @@ impl TprTree {
                 return Ok(Err(format!("node {pid} overfull: {} > {max}", node.len())));
             }
             if !is_root && node.len() < min {
-                return Ok(Err(format!(
-                    "node {pid} underfull: {} < {min}",
-                    node.len()
-                )));
+                return Ok(Err(format!("node {pid} underfull: {} < {min}", node.len())));
             }
             if let Some(parent_tpbr) = claimed {
                 let exact = node.bounding_tpbr();
@@ -222,10 +218,7 @@ impl TprTree {
                                 )))
                             }
                             Some(rec) if rec != e => {
-                                return Ok(Err(format!(
-                                    "lookup table stale for object {}",
-                                    e.id
-                                )))
+                                return Ok(Err(format!("lookup table stale for object {}", e.id)))
                             }
                             _ => {}
                         }
@@ -279,7 +272,9 @@ impl TprTree {
 
     fn metric(&self, tpbr: &Tpbr) -> f64 {
         match self.config.variant {
-            TprVariant::Star => sweep_cost(tpbr, self.now, self.config.horizon, self.config.query_len),
+            TprVariant::Star => {
+                sweep_cost(tpbr, self.now, self.config.horizon, self.config.query_len)
+            }
             TprVariant::Classic => {
                 midpoint_area(tpbr, self.now, self.config.horizon, self.config.query_len)
             }
@@ -653,7 +648,10 @@ impl TprTree {
                     dissolved: false,
                 })
             }
-            Node::Internal { level: lvl, mut entries } => {
+            Node::Internal {
+                level: lvl,
+                mut entries,
+            } => {
                 debug_assert_eq!(lvl, level);
                 let mut found_at: Option<(usize, Option<Tpbr>, bool)> = None;
                 // Indexing (not iterating) because the loop body calls
@@ -699,7 +697,6 @@ impl TprTree {
             }
         }
     }
-
 }
 
 enum RecOutcome {
@@ -900,10 +897,7 @@ mod tests {
         assert!(t.height() >= 2, "tree should have split");
         // Every object findable by a tight query at its own position.
         for o in objs.iter().step_by(37) {
-            let q = RangeQuery::time_slice(
-                QueryRegion::Circle(Circle::new(o.pos, 1.0)),
-                0.0,
-            );
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(o.pos, 1.0)), 0.0);
             let got = t.range_query(&q).unwrap();
             assert!(got.contains(&o.id), "object {} lost", o.id);
         }
@@ -920,16 +914,9 @@ mod tests {
         for qi in 0..40 {
             let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
             let horizon = (qi % 5) as f64 * 20.0;
-            let q = RangeQuery::time_slice(
-                QueryRegion::Circle(Circle::new(c, 800.0)),
-                horizon,
-            );
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, 800.0)), horizon);
             let mut got = t.range_query(&q).unwrap();
-            let mut want: Vec<u64> = objs
-                .iter()
-                .filter(|o| q.matches(o))
-                .map(|o| o.id)
-                .collect();
+            let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
             got.sort_unstable();
             want.sort_unstable();
             assert_eq!(got, want, "query {qi} diverged");
@@ -953,11 +940,7 @@ mod tests {
                 RangeQuery::moving(region, Point::new(rng.next() * 50.0, 0.0), 10.0, 50.0)
             };
             let mut got = t.range_query(&q).unwrap();
-            let mut want: Vec<u64> = objs
-                .iter()
-                .filter(|o| q.matches(o))
-                .map(|o| o.id)
-                .collect();
+            let mut want: Vec<u64> = objs.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
             got.sort_unstable();
             want.sort_unstable();
             assert_eq!(got, want, "query {qi} diverged");
@@ -1052,10 +1035,14 @@ mod tests {
             }
             assert_eq!(t.len(), live.len());
             if step % 500 == 0 {
-                t.check_invariants().unwrap().expect("invariants hold mid-fuzz");
+                t.check_invariants()
+                    .unwrap()
+                    .expect("invariants hold mid-fuzz");
             }
         }
-        t.check_invariants().unwrap().expect("invariants hold at end");
+        t.check_invariants()
+            .unwrap()
+            .expect("invariants hold at end");
         // Final consistency check against a scan.
         let q = RangeQuery::time_slice(
             QueryRegion::Circle(Circle::new(Point::new(5_000.0, 5_000.0), 3_000.0)),

@@ -89,7 +89,11 @@ fn main() {
     // A storm cell 15 km wide drifting east at 20 m/ts: who crosses it
     // in the next 30 timestamps?
     let storm = RangeQuery::moving(
-        QueryRegion::Rect(Rect::centered(Point::new(40_000.0, 55_000.0), 7_500.0, 7_500.0)),
+        QueryRegion::Rect(Rect::centered(
+            Point::new(40_000.0, 55_000.0),
+            7_500.0,
+            7_500.0,
+        )),
         Point::new(20.0, 0.0),
         0.0,
         30.0,
@@ -105,7 +109,11 @@ fn main() {
 
     // Verify against exhaustive evaluation.
     let expect = flights.iter().filter(|f| storm.matches(f)).count();
-    assert_eq!(hits.len(), expect, "index answer must match exact predicate");
+    assert_eq!(
+        hits.len(),
+        expect,
+        "index answer must match exact predicate"
+    );
     println!("verified against exhaustive scan: {expect} matches");
 
     // A predictive interval query along one airway: conflicts near a
@@ -118,5 +126,8 @@ fn main() {
     let near = index.range_query(&waypoint).unwrap();
     let expect = flights.iter().filter(|f| waypoint.matches(f)).count();
     assert_eq!(near.len(), expect);
-    println!("waypoint conflict probe (t in [40,60]): {} aircraft", near.len());
+    println!(
+        "waypoint conflict probe (t in [40,60]): {} aircraft",
+        near.len()
+    );
 }

@@ -58,9 +58,7 @@ fn main() {
     // Morning rush: everything slows to 40%. Replay one update round
     // per vehicle with the congested speeds.
     for id in 0..n {
-        index
-            .update(vehicle(id, &mut rng, 0.4, 60.0))
-            .unwrap();
+        index.update(vehicle(id, &mut rng, 0.4, 60.0)).unwrap();
     }
     let taus = index.refresh_tau();
     println!("after rush-hour drift, refreshed tau: {taus:?}");
@@ -80,9 +78,7 @@ fn main() {
     // Evening: free flow returns; another round of updates and a
     // refresh loosens tau again.
     for id in 0..n {
-        index
-            .update(vehicle(id, &mut rng, 1.2, 120.0))
-            .unwrap();
+        index.update(vehicle(id, &mut rng, 1.2, 120.0)).unwrap();
     }
     let taus_evening = index.refresh_tau();
     println!("evening refreshed tau: {taus_evening:?}");

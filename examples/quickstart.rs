@@ -86,10 +86,13 @@ fn main() {
     }
 
     println!("\nresults over {queries} queries (identical answers):");
-    println!("  TPR*      avg query I/O: {:.1}", q_plain as f64 / queries as f64);
-    println!("  TPR*(VP)  avg query I/O: {:.1}", q_vp as f64 / queries as f64);
     println!(
-        "  improvement: {:.2}x",
-        q_plain as f64 / q_vp.max(1) as f64
+        "  TPR*      avg query I/O: {:.1}",
+        q_plain as f64 / queries as f64
     );
+    println!(
+        "  TPR*(VP)  avg query I/O: {:.1}",
+        q_vp as f64 / queries as f64
+    );
+    println!("  improvement: {:.2}x", q_plain as f64 / q_vp.max(1) as f64);
 }

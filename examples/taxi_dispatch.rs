@@ -96,7 +96,16 @@ fn main() {
 
     println!("taxi dispatch on SA network: {queries} dispatch queries");
     println!("  candidates found: {passengers}");
-    println!("  Bx      avg query I/O: {:.1}", io_plain as f64 / queries as f64);
-    println!("  Bx(VP)  avg query I/O: {:.1}", io_vp as f64 / queries as f64);
-    println!("  improvement: {:.2}x", io_plain as f64 / io_vp.max(1) as f64);
+    println!(
+        "  Bx      avg query I/O: {:.1}",
+        io_plain as f64 / queries as f64
+    );
+    println!(
+        "  Bx(VP)  avg query I/O: {:.1}",
+        io_vp as f64 / queries as f64
+    );
+    println!(
+        "  improvement: {:.2}x",
+        io_plain as f64 / io_vp.max(1) as f64
+    );
 }

@@ -83,13 +83,11 @@ fn migration_across_partitions_preserves_answers() {
         let (v_prev, t_prev) = w[0];
         let (v_next, t_next) = w[1];
         pos = pos.advance(v_prev, t_next - t_prev);
-        vp.update(MovingObject::new(1, pos, v_next, t_next)).unwrap();
+        vp.update(MovingObject::new(1, pos, v_next, t_next))
+            .unwrap();
         seen_partitions.insert(vp.partition_of(1).unwrap());
         // Always findable exactly where it is.
-        let q = RangeQuery::time_slice(
-            QueryRegion::Circle(Circle::new(pos, 10.0)),
-            t_next,
-        );
+        let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(pos, 10.0)), t_next);
         assert_eq!(vp.range_query(&q).unwrap(), vec![1]);
     }
     assert!(
@@ -162,7 +160,11 @@ fn tiny_buffer_pool_still_correct() {
         30.0,
     );
     let mut got = tree.range_query(&q).unwrap();
-    let mut want: Vec<u64> = expect.iter().filter(|o| q.matches(o)).map(|o| o.id).collect();
+    let mut want: Vec<u64> = expect
+        .iter()
+        .filter(|o| q.matches(o))
+        .map(|o| o.id)
+        .collect();
     got.sort_unstable();
     want.sort_unstable();
     assert_eq!(got, want);

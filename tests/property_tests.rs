@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use velocity_partitioning::prelude::*;
-use vp_bptree::{BPlusTree, Key128};
+use vp_bptree::{BPlusTree, BatchOp, Key128};
 use vp_bx::{HilbertCurve, SpaceFillingCurve, ZCurve};
 use vp_core::traits::reference::ScanIndex;
 use vp_geom::Tpbr;
@@ -109,6 +109,89 @@ proptest! {
             seen[o] = true;
         }
         prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Bulk loading a sorted set builds a tree equivalent to
+    /// incremental insertion: same length, valid invariants, and
+    /// identical full range scans.
+    #[test]
+    fn bulk_load_equivalent_to_incremental(raw in prop::collection::vec(0u64..50_000, 1..600)) {
+        let mut ks: Vec<u64> = raw;
+        ks.sort_unstable();
+        ks.dedup();
+        let items: Vec<(Key128, [u8; vp_bptree::VALUE_LEN])> = ks
+            .iter()
+            .map(|&k| {
+                let mut v = [0u8; vp_bptree::VALUE_LEN];
+                v[..8].copy_from_slice(&k.to_le_bytes());
+                (Key128::new(k / 9, k), v)
+            })
+            .collect();
+        let bulk = BPlusTree::bulk_load(
+            Arc::new(BufferPool::with_capacity(DiskManager::with_page_size(512), 32)),
+            items.clone(),
+        ).unwrap();
+        let mut incr = BPlusTree::new(
+            Arc::new(BufferPool::with_capacity(DiskManager::with_page_size(512), 32)),
+        ).unwrap();
+        for &(k, v) in &items {
+            incr.insert(k, v).unwrap();
+        }
+        prop_assert_eq!(bulk.len(), incr.len());
+        prop_assert!(bulk.height() <= incr.height());
+        let check = bulk.check_invariants().unwrap();
+        prop_assert!(check.is_ok(), "bulk tree invariants: {:?}", check);
+        let mut a = Vec::new();
+        bulk.range_scan(Key128::MIN, Key128::MAX, |k, v| a.push((k, *v))).unwrap();
+        let mut b = Vec::new();
+        incr.range_scan(Key128::MIN, Key128::MAX, |k, v| b.push((k, *v))).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// `apply_batch` over arbitrary sorted batches matches an equal
+    /// sequence of single-op calls against a BTreeMap oracle.
+    #[test]
+    fn apply_batch_matches_oracle(
+        batches in prop::collection::vec(prop::collection::vec((0u8..2, 0u64..3_000), 1..200), 1..6),
+    ) {
+        let pool = Arc::new(BufferPool::with_capacity(DiskManager::with_page_size(512), 32));
+        let mut tree = BPlusTree::new(pool).unwrap();
+        let mut oracle = std::collections::BTreeMap::new();
+        for batch in batches {
+            // Sorted unique keys; last op wins for duplicates.
+            let mut dedup = std::collections::BTreeMap::new();
+            for (op, k) in batch {
+                let key = Key128::new(k / 5, k);
+                let mut val = [0u8; vp_bptree::VALUE_LEN];
+                val[..8].copy_from_slice(&k.to_le_bytes());
+                let op = if op == 0 { BatchOp::Put(val) } else { BatchOp::Delete };
+                dedup.insert(key, op);
+            }
+            let ops: Vec<(Key128, BatchOp)> = dedup.into_iter().collect();
+            let out = tree.apply_batch(&ops).unwrap();
+            let mut inserted = 0; let mut replaced = 0; let mut deleted = 0; let mut missing = 0;
+            for &(k, op) in &ops {
+                match op {
+                    BatchOp::Put(v) => {
+                        if oracle.insert(k, v).is_none() { inserted += 1; } else { replaced += 1; }
+                    }
+                    BatchOp::Delete => {
+                        if oracle.remove(&k).is_some() { deleted += 1; } else { missing += 1; }
+                    }
+                }
+            }
+            prop_assert_eq!(out.inserted, inserted);
+            prop_assert_eq!(out.replaced, replaced);
+            prop_assert_eq!(out.deleted, deleted);
+            prop_assert_eq!(out.missing, missing);
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+        let check = tree.check_invariants().unwrap();
+        prop_assert!(check.is_ok(), "invariants after batches: {:?}", check);
+        let mut got = Vec::new();
+        tree.range_scan(Key128::MIN, Key128::MAX, |k, v| got.push((k, *v))).unwrap();
+        let want: Vec<_> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
     }
 
     /// B+-tree agrees with BTreeMap under arbitrary operation streams.
