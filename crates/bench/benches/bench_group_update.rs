@@ -1,12 +1,15 @@
 //! Update throughput: one tick of moving-object updates applied
 //! one-at-a-time (`update` = delete + insert, one root descent each)
 //! versus batched (`update_batch` → sorted `apply_batch` run, one
-//! descent per touched leaf).
+//! descent per touched leaf), plus the parallel-ticks variant: the
+//! same batched tick dispatched across a velocity-partitioned index's
+//! partitions by 1/2/4/8 scoped workers over the sharded buffer pool.
 //!
 //! Besides the criterion timings, the bench prints the page-write
 //! (IoStats) deltas of a single identical tick under both paths, so
 //! the speedup is attributable to fewer page touches rather than
-//! incidental cache effects.
+//! incidental cache effects, and a worker-scaling table for the
+//! parallel path.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -15,6 +18,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use vp_bench::parallel::{self, TickWorkload};
 use vp_bx::{BxConfig, BxTree};
 use vp_core::{MovingObject, MovingObjectIndex};
 use vp_geom::{Point, Rect};
@@ -97,7 +101,32 @@ fn bench(c: &mut Criterion) {
         group.finish();
     }
 
+    // Parallel tick application on the velocity-partitioned index:
+    // criterion timings at the small size, full scaling tables below.
+    let workload = TickWorkload::generate(SIZES[0], 0x0B5E55ED);
+    let mut group = c.benchmark_group(format!("vp_parallel_ticks/{}", SIZES[0]));
+    group.sample_size(5);
+    for workers in [1usize, 2, 4] {
+        let mut vp = workload.build(8_192, workers);
+        let mut t = 0.0;
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("workers_{workers}")),
+            |b| {
+                b.iter(|| {
+                    t += 60.0;
+                    vp.apply_updates(&workload.tick(t)).unwrap();
+                    black_box(vp.len())
+                })
+            },
+        );
+    }
+    group.finish();
+
     attribution_report();
+    // Small size only: the full 100k worker-scaling sweep lives in the
+    // `parallel_ticks` binary, so the CI smoke run of this bench stays
+    // quick.
+    parallel::print_scaling_report(SIZES[0], 2, 8_192, &[1, 2, 4, 8]);
 }
 
 /// One identical tick under each path, timed once, with page-write

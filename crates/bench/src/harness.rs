@@ -240,6 +240,10 @@ pub fn prepare_with_workload(
     cfg: &RunConfig,
     workload: Workload,
 ) -> IndexResult<Prepared> {
+    // `with_capacity` is single-shard: the paper's experiments
+    // (Table 1: one 50-page buffer) assume one global LRU order, and
+    // replay is sequential — per-shard LRU would silently shift the
+    // reported query-I/O numbers away from the seed baseline.
     let pool = Arc::new(BufferPool::with_capacity(
         DiskManager::with_page_size(cfg.page_size),
         cfg.buffer_pages,

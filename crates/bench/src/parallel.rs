@@ -1,0 +1,240 @@
+//! Shared machinery for the parallel-tick scaling benchmarks.
+//!
+//! Builds a velocity-partitioned Bx-tree over the sharded buffer pool
+//! on a four-road workload (dominant directions at 0°/45°/90°/135°, so
+//! the analyzer finds `k = 4` DVAs and the per-partition batches are
+//! reasonably balanced), then applies full ticks — every object
+//! reports — under a sweep of [`vp_core::VpConfig::tick_workers`]
+//! settings. Used by the `bench_group_update` bench and the
+//! `parallel_ticks` binary (the CI smoke run).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vp_bx::{BxConfig, BxTree};
+use vp_core::{AnalyzerOutput, MovingObject, VelocityAnalyzer, VpConfig, VpIndex};
+use vp_geom::{Point, Rect};
+use vp_storage::{BufferPool, DiskManager, DEFAULT_POOL_SHARDS};
+
+/// Deterministic xorshift stream (the shared idiom of this workspace's
+/// tests; `rand` is only a dev-dependency of the bench crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+/// A generated tick workload plus everything needed to build the
+/// velocity-partitioned index it targets.
+pub struct TickWorkload {
+    /// The object population; one tick re-reports every object.
+    pub objects: Vec<MovingObject>,
+    cfg: VpConfig,
+    analysis: AnalyzerOutput,
+    bx_domain: Rect,
+}
+
+const DOMAIN: f64 = 100_000.0;
+
+impl TickWorkload {
+    /// Generates `n` objects on four dominant directions with a small
+    /// perpendicular jitter and a sprinkle of outliers.
+    pub fn generate(n: usize, seed: u64) -> TickWorkload {
+        let mut rng = Rng(seed | 1);
+        let domain = Rect::from_bounds(0.0, 0.0, DOMAIN, DOMAIN);
+        let objects: Vec<MovingObject> = (0..n as u64)
+            .map(|id| {
+                let pos = Point::new(rng.next() * DOMAIN, rng.next() * DOMAIN);
+                let vel = Self::road_velocity(&mut rng);
+                MovingObject::new(id, pos, vel, 0.0)
+            })
+            .collect();
+        let cfg = VpConfig {
+            k: 4,
+            domain,
+            ..VpConfig::default()
+        };
+        let sample: Vec<Point> = objects
+            .iter()
+            .take(cfg.sample_size)
+            .map(|o| o.vel)
+            .collect();
+        let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample);
+        TickWorkload {
+            objects,
+            cfg,
+            analysis,
+            bx_domain: domain,
+        }
+    }
+
+    /// A velocity along one of four roads (0°, 45°, 90°, 135°, either
+    /// way), with perpendicular jitter; ~2% fast diagonal outliers.
+    fn road_velocity(rng: &mut Rng) -> Point {
+        if rng.next() < 0.02 {
+            let s = 80.0 + rng.next() * 40.0;
+            return Point::new(s, s * (0.5 + rng.next()));
+        }
+        let road = (rng.next() * 4.0) as usize % 4;
+        let ang = road as f64 * std::f64::consts::FRAC_PI_4;
+        let speed = (10.0 + rng.next() * 50.0) * if rng.next() < 0.5 { 1.0 } else { -1.0 };
+        let jitter = rng.next() * 2.0 - 1.0;
+        Point::new(
+            ang.cos() * speed - ang.sin() * jitter,
+            ang.sin() * speed + ang.cos() * jitter,
+        )
+    }
+
+    /// Builds the velocity-partitioned Bx-tree over a fresh sharded
+    /// pool and loads the population through one batched tick.
+    pub fn build(&self, pool_pages: usize, workers: usize) -> VpIndex<BxTree> {
+        let pool = Arc::new(BufferPool::with_shards(
+            DiskManager::new(),
+            pool_pages,
+            DEFAULT_POOL_SHARDS,
+        ));
+        let bx = BxConfig {
+            domain: self.bx_domain,
+            hist_cells: 200,
+            ..BxConfig::default()
+        };
+        let mut vp = VpIndex::build(
+            self.cfg.clone().with_tick_workers(workers),
+            &self.analysis,
+            |spec| {
+                BxTree::new(
+                    Arc::clone(&pool),
+                    BxConfig {
+                        domain: spec.domain,
+                        ..bx.clone()
+                    },
+                )
+                .expect("bx sub-index")
+            },
+        )
+        .expect("vp index");
+        vp.apply_updates(&self.objects).expect("initial load");
+        vp
+    }
+
+    /// One full tick at time `t`: every object re-reports at its
+    /// original position with a fresh timestamp (uniform cost per tick,
+    /// no domain drift across long sweeps).
+    pub fn tick(&self, t: f64) -> Vec<MovingObject> {
+        self.objects
+            .iter()
+            .map(|o| MovingObject::new(o.id, o.pos, o.vel, t))
+            .collect()
+    }
+}
+
+/// One row of the worker-scaling table.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    pub workers: usize,
+    pub secs_per_tick: f64,
+    /// Tick throughput relative to the 1-worker batched baseline.
+    pub speedup: f64,
+}
+
+/// Applies `ticks` full ticks per worker setting on one shared index
+/// (flipping [`VpIndex::set_tick_workers`] between sweeps) and returns
+/// the per-setting timings. The first listed worker count is the
+/// baseline for the speedup column.
+pub fn scaling_sweep(
+    workload: &TickWorkload,
+    pool_pages: usize,
+    ticks: usize,
+    worker_counts: &[usize],
+) -> Vec<ScalingRow> {
+    assert!(!worker_counts.is_empty() && ticks >= 1);
+    let mut vp = workload.build(pool_pages, 1);
+    let mut t = 0.0;
+    // Warm the caches and bucket maps once so the first sweep isn't
+    // penalized against the later ones.
+    t += 60.0;
+    vp.apply_updates(&workload.tick(t)).expect("warm tick");
+
+    let mut rows = Vec::with_capacity(worker_counts.len());
+    let mut baseline = f64::NAN;
+    for &w in worker_counts {
+        vp.set_tick_workers(w);
+        let start = Instant::now();
+        for _ in 0..ticks {
+            t += 60.0;
+            vp.apply_updates(&workload.tick(t)).expect("tick");
+        }
+        let secs = start.elapsed().as_secs_f64() / ticks as f64;
+        if rows.is_empty() {
+            baseline = secs;
+        }
+        rows.push(ScalingRow {
+            workers: w,
+            secs_per_tick: secs,
+            speedup: baseline / secs,
+        });
+    }
+    rows
+}
+
+/// Prints a scaling table; returns the rows for further assertions.
+pub fn print_scaling_report(
+    n: usize,
+    ticks: usize,
+    pool_pages: usize,
+    worker_counts: &[usize],
+) -> Vec<ScalingRow> {
+    let workload = TickWorkload::generate(n, 0x0B5E55ED);
+    let rows = scaling_sweep(&workload, pool_pages, ticks, worker_counts);
+    println!("\n--- parallel tick application ({n} objects, {ticks} ticks/setting) ---");
+    println!(
+        "{:>8} {:>14} {:>16} {:>10}",
+        "workers", "per tick", "ticks/sec", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.1}ms {:>16.2} {:>9.2}x",
+            r.workers,
+            r.secs_per_tick * 1e3,
+            1.0 / r.secs_per_tick,
+            r.speedup
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_core::MovingObjectIndex;
+
+    #[test]
+    fn workload_populates_all_partitions() {
+        let w = TickWorkload::generate(2_000, 0xABCD);
+        let vp = w.build(4_096, 2);
+        assert_eq!(vp.len(), 2_000);
+        let sizes = vp.partition_sizes();
+        assert_eq!(sizes.len(), 5, "4 DVAs + outlier");
+        let dva_total: usize = sizes[..4].iter().sum();
+        assert!(
+            dva_total > 1_000,
+            "most objects should land in DVA partitions: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn scaling_sweep_reports_all_settings() {
+        let w = TickWorkload::generate(500, 0x1234);
+        let rows = scaling_sweep(&w, 2_048, 1, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!(rows.iter().all(|r| r.secs_per_tick > 0.0));
+    }
+}

@@ -24,17 +24,16 @@
 //!   descent *per leaf* instead of per key, and one page write per
 //!   touched leaf.
 
-use std::cell::Cell;
 use std::sync::Arc;
 
-use vp_storage::{BufferPool, IoStats, PageId, StorageError, StorageResult};
+use vp_storage::{AtomicIoStats, BufferPool, IoStats, PageId, StorageError, StorageResult};
 
 use crate::node::{BLayout, BNode, InternalView, Key128, LeafView, LeafViewMut, Value};
 
 /// A disk-paged B+-tree with 128-bit keys and fixed-size values.
 ///
 /// Like every index in this workspace it shares a buffer pool and
-/// tracks its own attributable I/O via pool-stat deltas.
+/// tracks its own attributable I/O via thread-local stat deltas.
 pub struct BPlusTree {
     pool: Arc<BufferPool>,
     layout: BLayout,
@@ -42,7 +41,12 @@ pub struct BPlusTree {
     /// Levels in the tree; the root is at `height - 1`, leaves at 0.
     height: u8,
     len: usize,
-    own: Cell<IoStats>,
+    /// I/O attributable to this tree, tracked as thread-local
+    /// ([`vp_storage::thread_io`]) deltas around each operation —
+    /// exact even when other trees hammer the same pool from other
+    /// threads, since each operation runs on exactly one thread.
+    /// Atomic so a shared handle stays `Sync`.
+    own: AtomicIoStats,
 }
 
 enum InsOutcome {
@@ -83,7 +87,7 @@ impl BPlusTree {
             root,
             height: 1,
             len: 0,
-            own: Cell::new(IoStats::zero()),
+            own: AtomicIoStats::zero(),
         };
         tree.write_node(tree.root, &BNode::empty_leaf())?;
         Ok(tree)
@@ -106,12 +110,12 @@ impl BPlusTree {
 
     /// I/O attributable to this tree.
     pub fn io_stats(&self) -> IoStats {
-        self.own.get()
+        self.own.snapshot()
     }
 
     /// Resets the attributable I/O counters.
     pub fn reset_io_stats(&self) {
-        self.own.set(IoStats::zero());
+        self.own.reset();
     }
 
     // ----- page helpers -------------------------------------------------
@@ -131,18 +135,18 @@ impl BPlusTree {
     }
 
     fn track<R>(&self, f: impl FnOnce(&Self) -> StorageResult<R>) -> StorageResult<R> {
-        let before = self.pool.stats();
+        let before = vp_storage::thread_io::snapshot();
         let out = f(self);
-        let delta = self.pool.stats().delta(&before);
-        self.own.set(self.own.get() + delta);
+        self.own
+            .add(vp_storage::thread_io::snapshot().delta(&before));
         out
     }
 
     fn track_mut<R>(&mut self, f: impl FnOnce(&mut Self) -> StorageResult<R>) -> StorageResult<R> {
-        let before = self.pool.stats();
+        let before = vp_storage::thread_io::snapshot();
         let out = f(self);
-        let delta = self.pool.stats().delta(&before);
-        self.own.set(self.own.get() + delta);
+        self.own
+            .add(vp_storage::thread_io::snapshot().delta(&before));
         out
     }
 
@@ -886,7 +890,7 @@ impl BPlusTree {
         I: IntoIterator<Item = (Key128, Value)>,
     {
         let layout = BLayout::for_page_size(pool.page_size());
-        let before = pool.stats();
+        let before = vp_storage::thread_io::snapshot();
 
         let items: Vec<(Key128, Value)> = items.into_iter().collect();
         for w in items.windows(2) {
@@ -928,14 +932,15 @@ impl BPlusTree {
             .collect::<Vec<_>>();
         let (root, height) = stack_internal_levels(&pool, &layout, nodes, 1)?;
 
-        let own = pool.stats().delta(&before);
+        let own = AtomicIoStats::zero();
+        own.add(vp_storage::thread_io::snapshot().delta(&before));
         Ok(BPlusTree {
             root,
             pool,
             layout,
             height,
             len,
-            own: Cell::new(own),
+            own,
         })
     }
 
@@ -1493,6 +1498,12 @@ mod tests {
             DiskManager::with_page_size(page),
             64,
         ))
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BPlusTree>();
     }
 
     fn val(n: u64) -> Value {

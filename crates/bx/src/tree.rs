@@ -716,6 +716,12 @@ mod tests {
         BxTree::new(pool(), small_config()).unwrap()
     }
 
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BxTree>();
+    }
+
     fn obj(id: u64, x: f64, y: f64, vx: f64, vy: f64, t: f64) -> MovingObject {
         MovingObject::new(id, Point::new(x, y), Point::new(vx, vy), t)
     }

@@ -11,6 +11,9 @@
 //!   index;
 //! * handles updates as delete + insert, which migrates objects whose
 //!   direction of travel changed partitions;
+//! * applies whole ticks of updates partition-bucketed and — when
+//!   [`VpConfig::tick_workers`] > 1 — in parallel, one scoped worker
+//!   thread per group of partitions ([`VpIndex::apply_updates`]);
 //! * executes range queries by transforming the query into every DVA
 //!   frame (Algorithm 3), running the underlying index's query, and
 //!   exact-filtering the merged candidates in world space;
@@ -38,6 +41,10 @@ use crate::traits::MovingObjectIndex;
 /// Index of a partition inside a [`VpIndex`]: `0..k` are DVA
 /// partitions, `k` is the outlier partition.
 pub type PartitionId = usize;
+
+/// One partition's share of a tick handed to a worker: the disjoint
+/// sub-index borrow, the ids migrating away, and the upsert batch.
+type PartitionJob<'a, I> = (&'a mut I, &'a [ObjectId], &'a [MovingObject]);
 
 /// Everything a sub-index factory needs to construct one partition's
 /// index.
@@ -144,6 +151,15 @@ impl<I> VpIndex<I> {
         &self.config
     }
 
+    /// Changes the tick-application parallelism of an existing index
+    /// (see [`VpConfig::tick_workers`]). Results are schedule-invariant,
+    /// so this can be flipped freely between ticks — the scaling
+    /// benches sweep it without rebuilding the index.
+    pub fn set_tick_workers(&mut self, workers: usize) {
+        assert!(workers >= 1, "tick_workers must be >= 1");
+        self.config.tick_workers = workers;
+    }
+
     /// The partition specifications (DVA partitions then outlier).
     pub fn specs(&self) -> &[PartitionSpec] {
         &self.specs
@@ -228,9 +244,32 @@ impl<I> VpIndex<I> {
     ///
     /// When the same id appears multiple times in `updates`, the last
     /// occurrence wins.
+    ///
+    /// ## Parallelism
+    ///
+    /// Per-partition batches touch disjoint sub-indexes, so once the
+    /// tick is bucketed they are applied by up to
+    /// [`VpConfig::tick_workers`] scoped worker threads (batches are
+    /// distributed longest-first onto the least-loaded worker). With
+    /// `tick_workers == 1` (the default) everything runs sequentially
+    /// on the calling thread in partition order — the deterministic
+    /// mode the oracle tests compare against. The results are
+    /// identical either way: no two workers share any index state, and
+    /// each partition's removals are applied before its upserts.
+    ///
+    /// ## Error contract
+    ///
+    /// An error from a sub-index aborts the tick with it **torn**:
+    /// routing metadata (assignment/object tables) was already updated
+    /// for the whole tick, while only some partitions' batches ran —
+    /// so the index should be treated as poisoned and rebuilt. (The
+    /// sequential path has always had this hazard; sub-index errors
+    /// here are storage-layer failures — pool exhaustion, invalid
+    /// pages — not recoverable data conditions. The planned WAL is the
+    /// real fix: replaying the tick record restores consistency.)
     pub fn apply_updates(&mut self, updates: &[MovingObject]) -> IndexResult<()>
     where
-        I: MovingObjectIndex,
+        I: MovingObjectIndex + Send,
     {
         let parts = self.specs.len();
         let mut removals: Vec<Vec<ObjectId>> = vec![Vec::new(); parts];
@@ -257,15 +296,73 @@ impl<I> VpIndex<I> {
             self.record_perp_speed(obj.vel);
         }
 
-        for (p, ids) in removals.iter().enumerate() {
-            if !ids.is_empty() {
-                self.indexes[p].remove_batch(ids)?;
+        // Pair every touched sub-index with its batches. The zip hands
+        // out one disjoint `&mut I` per partition, which is what lets
+        // the workers below run without any locking.
+        let mut jobs: Vec<PartitionJob<'_, I>> = self
+            .indexes
+            .iter_mut()
+            .zip(removals.iter().zip(upserts.iter()))
+            .filter(|(_, (r, u))| !r.is_empty() || !u.is_empty())
+            .map(|(index, (r, u))| (index, r.as_slice(), u.as_slice()))
+            .collect();
+
+        let workers = self.config.tick_workers.min(jobs.len()).max(1);
+        if workers == 1 {
+            for (index, r, u) in jobs {
+                Self::apply_partition(index, r, u)?;
             }
+            return Ok(());
         }
-        for (p, objs) in upserts.iter().enumerate() {
-            if !objs.is_empty() {
-                self.indexes[p].update_batch(objs)?;
-            }
+
+        // Longest-processing-time grouping: biggest batches first,
+        // each onto the currently lightest worker. Grouping only
+        // affects the schedule, never the outcome.
+        jobs.sort_by_key(|(_, r, u)| std::cmp::Reverse(r.len() + u.len()));
+        let mut groups: Vec<Vec<PartitionJob<'_, I>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut loads = vec![0usize; workers];
+        for job in jobs {
+            let lightest = (0..workers)
+                .min_by_key(|&g| loads[g])
+                .expect("workers >= 1");
+            loads[lightest] += job.1.len() + job.2.len();
+            groups[lightest].push(job);
+        }
+        let results: Vec<IndexResult<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        for (index, r, u) in group {
+                            Self::apply_partition(index, r, u)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Applies one partition's share of a tick: removals (migrations
+    /// away) first, then upserts.
+    fn apply_partition(
+        index: &mut I,
+        removals: &[ObjectId],
+        upserts: &[MovingObject],
+    ) -> IndexResult<()>
+    where
+        I: MovingObjectIndex,
+    {
+        if !removals.is_empty() {
+            index.remove_batch(removals)?;
+        }
+        if !upserts.is_empty() {
+            index.update_batch(upserts)?;
         }
         Ok(())
     }
@@ -288,7 +385,7 @@ impl<I> VpIndex<I> {
     }
 }
 
-impl<I: MovingObjectIndex> MovingObjectIndex for VpIndex<I> {
+impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
     fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
         if self.assignment.contains_key(&obj.id) {
             return Err(IndexError::DuplicateObject(obj.id));
@@ -385,7 +482,11 @@ mod tests {
     }
 
     fn build_vp() -> VpIndex<ScanIndex> {
-        let cfg = VpConfig::default();
+        build_vp_workers(1)
+    }
+
+    fn build_vp_workers(workers: usize) -> VpIndex<ScanIndex> {
+        let cfg = VpConfig::default().with_tick_workers(workers);
         let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample());
         VpIndex::build(cfg, &analysis, |_spec| ScanIndex::new()).unwrap()
     }
@@ -648,6 +749,54 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "tick {tick}");
         }
+    }
+
+    #[test]
+    fn parallel_apply_updates_matches_sequential() {
+        let mut sequential = build_vp_workers(1);
+        let mut parallel = build_vp_workers(4);
+        let mut state = 0xFEED_F00D_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64 / 1_000_000.0
+        };
+        for tick in 0..6 {
+            let t = tick as f64 * 10.0;
+            let updates: Vec<MovingObject> = (0..400u64)
+                .map(|id| {
+                    let ang = next() * std::f64::consts::TAU;
+                    let speed = next() * 80.0;
+                    MovingObject::new(
+                        id,
+                        Point::new(next() * 100_000.0, next() * 100_000.0),
+                        Point::new(ang.cos() * speed, ang.sin() * speed),
+                        t,
+                    )
+                })
+                .collect();
+            sequential.apply_updates(&updates).unwrap();
+            parallel.apply_updates(&updates).unwrap();
+        }
+        assert_eq!(sequential.len(), parallel.len());
+        for id in 0..400u64 {
+            assert_eq!(
+                sequential.partition_of(id),
+                parallel.partition_of(id),
+                "object {id} routed differently"
+            );
+            assert_eq!(sequential.get_object(id), parallel.get_object(id));
+        }
+        let q = RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 30_000.0)),
+            60.0,
+        );
+        let mut a = sequential.range_query(&q).unwrap();
+        let mut b = parallel.range_query(&q).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! I/O statistics counters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters accumulated by the storage layer.
 ///
 /// * `logical_reads` — page accesses requested from the buffer pool.
@@ -69,6 +71,130 @@ impl std::ops::AddAssign for IoStats {
     }
 }
 
+pub mod thread_io {
+    //! Thread-local I/O counters for exact per-caller attribution.
+    //!
+    //! The pool-wide counters of a shared [`crate::BufferPool`] mix
+    //! every thread's traffic, so a "stats delta around my operation"
+    //! measurement over-counts as soon as another thread touches the
+    //! same pool. Accessors therefore also bump a per-thread tally;
+    //! an index wanting its *own* attributable I/O snapshots
+    //! [`snapshot`] before and after an operation and takes the delta
+    //! — exact under any concurrency, because an operation runs on
+    //! exactly one thread.
+
+    use std::cell::Cell;
+
+    use super::IoStats;
+
+    thread_local! {
+        static THREAD_IO: Cell<IoStats> = const {
+            Cell::new(IoStats {
+                logical_reads: 0,
+                logical_writes: 0,
+                physical_reads: 0,
+                physical_writes: 0,
+            })
+        };
+    }
+
+    /// The I/O performed by the current thread (across all pools)
+    /// since it started.
+    pub fn snapshot() -> IoStats {
+        THREAD_IO.with(Cell::get)
+    }
+
+    pub(crate) fn bump(f: impl FnOnce(&mut IoStats)) {
+        THREAD_IO.with(|c| {
+            let mut s = c.get();
+            f(&mut s);
+            c.set(s);
+        });
+    }
+}
+
+/// Lock-free [`IoStats`] accumulator.
+///
+/// The sharded [`crate::BufferPool`] bumps these counters from many
+/// threads at once; readers ([`crate::BufferPool::stats`]) snapshot
+/// them without taking any lock. All operations use relaxed ordering:
+/// the counters are diagnostics, not synchronization — a snapshot
+/// taken while writers are active is a consistent-enough tally, and a
+/// snapshot taken after the writing threads have been joined is exact.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    logical_writes: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// All-zero counters.
+    pub const fn zero() -> AtomicIoStats {
+        AtomicIoStats {
+            logical_reads: AtomicU64::new(0),
+            logical_writes: AtomicU64::new(0),
+            physical_reads: AtomicU64::new(0),
+            physical_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one logical read.
+    #[inline]
+    pub fn bump_logical_reads(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one logical write.
+    #[inline]
+    pub fn bump_logical_writes(&self) {
+        self.logical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one physical read.
+    #[inline]
+    pub fn bump_physical_reads(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one physical write.
+    #[inline]
+    pub fn bump_physical_writes(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Component-wise accumulation of a snapshot delta.
+    pub fn add(&self, d: IoStats) {
+        self.logical_reads
+            .fetch_add(d.logical_reads, Ordering::Relaxed);
+        self.logical_writes
+            .fetch_add(d.logical_writes, Ordering::Relaxed);
+        self.physical_reads
+            .fetch_add(d.physical_reads, Ordering::Relaxed);
+        self.physical_writes
+            .fetch_add(d.physical_writes, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            logical_writes: self.logical_writes.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.logical_writes.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +231,40 @@ mod tests {
             physical_writes: 0,
         };
         assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_round_trip() {
+        let a = AtomicIoStats::zero();
+        a.bump_logical_reads();
+        a.bump_logical_writes();
+        a.bump_physical_reads();
+        a.bump_physical_writes();
+        a.bump_logical_reads();
+        let s = a.snapshot();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.logical_writes, 1);
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.physical_writes, 1);
+        a.add(s);
+        assert_eq!(a.snapshot().logical_reads, 4);
+        a.reset();
+        assert_eq!(a.snapshot(), IoStats::zero());
+    }
+
+    #[test]
+    fn atomic_concurrent_bumps_sum() {
+        let a = AtomicIoStats::zero();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        a.bump_logical_reads();
+                    }
+                });
+            }
+        });
+        assert_eq!(a.snapshot().logical_reads, 4_000);
     }
 
     #[test]

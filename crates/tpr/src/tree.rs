@@ -24,10 +24,10 @@
 //!   child's contents, curbing MBR/VBR drift.
 //!
 //! All node accesses go through the shared buffer pool; the tree keeps
-//! its own attributable I/O counters (pool deltas), so several trees
-//! (the VP sub-indexes) can share one pool without double counting.
+//! its own attributable I/O counters (thread-local stat deltas), so
+//! several trees (the VP sub-indexes) can share one pool — even from
+//! concurrent partition workers — without double counting.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId
 #[cfg(test)]
 use vp_geom::Point;
 use vp_geom::Tpbr;
-use vp_storage::{BufferPool, IoStats, PageId};
+use vp_storage::{AtomicIoStats, BufferPool, IoStats, PageId};
 
 use crate::cost::{midpoint_area, sweep_cost};
 use crate::node::{InternalEntry, LeafEntry, Node, NodeLayout};
@@ -95,8 +95,11 @@ pub struct TprTree {
     now: f64,
     /// Lookup table: object id -> the exact entry stored in the tree.
     entries: HashMap<ObjectId, LeafEntry>,
-    /// I/O attributable to this tree (pool deltas).
-    own: Cell<IoStats>,
+    /// I/O attributable to this tree, tracked as thread-local
+    /// ([`vp_storage::thread_io`]) deltas around each operation —
+    /// exact even with other trees on the same pool running
+    /// concurrently. Atomic so a shared handle stays `Sync`.
+    own: AtomicIoStats,
 }
 
 impl TprTree {
@@ -112,7 +115,7 @@ impl TprTree {
             len: 0,
             now: 0.0,
             entries: HashMap::new(),
-            own: Cell::new(IoStats::zero()),
+            own: AtomicIoStats::zero(),
         }
     }
 
@@ -260,12 +263,12 @@ impl TprTree {
     }
 
     fn track_begin(&self) -> IoStats {
-        self.pool.stats()
+        vp_storage::thread_io::snapshot()
     }
 
     fn track_end(&self, before: IoStats) {
-        let delta = self.pool.stats().delta(&before);
-        self.own.set(self.own.get() + delta);
+        self.own
+            .add(vp_storage::thread_io::snapshot().delta(&before));
     }
 
     // ----- cost metric --------------------------------------------------
@@ -805,11 +808,11 @@ impl MovingObjectIndex for TprTree {
     }
 
     fn io_stats(&self) -> IoStats {
-        self.own.get()
+        self.own.snapshot()
     }
 
     fn reset_io_stats(&self) {
-        self.own.set(IoStats::zero());
+        self.own.reset();
     }
 }
 
@@ -831,6 +834,12 @@ mod tests {
 
     fn tree() -> TprTree {
         TprTree::new(small_pool(), TprConfig::default())
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TprTree>();
     }
 
     fn obj(id: u64, x: f64, y: f64, vx: f64, vy: f64, t: f64) -> MovingObject {
@@ -861,6 +870,129 @@ mod tests {
                 obj(id, x, y, ang.cos() * speed, ang.sin() * speed, 0.0)
             })
             .collect()
+    }
+
+    /// Pins the baseline for the ROADMAP's future TPR group-insert:
+    /// the TPR\*-tree has no batched plan yet, so
+    /// [`MovingObjectIndex::update_batch`] falls back to the single-op
+    /// default, which must behave exactly like looping `update` /
+    /// `insert` by hand — same contents, same query answers, same
+    /// structural invariants. When a real batched path lands, this
+    /// test keeps its semantics honest.
+    #[test]
+    fn update_batch_fallback_matches_looped_updates() {
+        let mut batched = tree();
+        let mut looped = tree();
+        let mut objs = random_objects(300, 0x7EE7);
+        for o in &objs {
+            batched.insert(*o).unwrap();
+            looped.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x1CE);
+        for tick in 1..=4u64 {
+            let t = tick as f64 * 15.0;
+            let mut updates = Vec::new();
+            let mut stale = None;
+            for o in objs.iter_mut() {
+                if o.id % 4 == tick % 4 {
+                    // Remember the first mover's pre-tick state to use
+                    // as a genuinely different duplicate below.
+                    if stale.is_none() {
+                        stale = Some(*o);
+                    }
+                    // Half the movers turn 90°, stressing re-clustering.
+                    let vel = if o.id % 2 == 0 {
+                        Point::new(-o.vel.y, o.vel.x)
+                    } else {
+                        o.vel
+                    };
+                    *o = MovingObject::new(o.id, o.position_at(t), vel, t);
+                    updates.push(*o);
+                }
+            }
+            // Duplicate id inside one batch: the stale pre-tick state
+            // rides first, the fresh update last — last write must
+            // win, like the documented upsert semantics. (A
+            // first-write-wins bug would keep the stale position and
+            // diverge from the looped twin below.)
+            if let Some(stale) = stale {
+                updates.insert(0, stale);
+            }
+            // A brand-new id exercises the upsert path.
+            let fresh = obj(
+                50_000 + tick,
+                rng.next() * 10_000.0,
+                rng.next() * 10_000.0,
+                10.0,
+                -5.0,
+                t,
+            );
+            updates.push(fresh);
+            objs.push(fresh);
+
+            batched.update_batch(&updates).unwrap();
+            for u in &updates {
+                if looped.get_object(u.id).is_some() {
+                    looped.update(*u).unwrap();
+                } else {
+                    looped.insert(*u).unwrap();
+                }
+            }
+
+            assert_eq!(batched.len(), looped.len(), "tick {tick}");
+            for o in &objs {
+                assert_eq!(
+                    batched.get_object(o.id),
+                    looped.get_object(o.id),
+                    "tick {tick}, object {}",
+                    o.id
+                );
+            }
+            let mut qrng = Rng(tick * 31 + 7);
+            for qi in 0..8 {
+                let c = Point::new(qrng.next() * 10_000.0, qrng.next() * 10_000.0);
+                let q = RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(c, 1_500.0)),
+                    t + qi as f64,
+                );
+                let mut a = batched.range_query(&q).unwrap();
+                let mut b = looped.range_query(&q).unwrap();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "tick {tick} query {qi} diverged");
+            }
+            batched.check_invariants().unwrap().unwrap();
+        }
+    }
+
+    /// The fallback's `remove_batch` sibling: looped deletes and the
+    /// default batch removal leave identical trees.
+    #[test]
+    fn remove_batch_fallback_matches_looped_deletes() {
+        let objs = random_objects(200, 0xD00D);
+        let mut batched = tree();
+        let mut looped = tree();
+        for o in &objs {
+            batched.insert(*o).unwrap();
+            looped.insert(*o).unwrap();
+        }
+        let doomed: Vec<u64> = objs.iter().map(|o| o.id).filter(|id| id % 3 == 0).collect();
+        batched.remove_batch(&doomed).unwrap();
+        for &id in &doomed {
+            looped.delete(id).unwrap();
+        }
+        assert_eq!(batched.len(), looped.len());
+        let q = RangeQuery::time_slice(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0)),
+            0.0,
+        );
+        let mut a = batched.range_query(&q).unwrap();
+        let mut b = looped.range_query(&q).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|id| id % 3 != 0));
+        batched.check_invariants().unwrap().unwrap();
     }
 
     #[test]
