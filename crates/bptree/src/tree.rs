@@ -118,6 +118,15 @@ impl BPlusTree {
         self.own.reset();
     }
 
+    /// Forces every page of this tree to a durable, self-consistent
+    /// on-disk state: flushes the shared pool's dirty shards and syncs
+    /// the disk ([`BufferPool::checkpoint`]). Note the pool is shared,
+    /// so this checkpoints co-resident trees too — exactly what the VP
+    /// manager's checkpoint wants.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        self.pool.checkpoint()
+    }
+
     // ----- page helpers -------------------------------------------------
 
     fn read_node(&self, pid: PageId) -> StorageResult<BNode> {

@@ -687,6 +687,10 @@ impl MovingObjectIndex for BxTree {
     fn reset_io_stats(&self) {
         self.btree.reset_io_stats();
     }
+
+    fn flush_storage(&self) -> IndexResult<()> {
+        self.btree.checkpoint().map_err(IndexError::from)
+    }
 }
 
 #[cfg(test)]

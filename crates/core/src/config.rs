@@ -1,6 +1,9 @@
 //! Configuration of the VP technique.
 
+use std::path::PathBuf;
+
 use vp_geom::{Point, Rect};
+use vp_wal::SyncPolicy;
 
 /// Tunables for the velocity analyzer and the VP index manager.
 ///
@@ -34,6 +37,21 @@ pub struct VpConfig {
     /// identical either way — partitions share no index state — only
     /// the schedule changes.
     pub tick_workers: usize,
+    /// Directory of the durability artifacts (WAL streams, manifest,
+    /// checkpoints). `None` (the default) keeps the index purely in
+    /// memory — the seed behaviour, used by all paper reproductions.
+    /// Set it and construct with [`crate::VpIndex::open`] /
+    /// [`crate::VpIndex::recover`] for a durable index.
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL commits reach stable storage (fsync per commit vs.
+    /// OS-buffered). Ignored without `wal_dir`.
+    pub sync_policy: SyncPolicy,
+    /// Automatic checkpoint cadence: flush sub-index storage, snapshot
+    /// the object table, and truncate the log every this many ticks
+    /// ([`crate::VpIndex::apply_updates`] calls). `0` (the default)
+    /// means checkpoints happen only via the explicit
+    /// [`crate::VpIndex::checkpoint`] call.
+    pub checkpoint_every_ticks: u64,
 }
 
 impl Default for VpConfig {
@@ -46,6 +64,9 @@ impl Default for VpConfig {
             max_iters: 100,
             domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
             tick_workers: 1,
+            wal_dir: None,
+            sync_policy: SyncPolicy::Always,
+            checkpoint_every_ticks: 0,
         }
     }
 }
@@ -77,6 +98,26 @@ impl VpConfig {
     /// parallelism (builder-style convenience).
     pub fn with_tick_workers(mut self, workers: usize) -> VpConfig {
         self.tick_workers = workers;
+        self
+    }
+
+    /// Returns the configuration with durability enabled in `dir`
+    /// (builder-style convenience).
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> VpConfig {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the configuration with the given WAL sync policy.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> VpConfig {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Returns the configuration checkpointing every `ticks` ticks
+    /// (`0` = only explicit checkpoints).
+    pub fn with_checkpoint_every_ticks(mut self, ticks: u64) -> VpConfig {
+        self.checkpoint_every_ticks = ticks;
         self
     }
 }
@@ -118,6 +159,25 @@ mod tests {
             ..VpConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn durability_knobs_default_off() {
+        let c = VpConfig::default();
+        assert_eq!(c.wal_dir, None);
+        assert_eq!(c.sync_policy, SyncPolicy::Always);
+        assert_eq!(c.checkpoint_every_ticks, 0);
+        let c = c
+            .with_wal_dir("/tmp/vp-wal")
+            .with_sync_policy(SyncPolicy::Never)
+            .with_checkpoint_every_ticks(8);
+        assert_eq!(
+            c.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/vp-wal"))
+        );
+        assert_eq!(c.sync_policy, SyncPolicy::Never);
+        assert_eq!(c.checkpoint_every_ticks, 8);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,864 @@
+//! Durable storage for the VP index: write-ahead logging of tick
+//! batches, logical checkpoints, and crash recovery.
+//!
+//! ## Architecture
+//!
+//! The paper's batched per-partition tick is the unit of durability.
+//! A durable [`VpIndex`] (built with [`VpIndex::open`]) owns one
+//! [`vp_wal::Wal`] stream **per partition** plus one `meta` stream,
+//! all inside `VpConfig::wal_dir`:
+//!
+//! ```text
+//! wal_dir/
+//!   MANIFEST              config + partition axes/τ + histogram bounds
+//!   ckpt-<seq>.vpck       latest logical checkpoint (object table)
+//!   meta-<seq>.seg        inserts, deletes, τ refreshes, tick commits
+//!   part-<p>-<seq>.seg    per-partition tick batches (one stream per p)
+//! ```
+//!
+//! Every logged *event* — a tick, a single insert/delete, a τ refresh
+//! — carries one globally increasing sequence number, so the streams
+//! merge back into a total order at recovery. A tick writes its
+//! per-partition batches (removals + world-coordinate upserts) to the
+//! partition streams *from the tick worker threads* — logging
+//! parallelizes with application instead of re-serializing it — and
+//! is sealed by a commit record on the `meta` stream after all
+//! partition streams are flushed (and, under
+//! [`SyncPolicy::Always`], fsync'd). A tick whose commit record is
+//! missing, or whose commit names more partition records than
+//! survived, is not replayed; recovery applies the longest consistent
+//! prefix of the log.
+//!
+//! Checkpoints are **logical**: [`VpIndex::checkpoint`] flushes every
+//! sub-index's storage (dirty buffer-pool shards, then the page
+//! file), snapshots the object table + per-partition τ + online
+//! histograms into `ckpt-<seq>.vpck` (written to a temp file, fsync'd,
+//! renamed), and truncates all log streams below the checkpoint.
+//! Recovery rebuilds the sub-indexes from the snapshot via their
+//! batched upsert path and replays the log tail through the exact
+//! same routing code that ran before the crash — τ refreshes are
+//! replayed in order, so partition routing is reproduced decision for
+//! decision. Page-level (ARIES-style) redo that reuses the flushed
+//! page files instead of rebuilding is the named follow-on in the
+//! roadmap.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vp_geom::Frame;
+use vp_wal::{crc32, SyncPolicy, Wal};
+
+use crate::analyzer::AnalyzerOutput;
+use crate::config::VpConfig;
+use crate::error::{IndexError, IndexResult};
+use crate::histogram::CumulativeHistogram;
+use crate::manager::{PartitionSpec, VpIndex};
+use crate::object::{MovingObject, ObjectId};
+use crate::traits::MovingObjectIndex;
+
+/// Record kinds on the `meta` stream (plus [`KIND_TICK_PART`] on the
+/// partition streams).
+pub(crate) const KIND_INSERT: u8 = 1;
+pub(crate) const KIND_DELETE: u8 = 2;
+pub(crate) const KIND_TICK_PART: u8 = 3;
+pub(crate) const KIND_TICK_COMMIT: u8 = 4;
+pub(crate) const KIND_TAU_REFRESH: u8 = 5;
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_MAGIC: &[u8; 8] = b"VPMANIF1";
+const CKPT_MAGIC: &[u8; 8] = b"VPCKPT01";
+const FORMAT_VERSION: u32 = 1;
+
+/// What [`VpIndex::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Seq of the checkpoint the rebuild started from (0 = none).
+    pub checkpoint_seq: u64,
+    /// Highest event seq applied (checkpoint or replayed record).
+    pub last_seq: u64,
+    /// Log events replayed on top of the checkpoint.
+    pub events_replayed: usize,
+}
+
+/// The durability state of a [`VpIndex`]: the log streams and the
+/// bookkeeping between checkpoints.
+pub(crate) struct Durability {
+    pub(crate) dir: PathBuf,
+    pub(crate) policy: SyncPolicy,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) meta: Wal,
+    /// One stream per partition, indexed by [`PartitionSpec::id`].
+    pub(crate) parts: Vec<Wal>,
+    /// Next global event seq to assign.
+    pub(crate) next_seq: u64,
+    pub(crate) ticks_since_ckpt: u64,
+    /// True while recovery replays the log: suppresses re-logging.
+    pub(crate) replaying: bool,
+}
+
+impl Durability {
+    /// Opens (or creates) the log streams for `nparts` partitions.
+    pub(crate) fn open(
+        dir: &Path,
+        nparts: usize,
+        policy: SyncPolicy,
+        checkpoint_every: u64,
+    ) -> IndexResult<Durability> {
+        let meta = Wal::open(dir, "meta")?;
+        let mut parts = Vec::with_capacity(nparts);
+        for p in 0..nparts {
+            parts.push(Wal::open(dir, &format!("part-{p}"))?);
+        }
+        let next_seq = parts
+            .iter()
+            .map(Wal::last_seq)
+            .chain(std::iter::once(meta.last_seq()))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        Ok(Durability {
+            dir: dir.to_path_buf(),
+            policy,
+            checkpoint_every,
+            meta,
+            parts,
+            next_seq,
+            ticks_since_ckpt: 0,
+            replaying: false,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian payload codecs
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> IndexResult<&'a [u8]> {
+        if self.off + n > self.buf.len() {
+            return Err(IndexError::Wal(format!(
+                "payload truncated at byte {} (wanted {n} more of {})",
+                self.off,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> IndexResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> IndexResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> IndexResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> IndexResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> IndexResult<()> {
+        if self.off != self.buf.len() {
+            return Err(IndexError::Wal(format!(
+                "payload has {} trailing bytes",
+                self.buf.len() - self.off
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// 48-byte object encoding: id, pos, vel, ref_time.
+fn put_object(out: &mut Vec<u8>, obj: &MovingObject) {
+    put_u64(out, obj.id);
+    put_f64(out, obj.pos.x);
+    put_f64(out, obj.pos.y);
+    put_f64(out, obj.vel.x);
+    put_f64(out, obj.vel.y);
+    put_f64(out, obj.ref_time);
+}
+
+fn get_object(cur: &mut Cursor<'_>) -> IndexResult<MovingObject> {
+    Ok(MovingObject {
+        id: cur.u64()?,
+        pos: vp_geom::Point::new(cur.f64()?, cur.f64()?),
+        vel: vp_geom::Point::new(cur.f64()?, cur.f64()?),
+        ref_time: cur.f64()?,
+    })
+}
+
+/// `INSERT` payload: one object.
+pub(crate) fn encode_object_record(obj: &MovingObject) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    put_object(&mut out, obj);
+    out
+}
+
+pub(crate) fn decode_object_record(payload: &[u8]) -> IndexResult<MovingObject> {
+    let mut cur = Cursor::new(payload);
+    let obj = get_object(&mut cur)?;
+    cur.done()?;
+    Ok(obj)
+}
+
+/// `DELETE` payload: one object id.
+pub(crate) fn encode_delete_record(id: ObjectId) -> Vec<u8> {
+    id.to_le_bytes().to_vec()
+}
+
+pub(crate) fn decode_delete_record(payload: &[u8]) -> IndexResult<ObjectId> {
+    let mut cur = Cursor::new(payload);
+    let id = cur.u64()?;
+    cur.done()?;
+    Ok(id)
+}
+
+/// One partition's share of a tick, as logged on its stream.
+pub(crate) type TickPart = (usize, Vec<ObjectId>, Vec<MovingObject>);
+
+/// `TICK_PART` payload: partition, removals (migrating away), and
+/// **world-coordinate** upserts (frame conversion is re-derived on
+/// replay so the record is partition-layout-independent).
+pub(crate) fn encode_tick_part(
+    partition: usize,
+    removals: &[ObjectId],
+    upserts: &[MovingObject],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + removals.len() * 8 + upserts.len() * 48);
+    put_u32(&mut out, partition as u32);
+    put_u32(&mut out, removals.len() as u32);
+    put_u32(&mut out, upserts.len() as u32);
+    for id in removals {
+        put_u64(&mut out, *id);
+    }
+    for obj in upserts {
+        put_object(&mut out, obj);
+    }
+    out
+}
+
+pub(crate) fn decode_tick_part(payload: &[u8]) -> IndexResult<TickPart> {
+    let mut cur = Cursor::new(payload);
+    let partition = cur.u32()? as usize;
+    let nr = cur.u32()? as usize;
+    let nu = cur.u32()? as usize;
+    // Clamp pre-allocations: a corrupt count must fail in the cursor
+    // (truncated payload) rather than abort on a huge reservation.
+    let mut removals = Vec::with_capacity(nr.min(1 << 20));
+    for _ in 0..nr {
+        removals.push(cur.u64()?);
+    }
+    let mut upserts = Vec::with_capacity(nu.min(1 << 20));
+    for _ in 0..nu {
+        upserts.push(get_object(&mut cur)?);
+    }
+    cur.done()?;
+    Ok((partition, removals, upserts))
+}
+
+/// `TICK_COMMIT` payload: how many partition records seal this tick,
+/// plus the winning-update count (diagnostics).
+pub(crate) fn encode_tick_commit(nparts: usize, nupdates: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    put_u32(&mut out, nparts as u32);
+    put_u32(&mut out, nupdates as u32);
+    out
+}
+
+pub(crate) fn decode_tick_commit(payload: &[u8]) -> IndexResult<(usize, usize)> {
+    let mut cur = Cursor::new(payload);
+    let nparts = cur.u32()? as usize;
+    let nupdates = cur.u32()? as usize;
+    cur.done()?;
+    Ok((nparts, nupdates))
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+/// Wraps a payload in `magic ‖ version ‖ payload ‖ crc32(payload)` and
+/// writes it to a temp file, fsyncs, renames into place, and fsyncs
+/// the directory — the atomic-publish dance.
+fn write_file_atomic(dir: &Path, name: &str, magic: &[u8; 8], payload: &[u8]) -> IndexResult<()> {
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    let tmp = dir.join(format!("{name}.tmp"));
+    fs::write(&tmp, &bytes).map_err(io_err)?;
+    let f = fs::File::open(&tmp).map_err(io_err)?;
+    f.sync_all().map_err(io_err)?;
+    fs::rename(&tmp, dir.join(name)).map_err(io_err)?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Reads and validates a `magic ‖ version ‖ payload ‖ crc` file.
+fn read_validated(path: &Path, magic: &[u8; 8]) -> IndexResult<Vec<u8>> {
+    let bytes = fs::read(path).map_err(io_err)?;
+    if bytes.len() < 16 || &bytes[..8] != magic {
+        return Err(IndexError::Wal(format!("{}: bad magic", path.display())));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(IndexError::Wal(format!(
+            "{}: unsupported version {version}",
+            path.display()
+        )));
+    }
+    let payload = &bytes[12..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(payload) != crc {
+        return Err(IndexError::Wal(format!("{}: crc mismatch", path.display())));
+    }
+    Ok(payload.to_vec())
+}
+
+fn io_err(e: std::io::Error) -> IndexError {
+    IndexError::Wal(e.to_string())
+}
+
+fn write_manifest(
+    dir: &Path,
+    config: &VpConfig,
+    specs: &[PartitionSpec],
+    hist_bounds: &[f64],
+) -> IndexResult<()> {
+    let mut p = Vec::new();
+    put_u64(&mut p, config.k as u64);
+    put_u64(&mut p, config.sample_size as u64);
+    put_u64(&mut p, config.tau_buckets as u64);
+    put_u64(&mut p, config.seed);
+    put_u64(&mut p, config.max_iters as u64);
+    put_f64(&mut p, config.domain.lo.x);
+    put_f64(&mut p, config.domain.lo.y);
+    put_f64(&mut p, config.domain.hi.x);
+    put_f64(&mut p, config.domain.hi.y);
+    put_u64(&mut p, config.tick_workers as u64);
+    p.push(config.sync_policy.to_byte());
+    put_u64(&mut p, config.checkpoint_every_ticks);
+    put_u32(&mut p, specs.len() as u32);
+    for spec in specs {
+        put_f64(&mut p, spec.frame.axis().x);
+        put_f64(&mut p, spec.frame.axis().y);
+        put_f64(&mut p, spec.tau);
+        p.push(u8::from(spec.is_outlier));
+    }
+    put_u32(&mut p, hist_bounds.len() as u32);
+    for b in hist_bounds {
+        put_f64(&mut p, *b);
+    }
+    write_file_atomic(dir, MANIFEST_NAME, MANIFEST_MAGIC, &p)
+}
+
+/// The manifest's partition description (enough to rebuild a
+/// [`PartitionSpec`] without re-running the analyzer).
+struct SpecDesc {
+    axis: vp_geom::Vec2,
+    tau: f64,
+    is_outlier: bool,
+}
+
+fn read_manifest(dir: &Path) -> IndexResult<(VpConfig, Vec<SpecDesc>, Vec<f64>)> {
+    let payload = read_validated(&dir.join(MANIFEST_NAME), MANIFEST_MAGIC)?;
+    let mut cur = Cursor::new(&payload);
+    let mut config = VpConfig {
+        k: cur.u64()? as usize,
+        sample_size: cur.u64()? as usize,
+        tau_buckets: cur.u64()? as usize,
+        seed: cur.u64()?,
+        max_iters: cur.u64()? as usize,
+        ..VpConfig::default()
+    };
+    let lo = (cur.f64()?, cur.f64()?);
+    let hi = (cur.f64()?, cur.f64()?);
+    config.domain = vp_geom::Rect::from_bounds(lo.0, lo.1, hi.0, hi.1);
+    config.tick_workers = cur.u64()? as usize;
+    config.sync_policy = SyncPolicy::from_byte(cur.u8()?)?;
+    config.checkpoint_every_ticks = cur.u64()?;
+    config.wal_dir = Some(dir.to_path_buf());
+    let nspecs = cur.u32()? as usize;
+    let mut specs = Vec::with_capacity(nspecs.min(1 << 16));
+    for _ in 0..nspecs {
+        specs.push(SpecDesc {
+            axis: vp_geom::Point::new(cur.f64()?, cur.f64()?),
+            tau: cur.f64()?,
+            is_outlier: cur.u8()? != 0,
+        });
+    }
+    let nbounds = cur.u32()? as usize;
+    let mut bounds = Vec::with_capacity(nbounds.min(1 << 16));
+    for _ in 0..nbounds {
+        bounds.push(cur.f64()?);
+    }
+    cur.done()?;
+    if specs.is_empty() || !specs.last().map(|s| s.is_outlier).unwrap_or(false) {
+        return Err(IndexError::Wal("manifest: malformed partition list".into()));
+    }
+    Ok((config, specs, bounds))
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------
+
+struct Checkpoint {
+    seq: u64,
+    taus: Vec<f64>,
+    hists: Vec<CumulativeHistogram>,
+    /// `(world object, partition)` pairs, sorted by id.
+    objects: Vec<(MovingObject, usize)>,
+}
+
+fn ckpt_name(seq: u64) -> String {
+    format!("ckpt-{seq:016x}.vpck")
+}
+
+fn write_checkpoint(
+    dir: &Path,
+    seq: u64,
+    taus: &[f64],
+    hists: &[CumulativeHistogram],
+    objects: &HashMap<ObjectId, MovingObject>,
+    assignment: &HashMap<ObjectId, usize>,
+) -> IndexResult<()> {
+    let mut p = Vec::new();
+    put_u64(&mut p, seq);
+    put_u32(&mut p, taus.len() as u32);
+    for t in taus {
+        put_f64(&mut p, *t);
+    }
+    put_u32(&mut p, hists.len() as u32);
+    for h in hists {
+        put_f64(&mut p, h.max_value());
+        put_u32(&mut p, h.counts().len() as u32);
+        for c in h.counts() {
+            put_u64(&mut p, *c);
+        }
+    }
+    // Sorted object table: deterministic bytes for a given state.
+    let mut ids: Vec<ObjectId> = objects.keys().copied().collect();
+    ids.sort_unstable();
+    put_u64(&mut p, ids.len() as u64);
+    for id in ids {
+        let obj = &objects[&id];
+        let part = *assignment
+            .get(&id)
+            .ok_or_else(|| IndexError::Wal(format!("object {id} has no partition assignment")))?;
+        put_object(&mut p, obj);
+        put_u32(&mut p, part as u32);
+    }
+    write_file_atomic(dir, &ckpt_name(seq), CKPT_MAGIC, &p)
+}
+
+fn decode_checkpoint(payload: &[u8]) -> IndexResult<Checkpoint> {
+    let mut cur = Cursor::new(payload);
+    let seq = cur.u64()?;
+    let ntaus = cur.u32()? as usize;
+    let mut taus = Vec::with_capacity(ntaus.min(1 << 16));
+    for _ in 0..ntaus {
+        taus.push(cur.f64()?);
+    }
+    let nhists = cur.u32()? as usize;
+    let mut hists = Vec::with_capacity(nhists.min(1 << 16));
+    for _ in 0..nhists {
+        let max = cur.f64()?;
+        let nbuckets = cur.u32()? as usize;
+        let mut counts = Vec::with_capacity(nbuckets.min(1 << 20));
+        for _ in 0..nbuckets {
+            counts.push(cur.u64()?);
+        }
+        if counts.is_empty() || !(max.is_finite() && max > 0.0) {
+            return Err(IndexError::Wal("checkpoint: malformed histogram".into()));
+        }
+        hists.push(CumulativeHistogram::from_parts(counts, max));
+    }
+    let nobjects = cur.u64()? as usize;
+    let mut objects = Vec::with_capacity(nobjects.min(1 << 20));
+    for _ in 0..nobjects {
+        let obj = get_object(&mut cur)?;
+        let part = cur.u32()? as usize;
+        objects.push((obj, part));
+    }
+    cur.done()?;
+    Ok(Checkpoint {
+        seq,
+        taus,
+        hists,
+        objects,
+    })
+}
+
+/// Lists checkpoint files, newest first.
+fn list_checkpoints(dir: &Path) -> IndexResult<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_prefix("ckpt-")
+            .and_then(|r| r.strip_suffix(".vpck"))
+        else {
+            continue;
+        };
+        if let Ok(seq) = u64::from_str_radix(hex, 16) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|(s, _)| std::cmp::Reverse(*s));
+    Ok(found)
+}
+
+/// Loads the newest checkpoint. A published checkpoint that fails
+/// validation is a **hard error**, not a fallback: checkpoints are
+/// published atomically (tmp + fsync + rename — a crash leaves only a
+/// `.tmp` that is never listed), and the log below the newest
+/// checkpoint was truncated when it was written, so an older
+/// checkpoint can no longer be completed from the log — falling back
+/// would return a silently incomplete index. An invalid published
+/// file therefore means bitrot or tampering, which must surface.
+fn load_latest_checkpoint(dir: &Path) -> IndexResult<Option<Checkpoint>> {
+    let checkpoints = list_checkpoints(dir)?;
+    let Some((_, path)) = checkpoints.first() else {
+        return Ok(None);
+    };
+    let ckpt = read_validated(path, CKPT_MAGIC)
+        .and_then(|p| decode_checkpoint(&p))
+        .map_err(|e| {
+            IndexError::Wal(format!(
+                "newest checkpoint {} failed validation ({e}); the log below it \
+                 was truncated at checkpoint time, so no older state can be \
+                 completed — restore the file or rebuild the index",
+                path.display()
+            ))
+        })?;
+    Ok(Some(ckpt))
+}
+
+fn prune_checkpoints_below(dir: &Path, seq: u64) -> IndexResult<()> {
+    for (s, path) in list_checkpoints(dir)? {
+        if s < seq {
+            fs::remove_file(path).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The durable VpIndex lifecycle
+// ---------------------------------------------------------------------
+
+impl<I> VpIndex<I> {
+    /// Builds a **durable** partitioned index: like [`VpIndex::build`],
+    /// plus a manifest and WAL streams in `config.wal_dir`. Every
+    /// subsequent mutation is logged; [`VpIndex::checkpoint`] (or the
+    /// `checkpoint_every_ticks` cadence) bounds the log. Errors if the
+    /// directory already holds a manifest — reopen an existing durable
+    /// index with [`VpIndex::recover`].
+    pub fn open<F>(
+        config: VpConfig,
+        analysis: &AnalyzerOutput,
+        factory: F,
+    ) -> IndexResult<VpIndex<I>>
+    where
+        F: FnMut(&PartitionSpec) -> I,
+    {
+        let dir = config
+            .wal_dir
+            .clone()
+            .ok_or_else(|| IndexError::Config("VpIndex::open requires config.wal_dir".into()))?;
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        if dir.join(MANIFEST_NAME).exists() {
+            return Err(IndexError::Config(format!(
+                "{} already holds a durable index; use VpIndex::recover",
+                dir.display()
+            )));
+        }
+        let mut vp = VpIndex::build(config, analysis, factory)?;
+        let bounds: Vec<f64> = vp.perp_hists.iter().map(|h| h.max_value()).collect();
+        write_manifest(&dir, &vp.config, &vp.specs, &bounds)?;
+        vp.durability = Some(Durability::open(
+            &dir,
+            vp.specs.len(),
+            vp.config.sync_policy,
+            vp.config.checkpoint_every_ticks,
+        )?);
+        Ok(vp)
+    }
+
+    /// Rebuilds a durable index from its directory: manifest → latest
+    /// valid checkpoint → replay of the log's consistent prefix. The
+    /// recovered index answers every query exactly as the pre-crash
+    /// index did at the last committed event, and keeps logging from
+    /// there.
+    pub fn recover<F>(
+        dir: impl AsRef<Path>,
+        factory: F,
+    ) -> IndexResult<(VpIndex<I>, RecoveryReport)>
+    where
+        I: MovingObjectIndex + Send,
+        F: FnMut(&PartitionSpec) -> I,
+    {
+        let dir = dir.as_ref().to_path_buf();
+        let (config, descs, bounds) = read_manifest(&dir)?;
+        if bounds.len() + 1 != descs.len() {
+            return Err(IndexError::Wal(
+                "manifest: histogram bounds do not match DVA count".into(),
+            ));
+        }
+        let pivot = config.pivot();
+        let specs: Vec<PartitionSpec> = descs
+            .iter()
+            .enumerate()
+            .map(|(id, d)| {
+                let frame = if d.is_outlier {
+                    Frame::identity()
+                } else {
+                    Frame::new(d.axis, pivot)
+                };
+                PartitionSpec {
+                    id,
+                    frame,
+                    domain: if d.is_outlier {
+                        config.domain
+                    } else {
+                        frame.domain_in_frame(&config.domain)
+                    },
+                    tau: d.tau,
+                    is_outlier: d.is_outlier,
+                }
+            })
+            .collect();
+        let perp_hists = bounds
+            .iter()
+            .map(|&b| CumulativeHistogram::new(config.tau_buckets, b))
+            .collect();
+        let indexes: Vec<I> = specs.iter().map(factory).collect();
+        let mut vp = VpIndex::from_recovered_parts(config, specs, indexes, perp_hists);
+
+        // Load the newest valid checkpoint.
+        let mut ckpt_seq = 0;
+        if let Some(ckpt) = load_latest_checkpoint(&dir)? {
+            if ckpt.taus.len() != vp.specs.len() || ckpt.hists.len() + 1 != vp.specs.len() {
+                return Err(IndexError::Wal(
+                    "checkpoint: partition count mismatch".into(),
+                ));
+            }
+            ckpt_seq = ckpt.seq;
+            for (spec, tau) in vp.specs.iter_mut().zip(&ckpt.taus) {
+                spec.tau = *tau;
+            }
+            vp.perp_hists = ckpt.hists;
+            let mut buckets: Vec<Vec<MovingObject>> = vec![Vec::new(); vp.specs.len()];
+            for (obj, p) in &ckpt.objects {
+                if *p >= vp.specs.len() {
+                    return Err(IndexError::Wal(format!(
+                        "checkpoint: object {} in unknown partition {p}",
+                        obj.id
+                    )));
+                }
+                vp.assignment.insert(obj.id, *p);
+                vp.objects.insert(obj.id, *obj);
+                buckets[*p].push(obj.to_frame(&vp.specs[*p].frame));
+            }
+            for (p, batch) in buckets.iter().enumerate() {
+                if !batch.is_empty() {
+                    vp.indexes[p].update_batch(batch)?;
+                }
+            }
+        }
+
+        // Open the streams and replay the consistent prefix above the
+        // checkpoint. The meta stream is the event order; partition
+        // streams carry the tick payloads keyed by seq.
+        let mut dur = Durability::open(
+            &dir,
+            vp.specs.len(),
+            vp.config.sync_policy,
+            vp.config.checkpoint_every_ticks,
+        )?;
+        let meta_records = dur.meta.replay(ckpt_seq)?;
+        let mut tick_parts: HashMap<u64, Vec<TickPart>> = HashMap::new();
+        for wal in &dur.parts {
+            for rec in wal.replay(ckpt_seq)? {
+                if rec.kind != KIND_TICK_PART {
+                    return Err(IndexError::Wal(format!(
+                        "partition stream holds foreign record kind {}",
+                        rec.kind
+                    )));
+                }
+                tick_parts
+                    .entry(rec.seq)
+                    .or_default()
+                    .push(decode_tick_part(&rec.payload)?);
+            }
+        }
+        dur.replaying = true;
+        vp.durability = Some(dur);
+
+        let mut last_seq = ckpt_seq;
+        let mut events = 0usize;
+        for rec in &meta_records {
+            match rec.kind {
+                KIND_INSERT => vp.insert(decode_object_record(&rec.payload)?)?,
+                KIND_DELETE => vp.delete(decode_delete_record(&rec.payload)?)?,
+                KIND_TAU_REFRESH => {
+                    vp.refresh_tau()?;
+                }
+                KIND_TICK_COMMIT => {
+                    let (nparts, _) = decode_tick_commit(&rec.payload)?;
+                    let mut parts = tick_parts.remove(&rec.seq).unwrap_or_default();
+                    if parts.len() != nparts {
+                        // The commit survived but a partition record
+                        // did not (possible only without fsync):
+                        // everything from here is inconsistent — stop
+                        // at the prefix.
+                        break;
+                    }
+                    parts.sort_unstable_by_key(|(p, _, _)| *p);
+                    vp.replay_tick(&parts)?;
+                }
+                k => {
+                    return Err(IndexError::Wal(format!(
+                        "meta stream holds unknown record kind {k}"
+                    )))
+                }
+            }
+            last_seq = rec.seq;
+            events += 1;
+        }
+
+        let d = vp.durability.as_mut().expect("just installed");
+        d.replaying = false;
+        // Amputate the dead suffix: anything past the consistent
+        // prefix (tick batches whose commit never became durable,
+        // single records after a torn commit) is physically removed.
+        // Otherwise those records would sit ahead of everything logged
+        // from now on, and the *next* recovery would stop at the same
+        // inconsistency — silently dropping events committed after
+        // this recovery succeeded.
+        d.meta.truncate_after(last_seq)?;
+        for wal in &mut d.parts {
+            wal.truncate_after(last_seq)?;
+        }
+        d.next_seq = last_seq + 1;
+        let report = RecoveryReport {
+            checkpoint_seq: ckpt_seq,
+            last_seq,
+            events_replayed: events,
+        };
+        Ok((vp, report))
+    }
+
+    /// Writes a checkpoint: flushes every sub-index's storage to a
+    /// consistent on-disk state, snapshots the logical index state
+    /// (object table, per-partition τ, online histograms) atomically,
+    /// and truncates the log below it. Returns the checkpoint seq.
+    pub fn checkpoint(&mut self) -> IndexResult<u64>
+    where
+        I: MovingObjectIndex,
+    {
+        if self.durability.is_none() {
+            return Err(IndexError::Config(
+                "checkpoint requires a durable index (VpIndex::open)".into(),
+            ));
+        }
+        for idx in &self.indexes {
+            idx.flush_storage()?;
+        }
+        let taus: Vec<f64> = self.specs.iter().map(|s| s.tau).collect();
+        let d = self.durability.as_mut().expect("checked above");
+        let seq = d.next_seq - 1;
+        write_checkpoint(
+            &d.dir,
+            seq,
+            &taus,
+            &self.perp_hists,
+            &self.objects,
+            &self.assignment,
+        )?;
+        // Only after the snapshot is durably published may the log
+        // and older snapshots shrink.
+        prune_checkpoints_below(&d.dir, seq)?;
+        d.meta.truncate_below(seq + 1)?;
+        for wal in &mut d.parts {
+            wal.truncate_below(seq + 1)?;
+        }
+        d.ticks_since_ckpt = 0;
+        Ok(seq)
+    }
+
+    /// Logs a single-record event (insert/delete/τ-refresh) on the
+    /// meta stream. No-op on non-durable indexes and during replay.
+    pub(crate) fn log_single(&mut self, kind: u8, payload: &[u8]) -> IndexResult<()> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        if d.replaying {
+            return Ok(());
+        }
+        let seq = d.next_seq;
+        d.next_seq += 1;
+        d.meta.append(seq, kind, payload)?;
+        d.meta.commit(d.policy)?;
+        Ok(())
+    }
+
+    /// Applies one replayed tick: the logged per-partition batches,
+    /// fed through the same routing bookkeeping + batched index paths
+    /// the original [`VpIndex::apply_updates`] used.
+    pub(crate) fn replay_tick(&mut self, parts: &[TickPart]) -> IndexResult<()>
+    where
+        I: MovingObjectIndex,
+    {
+        for (p, _, upserts) in parts {
+            if *p >= self.specs.len() {
+                return Err(IndexError::Wal(format!("tick names unknown partition {p}")));
+            }
+            for obj in upserts {
+                self.assignment.insert(obj.id, *p);
+                self.objects.insert(obj.id, *obj);
+                self.record_perp_speed(obj.vel);
+            }
+        }
+        for (p, removals, upserts) in parts {
+            let frame = self.specs[*p].frame;
+            let local: Vec<MovingObject> = upserts.iter().map(|o| o.to_frame(&frame)).collect();
+            Self::apply_partition(&mut self.indexes[*p], removals, &local)?;
+        }
+        Ok(())
+    }
+}

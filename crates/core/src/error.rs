@@ -1,6 +1,7 @@
 //! Error types shared by all moving-object indexes.
 
 use vp_storage::StorageError;
+use vp_wal::WalError;
 
 use crate::object::ObjectId;
 
@@ -17,11 +18,20 @@ pub enum IndexError {
     OutOfDomain(ObjectId),
     /// Invalid configuration (e.g. zero partitions requested).
     Config(String),
+    /// The write-ahead log, a checkpoint, or the recovery manifest
+    /// failed (I/O error or failed validation).
+    Wal(String),
 }
 
 impl From<StorageError> for IndexError {
     fn from(e: StorageError) -> Self {
         IndexError::Storage(e)
+    }
+}
+
+impl From<WalError> for IndexError {
+    fn from(e: WalError) -> Self {
+        IndexError::Wal(e.to_string())
     }
 }
 
@@ -33,6 +43,7 @@ impl std::fmt::Display for IndexError {
             IndexError::UnknownObject(id) => write!(f, "object {id} not present"),
             IndexError::OutOfDomain(id) => write!(f, "object {id} outside the data domain"),
             IndexError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            IndexError::Wal(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }

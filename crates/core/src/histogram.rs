@@ -67,6 +67,30 @@ impl CumulativeHistogram {
         self.total
     }
 
+    /// The raw per-bucket (non-cumulative) counts — checkpoint
+    /// serialization of the online Section-5.5 histograms.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from serialized parts (the inverse of
+    /// [`CumulativeHistogram::counts`] + [`CumulativeHistogram::max_value`],
+    /// used when loading a checkpoint).
+    pub fn from_parts(counts: Vec<u64>, max_value: f64) -> CumulativeHistogram {
+        assert!(!counts.is_empty(), "need at least one bucket");
+        assert!(
+            max_value.is_finite() && max_value > 0.0,
+            "max_value must be positive and finite"
+        );
+        let total = counts.iter().sum();
+        CumulativeHistogram {
+            counts,
+            max_value,
+            total,
+        }
+    }
+
     /// Records a sample (negative samples count as 0; samples above the
     /// range clamp into the last bucket).
     pub fn add(&mut self, value: f64) {
@@ -180,6 +204,19 @@ mod tests {
         h.reset();
         assert_eq!(h.total(), 0);
         assert_eq!(h.cumulative(2), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = CumulativeHistogram::new(4, 8.0);
+        for v in [1.0, 3.0, 3.5, 7.9] {
+            h.add(v);
+        }
+        let rebuilt = CumulativeHistogram::from_parts(h.counts().to_vec(), h.max_value());
+        assert_eq!(rebuilt.total(), h.total());
+        assert_eq!(rebuilt.counts(), h.counts());
+        assert_eq!(rebuilt.max_value(), h.max_value());
+        assert_eq!(rebuilt.count_le(4.0), h.count_le(4.0));
     }
 
     #[test]

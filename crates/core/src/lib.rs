@@ -28,6 +28,7 @@
 
 pub mod analyzer;
 pub mod config;
+pub mod durable;
 pub mod error;
 pub mod histogram;
 pub mod kmeans;
@@ -41,6 +42,7 @@ pub mod traits;
 
 pub use analyzer::{AnalyzerOutput, DvaPartition, VelocityAnalyzer};
 pub use config::VpConfig;
+pub use durable::RecoveryReport;
 pub use error::{IndexError, IndexResult};
 pub use histogram::CumulativeHistogram;
 pub use knn::{knn_at, Neighbor};
@@ -48,3 +50,4 @@ pub use manager::{PartitionId, PartitionSpec, VpIndex};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};
 pub use traits::MovingObjectIndex;
+pub use vp_wal::SyncPolicy;

@@ -28,9 +28,11 @@ use std::collections::HashMap;
 
 use vp_geom::{Frame, Rect, Vec2};
 use vp_storage::IoStats;
+use vp_wal::{SyncPolicy, Wal};
 
 use crate::analyzer::AnalyzerOutput;
 use crate::config::VpConfig;
+use crate::durable::{self, Durability};
 use crate::error::{IndexError, IndexResult};
 use crate::histogram::CumulativeHistogram;
 use crate::object::{MovingObject, ObjectId};
@@ -43,8 +45,22 @@ use crate::traits::MovingObjectIndex;
 pub type PartitionId = usize;
 
 /// One partition's share of a tick handed to a worker: the disjoint
-/// sub-index borrow, the ids migrating away, and the upsert batch.
-type PartitionJob<'a, I> = (&'a mut I, &'a [ObjectId], &'a [MovingObject]);
+/// sub-index borrow, the ids migrating away, the upsert batch, and —
+/// for durable indexes — the partition's WAL stream plus the
+/// world-coordinate upserts to log on it.
+struct PartitionJob<'a, I> {
+    partition: usize,
+    index: &'a mut I,
+    removals: &'a [ObjectId],
+    upserts: &'a [MovingObject],
+    wal: Option<(&'a mut Wal, &'a [MovingObject])>,
+}
+
+impl<I> PartitionJob<'_, I> {
+    fn load(&self) -> usize {
+        self.removals.len() + self.upserts.len()
+    }
+}
 
 /// Everything a sub-index factory needs to construct one partition's
 /// index.
@@ -71,17 +87,21 @@ pub struct PartitionSpec {
 /// [`VpIndex::build`] and a factory closure that creates one `I` per
 /// [`PartitionSpec`].
 pub struct VpIndex<I> {
-    config: VpConfig,
-    specs: Vec<PartitionSpec>,
-    indexes: Vec<I>,
+    pub(crate) config: VpConfig,
+    pub(crate) specs: Vec<PartitionSpec>,
+    pub(crate) indexes: Vec<I>,
     /// Which partition each live object resides in (the "simple lookup
     /// table" of Section 5.3).
-    assignment: HashMap<ObjectId, PartitionId>,
+    pub(crate) assignment: HashMap<ObjectId, PartitionId>,
     /// World-space state of each live object, used for exact query
     /// filtering and for delete/update routing.
-    objects: HashMap<ObjectId, MovingObject>,
+    pub(crate) objects: HashMap<ObjectId, MovingObject>,
     /// Online per-DVA histograms of perpendicular speeds (Section 5.5).
-    perp_hists: Vec<CumulativeHistogram>,
+    pub(crate) perp_hists: Vec<CumulativeHistogram>,
+    /// WAL streams and checkpoint bookkeeping; `Some` only for indexes
+    /// constructed through the durable lifecycle
+    /// ([`VpIndex::open`] / [`VpIndex::recover`]).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl<I> VpIndex<I> {
@@ -143,7 +163,28 @@ impl<I> VpIndex<I> {
             assignment: HashMap::new(),
             objects: HashMap::new(),
             perp_hists,
+            durability: None,
         })
+    }
+
+    /// Assembles an empty index from already-reconstructed parts (the
+    /// recovery path, which rebuilds specs from the manifest instead
+    /// of re-running the analyzer).
+    pub(crate) fn from_recovered_parts(
+        config: VpConfig,
+        specs: Vec<PartitionSpec>,
+        indexes: Vec<I>,
+        perp_hists: Vec<CumulativeHistogram>,
+    ) -> VpIndex<I> {
+        VpIndex {
+            config,
+            specs,
+            indexes,
+            assignment: HashMap::new(),
+            objects: HashMap::new(),
+            perp_hists,
+            durability: None,
+        }
     }
 
     /// The configuration this index was built with.
@@ -213,7 +254,12 @@ impl<I> VpIndex<I> {
     /// and intended to be called periodically by the application.
     /// Returns the new τ per DVA partition. Existing objects are not
     /// re-routed; the thresholds apply to future insertions/updates.
-    pub fn refresh_tau(&mut self) -> Vec<f64> {
+    ///
+    /// On a durable index the refresh is logged (its effect on routing
+    /// is deterministic given the histogram state, which replay
+    /// rebuilds, so the record carries no payload); the only error
+    /// source is that log append.
+    pub fn refresh_tau(&mut self) -> IndexResult<Vec<f64>> {
         let mut taus = Vec::with_capacity(self.perp_hists.len());
         for (spec, hist) in self.specs.iter_mut().zip(self.perp_hists.iter_mut()) {
             if hist.total() > 0 {
@@ -225,7 +271,8 @@ impl<I> VpIndex<I> {
             }
             taus.push(spec.tau);
         }
-        taus
+        self.log_single(durable::KIND_TAU_REFRESH, &[])?;
+        Ok(taus)
     }
 
     /// Applies one tick of updates across the partitioned index
@@ -257,23 +304,53 @@ impl<I> VpIndex<I> {
     /// identical either way: no two workers share any index state, and
     /// each partition's removals are applied before its upserts.
     ///
+    /// ## Durability
+    ///
+    /// On a durable index ([`VpIndex::open`]) the tick is the unit of
+    /// logging: each worker writes its partition's batch (removals +
+    /// world-coordinate upserts) to **that partition's own WAL
+    /// stream** — encoding rides the same threads as application, so
+    /// logging never re-serializes a parallel tick — and the tick is
+    /// sealed afterwards by a commit record on the `meta` stream,
+    /// flushed/fsync'd per [`VpConfig::sync_policy`]. A crash before
+    /// the commit record makes the whole tick invisible to recovery.
+    ///
     /// ## Error contract
     ///
     /// An error from a sub-index aborts the tick with it **torn**:
     /// routing metadata (assignment/object tables) was already updated
     /// for the whole tick, while only some partitions' batches ran —
-    /// so the index should be treated as poisoned and rebuilt. (The
-    /// sequential path has always had this hazard; sub-index errors
-    /// here are storage-layer failures — pool exhaustion, invalid
-    /// pages — not recoverable data conditions. The planned WAL is the
-    /// real fix: replaying the tick record restores consistency.)
+    /// so the in-memory index should be treated as poisoned. On a
+    /// durable index the tick's commit record is never written, so
+    /// [`VpIndex::recover`] restores the exact pre-tick state; a
+    /// non-durable index must be rebuilt.
     pub fn apply_updates(&mut self, updates: &[MovingObject]) -> IndexResult<()>
     where
         I: MovingObjectIndex + Send,
     {
+        if updates.is_empty() {
+            return Ok(());
+        }
         let parts = self.specs.len();
         let mut removals: Vec<Vec<ObjectId>> = vec![Vec::new(); parts];
         let mut upserts: Vec<Vec<MovingObject>> = vec![Vec::new(); parts];
+
+        // Durable mode: reserve the tick's global event seq up front
+        // and keep the world-coordinate upserts per partition — the
+        // log records routing *decisions*, not frame-space data.
+        let log_seq = match &mut self.durability {
+            Some(d) if !d.replaying => {
+                let s = d.next_seq;
+                d.next_seq += 1;
+                Some(s)
+            }
+            _ => None,
+        };
+        let mut world: Vec<Vec<MovingObject>> = if log_seq.is_some() {
+            vec![Vec::new(); parts]
+        } else {
+            Vec::new()
+        };
 
         // Last write wins within one tick.
         let mut latest: HashMap<ObjectId, usize> = HashMap::with_capacity(updates.len());
@@ -291,66 +368,144 @@ impl<I> VpIndex<I> {
                 _ => {}
             }
             upserts[p].push(obj.to_frame(&self.specs[p].frame));
+            if log_seq.is_some() {
+                world[p].push(*obj);
+            }
             self.assignment.insert(obj.id, p);
             self.objects.insert(obj.id, *obj);
             self.record_perp_speed(obj.vel);
         }
 
-        // Pair every touched sub-index with its batches. The zip hands
-        // out one disjoint `&mut I` per partition, which is what lets
-        // the workers below run without any locking.
-        let mut jobs: Vec<PartitionJob<'_, I>> = self
+        // Pair every touched sub-index with its batches (and, when
+        // logging, its WAL stream). The zips hand out one disjoint
+        // `&mut I` / `&mut Wal` per partition, which is what lets the
+        // workers below run without any locking.
+        let policy = self.durability.as_ref().map(|d| d.policy);
+        let mut wal_streams: Vec<Option<&mut Wal>> = match &mut self.durability {
+            Some(d) if log_seq.is_some() => d.parts.iter_mut().map(Some).collect(),
+            _ => (0..parts).map(|_| None).collect(),
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        let mut jobs: Vec<PartitionJob<'_, I>> = Vec::new();
+        for (p, (index, (r, u))) in self
             .indexes
             .iter_mut()
             .zip(removals.iter().zip(upserts.iter()))
-            .filter(|(_, (r, u))| !r.is_empty() || !u.is_empty())
-            .map(|(index, (r, u))| (index, r.as_slice(), u.as_slice()))
-            .collect();
+            .enumerate()
+        {
+            if r.is_empty() && u.is_empty() {
+                continue;
+            }
+            touched.push(p);
+            jobs.push(PartitionJob {
+                partition: p,
+                index,
+                removals: r,
+                upserts: u,
+                wal: wal_streams[p].take().map(|w| (w, world[p].as_slice())),
+            });
+        }
 
         let workers = self.config.tick_workers.min(jobs.len()).max(1);
         if workers == 1 {
-            for (index, r, u) in jobs {
-                Self::apply_partition(index, r, u)?;
+            for job in jobs {
+                Self::run_job(job, log_seq, policy)?;
             }
-            return Ok(());
+        } else {
+            // Longest-processing-time grouping: biggest batches first,
+            // each onto the currently lightest worker. Grouping only
+            // affects the schedule, never the outcome — each
+            // partition's index *and* WAL stream travel together.
+            jobs.sort_by_key(|j| std::cmp::Reverse(j.load()));
+            let mut groups: Vec<Vec<PartitionJob<'_, I>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            let mut loads = vec![0usize; workers];
+            for job in jobs {
+                let lightest = (0..workers)
+                    .min_by_key(|&g| loads[g])
+                    .expect("workers >= 1");
+                loads[lightest] += job.load();
+                groups[lightest].push(job);
+            }
+            let results: Vec<IndexResult<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        scope.spawn(move || {
+                            for job in group {
+                                Self::run_job(job, log_seq, policy)?;
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition worker panicked"))
+                    .collect()
+            });
+            results.into_iter().collect::<IndexResult<()>>()?;
         }
 
-        // Longest-processing-time grouping: biggest batches first,
-        // each onto the currently lightest worker. Grouping only
-        // affects the schedule, never the outcome.
-        jobs.sort_by_key(|(_, r, u)| std::cmp::Reverse(r.len() + u.len()));
-        let mut groups: Vec<Vec<PartitionJob<'_, I>>> = (0..workers).map(|_| Vec::new()).collect();
-        let mut loads = vec![0usize; workers];
-        for job in jobs {
-            let lightest = (0..workers)
-                .min_by_key(|&g| loads[g])
-                .expect("workers >= 1");
-            loads[lightest] += job.1.len() + job.2.len();
-            groups[lightest].push(job);
+        // Seal the tick: every partition stream was flushed (and,
+        // under `SyncPolicy::Always`, fsync'd) by its own worker
+        // before the scope joined, so the data is durable *before*
+        // the commit record below is written — recovery trusts a
+        // commit only because of this ordering. Running the data-side
+        // fsyncs on the workers keeps the commit path from paying N
+        // serial fsyncs on the caller thread.
+        if let Some(seq) = log_seq {
+            let winners = latest.len();
+            let want_ckpt = {
+                let d = self
+                    .durability
+                    .as_mut()
+                    .expect("log_seq implies durability");
+                let policy = d.policy;
+                d.meta.append(
+                    seq,
+                    durable::KIND_TICK_COMMIT,
+                    &durable::encode_tick_commit(touched.len(), winners),
+                )?;
+                d.meta.commit(policy)?;
+                d.ticks_since_ckpt += 1;
+                d.checkpoint_every > 0 && d.ticks_since_ckpt >= d.checkpoint_every
+            };
+            if want_ckpt {
+                self.checkpoint()?;
+            }
         }
-        let results: Vec<IndexResult<()>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .into_iter()
-                .map(|group| {
-                    scope.spawn(move || {
-                        for (index, r, u) in group {
-                            Self::apply_partition(index, r, u)?;
-                        }
-                        Ok(())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
+        Ok(())
+    }
+
+    /// One worker's handling of one partition: log *and commit* the
+    /// batch on the partition's stream (durable mode), then apply it.
+    /// Committing here — on the worker, concurrently across
+    /// partitions — is what keeps an fsync-per-partition policy from
+    /// serializing on the coordinator.
+    fn run_job(
+        job: PartitionJob<'_, I>,
+        seq: Option<u64>,
+        policy: Option<SyncPolicy>,
+    ) -> IndexResult<()>
+    where
+        I: MovingObjectIndex,
+    {
+        if let Some((wal, world)) = job.wal {
+            let payload = durable::encode_tick_part(job.partition, job.removals, world);
+            wal.append(
+                seq.expect("a WAL stream implies a reserved seq"),
+                durable::KIND_TICK_PART,
+                &payload,
+            )?;
+            wal.commit(policy.expect("a WAL stream implies a policy"))?;
+        }
+        Self::apply_partition(job.index, job.removals, job.upserts)
     }
 
     /// Applies one partition's share of a tick: removals (migrations
     /// away) first, then upserts.
-    fn apply_partition(
+    pub(crate) fn apply_partition(
         index: &mut I,
         removals: &[ObjectId],
         upserts: &[MovingObject],
@@ -367,7 +522,7 @@ impl<I> VpIndex<I> {
         Ok(())
     }
 
-    fn record_perp_speed(&mut self, vel: Vec2) {
+    pub(crate) fn record_perp_speed(&mut self, vel: Vec2) {
         // Track the perpendicular speed against the *closest* DVA — the
         // candidate population of that DVA's τ decision.
         let outlier = self.specs.len() - 1;
@@ -386,6 +541,16 @@ impl<I> VpIndex<I> {
 }
 
 impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
+    /// On a durable index the insert is applied first and logged
+    /// second (logging a precondition-checked op that then failed
+    /// would poison replay). The narrow consequence: if the *log*
+    /// append/commit itself fails — disk full, I/O error — the call
+    /// returns `Err(IndexError::Wal)` with the in-memory insert
+    /// already live, i.e. memory is one op ahead of the durable state;
+    /// a subsequent [`VpIndex::recover`] rolls back to the logged
+    /// prefix. Same contract for `delete`. (Ticks via
+    /// [`VpIndex::apply_updates`] have the analogous torn-tick
+    /// contract, documented there.)
     fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
         if self.assignment.contains_key(&obj.id) {
             return Err(IndexError::DuplicateObject(obj.id));
@@ -396,7 +561,7 @@ impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
         self.assignment.insert(obj.id, p);
         self.objects.insert(obj.id, obj);
         self.record_perp_speed(obj.vel);
-        Ok(())
+        self.log_single(durable::KIND_INSERT, &durable::encode_object_record(&obj))
     }
 
     fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
@@ -408,7 +573,21 @@ impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
         self.indexes[p].delete(id)?;
         self.assignment.remove(&id);
         self.objects.remove(&id);
-        Ok(())
+        self.log_single(durable::KIND_DELETE, &durable::encode_delete_record(id))
+    }
+
+    /// Unlike the trait default (delete + insert — which on a durable
+    /// index would log two *independently committed* records, so a
+    /// crash between them would lose the object entirely), a VP
+    /// update routes through the one-element tick path: a single,
+    /// crash-atomic logged event. The index state produced is
+    /// identical; the object must already exist, as the trait
+    /// requires.
+    fn update(&mut self, obj: MovingObject) -> IndexResult<()> {
+        if !self.assignment.contains_key(&obj.id) {
+            return Err(IndexError::UnknownObject(obj.id));
+        }
+        self.apply_updates(std::slice::from_ref(&obj))
     }
 
     fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
@@ -455,6 +634,13 @@ impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
         for i in &self.indexes {
             i.reset_io_stats();
         }
+    }
+
+    fn flush_storage(&self) -> IndexResult<()> {
+        for i in &self.indexes {
+            i.flush_storage()?;
+        }
+        Ok(())
     }
 }
 
@@ -838,7 +1024,7 @@ mod tests {
             );
             vp.insert(o).unwrap();
         }
-        let taus = vp.refresh_tau();
+        let taus = vp.refresh_tau().unwrap();
         assert_eq!(taus.len(), 2);
         let tau1 = vp.specs()[0].tau.min(vp.specs()[1].tau);
         assert!(tau1.is_finite());

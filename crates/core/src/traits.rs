@@ -91,6 +91,14 @@ pub trait MovingObjectIndex {
 
     /// Resets the I/O counters.
     fn reset_io_stats(&self);
+
+    /// Forces the index's storage to a durable, self-consistent state:
+    /// dirty buffer-pool shards are flushed and (for file-backed
+    /// disks) fsync'd. Called by the VP manager's checkpoint path. The
+    /// default is a no-op for purely in-memory indexes.
+    fn flush_storage(&self) -> IndexResult<()> {
+        Ok(())
+    }
 }
 
 pub mod reference {

@@ -227,7 +227,7 @@ impl BufferPool {
     /// Allocates a fresh zeroed page, caches it, and returns its id.
     /// The new page is dirty (it must eventually reach the disk).
     pub fn new_page(&self) -> StorageResult<PageId> {
-        let pid = self.disk.lock().allocate();
+        let pid = self.disk.lock().allocate()?;
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
         let idx = match g.acquire_frame(&self.disk, &shard.stats, pid) {
@@ -308,12 +308,22 @@ impl BufferPool {
         Ok(out)
     }
 
-    /// Writes all dirty pages back to the simulated disk.
+    /// Writes all dirty pages back to the disk.
     pub fn flush_all(&self) -> StorageResult<()> {
         for shard in self.shards.iter() {
             shard.inner.lock().flush(&self.disk, &shard.stats)?;
         }
         Ok(())
+    }
+
+    /// The checkpoint path: flushes every dirty shard and then forces
+    /// the disk itself — pages, page count, free list — to stable
+    /// storage ([`DiskManager::sync`]; a no-op on the in-memory
+    /// backend). After this returns, the on-disk page file is a
+    /// self-consistent snapshot that a crashed process can reopen.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        self.disk.lock().sync()
     }
 
     /// Drops every cached page (flushing dirty ones), so the next access

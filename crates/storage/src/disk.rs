@@ -1,38 +1,179 @@
-//! Simulated disk: fixed-size pages with a free list.
+//! The disk under the buffer pool: fixed-size pages behind one of two
+//! backends.
+//!
+//! * **Memory** (the default) — an array of pages with a free list,
+//!   exactly the seed's simulated disk. All the paper-reproduction
+//!   I/O metrics run on this backend, so its semantics (including
+//!   physical read/write counting) are preserved bit-for-bit.
+//! * **File** — a real page file for the durable configurations:
+//!   a header page (magic, page size, page count, free-list head)
+//!   followed by the data pages, with freed pages threaded into an
+//!   in-file free list through their first 8 bytes. The header —
+//!   and any deferred file shrinking — is written and fsync'd only
+//!   by [`DiskManager::sync`], the checkpoint path, so the page-file
+//!   *metadata* at rest always describes the last checkpoint. Data
+//!   page *contents* are overwritten in place between checkpoints
+//!   (buffer-pool write-back), which is why crash recovery rebuilds
+//!   index state logically from the snapshot + WAL; page-LSN /
+//!   ARIES-style redo that makes the contents themselves
+//!   crash-consistent is the roadmap follow-on.
+//!
+//! Both backends allocate from their free list before growing the id
+//! space, and both *shrink* the id space when the highest page is
+//! freed (trailing freed slots are reclaimed), so long-running
+//! workloads that allocate and free in waves no longer grow page ids
+//! — and file sizes — without bound.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 use crate::{PageId, StorageError, StorageResult, DEFAULT_PAGE_SIZE};
 
-/// A simulated disk storing fixed-size pages in memory.
+/// Magic bytes opening a page file.
+pub const DISK_MAGIC: &[u8; 8] = b"VPDISK01";
+
+/// Bytes of the page-file header (within the reserved header page).
+const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8; // magic, version, page_size, page_count, free_head
+
+/// Page-file format version.
+const DISK_VERSION: u32 = 1;
+
+/// "No page" sentinel inside the in-file free list.
+const NO_PAGE: u64 = u64::MAX;
+
+/// A disk storing fixed-size pages — in memory by default, or in a
+/// page file for durable configurations.
 ///
-/// Pages are allocated from a free list (reusing freed slots first) and
+/// Pages are allocated from a free list (reusing freed ids first) and
 /// read/written by copy, as a real disk would. The manager counts
 /// physical operations; the buffer pool above it decides when those
 /// operations happen.
 #[derive(Debug)]
 pub struct DiskManager {
     page_size: usize,
-    pages: Vec<Option<Box<[u8]>>>,
-    free: Vec<u64>,
     reads: u64,
     writes: u64,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Mem {
+        pages: Vec<Option<Box<[u8]>>>,
+        free: Vec<u64>,
+    },
+    File {
+        file: File,
+        /// Number of data pages (allocated + freed-but-linked).
+        page_count: u64,
+        /// Head of the in-file free list (`NO_PAGE` when empty).
+        free_head: u64,
+        /// Mirror of the in-file list for O(1) validity checks.
+        free_set: HashSet<u64>,
+    },
 }
 
 impl DiskManager {
-    /// Creates a disk with the default 4 KB page size.
+    /// Creates an in-memory disk with the default 4 KB page size.
     pub fn new() -> DiskManager {
         DiskManager::with_page_size(DEFAULT_PAGE_SIZE)
     }
 
-    /// Creates a disk with a custom page size (must be non-zero).
+    /// Creates an in-memory disk with a custom page size (must be
+    /// non-zero).
     pub fn with_page_size(page_size: usize) -> DiskManager {
         assert!(page_size > 0, "page size must be positive");
         DiskManager {
             page_size,
-            pages: Vec::new(),
-            free: Vec::new(),
             reads: 0,
             writes: 0,
+            backend: Backend::Mem {
+                pages: Vec::new(),
+                free: Vec::new(),
+            },
         }
+    }
+
+    /// Creates (or truncates) a page file at `path`. The page size
+    /// must be at least 32 bytes (the header and free-list links need
+    /// the room); the paper's 4 KB default is typical.
+    pub fn create_file(path: impl AsRef<Path>, page_size: usize) -> StorageResult<DiskManager> {
+        assert!(page_size >= 32, "file-backed pages need at least 32 bytes");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut d = DiskManager {
+            page_size,
+            reads: 0,
+            writes: 0,
+            backend: Backend::File {
+                file,
+                page_count: 0,
+                free_head: NO_PAGE,
+                free_set: HashSet::new(),
+            },
+        };
+        d.sync()?;
+        Ok(d)
+    }
+
+    /// Opens an existing page file, reading the page size and free
+    /// list from its header (the state as of the last
+    /// [`DiskManager::sync`]).
+    pub fn open_file(path: impl AsRef<Path>) -> StorageResult<DiskManager> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)
+            .map_err(|_| StorageError::Corrupt("page file shorter than header".into()))?;
+        if &header[..8] != DISK_MAGIC {
+            return Err(StorageError::Corrupt("bad page file magic".into()));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != DISK_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported page file version {version}"
+            )));
+        }
+        let page_size = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        if page_size < 32 {
+            return Err(StorageError::Corrupt(format!(
+                "implausible page size {page_size}"
+            )));
+        }
+        let page_count = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let free_head = u64::from_le_bytes(header[24..32].try_into().unwrap());
+
+        // Rebuild the free-set mirror by walking the in-file list.
+        let mut free_set = HashSet::new();
+        let mut cur = free_head;
+        while cur != NO_PAGE {
+            if cur >= page_count || !free_set.insert(cur) {
+                return Err(StorageError::Corrupt(format!(
+                    "free list broken at page {cur}"
+                )));
+            }
+            let mut link = [0u8; 8];
+            file.seek(SeekFrom::Start((1 + cur) * page_size as u64))?;
+            file.read_exact(&mut link)?;
+            cur = u64::from_le_bytes(link);
+        }
+        Ok(DiskManager {
+            page_size,
+            reads: 0,
+            writes: 0,
+            backend: Backend::File {
+                file,
+                page_count,
+                free_head,
+                free_set,
+            },
+        })
     }
 
     /// The page size in bytes.
@@ -41,9 +182,21 @@ impl DiskManager {
         self.page_size
     }
 
+    /// True for the file-backed backend.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, Backend::File { .. })
+    }
+
     /// Number of live (allocated, not freed) pages.
     pub fn live_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        match &self.backend {
+            Backend::Mem { pages, .. } => pages.iter().filter(|p| p.is_some()).count(),
+            Backend::File {
+                page_count,
+                free_set,
+                ..
+            } => (*page_count - free_set.len() as u64) as usize,
+        }
     }
 
     /// Total physical reads performed.
@@ -58,34 +211,117 @@ impl DiskManager {
         self.writes
     }
 
-    /// Allocates a zeroed page and returns its id.
-    pub fn allocate(&mut self) -> PageId {
-        let buf = vec![0u8; self.page_size].into_boxed_slice();
-        if let Some(slot) = self.free.pop() {
-            self.pages[slot as usize] = Some(buf);
-            PageId(slot)
-        } else {
-            self.pages.push(Some(buf));
-            PageId(self.pages.len() as u64 - 1)
+    /// Allocates a zeroed page and returns its id, reusing a freed id
+    /// when one is available. Only the file backend can fail (on an
+    /// I/O error).
+    pub fn allocate(&mut self) -> StorageResult<PageId> {
+        match &mut self.backend {
+            Backend::Mem { pages, free } => {
+                let buf = vec![0u8; self.page_size].into_boxed_slice();
+                if let Some(slot) = free.pop() {
+                    pages[slot as usize] = Some(buf);
+                    Ok(PageId(slot))
+                } else {
+                    pages.push(Some(buf));
+                    Ok(PageId(pages.len() as u64 - 1))
+                }
+            }
+            Backend::File {
+                file,
+                page_count,
+                free_head,
+                free_set,
+            } => {
+                let zeros = vec![0u8; self.page_size];
+                let pid = if *free_head != NO_PAGE {
+                    let pid = *free_head;
+                    let mut link = [0u8; 8];
+                    Self::file_read(file, self.page_size, pid, 8, &mut link)?;
+                    *free_head = u64::from_le_bytes(link);
+                    free_set.remove(&pid);
+                    pid
+                } else {
+                    let pid = *page_count;
+                    *page_count += 1;
+                    pid
+                };
+                Self::file_write(file, self.page_size, pid, &zeros)?;
+                Ok(PageId(pid))
+            }
         }
     }
 
-    /// Frees a page, making its id reusable.
+    /// Frees a page, making its id reusable. Freeing the highest live
+    /// id shrinks the id space instead (recursively reclaiming any
+    /// freed slots that become trailing), so the id space — and file
+    /// size — track the high-water mark of *live* pages rather than
+    /// growing without bound.
     pub fn deallocate(&mut self, pid: PageId) -> StorageResult<()> {
-        let slot = self.slot(pid)?;
-        self.pages[slot] = None;
-        self.free.push(pid.0);
-        Ok(())
+        self.validate(pid)?;
+        let page_size = self.page_size;
+        match &mut self.backend {
+            Backend::Mem { pages, free } => {
+                let slot = pid.0 as usize;
+                pages[slot] = None;
+                if slot + 1 == pages.len() {
+                    while matches!(pages.last(), Some(None)) {
+                        pages.pop();
+                    }
+                    let len = pages.len() as u64;
+                    free.retain(|&id| id < len);
+                } else {
+                    free.push(pid.0);
+                }
+                Ok(())
+            }
+            Backend::File {
+                file,
+                page_count,
+                free_head,
+                free_set,
+            } => {
+                if pid.0 + 1 == *page_count {
+                    *page_count -= 1;
+                    // Reclaim any freed slots that just became
+                    // trailing, unlinking them from the free list. The
+                    // file itself is NOT truncated here — shrinking is
+                    // deferred to [`DiskManager::sync`], so between
+                    // checkpoints the physical file never gets shorter
+                    // than what the last durable header describes (a
+                    // crash must never leave a header promising more
+                    // pages than the file holds).
+                    while *page_count > 0 && free_set.contains(&(*page_count - 1)) {
+                        let tail = *page_count - 1;
+                        Self::file_unlink(file, page_size, free_head, tail)?;
+                        free_set.remove(&tail);
+                        *page_count -= 1;
+                    }
+                } else {
+                    Self::file_write(file, page_size, pid.0, &free_head.to_le_bytes())?;
+                    *free_head = pid.0;
+                    free_set.insert(pid.0);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Reads a page into `out` (which must be exactly one page long).
     pub fn read(&mut self, pid: PageId, out: &mut [u8]) -> StorageResult<()> {
         debug_assert_eq!(out.len(), self.page_size);
-        let slot = self.slot(pid)?;
-        let src = self.pages[slot]
-            .as_ref()
-            .ok_or(StorageError::InvalidPage(pid))?;
-        out.copy_from_slice(src);
+        self.validate(pid)?;
+        match &mut self.backend {
+            Backend::Mem { pages, .. } => {
+                let src = pages[pid.0 as usize]
+                    .as_ref()
+                    .ok_or(StorageError::InvalidPage(pid))?;
+                out.copy_from_slice(src);
+            }
+            Backend::File { file, .. } => {
+                let len = out.len();
+                Self::file_read(file, self.page_size, pid.0, len, out)?;
+            }
+        }
         self.reads += 1;
         Ok(())
     }
@@ -93,21 +329,127 @@ impl DiskManager {
     /// Writes a page from `data` (exactly one page long).
     pub fn write(&mut self, pid: PageId, data: &[u8]) -> StorageResult<()> {
         debug_assert_eq!(data.len(), self.page_size);
-        let slot = self.slot(pid)?;
-        let dst = self.pages[slot]
-            .as_mut()
-            .ok_or(StorageError::InvalidPage(pid))?;
-        dst.copy_from_slice(data);
+        self.validate(pid)?;
+        match &mut self.backend {
+            Backend::Mem { pages, .. } => {
+                let dst = pages[pid.0 as usize]
+                    .as_mut()
+                    .ok_or(StorageError::InvalidPage(pid))?;
+                dst.copy_from_slice(data);
+            }
+            Backend::File { file, .. } => {
+                Self::file_write(file, self.page_size, pid.0, data)?;
+            }
+        }
         self.writes += 1;
         Ok(())
     }
 
-    fn slot(&self, pid: PageId) -> StorageResult<usize> {
-        let slot = pid.0 as usize;
-        if !pid.is_valid() || slot >= self.pages.len() || self.pages[slot].is_none() {
-            return Err(StorageError::InvalidPage(pid));
+    /// Forces everything — pages and the header (page count, free
+    /// list) — to stable storage, and performs any deferred file
+    /// shrinking. A no-op success on the memory backend. This is the
+    /// checkpoint path: between syncs the header on disk still
+    /// describes the previous checkpoint's *metadata*.
+    ///
+    /// Ordering inside: the header is written and fsync'd **before**
+    /// the file is truncated. A crash between the two leaves a
+    /// shorter-than-file header — harmless, the surplus bytes are
+    /// ignored on reopen — whereas the reverse order could leave a
+    /// header promising pages past the end of the file.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        let page_size = self.page_size;
+        match &mut self.backend {
+            Backend::Mem { .. } => Ok(()),
+            Backend::File {
+                file,
+                page_count,
+                free_head,
+                ..
+            } => {
+                let mut header = [0u8; HEADER_LEN];
+                header[..8].copy_from_slice(DISK_MAGIC);
+                header[8..12].copy_from_slice(&DISK_VERSION.to_le_bytes());
+                header[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
+                header[16..24].copy_from_slice(&page_count.to_le_bytes());
+                header[24..32].copy_from_slice(&free_head.to_le_bytes());
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&header)?;
+                file.sync_all()?;
+                // Deferred shrink (tail deallocations since last sync).
+                let want = (1 + *page_count) * page_size as u64;
+                if file.metadata()?.len() > want {
+                    file.set_len(want)?;
+                    file.sync_all()?;
+                }
+                Ok(())
+            }
         }
-        Ok(slot)
+    }
+
+    fn validate(&self, pid: PageId) -> StorageResult<()> {
+        let ok = match &self.backend {
+            Backend::Mem { pages, .. } => {
+                pid.is_valid() && (pid.0 as usize) < pages.len() && pages[pid.0 as usize].is_some()
+            }
+            Backend::File {
+                page_count,
+                free_set,
+                ..
+            } => pid.is_valid() && pid.0 < *page_count && !free_set.contains(&pid.0),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(StorageError::InvalidPage(pid))
+        }
+    }
+
+    fn file_read(
+        file: &mut File,
+        page_size: usize,
+        pid: u64,
+        len: usize,
+        out: &mut [u8],
+    ) -> StorageResult<()> {
+        file.seek(SeekFrom::Start((1 + pid) * page_size as u64))?;
+        file.read_exact(&mut out[..len])?;
+        Ok(())
+    }
+
+    fn file_write(file: &mut File, page_size: usize, pid: u64, data: &[u8]) -> StorageResult<()> {
+        file.seek(SeekFrom::Start((1 + pid) * page_size as u64))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    /// Removes `pid` from the in-file free list (predecessor walk;
+    /// deallocation is rare enough that O(free-list) is fine).
+    fn file_unlink(
+        file: &mut File,
+        page_size: usize,
+        free_head: &mut u64,
+        pid: u64,
+    ) -> StorageResult<()> {
+        let mut link = [0u8; 8];
+        Self::file_read(file, page_size, pid, 8, &mut link)?;
+        let next = u64::from_le_bytes(link);
+        if *free_head == pid {
+            *free_head = next;
+            return Ok(());
+        }
+        let mut cur = *free_head;
+        while cur != NO_PAGE {
+            Self::file_read(file, page_size, cur, 8, &mut link)?;
+            let cur_next = u64::from_le_bytes(link);
+            if cur_next == pid {
+                Self::file_write(file, page_size, cur, &next.to_le_bytes())?;
+                return Ok(());
+            }
+            cur = cur_next;
+        }
+        Err(StorageError::Corrupt(format!(
+            "page {pid} marked free but absent from the free list"
+        )))
     }
 }
 
@@ -120,11 +462,29 @@ impl Default for DiskManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
+
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn new(name: &str) -> TempFile {
+            let p =
+                std::env::temp_dir().join(format!("vp-disk-{}-{name}.pages", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            TempFile(p)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
 
     #[test]
     fn allocate_read_write_roundtrip() {
         let mut d = DiskManager::with_page_size(64);
-        let pid = d.allocate();
+        let pid = d.allocate().unwrap();
         let mut buf = vec![0u8; 64];
         d.read(pid, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "fresh pages are zeroed");
@@ -135,19 +495,52 @@ mod tests {
         assert_eq!(buf, data);
         assert_eq!(d.reads(), 2);
         assert_eq!(d.writes(), 1);
+        assert!(!d.is_durable());
     }
 
     #[test]
     fn free_list_reuses_slots() {
         let mut d = DiskManager::with_page_size(16);
-        let a = d.allocate();
-        let b = d.allocate();
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
         assert_ne!(a, b);
         d.deallocate(a).unwrap();
         assert_eq!(d.live_pages(), 1);
-        let c = d.allocate();
+        let c = d.allocate().unwrap();
         assert_eq!(c, a, "freed slot is reused");
         assert_eq!(d.live_pages(), 2);
+    }
+
+    #[test]
+    fn freeing_the_tail_shrinks_the_id_space() {
+        let mut d = DiskManager::with_page_size(16);
+        let pids: Vec<PageId> = (0..4).map(|_| d.allocate().unwrap()).collect();
+        // Free an interior page, then everything above it: the freed
+        // interior slot becomes trailing and is reclaimed too.
+        d.deallocate(pids[2]).unwrap();
+        d.deallocate(pids[3]).unwrap();
+        assert_eq!(d.live_pages(), 2);
+        // The next allocation must not come from beyond the live
+        // high-water mark: it reuses id 2, not id 4.
+        assert_eq!(d.allocate().unwrap(), pids[2]);
+        assert_eq!(d.allocate().unwrap(), pids[3]);
+        let next = d.allocate().unwrap();
+        assert_eq!(next, PageId(4), "id space grew only past live pages");
+    }
+
+    #[test]
+    fn repeated_alloc_free_cycles_do_not_grow_ids() {
+        let mut d = DiskManager::with_page_size(16);
+        let mut max_id = 0;
+        for _ in 0..100 {
+            let pids: Vec<PageId> = (0..8).map(|_| d.allocate().unwrap()).collect();
+            max_id = max_id.max(pids.iter().map(|p| p.0).max().unwrap());
+            for pid in pids {
+                d.deallocate(pid).unwrap();
+            }
+        }
+        assert_eq!(d.live_pages(), 0);
+        assert!(max_id < 8 + 8, "id space stayed near the live maximum");
     }
 
     #[test]
@@ -158,7 +551,7 @@ mod tests {
             d.read(PageId(0), &mut buf),
             Err(StorageError::InvalidPage(_))
         ));
-        let pid = d.allocate();
+        let pid = d.allocate().unwrap();
         d.deallocate(pid).unwrap();
         assert!(d.read(pid, &mut buf).is_err());
         assert!(d.write(pid, &buf).is_err());
@@ -170,5 +563,102 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_page_size_rejected() {
         let _ = DiskManager::with_page_size(0);
+    }
+
+    // ----- file backend --------------------------------------------------
+
+    #[test]
+    fn file_backend_round_trip_and_reopen() {
+        let t = TempFile::new("roundtrip");
+        let mut d = DiskManager::create_file(&t.0, 64).unwrap();
+        assert!(d.is_durable());
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        let data_a: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let data_b: Vec<u8> = (0..64).map(|i| (64 - i) as u8).collect();
+        d.write(a, &data_a).unwrap();
+        d.write(b, &data_b).unwrap();
+        d.sync().unwrap();
+        drop(d);
+
+        let mut d = DiskManager::open_file(&t.0).unwrap();
+        assert_eq!(d.page_size(), 64);
+        assert_eq!(d.live_pages(), 2);
+        let mut buf = vec![0u8; 64];
+        d.read(a, &mut buf).unwrap();
+        assert_eq!(buf, data_a);
+        d.read(b, &mut buf).unwrap();
+        assert_eq!(buf, data_b);
+    }
+
+    #[test]
+    fn file_backend_free_list_survives_reopen() {
+        let t = TempFile::new("freelist");
+        let mut d = DiskManager::create_file(&t.0, 32).unwrap();
+        let pids: Vec<PageId> = (0..5).map(|_| d.allocate().unwrap()).collect();
+        d.deallocate(pids[1]).unwrap();
+        d.deallocate(pids[3]).unwrap();
+        d.sync().unwrap();
+        drop(d);
+
+        let mut d = DiskManager::open_file(&t.0).unwrap();
+        assert_eq!(d.live_pages(), 3);
+        let mut buf = vec![0u8; 32];
+        assert!(d.read(pids[1], &mut buf).is_err(), "freed page invalid");
+        // Reuses the persisted free list before growing.
+        let x = d.allocate().unwrap();
+        let y = d.allocate().unwrap();
+        let mut got = [x.0, y.0];
+        got.sort_unstable();
+        assert_eq!(got, [1, 3]);
+        assert_eq!(d.allocate().unwrap(), PageId(5), "then grows");
+    }
+
+    #[test]
+    fn file_backend_tail_free_truncates_file() {
+        let t = TempFile::new("shrink");
+        let mut d = DiskManager::create_file(&t.0, 32).unwrap();
+        let pids: Vec<PageId> = (0..6).map(|_| d.allocate().unwrap()).collect();
+        let full = std::fs::metadata(&t.0).unwrap().len();
+        // Free two interior pages (linked into the free list), then
+        // the tail: the truncation must cascade through the freed
+        // slots that become trailing, unlinking them as it goes.
+        d.deallocate(pids[3]).unwrap();
+        d.deallocate(pids[4]).unwrap();
+        d.deallocate(pids[5]).unwrap();
+        d.sync().unwrap();
+        let shrunk = std::fs::metadata(&t.0).unwrap().len();
+        assert!(shrunk < full, "file shrank: {shrunk} < {full}");
+        assert_eq!(d.live_pages(), 3);
+        assert_eq!(
+            d.allocate().unwrap(),
+            pids[3],
+            "id space shrank with the file"
+        );
+    }
+
+    #[test]
+    fn file_backend_fresh_pages_are_zeroed_after_reuse() {
+        let t = TempFile::new("zeroed");
+        let mut d = DiskManager::create_file(&t.0, 32).unwrap();
+        let a = d.allocate().unwrap();
+        let _b = d.allocate().unwrap(); // keeps `a` off the tail-shrink path
+        d.write(a, &[0xAB; 32]).unwrap();
+        d.deallocate(a).unwrap();
+        let a2 = d.allocate().unwrap();
+        assert_eq!(a2, a);
+        let mut buf = vec![0u8; 32];
+        d.read(a2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "reused page is zeroed");
+    }
+
+    #[test]
+    fn open_rejects_garbage_files() {
+        let t = TempFile::new("garbage");
+        std::fs::write(&t.0, b"not a page file at all").unwrap();
+        assert!(matches!(
+            DiskManager::open_file(&t.0),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 }

@@ -20,6 +20,14 @@ pub enum StorageError {
     PoolExhausted,
     /// A page's serialized content failed validation during decode.
     Corrupt(String),
+    /// A filesystem operation of the file-backed disk failed.
+    Io(String),
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -37,6 +45,7 @@ impl std::fmt::Display for StorageError {
             ),
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::Io(msg) => write!(f, "disk i/o error: {msg}"),
         }
     }
 }

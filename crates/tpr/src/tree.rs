@@ -814,6 +814,10 @@ impl MovingObjectIndex for TprTree {
     fn reset_io_stats(&self) {
         self.own.reset();
     }
+
+    fn flush_storage(&self) -> IndexResult<()> {
+        Ok(self.pool.checkpoint()?)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! # vp-wal — a segmented, checksummed, append-only log
+//!
+//! The durability substrate of the workspace: the VP index manager
+//! (`vp-core`) logs every committed tick batch through this crate and
+//! replays the log after a crash. The log is deliberately generic —
+//! records are `(seq, kind, payload)` triples with opaque payloads —
+//! so the record vocabulary lives with the layer that owns the data
+//! model, not here.
+//!
+//! ## On-disk format
+//!
+//! A log *stream* is a directory of segment files named
+//! `<prefix>-<first_seq:016x>.seg`. Every segment starts with a fixed
+//! header and is followed by back-to-back records:
+//!
+//! ```text
+//! segment header (24 bytes)
+//! +----------------+-------------+--------------+----------------+
+//! | magic (8B)     | version u32 | reserved u32 | first_seq u64  |
+//! | b"VPWALSEG"    |     1       |      0       |                |
+//! +----------------+-------------+--------------+----------------+
+//!
+//! record (17-byte header + payload)
+//! +---------+---------+---------+---------+------------------+
+//! | len u32 | crc u32 | seq u64 | kind u8 | payload (len B)  |
+//! +---------+---------+---------+---------+------------------+
+//!            \________ crc32 covers seq ‖ kind ‖ payload ____/
+//! ```
+//!
+//! All integers are little-endian. `len` is the payload length alone.
+//! The CRC is the IEEE CRC-32 over everything after itself, so a torn
+//! or bit-rotted record is detected and treated as the end of the
+//! stream ("consistent prefix" semantics — exactly the contract crash
+//! recovery wants for the *tail*, and the strictest detection possible
+//! without page-level versioning for the middle).
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] only buffers in process memory; nothing reaches the
+//! operating system until [`Wal::commit`] (or [`Wal::flush`]) writes
+//! the whole pending batch with a single `write` call, and nothing is
+//! crash-durable until the file is fsync'd. [`SyncPolicy`] picks the
+//! trade-off: [`SyncPolicy::Always`] fsyncs every commit (no committed
+//! record is ever lost), [`SyncPolicy::Never`] leaves persistence to
+//! the OS page cache (a process crash loses nothing, an OS crash can
+//! lose the tail). The `wal_throughput` bench bin measures the gap.
+//!
+//! ## Sequence numbers
+//!
+//! Callers assign strictly increasing `seq` numbers. The VP manager
+//! runs one stream per partition plus a metadata stream and stamps
+//! every logged *event* with one global seq, so a multi-stream log
+//! merges back into a total order on replay. Segments are named by the
+//! first seq they hold, which makes checkpoint truncation
+//! ([`Wal::truncate_below`]) a pure directory operation: drop every
+//! segment whose successor starts at or below the checkpoint.
+
+mod log;
+mod record;
+
+pub use log::{Wal, DEFAULT_SEGMENT_BYTES};
+pub use record::{crc32, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN, SEGMENT_MAGIC, SEGMENT_VERSION};
+
+/// When the log forces its buffered bytes down to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` on every commit: a committed record survives OS crash
+    /// and power loss. The durable default.
+    Always,
+    /// Flush to the OS on commit but never `fsync`: survives process
+    /// crashes; an OS crash may lose the most recent commits. Fastest.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Stable one-byte encoding (manifest files).
+    pub fn to_byte(self) -> u8 {
+        match self {
+            SyncPolicy::Always => 0,
+            SyncPolicy::Never => 1,
+        }
+    }
+
+    /// Inverse of [`SyncPolicy::to_byte`].
+    pub fn from_byte(b: u8) -> Result<SyncPolicy, WalError> {
+        match b {
+            0 => Ok(SyncPolicy::Always),
+            1 => Ok(SyncPolicy::Never),
+            _ => Err(WalError::Corrupt(format!("unknown sync policy byte {b}"))),
+        }
+    }
+}
+
+/// Errors surfaced by log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// A segment or record failed validation (bad magic, CRC mismatch
+    /// in a non-tail position, out-of-order sequence numbers, ...).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(msg) => write!(f, "wal i/o error: {msg}"),
+            WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}
+
+/// Result alias for log operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Caller-assigned, strictly increasing within a stream.
+    pub seq: u64,
+    /// Caller-defined record type tag.
+    pub kind: u8,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}

@@ -1,0 +1,639 @@
+//! The segmented log stream: an append/commit writer fused with the
+//! recovery-time reader over one directory of segment files.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{
+    decode_record, decode_segment_header, encode_record, encode_segment_header, Decoded,
+    SEGMENT_HEADER_LEN,
+};
+use crate::{SyncPolicy, WalError, WalRecord, WalResult};
+
+/// Default segment roll threshold: 1 MiB.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// One log stream (see the crate docs for the format).
+///
+/// Appends buffer in process memory; [`Wal::flush`] writes the pending
+/// batch with one syscall, [`Wal::sync`] additionally fsyncs —
+/// [`Wal::commit`] picks between them by [`SyncPolicy`]. Opening an
+/// existing stream truncates a torn tail record (the expected state
+/// after a crash) and resumes appending after the last valid record.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    prefix: String,
+    segment_bytes: u64,
+    /// `(first_seq, path)` per segment, ascending; the last entry is
+    /// the active segment.
+    segments: Vec<(u64, PathBuf)>,
+    /// Lazily opened append handle on the active segment.
+    file: Option<File>,
+    /// Bytes currently in the active segment file.
+    seg_size: u64,
+    /// Pending encoded records not yet written to the OS.
+    buf: Vec<u8>,
+    /// Seq of the first pending record (segment naming on roll).
+    buf_first_seq: Option<u64>,
+    /// Highest seq appended or recovered; 0 before the first record.
+    last_seq: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the stream `prefix` inside `dir` with the
+    /// default segment size.
+    pub fn open(dir: impl AsRef<Path>, prefix: &str) -> WalResult<Wal> {
+        Wal::open_with_segment_bytes(dir, prefix, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Opens (or creates) the stream with an explicit segment roll
+    /// threshold (useful to force multi-segment coverage in tests).
+    pub fn open_with_segment_bytes(
+        dir: impl AsRef<Path>,
+        prefix: &str,
+        segment_bytes: u64,
+    ) -> WalResult<Wal> {
+        assert!(segment_bytes >= 1, "segment size must be positive");
+        assert!(
+            !prefix.is_empty()
+                && prefix
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-'),
+            "stream prefix must be non-empty [A-Za-z0-9-]"
+        );
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut segments = Wal::scan_segments(&dir, prefix)?;
+        let mut last_seq = 0;
+        let mut seg_size = 0;
+        // Validate from the newest segment backwards: a crash during a
+        // roll can leave an empty or header-torn file at the tail,
+        // which is discarded like any other torn suffix.
+        while let Some((first_seq, path)) = segments.last().cloned() {
+            match Wal::recover_segment(&path, first_seq)? {
+                Some((tail_seq, valid_len)) => {
+                    last_seq = tail_seq;
+                    seg_size = valid_len;
+                    break;
+                }
+                None => {
+                    fs::remove_file(&path)?;
+                    segments.pop();
+                }
+            }
+        }
+        Ok(Wal {
+            dir,
+            prefix: prefix.to_string(),
+            segment_bytes,
+            segments,
+            file: None,
+            seg_size,
+            buf: Vec::new(),
+            buf_first_seq: None,
+            last_seq,
+        })
+    }
+
+    /// The directory holding this stream's segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Highest sequence number appended or recovered (0 before any).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Buffers one record. `seq` must exceed every previously appended
+    /// seq. Nothing reaches the OS until [`Wal::flush`] /
+    /// [`Wal::commit`].
+    pub fn append(&mut self, seq: u64, kind: u8, payload: &[u8]) -> WalResult<()> {
+        if seq <= self.last_seq {
+            return Err(WalError::Corrupt(format!(
+                "append seq {seq} not above last seq {}",
+                self.last_seq
+            )));
+        }
+        if self.buf_first_seq.is_none() {
+            self.buf_first_seq = Some(seq);
+        }
+        encode_record(&mut self.buf, seq, kind, payload);
+        self.last_seq = seq;
+        Ok(())
+    }
+
+    /// Writes the pending batch to the OS in one syscall, rolling to a
+    /// fresh segment first when the active one is over the threshold.
+    ///
+    /// A failed write (e.g. transient `ENOSPC`) leaves the stream in a
+    /// retryable state: the pending batch is kept, and the segment is
+    /// cut back to its last known-good length so a partial write can
+    /// never leave torn garbage *ahead of* later successful commits —
+    /// which replay would silently stop at.
+    pub fn flush(&mut self) -> WalResult<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let first = self.buf_first_seq.expect("non-empty buffer has a seq");
+        if self.segments.is_empty() || self.seg_size >= self.segment_bytes {
+            self.roll(first)?;
+        }
+        let pending = std::mem::take(&mut self.buf);
+        let wrote = self
+            .active_file()
+            .and_then(|f| f.write_all(&pending).map_err(WalError::from));
+        match wrote {
+            Ok(()) => {
+                self.seg_size += pending.len() as u64;
+                // Keep the allocation for the next batch.
+                self.buf = pending;
+                self.buf.clear();
+                self.buf_first_seq = None;
+                Ok(())
+            }
+            Err(e) => {
+                // Amputate whatever partially landed and force a
+                // re-open + re-seek; the batch stays buffered
+                // (`buf_first_seq` untouched) for a retry.
+                if let Some((_, path)) = self.segments.last() {
+                    if let Ok(f) = OpenOptions::new().write(true).open(path) {
+                        let _ = f.set_len(self.seg_size);
+                        let _ = f.sync_data();
+                    }
+                }
+                self.file = None;
+                self.buf = pending;
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Wal::flush`] plus fsync of the active segment.
+    pub fn sync(&mut self) -> WalResult<()> {
+        self.flush()?;
+        if let Some(f) = &self.file {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Group commit: flush, and fsync when the policy demands it.
+    pub fn commit(&mut self, policy: SyncPolicy) -> WalResult<()> {
+        match policy {
+            SyncPolicy::Always => self.sync(),
+            SyncPolicy::Never => self.flush(),
+        }
+    }
+
+    /// Reads every on-disk record with `seq > from_seq`, in order,
+    /// stopping at the first torn or corrupt record (consistent-prefix
+    /// semantics). Pending unflushed appends are not visible; recovery
+    /// always runs on a freshly opened stream.
+    pub fn replay(&self, from_seq: u64) -> WalResult<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        let mut prev_seq = from_seq;
+        for (i, (first_seq, path)) in self.segments.iter().enumerate() {
+            // Skip segments that end before the cut: all their seqs
+            // are below the successor's first seq.
+            if let Some((next_first, _)) = self.segments.get(i + 1) {
+                if *next_first <= from_seq + 1 {
+                    continue;
+                }
+            }
+            let data = fs::read(path)?;
+            let got = decode_segment_header(&data)?;
+            if got != *first_seq {
+                return Err(WalError::Corrupt(format!(
+                    "segment {} header seq {got} != name seq {first_seq}",
+                    path.display()
+                )));
+            }
+            let mut off = SEGMENT_HEADER_LEN;
+            loop {
+                match decode_record(&data[off..]) {
+                    Decoded::End => break,
+                    Decoded::Torn => return Ok(out),
+                    Decoded::Record {
+                        seq,
+                        kind,
+                        payload,
+                        consumed,
+                    } => {
+                        if seq > from_seq {
+                            if seq <= prev_seq {
+                                return Err(WalError::Corrupt(format!(
+                                    "non-monotonic seq {seq} after {prev_seq}"
+                                )));
+                            }
+                            prev_seq = seq;
+                            out.push(WalRecord {
+                                seq,
+                                kind,
+                                payload: payload.to_vec(),
+                            });
+                        }
+                        off += consumed;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drops every segment that holds only records with `seq < cutoff`
+    /// (checkpoint truncation). The active segment is always kept.
+    pub fn truncate_below(&mut self, cutoff: u64) -> WalResult<()> {
+        while self.segments.len() >= 2 && self.segments[1].0 <= cutoff {
+            let (_, path) = self.segments.remove(0);
+            fs::remove_file(&path)?;
+        }
+        Ok(())
+    }
+
+    /// Physically discards every record with `seq > cutoff` — the
+    /// recovery path's amputation of a dead log suffix (records beyond
+    /// the consistent prefix, e.g. tick batches whose commit marker
+    /// never became durable). Without this, later appends would sit
+    /// *behind* the dead records in seq order and a future replay
+    /// would stop at the same inconsistency forever, silently dropping
+    /// them. Must be called with no pending appends (recovery calls it
+    /// on freshly opened streams); resets `last_seq` accordingly.
+    pub fn truncate_after(&mut self, cutoff: u64) -> WalResult<()> {
+        assert!(
+            self.buf.is_empty(),
+            "truncate_after with buffered appends would lose them"
+        );
+        // Whole segments strictly above the cutoff go first.
+        while let Some((first_seq, path)) = self.segments.last().cloned() {
+            if first_seq <= cutoff {
+                break;
+            }
+            fs::remove_file(&path)?;
+            self.segments.pop();
+        }
+        self.file = None;
+        self.seg_size = 0;
+        self.last_seq = cutoff.min(self.last_seq);
+        let Some((first_seq, path)) = self.segments.last().cloned() else {
+            self.last_seq = 0;
+            return Ok(());
+        };
+        // Walk the (now) active segment to the first record past the
+        // cutoff and cut the file there.
+        let data = fs::read(&path)?;
+        let mut off = SEGMENT_HEADER_LEN;
+        let mut last_seq = first_seq.saturating_sub(1);
+        loop {
+            match decode_record(&data[off..]) {
+                Decoded::End | Decoded::Torn => break,
+                Decoded::Record { seq, consumed, .. } => {
+                    if seq > cutoff {
+                        break;
+                    }
+                    last_seq = seq;
+                    off += consumed;
+                }
+            }
+        }
+        if (off as u64) < data.len() as u64 {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(off as u64)?;
+            f.sync_data()?;
+        }
+        self.seg_size = off as u64;
+        self.last_seq = last_seq;
+        Ok(())
+    }
+
+    fn segment_path(dir: &Path, prefix: &str, first_seq: u64) -> PathBuf {
+        dir.join(format!("{prefix}-{first_seq:016x}.seg"))
+    }
+
+    /// Lists and orders this stream's segment files.
+    fn scan_segments(dir: &Path, prefix: &str) -> WalResult<Vec<(u64, PathBuf)>> {
+        let mut segments = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name
+                .strip_prefix(prefix)
+                .and_then(|r| r.strip_prefix('-'))
+                .and_then(|r| r.strip_suffix(".seg"))
+            else {
+                continue;
+            };
+            if rest.len() != 16 {
+                continue;
+            }
+            let Ok(first_seq) = u64::from_str_radix(rest, 16) else {
+                continue;
+            };
+            segments.push((first_seq, entry.path()));
+        }
+        segments.sort_unstable_by_key(|(s, _)| *s);
+        Ok(segments)
+    }
+
+    /// Validates one segment's header and record run, truncating a
+    /// torn tail in place. Returns `(last_seq, valid_len)`, with
+    /// `last_seq == first_seq - 1` for a record-less segment, or
+    /// `None` when even the header is unusable (crash during roll).
+    fn recover_segment(path: &Path, first_seq: u64) -> WalResult<Option<(u64, u64)>> {
+        let data = fs::read(path)?;
+        if decode_segment_header(&data).map(|s| s == first_seq) != Ok(true) {
+            return Ok(None);
+        }
+        let mut off = SEGMENT_HEADER_LEN;
+        let mut last_seq = first_seq.saturating_sub(1);
+        loop {
+            match decode_record(&data[off..]) {
+                Decoded::End => break,
+                Decoded::Torn => {
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(off as u64)?;
+                    f.sync_data()?;
+                    break;
+                }
+                Decoded::Record { seq, consumed, .. } => {
+                    last_seq = seq;
+                    off += consumed;
+                }
+            }
+        }
+        Ok(Some((last_seq, off as u64)))
+    }
+
+    /// Starts a fresh segment whose first record will carry
+    /// `first_seq`.
+    fn roll(&mut self, first_seq: u64) -> WalResult<()> {
+        let path = Wal::segment_path(&self.dir, &self.prefix, first_seq);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        if let Err(e) = file.write_all(&encode_segment_header(first_seq)) {
+            // A half-written header would block the next roll attempt
+            // (`create_new` refuses existing files); take it with us.
+            let _ = fs::remove_file(&path);
+            return Err(e.into());
+        }
+        // Make the new directory entry itself durable; record
+        // durability is still governed by the commit-time policy.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.segments.push((first_seq, path));
+        self.file = Some(file);
+        self.seg_size = SEGMENT_HEADER_LEN as u64;
+        Ok(())
+    }
+
+    /// The append handle on the active segment, opened on demand after
+    /// a reopen.
+    fn active_file(&mut self) -> WalResult<&mut File> {
+        if self.file.is_none() {
+            let (_, path) = self
+                .segments
+                .last()
+                .expect("flush rolls before writing when no segment exists");
+            let mut f = OpenOptions::new().write(true).open(path)?;
+            f.seek(SeekFrom::Start(self.seg_size))?;
+            self.file = Some(f);
+        }
+        Ok(self.file.as_mut().expect("just opened"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let p = std::env::temp_dir().join(format!(
+                "vp-wal-{}-{}-{name}",
+                std::process::id(),
+                std::thread::current()
+                    .name()
+                    .unwrap_or("t")
+                    .replace("::", "-")
+            ));
+            let _ = fs::remove_dir_all(&p);
+            fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_commit_replay_round_trip() {
+        let t = TempDir::new("round-trip");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 0);
+        wal.append(1, 7, b"alpha").unwrap();
+        wal.append(2, 8, b"").unwrap();
+        wal.commit(SyncPolicy::Always).unwrap();
+        wal.append(3, 7, b"gamma").unwrap();
+        wal.commit(SyncPolicy::Never).unwrap();
+
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got[0],
+            WalRecord {
+                seq: 1,
+                kind: 7,
+                payload: b"alpha".to_vec()
+            }
+        );
+        assert_eq!(got[2].seq, 3);
+        // from_seq skips the prefix.
+        let got = wal.replay(2).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 3);
+    }
+
+    #[test]
+    fn uncommitted_appends_stay_in_memory() {
+        let t = TempDir::new("buffered");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.append(1, 1, b"x").unwrap();
+        wal.commit(SyncPolicy::Always).unwrap();
+        wal.append(2, 1, b"y").unwrap(); // never flushed
+        drop(wal);
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 1, "unflushed record is gone");
+        assert_eq!(wal.replay(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seq_must_increase() {
+        let t = TempDir::new("monotonic");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.append(5, 1, b"x").unwrap();
+        assert!(wal.append(5, 1, b"y").is_err());
+        assert!(wal.append(4, 1, b"y").is_err());
+        wal.append(6, 1, b"y").unwrap();
+    }
+
+    #[test]
+    fn rolls_segments_and_replays_across_them() {
+        let t = TempDir::new("roll");
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "part-0", 64).unwrap();
+        for seq in 1..=20u64 {
+            wal.append(seq, 2, &[seq as u8; 10]).unwrap();
+            wal.commit(SyncPolicy::Never).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() > 1, "expected multiple segments");
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 20);
+        assert_eq!(got.last().unwrap().payload, vec![20u8; 10]);
+
+        // Reopen finds the same state and keeps appending.
+        drop(wal);
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "part-0", 64).unwrap();
+        assert_eq!(wal.last_seq(), 20);
+        wal.append(21, 2, b"tail").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.replay(19).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let t = TempDir::new("torn");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        for seq in 1..=3u64 {
+            wal.append(seq, 1, b"0123456789").unwrap();
+        }
+        wal.sync().unwrap();
+        let (_, path) = wal.segments.last().cloned().unwrap();
+        drop(wal);
+        // Crash mid-write: chop the final record in half.
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 2, "torn record dropped");
+        assert_eq!(wal.replay(0).unwrap().len(), 2);
+        // The stream continues cleanly after the cut.
+        wal.append(3, 1, b"replacement").unwrap();
+        wal.sync().unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].payload, b"replacement".to_vec());
+    }
+
+    #[test]
+    fn header_torn_tail_segment_is_discarded() {
+        let t = TempDir::new("torn-header");
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "meta", 32).unwrap();
+        wal.append(1, 1, b"first").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Crash during roll: a next-segment file with half a header.
+        let bogus = Wal::segment_path(&t.0, "meta", 2);
+        fs::write(&bogus, b"VPWA").unwrap();
+        let wal = Wal::open_with_segment_bytes(&t.0, "meta", 32).unwrap();
+        assert_eq!(wal.last_seq(), 1);
+        assert_eq!(wal.segment_count(), 1);
+        assert!(!bogus.exists());
+    }
+
+    #[test]
+    fn truncate_below_drops_whole_segments() {
+        let t = TempDir::new("truncate");
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "meta", 48).unwrap();
+        for seq in 1..=12u64 {
+            wal.append(seq, 1, &[0u8; 16]).unwrap();
+            wal.commit(SyncPolicy::Never).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = wal.segment_count();
+        assert!(before >= 3);
+        wal.truncate_below(9).unwrap();
+        assert!(wal.segment_count() < before);
+        // Everything from seq 9 on is still replayable.
+        let got = wal.replay(8).unwrap();
+        assert_eq!(got.first().unwrap().seq, 9);
+        assert_eq!(got.last().unwrap().seq, 12);
+        // Truncating everything still keeps the active segment.
+        wal.truncate_below(u64::MAX).unwrap();
+        assert_eq!(wal.segment_count(), 1);
+    }
+
+    #[test]
+    fn truncate_after_amputates_the_suffix() {
+        let t = TempDir::new("truncate-after");
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "meta", 64).unwrap();
+        for seq in 1..=10u64 {
+            wal.append(seq, 1, &[seq as u8; 12]).unwrap();
+            wal.commit(SyncPolicy::Never).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() > 1);
+
+        // Cut mid-stream: records 6..=10 die, including whole segments.
+        wal.truncate_after(5).unwrap();
+        assert_eq!(wal.last_seq(), 5);
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got.last().unwrap().seq, 5);
+
+        // The stream accepts fresh appends right after the cut, and a
+        // reopen sees the amputation as the truth.
+        wal.append(6, 2, b"new-six").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = Wal::open_with_segment_bytes(&t.0, "meta", 64).unwrap();
+        assert_eq!(wal.last_seq(), 6);
+        let got = wal.replay(4).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            got[1],
+            WalRecord {
+                seq: 6,
+                kind: 2,
+                payload: b"new-six".to_vec()
+            }
+        );
+
+        // Cutting everything empties the stream.
+        let mut wal = wal;
+        wal.truncate_after(0).unwrap();
+        assert_eq!(wal.last_seq(), 0);
+        assert!(wal.replay(0).unwrap().is_empty());
+        wal.append(1, 1, b"fresh").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.replay(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_replays_empty() {
+        let t = TempDir::new("empty");
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert!(wal.replay(0).unwrap().is_empty());
+        assert_eq!(wal.segment_count(), 0);
+    }
+}

@@ -60,7 +60,7 @@ fn main() {
     for id in 0..n {
         index.update(vehicle(id, &mut rng, 0.4, 60.0)).unwrap();
     }
-    let taus = index.refresh_tau();
+    let taus = index.refresh_tau().unwrap();
     println!("after rush-hour drift, refreshed tau: {taus:?}");
     assert!(
         taus[0] <= tau_night[0] * 1.5,
@@ -80,7 +80,7 @@ fn main() {
     for id in 0..n {
         index.update(vehicle(id, &mut rng, 1.2, 120.0)).unwrap();
     }
-    let taus_evening = index.refresh_tau();
+    let taus_evening = index.refresh_tau().unwrap();
     println!("evening refreshed tau: {taus_evening:?}");
     println!(
         "partition sizes (DVA..., outliers): {:?}",

@@ -61,6 +61,56 @@
 //! assert_eq!(index.range_query(&query).unwrap(), vec![1]);
 //! ```
 //!
+//! ## Durability
+//!
+//! The paper's system is in-memory, but this reproduction grows
+//! toward production scale, and production indexes survive crashes.
+//! A [`VpIndex`] constructed through the durable lifecycle —
+//! [`VpIndex::open`] with `VpConfig::wal_dir` set — write-ahead logs
+//! every mutation through the [`vp_wal`] crate: each tick batch is
+//! logged as per-partition records on **per-partition WAL streams**
+//! (written from the same worker threads that apply the batches, so
+//! logging scales with `tick_workers`), sealed by a commit record,
+//! and fsync'd per `VpConfig::sync_policy`. Sub-index pages can live
+//! in real page files ([`DiskManager::create_file`]), and
+//! [`VpIndex::checkpoint`] — manual or every
+//! `VpConfig::checkpoint_every_ticks` ticks — flushes dirty
+//! buffer-pool shards, snapshots the object table atomically, and
+//! truncates the log. After a crash, [`VpIndex::recover`] rebuilds
+//! from manifest + latest checkpoint + the log's longest consistent
+//! prefix, reproducing the pre-crash query results exactly (property
+//! tested against random crash points in `tests/recovery.rs`).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use velocity_partitioning::prelude::*;
+//!
+//! let config = VpConfig::default().with_wal_dir("/var/lib/vp-index");
+//! # let sample = vec![Point::new(30.0, 0.1)];
+//! let analysis = VelocityAnalyzer::new(config.clone()).analyze(&sample);
+//! let mut index = VpIndex::open(config, &analysis, |spec| {
+//!     let disk =
+//!         DiskManager::create_file(format!("/var/lib/vp-index/part-{}.pages", spec.id), 4096)
+//!             .unwrap();
+//!     BxTree::new(
+//!         Arc::new(BufferPool::with_capacity(disk, 256)),
+//!         BxConfig { domain: spec.domain, ..BxConfig::default() },
+//!     )
+//!     .unwrap()
+//! })
+//! .unwrap();
+//! // ... apply_updates(ticks), checkpoint(), crash ...
+//! let (index, report) = VpIndex::<BxTree>::recover("/var/lib/vp-index", |spec| {
+//!     # let _ = spec; todo!()
+//! })
+//! .unwrap();
+//! println!("recovered {} events past checkpoint {}", report.events_replayed, report.checkpoint_seq);
+//! ```
+//!
+//! See `examples/durable_quickstart.rs` for the runnable version, and
+//! `cargo run --release -p vp-bench --bin wal_throughput` for what
+//! each position of the durability dial costs.
+//!
 //! See `examples/` for larger scenarios and `crates/bench/src/bin/`
 //! for the binaries regenerating every figure of the paper.
 
@@ -70,6 +120,7 @@ pub use vp_core;
 pub use vp_geom;
 pub use vp_storage;
 pub use vp_tpr;
+pub use vp_wal;
 pub use vp_workload;
 
 /// The commonly used API surface in one import.
@@ -77,7 +128,7 @@ pub mod prelude {
     pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
     pub use vp_core::{
         IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, PartitionSpec,
-        QueryRegion, RangeQuery, VelocityAnalyzer, VpConfig, VpIndex,
+        QueryRegion, RangeQuery, RecoveryReport, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex,
     };
     pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
     pub use vp_storage::{BufferPool, DiskManager, IoStats};

@@ -133,7 +133,7 @@ fn tau_refresh_does_not_lose_objects() {
         .unwrap();
     }
     let before = vp.len();
-    vp.refresh_tau();
+    vp.refresh_tau().unwrap();
     assert_eq!(vp.len(), before);
     // Everything still reachable through a full-domain query.
     let q = RangeQuery::time_slice(

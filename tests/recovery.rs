@@ -1,0 +1,599 @@
+//! Crash-recovery properties of the durable VP index.
+//!
+//! The contract under test: **for any injected crash point, reopening
+//! from WAL + last checkpoint reproduces the exact pre-crash query
+//! results** (range and kNN) of the longest consistent log prefix —
+//! and WAL-on parallel ticks stay bit-identical to sequential, down
+//! to the log stream bytes.
+//!
+//! Crash injection is filesystem-level: the durable index is dropped
+//! (no checkpoint, no graceful anything) and its on-disk artifacts
+//! are then mutilated — segment tails truncated mid-record, bogus
+//! half-written checkpoint files planted — before `VpIndex::recover`
+//! runs. An uncrashed oracle replayed to the recovered tick count is
+//! the ground truth.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use velocity_partitioning::prelude::*;
+use velocity_partitioning::vp_core::knn_at;
+use velocity_partitioning::vp_core::SyncPolicy;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("vp-recovery-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Two roads (0 and 90 degrees) plus diagonal outliers — the standard
+/// analyzer sample of the manager tests.
+fn sample() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for i in 1..=300 {
+        let s = 10.0 + (i % 90) as f64;
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        pts.push(Point::new(s * sign, (i % 5) as f64 * 0.2 - 0.4));
+        pts.push(Point::new((i % 5) as f64 * 0.2 - 0.4, s * sign));
+    }
+    for i in 0..20 {
+        pts.push(Point::new(40.0 + i as f64, 40.0 + i as f64));
+    }
+    pts
+}
+
+fn bx_factory(dir: Option<&Path>) -> impl FnMut(&PartitionSpec) -> BxTree + '_ {
+    move |spec| {
+        let disk = match dir {
+            // Durable partitions keep their pages in real files.
+            Some(d) => {
+                DiskManager::create_file(d.join(format!("part-{}.pages", spec.id)), 1024).unwrap()
+            }
+            None => DiskManager::with_page_size(1024),
+        };
+        let pool = Arc::new(BufferPool::with_capacity(disk, 256));
+        let config = BxConfig {
+            domain: spec.domain,
+            update_interval: 120.0,
+            ..BxConfig::default()
+        };
+        BxTree::new(pool, config).unwrap()
+    }
+}
+
+fn analysis(cfg: &VpConfig) -> velocity_partitioning::vp_core::AnalyzerOutput {
+    VelocityAnalyzer::new(cfg.clone()).analyze(&sample())
+}
+
+fn durable_config(dir: &Path, workers: usize, policy: SyncPolicy) -> VpConfig {
+    VpConfig::default()
+        .with_tick_workers(workers)
+        .with_wal_dir(dir)
+        .with_sync_policy(policy)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+const N_OBJECTS: u64 = 220;
+
+/// Deterministic tick stream: tick 1 populates, later ticks move a
+/// rotating third of the fleet (half of which also turn 90°, forcing
+/// partition migrations) and add one fresh id per tick.
+fn make_ticks(seed: u64, n_ticks: usize) -> Vec<Vec<MovingObject>> {
+    let mut rng = Rng(seed);
+    let mut objs: Vec<MovingObject> = (0..N_OBJECTS)
+        .map(|id| {
+            let ang = rng.f64() * std::f64::consts::TAU;
+            let speed = rng.f64() * 80.0;
+            MovingObject::new(
+                id,
+                Point::new(rng.f64() * 100_000.0, rng.f64() * 100_000.0),
+                Point::new(ang.cos() * speed, ang.sin() * speed),
+                0.0,
+            )
+        })
+        .collect();
+    let mut ticks = vec![objs.clone()];
+    for tick in 1..n_ticks {
+        let t = tick as f64 * 10.0;
+        let mut updates = Vec::new();
+        for o in objs.iter_mut() {
+            if o.id % 3 == (tick as u64) % 3 {
+                let vel = if o.id % 2 == 0 {
+                    Point::new(-o.vel.y, o.vel.x)
+                } else {
+                    o.vel
+                };
+                *o = MovingObject::new(o.id, o.position_at(t), vel, t);
+                updates.push(*o);
+            }
+        }
+        let fresh = MovingObject::new(
+            10_000 + tick as u64,
+            Point::new(rng.f64() * 100_000.0, rng.f64() * 100_000.0),
+            Point::new(30.0, 0.5),
+            t,
+        );
+        objs.push(fresh);
+        updates.push(fresh);
+        ticks.push(updates);
+    }
+    ticks
+}
+
+/// The oracle: an in-memory, non-durable index over the same analysis,
+/// replayed through the first `n_ticks` ticks.
+fn oracle_at(cfg_seed: &VpConfig, ticks: &[Vec<MovingObject>], n_ticks: usize) -> VpIndex<BxTree> {
+    let cfg = VpConfig {
+        wal_dir: None,
+        tick_workers: 1,
+        ..cfg_seed.clone()
+    };
+    let analysis = analysis(&cfg);
+    let mut vp = VpIndex::build(cfg, &analysis, bx_factory(None)).unwrap();
+    for tick in &ticks[..n_ticks] {
+        vp.apply_updates(tick).unwrap();
+    }
+    vp
+}
+
+/// Full logical-equality check: object table, routing, range queries
+/// at several times/places, and kNN.
+fn assert_matches_oracle(got: &VpIndex<BxTree>, oracle: &VpIndex<BxTree>, context: &str) {
+    assert_eq!(got.len(), oracle.len(), "{context}: object count");
+    for id in (0..N_OBJECTS).chain(10_000..10_050) {
+        assert_eq!(
+            got.get_object(id),
+            oracle.get_object(id),
+            "{context}: object {id} state"
+        );
+        assert_eq!(
+            got.partition_of(id),
+            oracle.partition_of(id),
+            "{context}: object {id} routing"
+        );
+    }
+    for (spec_got, spec_oracle) in got.specs().iter().zip(oracle.specs()) {
+        assert_eq!(spec_got.tau, spec_oracle.tau, "{context}: tau");
+    }
+    let domain = Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0);
+    let mut probe = Rng(0xCAFE);
+    for qi in 0..12 {
+        let center = Point::new(probe.f64() * 100_000.0, probe.f64() * 100_000.0);
+        let t = (qi % 6) as f64 * 15.0;
+        let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, 9_000.0)), t);
+        let mut a = got.range_query(&q).unwrap();
+        let mut b = oracle.range_query(&q).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "{context}: range query {qi}");
+
+        let ka = knn_at(got, center, 5, t, &domain).unwrap();
+        let kb = knn_at(oracle, center, 5, t, &domain).unwrap();
+        let ida: Vec<u64> = ka.iter().map(|n| n.id).collect();
+        let idb: Vec<u64> = kb.iter().map(|n| n.id).collect();
+        assert_eq!(ida, idb, "{context}: kNN query {qi}");
+    }
+}
+
+fn list_segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().map(|e| e == "seg").unwrap_or(false))
+        .collect();
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Deterministic scenarios
+// ---------------------------------------------------------------------
+
+#[test]
+fn crash_without_checkpoint_recovers_everything() {
+    let t = TempDir::new("no-ckpt");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0xA11CE, 6);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks {
+            vp.apply_updates(tick).unwrap();
+        }
+        // Crash: drop with no checkpoint, no shutdown.
+    }
+    let (mut recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.checkpoint_seq, 0, "no checkpoint existed");
+    assert_eq!(report.events_replayed, ticks.len());
+    let oracle = oracle_at(&cfg, &ticks, ticks.len());
+    assert_matches_oracle(&recovered, &oracle, "full replay");
+
+    // The recovered index keeps working and logging.
+    let more = make_ticks(0xBEEF, 2).pop().unwrap();
+    recovered.apply_updates(&more).unwrap();
+    assert!(recovered.len() >= oracle.len());
+}
+
+#[test]
+fn crash_after_checkpoint_replays_only_the_tail() {
+    let t = TempDir::new("ckpt-tail");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0xD00D, 8);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks[..5] {
+            vp.apply_updates(tick).unwrap();
+        }
+        let seq = vp.checkpoint().unwrap();
+        assert_eq!(seq, 5);
+        for tick in &ticks[5..] {
+            vp.apply_updates(tick).unwrap();
+        }
+    }
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.checkpoint_seq, 5);
+    assert_eq!(report.events_replayed, 3, "only the post-checkpoint tail");
+    let oracle = oracle_at(&cfg, &ticks, ticks.len());
+    assert_matches_oracle(&recovered, &oracle, "checkpoint + tail");
+}
+
+#[test]
+fn mid_checkpoint_crash_falls_back_to_previous_checkpoint() {
+    let t = TempDir::new("mid-ckpt");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0xF00D, 7);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks[..3] {
+            vp.apply_updates(tick).unwrap();
+        }
+        vp.checkpoint().unwrap();
+        for tick in &ticks[3..] {
+            vp.apply_updates(tick).unwrap();
+        }
+    }
+    // Crash *during* a later checkpoint: the atomic publish (tmp +
+    // fsync + rename) means all that survives is an unfinished temp
+    // file, which recovery must ignore in favour of the previous
+    // checkpoint + log tail.
+    fs::write(t.0.join("ckpt.tmp"), b"half a checkpoint").unwrap();
+
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(
+        report.checkpoint_seq, 3,
+        "torn temp checkpoint ignored, published one used"
+    );
+    let oracle = oracle_at(&cfg, &ticks, ticks.len());
+    assert_matches_oracle(&recovered, &oracle, "mid-checkpoint crash");
+}
+
+#[test]
+fn bitrotted_published_checkpoint_is_a_hard_error() {
+    let t = TempDir::new("ckpt-bitrot");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0xB17, 4);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks {
+            vp.apply_updates(tick).unwrap();
+        }
+        vp.checkpoint().unwrap();
+    }
+    // The checkpoint truncated the log below seq 4, so a damaged
+    // published snapshot cannot be silently "recovered around" — an
+    // older state can no longer be completed. Flip one byte:
+    let path = t.0.join("ckpt-0000000000000004.vpck");
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5A;
+    fs::write(&path, &bytes).unwrap();
+
+    let got = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0)));
+    assert!(
+        matches!(got, Err(IndexError::Wal(_))),
+        "bitrot must surface, not produce a silently incomplete index"
+    );
+}
+
+#[test]
+fn recovery_amputates_the_dead_suffix_so_later_events_survive() {
+    let t = TempDir::new("dead-suffix");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0xDEAD5, 5);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks[..3] {
+            vp.apply_updates(tick).unwrap();
+        }
+    }
+    // Emulate the no-fsync OS-crash torture case: a commit record made
+    // it to disk but its partition batch did not. Recovery must stop
+    // before it — and must also *remove* it, or every future recovery
+    // would stop at the same spot and silently drop everything logged
+    // after this one.
+    {
+        use velocity_partitioning::vp_wal::Wal;
+        let mut meta = Wal::open(&t.0, "meta").unwrap();
+        let seq = meta.last_seq() + 1;
+        // KIND_TICK_COMMIT (4) claiming one partition record that
+        // does not exist.
+        meta.append(seq, 4, &[1, 0, 0, 0, 9, 0, 0, 0]).unwrap();
+        meta.sync().unwrap();
+    }
+    let (mut recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.last_seq, 3, "stops before the ghost commit");
+    assert_matches_oracle(&recovered, &oracle_at(&cfg, &ticks, 3), "ghost commit");
+
+    // Life goes on: two more ticks, committed and acknowledged.
+    recovered.apply_updates(&ticks[3]).unwrap();
+    recovered.apply_updates(&ticks[4]).unwrap();
+    drop(recovered);
+
+    // A second recovery must see them — the ghost is gone for good.
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.last_seq, 5, "post-recovery events survived");
+    assert_matches_oracle(
+        &recovered,
+        &oracle_at(&cfg, &ticks, 5),
+        "events after an amputated suffix",
+    );
+}
+
+#[test]
+fn single_op_and_tau_events_replay_in_order() {
+    let t = TempDir::new("single-ops");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0x7A0, 4);
+    let extra = MovingObject::new(
+        77_777,
+        Point::new(42_000.0, 42_000.0),
+        Point::new(25.0, 0.3),
+        5.0,
+    );
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        vp.apply_updates(&ticks[0]).unwrap();
+        vp.insert(extra).unwrap();
+        vp.apply_updates(&ticks[1]).unwrap();
+        vp.refresh_tau().unwrap();
+        vp.apply_updates(&ticks[2]).unwrap();
+        vp.delete(extra.id).unwrap();
+        vp.apply_updates(&ticks[3]).unwrap();
+    }
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.events_replayed, 7);
+
+    // Oracle: the same event sequence, in memory.
+    let ocfg = VpConfig {
+        wal_dir: None,
+        ..cfg.clone()
+    };
+    let mut oracle = VpIndex::build(ocfg.clone(), &analysis(&ocfg), bx_factory(None)).unwrap();
+    oracle.apply_updates(&ticks[0]).unwrap();
+    oracle.insert(extra).unwrap();
+    oracle.apply_updates(&ticks[1]).unwrap();
+    oracle.refresh_tau().unwrap();
+    oracle.apply_updates(&ticks[2]).unwrap();
+    oracle.delete(extra.id).unwrap();
+    oracle.apply_updates(&ticks[3]).unwrap();
+
+    assert_matches_oracle(&recovered, &oracle, "mixed event replay");
+    assert_eq!(recovered.get_object(extra.id), None);
+}
+
+#[test]
+fn single_object_update_is_one_atomic_logged_event() {
+    let t = TempDir::new("atomic-update");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let obj = MovingObject::new(
+        9,
+        Point::new(30_000.0, 30_000.0),
+        Point::new(40.0, 0.2),
+        0.0,
+    );
+    let moved = MovingObject::new(
+        9,
+        Point::new(31_000.0, 30_000.0),
+        Point::new(0.2, 40.0),
+        5.0,
+    );
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        vp.insert(obj).unwrap();
+        // The trait-default delete+insert would log two independently
+        // committed records; the VP override must log exactly one, so
+        // no crash point can separate the delete from the insert.
+        vp.update(moved).unwrap();
+        assert!(matches!(
+            vp.update(MovingObject::new(555, obj.pos, obj.vel, 0.0)),
+            Err(IndexError::UnknownObject(555))
+        ));
+    }
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.events_replayed, 2, "insert + one atomic update");
+    assert_eq!(recovered.get_object(9), Some(moved));
+    assert_eq!(recovered.len(), 1);
+}
+
+#[test]
+fn automatic_checkpoint_cadence_truncates_the_log() {
+    let t = TempDir::new("auto-ckpt");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always).with_checkpoint_every_ticks(3);
+    let ticks = make_ticks(0xAB1E, 7);
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks {
+            vp.apply_updates(tick).unwrap();
+        }
+    }
+    // Two automatic checkpoints fired (after ticks 3 and 6).
+    let ckpts: Vec<PathBuf> = fs::read_dir(&t.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().map(|e| e == "vpck").unwrap_or(false))
+        .collect();
+    assert_eq!(ckpts.len(), 1, "old checkpoints pruned: {ckpts:?}");
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.checkpoint_seq, 6);
+    assert_eq!(report.events_replayed, 1);
+    let oracle = oracle_at(&cfg, &ticks, ticks.len());
+    assert_matches_oracle(&recovered, &oracle, "auto checkpoint");
+}
+
+#[test]
+fn parallel_ticks_with_wal_are_bit_identical_to_sequential() {
+    let t_seq = TempDir::new("par-seq");
+    let t_par = TempDir::new("par-par");
+    let ticks = make_ticks(0x9A9A, 6);
+
+    for (dir, workers) in [(&t_seq, 1usize), (&t_par, 4usize)] {
+        let cfg = durable_config(&dir.0, workers, SyncPolicy::Always);
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&dir.0))).unwrap();
+        for tick in &ticks {
+            vp.apply_updates(tick).unwrap();
+        }
+        vp.checkpoint().unwrap();
+    }
+
+    // The WAL streams — and even the checkpoint snapshot — must be
+    // byte-identical: logging is schedule-invariant.
+    let seq_files = list_segment_files(&t_seq.0);
+    let par_files = list_segment_files(&t_par.0);
+    assert!(!seq_files.is_empty());
+    assert_eq!(
+        seq_files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_owned())
+            .collect::<Vec<_>>(),
+        par_files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_owned())
+            .collect::<Vec<_>>(),
+        "same segment layout"
+    );
+    for (a, b) in seq_files.iter().zip(&par_files) {
+        assert_eq!(
+            fs::read(a).unwrap(),
+            fs::read(b).unwrap(),
+            "stream bytes diverge: {}",
+            a.display()
+        );
+    }
+    let ckpt = "ckpt-0000000000000006.vpck";
+    assert_eq!(
+        fs::read(t_seq.0.join(ckpt)).unwrap(),
+        fs::read(t_par.0.join(ckpt)).unwrap(),
+        "checkpoint snapshots diverge"
+    );
+
+    // And both recover to the same logical state.
+    let (a, _) = VpIndex::<BxTree>::recover(&t_seq.0, bx_factory(Some(&t_seq.0))).unwrap();
+    let (b, _) = VpIndex::<BxTree>::recover(&t_par.0, bx_factory(Some(&t_par.0))).unwrap();
+    assert_matches_oracle(&a, &b, "parallel vs sequential recovery");
+}
+
+#[test]
+fn reopening_a_live_directory_requires_recover() {
+    let t = TempDir::new("double-open");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let _vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+    let again: IndexResult<VpIndex<BxTree>> =
+        VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0)));
+    assert!(matches!(again, Err(IndexError::Config(_))));
+}
+
+// ---------------------------------------------------------------------
+// Property: any crash point recovers a consistent prefix
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random crash injection: run `n_ticks` (optionally checkpointing
+    /// mid-run), drop, then truncate the tails of 1–3 randomly chosen
+    /// stream files by random amounts — torn final records, lost
+    /// commits, lost partition batches, even decapitated segments.
+    /// Recovery must come back to *some* tick boundary `S` (at or
+    /// after the checkpoint) and match the oracle replayed to exactly
+    /// `S` ticks.
+    #[test]
+    fn random_crash_points_recover_a_consistent_tick_boundary(
+        seed in 1u64..1_000_000,
+        n_ticks in 3usize..7,
+        ckpt_after in 0usize..5,
+        cuts in collection::vec((0u8..255, 1u32..4000), 1..4),
+    ) {
+        let t = TempDir::new(&format!("prop-{seed}-{n_ticks}"));
+        let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+        let ticks = make_ticks(seed, n_ticks);
+        let ckpt_at = if ckpt_after >= n_ticks { None } else { Some(ckpt_after) };
+        {
+            let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0)))
+                .unwrap();
+            for (i, tick) in ticks.iter().enumerate() {
+                vp.apply_updates(tick).unwrap();
+                if Some(i + 1) == ckpt_at {
+                    vp.checkpoint().unwrap();
+                }
+            }
+        }
+
+        // Mutilate stream tails.
+        let files = list_segment_files(&t.0);
+        prop_assert!(!files.is_empty());
+        for (pick, cut) in &cuts {
+            let path = &files[*pick as usize % files.len()];
+            let len = fs::metadata(path).unwrap().len();
+            let new_len = len.saturating_sub(*cut as u64);
+            fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .unwrap()
+                .set_len(new_len)
+                .unwrap();
+        }
+
+        let (recovered, report) =
+            VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+        // The recovered state is some consistent tick boundary at or
+        // after the checkpoint, never past what ran.
+        let survived = report.last_seq as usize;
+        prop_assert!(survived <= n_ticks);
+        if let Some(c) = ckpt_at {
+            prop_assert!(survived >= c, "checkpointed ticks can never be lost");
+        }
+        let oracle = oracle_at(&cfg, &ticks, survived);
+        assert_matches_oracle(&recovered, &oracle, &format!("crash at tick {survived}"));
+        drop(t);
+    }
+}
