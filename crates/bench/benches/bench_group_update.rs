@@ -1,15 +1,26 @@
 //! Update throughput: one tick of moving-object updates applied
 //! one-at-a-time (`update` = delete + insert, one root descent each)
-//! versus batched (`update_batch` → sorted `apply_batch` run, one
-//! descent per touched leaf), plus the parallel-ticks variant: the
-//! same batched tick dispatched across a velocity-partitioned index's
-//! partitions by 1/2/4/8 scoped workers over the sharded buffer pool.
+//! versus batched (`update_batch`), for **both** batched index
+//! families:
+//!
+//! * the Bx-tree (sorted `apply_batch` run over the B+-tree — one
+//!   descent per touched leaf), and
+//! * the TPR\*-tree (one top-down group pass with bulk TPBR
+//!   re-clustering — one write per touched page),
+//!
+//! plus the parallel-ticks variant: the same batched tick dispatched
+//! across a velocity-partitioned index's partitions by 1/2/4 scoped
+//! workers over the sharded buffer pool, on either backend.
 //!
 //! Besides the criterion timings, the bench prints the page-write
-//! (IoStats) deltas of a single identical tick under both paths, so
-//! the speedup is attributable to fewer page touches rather than
-//! incidental cache effects, and a worker-scaling table for the
-//! parallel path.
+//! (IoStats) deltas of a single identical tick under both paths —
+//! so each speedup is attributable to fewer page touches rather than
+//! incidental cache effects — asserts the batched path writes
+//! strictly fewer pages, and lands the measured ratios in
+//! `BENCH_group_update.json` for the perf-trajectory tooling.
+//!
+//! `cargo bench -p vp-bench --bench bench_group_update -- --quick`
+//! runs a scaled-down smoke version (CI).
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -18,15 +29,31 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use vp_bench::parallel::{self, TickWorkload};
+use vp_bench::parallel::{self, TickBackend, TickWorkload};
+use vp_bench::report;
 use vp_bx::{BxConfig, BxTree};
 use vp_core::{MovingObject, MovingObjectIndex};
 use vp_geom::{Point, Rect};
 use vp_storage::{BufferPool, DiskManager, IoStats};
+use vp_tpr::{TprConfig, TprTree};
 
-const SIZES: [usize; 2] = [10_000, 100_000];
+/// `--quick`: the CI smoke mode (tiny populations, same code paths).
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
-fn config() -> BxConfig {
+/// Bx-tree sizes; the TPR\*-tree benches at the first size only (its
+/// single-op baseline pays a full root descent with forced reinserts
+/// per object, which at 100k would dominate the whole bench run).
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![2_000]
+    } else {
+        vec![10_000, 100_000]
+    }
+}
+
+fn bx_config() -> BxConfig {
     BxConfig {
         domain: Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0),
         hist_cells: 200,
@@ -67,94 +94,126 @@ fn tick(objs: &[MovingObject], t: f64) -> Vec<MovingObject> {
         .collect()
 }
 
-fn build(objs: &[MovingObject]) -> BxTree {
-    BxTree::bulk_load(pool(), config(), objs).unwrap()
+fn build_bx(objs: &[MovingObject]) -> BxTree {
+    BxTree::bulk_load(pool(), bx_config(), objs).unwrap()
+}
+
+fn build_tpr(objs: &[MovingObject]) -> TprTree {
+    TprTree::bulk_load(pool(), TprConfig::default(), objs).unwrap()
+}
+
+/// Criterion timings of single-op vs. batched full ticks on one index.
+fn bench_index<I: MovingObjectIndex>(
+    c: &mut Criterion,
+    family: &str,
+    n: usize,
+    build: impl Fn(&[MovingObject]) -> I,
+) {
+    let objs = objects(n);
+    let mut group = c.benchmark_group(format!("{family}_update/{n}"));
+    group.sample_size(5);
+
+    let mut single = build(&objs);
+    let mut t = 0.0;
+    group.bench_function(BenchmarkId::from_parameter("single_op"), |b| {
+        b.iter(|| {
+            t += 60.0;
+            for u in tick(&objs, t) {
+                single.update(u).unwrap();
+            }
+            black_box(single.len())
+        })
+    });
+
+    let mut batched = build(&objs);
+    let mut t = 0.0;
+    group.bench_function(BenchmarkId::from_parameter("batched"), |b| {
+        b.iter(|| {
+            t += 60.0;
+            batched.update_batch(&tick(&objs, t)).unwrap();
+            black_box(batched.len())
+        })
+    });
+    group.finish();
 }
 
 fn bench(c: &mut Criterion) {
-    for n in SIZES {
-        let objs = objects(n);
-        let mut group = c.benchmark_group(format!("bx_update/{n}"));
+    let sizes = sizes();
+    for &n in &sizes {
+        bench_index(c, "bx", n, build_bx);
+    }
+    // TPR*: smallest size only (see `sizes`).
+    bench_index(c, "tpr", sizes[0], build_tpr);
+
+    // Parallel tick application on the velocity-partitioned index:
+    // criterion timings at the small size, scaling tables below.
+    let workload = TickWorkload::generate(sizes[0], 0x0B5E55ED);
+    for backend in [TickBackend::Bx, TickBackend::Tpr] {
+        let mut group = c.benchmark_group(format!(
+            "vp_parallel_ticks_{}/{}",
+            backend.label(),
+            sizes[0]
+        ));
         group.sample_size(5);
-
-        let mut single = build(&objs);
-        let mut t = 0.0;
-        group.bench_function(BenchmarkId::from_parameter("single_op"), |b| {
-            b.iter(|| {
-                t += 60.0;
-                for u in tick(&objs, t) {
-                    single.update(u).unwrap();
-                }
-                black_box(single.len())
-            })
-        });
-
-        let mut batched = build(&objs);
-        let mut t = 0.0;
-        group.bench_function(BenchmarkId::from_parameter("batched"), |b| {
-            b.iter(|| {
-                t += 60.0;
-                batched.update_batch(&tick(&objs, t)).unwrap();
-                black_box(batched.len())
-            })
-        });
+        for workers in [1usize, 2, 4] {
+            match backend {
+                TickBackend::Bx => bench_parallel_tick(
+                    &mut group,
+                    workload.build(8_192, workers),
+                    &workload,
+                    workers,
+                ),
+                TickBackend::Tpr => bench_parallel_tick(
+                    &mut group,
+                    workload.build_tpr(8_192, workers),
+                    &workload,
+                    workers,
+                ),
+            }
+        }
         group.finish();
     }
 
-    // Parallel tick application on the velocity-partitioned index:
-    // criterion timings at the small size, full scaling tables below.
-    let workload = TickWorkload::generate(SIZES[0], 0x0B5E55ED);
-    let mut group = c.benchmark_group(format!("vp_parallel_ticks/{}", SIZES[0]));
-    group.sample_size(5);
-    for workers in [1usize, 2, 4] {
-        let mut vp = workload.build(8_192, workers);
-        let mut t = 0.0;
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("workers_{workers}")),
-            |b| {
-                b.iter(|| {
-                    t += 60.0;
-                    vp.apply_updates(&workload.tick(t)).unwrap();
-                    black_box(vp.len())
-                })
-            },
-        );
-    }
-    group.finish();
+    attribution_report(&sizes);
+    // Small size only: the full worker-scaling sweep lives in the
+    // `parallel_ticks` binary, so the CI smoke run of this bench
+    // stays quick.
+    parallel::print_scaling_report(sizes[0], 2, 8_192, &[1, 2, 4, 8], TickBackend::Bx);
+    parallel::print_scaling_report(sizes[0], 2, 8_192, &[1, 2, 4, 8], TickBackend::Tpr);
+}
 
-    attribution_report();
-    // Small size only: the full 100k worker-scaling sweep lives in the
-    // `parallel_ticks` binary, so the CI smoke run of this bench stays
-    // quick.
-    parallel::print_scaling_report(SIZES[0], 2, 8_192, &[1, 2, 4, 8]);
+/// One worker setting of the parallel-ticks group, generic over the
+/// partition backend.
+fn bench_parallel_tick<I: vp_core::MovingObjectIndex + Send>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    mut vp: vp_core::VpIndex<I>,
+    workload: &TickWorkload,
+    workers: usize,
+) {
+    let mut t = 0.0;
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("workers_{workers}")),
+        |b| {
+            b.iter(|| {
+                t += 60.0;
+                vp.apply_updates(&workload.tick(t)).unwrap();
+                black_box(vp.len())
+            })
+        },
+    );
 }
 
 /// One identical tick under each path, timed once, with page-write
 /// deltas — the attributable-win check the criterion numbers ride on.
-fn attribution_report() {
+/// The measured ratios land in `BENCH_group_update.json`.
+fn attribution_report(sizes: &[usize]) {
     println!("\n--- group update attribution (one full tick, all objects move) ---");
     println!(
-        "{:>8} {:>12} {:>14} {:>14} {:>14} {:>10}",
-        "objects", "path", "wall", "logical wr", "logical rd", "speedup"
+        "{:>8} {:>6} {:>12} {:>14} {:>14} {:>14} {:>10}",
+        "objects", "index", "path", "wall", "logical wr", "logical rd", "speedup"
     );
-    for n in SIZES {
-        let objs = objects(n);
-        let updates = tick(&objs, 60.0);
-
-        let run = |batched: bool| -> (f64, IoStats) {
-            let mut tree = build(&objs);
-            tree.reset_io_stats();
-            let start = Instant::now();
-            if batched {
-                tree.update_batch(&updates).unwrap();
-            } else {
-                for u in &updates {
-                    tree.update(*u).unwrap();
-                }
-            }
-            (start.elapsed().as_secs_f64(), tree.io_stats())
-        };
-
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut attribute = |family: &str, n: usize, run: &dyn Fn(bool) -> (f64, IoStats)| {
         let (t_single, io_single) = run(false);
         let (t_batch, io_batch) = run(true);
         for (label, t, io, speedup) in [
@@ -162,8 +221,9 @@ fn attribution_report() {
             ("batched", t_batch, io_batch, Some(t_single / t_batch)),
         ] {
             println!(
-                "{:>8} {:>12} {:>12.1}ms {:>14} {:>14} {:>10}",
+                "{:>8} {:>6} {:>12} {:>12.1}ms {:>14} {:>14} {:>10}",
                 n,
+                family,
                 label,
                 t * 1e3,
                 io.logical_writes,
@@ -173,9 +233,55 @@ fn attribution_report() {
         }
         assert!(
             io_batch.logical_writes < io_single.logical_writes,
-            "batched path must write strictly fewer pages"
+            "{family}: batched path must write strictly fewer pages \
+             ({} vs {})",
+            io_batch.logical_writes,
+            io_single.logical_writes
         );
+        json.push((format!("{family}_{n}_speedup"), t_single / t_batch));
+        json.push((
+            format!("{family}_{n}_write_ratio"),
+            io_single.logical_writes as f64 / io_batch.logical_writes.max(1) as f64,
+        ));
+    };
+
+    for &n in sizes {
+        let objs = objects(n);
+        let updates = tick(&objs, 60.0);
+        attribute("bx", n, &|batched| {
+            run_one_tick(build_bx(&objs), &updates, batched)
+        });
+        // TPR*: smallest size only, matching the criterion groups.
+        if n == sizes[0] {
+            attribute("tpr", n, &|batched| {
+                run_one_tick(build_tpr(&objs), &updates, batched)
+            });
+        }
     }
+
+    let pairs: Vec<(&str, f64)> = json.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    // Criterion benches run with cwd = the package dir; anchor the
+    // artifact at the workspace root next to the other BENCH_*.json.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_group_update.json");
+    report::write_bench_json(path, "group_update", &pairs).expect("write BENCH_group_update.json");
+    println!("wrote BENCH_group_update.json");
+}
+
+fn run_one_tick<I: MovingObjectIndex>(
+    mut tree: I,
+    updates: &[MovingObject],
+    batched: bool,
+) -> (f64, IoStats) {
+    tree.reset_io_stats();
+    let start = Instant::now();
+    if batched {
+        tree.update_batch(updates).unwrap();
+    } else {
+        for u in updates {
+            tree.update(*u).unwrap();
+        }
+    }
+    (start.elapsed().as_secs_f64(), tree.io_stats())
 }
 
 criterion_group!(benches, bench);

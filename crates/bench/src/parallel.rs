@@ -1,20 +1,46 @@
 //! Shared machinery for the parallel-tick scaling benchmarks.
 //!
-//! Builds a velocity-partitioned Bx-tree over the sharded buffer pool
-//! on a four-road workload (dominant directions at 0°/45°/90°/135°, so
-//! the analyzer finds `k = 4` DVAs and the per-partition batches are
-//! reasonably balanced), then applies full ticks — every object
-//! reports — under a sweep of [`vp_core::VpConfig::tick_workers`]
-//! settings. Used by the `bench_group_update` bench and the
+//! Builds a velocity-partitioned index — Bx-tree or TPR\*-tree
+//! ([`TickBackend`]) — over the sharded buffer pool on a four-road
+//! workload (dominant directions at 0°/45°/90°/135°, so the analyzer
+//! finds `k = 4` DVAs and the per-partition batches are reasonably
+//! balanced), then applies full ticks — every object reports — under
+//! a sweep of [`vp_core::VpConfig::tick_workers`] settings. Both
+//! backends go through their batched `update_batch` paths, so the
+//! sweep measures exactly what the per-partition workers dispatch in
+//! production. Used by the `bench_group_update` bench and the
 //! `parallel_ticks` binary (the CI smoke run).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use vp_bx::{BxConfig, BxTree};
-use vp_core::{AnalyzerOutput, MovingObject, VelocityAnalyzer, VpConfig, VpIndex};
+use vp_core::{
+    AnalyzerOutput, MovingObject, MovingObjectIndex, VelocityAnalyzer, VpConfig, VpIndex,
+};
 use vp_geom::{Point, Rect};
 use vp_storage::{BufferPool, DiskManager, DEFAULT_POOL_SHARDS};
+use vp_tpr::{TprConfig, TprTree};
+
+/// Which sub-index type backs the velocity-partitioned index under
+/// test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickBackend {
+    /// Bx-tree partitions (B+-tree `apply_batch` group updates).
+    Bx,
+    /// TPR\*-tree partitions (bulk TPBR re-clustering group updates).
+    Tpr,
+}
+
+impl TickBackend {
+    /// Short label for tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            TickBackend::Bx => "bx",
+            TickBackend::Tpr => "tpr",
+        }
+    }
+}
 
 /// Deterministic xorshift stream (the shared idiom of this workspace's
 /// tests; `rand` is only a dev-dependency of the bench crate).
@@ -124,6 +150,25 @@ impl TickWorkload {
         vp
     }
 
+    /// The TPR\*-tree sibling of [`TickWorkload::build`]: one
+    /// TPR\*-tree per partition over the same sharded pool, loaded
+    /// through one batched tick (the bulk re-clustering path).
+    pub fn build_tpr(&self, pool_pages: usize, workers: usize) -> VpIndex<TprTree> {
+        let pool = Arc::new(BufferPool::with_shards(
+            DiskManager::new(),
+            pool_pages,
+            DEFAULT_POOL_SHARDS,
+        ));
+        let mut vp = VpIndex::build(
+            self.cfg.clone().with_tick_workers(workers),
+            &self.analysis,
+            |_spec| TprTree::new(Arc::clone(&pool), TprConfig::default()),
+        )
+        .expect("vp index");
+        vp.apply_updates(&self.objects).expect("initial load");
+        vp
+    }
+
     /// One full tick at time `t`: every object re-reports at its
     /// original position with a fresh timestamp (uniform cost per tick,
     /// no domain drift across long sweeps).
@@ -153,9 +198,31 @@ pub fn scaling_sweep(
     pool_pages: usize,
     ticks: usize,
     worker_counts: &[usize],
+    backend: TickBackend,
 ) -> Vec<ScalingRow> {
     assert!(!worker_counts.is_empty() && ticks >= 1);
-    let mut vp = workload.build(pool_pages, 1);
+    match backend {
+        TickBackend::Bx => scaling_sweep_on(
+            workload,
+            workload.build(pool_pages, 1),
+            ticks,
+            worker_counts,
+        ),
+        TickBackend::Tpr => scaling_sweep_on(
+            workload,
+            workload.build_tpr(pool_pages, 1),
+            ticks,
+            worker_counts,
+        ),
+    }
+}
+
+fn scaling_sweep_on<I: MovingObjectIndex + Send>(
+    workload: &TickWorkload,
+    mut vp: VpIndex<I>,
+    ticks: usize,
+    worker_counts: &[usize],
+) -> Vec<ScalingRow> {
     let mut t = 0.0;
     // Warm the caches and bucket maps once so the first sweep isn't
     // penalized against the later ones.
@@ -190,10 +257,14 @@ pub fn print_scaling_report(
     ticks: usize,
     pool_pages: usize,
     worker_counts: &[usize],
+    backend: TickBackend,
 ) -> Vec<ScalingRow> {
     let workload = TickWorkload::generate(n, 0x0B5E55ED);
-    let rows = scaling_sweep(&workload, pool_pages, ticks, worker_counts);
-    println!("\n--- parallel tick application ({n} objects, {ticks} ticks/setting) ---");
+    let rows = scaling_sweep(&workload, pool_pages, ticks, worker_counts, backend);
+    println!(
+        "\n--- parallel tick application ({} partitions, {n} objects, {ticks} ticks/setting) ---",
+        backend.label()
+    );
     println!(
         "{:>8} {:>14} {:>16} {:>10}",
         "workers", "per tick", "ticks/sec", "speedup"
@@ -232,9 +303,23 @@ mod tests {
     #[test]
     fn scaling_sweep_reports_all_settings() {
         let w = TickWorkload::generate(500, 0x1234);
-        let rows = scaling_sweep(&w, 2_048, 1, &[1, 2]);
-        assert_eq!(rows.len(), 2);
-        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
-        assert!(rows.iter().all(|r| r.secs_per_tick > 0.0));
+        for backend in [TickBackend::Bx, TickBackend::Tpr] {
+            let rows = scaling_sweep(&w, 2_048, 1, &[1, 2], backend);
+            assert_eq!(rows.len(), 2);
+            assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+            assert!(rows.iter().all(|r| r.secs_per_tick > 0.0));
+        }
+    }
+
+    #[test]
+    fn tpr_workload_matches_bx_contents() {
+        let w = TickWorkload::generate(800, 0x77AB);
+        let bx = w.build(4_096, 1);
+        let tpr = w.build_tpr(4_096, 1);
+        assert_eq!(bx.len(), tpr.len());
+        for id in (0..800u64).step_by(97) {
+            assert_eq!(bx.get_object(id), tpr.get_object(id));
+            assert_eq!(bx.partition_of(id), tpr.partition_of(id));
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! to the bucket's label time using min/max velocities from the
 //! velocity histogram. Rather than one global enlargement, each
 //! histogram cell is qualified with *its own* recorded velocity bounds
-//! (the refinement spirit of Jensen et al., MDM 2006 — reference [14]
+//! (the refinement spirit of Jensen et al., MDM 2006 — reference \[14\]
 //! of the paper), so a distant speeder cannot inflate unrelated
 //! queries. The qualifying cells decompose into contiguous curve
 //! ranges scanned on the B+-tree, and candidates are exact-filtered.

@@ -4,9 +4,27 @@
 //! B+-tree under the Bx-tree) stores its nodes in fixed-size pages
 //! managed by this crate:
 //!
-//! * [`DiskManager`] — a simulated disk: an append-mostly array of
-//!   fixed-size pages with a free list. Physical reads/writes are
-//!   counted; this is the "disk" under the buffer pool.
+//! * [`DiskManager`] — the disk under the pool, with two backends.
+//!   **Memory** (the default): an append-mostly array of fixed-size
+//!   pages with a free list — the paper's simulated disk, whose
+//!   physical read/write counting every figure reproduction relies
+//!   on. **File** ([`DiskManager::create_file`]): a real page file
+//!   for the durable configurations, laid out as one header page
+//!   followed by the data pages:
+//!
+//!   ```text
+//!   header page (32 bytes used)
+//!   +----------------+-------------+----------------+----------------+----------------+
+//!   | magic (8B)     | version u32 | page_size u32  | page_count u64 | free_head u64  |
+//!   | b"VPDISK01"    |      1      |                |                |                |
+//!   +----------------+-------------+----------------+----------------+----------------+
+//!   ```
+//!
+//!   Freed pages thread into an in-file free list through their first
+//!   8 bytes. The header (and deferred file shrinking) is written and
+//!   fsync'd only by [`DiskManager::sync`] — the checkpoint path — so
+//!   the at-rest metadata always describes the last checkpoint; see
+//!   [`disk`] for the crash-consistency contract.
 //! * [`BufferPool`] — a fixed-capacity page cache with LRU eviction,
 //!   sharded into lock-per-shard frame groups so independent partition
 //!   workers access pages concurrently. The paper's experiments use a

@@ -11,11 +11,22 @@
 //!   variant using area-at-midpoint metrics, kept as an ablation
 //!   baseline ([`TprVariant::Classic`]).
 //!
+//! Every structural decision — subtree choice, reinsertion
+//! candidates, split points — is steered by the [`cost`] metric: the
+//! sweep volume a query-inflated node TPBR covers over the tree's
+//! horizon (Star) or its area at the horizon midpoint (Classic). See
+//! [`cost::sweep_cost`] / [`cost::midpoint_area`].
+//!
 //! Nodes live in 4 KB pages behind the `vp-storage` buffer pool; every
 //! node visit is a logical page access, so the paper's query/update I/O
 //! metrics fall out of the pool statistics. The tree implements
 //! [`vp_core::MovingObjectIndex`], so it can be wrapped by the VP index
-//! manager unchanged.
+//! manager unchanged — including the **batched maintenance path**
+//! ([`TprTree::bulk_load`], `update_batch`, `remove_batch`): whole
+//! tick batches are partitioned per node top-down and applied with
+//! bulk TPBR re-clustering (multi-way splits scored by prefix/suffix
+//! cost scans, bulk underflow repair), one page write per touched
+//! node. See the [`tree`] module docs for the algorithm.
 
 pub mod cost;
 pub mod node;

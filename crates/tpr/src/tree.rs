@@ -23,6 +23,31 @@
 //!   path, parent entries are rewritten with the exact union of the
 //!   child's contents, curbing MBR/VBR drift.
 //!
+//! ## Batched maintenance
+//!
+//! Moving-object ticks hit the tree with whole batches of coherent
+//! updates (a velocity partition's objects move together — the
+//! regime the VP paper carves out). Three entry points exploit that,
+//! mirroring `vp_bptree::apply_batch`:
+//!
+//! * [`TprTree::bulk_load`] builds a tree bottom-up by re-clustering
+//!   the whole population into leaves with the prefix/suffix TPBR
+//!   cost scan, then stacking internal levels — no per-object root
+//!   descent.
+//! * [`MovingObjectIndex::update_batch`] /
+//!   [`MovingObjectIndex::remove_batch`] partition the batch per node
+//!   in **one top-down pass**: all removals for a subtree are applied
+//!   together (guided by the lookup-table entries), the surviving
+//!   inserts are routed by the same cost metric as single insertion,
+//!   and every touched page is read and written exactly once.
+//!   Overflowing nodes re-cluster **multi-way** (`ceil(n/max)` nodes
+//!   at once, boundaries refined by the prefix/suffix cost scan
+//!   shared with the 2-way split); underflowing nodes dissolve in
+//!   bulk and their survivors are group-reinserted in one trailing
+//!   pass. Forced reinsertion is not used on the batched path —
+//!   multi-way re-clustering already plays its role of un-doing bad
+//!   locality.
+//!
 //! All node accesses go through the shared buffer pool; the tree keeps
 //! its own attributable I/O counters (thread-local stat deltas), so
 //! several trees (the VP sub-indexes) can share one pool — even from
@@ -462,36 +487,14 @@ impl TprTree {
         n - evict
     }
 
-    /// TPR\*-style leaf split: try sortings by position x/y (advanced to
-    /// `now`) and — in Star mode — velocity x/y; score every legal split
-    /// point with the summed cost metric via prefix/suffix TPBR unions.
+    /// TPR\*-style leaf split: the 2-way case of
+    /// [`TprTree::cluster_leaves`] (an overflowing node holds exactly
+    /// `max + 1` entries, so re-clustering yields two groups).
     fn split_leaf(&self, entries: Vec<LeafEntry>) -> (Vec<LeafEntry>, Vec<LeafEntry>) {
-        let now = self.now;
-        let keys: &[fn(&LeafEntry, f64) -> f64] = match self.config.variant {
-            TprVariant::Star => &[
-                |e, t| e.position_at(t).x,
-                |e, t| e.position_at(t).y,
-                |e, _| e.vel.x,
-                |e, _| e.vel.y,
-            ],
-            TprVariant::Classic => &[|e, t| e.position_at(t).x, |e, t| e.position_at(t).y],
-        };
-        let min = self.layout.min_leaf;
-        let mut best: Option<(f64, Vec<LeafEntry>, usize)> = None;
-        for key in keys {
-            let mut sorted = entries.clone();
-            sorted.sort_by(|a, b| key(a, now).total_cmp(&key(b, now)));
-            let tpbrs: Vec<Tpbr> = sorted.iter().map(|e| e.tpbr()).collect();
-            if let Some((cost, at)) = self.best_split_point(&tpbrs, min) {
-                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                    best = Some((cost, sorted, at));
-                }
-            }
-        }
-        let (_, sorted, at) =
-            best.expect("split invoked on a node with enough entries for a legal split");
-        let mut left = sorted;
-        let right = left.split_off(at);
+        let mut groups = self.cluster_leaves(entries);
+        debug_assert_eq!(groups.len(), 2, "single-op split always yields two groups");
+        let right = groups.pop().expect("two groups");
+        let left = groups.pop().expect("two groups");
         (left, right)
     }
 
@@ -499,39 +502,134 @@ impl TprTree {
         &self,
         entries: Vec<InternalEntry>,
     ) -> (Vec<InternalEntry>, Vec<InternalEntry>) {
-        let keys: &[fn(&InternalEntry) -> f64] = match self.config.variant {
-            TprVariant::Star => &[
-                |e| e.tpbr.rect.center().x,
-                |e| e.tpbr.rect.center().y,
-                |e| (e.tpbr.vbr.lo.x + e.tpbr.vbr.hi.x) * 0.5,
-                |e| (e.tpbr.vbr.lo.y + e.tpbr.vbr.hi.y) * 0.5,
-            ],
-            TprVariant::Classic => &[|e| e.tpbr.rect.center().x, |e| e.tpbr.rect.center().y],
-        };
-        let min = self.layout.min_internal;
-        let mut best: Option<(f64, Vec<InternalEntry>, usize)> = None;
-        for key in keys {
-            let mut sorted = entries.clone();
-            sorted.sort_by(|a, b| key(a).total_cmp(&key(b)));
-            let tpbrs: Vec<Tpbr> = sorted.iter().map(|e| e.tpbr).collect();
-            if let Some((cost, at)) = self.best_split_point(&tpbrs, min) {
-                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                    best = Some((cost, sorted, at));
-                }
-            }
-        }
-        let (_, sorted, at) =
-            best.expect("split invoked on a node with enough entries for a legal split");
-        let mut left = sorted;
-        let right = left.split_off(at);
+        let mut groups = self.cluster_internals(entries);
+        debug_assert_eq!(groups.len(), 2, "single-op split always yields two groups");
+        let right = groups.pop().expect("two groups");
+        let left = groups.pop().expect("two groups");
         (left, right)
     }
 
-    /// For a fixed ordering, finds the split index minimizing the summed
-    /// cost metric of the two groups using O(n) prefix/suffix unions.
-    fn best_split_point(&self, tpbrs: &[Tpbr], min: usize) -> Option<(f64, usize)> {
+    /// Re-clusters leaf entries into `ceil(n / max_leaf)` groups using
+    /// the TPR\*-tree's candidate orderings: position x/y advanced to
+    /// `now` and — in Star mode — velocity x/y (sorting by velocity is
+    /// what lets the tree group objects moving in the same direction).
+    fn cluster_leaves(&self, entries: Vec<LeafEntry>) -> Vec<Vec<LeafEntry>> {
+        let now = self.now;
+        let px = move |e: &LeafEntry| e.position_at(now).x;
+        let py = move |e: &LeafEntry| e.position_at(now).y;
+        let vx = |e: &LeafEntry| e.vel.x;
+        let vy = |e: &LeafEntry| e.vel.y;
+        let star: [&dyn Fn(&LeafEntry) -> f64; 4] = [&px, &py, &vx, &vy];
+        let classic: [&dyn Fn(&LeafEntry) -> f64; 2] = [&px, &py];
+        let keys: &[&dyn Fn(&LeafEntry) -> f64] = match self.config.variant {
+            TprVariant::Star => &star,
+            TprVariant::Classic => &classic,
+        };
+        self.cluster(
+            entries,
+            keys,
+            &|e: &LeafEntry| e.tpbr(),
+            self.layout.min_leaf,
+            self.layout.max_leaf,
+        )
+    }
+
+    /// Re-clusters internal entries into `ceil(n / max_internal)`
+    /// groups, ordering by MBR center and — in Star mode — VBR center.
+    fn cluster_internals(&self, entries: Vec<InternalEntry>) -> Vec<Vec<InternalEntry>> {
+        let px = |e: &InternalEntry| e.tpbr.rect.center().x;
+        let py = |e: &InternalEntry| e.tpbr.rect.center().y;
+        let vx = |e: &InternalEntry| (e.tpbr.vbr.lo.x + e.tpbr.vbr.hi.x) * 0.5;
+        let vy = |e: &InternalEntry| (e.tpbr.vbr.lo.y + e.tpbr.vbr.hi.y) * 0.5;
+        let star: [&dyn Fn(&InternalEntry) -> f64; 4] = [&px, &py, &vx, &vy];
+        let classic: [&dyn Fn(&InternalEntry) -> f64; 2] = [&px, &py];
+        let keys: &[&dyn Fn(&InternalEntry) -> f64] = match self.config.variant {
+            TprVariant::Star => &star,
+            TprVariant::Classic => &classic,
+        };
+        self.cluster(
+            entries,
+            keys,
+            &|e: &InternalEntry| e.tpbr,
+            self.layout.min_internal,
+            self.layout.max_internal,
+        )
+    }
+
+    /// The multi-way re-clustering core shared by 2-way node splits,
+    /// group insertion, and bulk loading.
+    ///
+    /// Partitions `items` into `ceil(n / max)` groups of between `min`
+    /// and `max` items. For each candidate ordering the items are
+    /// sorted, balanced contiguous chunks are seeded, and every
+    /// interior chunk boundary is refined between its (fixed)
+    /// neighbors by the O(window) prefix/suffix TPBR cost scan of
+    /// [`TprTree::best_split_in`]. The ordering with the smallest
+    /// summed group cost wins. With `n == max + 1` this degenerates to
+    /// exactly the classic TPR\*-tree 2-way split (same candidate
+    /// range, same scoring, same tie-breaking).
+    fn cluster<T: Clone>(
+        &self,
+        items: Vec<T>,
+        keys: &[&dyn Fn(&T) -> f64],
+        tpbr_of: &dyn Fn(&T) -> Tpbr,
+        min: usize,
+        max: usize,
+    ) -> Vec<Vec<T>> {
+        let n = items.len();
+        if n <= max {
+            return vec![items];
+        }
+        let m = n.div_ceil(max);
+        let mut best: Option<(f64, Vec<T>, Vec<usize>)> = None;
+        for key in keys {
+            let mut sorted = items.clone();
+            sorted.sort_by(|a, b| key(a).total_cmp(&key(b)));
+            let tpbrs: Vec<Tpbr> = sorted.iter().map(tpbr_of).collect();
+            // Balanced seeds: group g covers [g*n/m, (g+1)*n/m). Since
+            // n > (m-1)*max, every seed already holds >= max/2 >= min
+            // entries.
+            let mut bounds: Vec<usize> = (0..=m).map(|g| g * n / m).collect();
+            for bi in 1..m {
+                let (s, e) = (bounds[bi - 1], bounds[bi + 1]);
+                let lo = (s + min).max(e.saturating_sub(max));
+                let hi = (s + max).min(e.saturating_sub(min));
+                if lo <= hi {
+                    if let Some((_, at)) = self.best_split_in(&tpbrs[s..e], lo - s, hi - s) {
+                        bounds[bi] = s + at;
+                    }
+                }
+            }
+            let cost: f64 = (0..m)
+                .map(|g| {
+                    let mut acc = Tpbr::empty(0.0);
+                    for t in &tpbrs[bounds[g]..bounds[g + 1]] {
+                        acc = acc.union(t);
+                    }
+                    self.metric(&acc)
+                })
+                .sum();
+            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                best = Some((cost, sorted, bounds));
+            }
+        }
+        let (_, mut sorted, bounds) = best.expect("at least one candidate ordering");
+        let mut groups: Vec<Vec<T>> = Vec::with_capacity(m);
+        for g in (1..m).rev() {
+            groups.push(sorted.split_off(bounds[g]));
+        }
+        groups.push(sorted);
+        groups.reverse();
+        debug_assert!(groups.iter().all(|g| (min..=max).contains(&g.len())));
+        groups
+    }
+
+    /// For a fixed ordering, the split index in `[lo, hi]` minimizing
+    /// the summed cost metric of the two groups, computed with O(n)
+    /// prefix/suffix TPBR unions.
+    fn best_split_in(&self, tpbrs: &[Tpbr], lo: usize, hi: usize) -> Option<(f64, usize)> {
         let n = tpbrs.len();
-        if n < 2 * min {
+        if n < 2 || lo == 0 || hi >= n || lo > hi {
             return None;
         }
         let mut prefix = Vec::with_capacity(n);
@@ -547,7 +645,7 @@ impl TprTree {
             suffix[i] = acc;
         }
         let mut best: Option<(f64, usize)> = None;
-        for at in min..=(n - min) {
+        for at in lo..=hi {
             let cost = self.metric(&prefix[at - 1]) + self.metric(&suffix[at]);
             if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, at));
@@ -568,7 +666,23 @@ impl TprTree {
         if !found {
             return Ok(false);
         }
-        // Root adjustments.
+        self.shrink_root()?;
+        // Reinsert orphaned entries. Dissolved subtrees were dismantled
+        // to leaf entries during the descent, so everything reinserts
+        // uniformly at the leaf level.
+        for e in orphans {
+            self.insert_entry_toplevel(e)?;
+        }
+        Ok(true)
+    }
+
+    /// Collapses trivial roots left behind by removals: an internal
+    /// root with a single child loses a level (repeatedly), and an
+    /// empty root of either kind empties the tree.
+    fn shrink_root(&mut self) -> IndexResult<()> {
+        if !self.root.is_valid() {
+            return Ok(());
+        }
         loop {
             match self.read_node(self.root)? {
                 Node::Internal { entries, .. } if entries.len() == 1 => {
@@ -582,24 +696,17 @@ impl TprTree {
                     self.pool.free_page(self.root)?;
                     self.root = PageId::INVALID;
                     self.height = 0;
-                    break;
+                    return Ok(());
                 }
                 Node::Leaf { entries } if entries.is_empty() => {
                     self.pool.free_page(self.root)?;
                     self.root = PageId::INVALID;
                     self.height = 0;
-                    break;
+                    return Ok(());
                 }
-                _ => break,
+                _ => return Ok(()),
             }
         }
-        // Reinsert orphaned entries. Dissolved subtrees were dismantled
-        // to leaf entries during the descent, so everything reinserts
-        // uniformly at the leaf level.
-        for e in orphans {
-            self.insert_entry_toplevel(e)?;
-        }
-        Ok(true)
     }
 
     /// Dismantles a subtree into its leaf entries, freeing every page.
@@ -700,6 +807,277 @@ impl TprTree {
             }
         }
     }
+
+    // ----- batched maintenance ------------------------------------------
+
+    /// Builds a tree from a snapshot of objects by bulk TPBR
+    /// re-clustering: leaves are packed by the multi-way clustering
+    /// core and internal levels stacked on top, with no per-object
+    /// root descent. Equivalent in contents to
+    /// inserting every object individually, far cheaper, and usually
+    /// better clustered (every leaf is cost-optimized at once).
+    /// Fails with [`IndexError::DuplicateObject`] on a repeated id.
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        config: TprConfig,
+        objects: &[MovingObject],
+    ) -> IndexResult<TprTree> {
+        let mut tree = TprTree::new(pool, config);
+        let mut table = HashMap::with_capacity(objects.len());
+        let mut leaves = Vec::with_capacity(objects.len());
+        for obj in objects {
+            let entry = LeafEntry::from_object(obj);
+            if table.insert(obj.id, entry).is_some() {
+                return Err(IndexError::DuplicateObject(obj.id));
+            }
+            tree.now = tree.now.max(obj.ref_time);
+            leaves.push(entry);
+        }
+        let before = tree.track_begin();
+        let built = tree.build_from_entries(leaves);
+        tree.track_end(before);
+        built?;
+        tree.len = table.len();
+        tree.entries = table;
+        Ok(tree)
+    }
+
+    /// Builds the tree bottom-up over `entries` (the tree must be
+    /// empty): cluster into leaves, then stack internal levels.
+    fn build_from_entries(&mut self, entries: Vec<LeafEntry>) -> IndexResult<()> {
+        debug_assert!(!self.root.is_valid());
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let groups = self.cluster_leaves(entries);
+        let mut nodes = Vec::with_capacity(groups.len());
+        for g in groups {
+            let node = Node::Leaf { entries: g };
+            let tpbr = node.bounding_tpbr();
+            let pid = self.alloc_node(&node)?;
+            nodes.push(InternalEntry { child: pid, tpbr });
+        }
+        self.install_root(nodes, 0)
+    }
+
+    /// Installs a root above `nodes` (which all sit at `child_level`),
+    /// re-clustering each internal level until a single node remains.
+    fn install_root(
+        &mut self,
+        mut nodes: Vec<InternalEntry>,
+        mut child_level: u8,
+    ) -> IndexResult<()> {
+        while nodes.len() > 1 {
+            let level = child_level + 1;
+            let groups = self.cluster_internals(nodes);
+            let mut parents = Vec::with_capacity(groups.len());
+            for g in groups {
+                let node = Node::Internal { level, entries: g };
+                let tpbr = node.bounding_tpbr();
+                let pid = self.alloc_node(&node)?;
+                parents.push(InternalEntry { child: pid, tpbr });
+            }
+            nodes = parents;
+            child_level = level;
+        }
+        self.root = nodes[0].child;
+        self.height = child_level + 1;
+        Ok(())
+    }
+
+    /// One batched pass over the tree: remove the given stored entries
+    /// and group-insert `inserts`, reading and writing every touched
+    /// page exactly once. Entries orphaned by bulk underflow repair
+    /// are group-reinserted in one trailing pure-insert pass.
+    fn apply_group(
+        &mut self,
+        removals: Vec<LeafEntry>,
+        inserts: Vec<LeafEntry>,
+    ) -> IndexResult<()> {
+        if removals.is_empty() && inserts.is_empty() {
+            return Ok(());
+        }
+        if !self.root.is_valid() {
+            debug_assert!(removals.is_empty(), "nothing to remove from an empty tree");
+            return self.build_from_entries(inserts);
+        }
+        let cands: Vec<ObjectId> = removals.iter().map(|e| e.id).collect();
+        let mut pending: HashMap<ObjectId, LeafEntry> =
+            removals.into_iter().map(|e| (e.id, e)).collect();
+        let mut orphans = Vec::new();
+        let outcome = self.batch_rec(
+            self.root,
+            self.height - 1,
+            &cands,
+            &mut pending,
+            inserts,
+            &mut orphans,
+        )?;
+        if let GroupOutcome::Many(nodes) = outcome {
+            let child_level = self.height - 1;
+            self.install_root(nodes, child_level)?;
+        }
+        if !pending.is_empty() {
+            // The lookup table said these exist; a miss means drift
+            // beyond the containment epsilons — surface loudly rather
+            // than corrupting the table (same contract as `delete`).
+            let mut ids: Vec<ObjectId> = pending.keys().copied().collect();
+            ids.sort_unstable();
+            return Err(IndexError::Storage(vp_storage::StorageError::Corrupt(
+                format!("entries for objects {ids:?} not reachable by guided descent"),
+            )));
+        }
+        self.shrink_root()?;
+        if !orphans.is_empty() {
+            // A pure insert pass cannot dissolve nodes, so this
+            // recursion terminates after one round.
+            self.apply_group(Vec::new(), orphans)?;
+        }
+        Ok(())
+    }
+
+    /// The recursive batched pass. `cands` is the subset of pending
+    /// removal ids whose stored entry this subtree could contain;
+    /// `pending` is the global not-yet-removed map (ids are claimed
+    /// from it at the leaves, so overlapping sibling subtrees never
+    /// search for an already-removed entry).
+    fn batch_rec(
+        &mut self,
+        pid: PageId,
+        level: u8,
+        cands: &[ObjectId],
+        pending: &mut HashMap<ObjectId, LeafEntry>,
+        inserts: Vec<LeafEntry>,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> IndexResult<GroupOutcome> {
+        match self.read_node(pid)? {
+            Node::Leaf { mut entries } => {
+                debug_assert_eq!(level, 0);
+                if !cands.is_empty() {
+                    entries.retain(|e| pending.remove(&e.id).is_none());
+                }
+                entries.extend(inserts);
+                self.finish_leaf(pid, entries, orphans)
+            }
+            Node::Internal {
+                level: lvl,
+                mut entries,
+            } => {
+                debug_assert_eq!(lvl, level);
+                // Route every insert to the child whose cost metric
+                // grows least — the same rule as single insertion,
+                // evaluated against the pre-pass child TPBRs.
+                let mut child_inserts: Vec<Vec<LeafEntry>> = vec![Vec::new(); entries.len()];
+                for e in inserts {
+                    let c = self.choose_subtree(&entries, &e);
+                    child_inserts[c].push(e);
+                }
+                let mut out: Vec<InternalEntry> = Vec::with_capacity(entries.len());
+                for (i, ie) in entries.drain(..).enumerate() {
+                    let ins = std::mem::take(&mut child_inserts[i]);
+                    let child_cands: Vec<ObjectId> = cands
+                        .iter()
+                        .copied()
+                        .filter(|id| pending.get(id).is_some_and(|t| could_contain(&ie.tpbr, t)))
+                        .collect();
+                    if ins.is_empty() && child_cands.is_empty() {
+                        // Untouched subtree: zero I/O.
+                        out.push(ie);
+                        continue;
+                    }
+                    match self.batch_rec(
+                        ie.child,
+                        level - 1,
+                        &child_cands,
+                        pending,
+                        ins,
+                        orphans,
+                    )? {
+                        GroupOutcome::One(tpbr) => out.push(InternalEntry {
+                            child: ie.child,
+                            tpbr,
+                        }),
+                        GroupOutcome::Many(nodes) => out.extend(nodes),
+                        GroupOutcome::Dissolved => {}
+                    }
+                }
+                self.finish_internal(pid, level, out, orphans)
+            }
+        }
+    }
+
+    /// Writes back a leaf's post-batch contents: multi-way re-cluster
+    /// on overflow (page `pid` is reused for the first group), dissolve
+    /// into the orphan pool on underflow, plain single write otherwise.
+    fn finish_leaf(
+        &mut self,
+        pid: PageId,
+        entries: Vec<LeafEntry>,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> IndexResult<GroupOutcome> {
+        if entries.len() > self.layout.max_leaf {
+            let groups = self.cluster_leaves(entries);
+            let mut out = Vec::with_capacity(groups.len());
+            for (i, g) in groups.into_iter().enumerate() {
+                let node = Node::Leaf { entries: g };
+                let tpbr = node.bounding_tpbr();
+                let child = if i == 0 {
+                    self.write_node(pid, &node)?;
+                    pid
+                } else {
+                    self.alloc_node(&node)?
+                };
+                out.push(InternalEntry { child, tpbr });
+            }
+            return Ok(GroupOutcome::Many(out));
+        }
+        if pid != self.root && entries.len() < self.layout.min_leaf {
+            orphans.extend(entries);
+            self.pool.free_page(pid)?;
+            return Ok(GroupOutcome::Dissolved);
+        }
+        let node = Node::Leaf { entries };
+        self.write_node(pid, &node)?;
+        Ok(GroupOutcome::One(node.bounding_tpbr()))
+    }
+
+    /// [`TprTree::finish_leaf`]'s internal-node sibling: on underflow
+    /// the surviving child subtrees are dismantled into the orphan
+    /// pool (bulk condense).
+    fn finish_internal(
+        &mut self,
+        pid: PageId,
+        level: u8,
+        entries: Vec<InternalEntry>,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> IndexResult<GroupOutcome> {
+        if entries.len() > self.layout.max_internal {
+            let groups = self.cluster_internals(entries);
+            let mut out = Vec::with_capacity(groups.len());
+            for (i, g) in groups.into_iter().enumerate() {
+                let node = Node::Internal { level, entries: g };
+                let tpbr = node.bounding_tpbr();
+                let child = if i == 0 {
+                    self.write_node(pid, &node)?;
+                    pid
+                } else {
+                    self.alloc_node(&node)?
+                };
+                out.push(InternalEntry { child, tpbr });
+            }
+            return Ok(GroupOutcome::Many(out));
+        }
+        if pid != self.root && entries.len() < self.layout.min_internal {
+            for e in &entries {
+                self.dismantle_subtree(e.child, orphans)?;
+            }
+            self.pool.free_page(pid)?;
+            return Ok(GroupOutcome::Dissolved);
+        }
+        let node = Node::Internal { level, entries };
+        self.write_node(pid, &node)?;
+        Ok(GroupOutcome::One(node.bounding_tpbr()))
+    }
 }
 
 enum RecOutcome {
@@ -716,6 +1094,18 @@ enum DelOutcome {
         tpbr: Option<Tpbr>,
         dissolved: bool,
     },
+}
+
+/// Outcome of one subtree's share of a batched pass.
+enum GroupOutcome {
+    /// The node absorbed its ops in place; its new exact bounding TPBR.
+    One(Tpbr),
+    /// The node overflowed and re-clustered into several nodes (the
+    /// original page is reused for the first); all at the node's level.
+    Many(Vec<InternalEntry>),
+    /// The node underflowed and dissolved: its surviving entries moved
+    /// to the orphan pool and its page was freed.
+    Dissolved,
 }
 
 /// Conservative test: could this node's TPBR contain the given entry?
@@ -765,6 +1155,75 @@ impl MovingObjectIndex for TprTree {
         }
         self.entries.remove(&id);
         self.len -= 1;
+        Ok(())
+    }
+
+    /// Batched upsert (the tentpole of the TPR batched-maintenance
+    /// path): the stale stored entries of already-present ids are
+    /// removed and every winner group-inserted in **one top-down
+    /// pass** — per-node op partitioning, multi-way re-clustering
+    /// splits, bulk underflow repair, one write per touched page —
+    /// instead of a delete + insert root descent per object. Same
+    /// contents as the looped default (last occurrence of an id wins),
+    /// usually a different (at least as well clustered) shape.
+    fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let mut latest: HashMap<ObjectId, usize> = HashMap::with_capacity(updates.len());
+        for (i, obj) in updates.iter().enumerate() {
+            latest.insert(obj.id, i);
+        }
+        let mut removals = Vec::new();
+        let mut winners: Vec<LeafEntry> = Vec::with_capacity(latest.len());
+        for (i, obj) in updates.iter().enumerate() {
+            if latest[&obj.id] != i {
+                continue;
+            }
+            self.now = self.now.max(obj.ref_time);
+            if let Some(old) = self.entries.get(&obj.id) {
+                removals.push(*old);
+            }
+            winners.push(LeafEntry::from_object(obj));
+        }
+        let before = self.track_begin();
+        let result = self.apply_group(removals, winners.clone());
+        self.track_end(before);
+        result?;
+        for e in winners {
+            self.entries.insert(e.id, e);
+        }
+        self.len = self.entries.len();
+        Ok(())
+    }
+
+    /// Batched deletion: all doomed entries are removed in one
+    /// top-down pass with bulk underflow repair. Every id is resolved
+    /// before the tree is touched, so an unknown or duplicated id
+    /// rejects the whole batch with the index unchanged.
+    fn remove_batch(&mut self, ids: &[ObjectId]) -> IndexResult<()> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let mut targets = Vec::with_capacity(ids.len());
+        let mut seen = std::collections::HashSet::with_capacity(ids.len());
+        for &id in ids {
+            let Some(entry) = self.entries.get(&id) else {
+                return Err(IndexError::UnknownObject(id));
+            };
+            if !seen.insert(id) {
+                return Err(IndexError::DuplicateObject(id));
+            }
+            targets.push(*entry);
+        }
+        let before = self.track_begin();
+        let result = self.apply_group(targets, Vec::new());
+        self.track_end(before);
+        result?;
+        for &id in ids {
+            self.entries.remove(&id);
+        }
+        self.len = self.entries.len();
         Ok(())
     }
 
@@ -876,15 +1335,15 @@ mod tests {
             .collect()
     }
 
-    /// Pins the baseline for the ROADMAP's future TPR group-insert:
-    /// the TPR\*-tree has no batched plan yet, so
-    /// [`MovingObjectIndex::update_batch`] falls back to the single-op
-    /// default, which must behave exactly like looping `update` /
-    /// `insert` by hand — same contents, same query answers, same
-    /// structural invariants. When a real batched path lands, this
-    /// test keeps its semantics honest.
+    /// The batched path's semantic contract: `update_batch` (one
+    /// top-down group pass with re-clustering) must behave exactly
+    /// like looping `update` / `insert` by hand — same contents, same
+    /// query answers, same structural invariants. (The tree *shapes*
+    /// legitimately differ; queries must not.) The seeded proptest in
+    /// `tests/batch_equivalence.rs` generalizes this to random tick
+    /// streams with range + kNN oracles.
     #[test]
-    fn update_batch_fallback_matches_looped_updates() {
+    fn update_batch_matches_looped_updates() {
         let mut batched = tree();
         let mut looped = tree();
         let mut objs = random_objects(300, 0x7EE7);
@@ -969,10 +1428,10 @@ mod tests {
         }
     }
 
-    /// The fallback's `remove_batch` sibling: looped deletes and the
-    /// default batch removal leave identical trees.
+    /// `remove_batch`'s sibling contract: looped deletes and the
+    /// batched one-pass removal answer every query identically.
     #[test]
-    fn remove_batch_fallback_matches_looped_deletes() {
+    fn remove_batch_matches_looped_deletes() {
         let objs = random_objects(200, 0xD00D);
         let mut batched = tree();
         let mut looped = tree();
@@ -997,6 +1456,130 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|id| id % 3 != 0));
         batched.check_invariants().unwrap().unwrap();
+    }
+
+    /// `bulk_load` must hold the same contents and answer the same
+    /// queries as incremental insertion, through several multi-level
+    /// tree sizes.
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        for n in [0usize, 5, 60, 400, 1200] {
+            let objs = random_objects(n, 0xB01D ^ n as u64);
+            let bulk = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+            let mut inc = tree();
+            for o in &objs {
+                inc.insert(*o).unwrap();
+            }
+            assert_eq!(bulk.len(), inc.len(), "n = {n}");
+            bulk.check_invariants().unwrap().unwrap();
+            let mut rng = Rng(0x5EED ^ n as u64 | 1);
+            for qi in 0..10 {
+                let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+                let q = RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(c, 1_200.0)),
+                    (qi % 4) as f64 * 20.0,
+                );
+                let mut a = bulk.range_query(&q).unwrap();
+                let mut b = inc.range_query(&q).unwrap();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "n = {n}, query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_rejects_duplicate_ids() {
+        let mut objs = random_objects(20, 0xD0D0);
+        objs.push(objs[3]);
+        assert!(matches!(
+            TprTree::bulk_load(small_pool(), TprConfig::default(), &objs),
+            Err(IndexError::DuplicateObject(3))
+        ));
+    }
+
+    /// A bulk-loaded tree keeps working under the single-op paths.
+    #[test]
+    fn bulk_loaded_tree_supports_all_ops() {
+        let objs = random_objects(300, 0x1DEA);
+        let mut t = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        t.insert(obj(9_999, 1.0, 1.0, 0.0, 0.0, 0.0)).unwrap();
+        t.delete(0).unwrap();
+        t.update(obj(1, 5_000.0, 5_000.0, 3.0, -2.0, 10.0)).unwrap();
+        assert_eq!(t.len(), 300);
+        t.check_invariants().unwrap().unwrap();
+    }
+
+    /// The attributable win of the tentpole: one full tick applied
+    /// batched must write strictly fewer pages than looped single-op
+    /// updates (one write per touched page vs. one path rewrite per
+    /// object).
+    #[test]
+    fn update_batch_writes_fewer_pages_than_looped() {
+        let objs = random_objects(600, 0x10C0);
+        let updates: Vec<MovingObject> = objs
+            .iter()
+            .map(|o| MovingObject::new(o.id, o.position_at(30.0), o.vel, 30.0))
+            .collect();
+
+        let mut batched = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        batched.reset_io_stats();
+        batched.update_batch(&updates).unwrap();
+        let io_batched = batched.io_stats();
+
+        let mut looped = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        looped.reset_io_stats();
+        for u in &updates {
+            looped.update(*u).unwrap();
+        }
+        let io_looped = looped.io_stats();
+
+        assert!(
+            io_batched.logical_writes < io_looped.logical_writes / 2,
+            "batched tick should write far fewer pages: batched {} vs looped {}",
+            io_batched.logical_writes,
+            io_looped.logical_writes
+        );
+        batched.check_invariants().unwrap().unwrap();
+    }
+
+    #[test]
+    fn remove_batch_rejects_unknown_and_duplicate_ids() {
+        let objs = random_objects(50, 0xBAD);
+        let mut t = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        assert!(matches!(
+            t.remove_batch(&[1, 2, 999]),
+            Err(IndexError::UnknownObject(999))
+        ));
+        assert!(matches!(
+            t.remove_batch(&[1, 2, 1]),
+            Err(IndexError::DuplicateObject(1))
+        ));
+        // Both rejections left the index untouched.
+        assert_eq!(t.len(), 50);
+        t.check_invariants().unwrap().unwrap();
+        t.remove_batch(&[1, 2]).unwrap();
+        assert_eq!(t.len(), 48);
+    }
+
+    /// A giant batch landing on a tiny tree must grow it through
+    /// multiple levels in one pass (multi-way splits cascading through
+    /// `install_root`).
+    #[test]
+    fn update_batch_grows_tree_multiple_levels() {
+        let mut t = tree();
+        t.insert(obj(100_000, 5_000.0, 5_000.0, 1.0, 1.0, 0.0))
+            .unwrap();
+        let objs = random_objects(800, 0x9E0);
+        t.update_batch(&objs).unwrap();
+        assert_eq!(t.len(), 801);
+        assert!(t.height() >= 3, "expected >= 3 levels, got {}", t.height());
+        t.check_invariants().unwrap().unwrap();
+        // And shrink back down through batched removal.
+        let doomed: Vec<u64> = objs.iter().map(|o| o.id).collect();
+        t.remove_batch(&doomed).unwrap();
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap().unwrap();
     }
 
     #[test]

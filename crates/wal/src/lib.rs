@@ -54,6 +54,16 @@
 //! first seq they hold, which makes checkpoint truncation
 //! ([`Wal::truncate_below`]) a pure directory operation: drop every
 //! segment whose successor starts at or below the checkpoint.
+//!
+//! ## Recovery reads each byte once
+//!
+//! Opening a stream validates the tail segment (truncating a torn
+//! tail in place) and **retains the records it decoded**; the first
+//! [`Wal::replay`] after open serves that segment from the retained
+//! copy instead of re-reading the file, so a cold start over a long
+//! un-checkpointed tail costs one read of the tail, not two. The copy
+//! is dropped the moment the file could diverge from it (first flush,
+//! or a [`Wal::truncate_after`] amputation trims it in lockstep).
 
 mod log;
 mod record;

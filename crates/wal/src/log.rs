@@ -39,6 +39,12 @@ pub struct Wal {
     buf_first_seq: Option<u64>,
     /// Highest seq appended or recovered; 0 before the first record.
     last_seq: u64,
+    /// The tail segment's records, decoded during open-time
+    /// validation and retained so the recovery-path [`Wal::replay`]
+    /// reads that segment once, not twice. `(first_seq, records)`;
+    /// dropped as soon as the file and the retained copy could
+    /// diverge (first flush, or a tail amputation).
+    retained_tail: Option<(u64, Vec<WalRecord>)>,
 }
 
 impl Wal {
@@ -68,14 +74,18 @@ impl Wal {
         let mut segments = Wal::scan_segments(&dir, prefix)?;
         let mut last_seq = 0;
         let mut seg_size = 0;
+        let mut retained_tail = None;
         // Validate from the newest segment backwards: a crash during a
         // roll can leave an empty or header-torn file at the tail,
-        // which is discarded like any other torn suffix.
+        // which is discarded like any other torn suffix. The records
+        // decoded while validating are retained for `replay`, which
+        // would otherwise read the tail segment a second time.
         while let Some((first_seq, path)) = segments.last().cloned() {
             match Wal::recover_segment(&path, first_seq)? {
-                Some((tail_seq, valid_len)) => {
+                Some((tail_seq, valid_len, records)) => {
                     last_seq = tail_seq;
                     seg_size = valid_len;
+                    retained_tail = Some((first_seq, records));
                     break;
                 }
                 None => {
@@ -94,6 +104,7 @@ impl Wal {
             buf: Vec::new(),
             buf_first_seq: None,
             last_seq,
+            retained_tail,
         })
     }
 
@@ -143,6 +154,9 @@ impl Wal {
             return Ok(());
         }
         let first = self.buf_first_seq.expect("non-empty buffer has a seq");
+        // The file is about to grow past the open-time snapshot; the
+        // retained copy no longer tells the whole story.
+        self.retained_tail = None;
         if self.segments.is_empty() || self.seg_size >= self.segment_bytes {
             self.roll(first)?;
         }
@@ -197,6 +211,11 @@ impl Wal {
     /// stopping at the first torn or corrupt record (consistent-prefix
     /// semantics). Pending unflushed appends are not visible; recovery
     /// always runs on a freshly opened stream.
+    ///
+    /// The tail segment was already read and validated when the
+    /// stream was opened; as long as nothing has been flushed since,
+    /// its records are served from the retained open-time copy, so a
+    /// long un-checkpointed tail costs one read, not two.
     pub fn replay(&self, from_seq: u64) -> WalResult<Vec<WalRecord>> {
         let mut out = Vec::new();
         let mut prev_seq = from_seq;
@@ -205,6 +224,24 @@ impl Wal {
             // are below the successor's first seq.
             if let Some((next_first, _)) = self.segments.get(i + 1) {
                 if *next_first <= from_seq + 1 {
+                    continue;
+                }
+            }
+            // The open-time handoff: the validated tail segment.
+            if let Some((retained_first, records)) = &self.retained_tail {
+                if retained_first == first_seq {
+                    for rec in records {
+                        if rec.seq > from_seq {
+                            if rec.seq <= prev_seq {
+                                return Err(WalError::Corrupt(format!(
+                                    "non-monotonic seq {} after {prev_seq}",
+                                    rec.seq
+                                )));
+                            }
+                            prev_seq = rec.seq;
+                            out.push(rec.clone());
+                        }
+                    }
                     continue;
                 }
             }
@@ -271,6 +308,11 @@ impl Wal {
             self.buf.is_empty(),
             "truncate_after with buffered appends would lose them"
         );
+        // Keep the open-time tail copy honest: records above the cut
+        // die in the retained copy exactly as they do in the file.
+        if let Some((_, records)) = &mut self.retained_tail {
+            records.retain(|r| r.seq <= cutoff);
+        }
         // Whole segments strictly above the cutoff go first.
         while let Some((first_seq, path)) = self.segments.last().cloned() {
             if first_seq <= cutoff {
@@ -344,16 +386,23 @@ impl Wal {
     }
 
     /// Validates one segment's header and record run, truncating a
-    /// torn tail in place. Returns `(last_seq, valid_len)`, with
-    /// `last_seq == first_seq - 1` for a record-less segment, or
-    /// `None` when even the header is unusable (crash during roll).
-    fn recover_segment(path: &Path, first_seq: u64) -> WalResult<Option<(u64, u64)>> {
+    /// torn tail in place. Returns `(last_seq, valid_len, records)` —
+    /// the decoded record run is handed back so the caller can retain
+    /// it for [`Wal::replay`] — with `last_seq == first_seq - 1` for a
+    /// record-less segment, or `None` when even the header is unusable
+    /// (crash during roll).
+    #[allow(clippy::type_complexity)]
+    fn recover_segment(
+        path: &Path,
+        first_seq: u64,
+    ) -> WalResult<Option<(u64, u64, Vec<WalRecord>)>> {
         let data = fs::read(path)?;
         if decode_segment_header(&data).map(|s| s == first_seq) != Ok(true) {
             return Ok(None);
         }
         let mut off = SEGMENT_HEADER_LEN;
         let mut last_seq = first_seq.saturating_sub(1);
+        let mut records = Vec::new();
         loop {
             match decode_record(&data[off..]) {
                 Decoded::End => break,
@@ -363,13 +412,23 @@ impl Wal {
                     f.sync_data()?;
                     break;
                 }
-                Decoded::Record { seq, consumed, .. } => {
+                Decoded::Record {
+                    seq,
+                    kind,
+                    payload,
+                    consumed,
+                } => {
                     last_seq = seq;
+                    records.push(WalRecord {
+                        seq,
+                        kind,
+                        payload: payload.to_vec(),
+                    });
                     off += consumed;
                 }
             }
         }
-        Ok(Some((last_seq, off as u64)))
+        Ok(Some((last_seq, off as u64, records)))
     }
 
     /// Starts a fresh segment whose first record will carry
@@ -627,6 +686,72 @@ mod tests {
         wal.append(1, 1, b"fresh").unwrap();
         wal.sync().unwrap();
         assert_eq!(wal.replay(0).unwrap().len(), 1);
+    }
+
+    /// The open → replay handoff: the tail segment is read once, at
+    /// open time. Proven behaviorally — mutilating the tail file
+    /// *after* open must not change what replay returns, because
+    /// replay serves the retained open-time copy. After a flush the
+    /// retained copy is dropped and replay goes back to the file.
+    #[test]
+    fn replay_after_open_reads_tail_segment_once() {
+        let t = TempDir::new("handoff");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        for seq in 1..=4u64 {
+            wal.append(seq, 1, &[seq as u8; 8]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        let (_, path) = wal.segments.last().cloned().unwrap();
+        // Zero the whole file behind the Wal's back. A replay that
+        // re-read the segment would now see garbage.
+        let len = fs::metadata(&path).unwrap().len();
+        fs::write(&path, vec![0u8; len as usize]).unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 4, "replay must come from the retained copy");
+        assert_eq!(got[3].payload, vec![4u8; 8]);
+        // A narrower cut is also served from memory.
+        assert_eq!(wal.replay(2).unwrap().len(), 2);
+
+        // Restore the file, append + flush: the retained copy is
+        // invalidated and replay reads the (restored + extended) file.
+        let mut restore = Vec::new();
+        restore.extend_from_slice(&encode_segment_header(1));
+        for seq in 1..=4u64 {
+            encode_record(&mut restore, seq, 1, &[seq as u8; 8]);
+        }
+        fs::write(&path, &restore).unwrap();
+        wal.append(5, 1, b"tail").unwrap();
+        wal.sync().unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[4].payload, b"tail".to_vec());
+    }
+
+    /// `truncate_after` must amputate the retained open-time copy in
+    /// lockstep with the file, or the next replay would resurrect
+    /// dead records from memory.
+    #[test]
+    fn truncate_after_trims_the_retained_tail_copy() {
+        let t = TempDir::new("handoff-truncate");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        for seq in 1..=6u64 {
+            wal.append(seq, 1, &[seq as u8; 4]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.truncate_after(3).unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.last().unwrap().seq, 3);
+        // And the file agrees after a reopen.
+        drop(wal);
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.replay(0).unwrap().len(), 3);
     }
 
     #[test]

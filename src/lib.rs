@@ -6,7 +6,9 @@
 //! system depends on:
 //!
 //! * the **TPR\*-tree** and classic TPR-tree ([`TprTree`]) over a paged
-//!   storage engine with an I/O-counting LRU buffer pool;
+//!   storage engine with an I/O-counting LRU buffer pool, with batched
+//!   maintenance via bulk TPBR re-clustering (`bulk_load`,
+//!   `update_batch`, `remove_batch` — one page write per touched node);
 //! * the **Bx-tree** ([`BxTree`]) over a from-scratch B+-tree, with
 //!   Hilbert/Z-order curves, time buckets, and velocity-histogram
 //!   query enlargement;
@@ -110,6 +112,14 @@
 //! See `examples/durable_quickstart.rs` for the runnable version, and
 //! `cargo run --release -p vp-bench --bin wal_throughput` for what
 //! each position of the durability dial costs.
+//!
+//! ## Where everything lives
+//!
+//! `docs/ARCHITECTURE.md` in the repository maps the workspace: the
+//! crate dependency diagram (geom → storage/wal → bptree/bx/tpr →
+//! core → workload → bench), the tick/batch data flow from
+//! `VpIndex::apply_updates` down to the page files, the durability
+//! lifecycle, and which benches and tests guard which path.
 //!
 //! See `examples/` for larger scenarios and `crates/bench/src/bin/`
 //! for the binaries regenerating every figure of the paper.
