@@ -184,7 +184,7 @@ fn bench(c: &mut Criterion) {
 
 /// One worker setting of the parallel-ticks group, generic over the
 /// partition backend.
-fn bench_parallel_tick<I: vp_core::MovingObjectIndex + Send>(
+fn bench_parallel_tick<I: vp_core::MovingObjectIndex + Send + Sync>(
     group: &mut criterion::BenchmarkGroup<'_>,
     mut vp: vp_core::VpIndex<I>,
     workload: &TickWorkload,

@@ -1,0 +1,103 @@
+//! Bench-floor guard: fails (exit 1) when a freshly measured bench
+//! JSON regresses below a fraction of the committed one.
+//!
+//! Reads two `BENCH_*.json` files in the workspace's dumb bench
+//! format (`{"bench": …, "metrics": {key: value, …}}`), selects the
+//! *guarded* metrics — keys containing any of the `--match`
+//! substrings (default: `speedup` and `_ratio`, the relative metrics
+//! that are comparable across machines and run sizes, unlike raw
+//! throughput) — and asserts `fresh >= floor * committed` for each.
+//!
+//! ```text
+//! cargo run --release -p vp-bench --bin bench_floor -- \
+//!     --committed BENCH_query_batch.json \
+//!     --fresh target/BENCH_query_batch.json \
+//!     --floor 0.8
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the workspace bench JSON (see
+/// `vp_bench::report::write_bench_json` — flat, one metric per line)
+/// without a JSON dependency.
+fn parse_metrics(path: &str) -> BTreeMap<String, f64> {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench file {path}: {e}"));
+    let mut out = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "bench" {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    assert!(!out.is_empty(), "{path}: no metrics found");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let committed = arg("--committed").expect("--committed <file> is required");
+    let fresh = arg("--fresh").expect("--fresh <file> is required");
+    let floor: f64 = arg("--floor").map_or(0.8, |f| f.parse().expect("--floor parses as f64"));
+    let mut matchers: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--match")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    if matchers.is_empty() {
+        matchers = vec!["speedup".into(), "_ratio".into()];
+    }
+
+    let want = parse_metrics(&committed);
+    let got = parse_metrics(&fresh);
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for (key, &reference) in &want {
+        if !matchers.iter().any(|m| key.contains(m.as_str())) {
+            continue;
+        }
+        let Some(&measured) = got.get(key) else {
+            failures.push(format!("{key}: missing from {fresh}"));
+            continue;
+        };
+        checked += 1;
+        let min = reference * floor;
+        let ok = measured >= min;
+        println!(
+            "{} {key}: {measured:.3} vs committed {reference:.3} (floor {min:.3})",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        if !ok {
+            failures.push(format!(
+                "{key}: {measured:.3} < {min:.3} ({floor} x committed {reference:.3})"
+            ));
+        }
+    }
+    assert!(checked > 0, "no guarded metrics matched {matchers:?}");
+    if failures.is_empty() {
+        println!("bench_floor: {checked} guarded metrics hold at floor {floor}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_floor: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,353 @@
+//! Batched query engine throughput: what the shared sweep buys.
+//!
+//! Measures range-query batches answered through the batched engine
+//! ([`vp_core::VpIndex::range_query_batch`] — per-partition fan-out
+//! into the sub-indexes' shared leaf sweeps) against the same batch
+//! looped through the single-query path, for both index families
+//! (Bx and TPR\*), in two regimes:
+//!
+//! * **static** — load the fleet once, then query; isolates the
+//!   shared-sweep effect (page fetches and node decodes amortized
+//!   across overlapping queries).
+//! * **ticking** — a full update tick is applied between query
+//!   batches, so queries run against an index under maintenance
+//!   (fresh time buckets, migrating partitions): the production
+//!   regime of the ROADMAP's query-heavy workloads.
+//!
+//! Also reports kNN batch throughput and the per-search page reads of
+//! the incremental enlargement (delta rings + cross-round seen-set).
+//!
+//! Results print as tables and land in `BENCH_query_batch.json`; the
+//! `bench_floor` guard fails CI when a committed speedup metric
+//! regresses.
+//!
+//! ```text
+//! cargo run --release -p vp-bench --bin bench_query_batch            # full
+//! cargo run --release -p vp-bench --bin bench_query_batch -- --quick # CI smoke
+//! cargo run --release -p vp-bench --bin bench_query_batch -- --quick --out target/B.json
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vp_bench::parallel::{TickBackend, TickWorkload};
+use vp_bench::report::{fmt, write_bench_json, Table};
+use vp_core::{KnnQuery, MovingObjectIndex, QueryRegion, RangeQuery, VpIndex};
+use vp_geom::{Circle, Point, Rect};
+use vp_storage::{BufferPool, DiskManager, DEFAULT_POOL_SHARDS};
+
+const DOMAIN: f64 = 100_000.0;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("vp-query-bench-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A file-backed, deliberately undersized buffer pool: the index does
+/// not fit, so page misses are physical reads — the "index is bigger
+/// than RAM" regime the shared sweep targets.
+fn pressured_pool(dir: &TempDir, name: &str, pool_pages: usize) -> Arc<BufferPool> {
+    let disk = DiskManager::create_file(dir.0.join(format!("{name}.pages")), 4096).unwrap();
+    Arc::new(BufferPool::with_shards(
+        disk,
+        pool_pages,
+        DEFAULT_POOL_SHARDS,
+    ))
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+/// A query batch with realistic skew: most queries pile onto a few
+/// hotspots (the downtown every user asks about), the rest are
+/// uniform. Mixed time-slice / interval / moving flavors.
+fn make_queries(seed: u64, n: usize, radius: f64, t: f64) -> Vec<RangeQuery> {
+    let mut rng = Rng(seed | 1);
+    let hotspots: Vec<Point> = (0..4)
+        .map(|_| {
+            Point::new(
+                20_000.0 + rng.f64() * 60_000.0,
+                20_000.0 + rng.f64() * 60_000.0,
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|qi| {
+            let c = if qi % 4 != 3 {
+                let h = hotspots[qi % hotspots.len()];
+                Point::new(
+                    h.x + rng.f64() * 6_000.0 - 3_000.0,
+                    h.y + rng.f64() * 6_000.0 - 3_000.0,
+                )
+            } else {
+                Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN)
+            };
+            match qi % 6 {
+                5 => RangeQuery::time_interval(
+                    QueryRegion::Rect(Rect::centered(c, radius * 2.0, radius * 1.4)),
+                    t,
+                    t + 20.0,
+                ),
+                4 => RangeQuery::moving(
+                    QueryRegion::Circle(Circle::new(c, radius)),
+                    Point::new(rng.f64() * 30.0 - 15.0, 10.0),
+                    t,
+                    t + 20.0,
+                ),
+                _ => RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, radius)), t),
+            }
+        })
+        .collect()
+}
+
+struct Measured {
+    batched_qps: f64,
+    looped_qps: f64,
+    speedup: f64,
+    /// looped logical page reads / batched logical page reads.
+    read_ratio: f64,
+    /// looped physical page reads / batched physical page reads.
+    phys_ratio: f64,
+}
+
+/// Runs `rounds` rounds of one query batch, batched vs looped, on one
+/// index. `ticking` applies a fresh update tick before each round.
+/// Batched and looped answers are cross-checked on the rounds where
+/// the batched side runs first (every other round; the equivalence
+/// itself is property-tested exhaustively in `tests/query_batch.rs` —
+/// here the check is a cheap guard that the bench measures the same
+/// answers).
+fn measure<I: MovingObjectIndex + Send + Sync>(
+    vp: &mut VpIndex<I>,
+    workload: &TickWorkload,
+    queries_per_round: &[Vec<RangeQuery>],
+    ticking: bool,
+) -> Measured {
+    let mut batched_secs = 0.0;
+    let mut looped_secs = 0.0;
+    let mut batched_reads = 0u64;
+    let mut looped_reads = 0u64;
+    let mut batched_phys = 0u64;
+    let mut looped_phys = 0u64;
+    let mut nqueries = 0usize;
+    let mut t = 120.0;
+    for (round, queries) in queries_per_round.iter().enumerate() {
+        if ticking {
+            t += 60.0;
+            vp.apply_updates(&workload.tick(t)).expect("tick");
+        }
+        // Alternate which side goes first so neither systematically
+        // inherits the other's warm pool.
+        for side in 0..2 {
+            let batched_turn = (round + side) % 2 == 0;
+            vp.reset_io_stats();
+            let start = Instant::now();
+            if batched_turn {
+                let batched = vp.range_query_batch(queries).expect("batched queries");
+                batched_secs += start.elapsed().as_secs_f64();
+                let io = vp.io_stats();
+                batched_reads += io.logical_reads;
+                batched_phys += io.physical_reads;
+                // Cross-check when the batched side ran first (the
+                // extra looped pass stays outside the timings).
+                if side == 1 {
+                    continue;
+                }
+                let looped: Vec<Vec<u64>> = queries
+                    .iter()
+                    .map(|q| vp.range_query(q).expect("looped query"))
+                    .collect();
+                for (qi, (a, b)) in batched.iter().zip(&looped).enumerate() {
+                    let (mut a, mut b) = (a.clone(), b.clone());
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "query {qi} diverged between batched and looped");
+                }
+            } else {
+                for q in queries {
+                    vp.range_query(q).expect("looped query");
+                }
+                looped_secs += start.elapsed().as_secs_f64();
+                let io = vp.io_stats();
+                looped_reads += io.logical_reads;
+                looped_phys += io.physical_reads;
+            }
+        }
+        nqueries += queries.len();
+    }
+    Measured {
+        batched_qps: nqueries as f64 / batched_secs,
+        looped_qps: nqueries as f64 / looped_secs,
+        speedup: looped_secs / batched_secs,
+        read_ratio: looped_reads as f64 / batched_reads.max(1) as f64,
+        phys_ratio: looped_phys as f64 / batched_phys.max(1) as f64,
+    }
+}
+
+/// kNN batch throughput and mean page reads per search (the
+/// incremental enlargement's cost).
+fn measure_knn<I: MovingObjectIndex + Send + Sync>(
+    vp: &VpIndex<I>,
+    n: usize,
+    k: usize,
+) -> (f64, f64) {
+    let mut rng = Rng(0xC0FFEE);
+    let queries: Vec<KnnQuery> = (0..n)
+        .map(|_| KnnQuery {
+            center: Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN),
+            k,
+            t: 150.0,
+        })
+        .collect();
+    let domain = Rect::from_bounds(0.0, 0.0, DOMAIN, DOMAIN);
+    vp.reset_io_stats();
+    let start = Instant::now();
+    let results = vp.knn_batch(&queries, &domain).expect("knn batch");
+    let secs = start.elapsed().as_secs_f64();
+    let reads = vp.io_stats().logical_reads;
+    assert!(results.iter().all(|r| r.len() == k.min(vp.len())));
+    (n as f64 / secs, reads as f64 / n as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_query_batch.json".into());
+
+    // The pool holds a fraction of the index: queries fault real
+    // pages, as they would once the fleet outgrows RAM.
+    let (n_objects, batch, rounds, pool_pages) = if quick {
+        (3_000, 64, 3, 8)
+    } else {
+        (20_000, 256, 6, 32)
+    };
+    println!(
+        "bench_query_batch: {n_objects} objects, {rounds} rounds x {batch}-query batches, \
+         {pool_pages}-page pool{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let dir = TempDir::new("pools");
+
+    let workload = TickWorkload::generate(n_objects, 0x0B5E55ED);
+    let radius = 2_500.0;
+    let batches: Vec<Vec<Vec<RangeQuery>>> = (0..2)
+        .map(|regime| {
+            (0..rounds)
+                .map(|r| {
+                    let t = if regime == 0 {
+                        130.0
+                    } else {
+                        180.0 + r as f64 * 60.0
+                    };
+                    make_queries(0x9E0 + r as u64 * 7 + regime as u64, batch, radius, t)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut table = Table::new(&[
+        "index", "regime", "batched", "looped", "unit", "speedup", "reads x", "phys x",
+    ]);
+    for backend in [TickBackend::Bx, TickBackend::Tpr] {
+        for (regime, label) in [(0usize, "static"), (1, "ticking")] {
+            let pool = pressured_pool(&dir, &format!("{}-{label}", backend.label()), pool_pages);
+            let m = match backend {
+                TickBackend::Bx => {
+                    let mut vp = workload.build_on(pool, 1);
+                    measure(&mut vp, &workload, &batches[regime], regime == 1)
+                }
+                TickBackend::Tpr => {
+                    let mut vp = workload.build_tpr_on(pool, 1);
+                    measure(&mut vp, &workload, &batches[regime], regime == 1)
+                }
+            };
+            table.row(vec![
+                backend.label().into(),
+                label.into(),
+                fmt(m.batched_qps),
+                fmt(m.looped_qps),
+                "queries/s".into(),
+                format!("{}x", fmt(m.speedup)),
+                format!("{}x", fmt(m.read_ratio)),
+                format!("{}x", fmt(m.phys_ratio)),
+            ]);
+            metrics.push((
+                format!("{}_{label}_batched_qps", backend.label()),
+                m.batched_qps,
+            ));
+            metrics.push((
+                format!("{}_{label}_looped_qps", backend.label()),
+                m.looped_qps,
+            ));
+            metrics.push((format!("{}_{label}_speedup", backend.label()), m.speedup));
+            metrics.push((
+                format!("{}_{label}_read_ratio", backend.label()),
+                m.read_ratio,
+            ));
+            metrics.push((
+                format!("{}_{label}_phys_read_ratio", backend.label()),
+                m.phys_ratio,
+            ));
+        }
+    }
+    table.print();
+
+    // kNN batches over both families (the incremental enlargement).
+    let knn_n = if quick { 32 } else { 128 };
+    let mut knn_table = Table::new(&["index", "knn/s", "page reads per search"]);
+    for backend in [TickBackend::Bx, TickBackend::Tpr] {
+        let pool = pressured_pool(&dir, &format!("{}-knn", backend.label()), pool_pages);
+        let (qps, reads) = match backend {
+            TickBackend::Bx => {
+                let mut vp = workload.build_on(pool, 1);
+                vp.apply_updates(&workload.tick(130.0)).expect("tick");
+                measure_knn(&vp, knn_n, 10)
+            }
+            TickBackend::Tpr => {
+                let mut vp = workload.build_tpr_on(pool, 1);
+                vp.apply_updates(&workload.tick(130.0)).expect("tick");
+                measure_knn(&vp, knn_n, 10)
+            }
+        };
+        knn_table.row(vec![backend.label().into(), fmt(qps), fmt(reads)]);
+        metrics.push((format!("{}_knn_per_s", backend.label()), qps));
+        metrics.push((format!("{}_knn_reads_per_search", backend.label()), reads));
+    }
+    knn_table.print();
+
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_bench_json(&out_path, "query_batch", &metric_refs).expect("write bench json");
+    println!("wrote {out_path}");
+}

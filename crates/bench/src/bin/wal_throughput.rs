@@ -55,6 +55,7 @@ fn raw_log_throughput(records: u64, payload_len: usize, policy: SyncPolicy) -> f
     let t = TempDir::new(match policy {
         SyncPolicy::Always => "raw-sync",
         SyncPolicy::Never => "raw-nosync",
+        SyncPolicy::EveryTicks(_) => "raw-group",
     });
     let payload = vec![0xA5u8; payload_len];
     let mut wal = Wal::open(&t.0, "bench").unwrap();
@@ -162,6 +163,9 @@ fn main() {
     let idx_pages = index_throughput(objects, ticks, true, None);
     let idx_nosync = index_throughput(objects, ticks, true, Some(SyncPolicy::Never));
     let idx_sync = index_throughput(objects, ticks, true, Some(SyncPolicy::Always));
+    // Cross-tick group commit: fsync amortized over 8 ticks.
+    let group_n = 8u32;
+    let idx_group = index_throughput(objects, ticks, true, Some(SyncPolicy::EveryTicks(group_n)));
 
     let mut table = Table::new(&["layer", "config", "throughput", "unit", "vs baseline"]);
     table.row(vec![
@@ -206,6 +210,13 @@ fn main() {
         "updates/s".into(),
         format!("{}%", fmt(idx_sync / idx_none * 100.0)),
     ]);
+    table.row(vec![
+        "index".into(),
+        format!("wal, fsync/{group_n} ticks"),
+        fmt(idx_group),
+        "updates/s".into(),
+        format!("{}%", fmt(idx_group / idx_none * 100.0)),
+    ]);
     table.print();
 
     write_bench_json(
@@ -231,6 +242,12 @@ fn main() {
                 "wal_only_overhead_pct_nofsync",
                 (1.0 - idx_nosync / idx_pages) * 100.0,
             ),
+            ("index_updates_per_s_wal_group8", idx_group),
+            (
+                "durability_overhead_pct_group8",
+                (1.0 - idx_group / idx_none) * 100.0,
+            ),
+            ("group8_speedup_over_fsync", idx_group / idx_sync),
         ],
     )
     .expect("write BENCH_wal.json");

@@ -121,11 +121,21 @@ impl TickWorkload {
     /// Builds the velocity-partitioned Bx-tree over a fresh sharded
     /// pool and loads the population through one batched tick.
     pub fn build(&self, pool_pages: usize, workers: usize) -> VpIndex<BxTree> {
-        let pool = Arc::new(BufferPool::with_shards(
-            DiskManager::new(),
-            pool_pages,
-            DEFAULT_POOL_SHARDS,
-        ));
+        self.build_on(
+            Arc::new(BufferPool::with_shards(
+                DiskManager::new(),
+                pool_pages,
+                DEFAULT_POOL_SHARDS,
+            )),
+            workers,
+        )
+    }
+
+    /// [`TickWorkload::build`] over a caller-supplied buffer pool —
+    /// the query benches use this to put the partitions on a
+    /// file-backed, deliberately undersized pool so page misses are
+    /// real.
+    pub fn build_on(&self, pool: Arc<BufferPool>, workers: usize) -> VpIndex<BxTree> {
         let bx = BxConfig {
             domain: self.bx_domain,
             hist_cells: 200,
@@ -154,11 +164,18 @@ impl TickWorkload {
     /// TPR\*-tree per partition over the same sharded pool, loaded
     /// through one batched tick (the bulk re-clustering path).
     pub fn build_tpr(&self, pool_pages: usize, workers: usize) -> VpIndex<TprTree> {
-        let pool = Arc::new(BufferPool::with_shards(
-            DiskManager::new(),
-            pool_pages,
-            DEFAULT_POOL_SHARDS,
-        ));
+        self.build_tpr_on(
+            Arc::new(BufferPool::with_shards(
+                DiskManager::new(),
+                pool_pages,
+                DEFAULT_POOL_SHARDS,
+            )),
+            workers,
+        )
+    }
+
+    /// [`TickWorkload::build_tpr`] over a caller-supplied buffer pool.
+    pub fn build_tpr_on(&self, pool: Arc<BufferPool>, workers: usize) -> VpIndex<TprTree> {
         let mut vp = VpIndex::build(
             self.cfg.clone().with_tick_workers(workers),
             &self.analysis,
@@ -217,7 +234,7 @@ pub fn scaling_sweep(
     }
 }
 
-fn scaling_sweep_on<I: MovingObjectIndex + Send>(
+fn scaling_sweep_on<I: MovingObjectIndex + Send + Sync>(
     workload: &TickWorkload,
     mut vp: VpIndex<I>,
     ticks: usize,

@@ -886,6 +886,113 @@ impl BPlusTree {
         })
     }
 
+    /// Answers many `[lo, hi]` key ranges in **one shared sweep**:
+    /// the ranges are ordered by `lo`, and the leaf chain is walked
+    /// left to right with the set of currently *active* ranges — every
+    /// touched leaf page is fetched and parsed exactly once for all
+    /// ranges overlapping it, instead of once per range as a loop of
+    /// [`BPlusTree::range_scan`] calls would. Gaps no active range
+    /// covers are skipped by a fresh root descent rather than chained
+    /// through.
+    ///
+    /// `f` is invoked as `f(range_index, key, value)` for every entry
+    /// of every range, in ascending key order per range. An entry in
+    /// the overlap of several ranges is reported once per range, as
+    /// consecutive calls with the same key; their relative range
+    /// order is deterministic but unspecified. Empty ranges
+    /// (`hi < lo`) report nothing. Returns the total number of `f`
+    /// invocations.
+    pub fn range_scan_batch(
+        &self,
+        ranges: &[(Key128, Key128)],
+        mut f: impl FnMut(usize, Key128, &Value),
+    ) -> StorageResult<usize> {
+        /// What the per-leaf visit tells the sweep loop to do next.
+        enum Step {
+            /// All ranges exhausted (or the chain ended).
+            Done,
+            /// Keep walking the chain to this sibling.
+            Follow(PageId),
+            /// Nothing active and the next pending `lo` lies beyond
+            /// this leaf's keys: try a fresh root descent to skip the
+            /// gap (the sibling is the fallback when the descent
+            /// lands back on the same leaf — `lo` can sit between the
+            /// leaf's last key and its separator).
+            Redescend(PageId),
+        }
+
+        self.track(|t| {
+            // Process ranges in ascending-lo order without reordering
+            // the caller's indices.
+            let mut order: Vec<usize> = (0..ranges.len())
+                .filter(|&r| ranges[r].0 <= ranges[r].1)
+                .collect();
+            order.sort_by_key(|&r| ranges[r]);
+            let mut next = 0usize; // next entry of `order` to activate
+            let mut active: Vec<usize> = Vec::new();
+            let mut count = 0usize;
+            if order.is_empty() {
+                return Ok(0);
+            }
+            let mut pid = t.descend_to_leaf(ranges[order[0]].0)?;
+            loop {
+                let step = t.pool.with_page(pid, |buf| -> StorageResult<Step> {
+                    let v = LeafView::parse(buf)?;
+                    let mut slot = if active.is_empty() {
+                        v.lower_bound(ranges[order[next]].0)
+                    } else {
+                        0
+                    };
+                    'slots: while slot < v.count() {
+                        let k = v.key_at(slot);
+                        while next < order.len() && ranges[order[next]].0 <= k {
+                            active.push(order[next]);
+                            next += 1;
+                        }
+                        active.retain(|&r| ranges[r].1 >= k);
+                        if active.is_empty() {
+                            // Jump to the next pending range — within
+                            // this leaf when possible.
+                            let Some(&r) = order.get(next) else {
+                                return Ok(Step::Done);
+                            };
+                            let jump = v.lower_bound(ranges[r].0);
+                            debug_assert!(jump > slot, "pending lo is past k");
+                            slot = jump;
+                            if slot >= v.count() {
+                                break 'slots;
+                            }
+                            continue;
+                        }
+                        let value = v.value_at(slot);
+                        for &r in &active {
+                            f(r, k, value);
+                        }
+                        count += active.len();
+                        slot += 1;
+                    }
+                    let sibling = v.next();
+                    if !sibling.is_valid() || (active.is_empty() && next >= order.len()) {
+                        return Ok(Step::Done);
+                    }
+                    if active.is_empty() {
+                        // Don't chain through an uncovered gap.
+                        return Ok(Step::Redescend(sibling));
+                    }
+                    Ok(Step::Follow(sibling))
+                })??;
+                match step {
+                    Step::Done => return Ok(count),
+                    Step::Follow(sibling) => pid = sibling,
+                    Step::Redescend(sibling) => {
+                        let target = t.descend_to_leaf(ranges[order[next]].0)?;
+                        pid = if target == pid { sibling } else { target };
+                    }
+                }
+            }
+        })
+    }
+
     // ----- bulk loading ---------------------------------------------------
 
     /// Builds a tree from an iterator of **strictly ascending** keyed
@@ -1886,6 +1993,95 @@ mod tests {
         assert!(t.io_stats().logical_reads > 0);
         t.reset_io_stats();
         assert_eq!(t.io_stats(), IoStats::zero());
+    }
+
+    #[test]
+    fn range_scan_batch_matches_looped_scans() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        let mut rng = Rng(0xBA7C4);
+        for _ in 0..1_500 {
+            let k = rng.next() % 20_000;
+            t.insert(key(k), val(k)).unwrap();
+        }
+        // Random, heavily overlapping range batches.
+        for round in 0..20 {
+            let nranges = 1 + (round % 7);
+            let ranges: Vec<(Key128, Key128)> = (0..nranges)
+                .map(|_| {
+                    let a = rng.next() % 20_000;
+                    let b = a + rng.next() % 4_000;
+                    (key(a), key(b))
+                })
+                .collect();
+            let mut batched: Vec<Vec<(Key128, Value)>> = vec![Vec::new(); ranges.len()];
+            t.range_scan_batch(&ranges, |r, k, v| batched[r].push((k, *v)))
+                .unwrap();
+            for (r, &(lo, hi)) in ranges.iter().enumerate() {
+                let mut looped = Vec::new();
+                t.range_scan(lo, hi, |k, v| looped.push((k, *v))).unwrap();
+                assert_eq!(batched[r], looped, "round {round}, range {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_scan_batch_handles_edge_ranges() {
+        let mut t = BPlusTree::new(pool(512)).unwrap();
+        for i in 0..300u64 {
+            t.insert(key(i * 2), val(i)).unwrap();
+        }
+        // Empty (hi < lo), duplicate, fully-covering, and disjoint
+        // ranges in one batch.
+        let ranges = vec![
+            (key(100), key(50)),        // empty
+            (Key128::MIN, Key128::MAX), // everything
+            (key(40), key(80)),         // inner
+            (key(40), key(80)),         // duplicate of the inner
+            (key(10_000), key(20_000)), // beyond all keys
+        ];
+        let mut got: Vec<Vec<Key128>> = vec![Vec::new(); ranges.len()];
+        let n = t
+            .range_scan_batch(&ranges, |r, k, _| got[r].push(k))
+            .unwrap();
+        assert!(got[0].is_empty());
+        assert_eq!(got[1].len(), 300);
+        assert_eq!(got[2], got[3]);
+        assert!(got[4].is_empty());
+        assert_eq!(n, got.iter().map(Vec::len).sum::<usize>());
+        // An empty batch is a no-op.
+        assert_eq!(
+            t.range_scan_batch(&[], |_, _, _| panic!("no ranges"))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn range_scan_batch_reads_fewer_pages_than_looped_scans() {
+        // The attributable win of the shared sweep: N overlapping
+        // ranges fetch each shared leaf once, not N times.
+        let items: Vec<(Key128, Value)> = (0..5_000u64).map(|i| (key(i), val(i))).collect();
+        let t = BPlusTree::bulk_load(pool(512), items).unwrap();
+        let ranges: Vec<(Key128, Key128)> = (0..16u64)
+            .map(|i| (key(1_000 + i * 10), key(3_000 + i * 10)))
+            .collect();
+
+        t.reset_io_stats();
+        let batched_n = t.range_scan_batch(&ranges, |_, _, _| {}).unwrap();
+        let batched_reads = t.io_stats().logical_reads;
+
+        t.reset_io_stats();
+        let mut looped_n = 0;
+        for &(lo, hi) in &ranges {
+            looped_n += t.range_scan(lo, hi, |_, _| {}).unwrap();
+        }
+        let looped_reads = t.io_stats().logical_reads;
+
+        assert_eq!(batched_n, looped_n);
+        assert!(
+            batched_reads * 2 < looped_reads,
+            "shared sweep should at least halve page reads: {batched_reads} vs {looped_reads}"
+        );
     }
 
     #[test]

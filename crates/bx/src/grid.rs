@@ -8,21 +8,78 @@
 //! that structure: per-cell min/max of each velocity component,
 //! aggregated over any query rectangle.
 //!
+//! On top of the finest grid sits a **bounds pyramid**: each coarser
+//! level halves the resolution and stores the min/max over its four
+//! children. Query planners descend the pyramid and prune whole
+//! regions whose (conservative, superset) bounds cannot reach the
+//! query — the enlargement computation then costs O(qualifying
+//! region) instead of O(window area). Levels run from 0 (finest,
+//! `n × n`) up to [`VelocityGrid::levels`]` - 1` (a single root cell).
+//!
 //! Maintenance is insert-only (deletions leave bounds conservative —
 //! still correct, just looser); [`VelocityGrid::reset`] supports the
 //! periodic rebuild strategy.
 
 use vp_geom::{Point, Rect, Vec2};
 
-/// Per-cell velocity bounds over a gridded domain.
+/// One resolution level of the bounds pyramid.
 #[derive(Debug, Clone)]
-pub struct VelocityGrid {
-    domain: Rect,
+struct Level {
+    /// Cells per axis at this level: `((n - 1) >> level) + 1`.
     n: usize,
     min_vx: Vec<f32>,
     max_vx: Vec<f32>,
     min_vy: Vec<f32>,
     max_vy: Vec<f32>,
+}
+
+impl Level {
+    fn new(n: usize) -> Level {
+        Level {
+            n,
+            min_vx: vec![f32::INFINITY; n * n],
+            max_vx: vec![f32::NEG_INFINITY; n * n],
+            min_vy: vec![f32::INFINITY; n * n],
+            max_vy: vec![f32::NEG_INFINITY; n * n],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.min_vx.fill(f32::INFINITY);
+        self.max_vx.fill(f32::NEG_INFINITY);
+        self.min_vy.fill(f32::INFINITY);
+        self.max_vy.fill(f32::NEG_INFINITY);
+    }
+
+    fn record(&mut self, cx: usize, cy: usize, vel: Vec2) {
+        let i = cy * self.n + cx;
+        self.min_vx[i] = self.min_vx[i].min(vel.x as f32);
+        self.max_vx[i] = self.max_vx[i].max(vel.x as f32);
+        self.min_vy[i] = self.min_vy[i].min(vel.y as f32);
+        self.max_vy[i] = self.max_vy[i].max(vel.y as f32);
+    }
+
+    fn bounds(&self, cx: usize, cy: usize) -> Option<(Vec2, Vec2)> {
+        let i = cy * self.n + cx;
+        if self.max_vx[i] == f32::NEG_INFINITY {
+            return None;
+        }
+        Some((
+            Point::new(self.min_vx[i] as f64, self.min_vy[i] as f64),
+            Point::new(self.max_vx[i] as f64, self.max_vy[i] as f64),
+        ))
+    }
+}
+
+/// Per-cell velocity bounds over a gridded domain, with a pruning
+/// pyramid on top.
+#[derive(Debug, Clone)]
+pub struct VelocityGrid {
+    domain: Rect,
+    n: usize,
+    /// `levels[0]` is the finest grid; each subsequent level halves
+    /// the resolution (ceiling division) down to a single root cell.
+    levels: Vec<Level>,
     /// Global fallback bounds (also insert-only).
     global: Option<(Vec2, Vec2)>,
 }
@@ -32,20 +89,33 @@ impl VelocityGrid {
     pub fn new(domain: Rect, n: usize) -> VelocityGrid {
         assert!(n >= 1, "grid needs at least one cell");
         assert!(!domain.is_empty() && domain.area() > 0.0, "empty domain");
+        let mut levels = vec![Level::new(n)];
+        while levels.last().expect("non-empty").n > 1 {
+            let prev = levels.last().expect("non-empty").n;
+            levels.push(Level::new(((prev - 1) >> 1) + 1));
+        }
         VelocityGrid {
             domain,
             n,
-            min_vx: vec![f32::INFINITY; n * n],
-            max_vx: vec![f32::NEG_INFINITY; n * n],
-            min_vy: vec![f32::INFINITY; n * n],
-            max_vy: vec![f32::NEG_INFINITY; n * n],
+            levels,
             global: None,
         }
     }
 
-    /// Cells per axis.
+    /// Cells per axis (finest level).
     pub fn cells_per_axis(&self) -> usize {
         self.n
+    }
+
+    /// Number of pyramid levels (level 0 = finest, `levels() - 1` =
+    /// the single root cell).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Cells per axis at a pyramid level.
+    pub fn cells_per_axis_at(&self, level: usize) -> usize {
+        self.levels[level].n
     }
 
     /// The gridded domain.
@@ -55,10 +125,9 @@ impl VelocityGrid {
 
     /// Clears all recorded bounds (periodic rebuild entry point).
     pub fn reset(&mut self) {
-        self.min_vx.fill(f32::INFINITY);
-        self.max_vx.fill(f32::NEG_INFINITY);
-        self.min_vy.fill(f32::INFINITY);
-        self.max_vy.fill(f32::NEG_INFINITY);
+        for level in &mut self.levels {
+            level.reset();
+        }
         self.global = None;
     }
 
@@ -74,11 +143,9 @@ impl VelocityGrid {
     /// Records an object's velocity at its (indexed) position.
     pub fn record(&mut self, pos: Point, vel: Vec2) {
         let (cx, cy) = self.cell_of(pos);
-        let i = cy * self.n + cx;
-        self.min_vx[i] = self.min_vx[i].min(vel.x as f32);
-        self.max_vx[i] = self.max_vx[i].max(vel.x as f32);
-        self.min_vy[i] = self.min_vy[i].min(vel.y as f32);
-        self.max_vy[i] = self.max_vy[i].max(vel.y as f32);
+        for (k, level) in self.levels.iter_mut().enumerate() {
+            level.record(cx >> k, cy >> k, vel);
+        }
         self.global = Some(match self.global {
             None => (vel, vel),
             Some((lo, hi)) => (lo.min(vel), hi.max(vel)),
@@ -98,17 +165,13 @@ impl VelocityGrid {
         let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
         let mut any = false;
         for cy in cy0..=cy1 {
-            let row = cy * self.n;
             for cx in cx0..=cx1 {
-                let i = row + cx;
-                if self.max_vx[i] == f32::NEG_INFINITY {
+                let Some((l, h)) = self.levels[0].bounds(cx, cy) else {
                     continue;
-                }
+                };
                 any = true;
-                lo.x = lo.x.min(self.min_vx[i] as f64);
-                hi.x = hi.x.max(self.max_vx[i] as f64);
-                lo.y = lo.y.min(self.min_vy[i] as f64);
-                hi.y = hi.y.max(self.max_vy[i] as f64);
+                lo = lo.min(l);
+                hi = hi.max(h);
             }
         }
         if any {
@@ -122,6 +185,47 @@ impl VelocityGrid {
     /// recorded.
     pub fn global_bounds(&self) -> Option<(Vec2, Vec2)> {
         self.global
+    }
+
+    /// Velocity bounds `(min, max)` of one cell at one pyramid level,
+    /// `None` when nothing was ever recorded under it. Coarse-level
+    /// bounds are supersets of every descendant's bounds — the
+    /// pruning invariant.
+    pub fn cell_bounds_at(&self, level: usize, cx: usize, cy: usize) -> Option<(Vec2, Vec2)> {
+        debug_assert!(cx < self.levels[level].n && cy < self.levels[level].n);
+        self.levels[level].bounds(cx, cy)
+    }
+
+    /// Velocity bounds of one finest-level cell.
+    pub fn cell_bounds(&self, cx: usize, cy: usize) -> Option<(Vec2, Vec2)> {
+        self.cell_bounds_at(0, cx, cy)
+    }
+
+    /// The domain rectangle of one cell at one pyramid level (the
+    /// union of its finest-level descendants; edge cells of uneven
+    /// levels are clipped to the domain).
+    pub fn cell_rect_at(&self, level: usize, cx: usize, cy: usize) -> Rect {
+        let cw = self.domain.width() / self.n as f64;
+        let ch = self.domain.height() / self.n as f64;
+        let fine_x0 = cx << level;
+        let fine_y0 = cy << level;
+        let fine_x1 = ((cx + 1) << level).min(self.n);
+        let fine_y1 = ((cy + 1) << level).min(self.n);
+        Rect {
+            lo: Point::new(
+                self.domain.lo.x + fine_x0 as f64 * cw,
+                self.domain.lo.y + fine_y0 as f64 * ch,
+            ),
+            hi: Point::new(
+                self.domain.lo.x + fine_x1 as f64 * cw,
+                self.domain.lo.y + fine_y1 as f64 * ch,
+            ),
+        }
+    }
+
+    /// The domain rectangle of one finest-level cell.
+    pub fn cell_rect(&self, cx: usize, cy: usize) -> Rect {
+        self.cell_rect_at(0, cx, cy)
     }
 }
 
@@ -199,6 +303,14 @@ mod tests {
         assert!(g
             .bounds_over(&Rect::from_bounds(0.0, 0.0, 100.0, 100.0))
             .is_none());
+        for level in 0..g.levels() {
+            let n = g.cells_per_axis_at(level);
+            for cy in 0..n {
+                for cx in 0..n {
+                    assert!(g.cell_bounds_at(level, cx, cy).is_none());
+                }
+            }
+        }
     }
 
     #[test]
@@ -209,5 +321,75 @@ mod tests {
             .bounds_over(&Rect::from_bounds(90.0, 0.0, 100.0, 10.0))
             .unwrap();
         assert_eq!(b.1, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn pyramid_levels_halve_down_to_a_root() {
+        let g = grid(); // n = 10
+        let sizes: Vec<usize> = (0..g.levels()).map(|k| g.cells_per_axis_at(k)).collect();
+        assert_eq!(sizes, vec![10, 5, 3, 2, 1]);
+        // Uneven level: cell rects still tile the domain exactly.
+        for level in 0..g.levels() {
+            let n = g.cells_per_axis_at(level);
+            let mut area = 0.0;
+            for cy in 0..n {
+                for cx in 0..n {
+                    area += g.cell_rect_at(level, cx, cy).area();
+                }
+            }
+            assert!(
+                (area - g.domain().area()).abs() < 1e-6,
+                "level {level} does not tile the domain"
+            );
+        }
+    }
+
+    #[test]
+    fn pyramid_bounds_dominate_children() {
+        let mut g = grid();
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000) as f64 / 10.0
+        };
+        for _ in 0..200 {
+            g.record(
+                Point::new(next(), next()),
+                Point::new(next() - 50.0, next() - 50.0),
+            );
+        }
+        for level in 1..g.levels() {
+            let n = g.cells_per_axis_at(level);
+            let child_n = g.cells_per_axis_at(level - 1);
+            for cy in 0..n {
+                for cx in 0..n {
+                    let parent = g.cell_bounds_at(level, cx, cy);
+                    for dy in 0..2usize {
+                        for dx in 0..2usize {
+                            let (ccx, ccy) = (cx * 2 + dx, cy * 2 + dy);
+                            if ccx >= child_n || ccy >= child_n {
+                                continue;
+                            }
+                            if let Some((clo, chi)) = g.cell_bounds_at(level - 1, ccx, ccy) {
+                                let (plo, phi) =
+                                    parent.expect("parent of a non-empty child is non-empty");
+                                assert!(plo.x <= clo.x && plo.y <= clo.y);
+                                assert!(phi.x >= chi.x && phi.y >= chi.y);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The root cell matches the global bounds (up to the f32
+        // storage of the grid cells vs the f64 global).
+        let root = g.levels() - 1;
+        let (rlo, rhi) = g.cell_bounds_at(root, 0, 0).unwrap();
+        let (glo, ghi) = g.global_bounds().unwrap();
+        for (a, b) in [(rlo, glo), (rhi, ghi)] {
+            assert!((a.x - b.x).abs() < 1e-3 && (a.y - b.y).abs() < 1e-3);
+        }
     }
 }

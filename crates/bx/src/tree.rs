@@ -99,6 +99,10 @@ impl Curve {
     }
 }
 
+/// An inclusive rectangle of qualifying curve-grid cells,
+/// `(cx0, cy0, cx1, cy1)`.
+type CellSpan = (u32, u32, u32, u32);
+
 /// One bucket's enlarged query window (diagnostics for the paper's
 /// Figure 7: query expansion rates).
 #[derive(Debug, Clone, Copy)]
@@ -362,90 +366,92 @@ impl BxTree {
         w
     }
 
-    /// The domain rectangle of a curve-grid cell, with edge cells
-    /// extended to infinity: positions outside the domain clamp onto
-    /// the boundary cells, so those cells stand in for everything
-    /// beyond the edge.
-    fn cell_rect_extended(&self, cx: u32, cy: u32) -> Rect {
-        let side = (1u32 << self.config.lambda) as f64;
-        let d = &self.config.domain;
-        let cw = d.width() / side;
-        let ch = d.height() / side;
-        let lo_x = if cx == 0 {
-            f64::NEG_INFINITY
-        } else {
-            d.lo.x + cx as f64 * cw
-        };
-        let lo_y = if cy == 0 {
-            f64::NEG_INFINITY
-        } else {
-            d.lo.y + cy as f64 * ch
-        };
-        let hi_x = if cx as f64 + 1.0 >= side {
-            f64::INFINITY
-        } else {
-            d.lo.x + (cx as f64 + 1.0) * cw
-        };
-        let hi_y = if cy as f64 + 1.0 >= side {
-            f64::INFINITY
-        } else {
-            d.lo.y + (cy as f64 + 1.0) * ch
-        };
-        Rect {
-            lo: Point::new(lo_x, lo_y),
-            hi: Point::new(hi_x, hi_y),
+    /// The domain rectangle of a histogram cell at a pyramid level,
+    /// with edge cells extended to infinity — positions outside the
+    /// domain clamp onto the boundary cells of both grids, so those
+    /// cells stand in for everything beyond the edge.
+    fn hist_cell_rect_extended(&self, level: usize, hx: usize, hy: usize) -> Rect {
+        let mut r = self.hist.cell_rect_at(level, hx, hy);
+        let n = self.hist.cells_per_axis_at(level);
+        if hx == 0 {
+            r.lo.x = f64::NEG_INFINITY;
         }
+        if hy == 0 {
+            r.lo.y = f64::NEG_INFINITY;
+        }
+        if hx + 1 == n {
+            r.hi.x = f64::INFINITY;
+        }
+        if hy + 1 == n {
+            r.hi.y = f64::INFINITY;
+        }
+        r
     }
 
-    /// Collects the curve-grid cells that could hold a candidate for
-    /// one bucket. A cell qualifies when an object indexed there (its
-    /// label position falls in the cell) moving within *that cell's*
-    /// recorded velocity bounds could intersect the query region at
-    /// some endpoint — the "enlarge according to the max/min velocity
-    /// in the region it covers" rule of Section 3.2, evaluated per
-    /// histogram cell. This is sound (every candidate's cell qualifies)
-    /// and keeps a distant speeder from inflating unrelated queries.
+    /// Collects the curve-grid regions that could hold a candidate
+    /// for one bucket. A curve cell qualifies when an object indexed
+    /// there (its label position falls in the cell) moving within the
+    /// velocity bounds *recorded for its histogram cell* could
+    /// intersect the query region at some endpoint — the "enlarge
+    /// according to the max/min velocity in the region it covers"
+    /// rule of Section 3.2, evaluated per histogram cell. This is
+    /// sound (every candidate's label position lies in exactly one
+    /// histogram cell, whose bounds cover its velocity) and keeps a
+    /// distant speeder from inflating unrelated queries.
     ///
-    /// Returns `(cells, bounding box of the cells in domain space)`, or
-    /// `None` when no cell qualifies.
-    fn qualifying_cells(&self, query: &RangeQuery, label: f64) -> Option<(Vec<(u32, u32)>, Rect)> {
+    /// The evaluation descends the histogram's bounds **pyramid**: a
+    /// region is pruned as soon as its (superset) coarse bounds cannot
+    /// reach the query, so the cost scales with the qualifying region
+    /// rather than the enlarged window. Each qualifying finest-level
+    /// histogram cell yields its curve cells as one inclusive
+    /// rectangle `(cx0, cy0, cx1, cy1)`; rectangles from adjacent
+    /// histogram cells may overlap by a boundary row/column, and
+    /// consumers de-duplicate.
+    ///
+    /// Returns `(cell rectangles, bounding box in domain space)`, or
+    /// `None` when nothing qualifies.
+    fn qualifying_regions(&self, query: &RangeQuery, label: f64) -> Option<(Vec<CellSpan>, Rect)> {
         let samples = Self::sample_rects(query, label);
-        let global = self.hist.global_bounds()?;
-        // Outer iteration window from the global bounds (sound superset).
-        let w0 = self.clamp_window(&Self::reach_bbox(&samples, label, global));
-        let (cx0, cy0) = self.cell_of(w0.lo);
-        let (cx1, cy1) = self.cell_of(w0.hi);
-        let mut cells = Vec::new();
+        self.hist.global_bounds()?;
+        let mut spans = Vec::new();
         let mut bbox = Rect::EMPTY;
-        for cy in cy0..=cy1 {
-            for cx in cx0..=cx1 {
-                let cell_rect = self.cell_rect_extended(cx, cy);
-                // Histogram cells are coarser/finer than curve cells in
-                // general; use the cell's own center region for bounds.
-                let probe = Rect {
-                    lo: Point::new(
-                        cell_rect.lo.x.max(self.config.domain.lo.x),
-                        cell_rect.lo.y.max(self.config.domain.lo.y),
-                    ),
-                    hi: Point::new(
-                        cell_rect.hi.x.min(self.config.domain.hi.x),
-                        cell_rect.hi.y.min(self.config.domain.hi.y),
-                    ),
-                };
-                let Some(bounds) = self.hist.bounds_over(&probe) else {
-                    continue;
-                };
-                let reach = Self::reach_bbox(&samples, label, bounds);
-                if cell_rect.intersects(&reach) {
-                    cells.push((cx, cy));
-                    bbox = bbox.union(&probe);
-                }
+        let root = self.hist.levels() - 1;
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, 0, 0)];
+        while let Some((level, hx, hy)) = stack.pop() {
+            let Some(bounds) = self.hist.cell_bounds_at(level, hx, hy) else {
+                continue;
+            };
+            let reach = Self::reach_bbox(&samples, label, bounds);
+            let region = self
+                .hist_cell_rect_extended(level, hx, hy)
+                .intersection(&reach);
+            if region.is_empty() {
+                continue;
             }
+            if level > 0 {
+                let child_n = self.hist.cells_per_axis_at(level - 1);
+                for dy in 0..2usize {
+                    for dx in 0..2usize {
+                        let (cx, cy) = (hx * 2 + dx, hy * 2 + dy);
+                        if cx < child_n && cy < child_n {
+                            stack.push((level - 1, cx, cy));
+                        }
+                    }
+                }
+                continue;
+            }
+            // Clamping maps out-of-domain strips onto the boundary
+            // cells, mirroring how label positions clamp.
+            let clamped = self.clamp_window(&region);
+            let (cx0, cy0) = self.cell_of(clamped.lo);
+            let (cx1, cy1) = self.cell_of(clamped.hi);
+            spans.push((cx0, cy0, cx1, cy1));
+            bbox = bbox.union(&clamped);
         }
-        if cells.is_empty() {
+        if spans.is_empty() {
             None
         } else {
-            Some((cells, bbox))
+            Some((spans, bbox))
         }
     }
 
@@ -458,7 +464,7 @@ impl BxTree {
             .keys()
             .filter_map(|&seq| {
                 let label = self.label_of(seq);
-                self.qualifying_cells(query, label)
+                self.qualifying_regions(query, label)
                     .map(|(_, bbox)| EnlargedWindow {
                         bucket_seq: seq,
                         label,
@@ -467,6 +473,71 @@ impl BxTree {
                     })
             })
             .collect()
+    }
+
+    /// The curve-value ranges a query scans in bucket `seq` — the
+    /// qualifying-region computation plus the enlargement strategy's
+    /// decomposition, shared by the single, batched, and incremental
+    /// query paths (all three must agree exactly: the incremental kNN
+    /// path subtracts an earlier probe's ranges by recomputing them
+    /// through this function). Ranges are disjoint, merged, and
+    /// ascending. `None` when no cell qualifies.
+    fn scan_ranges(&self, query: &RangeQuery, seq: u64) -> Option<Vec<(u64, u64)>> {
+        let label = self.label_of(seq);
+        let (spans, _bbox) = self.qualifying_regions(query, label)?;
+        let ranges = match self.config.enlargement {
+            BxEnlargement::Window => {
+                // The paper's single enlarged window: the bounding
+                // rectangle of all qualifying cells, decomposed into
+                // curve ranges.
+                let (mut cx0, mut cy0, mut cx1, mut cy1) = spans[0];
+                for &(ax0, ay0, ax1, ay1) in &spans {
+                    cx0 = cx0.min(ax0);
+                    cy0 = cy0.min(ay0);
+                    cx1 = cx1.max(ax1);
+                    cy1 = cy1.max(ay1);
+                }
+                self.curve
+                    .ranges(cx0, cy0, cx1, cy1, self.config.max_scan_ranges)
+            }
+            BxEnlargement::CellSet => {
+                // Ablation: linearize exactly the qualifying cells
+                // (merge adjacent values; bridge the smallest gaps
+                // down to the scan budget).
+                let mut values: Vec<u64> = Vec::new();
+                for &(ax0, ay0, ax1, ay1) in &spans {
+                    for cy in ay0..=ay1 {
+                        for cx in ax0..=ax1 {
+                            values.push(self.curve.encode(cx, cy));
+                        }
+                    }
+                }
+                values.sort_unstable();
+                values.dedup();
+                let mut ranges: Vec<(u64, u64)> = Vec::new();
+                for v in values {
+                    match ranges.last_mut() {
+                        Some((_, b)) if v <= *b + 1 => *b = (*b).max(v),
+                        _ => ranges.push((v, v)),
+                    }
+                }
+                while ranges.len() > self.config.max_scan_ranges.max(1) {
+                    let mut best = 1usize;
+                    let mut best_gap = u64::MAX;
+                    for i in 1..ranges.len() {
+                        let gap = ranges[i].0 - ranges[i - 1].1;
+                        if gap < best_gap {
+                            best_gap = gap;
+                            best = i;
+                        }
+                    }
+                    let (_, b) = ranges.remove(best);
+                    ranges[best - 1].1 = ranges[best - 1].1.max(b);
+                }
+                ranges
+            }
+        };
+        Some(ranges)
     }
 
     /// Rebuilds the velocity histogram from the indexed objects
@@ -599,59 +670,10 @@ impl MovingObjectIndex for BxTree {
     fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
         let mut out = Vec::new();
         for &seq in self.buckets.keys() {
-            let label = self.label_of(seq);
-            let Some((cells, _bbox)) = self.qualifying_cells(query, label) else {
+            let Some(ranges) = self.scan_ranges(query, seq) else {
                 continue;
             };
             let seq_base = seq << (2 * self.config.lambda);
-            let ranges = match self.config.enlargement {
-                BxEnlargement::Window => {
-                    // The paper's single enlarged window: the bounding
-                    // rectangle of all qualifying cells, decomposed into
-                    // curve ranges.
-                    let (mut cx0, mut cy0) = cells[0];
-                    let (mut cx1, mut cy1) = cells[0];
-                    for &(cx, cy) in &cells {
-                        cx0 = cx0.min(cx);
-                        cy0 = cy0.min(cy);
-                        cx1 = cx1.max(cx);
-                        cy1 = cy1.max(cy);
-                    }
-                    self.curve
-                        .ranges(cx0, cy0, cx1, cy1, self.config.max_scan_ranges)
-                }
-                BxEnlargement::CellSet => {
-                    // Ablation: linearize exactly the qualifying cells
-                    // (merge adjacent values; bridge the smallest gaps
-                    // down to the scan budget).
-                    let mut values: Vec<u64> = cells
-                        .iter()
-                        .map(|&(cx, cy)| self.curve.encode(cx, cy))
-                        .collect();
-                    values.sort_unstable();
-                    let mut ranges: Vec<(u64, u64)> = Vec::new();
-                    for v in values {
-                        match ranges.last_mut() {
-                            Some((_, b)) if v <= *b + 1 => *b = (*b).max(v),
-                            _ => ranges.push((v, v)),
-                        }
-                    }
-                    while ranges.len() > self.config.max_scan_ranges.max(1) {
-                        let mut best = 1usize;
-                        let mut best_gap = u64::MAX;
-                        for i in 1..ranges.len() {
-                            let gap = ranges[i].0 - ranges[i - 1].1;
-                            if gap < best_gap {
-                                best_gap = gap;
-                                best = i;
-                            }
-                        }
-                        let (_, b) = ranges.remove(best);
-                        ranges[best - 1].1 = ranges[best - 1].1.max(b);
-                    }
-                    ranges
-                }
-            };
             for (a, b) in ranges {
                 let lo = Key128::new(seq_base | a, 0);
                 let hi = Key128::new(seq_base | b, u64::MAX);
@@ -663,6 +685,93 @@ impl MovingObjectIndex for BxTree {
                             out.push(k.lo);
                         }
                     })
+                    .map_err(IndexError::from)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shared leaf sweep over the whole batch: every query's curve
+    /// ranges are gathered per time bucket and answered through one
+    /// [`BPlusTree::range_scan_batch`] call, so a leaf page holding
+    /// candidates for N overlapping queries is fetched and decoded
+    /// once, not N times. Per query the result is identical to
+    /// [`MovingObjectIndex::range_query`] — same candidates, same
+    /// exact filter, same (key-ascending per bucket) order.
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        let mut results: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+        for &seq in self.buckets.keys() {
+            let seq_base = seq << (2 * self.config.lambda);
+            let mut key_ranges: Vec<(Key128, Key128)> = Vec::new();
+            let mut owner: Vec<usize> = Vec::new();
+            for (qi, query) in queries.iter().enumerate() {
+                let Some(ranges) = self.scan_ranges(query, seq) else {
+                    continue;
+                };
+                for (a, b) in ranges {
+                    key_ranges.push((
+                        Key128::new(seq_base | a, 0),
+                        Key128::new(seq_base | b, u64::MAX),
+                    ));
+                    owner.push(qi);
+                }
+            }
+            if key_ranges.is_empty() {
+                continue;
+            }
+            // The sweep reports an entry shared by several queries as
+            // consecutive calls with the same key: decode it once.
+            let mut last: Option<(Key128, MovingObject)> = None;
+            self.btree
+                .range_scan_batch(&key_ranges, |ri, k, v| {
+                    let qi = owner[ri];
+                    let obj = match &last {
+                        Some((lk, obj)) if *lk == k => *obj,
+                        _ => {
+                            let (pos, vel, lab) = Self::decode_value(v);
+                            let obj = MovingObject::new(k.lo, pos, vel, lab);
+                            last = Some((k, obj));
+                            obj
+                        }
+                    };
+                    if queries[qi].matches(&obj) {
+                        results[qi].push(k.lo);
+                    }
+                })
+                .map_err(IndexError::from)?;
+        }
+        Ok(results)
+    }
+
+    /// Incremental kNN candidates: scans only the **delta ring** —
+    /// the current probe's curve ranges minus the ranges the
+    /// `covered` probe already swept (recomputed, deterministically,
+    /// rather than remembered) — and reports every id in it without
+    /// exact filtering. Everything inside the covered ranges was
+    /// already reported by the earlier rounds of the chain, so the
+    /// union-over-rounds contract of
+    /// [`MovingObjectIndex::knn_candidates`] holds while each
+    /// enlargement round reads only the pages of its ring.
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        for &seq in self.buckets.keys() {
+            let Some(ranges) = self.scan_ranges(query, seq) else {
+                continue;
+            };
+            let ranges = match covered.and_then(|c| self.scan_ranges(c, seq)) {
+                Some(done) => subtract_ranges(&ranges, &done),
+                None => ranges,
+            };
+            let seq_base = seq << (2 * self.config.lambda);
+            for (a, b) in ranges {
+                let lo = Key128::new(seq_base | a, 0);
+                let hi = Key128::new(seq_base | b, u64::MAX);
+                self.btree
+                    .range_scan(lo, hi, |k, _v| out.push(k.lo))
                     .map_err(IndexError::from)?;
             }
         }
@@ -691,6 +800,43 @@ impl MovingObjectIndex for BxTree {
     fn flush_storage(&self) -> IndexResult<()> {
         self.btree.checkpoint().map_err(IndexError::from)
     }
+}
+
+/// Interval-set difference `a \ b` over inclusive `(lo, hi)` u64
+/// ranges. Both inputs must be disjoint and ascending (the shape
+/// [`BxTree::scan_ranges`] produces); the result is too.
+fn subtract_ranges(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut bi = 0usize;
+    for &(alo, ahi) in a {
+        // Blockers entirely before this range can never matter again.
+        while bi < b.len() && b[bi].1 < alo {
+            bi += 1;
+        }
+        let mut lo = alo;
+        let mut covered_tail = false;
+        // A blocker may span several `a` ranges, so scan from `bi`
+        // without consuming it.
+        let mut j = bi;
+        while let Some(&(blo, bhi)) = b.get(j) {
+            if blo > ahi {
+                break;
+            }
+            if lo < blo {
+                out.push((lo, blo - 1));
+            }
+            if bhi >= ahi {
+                covered_tail = true;
+                break;
+            }
+            lo = bhi + 1;
+            j += 1;
+        }
+        if !covered_tail && lo <= ahi {
+            out.push((lo, ahi));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1193,6 +1339,147 @@ mod tests {
             20.0,
         );
         assert_eq!(t.range_query(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn subtract_ranges_cases() {
+        let d = |a: &[(u64, u64)], b: &[(u64, u64)]| subtract_ranges(a, b);
+        assert_eq!(d(&[(5, 10)], &[]), vec![(5, 10)]);
+        assert_eq!(d(&[(5, 10)], &[(5, 10)]), vec![]);
+        assert_eq!(d(&[(5, 10)], &[(0, 20)]), vec![]);
+        assert_eq!(d(&[(5, 10)], &[(7, 8)]), vec![(5, 6), (9, 10)]);
+        assert_eq!(d(&[(5, 10)], &[(0, 5)]), vec![(6, 10)]);
+        assert_eq!(d(&[(5, 10)], &[(10, 12)]), vec![(5, 9)]);
+        // One blocker spanning two ranges; blockers between ranges.
+        assert_eq!(d(&[(0, 10), (20, 30)], &[(8, 25)]), vec![(0, 7), (26, 30)]);
+        assert_eq!(
+            d(&[(0, 10), (20, 30)], &[(12, 15)]),
+            vec![(0, 10), (20, 30)]
+        );
+        // Multiple blockers inside one range.
+        assert_eq!(
+            d(&[(0, 100)], &[(10, 19), (30, 39), (90, 200)]),
+            vec![(0, 9), (20, 29), (40, 89)]
+        );
+    }
+
+    #[test]
+    fn range_query_batch_matches_looped_queries() {
+        let mut t = tree();
+        let objs = random_objects(600, 0xBA7C, 80.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x5EED5);
+        // Overlapping hotspot circles plus a couple of far-away and
+        // interval/moving queries in one batch.
+        let mut queries = Vec::new();
+        for qi in 0..24 {
+            let c = Point::new(
+                4_000.0 + rng.next() * 2_000.0,
+                4_000.0 + rng.next() * 2_000.0,
+            );
+            let q = match qi % 3 {
+                0 => RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(c, 500.0 + rng.next() * 1_000.0)),
+                    (qi % 5) as f64 * 10.0,
+                ),
+                1 => RangeQuery::time_interval(
+                    QueryRegion::Rect(Rect::centered(c, 900.0, 600.0)),
+                    5.0,
+                    30.0,
+                ),
+                _ => RangeQuery::moving(
+                    QueryRegion::Circle(Circle::new(c, 700.0)),
+                    Point::new(rng.next() * 30.0 - 15.0, 10.0),
+                    0.0,
+                    25.0,
+                ),
+            };
+            queries.push(q);
+        }
+        let batched = t.range_query_batch(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            let looped = t.range_query(q).unwrap();
+            assert_eq!(batched[qi], looped, "query {qi} diverged (order included)");
+        }
+    }
+
+    #[test]
+    fn range_query_batch_reads_fewer_pages_than_looped_queries() {
+        let objs = random_objects(3_000, 0x10AD, 60.0, 0.0);
+        let t = BxTree::bulk_load(pool(), small_config(), &objs).unwrap();
+        // A hotspot batch: many overlapping circles over one area.
+        let queries: Vec<RangeQuery> = (0..32)
+            .map(|i| {
+                RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(
+                        Point::new(5_000.0 + (i % 8) as f64 * 60.0, 5_000.0),
+                        1_200.0,
+                    )),
+                    10.0,
+                )
+            })
+            .collect();
+
+        t.reset_io_stats();
+        let batched = t.range_query_batch(&queries).unwrap();
+        let batched_reads = t.io_stats().logical_reads;
+
+        t.reset_io_stats();
+        let looped: Vec<Vec<u64>> = queries.iter().map(|q| t.range_query(q).unwrap()).collect();
+        let looped_reads = t.io_stats().logical_reads;
+
+        assert_eq!(batched, looped);
+        assert!(
+            batched_reads * 2 < looped_reads,
+            "shared sweep should at least halve page reads: {batched_reads} vs {looped_reads}"
+        );
+    }
+
+    #[test]
+    fn knn_candidates_delta_rings_cover_matches() {
+        let mut t = tree();
+        let objs = random_objects(800, 0xD317A, 50.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let center = Point::new(5_000.0, 5_000.0);
+        let tq = 20.0;
+        // An expanding probe chain, as knn_at issues it.
+        let radii = [300.0, 700.0, 1_500.0, 3_200.0];
+        let mut union: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut covered: Option<RangeQuery> = None;
+        let mut delta_reads = Vec::new();
+        for &r in &radii {
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, r)), tq);
+            t.reset_io_stats();
+            union.extend(t.knn_candidates(&q, covered.as_ref()).unwrap());
+            delta_reads.push(t.io_stats().logical_reads);
+            // The union over the chain covers the current probe's
+            // exact matches.
+            let want: std::collections::BTreeSet<u64> =
+                t.range_query(&q).unwrap().into_iter().collect();
+            assert!(
+                union.is_superset(&want),
+                "radius {r}: union misses {:?}",
+                want.difference(&union).collect::<Vec<_>>()
+            );
+            covered = Some(q);
+        }
+        // And the delta rounds are cheaper than rescanning the full
+        // final region from scratch.
+        let final_q =
+            RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, radii[3])), tq);
+        t.reset_io_stats();
+        t.knn_candidates(&final_q, None).unwrap();
+        let full_reads = t.io_stats().logical_reads;
+        assert!(
+            *delta_reads.last().unwrap() < full_reads,
+            "delta ring ({}) should read fewer pages than the full region ({full_reads})",
+            delta_reads.last().unwrap()
+        );
     }
 
     #[test]

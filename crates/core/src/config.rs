@@ -43,8 +43,12 @@ pub struct VpConfig {
     /// Set it and construct with [`crate::VpIndex::open`] /
     /// [`crate::VpIndex::recover`] for a durable index.
     pub wal_dir: Option<PathBuf>,
-    /// When WAL commits reach stable storage (fsync per commit vs.
-    /// OS-buffered). Ignored without `wal_dir`.
+    /// When WAL commits reach stable storage: fsync per commit
+    /// ([`SyncPolicy::Always`]), OS-buffered ([`SyncPolicy::Never`]),
+    /// or fsync amortized over every n-th tick
+    /// ([`SyncPolicy::EveryTicks`] — cross-tick group commit; an OS
+    /// crash loses at most the ticks since the last boundary).
+    /// Ignored without `wal_dir`.
     pub sync_policy: SyncPolicy,
     /// Automatic checkpoint cadence: flush sub-index storage, snapshot
     /// the object table, and truncate the log every this many ticks
@@ -90,6 +94,12 @@ impl VpConfig {
         }
         if self.tick_workers == 0 {
             return Err("tick_workers must be >= 1".into());
+        }
+        // Rejected here — where the config enters the system — because
+        // the manifest codec also refuses it, and a value that only
+        // failed at recovery time would leave the index unrecoverable.
+        if self.sync_policy == SyncPolicy::EveryTicks(0) {
+            return Err("sync_policy EveryTicks(n) requires n >= 1".into());
         }
         Ok(())
     }
@@ -159,6 +169,16 @@ mod tests {
             ..VpConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = VpConfig {
+            sync_policy: SyncPolicy::EveryTicks(0),
+            ..VpConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VpConfig {
+            sync_policy: SyncPolicy::EveryTicks(1),
+            ..VpConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //! survived, is not replayed; recovery applies the longest consistent
 //! prefix of the log.
 //!
+//! [`SyncPolicy::EveryTicks`]`(n)` amortizes the fsync across ticks:
+//! ordinary ticks only flush, and every n-th tick is a *sync
+//! boundary* — **every** stream (including partitions the boundary
+//! tick did not touch, whose earlier records would otherwise stay
+//! unsynced) is fsync'd before the boundary tick's commit record is,
+//! so everything up to and including the boundary tick survives an OS
+//! crash. Single-record events (insert/delete/τ refresh) ride along:
+//! they are flushed at commit and become crash-durable at the next
+//! boundary or checkpoint.
+//!
 //! Checkpoints are **logical**: [`VpIndex::checkpoint`] flushes every
 //! sub-index's storage (dirty buffer-pool shards, then the page
 //! file), snapshots the object table + per-partition τ + online
@@ -68,7 +78,12 @@ pub(crate) const KIND_TAU_REFRESH: u8 = 5;
 const MANIFEST_NAME: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 8] = b"VPMANIF1";
 const CKPT_MAGIC: &[u8; 8] = b"VPCKPT01";
-const FORMAT_VERSION: u32 = 1;
+/// On-disk format version of the manifest and checkpoint files.
+/// History: 1 = original layout (1-byte sync policy); 2 = the sync
+/// policy widened to the 5-byte [`SyncPolicy::to_bytes`] encoding
+/// (cross-tick group commit). A mismatch is a clean "unsupported
+/// version" error rather than a misparse.
+const FORMAT_VERSION: u32 = 2;
 
 /// What [`VpIndex::recover`] found and did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +108,9 @@ pub(crate) struct Durability {
     /// Next global event seq to assign.
     pub(crate) next_seq: u64,
     pub(crate) ticks_since_ckpt: u64,
+    /// Ticks committed since the last cross-tick fsync boundary
+    /// (only advanced under [`SyncPolicy::EveryTicks`]).
+    pub(crate) ticks_since_sync: u64,
     /// True while recovery replays the log: suppresses re-logging.
     pub(crate) replaying: bool,
 }
@@ -125,6 +143,7 @@ impl Durability {
             parts,
             next_seq,
             ticks_since_ckpt: 0,
+            ticks_since_sync: 0,
             replaying: false,
         })
     }
@@ -367,7 +386,7 @@ fn write_manifest(
     put_f64(&mut p, config.domain.hi.x);
     put_f64(&mut p, config.domain.hi.y);
     put_u64(&mut p, config.tick_workers as u64);
-    p.push(config.sync_policy.to_byte());
+    p.extend_from_slice(&config.sync_policy.to_bytes());
     put_u64(&mut p, config.checkpoint_every_ticks);
     put_u32(&mut p, specs.len() as u32);
     for spec in specs {
@@ -406,7 +425,7 @@ fn read_manifest(dir: &Path) -> IndexResult<(VpConfig, Vec<SpecDesc>, Vec<f64>)>
     let hi = (cur.f64()?, cur.f64()?);
     config.domain = vp_geom::Rect::from_bounds(lo.0, lo.1, hi.0, hi.1);
     config.tick_workers = cur.u64()? as usize;
-    config.sync_policy = SyncPolicy::from_byte(cur.u8()?)?;
+    config.sync_policy = SyncPolicy::from_bytes(cur.take(5)?.try_into().expect("5 bytes"))?;
     config.checkpoint_every_ticks = cur.u64()?;
     config.wal_dir = Some(dir.to_path_buf());
     let nspecs = cur.u32()? as usize;
@@ -629,7 +648,7 @@ impl<I> VpIndex<I> {
         factory: F,
     ) -> IndexResult<(VpIndex<I>, RecoveryReport)>
     where
-        I: MovingObjectIndex + Send,
+        I: MovingObjectIndex + Send + Sync,
         F: FnMut(&PartitionSpec) -> I,
     {
         let dir = dir.as_ref().to_path_buf();
@@ -818,6 +837,9 @@ impl<I> VpIndex<I> {
             wal.truncate_below(seq + 1)?;
         }
         d.ticks_since_ckpt = 0;
+        // A checkpoint leaves nothing unsynced behind it: the next
+        // EveryTicks window starts fresh.
+        d.ticks_since_sync = 0;
         Ok(seq)
     }
 

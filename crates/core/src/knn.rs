@@ -3,13 +3,23 @@
 //! The paper motivates circular range queries as "the filter step of
 //! the k Nearest Neighbor query" (Section 6). This module supplies
 //! that refinement loop: an expanding sequence of circular time-slice
-//! range queries, starting from a density-derived radius estimate and
+//! probes, starting from a density-derived radius estimate and
 //! doubling until the k-th nearest candidate provably lies inside the
 //! probed circle — at which point no closer object can exist outside
 //! it and the answer is exact.
 //!
+//! The enlargement is **incremental**: each round hands the index the
+//! previous round's probe as the *covered* region
+//! ([`MovingObjectIndex::knn_candidates`]), so batched indexes scan
+//! only the delta ring between the two circles instead of rescanning
+//! the whole enlarged region, and a seen-map caches every candidate's
+//! distance so no object is fetched or evaluated twice across rounds.
+//!
 //! Works over any [`MovingObjectIndex`], so a velocity-partitioned
-//! index accelerates kNN for free.
+//! index accelerates kNN for free. [`knn_batch`] answers a slice of
+//! searches, optionally spread over scoped worker threads.
+
+use std::collections::HashMap;
 
 use vp_geom::{Circle, Point, Rect};
 
@@ -26,11 +36,30 @@ pub struct Neighbor {
     pub distance: f64,
 }
 
+/// One kNN search of a [`knn_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnQuery {
+    /// Query point.
+    pub center: Point,
+    /// How many neighbors to report.
+    pub k: usize,
+    /// The (future) time the distances are evaluated at.
+    pub t: f64,
+}
+
 /// Finds the `k` objects nearest to `center` at (future) time `t`.
 ///
 /// `domain` bounds the search (the expansion stops once the probe
 /// circle covers it). Returns at most `k` neighbors ordered by
-/// ascending distance; fewer when the index holds fewer objects.
+/// ascending distance; fewer when the index holds fewer objects
+/// within the domain-covering probe.
+///
+/// Each enlargement round asks the index only for the candidates of
+/// the **delta ring** between the previous probe and the current one
+/// ([`MovingObjectIndex::knn_candidates`]), and every candidate's
+/// distance is computed exactly once — the seen-map carries the
+/// evaluations across rounds, so enlarging never re-fetches or
+/// re-scores an object.
 pub fn knn_at<I: MovingObjectIndex + ?Sized>(
     index: &I,
     center: Point,
@@ -56,27 +85,40 @@ pub fn knn_at<I: MovingObjectIndex + ?Sized>(
         .max(radius)
         * 1.01;
 
+    // Distance of every candidate evaluated so far (the cross-round
+    // seen-set), and the same entries kept sorted for the cutoff test.
+    let mut seen: HashMap<ObjectId, f64> = HashMap::new();
+    let mut neighbors: Vec<Neighbor> = Vec::new();
+    let mut covered: Option<RangeQuery> = None;
+
     loop {
         let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, radius)), t);
-        let ids = index.range_query(&q)?;
-        let mut neighbors: Vec<Neighbor> = ids
-            .into_iter()
-            .filter_map(|id| {
-                index.get_object(id).map(|o| Neighbor {
-                    id,
-                    distance: o.position_at(t).dist(center),
-                })
-            })
-            .collect();
+        for id in index.knn_candidates(&q, covered.as_ref())? {
+            let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(id) else {
+                continue;
+            };
+            let Some(obj) = index.get_object(id) else {
+                continue;
+            };
+            let distance = obj.position_at(t).dist(center);
+            slot.insert(distance);
+            neighbors.push(Neighbor { id, distance });
+        }
         neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
 
-        // Done when the k-th candidate is provably inside the probe, or
-        // the probe already covers the whole domain.
+        // Done when the k-th candidate is provably inside the probe —
+        // every object at most that close is then among the seen
+        // candidates — or the probe already covers the whole domain.
         if neighbors.len() >= k && neighbors[k - 1].distance <= radius {
             neighbors.truncate(k);
             return Ok(neighbors);
         }
         if radius >= max_radius {
+            // Candidates are a superset of the probe's matches; only
+            // what is provably inside the probe is reported, keeping
+            // the result independent of how generous the index's
+            // candidate sets are.
+            neighbors.retain(|n| n.distance <= radius);
             neighbors.truncate(k);
             return Ok(neighbors);
         }
@@ -87,8 +129,36 @@ pub fn knn_at<I: MovingObjectIndex + ?Sized>(
         } else {
             radius * 2.0
         };
+        covered = Some(q);
         radius = target.max(radius * 2.0).min(max_radius);
     }
+}
+
+/// Answers a batch of kNN searches, returning one result list per
+/// query in query order — identical to looping [`knn_at`].
+///
+/// With `workers > 1` the searches are spread over that many scoped
+/// worker threads (longest-first by `k`, each search running the
+/// incremental `knn_at` against the shared index). Searches are
+/// read-only and independent, so the results are bit-identical to the
+/// sequential run regardless of the worker count or schedule.
+pub fn knn_batch<I: MovingObjectIndex + Sync + ?Sized>(
+    index: &I,
+    queries: &[KnnQuery],
+    domain: &Rect,
+    workers: usize,
+) -> IndexResult<Vec<Vec<Neighbor>>> {
+    // LPT by k — the only load signal available before running —
+    // through the shared read-side fan-out (results come back in
+    // query order).
+    crate::fanout::lpt_fan_out(
+        queries.to_vec(),
+        workers,
+        |q| q.k,
+        |q| knn_at(index, q.center, q.k, q.t, domain),
+    )
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod analyzer;
 pub mod config;
 pub mod durable;
 pub mod error;
+pub(crate) mod fanout;
 pub mod histogram;
 pub mod kmeans;
 pub mod knn;
@@ -45,7 +46,7 @@ pub use config::VpConfig;
 pub use durable::RecoveryReport;
 pub use error::{IndexError, IndexResult};
 pub use histogram::CumulativeHistogram;
-pub use knn::{knn_at, Neighbor};
+pub use knn::{knn_at, knn_batch, KnnQuery, Neighbor};
 pub use manager::{PartitionId, PartitionSpec, VpIndex};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};

@@ -44,6 +44,9 @@ use crate::traits::MovingObjectIndex;
 /// partitions, `k` is the outlier partition.
 pub type PartitionId = usize;
 
+/// One result list per query of a batch, in query order.
+type BatchResults = Vec<Vec<ObjectId>>;
+
 /// One partition's share of a tick handed to a worker: the disjoint
 /// sub-index borrow, the ids migrating away, the upsert batch, and —
 /// for durable indexes — the partition's WAL stream plus the
@@ -380,7 +383,23 @@ impl<I> VpIndex<I> {
         // logging, its WAL stream). The zips hand out one disjoint
         // `&mut I` / `&mut Wal` per partition, which is what lets the
         // workers below run without any locking.
+        //
+        // Cross-tick group commit: under `SyncPolicy::EveryTicks(n)`
+        // ordinary ticks commit with a flush only, and every n-th
+        // tick escalates to a full fsync boundary — the effective
+        // policy below is what the workers and the meta seal use.
         let policy = self.durability.as_ref().map(|d| d.policy);
+        let policy = match policy {
+            Some(SyncPolicy::EveryTicks(n)) => {
+                let d = self.durability.as_ref().expect("policy implies durability");
+                if log_seq.is_some() && d.ticks_since_sync + 1 >= u64::from(n.max(1)) {
+                    Some(SyncPolicy::Always)
+                } else {
+                    Some(SyncPolicy::Never)
+                }
+            }
+            p => p,
+        };
         let mut wal_streams: Vec<Option<&mut Wal>> = match &mut self.durability {
             Some(d) if log_seq.is_some() => d.parts.iter_mut().map(Some).collect(),
             _ => (0..parts).map(|_| None).collect(),
@@ -456,18 +475,35 @@ impl<I> VpIndex<I> {
         // serial fsyncs on the caller thread.
         if let Some(seq) = log_seq {
             let winners = latest.len();
+            let effective = policy.expect("log_seq implies a policy");
             let want_ckpt = {
                 let d = self
                     .durability
                     .as_mut()
                     .expect("log_seq implies durability");
-                let policy = d.policy;
+                if matches!(d.policy, SyncPolicy::EveryTicks(_)) {
+                    if effective == SyncPolicy::Always {
+                        // Sync boundary: partitions this tick touched
+                        // were fsync'd by their workers; the rest may
+                        // still hold unsynced records from earlier
+                        // ticks, and the commit record below must not
+                        // become durable before they are.
+                        for (p, wal) in d.parts.iter_mut().enumerate() {
+                            if !touched.contains(&p) {
+                                wal.sync()?;
+                            }
+                        }
+                        d.ticks_since_sync = 0;
+                    } else {
+                        d.ticks_since_sync += 1;
+                    }
+                }
                 d.meta.append(
                     seq,
                     durable::KIND_TICK_COMMIT,
                     &durable::encode_tick_commit(touched.len(), winners),
                 )?;
-                d.meta.commit(policy)?;
+                d.meta.commit(effective)?;
                 d.ticks_since_ckpt += 1;
                 d.checkpoint_every > 0 && d.ticks_since_ckpt >= d.checkpoint_every
             };
@@ -522,6 +558,101 @@ impl<I> VpIndex<I> {
         Ok(())
     }
 
+    /// The query in partition `p`'s coordinate frame (identity for
+    /// the outlier partition).
+    fn query_in_frame(&self, p: usize, query: &RangeQuery) -> RangeQuery {
+        let spec = &self.specs[p];
+        if spec.is_outlier {
+            *query
+        } else {
+            query.to_frame(&spec.frame)
+        }
+    }
+
+    /// Answers a whole batch of range queries with per-partition
+    /// fan-out: every partition transforms the full batch into its
+    /// frame once and answers it through the sub-index's batched path
+    /// ([`MovingObjectIndex::range_query_batch`] — one shared leaf
+    /// sweep / traversal per partition instead of one scan per
+    /// query), then exact-filters its candidates in world space.
+    ///
+    /// ## Parallelism
+    ///
+    /// Partitions are read-only and disjoint, so partition groups are
+    /// dispatched onto up to [`VpConfig::tick_workers`] scoped worker
+    /// threads (grouped longest-first by partition size, like the
+    /// tick workers). With `tick_workers == 1` everything runs
+    /// sequentially on the calling thread. Results are **identical
+    /// either way**: each partition's answer is computed by exactly
+    /// one thread and the per-query merges concatenate in ascending
+    /// partition order, so the output is schedule-invariant —
+    /// bit-identical to the sequential run, and set-equal to looping
+    /// [`MovingObjectIndex::range_query`].
+    pub fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>>
+    where
+        I: MovingObjectIndex + Sync,
+    {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let parts = self.specs.len();
+        // One partition's share: transform, batched sub-query, exact
+        // world-space filter (on the worker, where the parallelism is).
+        let run = |p: usize| -> IndexResult<BatchResults> {
+            let local: Vec<RangeQuery> =
+                queries.iter().map(|q| self.query_in_frame(p, q)).collect();
+            let candidates = self.indexes[p].range_query_batch(&local)?;
+            let mut out: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+            for (qi, ids) in candidates.into_iter().enumerate() {
+                for id in ids {
+                    if let Some(obj) = self.objects.get(&id) {
+                        if queries[qi].matches(obj) {
+                            out[qi].push(id);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        };
+
+        // LPT by partition population — the same schedule-only
+        // heuristic as the tick workers, through the shared read-side
+        // fan-out (results come back in partition order).
+        let per_part: Vec<IndexResult<BatchResults>> = crate::fanout::lpt_fan_out(
+            (0..parts).collect(),
+            self.config.tick_workers,
+            |&p| self.indexes[p].len(),
+            run,
+        );
+
+        // Merge in ascending partition order: schedule-invariant.
+        let mut merged: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+        for part in per_part {
+            for (qi, ids) in part?.into_iter().enumerate() {
+                merged[qi].extend(ids);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Answers a batch of kNN queries, dispatching query groups onto
+    /// up to [`VpConfig::tick_workers`] scoped worker threads (the
+    /// queries — not the partitions — are the parallel axis here,
+    /// because each kNN search is an adaptive enlargement loop of its
+    /// own). Each search runs the incremental [`crate::knn::knn_at`]
+    /// against `&self`; results are returned in query order and are
+    /// identical to looping `knn_at`, regardless of worker count.
+    pub fn knn_batch(
+        &self,
+        queries: &[crate::knn::KnnQuery],
+        domain: &Rect,
+    ) -> IndexResult<Vec<Vec<crate::knn::Neighbor>>>
+    where
+        I: MovingObjectIndex + Send + Sync,
+    {
+        crate::knn::knn_batch(self, queries, domain, self.config.tick_workers)
+    }
+
     pub(crate) fn record_perp_speed(&mut self, vel: Vec2) {
         // Track the perpendicular speed against the *closest* DVA — the
         // candidate population of that DVA's τ decision.
@@ -540,7 +671,7 @@ impl<I> VpIndex<I> {
     }
 }
 
-impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
+impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
     /// On a durable index the insert is applied first and logged
     /// second (logging a precondition-checked op that then failed
     /// would poison replay). The narrow consequence: if the *log*
@@ -613,6 +744,30 @@ impl<I: MovingObjectIndex + Send> MovingObjectIndex for VpIndex<I> {
             }
         }
         Ok(results)
+    }
+
+    /// The batched fan-out path — see [`VpIndex::range_query_batch`].
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        VpIndex::range_query_batch(self, queries)
+    }
+
+    /// Incremental kNN candidates: each partition answers the probe
+    /// chain in its own frame through the sub-index's delta-ring path
+    /// (the frame transform is deterministic, so a partition sees a
+    /// consistent chain), unfiltered — the kNN driver evaluates every
+    /// candidate's exact world-space distance itself.
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        for (p, index) in self.indexes.iter().enumerate() {
+            let local = self.query_in_frame(p, query);
+            let local_covered = covered.map(|c| self.query_in_frame(p, c));
+            out.extend(index.knn_candidates(&local, local_covered.as_ref())?);
+        }
+        Ok(out)
     }
 
     fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
@@ -1007,6 +1162,112 @@ mod tests {
         // Only the winning update's partition holds the object.
         let sizes = vp.partition_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 1);
+    }
+
+    fn query_batch(n: usize, seed: u64) -> Vec<RangeQuery> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64 / 1_000_000.0
+        };
+        (0..n)
+            .map(|qi| {
+                let c = Point::new(next() * 100_000.0, next() * 100_000.0);
+                match qi % 3 {
+                    0 => RangeQuery::time_slice(
+                        QueryRegion::Circle(Circle::new(c, 2_000.0 + next() * 8_000.0)),
+                        (qi % 6) as f64 * 10.0,
+                    ),
+                    1 => RangeQuery::time_interval(
+                        QueryRegion::Rect(vp_geom::Rect::centered(c, 9_000.0, 6_000.0)),
+                        5.0,
+                        40.0,
+                    ),
+                    _ => RangeQuery::moving(
+                        QueryRegion::Circle(Circle::new(c, 4_000.0)),
+                        Point::new(next() * 40.0 - 20.0, 15.0),
+                        0.0,
+                        30.0,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    fn populated_vp(workers: usize, seed: u64) -> VpIndex<ScanIndex> {
+        let mut vp = build_vp_workers(workers);
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64 / 1_000_000.0
+        };
+        let objs: Vec<MovingObject> = (0..600u64)
+            .map(|id| {
+                let ang = next() * std::f64::consts::TAU;
+                let speed = next() * 90.0;
+                MovingObject::new(
+                    id,
+                    Point::new(next() * 100_000.0, next() * 100_000.0),
+                    Point::new(ang.cos() * speed, ang.sin() * speed),
+                    0.0,
+                )
+            })
+            .collect();
+        vp.apply_updates(&objs).unwrap();
+        vp
+    }
+
+    #[test]
+    fn range_query_batch_matches_looped_queries() {
+        let vp = populated_vp(1, 0xFA7B);
+        let queries = query_batch(30, 0x0B47);
+        let batched = vp.range_query_batch(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(batched[qi], vp.range_query(q).unwrap(), "query {qi}");
+        }
+        assert!(
+            batched.iter().any(|r| !r.is_empty()),
+            "batch should have matches"
+        );
+        assert!(vp.range_query_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_range_query_batch_is_bit_identical() {
+        let sequential = populated_vp(1, 0xFA7B);
+        let parallel = populated_vp(4, 0xFA7B);
+        let queries = query_batch(40, 0x77);
+        let a = sequential.range_query_batch(&queries).unwrap();
+        let b = parallel.range_query_batch(&queries).unwrap();
+        assert_eq!(a, b, "worker count must not change any result or order");
+    }
+
+    #[test]
+    fn knn_batch_matches_looped_knn() {
+        use crate::knn::{knn_at, KnnQuery};
+        let vp = populated_vp(3, 0x5EED7);
+        let domain = vp.config().domain;
+        let queries: Vec<KnnQuery> = (0..12)
+            .map(|i| KnnQuery {
+                center: Point::new(
+                    10_000.0 + (i as f64) * 7_000.0,
+                    90_000.0 - (i as f64) * 6_500.0,
+                ),
+                k: 1 + i % 7,
+                t: (i % 4) as f64 * 15.0,
+            })
+            .collect();
+        let batched = vp.knn_batch(&queries, &domain).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let looped = knn_at(&vp, q.center, q.k, q.t, &domain).unwrap();
+            assert_eq!(batched[i], looped, "knn query {i}");
+            assert_eq!(batched[i].len(), q.k.min(vp.len()), "knn query {i} arity");
+        }
     }
 
     #[test]

@@ -40,6 +40,18 @@ impl QueryRegion {
             QueryRegion::Rect(r) => r.contains_point(p),
         }
     }
+
+    /// True when the region contains the whole rectangle (used by
+    /// incremental kNN to prune subtrees already swept by an earlier,
+    /// smaller probe — see
+    /// [`crate::traits::MovingObjectIndex::knn_candidates`]). Both
+    /// shapes are convex, so corner containment suffices.
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        match self {
+            QueryRegion::Circle(c) => r.corners().iter().all(|p| c.contains_point(*p)),
+            QueryRegion::Rect(outer) => outer.contains_rect(r),
+        }
+    }
 }
 
 /// A (possibly predictive, possibly moving) range query.

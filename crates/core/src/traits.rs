@@ -72,6 +72,53 @@ pub trait MovingObjectIndex {
     /// bounding regions only dominate their entries forward in time.
     fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>>;
 
+    /// Answers a whole batch of range queries, returning one exact
+    /// result list per query, in query order. Each result is
+    /// identical (as a set) to what [`MovingObjectIndex::range_query`]
+    /// returns for that query alone.
+    ///
+    /// The default loops the single-query path. Indexes with a
+    /// cheaper shared plan override it: the Bx-tree merges every
+    /// query's decomposed curve ranges into **one shared leaf sweep**
+    /// per time bucket (each touched leaf page is fetched and decoded
+    /// once for all queries overlapping it), and the TPR-tree runs
+    /// one top-down traversal carrying the set of still-alive queries
+    /// per subtree (each node page is read once for the whole batch).
+    /// Callers holding several concurrent queries should prefer this
+    /// over a loop.
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        queries.iter().map(|q| self.range_query(q)).collect()
+    }
+
+    /// Candidate fetch for the incremental kNN filter step
+    /// ([`crate::knn`]): returns a **superset** of the ids matching
+    /// `query`, without necessarily applying the exact predicate —
+    /// the caller evaluates distances itself (and deduplicates).
+    ///
+    /// `covered` is the previous, strictly smaller probe of an
+    /// expanding-query chain `q_1 ⊆ q_2 ⊆ …` over the **same time
+    /// window** (each call receives the previous probe of the chain,
+    /// on an otherwise unmodified index). An implementation may omit
+    /// any id it already returned for the earlier probes of the
+    /// chain; the contract is that the union of the returned sets
+    /// over the chain's calls `1..=r` covers every id matching `q_r`.
+    /// Batched indexes exploit this to scan only the **delta ring**
+    /// of each enlargement round — new curve ranges minus
+    /// already-scanned ranges for the Bx-tree, re-descent pruned to
+    /// subtrees not fully inside the covered region for the TPR-tree
+    /// — instead of rescanning the whole enlarged region every round.
+    ///
+    /// The default ignores `covered` and returns the exact matches of
+    /// `query`, which satisfies the contract trivially.
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let _ = covered;
+        self.range_query(query)
+    }
+
     /// Looks up the current state of an object by id (every index in
     /// this workspace maintains the Section-5.3 lookup table anyway).
     /// Needed by the kNN search built on top of range queries

@@ -1258,6 +1258,117 @@ impl MovingObjectIndex for TprTree {
         Ok(out)
     }
 
+    /// Shared traversal over the whole batch: one top-down pass
+    /// carries, per subtree, the indices of the queries whose TPBR
+    /// still intersects it — every node page is read and decoded once
+    /// for all queries that reach it, instead of once per query as a
+    /// loop of [`MovingObjectIndex::range_query`] calls would. Leaf
+    /// entries are decoded once and exact-filtered against each
+    /// surviving query. Per query the visited subtrees, the exact
+    /// filter, and the report order are identical to the single-query
+    /// traversal (a DFS visits any query's subtree subset in the same
+    /// relative order).
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        let mut results: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+        if !self.root.is_valid() || queries.is_empty() {
+            return Ok(results);
+        }
+        let before = self.track_begin();
+        let q_tpbrs: Vec<Tpbr> = queries.iter().map(RangeQuery::tpbr).collect();
+        let mut stack: Vec<(PageId, Vec<usize>)> = vec![(self.root, (0..queries.len()).collect())];
+        while let Some((pid, alive)) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Leaf { entries } => {
+                    for e in &entries {
+                        let obj = e.to_object();
+                        for &qi in &alive {
+                            if queries[qi].matches(&obj) {
+                                results[qi].push(e.id);
+                            }
+                        }
+                    }
+                }
+                Node::Internal { entries, .. } => {
+                    for e in &entries {
+                        let survivors: Vec<usize> = alive
+                            .iter()
+                            .copied()
+                            .filter(|&qi| {
+                                e.tpbr.intersects_during(
+                                    &q_tpbrs[qi],
+                                    queries[qi].t_start,
+                                    queries[qi].t_end,
+                                )
+                            })
+                            .collect();
+                        if !survivors.is_empty() {
+                            stack.push((e.child, survivors));
+                        }
+                    }
+                }
+            }
+        }
+        self.track_end(before);
+        Ok(results)
+    }
+
+    /// Incremental kNN candidates: a pruned re-descent. Besides the
+    /// normal intersects-the-probe pruning, any subtree whose TPBR
+    /// footprint over the query window lies **entirely inside** the
+    /// `covered` probe's region is skipped — an earlier round of the
+    /// chain already visited every leaf under it and reported all
+    /// their entries (visited leaves report unfiltered, which is what
+    /// makes that induction airtight). Only the delta ring between
+    /// the two probes is re-read. The covered pruning applies to
+    /// time-slice chains whose windows match (what
+    /// `vp_core::knn` issues); anything else falls
+    /// back to a full candidate scan.
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        if !self.root.is_valid() {
+            return Ok(out);
+        }
+        // The containment test evaluates node footprints at a single
+        // instant, which is only sound for time-slice probes over the
+        // same instant.
+        let covered = covered
+            .filter(|c| c.is_time_slice() && query.is_time_slice() && c.t_start == query.t_start);
+        let before = self.track_begin();
+        let q_tpbr = query.tpbr();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            match self.read_node(pid)? {
+                Node::Leaf { entries } => {
+                    // Candidate mode: every entry of a visited leaf,
+                    // unfiltered.
+                    out.extend(entries.iter().map(|e| e.id));
+                }
+                Node::Internal { entries, .. } => {
+                    for e in &entries {
+                        if !e
+                            .tpbr
+                            .intersects_during(&q_tpbr, query.t_start, query.t_end)
+                        {
+                            continue;
+                        }
+                        if let Some(c) = covered {
+                            if c.region.contains_rect(&e.tpbr.rect_at(c.t_start)) {
+                                continue; // fully swept by earlier rounds
+                            }
+                        }
+                        stack.push(e.child);
+                    }
+                }
+            }
+        }
+        self.track_end(before);
+        Ok(out)
+    }
+
     fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
         self.entries.get(&id).map(|e| e.to_object())
     }
@@ -1835,6 +1946,122 @@ mod tests {
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_query_batch_matches_looped_queries() {
+        let mut t = tree();
+        let objs = random_objects(500, 0xBA7C2);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let mut rng = Rng(0x9A7);
+        let queries: Vec<RangeQuery> = (0..20)
+            .map(|qi| {
+                let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+                match qi % 3 {
+                    0 => RangeQuery::time_slice(
+                        QueryRegion::Circle(Circle::new(c, 400.0 + rng.next() * 1_600.0)),
+                        (qi % 5) as f64 * 12.0,
+                    ),
+                    1 => RangeQuery::time_interval(
+                        QueryRegion::Rect(Rect::centered(c, 1_200.0, 800.0)),
+                        5.0,
+                        35.0,
+                    ),
+                    _ => RangeQuery::moving(
+                        QueryRegion::Circle(Circle::new(c, 800.0)),
+                        Point::new(rng.next() * 20.0 - 10.0, 8.0),
+                        0.0,
+                        30.0,
+                    ),
+                }
+            })
+            .collect();
+        let batched = t.range_query_batch(&queries).unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            let looped = t.range_query(q).unwrap();
+            assert_eq!(batched[qi], looped, "query {qi} diverged (order included)");
+        }
+    }
+
+    #[test]
+    fn range_query_batch_reads_fewer_pages_than_looped_queries() {
+        let mut t = tree();
+        let objs = random_objects(1_500, 0x10AD2);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        // Overlapping hotspot queries: the shared traversal reads the
+        // upper levels and hot leaves once for the whole batch.
+        let queries: Vec<RangeQuery> = (0..24)
+            .map(|i| {
+                RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(
+                        Point::new(5_000.0 + (i % 6) as f64 * 80.0, 5_000.0),
+                        1_500.0,
+                    )),
+                    15.0,
+                )
+            })
+            .collect();
+
+        t.reset_io_stats();
+        let batched = t.range_query_batch(&queries).unwrap();
+        let batched_reads = t.io_stats().logical_reads;
+
+        t.reset_io_stats();
+        let looped: Vec<Vec<u64>> = queries.iter().map(|q| t.range_query(q).unwrap()).collect();
+        let looped_reads = t.io_stats().logical_reads;
+
+        assert_eq!(batched, looped);
+        assert!(
+            batched_reads * 2 < looped_reads,
+            "shared traversal should at least halve page reads: {batched_reads} vs {looped_reads}"
+        );
+    }
+
+    #[test]
+    fn knn_candidates_delta_rings_cover_matches() {
+        let mut t = tree();
+        let objs = random_objects(900, 0xD317A2);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        let center = Point::new(5_000.0, 5_000.0);
+        // Early probe time: node TPBRs inflate with velocity bounds
+        // over time, and the containment pruning only bites while the
+        // covered circle is large relative to the inflated footprints.
+        let tq = 2.0;
+        let radii = [400.0, 1_200.0, 3_000.0, 6_500.0];
+        let mut union: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut covered: Option<RangeQuery> = None;
+        let mut last_delta_reads = 0;
+        for &r in &radii {
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, r)), tq);
+            t.reset_io_stats();
+            union.extend(t.knn_candidates(&q, covered.as_ref()).unwrap());
+            last_delta_reads = t.io_stats().logical_reads;
+            let want: std::collections::BTreeSet<u64> =
+                t.range_query(&q).unwrap().into_iter().collect();
+            assert!(
+                union.is_superset(&want),
+                "radius {r}: union misses {:?}",
+                want.difference(&union).collect::<Vec<_>>()
+            );
+            covered = Some(q);
+        }
+        // The pruned re-descent of the last ring beats a full rescan
+        // of the final region.
+        let final_q =
+            RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, radii[3])), tq);
+        t.reset_io_stats();
+        t.knn_candidates(&final_q, None).unwrap();
+        let full_reads = t.io_stats().logical_reads;
+        assert!(
+            last_delta_reads < full_reads,
+            "delta ring ({last_delta_reads}) should read fewer pages than the full region ({full_reads})"
+        );
     }
 
     #[test]

@@ -80,23 +80,41 @@ pub enum SyncPolicy {
     /// Flush to the OS on commit but never `fsync`: survives process
     /// crashes; an OS crash may lose the most recent commits. Fastest.
     Never,
+    /// Cross-tick group commit: flush on every commit, but the fsync
+    /// is issued by the *owner* of the log (the VP index manager) only
+    /// on every n-th tick boundary, amortizing the dominant fsync cost
+    /// over n ticks. An OS crash can lose at most the ticks since the
+    /// last boundary. At the log layer this behaves like
+    /// [`SyncPolicy::Never`]; the tick cadence lives with the caller,
+    /// which escalates boundary commits to a sync.
+    EveryTicks(u32),
 }
 
 impl SyncPolicy {
-    /// Stable one-byte encoding (manifest files).
-    pub fn to_byte(self) -> u8 {
-        match self {
-            SyncPolicy::Always => 0,
-            SyncPolicy::Never => 1,
-        }
+    /// Stable five-byte encoding (manifest files): a tag byte plus a
+    /// little-endian u32 parameter (zero for the parameterless
+    /// policies).
+    pub fn to_bytes(self) -> [u8; 5] {
+        let (tag, n) = match self {
+            SyncPolicy::Always => (0u8, 0u32),
+            SyncPolicy::Never => (1, 0),
+            SyncPolicy::EveryTicks(n) => (2, n),
+        };
+        let mut out = [0u8; 5];
+        out[0] = tag;
+        out[1..].copy_from_slice(&n.to_le_bytes());
+        out
     }
 
-    /// Inverse of [`SyncPolicy::to_byte`].
-    pub fn from_byte(b: u8) -> Result<SyncPolicy, WalError> {
-        match b {
-            0 => Ok(SyncPolicy::Always),
-            1 => Ok(SyncPolicy::Never),
-            _ => Err(WalError::Corrupt(format!("unknown sync policy byte {b}"))),
+    /// Inverse of [`SyncPolicy::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; 5]) -> Result<SyncPolicy, WalError> {
+        let n = u32::from_le_bytes(bytes[1..].try_into().expect("4 bytes"));
+        match (bytes[0], n) {
+            (0, _) => Ok(SyncPolicy::Always),
+            (1, _) => Ok(SyncPolicy::Never),
+            (2, n) if n >= 1 => Ok(SyncPolicy::EveryTicks(n)),
+            (2, _) => Err(WalError::Corrupt("EveryTicks(0) sync policy".into())),
+            (b, _) => Err(WalError::Corrupt(format!("unknown sync policy byte {b}"))),
         }
     }
 }

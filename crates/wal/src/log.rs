@@ -200,10 +200,13 @@ impl Wal {
     }
 
     /// Group commit: flush, and fsync when the policy demands it.
+    /// [`SyncPolicy::EveryTicks`] flushes only — its cross-tick fsync
+    /// cadence is the caller's job (the caller escalates boundary
+    /// commits to [`SyncPolicy::Always`] or [`Wal::sync`]).
     pub fn commit(&mut self, policy: SyncPolicy) -> WalResult<()> {
         match policy {
             SyncPolicy::Always => self.sync(),
-            SyncPolicy::Never => self.flush(),
+            SyncPolicy::Never | SyncPolicy::EveryTicks(_) => self.flush(),
         }
     }
 
@@ -526,6 +529,37 @@ mod tests {
         let got = wal.replay(2).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].seq, 3);
+    }
+
+    #[test]
+    fn sync_policy_encoding_round_trips() {
+        for policy in [
+            SyncPolicy::Always,
+            SyncPolicy::Never,
+            SyncPolicy::EveryTicks(1),
+            SyncPolicy::EveryTicks(64),
+        ] {
+            assert_eq!(SyncPolicy::from_bytes(&policy.to_bytes()), Ok(policy));
+        }
+        // Degenerate and unknown encodings are rejected.
+        assert!(SyncPolicy::from_bytes(&[2, 0, 0, 0, 0]).is_err());
+        assert!(SyncPolicy::from_bytes(&[9, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn every_ticks_commit_flushes_like_never() {
+        // At the log layer EveryTicks is a flush-only commit: records
+        // survive a clean reopen (the cross-tick fsync cadence lives
+        // with the caller).
+        let t = TempDir::new("group-commit");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.append(1, 1, b"a").unwrap();
+        wal.commit(SyncPolicy::EveryTicks(4)).unwrap();
+        wal.append(2, 1, b"b").unwrap();
+        wal.commit(SyncPolicy::EveryTicks(4)).unwrap();
+        drop(wal);
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.replay(0).unwrap().len(), 2);
     }
 
     #[test]

@@ -137,8 +137,9 @@ pub use vp_workload;
 pub mod prelude {
     pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
     pub use vp_core::{
-        IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, PartitionSpec,
-        QueryRegion, RangeQuery, RecoveryReport, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex,
+        knn_at, knn_batch, IndexError, IndexResult, KnnQuery, MovingObject, MovingObjectIndex,
+        Neighbor, ObjectId, PartitionSpec, QueryRegion, RangeQuery, RecoveryReport, SyncPolicy,
+        VelocityAnalyzer, VpConfig, VpIndex,
     };
     pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
     pub use vp_storage::{BufferPool, DiskManager, IoStats};

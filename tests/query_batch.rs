@@ -1,0 +1,361 @@
+//! Batched-query equivalence properties.
+//!
+//! The contract under test: **for any tick stream and any query
+//! batch, the batched query engine answers exactly what looping the
+//! single-query paths answers** — per index family (Bx and TPR\*),
+//! per query flavor (range and kNN), and regardless of the worker
+//! count (parallel per-partition fan-out must be bit-identical to
+//! the sequential run). Plus the attributable perf claim: the shared
+//! leaf sweep reads fewer pages than looped queries on overlapping
+//! batches.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use velocity_partitioning::prelude::*;
+use velocity_partitioning::vp_core::{knn_at, knn_batch, KnnQuery, MovingObject};
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+const DOMAIN: f64 = 100_000.0;
+
+/// Two roads (0° and 90°) plus diagonal outliers.
+fn sample() -> Vec<Point> {
+    let mut pts = Vec::new();
+    for i in 1..=300 {
+        let s = 10.0 + (i % 90) as f64;
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        pts.push(Point::new(s * sign, (i % 5) as f64 * 0.2 - 0.4));
+        pts.push(Point::new((i % 5) as f64 * 0.2 - 0.4, s * sign));
+    }
+    for i in 0..20 {
+        pts.push(Point::new(40.0 + i as f64, 40.0 + i as f64));
+    }
+    pts
+}
+
+fn vp_config(workers: usize) -> VpConfig {
+    VpConfig::default().with_tick_workers(workers)
+}
+
+fn build_bx(workers: usize) -> VpIndex<BxTree> {
+    let cfg = vp_config(workers);
+    let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample());
+    let pool = Arc::new(BufferPool::with_capacity(
+        DiskManager::with_page_size(1024),
+        512,
+    ));
+    VpIndex::build(cfg, &analysis, |spec| {
+        BxTree::new(
+            Arc::clone(&pool),
+            BxConfig {
+                domain: spec.domain,
+                hist_cells: 120,
+                ..BxConfig::default()
+            },
+        )
+        .unwrap()
+    })
+    .unwrap()
+}
+
+fn build_tpr(workers: usize) -> VpIndex<TprTree> {
+    let cfg = vp_config(workers);
+    let analysis = VelocityAnalyzer::new(cfg.clone()).analyze(&sample());
+    let pool = Arc::new(BufferPool::with_capacity(
+        DiskManager::with_page_size(1024),
+        512,
+    ));
+    VpIndex::build(cfg, &analysis, |_spec| {
+        TprTree::new(Arc::clone(&pool), TprConfig::default())
+    })
+    .unwrap()
+}
+
+/// Random tick stream: tick 0 populates, later ticks move a rotating
+/// third of the fleet (half of which turn 90°, forcing partition
+/// migrations) and add a fresh id per tick.
+fn make_ticks(seed: u64, n_objects: u64, n_ticks: usize) -> Vec<Vec<MovingObject>> {
+    let mut rng = Rng::new(seed);
+    let mut objs: Vec<MovingObject> = (0..n_objects)
+        .map(|id| {
+            let ang = rng.f64() * std::f64::consts::TAU;
+            let speed = rng.f64() * 80.0;
+            MovingObject::new(
+                id,
+                Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN),
+                Point::new(ang.cos() * speed, ang.sin() * speed),
+                0.0,
+            )
+        })
+        .collect();
+    let mut ticks = vec![objs.clone()];
+    for tick in 1..n_ticks {
+        let t = tick as f64 * 10.0;
+        let mut updates = Vec::new();
+        for o in objs.iter_mut() {
+            if o.id % 3 == (tick as u64) % 3 {
+                let vel = if o.id % 2 == 0 {
+                    Point::new(-o.vel.y, o.vel.x)
+                } else {
+                    o.vel
+                };
+                *o = MovingObject::new(o.id, o.position_at(t), vel, t);
+                updates.push(*o);
+            }
+        }
+        let fresh = MovingObject::new(
+            10_000 + tick as u64,
+            Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN),
+            Point::new(30.0, 0.5),
+            t,
+        );
+        objs.push(fresh);
+        updates.push(fresh);
+        ticks.push(updates);
+    }
+    ticks
+}
+
+/// Random query batch: clustered (overlapping) circles, far-away
+/// probes, interval and moving queries, at mixed timestamps.
+fn make_queries(seed: u64, n: usize, t_max: f64) -> Vec<RangeQuery> {
+    let mut rng = Rng::new(seed);
+    let hotspot = Point::new(
+        20_000.0 + rng.f64() * 60_000.0,
+        20_000.0 + rng.f64() * 60_000.0,
+    );
+    (0..n)
+        .map(|qi| {
+            let c = if qi % 2 == 0 {
+                // Half the batch piles onto one hotspot: the shared
+                // sweep's bread and butter.
+                Point::new(
+                    hotspot.x + rng.f64() * 4_000.0 - 2_000.0,
+                    hotspot.y + rng.f64() * 4_000.0 - 2_000.0,
+                )
+            } else {
+                Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN)
+            };
+            let t = (rng.next() % 5) as f64 * t_max / 5.0;
+            match qi % 4 {
+                0 | 1 => RangeQuery::time_slice(
+                    QueryRegion::Circle(Circle::new(c, 1_000.0 + rng.f64() * 6_000.0)),
+                    t,
+                ),
+                2 => RangeQuery::time_interval(
+                    QueryRegion::Rect(Rect::centered(c, 8_000.0, 5_000.0)),
+                    t,
+                    t + 20.0,
+                ),
+                _ => RangeQuery::moving(
+                    QueryRegion::Circle(Circle::new(c, 3_000.0)),
+                    Point::new(rng.f64() * 40.0 - 20.0, 15.0),
+                    t,
+                    t + 25.0,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Batched results must equal looped single-query results — and the
+/// scan oracle — for every query in the batch.
+fn assert_batch_equivalent<I: MovingObjectIndex + Send + Sync>(
+    vp: &VpIndex<I>,
+    objects: &[MovingObject],
+    queries: &[RangeQuery],
+    label: &str,
+) {
+    let batched = vp.range_query_batch(queries).unwrap();
+    assert_eq!(batched.len(), queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let mut got = batched[qi].clone();
+        let mut looped = vp.range_query(q).unwrap();
+        got.sort_unstable();
+        looped.sort_unstable();
+        assert_eq!(got, looped, "{label}: query {qi} batched != looped");
+        let mut oracle: Vec<u64> = objects
+            .iter()
+            .filter(|o| q.matches(o))
+            .map(|o| o.id)
+            .collect();
+        oracle.sort_unstable();
+        assert_eq!(got, oracle, "{label}: query {qi} diverged from oracle");
+    }
+}
+
+/// The live fleet after a tick stream (last write per id wins).
+fn live_objects(ticks: &[Vec<MovingObject>]) -> Vec<MovingObject> {
+    let mut last = std::collections::BTreeMap::new();
+    for tick in ticks {
+        for o in tick {
+            last.insert(o.id, *o);
+        }
+    }
+    last.into_values().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random tick streams, then a random query batch: batched ==
+    /// looped == oracle for both index families, and the parallel
+    /// fan-out is bit-identical to the sequential one.
+    #[test]
+    fn batched_range_queries_match_looped_and_oracle(
+        seed in 1u64..1_000_000,
+        n_ticks in 2usize..5,
+        n_queries in 1usize..24,
+    ) {
+        let ticks = make_ticks(seed, 250, n_ticks);
+        let t_max = (n_ticks - 1) as f64 * 10.0;
+        let queries = make_queries(seed ^ 0xABCD, n_queries, t_max + 30.0);
+        let objects = live_objects(&ticks);
+
+        let mut bx_seq = build_bx(1);
+        let mut bx_par = build_bx(4);
+        let mut tpr_seq = build_tpr(1);
+        let mut tpr_par = build_tpr(4);
+        for tick in &ticks {
+            bx_seq.apply_updates(tick).unwrap();
+            bx_par.apply_updates(tick).unwrap();
+            tpr_seq.apply_updates(tick).unwrap();
+            tpr_par.apply_updates(tick).unwrap();
+        }
+
+        assert_batch_equivalent(&bx_seq, &objects, &queries, "bx");
+        assert_batch_equivalent(&tpr_seq, &objects, &queries, "tpr");
+
+        // Parallel workers: same bits, same order.
+        prop_assert_eq!(
+            bx_seq.range_query_batch(&queries).unwrap(),
+            bx_par.range_query_batch(&queries).unwrap(),
+            "bx parallel fan-out diverged from sequential"
+        );
+        prop_assert_eq!(
+            tpr_seq.range_query_batch(&queries).unwrap(),
+            tpr_par.range_query_batch(&queries).unwrap(),
+            "tpr parallel fan-out diverged from sequential"
+        );
+    }
+
+    /// Incremental batched kNN == looped incremental kNN == brute
+    /// force, on both families, parallel and sequential.
+    #[test]
+    fn batched_knn_matches_looped_and_brute_force(
+        seed in 1u64..1_000_000,
+        n_ticks in 2usize..4,
+        n_knn in 1usize..10,
+    ) {
+        let ticks = make_ticks(seed, 220, n_ticks);
+        let t_max = (n_ticks - 1) as f64 * 10.0;
+        let objects = live_objects(&ticks);
+        let domain = Rect::from_bounds(0.0, 0.0, DOMAIN, DOMAIN);
+        let mut rng = Rng::new(seed ^ 0x1313);
+        let knn_queries: Vec<KnnQuery> = (0..n_knn)
+            .map(|i| KnnQuery {
+                center: Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN),
+                k: 1 + (i % 8),
+                t: t_max + (rng.next() % 4) as f64 * 10.0,
+            })
+            .collect();
+
+        let mut bx = build_bx(1);
+        let mut tpr_par = build_tpr(3);
+        for tick in &ticks {
+            bx.apply_updates(tick).unwrap();
+            tpr_par.apply_updates(tick).unwrap();
+        }
+
+        let bx_batch = bx.knn_batch(&knn_queries, &domain).unwrap();
+        let tpr_batch = tpr_par.knn_batch(&knn_queries, &domain).unwrap();
+        // Worker-count invariance of the batch API itself.
+        prop_assert_eq!(
+            &tpr_batch,
+            &knn_batch(&tpr_par, &knn_queries, &domain, 1).unwrap(),
+            "tpr knn batch diverged across worker counts"
+        );
+
+        for (i, q) in knn_queries.iter().enumerate() {
+            // Brute force at q.t.
+            let mut want: Vec<(u64, f64)> = objects
+                .iter()
+                .map(|o| (o.id, o.position_at(q.t).dist(q.center)))
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            want.truncate(q.k);
+
+            for (family, got) in [("bx", &bx_batch[i]), ("tpr", &tpr_batch[i])] {
+                prop_assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    want.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                    "{} knn query {} diverged from brute force", family, i
+                );
+            }
+            // And the batch equals looping knn_at.
+            prop_assert_eq!(
+                &bx_batch[i],
+                &knn_at(&bx, q.center, q.k, q.t, &domain).unwrap(),
+                "bx knn batch vs looped, query {}", i
+            );
+        }
+    }
+}
+
+/// The attributable perf claim of the shared sweep: an overlapping
+/// query batch must read fewer pages than the same queries looped,
+/// for both families.
+#[test]
+fn shared_sweep_reads_fewer_pages_on_overlapping_batches() {
+    let ticks = make_ticks(0xFEED5, 2_000, 3);
+    let queries = make_queries(0x0715, 48, 40.0);
+    let mut bx = build_bx(1);
+    let mut tpr = build_tpr(1);
+    for tick in &ticks {
+        bx.apply_updates(tick).unwrap();
+        tpr.apply_updates(tick).unwrap();
+    }
+    for (label, vp) in [
+        ("bx", &bx as &dyn MovingObjectIndex),
+        ("tpr", &tpr as &dyn MovingObjectIndex),
+    ] {
+        vp.reset_io_stats();
+        let batched = vp.range_query_batch(&queries).unwrap();
+        let batched_reads = vp.io_stats().logical_reads;
+
+        vp.reset_io_stats();
+        let looped: Vec<Vec<u64>> = queries.iter().map(|q| vp.range_query(q).unwrap()).collect();
+        let looped_reads = vp.io_stats().logical_reads;
+
+        for (qi, (a, b)) in batched.iter().zip(&looped).enumerate() {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{label}: query {qi}");
+        }
+        assert!(
+            batched_reads < looped_reads,
+            "{label}: shared sweep should read fewer pages: \
+             {batched_reads} batched vs {looped_reads} looped"
+        );
+    }
+}

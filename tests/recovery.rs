@@ -159,7 +159,7 @@ fn oracle_at(cfg_seed: &VpConfig, ticks: &[Vec<MovingObject>], n_ticks: usize) -
 
 /// [`oracle_at`] generalized over the sub-index factory (the TPR
 /// recovery tests build TPR-backed oracles through it).
-fn oracle_at_with<I: MovingObjectIndex + Send>(
+fn oracle_at_with<I: MovingObjectIndex + Send + Sync>(
     cfg_seed: &VpConfig,
     ticks: &[Vec<MovingObject>],
     n_ticks: usize,
@@ -186,7 +186,7 @@ fn oracle_at_with<I: MovingObjectIndex + Send>(
 /// *historical* queries, outside the moving-object data model, which
 /// two differently-shaped exact indexes may legitimately answer
 /// differently.
-fn assert_matches_oracle<I: MovingObjectIndex + Send>(
+fn assert_matches_oracle<I: MovingObjectIndex + Send + Sync>(
     got: &VpIndex<I>,
     oracle: &VpIndex<I>,
     context: &str,
@@ -194,7 +194,7 @@ fn assert_matches_oracle<I: MovingObjectIndex + Send>(
     assert_matches_oracle_from(got, oracle, 0.0, context)
 }
 
-fn assert_matches_oracle_from<I: MovingObjectIndex + Send>(
+fn assert_matches_oracle_from<I: MovingObjectIndex + Send + Sync>(
     got: &VpIndex<I>,
     oracle: &VpIndex<I>,
     t0: f64,
@@ -272,6 +272,37 @@ fn crash_without_checkpoint_recovers_everything() {
     let more = make_ticks(0xBEEF, 2).pop().unwrap();
     recovered.apply_updates(&more).unwrap();
     assert!(recovered.len() >= oracle.len());
+}
+
+#[test]
+fn cross_tick_group_commit_recovers_everything_after_clean_drop() {
+    // EveryTicks(n) commits flush every tick and fsync only at tick
+    // boundaries; a process crash (drop without shutdown) loses
+    // nothing because every commit reached the OS. The manifest must
+    // also round-trip the parameterized policy.
+    let t = TempDir::new("group-commit");
+    let cfg = durable_config(&t.0, 2, SyncPolicy::EveryTicks(3));
+    let ticks = make_ticks(0x6C0117, 8); // deliberately not a multiple of 3
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for tick in &ticks {
+            vp.apply_updates(tick).unwrap();
+        }
+    }
+    let (mut recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.events_replayed, ticks.len());
+    assert_eq!(
+        recovered.config().sync_policy,
+        SyncPolicy::EveryTicks(3),
+        "manifest round-trips the parameterized policy"
+    );
+    let oracle = oracle_at(&cfg, &ticks, ticks.len());
+    assert_matches_oracle(&recovered, &oracle, "group-commit full replay");
+    // Keeps working (and crossing further sync boundaries) after
+    // recovery.
+    for tick in make_ticks(0xF00D5, 5) {
+        recovered.apply_updates(&tick).unwrap();
+    }
 }
 
 #[test]
