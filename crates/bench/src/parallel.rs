@@ -335,7 +335,7 @@ mod tests {
         let tpr = w.build_tpr(4_096, 1);
         assert_eq!(bx.len(), tpr.len());
         for id in (0..800u64).step_by(97) {
-            assert_eq!(bx.get_object(id), tpr.get_object(id));
+            assert_eq!(bx.get_object(id).unwrap(), tpr.get_object(id).unwrap());
             assert_eq!(bx.partition_of(id), tpr.partition_of(id));
         }
     }

@@ -778,11 +778,18 @@ impl MovingObjectIndex for BxTree {
         Ok(out)
     }
 
-    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
-        let key = self.keys.get(&id)?;
-        let value = self.btree.get(*key).ok().flatten()?;
+    fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
+        let Some(key) = self.keys.get(&id) else {
+            return Ok(None);
+        };
+        // Propagate storage errors instead of collapsing them into
+        // "absent": a known key whose leaf read fails is an I/O
+        // failure, not a miss.
+        let Some(value) = self.btree.get(*key).map_err(IndexError::from)? else {
+            return Ok(None);
+        };
         let (pos, vel, label) = Self::decode_value(&value);
-        Some(MovingObject::new(id, pos, vel, label))
+        Ok(Some(MovingObject::new(id, pos, vel, label)))
     }
 
     fn len(&self) -> usize {
@@ -1096,7 +1103,7 @@ mod tests {
 
             batched.update_batch(&updates).unwrap();
             for u in &updates {
-                if looped.get_object(u.id).is_some() {
+                if looped.get_object(u.id).unwrap().is_some() {
                     looped.update(*u).unwrap();
                 } else {
                     looped.insert(*u).unwrap();
@@ -1152,7 +1159,7 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(t.len(), 1);
-        let got = t.get_object(7).unwrap();
+        let got = t.get_object(7).unwrap().unwrap();
         assert!(got.pos.x > 7_000.0, "last update should win: {got:?}");
     }
 
@@ -1186,14 +1193,14 @@ mod tests {
             Err(IndexError::UnknownObject(999))
         ));
         assert_eq!(t.len(), 50);
-        assert!(t.get_object(1).is_some() && t.get_object(2).is_some());
+        assert!(t.get_object(1).unwrap().is_some() && t.get_object(2).unwrap().is_some());
         // A duplicated id: same guarantee.
         assert!(matches!(
             t.remove_batch(&[3, 4, 3]),
             Err(IndexError::DuplicateObject(3))
         ));
         assert_eq!(t.len(), 50);
-        assert!(t.get_object(3).is_some());
+        assert!(t.get_object(3).unwrap().is_some());
         // Queries still see everything.
         let q = RangeQuery::time_slice(
             QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 10_000.0, 10_000.0)),

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use vp_geom::{Point, Rect};
+use vp_storage::{FaultHandle, RetryPolicy};
 use vp_wal::SyncPolicy;
 
 /// Tunables for the velocity analyzer and the VP index manager.
@@ -56,6 +57,17 @@ pub struct VpConfig {
     /// means checkpoints happen only via the explicit
     /// [`crate::VpIndex::checkpoint`] call.
     pub checkpoint_every_ticks: u64,
+    /// Fault injector wired into the durability layer (WAL streams and
+    /// the checkpoint/manifest atomic-publish path) at open time —
+    /// the test harness's handle for torn writes, ENOSPC, and fsync
+    /// failures. `None` (the default) injects nothing. Runtime-only:
+    /// never persisted in the manifest; attach one to a recovered
+    /// index with [`crate::VpIndex::set_fault_injector`].
+    pub fault: Option<FaultHandle>,
+    /// Retry policy for transient WAL I/O errors (EIO, ENOSPC) at the
+    /// flush sites. Failed fsyncs are **never** retried — they poison
+    /// the stream instead. Runtime-only, like `fault`.
+    pub wal_retry: RetryPolicy,
 }
 
 impl Default for VpConfig {
@@ -71,6 +83,8 @@ impl Default for VpConfig {
             wal_dir: None,
             sync_policy: SyncPolicy::Always,
             checkpoint_every_ticks: 0,
+            fault: None,
+            wal_retry: RetryPolicy::standard(),
         }
     }
 }
@@ -128,6 +142,20 @@ impl VpConfig {
     /// (`0` = only explicit checkpoints).
     pub fn with_checkpoint_every_ticks(mut self, ticks: u64) -> VpConfig {
         self.checkpoint_every_ticks = ticks;
+        self
+    }
+
+    /// Returns the configuration with a fault injector attached to the
+    /// durability layer (builder-style convenience; test harnesses).
+    pub fn with_fault_injector(mut self, handle: FaultHandle) -> VpConfig {
+        self.fault = Some(handle);
+        self
+    }
+
+    /// Returns the configuration with the given transient-error retry
+    /// policy for WAL flushes.
+    pub fn with_wal_retry(mut self, policy: RetryPolicy) -> VpConfig {
+        self.wal_retry = policy;
         self
     }
 }

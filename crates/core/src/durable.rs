@@ -55,8 +55,10 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use vp_geom::Frame;
+use vp_storage::{FaultHandle, FaultKind, FaultOp, RetryPolicy, ThreadSleeper};
 use vp_wal::{crc32, SyncPolicy, Wal};
 
 use crate::analyzer::AnalyzerOutput;
@@ -113,20 +115,37 @@ pub(crate) struct Durability {
     pub(crate) ticks_since_sync: u64,
     /// True while recovery replays the log: suppresses re-logging.
     pub(crate) replaying: bool,
+    /// Fault injector covering this index's durability I/O (WAL
+    /// streams at sites `wal:meta` / `wal:part-<p>`, atomic publishes
+    /// at site `ckpt`). `None` outside the fault-injection harness.
+    pub(crate) fault: Option<FaultHandle>,
 }
 
 impl Durability {
-    /// Opens (or creates) the log streams for `nparts` partitions.
+    /// Opens (or creates) the log streams for `nparts` partitions,
+    /// wiring the fault injector and retry policy into every stream.
     pub(crate) fn open(
         dir: &Path,
         nparts: usize,
         policy: SyncPolicy,
         checkpoint_every: u64,
+        fault: Option<FaultHandle>,
+        retry: RetryPolicy,
     ) -> IndexResult<Durability> {
-        let meta = Wal::open(dir, "meta")?;
+        let wire = |mut wal: Wal, site: String| -> Wal {
+            if let Some(h) = &fault {
+                wal.set_fault_injector(h.0.clone(), site);
+            }
+            wal.set_retry(retry, Arc::new(ThreadSleeper));
+            wal
+        };
+        let meta = wire(Wal::open(dir, "meta")?, "wal:meta".into());
         let mut parts = Vec::with_capacity(nparts);
         for p in 0..nparts {
-            parts.push(Wal::open(dir, &format!("part-{p}"))?);
+            parts.push(wire(
+                Wal::open(dir, &format!("part-{p}"))?,
+                format!("wal:part-{p}"),
+            ));
         }
         let next_seq = parts
             .iter()
@@ -145,7 +164,29 @@ impl Durability {
             ticks_since_ckpt: 0,
             ticks_since_sync: 0,
             replaying: false,
+            fault,
         })
+    }
+
+    /// The first poisoned stream's reason, if any stream's fsync has
+    /// failed (meta first, then partitions in order).
+    pub(crate) fn poisoned_reason(&self) -> Option<String> {
+        self.meta.poisoned().map(str::to_owned).or_else(|| {
+            self.parts
+                .iter()
+                .find_map(|w| w.poisoned().map(str::to_owned))
+        })
+    }
+
+    /// Drops every stream's buffered-but-unflushed records — the WAL
+    /// side of a tick rollback. Records that already reached the OS
+    /// stay; without their commit record they are dead weight that
+    /// recovery ignores and the next checkpoint truncates.
+    pub(crate) fn discard_all_pending(&mut self) {
+        self.meta.discard_pending();
+        for wal in &mut self.parts {
+            wal.discard_pending();
+        }
     }
 }
 
@@ -327,17 +368,57 @@ pub(crate) fn decode_tick_commit(payload: &[u8]) -> IndexResult<(usize, usize)> 
 /// Wraps a payload in `magic ‖ version ‖ payload ‖ crc32(payload)` and
 /// writes it to a temp file, fsyncs, renames into place, and fsyncs
 /// the directory — the atomic-publish dance.
-fn write_file_atomic(dir: &Path, name: &str, magic: &[u8; 8], payload: &[u8]) -> IndexResult<()> {
+///
+/// Failure at **any** step — temp write (including a torn one or
+/// ENOSPC), temp fsync, or the rename itself — leaves whatever file
+/// previously held `name` untouched: the new bytes only become
+/// visible through the final atomic rename. The temp file is removed
+/// best-effort on the error path so a failed publish can't strand
+/// `.tmp` litter that a later publish would trip over.
+fn write_file_atomic(
+    dir: &Path,
+    name: &str,
+    magic: &[u8; 8],
+    payload: &[u8],
+    fault: Option<&FaultHandle>,
+) -> IndexResult<()> {
     let mut bytes = Vec::with_capacity(16 + payload.len());
     bytes.extend_from_slice(magic);
     bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     bytes.extend_from_slice(payload);
     bytes.extend_from_slice(&crc32(payload).to_le_bytes());
     let tmp = dir.join(format!("{name}.tmp"));
-    fs::write(&tmp, &bytes).map_err(io_err)?;
-    let f = fs::File::open(&tmp).map_err(io_err)?;
-    f.sync_all().map_err(io_err)?;
-    fs::rename(&tmp, dir.join(name)).map_err(io_err)?;
+    let check = |op: FaultOp| -> Option<FaultKind> { fault.and_then(|h| h.check("ckpt", op)) };
+    let publish = || -> IndexResult<()> {
+        match check(FaultOp::Write) {
+            Some(FaultKind::Torn { keep }) => {
+                // Model a torn publish write: a prefix lands, then the
+                // device gives out.
+                let keep = keep.min(bytes.len());
+                let _ = fs::write(&tmp, &bytes[..keep]);
+                return Err(IndexError::Wal(format!(
+                    "injected torn write at ckpt: {keep} of {} bytes",
+                    bytes.len()
+                )));
+            }
+            Some(kind) => return Err(kind.to_error("ckpt", FaultOp::Write).into()),
+            None => fs::write(&tmp, &bytes).map_err(io_err)?,
+        }
+        let f = fs::File::open(&tmp).map_err(io_err)?;
+        match check(FaultOp::Sync) {
+            Some(kind) => return Err(kind.to_error("ckpt", FaultOp::Sync).into()),
+            None => f.sync_all().map_err(io_err)?,
+        }
+        match check(FaultOp::Rename) {
+            Some(kind) => return Err(kind.to_error("ckpt", FaultOp::Rename).into()),
+            None => fs::rename(&tmp, dir.join(name)).map_err(io_err)?,
+        }
+        Ok(())
+    };
+    if let Err(e) = publish() {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
     if let Ok(d) = fs::File::open(dir) {
         let _ = d.sync_all();
     }
@@ -374,6 +455,7 @@ fn write_manifest(
     config: &VpConfig,
     specs: &[PartitionSpec],
     hist_bounds: &[f64],
+    fault: Option<&FaultHandle>,
 ) -> IndexResult<()> {
     let mut p = Vec::new();
     put_u64(&mut p, config.k as u64);
@@ -399,7 +481,7 @@ fn write_manifest(
     for b in hist_bounds {
         put_f64(&mut p, *b);
     }
-    write_file_atomic(dir, MANIFEST_NAME, MANIFEST_MAGIC, &p)
+    write_file_atomic(dir, MANIFEST_NAME, MANIFEST_MAGIC, &p, fault)
 }
 
 /// The manifest's partition description (enough to rebuild a
@@ -472,6 +554,7 @@ fn write_checkpoint(
     hists: &[CumulativeHistogram],
     objects: &HashMap<ObjectId, MovingObject>,
     assignment: &HashMap<ObjectId, usize>,
+    fault: Option<&FaultHandle>,
 ) -> IndexResult<()> {
     let mut p = Vec::new();
     put_u64(&mut p, seq);
@@ -499,7 +582,7 @@ fn write_checkpoint(
         put_object(&mut p, obj);
         put_u32(&mut p, part as u32);
     }
-    write_file_atomic(dir, &ckpt_name(seq), CKPT_MAGIC, &p)
+    write_file_atomic(dir, &ckpt_name(seq), CKPT_MAGIC, &p, fault)
 }
 
 fn decode_checkpoint(payload: &[u8]) -> IndexResult<Checkpoint> {
@@ -628,12 +711,20 @@ impl<I> VpIndex<I> {
         }
         let mut vp = VpIndex::build(config, analysis, factory)?;
         let bounds: Vec<f64> = vp.perp_hists.iter().map(|h| h.max_value()).collect();
-        write_manifest(&dir, &vp.config, &vp.specs, &bounds)?;
+        write_manifest(
+            &dir,
+            &vp.config,
+            &vp.specs,
+            &bounds,
+            vp.config.fault.as_ref(),
+        )?;
         vp.durability = Some(Durability::open(
             &dir,
             vp.specs.len(),
             vp.config.sync_policy,
             vp.config.checkpoint_every_ticks,
+            vp.config.fault.clone(),
+            vp.config.wal_retry,
         )?);
         Ok(vp)
     }
@@ -728,6 +819,11 @@ impl<I> VpIndex<I> {
             vp.specs.len(),
             vp.config.sync_policy,
             vp.config.checkpoint_every_ticks,
+            // The manifest never records an injector (runtime-only);
+            // attach one to the recovered index with
+            // `set_fault_injector` if the harness needs it.
+            None,
+            vp.config.wal_retry,
         )?;
         let meta_records = dur.meta.replay(ckpt_seq)?;
         let mut tick_parts: HashMap<u64, Vec<TickPart>> = HashMap::new();
@@ -810,6 +906,7 @@ impl<I> VpIndex<I> {
     where
         I: MovingObjectIndex,
     {
+        self.check_writable()?;
         if self.durability.is_none() {
             return Err(IndexError::Config(
                 "checkpoint requires a durable index (VpIndex::open)".into(),
@@ -821,6 +918,10 @@ impl<I> VpIndex<I> {
         let taus: Vec<f64> = self.specs.iter().map(|s| s.tau).collect();
         let d = self.durability.as_mut().expect("checked above");
         let seq = d.next_seq - 1;
+        // A failed publish (torn temp write, ENOSPC, failed rename) is
+        // contained by the atomic-publish path: the previous
+        // checkpoint and the whole log survive untouched, so the
+        // caller may simply retry later.
         write_checkpoint(
             &d.dir,
             seq,
@@ -828,6 +929,7 @@ impl<I> VpIndex<I> {
             &self.perp_hists,
             &self.objects,
             &self.assignment,
+            d.fault.as_ref(),
         )?;
         // Only after the snapshot is durably published may the log
         // and older snapshots shrink.
@@ -841,6 +943,35 @@ impl<I> VpIndex<I> {
         // EveryTicks window starts fresh.
         d.ticks_since_sync = 0;
         Ok(seq)
+    }
+
+    /// Attaches a fault injector to every durability stream and the
+    /// checkpoint-publish path (sites `wal:meta`, `wal:part-<p>`,
+    /// `ckpt`). The injector in [`VpConfig::fault`] is wired
+    /// automatically at [`VpIndex::open`]; this setter exists for
+    /// indexes that came back through [`VpIndex::recover`], whose
+    /// manifest deliberately does not persist the handle.
+    pub fn set_fault_injector(&mut self, handle: FaultHandle) {
+        self.config.fault = Some(handle.clone());
+        if let Some(d) = &mut self.durability {
+            d.meta.set_fault_injector(handle.0.clone(), "wal:meta");
+            for (p, wal) in d.parts.iter_mut().enumerate() {
+                wal.set_fault_injector(handle.0.clone(), format!("wal:part-{p}"));
+            }
+            d.fault = Some(handle);
+        }
+    }
+
+    /// Changes the transient-error retry policy on every durability
+    /// stream (see [`VpConfig::wal_retry`]).
+    pub fn set_wal_retry(&mut self, policy: RetryPolicy) {
+        self.config.wal_retry = policy;
+        if let Some(d) = &mut self.durability {
+            d.meta.set_retry(policy, Arc::new(ThreadSleeper));
+            for wal in &mut d.parts {
+                wal.set_retry(policy, Arc::new(ThreadSleeper));
+            }
+        }
     }
 
     /// Logs a single-record event (insert/delete/τ-refresh) on the

@@ -21,6 +21,12 @@ pub enum IndexError {
     /// The write-ahead log, a checkpoint, or the recovery manifest
     /// failed (I/O error or failed validation).
     Wal(String),
+    /// The index has entered read-only mode after an unrecoverable
+    /// durability failure (e.g. a failed fsync, whose on-disk effect
+    /// is unknowable — see the fsyncgate semantics in `vp-wal`).
+    /// Queries keep working; every mutation returns this until the
+    /// index is rebuilt via recovery.
+    ReadOnly(String),
 }
 
 impl From<StorageError> for IndexError {
@@ -44,6 +50,9 @@ impl std::fmt::Display for IndexError {
             IndexError::OutOfDomain(id) => write!(f, "object {id} outside the data domain"),
             IndexError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             IndexError::Wal(msg) => write!(f, "durability error: {msg}"),
+            IndexError::ReadOnly(reason) => {
+                write!(f, "index is read-only (recover to resume writes): {reason}")
+            }
         }
     }
 }

@@ -97,7 +97,7 @@ pub fn knn_at<I: MovingObjectIndex + ?Sized>(
             let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(id) else {
                 continue;
             };
-            let Some(obj) = index.get_object(id) else {
+            let Some(obj) = index.get_object(id)? else {
                 continue;
             };
             let distance = obj.position_at(t).dist(center);
@@ -197,7 +197,12 @@ mod tests {
             .into_iter()
             .map(|id| Neighbor {
                 id,
-                distance: idx.get_object(id).unwrap().position_at(t).dist(center),
+                distance: idx
+                    .get_object(id)
+                    .unwrap()
+                    .unwrap()
+                    .position_at(t)
+                    .dist(center),
             })
             .collect();
         all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
@@ -230,7 +235,7 @@ mod tests {
         let want = brute(&idx, center, 4, 10.0);
         assert_eq!(got, want);
         // The single nearest at t=10 started at (4500, 5000).
-        let top = idx.get_object(got[0].id).unwrap();
+        let top = idx.get_object(got[0].id).unwrap().unwrap();
         assert_eq!(top.pos, Point::new(4_500.0, 5_000.0));
     }
 

@@ -47,7 +47,7 @@ pub use durable::RecoveryReport;
 pub use error::{IndexError, IndexResult};
 pub use histogram::CumulativeHistogram;
 pub use knn::{knn_at, knn_batch, KnnQuery, Neighbor};
-pub use manager::{PartitionId, PartitionSpec, VpIndex};
+pub use manager::{Health, PartitionId, PartitionSpec, VpIndex};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};
 pub use traits::MovingObjectIndex;

@@ -44,6 +44,29 @@ use crate::traits::MovingObjectIndex;
 /// partitions, `k` is the outlier partition.
 pub type PartitionId = usize;
 
+/// Operational health of a [`VpIndex`] — the rungs of the failure
+/// model's degradation ladder (see `docs/ARCHITECTURE.md`).
+///
+/// Transient I/O errors are retried below this level (WAL flushes,
+/// buffer-pool writes); a tick that still fails rolls back and leaves
+/// the index `Healthy`. Only an **unrecoverable** durability failure —
+/// a failed fsync (whose on-disk effect is unknowable, so no retry may
+/// assume durability) or a failed rollback — demotes the index to
+/// [`Health::ReadOnly`]: queries keep answering from memory, every
+/// mutation returns [`IndexError::ReadOnly`], and the way back is
+/// [`VpIndex::recover`] from the on-disk state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Fully operational.
+    Healthy,
+    /// Mutations refused; queries still served. The reason records the
+    /// failure that forced the demotion.
+    ReadOnly {
+        /// Why the index stopped accepting writes.
+        reason: String,
+    },
+}
+
 /// One result list per query of a batch, in query order.
 type BatchResults = Vec<Vec<ObjectId>>;
 
@@ -105,6 +128,8 @@ pub struct VpIndex<I> {
     /// constructed through the durable lifecycle
     /// ([`VpIndex::open`] / [`VpIndex::recover`]).
     pub(crate) durability: Option<Durability>,
+    /// Degradation state — see [`Health`].
+    pub(crate) health: Health,
 }
 
 impl<I> VpIndex<I> {
@@ -167,6 +192,7 @@ impl<I> VpIndex<I> {
             objects: HashMap::new(),
             perp_hists,
             durability: None,
+            health: Health::Healthy,
         })
     }
 
@@ -187,12 +213,41 @@ impl<I> VpIndex<I> {
             objects: HashMap::new(),
             perp_hists,
             durability: None,
+            health: Health::Healthy,
         }
     }
 
     /// The configuration this index was built with.
     pub fn config(&self) -> &VpConfig {
         &self.config
+    }
+
+    /// The index's current degradation state.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// True once the index has been demoted to read-only mode (an
+    /// unrecoverable durability failure; see [`Health`]).
+    pub fn is_read_only(&self) -> bool {
+        matches!(self.health, Health::ReadOnly { .. })
+    }
+
+    /// Refuses mutations on a demoted index.
+    pub(crate) fn check_writable(&self) -> IndexResult<()> {
+        match &self.health {
+            Health::Healthy => Ok(()),
+            Health::ReadOnly { reason } => Err(IndexError::ReadOnly(reason.clone())),
+        }
+    }
+
+    /// Demotes the index to read-only mode. The first demotion wins —
+    /// its reason describes the original failure, which later errors
+    /// are usually consequences of.
+    pub(crate) fn enter_read_only(&mut self, reason: String) {
+        if matches!(self.health, Health::Healthy) {
+            self.health = Health::ReadOnly { reason };
+        }
     }
 
     /// Changes the tick-application parallelism of an existing index
@@ -263,6 +318,9 @@ impl<I> VpIndex<I> {
     /// rebuilds, so the record carries no payload); the only error
     /// source is that log append.
     pub fn refresh_tau(&mut self) -> IndexResult<Vec<f64>> {
+        self.check_writable()?;
+        let tau_snapshot: Vec<f64> = self.specs.iter().map(|s| s.tau).collect();
+        let hist_snapshot = self.perp_hists.clone();
         let mut taus = Vec::with_capacity(self.perp_hists.len());
         for (spec, hist) in self.specs.iter_mut().zip(self.perp_hists.iter_mut()) {
             if hist.total() > 0 {
@@ -274,8 +332,36 @@ impl<I> VpIndex<I> {
             }
             taus.push(spec.tau);
         }
-        self.log_single(durable::KIND_TAU_REFRESH, &[])?;
+        if let Err(e) = self.log_single(durable::KIND_TAU_REFRESH, &[]) {
+            // Un-log-able refresh: restore the thresholds and
+            // histograms so memory never runs ahead of the log.
+            for (spec, tau) in self.specs.iter_mut().zip(&tau_snapshot) {
+                spec.tau = *tau;
+            }
+            self.perp_hists = hist_snapshot;
+            return Err(self.handle_log_failure(Ok(()), e));
+        }
         Ok(taus)
+    }
+
+    /// Common failure handling once an event's in-memory effect has
+    /// been undone (`undo` is the undo's own result): discards the
+    /// dead event's buffered WAL records, demotes to read-only when
+    /// the undo failed or a stream was poisoned by a failed fsync, and
+    /// hands the original error back for returning.
+    fn handle_log_failure(&mut self, undo: IndexResult<()>, e: IndexError) -> IndexError {
+        if let Some(d) = &mut self.durability {
+            d.meta.discard_pending();
+        }
+        if let Err(re) = undo {
+            self.enter_read_only(format!(
+                "rollback failed ({re}) after log error ({e}); \
+                 in-memory state may be torn — rebuild via recovery"
+            ));
+        } else if let Some(reason) = self.durability.as_ref().and_then(|d| d.poisoned_reason()) {
+            self.enter_read_only(format!("WAL fsync failed (durability unknown): {reason}"));
+        }
+        e
     }
 
     /// Applies one tick of updates across the partitioned index
@@ -318,19 +404,27 @@ impl<I> VpIndex<I> {
     /// flushed/fsync'd per [`VpConfig::sync_policy`]. A crash before
     /// the commit record makes the whole tick invisible to recovery.
     ///
-    /// ## Error contract
+    /// ## Error contract (tick atomicity)
     ///
-    /// An error from a sub-index aborts the tick with it **torn**:
-    /// routing metadata (assignment/object tables) was already updated
-    /// for the whole tick, while only some partitions' batches ran —
-    /// so the in-memory index should be treated as poisoned. On a
-    /// durable index the tick's commit record is never written, so
-    /// [`VpIndex::recover`] restores the exact pre-tick state; a
-    /// non-durable index must be rebuilt.
+    /// A tick either applies completely or not at all. Any error
+    /// before the tick's commit record is durably written — a WAL
+    /// append/flush failure, a sub-index storage error, the meta-seal
+    /// itself — **rolls the in-memory state back to the pre-tick
+    /// snapshot**: routing metadata, object table, online histograms,
+    /// and every touched sub-index are restored, buffered WAL records
+    /// are discarded, and the call returns a structured error with the
+    /// index still [`Health::Healthy`] and queryable. Two failures are
+    /// unrecoverable and demote the index to [`Health::ReadOnly`]
+    /// instead: a failed fsync (the poisoned stream's durability is
+    /// unknowable) and a failure during the rollback itself (the
+    /// in-memory state can no longer be trusted). Either way the
+    /// durable log never contains the failed tick, so
+    /// [`VpIndex::recover`] restores the exact pre-tick state.
     pub fn apply_updates(&mut self, updates: &[MovingObject]) -> IndexResult<()>
     where
         I: MovingObjectIndex + Send,
     {
+        self.check_writable()?;
         if updates.is_empty() {
             return Ok(());
         }
@@ -341,6 +435,9 @@ impl<I> VpIndex<I> {
         // Durable mode: reserve the tick's global event seq up front
         // and keep the world-coordinate upserts per partition — the
         // log records routing *decisions*, not frame-space data.
+        // The seq stays burned if the tick fails (a partition stream
+        // may already hold a flushed record under it; gaps are fine,
+        // reuse is not).
         let log_seq = match &mut self.durability {
             Some(d) if !d.replaying => {
                 let s = d.next_seq;
@@ -361,10 +458,28 @@ impl<I> VpIndex<I> {
             latest.insert(obj.id, i);
         }
 
+        // Pre-tick snapshot backing the rollback contract above: each
+        // winning id's previous world object + partition (None = not
+        // present), the online histograms, and the durability cadence
+        // counters. Cost is proportional to the tick, not the index.
+        let hist_snapshot = self.perp_hists.clone();
+        let cadence_snapshot = self
+            .durability
+            .as_ref()
+            .map(|d| (d.ticks_since_ckpt, d.ticks_since_sync));
+        let mut prior: HashMap<ObjectId, Option<(MovingObject, PartitionId)>> =
+            HashMap::with_capacity(latest.len());
+
         for (i, obj) in updates.iter().enumerate() {
             if latest[&obj.id] != i {
                 continue;
             }
+            prior.insert(
+                obj.id,
+                self.objects
+                    .get(&obj.id)
+                    .map(|o| (*o, self.assignment[&obj.id])),
+            );
             let p = self.choose_partition(obj.vel);
             match self.assignment.get(&obj.id) {
                 Some(&old) if old != p => removals[old].push(obj.id),
@@ -379,6 +494,60 @@ impl<I> VpIndex<I> {
             self.record_perp_speed(obj.vel);
         }
 
+        match self.run_tick(&removals, &upserts, &world, latest.len(), log_seq) {
+            Ok(want_ckpt) => {
+                // The tick is committed; an error from the automatic
+                // checkpoint below must NOT roll it back (the publish
+                // path leaves the previous checkpoint + log intact, so
+                // the state is consistent — only the log didn't
+                // shrink).
+                if want_ckpt {
+                    self.checkpoint()?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(d) = &mut self.durability {
+                    d.discard_all_pending();
+                    if let Some((ckpt, sync)) = cadence_snapshot {
+                        d.ticks_since_ckpt = ckpt;
+                        d.ticks_since_sync = sync;
+                    }
+                }
+                let rollback = self.rollback_tick(&prior, hist_snapshot, &removals, &upserts);
+                let poisoned = self.durability.as_ref().and_then(|d| d.poisoned_reason());
+                if let Err(re) = rollback {
+                    self.enter_read_only(format!(
+                        "tick rollback failed ({re}) after tick error ({e}); \
+                         in-memory state may be torn — rebuild via recovery"
+                    ));
+                } else if let Some(reason) = poisoned {
+                    self.enter_read_only(format!(
+                        "WAL fsync failed (durability unknown): {reason}"
+                    ));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible middle of a tick: log + apply every partition's
+    /// batch (parallel per [`VpConfig::tick_workers`]), then seal the
+    /// tick with the meta commit record. Returns whether the
+    /// checkpoint cadence came due. The caller owns the rollback on
+    /// error — this method only computes.
+    fn run_tick(
+        &mut self,
+        removals: &[Vec<ObjectId>],
+        upserts: &[Vec<MovingObject>],
+        world: &[Vec<MovingObject>],
+        winners: usize,
+        log_seq: Option<u64>,
+    ) -> IndexResult<bool>
+    where
+        I: MovingObjectIndex + Send,
+    {
+        let parts = self.specs.len();
         // Pair every touched sub-index with its batches (and, when
         // logging, its WAL stream). The zips hand out one disjoint
         // `&mut I` / `&mut Wal` per partition, which is what lets the
@@ -473,44 +642,97 @@ impl<I> VpIndex<I> {
         // commit only because of this ordering. Running the data-side
         // fsyncs on the workers keeps the commit path from paying N
         // serial fsyncs on the caller thread.
+        let mut want_ckpt = false;
         if let Some(seq) = log_seq {
-            let winners = latest.len();
             let effective = policy.expect("log_seq implies a policy");
-            let want_ckpt = {
-                let d = self
-                    .durability
-                    .as_mut()
-                    .expect("log_seq implies durability");
-                if matches!(d.policy, SyncPolicy::EveryTicks(_)) {
-                    if effective == SyncPolicy::Always {
-                        // Sync boundary: partitions this tick touched
-                        // were fsync'd by their workers; the rest may
-                        // still hold unsynced records from earlier
-                        // ticks, and the commit record below must not
-                        // become durable before they are.
-                        for (p, wal) in d.parts.iter_mut().enumerate() {
-                            if !touched.contains(&p) {
-                                wal.sync()?;
-                            }
+            let d = self
+                .durability
+                .as_mut()
+                .expect("log_seq implies durability");
+            if matches!(d.policy, SyncPolicy::EveryTicks(_)) {
+                if effective == SyncPolicy::Always {
+                    // Sync boundary: partitions this tick touched
+                    // were fsync'd by their workers; the rest may
+                    // still hold unsynced records from earlier
+                    // ticks, and the commit record below must not
+                    // become durable before they are.
+                    for (p, wal) in d.parts.iter_mut().enumerate() {
+                        if !touched.contains(&p) {
+                            wal.sync()?;
                         }
-                        d.ticks_since_sync = 0;
-                    } else {
-                        d.ticks_since_sync += 1;
                     }
+                    d.ticks_since_sync = 0;
+                } else {
+                    d.ticks_since_sync += 1;
                 }
-                d.meta.append(
-                    seq,
-                    durable::KIND_TICK_COMMIT,
-                    &durable::encode_tick_commit(touched.len(), winners),
-                )?;
-                d.meta.commit(effective)?;
-                d.ticks_since_ckpt += 1;
-                d.checkpoint_every > 0 && d.ticks_since_ckpt >= d.checkpoint_every
-            };
-            if want_ckpt {
-                self.checkpoint()?;
+            }
+            d.meta.append(
+                seq,
+                durable::KIND_TICK_COMMIT,
+                &durable::encode_tick_commit(touched.len(), winners),
+            )?;
+            d.meta.commit(effective)?;
+            d.ticks_since_ckpt += 1;
+            want_ckpt = d.checkpoint_every > 0 && d.ticks_since_ckpt >= d.checkpoint_every;
+        }
+        Ok(want_ckpt)
+    }
+
+    /// Restores the pre-tick state captured by
+    /// [`VpIndex::apply_updates`]: every touched partition's sub-index
+    /// is *reconciled* object by object against the snapshot (so the
+    /// undo is correct whether a partition applied fully, partially,
+    /// or not at all — each object is compared to its desired pre-tick
+    /// state and fixed only if it diverged), then the routing
+    /// metadata and histograms are swapped back wholesale.
+    fn rollback_tick(
+        &mut self,
+        prior: &HashMap<ObjectId, Option<(MovingObject, PartitionId)>>,
+        hist_snapshot: Vec<CumulativeHistogram>,
+        removals: &[Vec<ObjectId>],
+        upserts: &[Vec<MovingObject>],
+    ) -> IndexResult<()>
+    where
+        I: MovingObjectIndex,
+    {
+        for p in 0..self.specs.len() {
+            let ids = removals[p]
+                .iter()
+                .copied()
+                .chain(upserts[p].iter().map(|o| o.id));
+            for id in ids {
+                // Pre-tick, partition p held the object iff the
+                // snapshot places it there.
+                let desired: Option<MovingObject> = match prior.get(&id) {
+                    Some(Some((o, q))) if *q == p => Some(o.to_frame(&self.specs[p].frame)),
+                    _ => None,
+                };
+                let current = self.indexes[p].get_object(id)?;
+                match (desired, current) {
+                    (Some(want), Some(cur)) => {
+                        if cur != want {
+                            self.indexes[p].update(want)?;
+                        }
+                    }
+                    (Some(want), None) => self.indexes[p].insert(want)?,
+                    (None, Some(_)) => self.indexes[p].delete(id)?,
+                    (None, None) => {}
+                }
             }
         }
+        for (&id, pr) in prior {
+            match pr {
+                Some((o, q)) => {
+                    self.objects.insert(id, *o);
+                    self.assignment.insert(id, *q);
+                }
+                None => {
+                    self.objects.remove(&id);
+                    self.assignment.remove(&id);
+                }
+            }
+        }
+        self.perp_hists = hist_snapshot;
         Ok(())
     }
 
@@ -653,7 +875,10 @@ impl<I> VpIndex<I> {
         crate::knn::knn_batch(self, queries, domain, self.config.tick_workers)
     }
 
-    pub(crate) fn record_perp_speed(&mut self, vel: Vec2) {
+    /// Returns which histogram recorded which value, so a failed
+    /// mutation can subtract its sample again
+    /// ([`CumulativeHistogram::remove`]).
+    pub(crate) fn record_perp_speed(&mut self, vel: Vec2) -> Option<(usize, f64)> {
         // Track the perpendicular speed against the *closest* DVA — the
         // candidate population of that DVA's τ decision.
         let outlier = self.specs.len() - 1;
@@ -668,21 +893,23 @@ impl<I> VpIndex<I> {
         if let Some((i, d)) = best {
             self.perp_hists[i].add(d);
         }
+        best
     }
 }
 
 impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
     /// On a durable index the insert is applied first and logged
     /// second (logging a precondition-checked op that then failed
-    /// would poison replay). The narrow consequence: if the *log*
-    /// append/commit itself fails — disk full, I/O error — the call
-    /// returns `Err(IndexError::Wal)` with the in-memory insert
-    /// already live, i.e. memory is one op ahead of the durable state;
-    /// a subsequent [`VpIndex::recover`] rolls back to the logged
-    /// prefix. Same contract for `delete`. (Ticks via
-    /// [`VpIndex::apply_updates`] have the analogous torn-tick
-    /// contract, documented there.)
+    /// would poison replay). If the *log* append/commit itself fails —
+    /// disk full, I/O error — the in-memory insert is **undone** and
+    /// the call returns the structured error with the index unchanged
+    /// and still queryable; memory never runs ahead of the durable
+    /// state. A failed fsync additionally demotes the index to
+    /// read-only ([`Health`]). Same contract for `delete`; ticks via
+    /// [`VpIndex::apply_updates`] have the analogous (snapshot-based)
+    /// contract, documented there.
     fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
+        self.check_writable()?;
         if self.assignment.contains_key(&obj.id) {
             return Err(IndexError::DuplicateObject(obj.id));
         }
@@ -691,20 +918,45 @@ impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
         self.indexes[p].insert(local)?;
         self.assignment.insert(obj.id, p);
         self.objects.insert(obj.id, obj);
-        self.record_perp_speed(obj.vel);
-        self.log_single(durable::KIND_INSERT, &durable::encode_object_record(&obj))
+        let sample = self.record_perp_speed(obj.vel);
+        if let Err(e) = self.log_single(durable::KIND_INSERT, &durable::encode_object_record(&obj))
+        {
+            let undo = self.indexes[p].delete(obj.id);
+            self.assignment.remove(&obj.id);
+            self.objects.remove(&obj.id);
+            if let Some((i, d)) = sample {
+                self.perp_hists[i].remove(d);
+            }
+            return Err(self.handle_log_failure(undo, e));
+        }
+        Ok(())
     }
 
     fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
+        self.check_writable()?;
         let p = self
             .assignment
             .get(&id)
             .copied()
             .ok_or(IndexError::UnknownObject(id))?;
         self.indexes[p].delete(id)?;
+        let obj = self.objects.remove(&id);
         self.assignment.remove(&id);
-        self.objects.remove(&id);
-        self.log_single(durable::KIND_DELETE, &durable::encode_delete_record(id))
+        if let Err(e) = self.log_single(durable::KIND_DELETE, &durable::encode_delete_record(id)) {
+            let undo = match obj {
+                Some(o) => {
+                    let r = self.indexes[p].insert(o.to_frame(&self.specs[p].frame));
+                    if r.is_ok() {
+                        self.objects.insert(id, o);
+                        self.assignment.insert(id, p);
+                    }
+                    r
+                }
+                None => Ok(()),
+            };
+            return Err(self.handle_log_failure(undo, e));
+        }
+        Ok(())
     }
 
     /// Unlike the trait default (delete + insert — which on a durable
@@ -770,8 +1022,8 @@ impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
         Ok(out)
     }
 
-    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
-        self.objects.get(&id).copied()
+    fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
+        Ok(self.objects.get(&id).copied())
     }
 
     fn len(&self) -> usize {
@@ -1064,7 +1316,7 @@ mod tests {
 
             batched.apply_updates(&updates).unwrap();
             for u in &updates {
-                if looped.get_object(u.id).is_some() {
+                if looped.get_object(u.id).unwrap().is_some() {
                     looped.update(*u).unwrap();
                 } else {
                     looped.insert(*u).unwrap();
@@ -1127,7 +1379,10 @@ mod tests {
                 parallel.partition_of(id),
                 "object {id} routed differently"
             );
-            assert_eq!(sequential.get_object(id), parallel.get_object(id));
+            assert_eq!(
+                sequential.get_object(id).unwrap(),
+                parallel.get_object(id).unwrap()
+            );
         }
         let q = RangeQuery::time_slice(
             QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 30_000.0)),
@@ -1157,7 +1412,7 @@ mod tests {
         );
         vp.apply_updates(&[a, b]).unwrap();
         assert_eq!(vp.len(), 1);
-        let got = vp.get_object(1).unwrap();
+        let got = vp.get_object(1).unwrap().unwrap();
         assert_eq!(got.pos.x, 90_000.0);
         // Only the winning update's partition holds the object.
         let sizes = vp.partition_sizes();

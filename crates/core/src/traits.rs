@@ -43,7 +43,7 @@ pub trait MovingObjectIndex {
     /// prefer this over per-object `update` calls.
     fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
         for obj in updates {
-            if self.get_object(obj.id).is_some() {
+            if self.get_object(obj.id)?.is_some() {
                 self.delete(obj.id)?;
             }
             self.insert(*obj)?;
@@ -123,7 +123,12 @@ pub trait MovingObjectIndex {
     /// this workspace maintains the Section-5.3 lookup table anyway).
     /// Needed by the kNN search built on top of range queries
     /// ([`crate::knn`]).
-    fn get_object(&self, id: ObjectId) -> Option<MovingObject>;
+    ///
+    /// Fallible: a disk-backed lookup table can hit an I/O error, and
+    /// that error must be distinguishable from "not present" — an
+    /// earlier infallible signature silently turned injected read
+    /// failures into `None`.
+    fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>>;
 
     /// Number of objects currently indexed.
     fn len(&self) -> usize;
@@ -199,8 +204,8 @@ pub mod reference {
                 .collect())
         }
 
-        fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
-            self.objects.get(&id).copied()
+        fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
+            Ok(self.objects.get(&id).copied())
         }
 
         fn len(&self) -> usize {

@@ -2,10 +2,13 @@
 //! per-shard LRU eviction.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::disk::DiskManager;
+use crate::fault::FaultInjector;
+use crate::retry::{with_retry, RetryPolicy, Sleeper, ThreadSleeper};
 use crate::stats::{thread_io, AtomicIoStats, IoStats};
 use crate::{PageId, StorageError, StorageResult, DEFAULT_BUFFER_PAGES};
 
@@ -113,6 +116,12 @@ pub struct BufferPool {
     shards: Box<[Shard]>,
     page_size: usize,
     capacity: usize,
+    /// Retry policy for write-back I/O (eviction and flush). Transient
+    /// disk errors are retried up to the bound; sync failures never.
+    retry: RetryPolicy,
+    /// Clock behind the retry backoff — injectable so fault tests run
+    /// without wall-clock sleeps.
+    sleeper: Arc<dyn Sleeper>,
 }
 
 impl BufferPool {
@@ -167,7 +176,22 @@ impl BufferPool {
             shards,
             page_size,
             capacity,
+            retry: RetryPolicy::standard(),
+            sleeper: Arc::new(ThreadSleeper),
         }
+    }
+
+    /// Replaces the write-back retry policy and backoff clock (tests
+    /// inject [`crate::RecordingSleeper`] / [`RetryPolicy::none`]).
+    pub fn set_retry(&mut self, policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) {
+        self.retry = policy;
+        self.sleeper = sleeper;
+    }
+
+    /// Attaches a fault injector to the underlying disk under `site`
+    /// (see [`crate::fault`]).
+    pub fn set_fault_injector(&self, inj: Arc<FaultInjector>, site: impl Into<String>) {
+        self.disk.lock().set_fault_injector(inj, site);
     }
 
     /// The page size of the underlying disk.
@@ -230,7 +254,7 @@ impl BufferPool {
         let pid = self.disk.lock().allocate()?;
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = match g.acquire_frame(&self.disk, &shard.stats, pid) {
+        let idx = match g.acquire_frame(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper) {
             Ok(idx) => idx,
             Err(e) => {
                 // Don't leak the just-allocated disk page.
@@ -267,7 +291,7 @@ impl BufferPool {
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> StorageResult<R> {
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid)?;
+        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
         Ok(with_pinned(&mut g.frames[idx], |fr| f(&fr.data)))
     }
 
@@ -280,7 +304,7 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid)?;
+        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
         count_logical_write(&shard.stats);
         g.frames[idx].dirty = true;
         Ok(with_pinned(&mut g.frames[idx], |fr| f(&mut fr.data)))
@@ -299,7 +323,7 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid)?;
+        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
         let (out, modified) = with_pinned(&mut g.frames[idx], |fr| f(&mut fr.data));
         if modified {
             g.frames[idx].dirty = true;
@@ -311,7 +335,10 @@ impl BufferPool {
     /// Writes all dirty pages back to the disk.
     pub fn flush_all(&self) -> StorageResult<()> {
         for shard in self.shards.iter() {
-            shard.inner.lock().flush(&self.disk, &shard.stats)?;
+            shard
+                .inner
+                .lock()
+                .flush(&self.disk, &shard.stats, self.retry, &*self.sleeper)?;
         }
         Ok(())
     }
@@ -334,7 +361,7 @@ impl BufferPool {
     pub fn clear_cache(&self) -> StorageResult<()> {
         for shard in self.shards.iter() {
             let mut g = shard.inner.lock();
-            g.flush(&self.disk, &shard.stats)?;
+            g.flush(&self.disk, &shard.stats, self.retry, &*self.sleeper)?;
             g.map.clear();
             g.frames.clear();
         }
@@ -350,13 +377,22 @@ impl BufferPool {
 impl ShardInner {
     /// Writes this shard's dirty frames back to disk. Runs under the
     /// shard lock held by the caller.
-    fn flush(&mut self, disk: &Mutex<DiskManager>, stats: &AtomicIoStats) -> StorageResult<()> {
+    fn flush(
+        &mut self,
+        disk: &Mutex<DiskManager>,
+        stats: &AtomicIoStats,
+        retry: RetryPolicy,
+        sleeper: &dyn Sleeper,
+    ) -> StorageResult<()> {
         for idx in 0..self.frames.len() {
             if self.frames[idx].pid.is_valid() && self.frames[idx].dirty {
                 let pid = self.frames[idx].pid;
                 // Split borrow: take the data out for the disk call.
+                // Transient write errors retry with backoff; on final
+                // failure the frame stays cached *and dirty*, so no
+                // update is lost and a later flush can still succeed.
                 let data = std::mem::take(&mut self.frames[idx].data);
-                let res = disk.lock().write(pid, &data);
+                let res = with_retry(retry, sleeper, || disk.lock().write(pid, &data));
                 self.frames[idx].data = data;
                 res?;
                 self.frames[idx].dirty = false;
@@ -373,6 +409,8 @@ impl ShardInner {
         disk: &Mutex<DiskManager>,
         stats: &AtomicIoStats,
         pid: PageId,
+        retry: RetryPolicy,
+        sleeper: &dyn Sleeper,
     ) -> StorageResult<usize> {
         count_logical_read(stats);
         self.clock += 1;
@@ -380,7 +418,7 @@ impl ShardInner {
             self.frames[idx].tick = self.clock;
             return Ok(idx);
         }
-        let idx = self.acquire_frame(disk, stats, pid)?;
+        let idx = self.acquire_frame(disk, stats, pid, retry, sleeper)?;
         // Miss: load from disk.
         let mut data = std::mem::take(&mut self.frames[idx].data);
         let res = disk.lock().read(pid, &mut data);
@@ -402,55 +440,78 @@ impl ShardInner {
     /// Finds a frame for `pid`: an unused slot, a new slot under
     /// capacity, or the shard's LRU victim (flushed if dirty).
     /// Registers the mapping and bumps the tick.
+    ///
+    /// Eviction never loses a page: when the LRU victim's write-back
+    /// fails even after retries, that frame stays cached *and dirty*
+    /// and the next-least-recently-used unpinned frame is tried
+    /// instead (a clean one needs no I/O and always succeeds). Only
+    /// when every candidate fails does the error surface — and even
+    /// then all dirty pages are still resident for a later flush.
     fn acquire_frame(
         &mut self,
         disk: &Mutex<DiskManager>,
         stats: &AtomicIoStats,
         pid: PageId,
+        retry: RetryPolicy,
+        sleeper: &dyn Sleeper,
     ) -> StorageResult<usize> {
         self.clock += 1;
-        // Reuse a tombstoned frame if present.
+        // Reuse a tombstoned frame, or grow under capacity — neither
+        // needs an eviction.
         let mut victim: Option<usize> = self.frames.iter().position(|f| !f.pid.is_valid());
-        if victim.is_none() {
-            if self.frames.len() < self.capacity {
-                self.frames.push(Frame {
-                    pid: PageId::INVALID,
-                    data: vec![0u8; self.page_size].into_boxed_slice(),
-                    dirty: false,
-                    tick: 0,
-                    pinned: false,
-                });
-                victim = Some(self.frames.len() - 1);
-            } else {
-                // LRU scan over unpinned frames. Shard capacities are
-                // small so a linear scan is both simple and fast.
-                victim = self
-                    .frames
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| !f.pinned)
-                    .min_by_key(|(_, f)| f.tick)
-                    .map(|(i, _)| i);
-            }
+        if victim.is_none() && self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                pid: PageId::INVALID,
+                data: vec![0u8; self.page_size].into_boxed_slice(),
+                dirty: false,
+                tick: 0,
+                pinned: false,
+            });
+            victim = Some(self.frames.len() - 1);
         }
-        let idx = victim.ok_or(StorageError::PoolExhausted)?;
-        // Evict the current resident if any.
-        let old_pid = self.frames[idx].pid;
-        if old_pid.is_valid() {
+        if let Some(idx) = victim {
+            return Ok(self.install(idx, pid));
+        }
+        // LRU order over unpinned frames. Shard capacities are small
+        // so sorting a scratch index list is both simple and fast.
+        // The first candidate is exactly the victim the pre-fault
+        // pool picked, so eviction order — and the paper's physical
+        // I/O counts — are unchanged on the no-failure path.
+        let mut candidates: Vec<usize> = (0..self.frames.len())
+            .filter(|&i| !self.frames[i].pinned)
+            .collect();
+        candidates.sort_by_key(|&i| self.frames[i].tick);
+        let mut last_err: Option<StorageError> = None;
+        for idx in candidates {
             if self.frames[idx].dirty {
+                let old_pid = self.frames[idx].pid;
                 let data = std::mem::take(&mut self.frames[idx].data);
-                let res = disk.lock().write(old_pid, &data);
+                let res = with_retry(retry, sleeper, || disk.lock().write(old_pid, &data));
                 self.frames[idx].data = data;
-                res?;
-                count_physical_write(stats);
+                match res {
+                    Ok(()) => count_physical_write(stats),
+                    Err(e) => {
+                        // Victim stays cached and dirty; try the next
+                        // least-recently-used frame.
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
             }
-            self.map.remove(&old_pid);
+            self.map.remove(&self.frames[idx].pid);
+            return Ok(self.install(idx, pid));
         }
+        Err(last_err.unwrap_or(StorageError::PoolExhausted))
+    }
+
+    /// Points frame `idx` at `pid` (clean, freshly ticked) and
+    /// registers the mapping.
+    fn install(&mut self, idx: usize, pid: PageId) -> usize {
         self.frames[idx].pid = pid;
         self.frames[idx].dirty = false;
         self.frames[idx].tick = self.clock;
         self.map.insert(pid, idx);
-        Ok(idx)
+        idx
     }
 }
 
@@ -670,6 +731,126 @@ mod tests {
             assert_eq!(a, i as u8);
             assert_eq!(b, !(i as u8));
         }
+    }
+
+    // ----- fault injection ----------------------------------------------
+
+    use crate::fault::{FaultInjector, FaultKind, FaultOp, FaultPoint};
+    use crate::retry::{RecordingSleeper, RetryPolicy};
+
+    /// Write-op counter layout in these tests (single-shard pool):
+    /// `new_page` consumes one write check for the disk allocation,
+    /// then eviction write-backs consume one each.
+    fn faulty_pool(cap: usize) -> (BufferPool, Arc<FaultInjector>) {
+        let mut p = BufferPool::with_shards(DiskManager::with_page_size(32), cap, 1);
+        p.set_retry(RetryPolicy::none(), Arc::new(RecordingSleeper::new()));
+        let inj = FaultInjector::new();
+        p.set_fault_injector(inj.clone(), "disk");
+        (p, inj)
+    }
+
+    #[test]
+    fn failed_victim_flush_picks_another_victim_and_keeps_page_dirty() {
+        let (p, inj) = faulty_pool(2);
+        let a = p.new_page().unwrap(); // write #0 (alloc)
+        let b = p.new_page().unwrap(); // write #1 (alloc)
+        p.with_page_mut(a, |d| d[0] = 42).unwrap();
+        p.with_page_mut(b, |d| d[0] = 43).unwrap();
+        // Next page: alloc = write #2, then the eviction of LRU victim
+        // `a` = write #3 — which we fail.
+        inj.inject(FaultPoint {
+            site: "disk".into(),
+            op: FaultOp::Write,
+            at: 3,
+            kind: FaultKind::Eio,
+        });
+        let c = p.new_page().unwrap();
+        assert_eq!(inj.fired_count(), 1, "the eviction write-back failed");
+        // `b` was evicted instead (write #4 succeeded); `a` must still
+        // be cached and dirty — reading it is a hit with the data
+        // intact.
+        let r0 = p.stats().physical_reads;
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 42);
+        assert_eq!(p.stats().physical_reads, r0, "a stayed resident");
+        // Nothing was lost: a later flush persists `a`, and everything
+        // reads back after a cold start.
+        p.clear_cache().unwrap();
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 42);
+        assert_eq!(p.with_page(b, |d| d[0]).unwrap(), 43);
+        p.with_page(c, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn all_victims_failing_surfaces_error_without_losing_pages() {
+        let (p, inj) = faulty_pool(2);
+        let a = p.new_page().unwrap();
+        let b = p.new_page().unwrap();
+        p.with_page_mut(a, |d| d[0] = 7).unwrap();
+        p.with_page_mut(b, |d| d[0] = 8).unwrap();
+        // Fail both candidate write-backs (#3 = a, #4 = b).
+        for at in [3, 4] {
+            inj.inject(FaultPoint {
+                site: "disk".into(),
+                op: FaultOp::Write,
+                at,
+                kind: FaultKind::Eio,
+            });
+        }
+        assert!(matches!(p.new_page(), Err(StorageError::Io(_))));
+        // Both dirty pages survived the failed eviction attempts.
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 7);
+        assert_eq!(p.with_page(b, |d| d[0]).unwrap(), 8);
+        // And the schedule is spent, so recovery is immediate.
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 7);
+        assert_eq!(p.with_page(b, |d| d[0]).unwrap(), 8);
+    }
+
+    #[test]
+    fn transient_flush_failures_retry_with_backoff() {
+        let mut p = BufferPool::with_shards(DiskManager::with_page_size(32), 2, 1);
+        let sleeper = Arc::new(RecordingSleeper::new());
+        p.set_retry(RetryPolicy::standard(), sleeper.clone());
+        let inj = FaultInjector::new();
+        p.set_fault_injector(inj.clone(), "disk");
+        let a = p.new_page().unwrap();
+        p.with_page_mut(a, |d| d[0] = 5).unwrap();
+        // First flush attempt fails (write #1 after alloc #0), the
+        // bounded retry succeeds.
+        inj.inject(FaultPoint {
+            site: "disk".into(),
+            op: FaultOp::Write,
+            at: 1,
+            kind: FaultKind::NoSpace,
+        });
+        p.flush_all().unwrap();
+        assert_eq!(sleeper.slept().len(), 1, "one backoff sleep");
+        p.clear_cache().unwrap();
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 5);
+    }
+
+    #[test]
+    fn torn_page_write_surfaces_error_and_page_stays_dirty() {
+        let (p, inj) = faulty_pool(2);
+        let a = p.new_page().unwrap();
+        p.with_page_mut(a, |d| d.fill(0xEE)).unwrap();
+        inj.inject(FaultPoint {
+            site: "disk".into(),
+            op: FaultOp::Write,
+            at: 1,
+            kind: FaultKind::Torn { keep: 10 },
+        });
+        assert!(p.flush_all().is_err(), "torn write reports failure");
+        // The frame is still dirty: the retry-capable caller can flush
+        // again and the full page lands.
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        assert!(p
+            .with_page(a, |d| d.to_vec())
+            .unwrap()
+            .iter()
+            .all(|&x| x == 0xEE));
     }
 
     #[test]

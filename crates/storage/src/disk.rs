@@ -28,7 +28,9 @@ use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
+use crate::fault::{FaultInjector, FaultKind, FaultOp};
 use crate::{PageId, StorageError, StorageResult, DEFAULT_PAGE_SIZE};
 
 /// Magic bytes opening a page file.
@@ -56,6 +58,9 @@ pub struct DiskManager {
     reads: u64,
     writes: u64,
     backend: Backend,
+    /// Optional fault schedule consulted before every physical page
+    /// operation, plus the site label this disk registers under.
+    fault: Option<(Arc<FaultInjector>, String)>,
 }
 
 #[derive(Debug)]
@@ -93,6 +98,7 @@ impl DiskManager {
                 pages: Vec::new(),
                 free: Vec::new(),
             },
+            fault: None,
         }
     }
 
@@ -117,6 +123,7 @@ impl DiskManager {
                 free_head: NO_PAGE,
                 free_set: HashSet::new(),
             },
+            fault: None,
         };
         d.sync()?;
         Ok(d)
@@ -173,7 +180,24 @@ impl DiskManager {
                 free_head,
                 free_set,
             },
+            fault: None,
         })
+    }
+
+    /// Attaches a fault injector under `site`; every subsequent
+    /// [`read`](DiskManager::read), [`write`](DiskManager::write),
+    /// [`allocate`](DiskManager::allocate) and
+    /// [`sync`](DiskManager::sync) consults the schedule first.
+    pub fn set_fault_injector(&mut self, inj: Arc<FaultInjector>, site: impl Into<String>) {
+        self.fault = Some((inj, site.into()));
+    }
+
+    /// Schedule consultation for one physical operation: `None` means
+    /// proceed, `Some(kind)` means the caller must fail (applying any
+    /// torn-write prefix first).
+    fn fault_check(&self, op: FaultOp) -> Option<(FaultKind, &str)> {
+        let (inj, site) = self.fault.as_ref()?;
+        inj.check(site, op).map(|k| (k, site.as_str()))
     }
 
     /// The page size in bytes.
@@ -215,6 +239,11 @@ impl DiskManager {
     /// when one is available. Only the file backend can fail (on an
     /// I/O error).
     pub fn allocate(&mut self) -> StorageResult<PageId> {
+        // Allocation grows (or rewrites) the file, so it injects as a
+        // write: this is where a full device naturally surfaces.
+        if let Some((kind, site)) = self.fault_check(FaultOp::Write) {
+            return Err(kind.to_error(site, FaultOp::Write));
+        }
         match &mut self.backend {
             Backend::Mem { pages, free } => {
                 let buf = vec![0u8; self.page_size].into_boxed_slice();
@@ -310,6 +339,9 @@ impl DiskManager {
     pub fn read(&mut self, pid: PageId, out: &mut [u8]) -> StorageResult<()> {
         debug_assert_eq!(out.len(), self.page_size);
         self.validate(pid)?;
+        if let Some((kind, site)) = self.fault_check(FaultOp::Read) {
+            return Err(kind.to_error(site, FaultOp::Read));
+        }
         match &mut self.backend {
             Backend::Mem { pages, .. } => {
                 let src = pages[pid.0 as usize]
@@ -330,16 +362,41 @@ impl DiskManager {
     pub fn write(&mut self, pid: PageId, data: &[u8]) -> StorageResult<()> {
         debug_assert_eq!(data.len(), self.page_size);
         self.validate(pid)?;
+        // A torn fault applies a *prefix* of the write before failing
+        // — the page now holds a mix of new and old bytes, exactly
+        // what a power cut mid-write(2) leaves.
+        let mut torn: Option<usize> = None;
+        if let Some((kind, site)) = self.fault_check(FaultOp::Write) {
+            match kind {
+                FaultKind::Torn { keep } => torn = Some(keep.min(data.len())),
+                _ => return Err(kind.to_error(site, FaultOp::Write)),
+            }
+        }
         match &mut self.backend {
             Backend::Mem { pages, .. } => {
                 let dst = pages[pid.0 as usize]
                     .as_mut()
                     .ok_or(StorageError::InvalidPage(pid))?;
-                dst.copy_from_slice(data);
+                match torn {
+                    Some(keep) => dst[..keep].copy_from_slice(&data[..keep]),
+                    None => dst.copy_from_slice(data),
+                }
             }
             Backend::File { file, .. } => {
-                Self::file_write(file, self.page_size, pid.0, data)?;
+                let len = torn.unwrap_or(data.len());
+                Self::file_write(file, self.page_size, pid.0, &data[..len])?;
             }
+        }
+        if let Some(keep) = torn {
+            let site = self
+                .fault
+                .as_ref()
+                .map(|(_, s)| s.as_str())
+                .unwrap_or("disk");
+            return Err(StorageError::Io(format!(
+                "injected torn write at {site}: {keep} of {} bytes reached the disk",
+                data.len()
+            )));
         }
         self.writes += 1;
         Ok(())
@@ -357,6 +414,9 @@ impl DiskManager {
     /// ignored on reopen — whereas the reverse order could leave a
     /// header promising pages past the end of the file.
     pub fn sync(&mut self) -> StorageResult<()> {
+        if let Some((kind, site)) = self.fault_check(FaultOp::Sync) {
+            return Err(kind.to_error(site, FaultOp::Sync));
+        }
         let page_size = self.page_size;
         match &mut self.backend {
             Backend::Mem { .. } => Ok(()),

@@ -22,11 +22,36 @@ pub enum StorageError {
     Corrupt(String),
     /// A filesystem operation of the file-backed disk failed.
     Io(String),
+    /// The device is out of space (`ENOSPC`). Transient in the sense
+    /// that space may be reclaimed; callers may retry bounded times.
+    NoSpace,
+    /// An `fsync` failed. Per fsyncgate semantics the kernel may have
+    /// *dropped* the dirty pages it could not write, so the durability
+    /// of every write since the last successful sync is unknown.
+    /// **Never retryable**: retrying the sync and assuming durability
+    /// is wrong; the owning stream must poison itself instead.
+    SyncFailed(String),
+}
+
+impl StorageError {
+    /// Whether a bounded retry of the *same* operation is sound.
+    /// I/O errors and `ENOSPC` are transient (the environment can
+    /// recover); everything else is either a logic error or — for
+    /// [`StorageError::SyncFailed`] — explicitly unsafe to retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io(_) | StorageError::NoSpace)
+    }
 }
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
-        StorageError::Io(e.to_string())
+        // ENOSPC gets its own variant so retry/degradation policy can
+        // distinguish "disk full" from arbitrary I/O failure.
+        if e.raw_os_error() == Some(28) {
+            StorageError::NoSpace
+        } else {
+            StorageError::Io(e.to_string())
+        }
     }
 }
 
@@ -46,6 +71,10 @@ impl std::fmt::Display for StorageError {
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::Io(msg) => write!(f, "disk i/o error: {msg}"),
+            StorageError::NoSpace => write!(f, "device out of space (ENOSPC)"),
+            StorageError::SyncFailed(msg) => {
+                write!(f, "fsync failed (durability unknown): {msg}")
+            }
         }
     }
 }

@@ -1,0 +1,459 @@
+//! Deterministic fault injection for the storage stack.
+//!
+//! Every durable component in the workspace — the page-file
+//! [`DiskManager`](crate::DiskManager), the `vp-wal` segment files,
+//! and the checkpoint publish path in `vp-core` — can be handed a
+//! shared [`FaultInjector`] and a *site* label. Before each physical
+//! operation the component asks the injector whether this exact
+//! operation (the n-th `Write` at site `"wal:meta"`, say) should fail,
+//! and if so, how:
+//!
+//! * [`FaultKind::Eio`] — a generic transient I/O error.
+//! * [`FaultKind::NoSpace`] — `ENOSPC`; the device is full.
+//! * [`FaultKind::Torn`] — a *partial* write: the component applies
+//!   only the first `keep` bytes of the attempted write and then
+//!   reports an error, exactly the state a power cut mid-`write(2)`
+//!   leaves behind.
+//! * [`FaultKind::SyncFail`] — `fsync` fails. Per the "fsyncgate"
+//!   semantics, the kernel may have *dropped* the dirty pages it could
+//!   not write, so callers must never retry the sync and assume
+//!   durability; log streams poison themselves instead.
+//!
+//! Faults come from two sources, both deterministic:
+//!
+//! * a **scripted schedule** ([`FaultInjector::inject`]): fire `kind`
+//!   when the per-`(site, op)` counter reaches `at` (0-based). Each
+//!   scripted point fires exactly once.
+//! * a **seeded random mode** ([`FaultInjector::set_random`]): an
+//!   xorshift stream decides, per operation, whether to fail with
+//!   probability `per_mille / 1000`. Same seed + same operation
+//!   sequence ⇒ same faults, which is what makes fault-schedule
+//!   proptests reproducible from a CI log.
+//!
+//! Every fired fault is appended to an injection log so tests can
+//! assert *which* operation failed, and the whole injector can be
+//! disarmed ([`FaultInjector::set_enabled`]) — e.g. during recovery,
+//! when the test wants a clean replay of a faulty history.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{StorageError, StorageResult};
+
+/// Which class of physical operation is about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Reading bytes (a page, a segment, a manifest).
+    Read,
+    /// Writing bytes (a page, a record batch, a tmp file).
+    Write,
+    /// Forcing bytes to stable storage (`fsync` / `fdatasync`).
+    Sync,
+    /// Renaming a file into place (checkpoint/manifest publish).
+    Rename,
+}
+
+impl std::fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Sync => "sync",
+            FaultOp::Rename => "rename",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How an injected operation fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Generic transient I/O error (`EIO`).
+    Eio,
+    /// Device out of space (`ENOSPC`).
+    NoSpace,
+    /// Partial write: apply the first `keep` bytes (clamped to the
+    /// attempted length), then fail with an I/O error. Only
+    /// meaningful for [`FaultOp::Write`]; other ops treat it as
+    /// [`FaultKind::Eio`].
+    Torn {
+        /// Bytes of the attempted write that actually reach the file.
+        keep: usize,
+    },
+    /// `fsync` failure: prior writes may or may not be stable, and the
+    /// kernel may have dropped the dirty pages. Never retryable.
+    SyncFail,
+}
+
+impl FaultKind {
+    /// The storage error a component should surface for this fault
+    /// (after applying any torn-write prefix itself).
+    pub fn to_error(self, site: &str, op: FaultOp) -> StorageError {
+        match self {
+            FaultKind::NoSpace => StorageError::NoSpace,
+            FaultKind::SyncFail => {
+                StorageError::SyncFailed(format!("injected fsync failure at {site}/{op}"))
+            }
+            FaultKind::Eio | FaultKind::Torn { .. } => {
+                StorageError::Io(format!("injected i/o error at {site}/{op}"))
+            }
+        }
+    }
+}
+
+/// One scripted fault: fail the `at`-th `(site, op)` operation
+/// (0-based) with `kind`. Fires exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Site label the component registered with (e.g. `"disk"`,
+    /// `"wal:meta"`, `"ckpt"`). `"*"` matches every site.
+    pub site: String,
+    /// Operation class to intercept.
+    pub op: FaultOp,
+    /// Fire when the per-`(site, op)` counter equals this (0-based).
+    pub at: u64,
+    /// Failure to inject.
+    pub kind: FaultKind,
+}
+
+/// A fault that actually fired, for post-hoc assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Site whose operation failed.
+    pub site: String,
+    /// Operation class that failed.
+    pub op: FaultOp,
+    /// Value of the per-`(site, op)` counter when it failed.
+    pub at: u64,
+    /// Failure that was injected.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug)]
+struct RandomMode {
+    state: u64,
+    per_mille: u16,
+}
+
+impl RandomMode {
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free.
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: HashMap<(String, FaultOp), u64>,
+    scripted: Vec<FaultPoint>,
+    random: Option<RandomMode>,
+    log: Vec<InjectedFault>,
+}
+
+/// Shared, thread-safe fault schedule. Clone the [`Arc`] into every
+/// component under test; see the [module docs](self) for semantics.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl FaultInjector {
+    /// Creates an armed injector with an empty schedule (injects
+    /// nothing until faults are scripted or random mode is set).
+    pub fn new() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Adds one scripted fault point.
+    pub fn inject(&self, point: FaultPoint) {
+        self.inner.lock().unwrap().scripted.push(point);
+    }
+
+    /// Adds a batch of scripted fault points.
+    pub fn script(&self, points: impl IntoIterator<Item = FaultPoint>) {
+        self.inner.lock().unwrap().scripted.extend(points);
+    }
+
+    /// Enables seeded random faults: each checked operation fails with
+    /// probability `per_mille / 1000`, deterministically from `seed`.
+    /// Write faults alternate between plain errors, `ENOSPC`, and torn
+    /// writes; sync faults are always [`FaultKind::SyncFail`].
+    pub fn set_random(&self, seed: u64, per_mille: u16) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.random = Some(RandomMode {
+            // xorshift must not start at 0.
+            state: seed | 1,
+            per_mille: per_mille.min(1000),
+        });
+    }
+
+    /// Arms or disarms the injector. While disarmed, [`check`]
+    /// neither counts nor injects — useful for clean recovery runs
+    /// over a history produced under faults.
+    ///
+    /// [`check`]: FaultInjector::check
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// True while armed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Asks whether the current `(site, op)` operation should fail,
+    /// advancing the per-`(site, op)` counter. Returns the fault to
+    /// apply, or `None` to proceed normally. Components call this
+    /// immediately before the physical operation.
+    pub fn check(&self, site: &str, op: FaultOp) -> Option<FaultKind> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let count = {
+            let c = inner.counters.entry((site.to_string(), op)).or_insert(0);
+            let cur = *c;
+            *c += 1;
+            cur
+        };
+        // Scripted points take precedence and fire exactly once.
+        if let Some(i) = inner
+            .scripted
+            .iter()
+            .position(|p| p.op == op && p.at == count && (p.site == site || p.site == "*"))
+        {
+            let point = inner.scripted.remove(i);
+            inner.log.push(InjectedFault {
+                site: site.to_string(),
+                op,
+                at: count,
+                kind: point.kind,
+            });
+            return Some(point.kind);
+        }
+        let kind = {
+            let random = inner.random.as_mut()?;
+            let roll = random.next();
+            if roll % 1000 >= u64::from(random.per_mille) {
+                return None;
+            }
+            match op {
+                FaultOp::Read => FaultKind::Eio,
+                FaultOp::Sync => FaultKind::SyncFail,
+                FaultOp::Rename => FaultKind::NoSpace,
+                FaultOp::Write => match random.next() % 3 {
+                    0 => FaultKind::Eio,
+                    1 => FaultKind::NoSpace,
+                    // The caller clamps `keep` to the attempted length,
+                    // so a large pseudo-random prefix still tears.
+                    _ => FaultKind::Torn {
+                        keep: (random.next() % 4096) as usize,
+                    },
+                },
+            }
+        };
+        inner.log.push(InjectedFault {
+            site: site.to_string(),
+            op,
+            at: count,
+            kind,
+        });
+        Some(kind)
+    }
+
+    /// Convenience: [`check`](FaultInjector::check) and convert a hit
+    /// directly into `Err` for sites with no torn-write handling of
+    /// their own (reads, syncs, renames).
+    pub fn check_err(&self, site: &str, op: FaultOp) -> StorageResult<()> {
+        match self.check(site, op) {
+            Some(kind) => Err(kind.to_error(site, op)),
+            None => Ok(()),
+        }
+    }
+
+    /// Every fault fired so far, in order.
+    pub fn fired(&self) -> Vec<InjectedFault> {
+        self.inner.lock().unwrap().log.clone()
+    }
+
+    /// Number of faults fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.inner.lock().unwrap().log.len()
+    }
+
+    /// Scripted points that have not fired yet.
+    pub fn pending(&self) -> Vec<FaultPoint> {
+        self.inner.lock().unwrap().scripted.clone()
+    }
+
+    /// Current value of one `(site, op)` counter (operations checked,
+    /// including ones that failed).
+    pub fn op_count(&self, site: &str, op: FaultOp) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(&(site.to_string(), op))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Clears counters, schedule, random mode, and the log.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner = Inner::default();
+    }
+}
+
+/// A cloneable, comparable handle to a shared [`FaultInjector`],
+/// suitable for embedding in config structs that derive `Debug` /
+/// `Clone` / `PartialEq` (equality is pointer identity).
+#[derive(Clone)]
+pub struct FaultHandle(pub Arc<FaultInjector>);
+
+impl FaultHandle {
+    /// Wraps an injector.
+    pub fn new(inj: Arc<FaultInjector>) -> FaultHandle {
+        FaultHandle(inj)
+    }
+}
+
+impl std::ops::Deref for FaultHandle {
+    type Target = FaultInjector;
+    fn deref(&self) -> &FaultInjector {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultHandle({:p})", Arc::as_ptr(&self.0))
+    }
+}
+
+impl PartialEq for FaultHandle {
+    fn eq(&self, other: &FaultHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for FaultHandle {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_point_fires_once_at_exact_count() {
+        let inj = FaultInjector::new();
+        inj.inject(FaultPoint {
+            site: "disk".into(),
+            op: FaultOp::Write,
+            at: 2,
+            kind: FaultKind::Eio,
+        });
+        assert_eq!(inj.check("disk", FaultOp::Write), None);
+        assert_eq!(inj.check("disk", FaultOp::Write), None);
+        assert_eq!(inj.check("disk", FaultOp::Write), Some(FaultKind::Eio));
+        assert_eq!(inj.check("disk", FaultOp::Write), None, "one-shot");
+        assert_eq!(inj.fired_count(), 1);
+        assert_eq!(inj.op_count("disk", FaultOp::Write), 4);
+    }
+
+    #[test]
+    fn sites_and_ops_count_independently() {
+        let inj = FaultInjector::new();
+        inj.inject(FaultPoint {
+            site: "wal:meta".into(),
+            op: FaultOp::Sync,
+            at: 0,
+            kind: FaultKind::SyncFail,
+        });
+        assert_eq!(inj.check("disk", FaultOp::Sync), None);
+        assert_eq!(inj.check("wal:meta", FaultOp::Write), None);
+        assert_eq!(
+            inj.check("wal:meta", FaultOp::Sync),
+            Some(FaultKind::SyncFail)
+        );
+    }
+
+    #[test]
+    fn wildcard_site_matches_everything() {
+        let inj = FaultInjector::new();
+        inj.inject(FaultPoint {
+            site: "*".into(),
+            op: FaultOp::Rename,
+            at: 0,
+            kind: FaultKind::NoSpace,
+        });
+        assert_eq!(inj.check("ckpt", FaultOp::Rename), Some(FaultKind::NoSpace));
+    }
+
+    #[test]
+    fn disarmed_injector_neither_counts_nor_fires() {
+        let inj = FaultInjector::new();
+        inj.inject(FaultPoint {
+            site: "disk".into(),
+            op: FaultOp::Read,
+            at: 0,
+            kind: FaultKind::Eio,
+        });
+        inj.set_enabled(false);
+        assert_eq!(inj.check("disk", FaultOp::Read), None);
+        assert_eq!(inj.op_count("disk", FaultOp::Read), 0);
+        inj.set_enabled(true);
+        assert_eq!(inj.check("disk", FaultOp::Read), Some(FaultKind::Eio));
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inj = FaultInjector::new();
+            inj.set_random(seed, 200);
+            (0..100)
+                .map(|_| inj.check("disk", FaultOp::Write).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        assert!(run(7).iter().any(|&b| b), "rate 0.2 fires within 100 ops");
+    }
+
+    #[test]
+    fn check_err_converts_kinds() {
+        let inj = FaultInjector::new();
+        inj.script([
+            FaultPoint {
+                site: "d".into(),
+                op: FaultOp::Sync,
+                at: 0,
+                kind: FaultKind::SyncFail,
+            },
+            FaultPoint {
+                site: "d".into(),
+                op: FaultOp::Write,
+                at: 0,
+                kind: FaultKind::NoSpace,
+            },
+        ]);
+        assert!(matches!(
+            inj.check_err("d", FaultOp::Sync),
+            Err(StorageError::SyncFailed(_))
+        ));
+        assert!(matches!(
+            inj.check_err("d", FaultOp::Write),
+            Err(StorageError::NoSpace)
+        ));
+        assert!(inj.check_err("d", FaultOp::Read).is_ok());
+    }
+}

@@ -33,6 +33,13 @@
 //!   [`IoStats::physical_reads`] counts.
 //! * [`codec`] — bounds-checked little-endian readers/writers used by
 //!   the node serializers of the index crates.
+//! * [`fault`] — a deterministic [`FaultInjector`] the whole storage
+//!   stack (disk, pool, WAL segments, checkpoint publish) consults
+//!   before physical operations, injecting EIO / ENOSPC / torn writes
+//!   / fsync failures from a seeded, scriptable schedule.
+//! * [`retry`] — bounded retry with exponential backoff
+//!   ([`with_retry`]) for transient errors, with an injectable
+//!   [`Sleeper`] clock; failed fsyncs are never retried.
 //!
 //! The design goal is faithful *logical* I/O accounting rather than raw
 //! speed: every page access goes through the pool, misses hit the
@@ -44,11 +51,15 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod fault;
+pub mod retry;
 pub mod stats;
 
 pub use buffer::BufferPool;
 pub use disk::DiskManager;
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultOp, FaultPoint, InjectedFault};
+pub use retry::{with_retry, RecordingSleeper, RetryPolicy, Sleeper, ThreadSleeper};
 pub use stats::{thread_io, AtomicIoStats, IoStats};
 
 /// Default page size in bytes (paper Table 1: 4 KB disk pages).

@@ -1,0 +1,187 @@
+//! Bounded retry with exponential backoff for *transient* storage
+//! errors.
+//!
+//! Applied at the sites where a transient failure (`EIO`, `ENOSPC`)
+//! would otherwise abort a whole tick: buffer-pool page flushes and
+//! WAL batch flushes. Only errors that
+//! [`StorageError::is_transient`](crate::StorageError::is_transient)
+//! reports as retryable are retried — a failed `fsync` in particular
+//! is **never** retried (the kernel may already have dropped the
+//! dirty pages; see the fsyncgate discussion in `docs/ARCHITECTURE.md`).
+//!
+//! The backoff sleeps through a [`Sleeper`] so tests inject a
+//! recording no-op clock and fault-schedule proptests stay instant
+//! and deterministic.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::StorageResult;
+
+#[cfg(test)]
+use crate::StorageError;
+
+/// Bounded-attempt retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every error surfaces immediately.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The default production policy: 3 attempts, 1 ms initial
+    /// backoff (1 ms, then 2 ms). Bounded so a dead disk fails a tick
+    /// in milliseconds instead of hanging it.
+    pub const fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+}
+
+/// The clock behind retry backoff. Production uses
+/// [`ThreadSleeper`]; tests inject [`RecordingSleeper`] so retries
+/// take no wall time and the backoff sequence is assertable.
+pub trait Sleeper: Send + Sync + std::fmt::Debug {
+    /// Blocks the calling thread for (about) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Real wall-clock sleeping via [`std::thread::sleep`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Test clock: records every requested sleep and returns immediately.
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    slept: Mutex<Vec<Duration>>,
+}
+
+impl RecordingSleeper {
+    /// Fresh recording clock.
+    pub fn new() -> RecordingSleeper {
+        RecordingSleeper::default()
+    }
+
+    /// Every sleep requested so far, in order.
+    pub fn slept(&self) -> Vec<Duration> {
+        self.slept.lock().unwrap().clone()
+    }
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&self, d: Duration) {
+        self.slept.lock().unwrap().push(d);
+    }
+}
+
+/// Runs `f` until it succeeds, its error stops being transient, or
+/// `policy.max_attempts` is exhausted; backoff doubles between
+/// attempts. [`StorageError::SyncFailed`](crate::StorageError::SyncFailed)
+/// is not transient and is returned on the spot.
+pub fn with_retry<T>(
+    policy: RetryPolicy,
+    sleeper: &dyn Sleeper,
+    mut f: impl FnMut() -> StorageResult<T>,
+) -> StorageResult<T> {
+    let mut backoff = policy.base_backoff;
+    let mut attempt: u32 = 1;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                attempt += 1;
+                sleeper.sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let out = with_retry(RetryPolicy::standard(), &sleeper, || {
+            calls += 1;
+            if calls < 3 {
+                Err(StorageError::Io("flaky".into()))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(
+            sleeper.slept(),
+            vec![Duration::from_millis(1), Duration::from_millis(2)],
+            "exponential backoff"
+        );
+    }
+
+    #[test]
+    fn exhausts_attempts_and_surfaces_last_error() {
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let out: StorageResult<()> = with_retry(RetryPolicy::standard(), &sleeper, || {
+            calls += 1;
+            Err(StorageError::NoSpace)
+        });
+        assert_eq!(out, Err(StorageError::NoSpace));
+        assert_eq!(calls, 3, "bounded attempts");
+    }
+
+    #[test]
+    fn non_transient_errors_never_retry() {
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let out: StorageResult<()> = with_retry(RetryPolicy::standard(), &sleeper, || {
+            calls += 1;
+            Err(StorageError::SyncFailed("gone".into()))
+        });
+        assert!(matches!(out, Err(StorageError::SyncFailed(_))));
+        assert_eq!(calls, 1, "fsync failure is never retried");
+        assert!(sleeper.slept().is_empty());
+    }
+
+    #[test]
+    fn policy_none_is_single_shot() {
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let out: StorageResult<()> = with_retry(RetryPolicy::none(), &sleeper, || {
+            calls += 1;
+            Err(StorageError::Io("x".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

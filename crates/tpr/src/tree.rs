@@ -1369,8 +1369,8 @@ impl MovingObjectIndex for TprTree {
         Ok(out)
     }
 
-    fn get_object(&self, id: ObjectId) -> Option<MovingObject> {
-        self.entries.get(&id).map(|e| e.to_object())
+    fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
+        Ok(self.entries.get(&id).map(|e| e.to_object()))
     }
 
     fn len(&self) -> usize {
@@ -1506,7 +1506,7 @@ mod tests {
 
             batched.update_batch(&updates).unwrap();
             for u in &updates {
-                if looped.get_object(u.id).is_some() {
+                if looped.get_object(u.id).unwrap().is_some() {
                     looped.update(*u).unwrap();
                 } else {
                     looped.insert(*u).unwrap();
@@ -1516,8 +1516,8 @@ mod tests {
             assert_eq!(batched.len(), looped.len(), "tick {tick}");
             for o in &objs {
                 assert_eq!(
-                    batched.get_object(o.id),
-                    looped.get_object(o.id),
+                    batched.get_object(o.id).unwrap(),
+                    looped.get_object(o.id).unwrap(),
                     "tick {tick}, object {}",
                     o.id
                 );

@@ -150,7 +150,7 @@ fn run_stream(seed: u64, n: usize, ticks: usize, variant: TprVariant) {
 
         batched.update_batch(&updates).unwrap();
         for u in &updates {
-            if oracle.get_object(u.id).is_some() {
+            if oracle.get_object(u.id).unwrap().is_some() {
                 oracle.update(*u).unwrap();
             } else {
                 oracle.insert(*u).unwrap();
@@ -158,8 +158,8 @@ fn run_stream(seed: u64, n: usize, ticks: usize, variant: TprVariant) {
         }
         for o in &live {
             assert_eq!(
-                batched.get_object(o.id),
-                oracle.get_object(o.id),
+                batched.get_object(o.id).unwrap(),
+                oracle.get_object(o.id).unwrap(),
                 "tick {tick}: object {} state diverged",
                 o.id
             );

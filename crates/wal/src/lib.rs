@@ -127,6 +127,24 @@ pub enum WalError {
     /// A segment or record failed validation (bad magic, CRC mismatch
     /// in a non-tail position, out-of-order sequence numbers, ...).
     Corrupt(String),
+    /// The device is out of space (`ENOSPC`). Transient: the pending
+    /// batch stays buffered for a retry once space is reclaimed.
+    NoSpace,
+    /// The stream is poisoned after a failed fsync. Per fsyncgate
+    /// semantics the kernel may have dropped the dirty pages it could
+    /// not write, so the durability of everything since the last
+    /// successful sync is unknown — the stream refuses all further
+    /// appends/flushes; only a fresh open (which re-reads the file's
+    /// actual consistent prefix) can resume the stream.
+    Poisoned(String),
+}
+
+impl WalError {
+    /// Whether a bounded retry of the same operation is sound. A
+    /// poisoned stream is never retryable.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WalError::Io(_) | WalError::NoSpace)
+    }
 }
 
 impl std::fmt::Display for WalError {
@@ -134,6 +152,10 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Io(msg) => write!(f, "wal i/o error: {msg}"),
             WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+            WalError::NoSpace => write!(f, "wal device out of space (ENOSPC)"),
+            WalError::Poisoned(msg) => {
+                write!(f, "wal stream poisoned by failed fsync: {msg}")
+            }
         }
     }
 }
@@ -142,7 +164,22 @@ impl std::error::Error for WalError {}
 
 impl From<std::io::Error> for WalError {
     fn from(e: std::io::Error) -> Self {
-        WalError::Io(e.to_string())
+        if e.raw_os_error() == Some(28) {
+            WalError::NoSpace
+        } else {
+            WalError::Io(e.to_string())
+        }
+    }
+}
+
+impl From<vp_storage::StorageError> for WalError {
+    fn from(e: vp_storage::StorageError) -> Self {
+        match e {
+            vp_storage::StorageError::NoSpace => WalError::NoSpace,
+            vp_storage::StorageError::SyncFailed(msg) => WalError::Poisoned(msg),
+            vp_storage::StorageError::Io(msg) => WalError::Io(msg),
+            other => WalError::Io(other.to_string()),
+        }
     }
 }
 

@@ -4,6 +4,9 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vp_storage::{FaultInjector, FaultKind, FaultOp, RetryPolicy, Sleeper, ThreadSleeper};
 
 use crate::record::{
     decode_record, decode_segment_header, encode_record, encode_segment_header, Decoded,
@@ -45,6 +48,22 @@ pub struct Wal {
     /// dropped as soon as the file and the retained copy could
     /// diverge (first flush, or a tail amputation).
     retained_tail: Option<(u64, Vec<WalRecord>)>,
+    /// Highest seq that has reached the OS (flushed). Appends above it
+    /// are process-memory only and can be dropped by
+    /// [`Wal::discard_pending`] (tick rollback).
+    flushed_seq: u64,
+    /// `Some(reason)` once an fsync has failed: the stream refuses all
+    /// further appends/flushes/syncs (fsyncgate semantics — the
+    /// dropped dirty pages make "retry the fsync" a durability lie).
+    poisoned: Option<String>,
+    /// Optional fault schedule consulted before segment file ops, plus
+    /// the site label this stream registers under.
+    fault: Option<(Arc<FaultInjector>, String)>,
+    /// Bounded retry for *transient* flush failures (the pending batch
+    /// stays buffered between attempts). Fsync is never retried.
+    retry: RetryPolicy,
+    /// Clock behind the retry backoff — injectable for tests.
+    sleeper: Arc<dyn Sleeper>,
 }
 
 impl Wal {
@@ -105,7 +124,54 @@ impl Wal {
             buf_first_seq: None,
             last_seq,
             retained_tail,
+            flushed_seq: last_seq,
+            poisoned: None,
+            fault: None,
+            retry: RetryPolicy::standard(),
+            sleeper: Arc::new(ThreadSleeper),
         })
+    }
+
+    /// Attaches a fault injector under `site`; segment writes and
+    /// fsyncs consult the schedule first (see [`vp_storage::fault`]).
+    pub fn set_fault_injector(&mut self, inj: Arc<FaultInjector>, site: impl Into<String>) {
+        self.fault = Some((inj, site.into()));
+    }
+
+    /// Replaces the transient-flush retry policy and backoff clock.
+    pub fn set_retry(&mut self, policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) {
+        self.retry = policy;
+        self.sleeper = sleeper;
+    }
+
+    /// `Some(reason)` once a failed fsync has poisoned this stream
+    /// (every later append/flush/sync returns
+    /// [`WalError::Poisoned`]). Cleared only by reopening the stream,
+    /// which re-reads the file's actual consistent prefix.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Drops every appended-but-unflushed record (the tick-rollback
+    /// path: a failed tick abandons its partially logged batch), and
+    /// rewinds `last_seq` to the highest seq that reached the OS so
+    /// the seqs of the dead batch can be reused or skipped freely.
+    pub fn discard_pending(&mut self) {
+        self.buf.clear();
+        self.buf_first_seq = None;
+        self.last_seq = self.flushed_seq;
+    }
+
+    /// Number of bytes currently buffered in process memory.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn check_poisoned(&self) -> WalResult<()> {
+        match &self.poisoned {
+            Some(msg) => Err(WalError::Poisoned(msg.clone())),
+            None => Ok(()),
+        }
     }
 
     /// The directory holding this stream's segments.
@@ -127,6 +193,7 @@ impl Wal {
     /// seq. Nothing reaches the OS until [`Wal::flush`] /
     /// [`Wal::commit`].
     pub fn append(&mut self, seq: u64, kind: u8, payload: &[u8]) -> WalResult<()> {
+        self.check_poisoned()?;
         if seq <= self.last_seq {
             return Err(WalError::Corrupt(format!(
                 "append seq {seq} not above last seq {}",
@@ -150,9 +217,32 @@ impl Wal {
     /// never leave torn garbage *ahead of* later successful commits —
     /// which replay would silently stop at.
     pub fn flush(&mut self) -> WalResult<()> {
+        self.check_poisoned()?;
         if self.buf.is_empty() {
             return Ok(());
         }
+        // Transient failures (EIO, ENOSPC — injected or real) retry
+        // with bounded exponential backoff: each failed attempt leaves
+        // the stream in the retryable state documented above, so a
+        // retry is simply another flush of the still-pending batch.
+        let mut backoff = self.retry.base_backoff;
+        let mut attempt: u32 = 1;
+        loop {
+            match self.flush_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    attempt += 1;
+                    let sleeper = Arc::clone(&self.sleeper);
+                    sleeper.sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One flush attempt (see [`Wal::flush`] for the retry loop).
+    fn flush_once(&mut self) -> WalResult<()> {
         let first = self.buf_first_seq.expect("non-empty buffer has a seq");
         // The file is about to grow past the open-time snapshot; the
         // retained copy no longer tells the whole story.
@@ -160,10 +250,32 @@ impl Wal {
         if self.segments.is_empty() || self.seg_size >= self.segment_bytes {
             self.roll(first)?;
         }
+        // Consult the fault schedule: a torn fault writes only a
+        // prefix of the batch before failing — the state a power cut
+        // mid-write leaves — and the amputation below must cut it
+        // back off.
+        let fault = self
+            .fault
+            .as_ref()
+            .and_then(|(inj, site)| inj.check(site, FaultOp::Write).map(|k| (k, site.clone())));
         let pending = std::mem::take(&mut self.buf);
-        let wrote = self
-            .active_file()
-            .and_then(|f| f.write_all(&pending).map_err(WalError::from));
+        let wrote = match fault {
+            Some((FaultKind::Torn { keep }, site)) => {
+                let keep = keep.min(pending.len());
+                self.active_file()
+                    .and_then(|f| f.write_all(&pending[..keep]).map_err(WalError::from))
+                    .and_then(|()| {
+                        Err(WalError::Io(format!(
+                            "injected torn record write at {site}: {keep} of {} bytes",
+                            pending.len()
+                        )))
+                    })
+            }
+            Some((kind, site)) => Err(kind.to_error(&site, FaultOp::Write).into()),
+            None => self
+                .active_file()
+                .and_then(|f| f.write_all(&pending).map_err(WalError::from)),
+        };
         match wrote {
             Ok(()) => {
                 self.seg_size += pending.len() as u64;
@@ -171,6 +283,7 @@ impl Wal {
                 self.buf = pending;
                 self.buf.clear();
                 self.buf_first_seq = None;
+                self.flushed_seq = self.last_seq;
                 Ok(())
             }
             Err(e) => {
@@ -191,10 +304,34 @@ impl Wal {
     }
 
     /// [`Wal::flush`] plus fsync of the active segment.
+    ///
+    /// A failed fsync — injected or real — **poisons the stream**: per
+    /// fsyncgate semantics the kernel may have dropped the dirty pages
+    /// it could not write, so retrying the fsync and assuming
+    /// durability would be a lie. Every subsequent append/flush/sync
+    /// returns [`WalError::Poisoned`]; only a fresh
+    /// [`Wal::open`] (which re-reads the file's actual consistent
+    /// prefix) resumes the stream.
     pub fn sync(&mut self) -> WalResult<()> {
         self.flush()?;
-        if let Some(f) = &self.file {
-            f.sync_data()?;
+        let injected = self
+            .fault
+            .as_ref()
+            .filter(|_| self.file.is_some())
+            .and_then(|(inj, site)| inj.check(site, FaultOp::Sync).map(|k| (k, site.clone())));
+        let res: WalResult<()> = match injected {
+            Some((kind, site)) => Err(kind.to_error(&site, FaultOp::Sync).into()),
+            None => match &self.file {
+                Some(f) => f.sync_data().map_err(WalError::from),
+                None => Ok(()),
+            },
+        };
+        if let Err(e) = res {
+            let msg = e.to_string();
+            self.poisoned = Some(msg.clone());
+            // Drop the handle: nothing may write behind a failed sync.
+            self.file = None;
+            return Err(WalError::Poisoned(msg));
         }
         Ok(())
     }
@@ -329,6 +466,7 @@ impl Wal {
         self.last_seq = cutoff.min(self.last_seq);
         let Some((first_seq, path)) = self.segments.last().cloned() else {
             self.last_seq = 0;
+            self.flushed_seq = 0;
             return Ok(());
         };
         // Walk the (now) active segment to the first record past the
@@ -355,6 +493,7 @@ impl Wal {
         }
         self.seg_size = off as u64;
         self.last_seq = last_seq;
+        self.flushed_seq = last_seq;
         Ok(())
     }
 
@@ -442,11 +581,35 @@ impl Wal {
             .create_new(true)
             .write(true)
             .open(&path)?;
-        if let Err(e) = file.write_all(&encode_segment_header(first_seq)) {
+        // The header write shares the stream's Write schedule: a torn
+        // fault leaves a half-written header on disk first, exactly
+        // the artifact a crash mid-roll produces (and which open-time
+        // validation discards).
+        let header = encode_segment_header(first_seq);
+        let fault = self
+            .fault
+            .as_ref()
+            .and_then(|(inj, site)| inj.check(site, FaultOp::Write).map(|k| (k, site.clone())));
+        let wrote: WalResult<()> = match fault {
+            Some((FaultKind::Torn { keep }, site)) => {
+                let keep = keep.min(header.len());
+                file.write_all(&header[..keep])
+                    .map_err(WalError::from)
+                    .and_then(|()| {
+                        Err(WalError::Io(format!(
+                            "injected torn roll-over header at {site}: {keep} of {} bytes",
+                            header.len()
+                        )))
+                    })
+            }
+            Some((kind, site)) => Err(kind.to_error(&site, FaultOp::Write).into()),
+            None => file.write_all(&header).map_err(WalError::from),
+        };
+        if let Err(e) = wrote {
             // A half-written header would block the next roll attempt
             // (`create_new` refuses existing files); take it with us.
             let _ = fs::remove_file(&path);
-            return Err(e.into());
+            return Err(e);
         }
         // Make the new directory entry itself durable; record
         // durability is still governed by the commit-time policy.
@@ -794,5 +957,184 @@ mod tests {
         let wal = Wal::open(&t.0, "meta").unwrap();
         assert!(wal.replay(0).unwrap().is_empty());
         assert_eq!(wal.segment_count(), 0);
+    }
+
+    // ----- fault injection & edge cases ---------------------------------
+
+    use vp_storage::{FaultPoint, RecordingSleeper};
+
+    fn point(site: &str, op: FaultOp, at: u64, kind: FaultKind) -> FaultPoint {
+        FaultPoint {
+            site: site.into(),
+            op,
+            at,
+            kind,
+        }
+    }
+
+    #[test]
+    fn zero_length_segment_file_is_discarded_on_open() {
+        let t = TempDir::new("zero-len");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.append(1, 1, b"keep").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Crash immediately after the roll's create_new, before the
+        // header write: an empty file at the tail.
+        let empty = Wal::segment_path(&t.0, "meta", 2);
+        fs::write(&empty, b"").unwrap();
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 1);
+        assert_eq!(wal.segment_count(), 1);
+        assert!(!empty.exists(), "zero-length tail segment removed");
+        assert_eq!(wal.replay(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_length_only_segment_leaves_an_empty_stream() {
+        let t = TempDir::new("zero-only");
+        fs::write(Wal::segment_path(&t.0, "meta", 1), b"").unwrap();
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 0);
+        assert_eq!(wal.segment_count(), 0);
+        assert!(wal.replay(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_stream() {
+        let t = TempDir::new("poison");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        let inj = FaultInjector::new();
+        wal.set_fault_injector(inj.clone(), "wal");
+        wal.append(1, 1, b"pre").unwrap();
+        wal.sync().unwrap(); // sync #0: clean
+        wal.append(2, 1, b"doomed").unwrap();
+        inj.inject(point("wal", FaultOp::Sync, 1, FaultKind::SyncFail));
+        assert!(matches!(wal.sync(), Err(WalError::Poisoned(_))));
+        // Everything after the poison refuses to run — including a
+        // retry of the sync itself.
+        assert!(matches!(wal.append(3, 1, b"x"), Err(WalError::Poisoned(_))));
+        assert!(matches!(wal.flush(), Err(WalError::Poisoned(_))));
+        assert!(matches!(wal.sync(), Err(WalError::Poisoned(_))));
+        assert!(wal.poisoned().is_some());
+        // Replay (read-only) still works on the poisoned handle.
+        assert!(wal.replay(0).is_ok());
+        // A fresh open re-reads the real consistent prefix and
+        // resumes: records 1 and 2 were flushed (write succeeded, only
+        // the fsync failed) so both may legitimately be present.
+        drop(wal);
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        assert!(wal.poisoned().is_none());
+        let next = wal.last_seq() + 1;
+        wal.append(next, 1, b"resumed").unwrap();
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn discard_pending_drops_unflushed_appends_and_rewinds_seq() {
+        let t = TempDir::new("discard");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        wal.append(1, 1, b"durable").unwrap();
+        wal.sync().unwrap();
+        wal.append(2, 3, b"tick-part").unwrap();
+        wal.append(3, 4, b"tick-commit").unwrap();
+        assert!(wal.pending_bytes() > 0);
+        wal.discard_pending();
+        assert_eq!(wal.pending_bytes(), 0);
+        assert_eq!(wal.last_seq(), 1, "rewound to the flushed prefix");
+        // The abandoned seqs are reusable by the next tick.
+        wal.append(2, 3, b"retried").unwrap();
+        wal.sync().unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].payload, b"retried".to_vec());
+    }
+
+    #[test]
+    fn torn_record_write_amputates_and_stays_retryable() {
+        let t = TempDir::new("torn-record");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        let inj = FaultInjector::new();
+        wal.set_fault_injector(inj.clone(), "wal");
+        wal.set_retry(RetryPolicy::none(), Arc::new(RecordingSleeper::new()));
+        wal.append(1, 1, b"committed").unwrap();
+        wal.sync().unwrap(); // writes #0 (roll header) and #1 (batch)
+        wal.append(2, 1, b"torn-then-fine").unwrap();
+        inj.inject(point("wal", FaultOp::Write, 2, FaultKind::Torn { keep: 9 }));
+        assert!(matches!(wal.flush(), Err(WalError::Io(_))));
+        // The torn prefix was cut back off: a reopened reader sees
+        // only the committed prefix...
+        let reader = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(reader.replay(0).unwrap().len(), 1);
+        drop(reader);
+        // ...and the writer still holds the batch: the retry lands it.
+        wal.sync().unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].payload, b"torn-then-fine".to_vec());
+    }
+
+    #[test]
+    fn transient_flush_failure_retries_with_backoff() {
+        let t = TempDir::new("retry");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        let inj = FaultInjector::new();
+        let sleeper = Arc::new(RecordingSleeper::new());
+        wal.set_fault_injector(inj.clone(), "wal");
+        wal.set_retry(RetryPolicy::standard(), sleeper.clone());
+        wal.append(1, 1, b"eventually").unwrap();
+        inj.inject(point("wal", FaultOp::Write, 0, FaultKind::NoSpace));
+        wal.sync().unwrap();
+        assert_eq!(sleeper.slept().len(), 1, "one backoff before success");
+        assert_eq!(wal.replay(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_rollover_header_is_cleaned_up_and_retried() {
+        let t = TempDir::new("torn-roll");
+        // Tiny segments: the second batch forces a roll.
+        let mut wal = Wal::open_with_segment_bytes(&t.0, "meta", 40).unwrap();
+        let inj = FaultInjector::new();
+        wal.set_fault_injector(inj.clone(), "wal");
+        wal.set_retry(RetryPolicy::none(), Arc::new(RecordingSleeper::new()));
+        wal.append(1, 1, &[1u8; 24]).unwrap();
+        wal.sync().unwrap(); // writes #0 (header) + #1 fill past 40 B
+        wal.append(2, 1, b"next-segment").unwrap();
+        // Write #2 is the roll-over header of segment 2: tear it.
+        inj.inject(point("wal", FaultOp::Write, 2, FaultKind::Torn { keep: 7 }));
+        assert!(matches!(wal.flush(), Err(WalError::Io(_))));
+        // The half-written segment file was taken down with the error
+        // so the retry's create_new cannot collide.
+        assert!(!Wal::segment_path(&t.0, "meta", 2).exists());
+        assert_eq!(wal.last_seq(), 2, "batch still pending");
+        wal.sync().unwrap();
+        assert_eq!(wal.segment_count(), 2);
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].payload, b"next-segment".to_vec());
+        // A crash-style torn header (file left behind) is also
+        // survivable: plant one and reopen.
+        drop(wal);
+        fs::write(Wal::segment_path(&t.0, "meta", 3), &b"VPWALSE"[..]).unwrap();
+        let wal = Wal::open_with_segment_bytes(&t.0, "meta", 40).unwrap();
+        assert_eq!(wal.last_seq(), 2);
+        assert_eq!(wal.replay(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn enospc_surfaces_as_no_space_and_batch_survives() {
+        let t = TempDir::new("enospc");
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        let inj = FaultInjector::new();
+        wal.set_fault_injector(inj.clone(), "wal");
+        wal.set_retry(RetryPolicy::none(), Arc::new(RecordingSleeper::new()));
+        wal.append(1, 1, b"squeezed").unwrap();
+        inj.inject(point("wal", FaultOp::Write, 0, FaultKind::NoSpace));
+        assert_eq!(wal.flush(), Err(WalError::NoSpace));
+        // Space "freed": the same batch lands untouched.
+        wal.sync().unwrap();
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"squeezed".to_vec());
     }
 }

@@ -113,6 +113,24 @@
 //! `cargo run --release -p vp-bench --bin wal_throughput` for what
 //! each position of the durability dial costs.
 //!
+//! ### Failure model
+//!
+//! Storage is allowed to fail, and every failure mode has a defined
+//! outcome (the *degradation ladder*, documented in full in
+//! `docs/ARCHITECTURE.md` § "Failure model & degradation ladder"):
+//! transient I/O errors (EIO, ENOSPC) are retried with bounded
+//! backoff ([`RetryPolicy`]); a tick that still fails **rolls back**
+//! to the pre-tick snapshot and returns a structured error with the
+//! index unchanged and queryable; a failed fsync poisons the WAL
+//! stream (its durability is unknowable — it is never retried) and
+//! demotes the index to an explicit read-only mode
+//! ([`vp_core::Health`]); and [`VpIndex::recover`] is the way back
+//! from there. The whole ladder is exercised by a scriptable fault
+//! injector ([`FaultInjector`], wired in via
+//! `VpConfig::with_fault_injector`) that can deal out torn writes,
+//! ENOSPC, read errors, and fsync failures at exact operation counts
+//! — see `tests/fault_injection.rs`.
+//!
 //! ## Where everything lives
 //!
 //! `docs/ARCHITECTURE.md` in the repository maps the workspace: the
@@ -137,12 +155,15 @@ pub use vp_workload;
 pub mod prelude {
     pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
     pub use vp_core::{
-        knn_at, knn_batch, IndexError, IndexResult, KnnQuery, MovingObject, MovingObjectIndex,
-        Neighbor, ObjectId, PartitionSpec, QueryRegion, RangeQuery, RecoveryReport, SyncPolicy,
-        VelocityAnalyzer, VpConfig, VpIndex,
+        knn_at, knn_batch, Health, IndexError, IndexResult, KnnQuery, MovingObject,
+        MovingObjectIndex, Neighbor, ObjectId, PartitionSpec, QueryRegion, RangeQuery,
+        RecoveryReport, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex,
     };
     pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
-    pub use vp_storage::{BufferPool, DiskManager, IoStats};
+    pub use vp_storage::{
+        BufferPool, DiskManager, FaultHandle, FaultInjector, FaultKind, FaultOp, FaultPoint,
+        IoStats, RetryPolicy,
+    };
     pub use vp_tpr::{TprConfig, TprTree, TprVariant};
     pub use vp_workload::{Dataset, QueryShape, QuerySpec, Workload, WorkloadConfig};
 }

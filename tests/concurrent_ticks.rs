@@ -159,8 +159,8 @@ fn assert_bit_identical(a: &VpIndex<BxTree>, b: &VpIndex<BxTree>, ids: &[ObjectI
             "{ctx}: object {id} routed differently"
         );
         assert_eq!(
-            a.get_object(id),
-            b.get_object(id),
+            a.get_object(id).unwrap(),
+            b.get_object(id).unwrap(),
             "{ctx}: object {id} state diverged"
         );
     }

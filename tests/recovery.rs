@@ -203,8 +203,8 @@ fn assert_matches_oracle_from<I: MovingObjectIndex + Send + Sync>(
     assert_eq!(got.len(), oracle.len(), "{context}: object count");
     for id in (0..N_OBJECTS).chain(10_000..10_050) {
         assert_eq!(
-            got.get_object(id),
-            oracle.get_object(id),
+            got.get_object(id).unwrap(),
+            oracle.get_object(id).unwrap(),
             "{context}: object {id} state"
         );
         assert_eq!(
@@ -469,7 +469,7 @@ fn single_op_and_tau_events_replay_in_order() {
     oracle.apply_updates(&ticks[3]).unwrap();
 
     assert_matches_oracle(&recovered, &oracle, "mixed event replay");
-    assert_eq!(recovered.get_object(extra.id), None);
+    assert_eq!(recovered.get_object(extra.id).unwrap(), None);
 }
 
 #[test]
@@ -502,7 +502,7 @@ fn single_object_update_is_one_atomic_logged_event() {
     }
     let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
     assert_eq!(report.events_replayed, 2, "insert + one atomic update");
-    assert_eq!(recovered.get_object(9), Some(moved));
+    assert_eq!(recovered.get_object(9).unwrap(), Some(moved));
     assert_eq!(recovered.len(), 1);
 }
 
