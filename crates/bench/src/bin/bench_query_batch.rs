@@ -15,7 +15,10 @@
 //!   regime of the ROADMAP's query-heavy workloads.
 //!
 //! Also reports kNN batch throughput and the per-search page reads of
-//! the incremental enlargement (delta rings + cross-round seen-set).
+//! the incremental enlargement (delta rings + cross-round seen-set),
+//! plus the HTAP **tick storm**: snapshot reader threads answering
+//! batches while the writer thread commits ticks on the same pool —
+//! the retained fraction of quiesced throughput is the metric.
 //!
 //! Results print as tables and land in `BENCH_query_batch.json`; the
 //! `bench_floor` guard fails CI when a committed speedup metric
@@ -34,7 +37,7 @@ use std::time::Instant;
 
 use vp_bench::parallel::{TickBackend, TickWorkload};
 use vp_bench::report::{fmt, write_bench_json, Table};
-use vp_core::{KnnQuery, MovingObjectIndex, QueryRegion, RangeQuery, VpIndex};
+use vp_core::{KnnQuery, MovingObjectIndex, QueryRegion, RangeQuery, SnapshotIndex, VpIndex};
 use vp_geom::{Circle, Point, Rect};
 use vp_storage::{BufferPool, DiskManager, DEFAULT_POOL_SHARDS};
 
@@ -235,6 +238,75 @@ fn measure_knn<I: MovingObjectIndex + Send + Sync>(
     (n as f64 / secs, reads as f64 / n as f64)
 }
 
+/// HTAP tick storm: reader threads answer the same query batch from a
+/// snapshot — first quiesced, then while the writer thread commits
+/// ticks flat out on the same index and buffer pool. Snapshot reads
+/// take no shared locks after creation, so the storm should cost the
+/// readers little; the retained fraction is the headline metric.
+/// Returns (quiesced qps, storm qps, ticks/s during the storm).
+fn measure_tick_storm<I: SnapshotIndex + Send + Sync>(
+    vp: &mut VpIndex<I>,
+    workload: &TickWorkload,
+    queries: &[RangeQuery],
+    rounds: usize,
+    readers: usize,
+    n_ticks: usize,
+) -> (f64, f64, f64) {
+    let snap = vp.snapshot().expect("snapshot");
+    let expected = snap.range_query_batch(queries).expect("snapshot query");
+    let total = (readers * rounds * queries.len()) as f64;
+
+    // One reader's fixed work: `rounds` passes over the batch, with a
+    // correctness cross-check on the first pass (same cost in both
+    // regimes, so the retained fraction stays apples-to-apples).
+    let reader_work = |_: usize| {
+        let start = Instant::now();
+        for round in 0..rounds {
+            let got = snap.range_query_batch(queries).expect("snapshot query");
+            if round == 0 {
+                assert_eq!(got, expected, "snapshot read diverged");
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // Quiesced: readers only, nothing else running.
+    let quiesced_secs = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| s.spawn(move || reader_work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .fold(0.0, f64::max)
+    });
+
+    // Storm: the same readers while the writer commits ticks.
+    let mut t = 400.0;
+    let mut tick_secs = 0.0;
+    let storm_secs = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..readers)
+            .map(|r| s.spawn(move || reader_work(r)))
+            .collect();
+        let start = Instant::now();
+        for _ in 0..n_ticks {
+            t += 60.0;
+            vp.apply_updates(&workload.tick(t)).expect("tick");
+        }
+        tick_secs = start.elapsed().as_secs_f64();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .fold(0.0, f64::max)
+    });
+
+    (
+        total / quiesced_secs,
+        total / storm_secs,
+        n_ticks as f64 / tick_secs,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -346,6 +418,66 @@ fn main() {
         metrics.push((format!("{}_knn_reads_per_search", backend.label()), reads));
     }
     knn_table.print();
+
+    // Snapshot readers under a concurrent tick storm (HTAP mode).
+    let (storm_rounds, storm_readers, storm_ticks) = if quick { (3, 2, 2) } else { (8, 4, 8) };
+    let storm_queries = make_queries(0x57021, batch, radius, 140.0);
+    let mut storm_table = Table::new(&[
+        "index",
+        "quiesced",
+        "under storm",
+        "unit",
+        "retained",
+        "ticks/s",
+    ]);
+    for backend in [TickBackend::Bx, TickBackend::Tpr] {
+        let pool = pressured_pool(&dir, &format!("{}-storm", backend.label()), pool_pages);
+        let (quiesced, storm, tps) = match backend {
+            TickBackend::Bx => {
+                let mut vp = workload.build_on(pool, 1);
+                vp.apply_updates(&workload.tick(130.0)).expect("tick");
+                measure_tick_storm(
+                    &mut vp,
+                    &workload,
+                    &storm_queries,
+                    storm_rounds,
+                    storm_readers,
+                    storm_ticks,
+                )
+            }
+            TickBackend::Tpr => {
+                let mut vp = workload.build_tpr_on(pool, 1);
+                vp.apply_updates(&workload.tick(130.0)).expect("tick");
+                measure_tick_storm(
+                    &mut vp,
+                    &workload,
+                    &storm_queries,
+                    storm_rounds,
+                    storm_readers,
+                    storm_ticks,
+                )
+            }
+        };
+        storm_table.row(vec![
+            backend.label().into(),
+            fmt(quiesced),
+            fmt(storm),
+            "queries/s".into(),
+            format!("{}x", fmt(storm / quiesced)),
+            fmt(tps),
+        ]);
+        metrics.push((
+            format!("{}_storm_quiesced_reader_qps", backend.label()),
+            quiesced,
+        ));
+        metrics.push((format!("{}_storm_reader_qps", backend.label()), storm));
+        metrics.push((
+            format!("{}_storm_retained", backend.label()),
+            storm / quiesced,
+        ));
+        metrics.push((format!("{}_storm_ticks_per_s", backend.label()), tps));
+    }
+    storm_table.print();
 
     let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     write_bench_json(&out_path, "query_batch", &metric_refs).expect("write bench json");

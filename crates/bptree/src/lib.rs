@@ -22,6 +22,8 @@
 
 pub mod node;
 pub mod tree;
+pub mod view;
 
 pub use node::{InternalView, InternalViewMut, Key128, LeafView, LeafViewMut, Value, VALUE_LEN};
 pub use tree::{BPlusTree, BatchOp, BatchOutcome};
+pub use view::BPlusTreeSnapshot;

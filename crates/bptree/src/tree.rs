@@ -28,7 +28,8 @@ use std::sync::Arc;
 
 use vp_storage::{AtomicIoStats, BufferPool, IoStats, PageId, StorageError, StorageResult};
 
-use crate::node::{BLayout, BNode, InternalView, Key128, LeafView, LeafViewMut, Value};
+use crate::node::{BLayout, BNode, Key128, LeafViewMut, Value};
+use crate::view::{BPlusTreeSnapshot, ReadView};
 
 /// A disk-paged B+-tree with 128-bit keys and fixed-size values.
 ///
@@ -161,17 +162,21 @@ impl BPlusTree {
 
     // ----- descent ------------------------------------------------------
 
+    /// The tree's read machinery bound to the live pool (see
+    /// [`ReadView`] — snapshots bind the same code to a
+    /// [`vp_storage::PageSnapshot`]).
+    fn view(&self) -> ReadView<'_, BufferPool> {
+        ReadView {
+            pages: &*self.pool,
+            root: self.root,
+            height: self.height,
+        }
+    }
+
     /// Walks from the root to the leaf owning `key` via zero-copy
     /// [`InternalView`] binary searches.
     fn descend_to_leaf(&self, key: Key128) -> StorageResult<PageId> {
-        let mut pid = self.root;
-        for _ in 1..self.height {
-            pid = self.pool.with_page(pid, |buf| -> StorageResult<PageId> {
-                let v = InternalView::parse(buf)?;
-                Ok(v.child_at(v.child_for(key)))
-            })??;
-        }
-        Ok(pid)
+        self.view().descend_to_leaf(key)
     }
 
     // ----- lookup -------------------------------------------------------
@@ -179,13 +184,35 @@ impl BPlusTree {
     /// Returns the value stored for `key`, if any. Zero-copy: the
     /// descent and the leaf probe never decode a node.
     pub fn get(&self, key: Key128) -> StorageResult<Option<Value>> {
-        self.track(|t| {
-            let leaf = t.descend_to_leaf(key)?;
-            t.pool.with_page(leaf, |buf| -> StorageResult<_> {
-                let v = LeafView::parse(buf)?;
-                Ok(v.search(key).ok().map(|i| *v.value_at(i)))
-            })?
-        })
+        self.track(|t| t.view().get(key))
+    }
+
+    // ----- snapshots ----------------------------------------------------
+
+    /// Takes a lock-free point-in-time read handle on the tree,
+    /// switching the shared pool into versioned mode on first use.
+    ///
+    /// Publishes any still-uncommitted writes as a fresh committed
+    /// epoch first (the caller holds `&self`, so no write is in
+    /// flight), then pins that epoch. The snapshot serves
+    /// [`BPlusTreeSnapshot::get`] / range scans against the pinned
+    /// state no matter how the live tree is mutated — or committed —
+    /// afterwards.
+    pub fn snapshot(&self) -> BPlusTreeSnapshot {
+        self.pool.enable_versioning();
+        self.pool.commit_epoch();
+        BPlusTreeSnapshot::new(self.pool.page_snapshot(), self.root, self.height, self.len)
+    }
+
+    /// Publishes everything written so far as the next committed pool
+    /// epoch, making it visible to snapshots taken from now on and
+    /// letting the pool reclaim versions only departed readers pinned.
+    /// No-op until the pool is switched into versioned mode by the
+    /// first [`BPlusTree::snapshot`] call.
+    pub fn publish_epoch(&self) {
+        if self.pool.is_versioned() {
+            self.pool.commit_epoch();
+        }
     }
 
     // ----- insert -------------------------------------------------------
@@ -855,35 +882,9 @@ impl BPlusTree {
         &self,
         lo: Key128,
         hi: Key128,
-        mut f: impl FnMut(Key128, &Value),
+        f: impl FnMut(Key128, &Value),
     ) -> StorageResult<usize> {
-        self.track(|t| {
-            if hi < lo {
-                return Ok(0);
-            }
-            let mut pid = t.descend_to_leaf(lo)?;
-            let mut count = 0usize;
-            loop {
-                let next = t
-                    .pool
-                    .with_page(pid, |buf| -> StorageResult<Option<PageId>> {
-                        let v = LeafView::parse(buf)?;
-                        for i in v.lower_bound(lo)..v.count() {
-                            let k = v.key_at(i);
-                            if k > hi {
-                                return Ok(None);
-                            }
-                            f(k, v.value_at(i));
-                            count += 1;
-                        }
-                        Ok(Some(v.next()).filter(|n| n.is_valid()))
-                    })??;
-                match next {
-                    Some(n) => pid = n,
-                    None => return Ok(count),
-                }
-            }
-        })
+        self.track(|t| t.view().range_scan(lo, hi, f))
     }
 
     /// Answers many `[lo, hi]` key ranges in **one shared sweep**:
@@ -905,92 +906,9 @@ impl BPlusTree {
     pub fn range_scan_batch(
         &self,
         ranges: &[(Key128, Key128)],
-        mut f: impl FnMut(usize, Key128, &Value),
+        f: impl FnMut(usize, Key128, &Value),
     ) -> StorageResult<usize> {
-        /// What the per-leaf visit tells the sweep loop to do next.
-        enum Step {
-            /// All ranges exhausted (or the chain ended).
-            Done,
-            /// Keep walking the chain to this sibling.
-            Follow(PageId),
-            /// Nothing active and the next pending `lo` lies beyond
-            /// this leaf's keys: try a fresh root descent to skip the
-            /// gap (the sibling is the fallback when the descent
-            /// lands back on the same leaf — `lo` can sit between the
-            /// leaf's last key and its separator).
-            Redescend(PageId),
-        }
-
-        self.track(|t| {
-            // Process ranges in ascending-lo order without reordering
-            // the caller's indices.
-            let mut order: Vec<usize> = (0..ranges.len())
-                .filter(|&r| ranges[r].0 <= ranges[r].1)
-                .collect();
-            order.sort_by_key(|&r| ranges[r]);
-            let mut next = 0usize; // next entry of `order` to activate
-            let mut active: Vec<usize> = Vec::new();
-            let mut count = 0usize;
-            if order.is_empty() {
-                return Ok(0);
-            }
-            let mut pid = t.descend_to_leaf(ranges[order[0]].0)?;
-            loop {
-                let step = t.pool.with_page(pid, |buf| -> StorageResult<Step> {
-                    let v = LeafView::parse(buf)?;
-                    let mut slot = if active.is_empty() {
-                        v.lower_bound(ranges[order[next]].0)
-                    } else {
-                        0
-                    };
-                    'slots: while slot < v.count() {
-                        let k = v.key_at(slot);
-                        while next < order.len() && ranges[order[next]].0 <= k {
-                            active.push(order[next]);
-                            next += 1;
-                        }
-                        active.retain(|&r| ranges[r].1 >= k);
-                        if active.is_empty() {
-                            // Jump to the next pending range — within
-                            // this leaf when possible.
-                            let Some(&r) = order.get(next) else {
-                                return Ok(Step::Done);
-                            };
-                            let jump = v.lower_bound(ranges[r].0);
-                            debug_assert!(jump > slot, "pending lo is past k");
-                            slot = jump;
-                            if slot >= v.count() {
-                                break 'slots;
-                            }
-                            continue;
-                        }
-                        let value = v.value_at(slot);
-                        for &r in &active {
-                            f(r, k, value);
-                        }
-                        count += active.len();
-                        slot += 1;
-                    }
-                    let sibling = v.next();
-                    if !sibling.is_valid() || (active.is_empty() && next >= order.len()) {
-                        return Ok(Step::Done);
-                    }
-                    if active.is_empty() {
-                        // Don't chain through an uncovered gap.
-                        return Ok(Step::Redescend(sibling));
-                    }
-                    Ok(Step::Follow(sibling))
-                })??;
-                match step {
-                    Step::Done => return Ok(count),
-                    Step::Follow(sibling) => pid = sibling,
-                    Step::Redescend(sibling) => {
-                        let target = t.descend_to_leaf(ranges[order[next]].0)?;
-                        pid = if target == pid { sibling } else { target };
-                    }
-                }
-            }
-        })
+        self.track(|t| t.view().range_scan_batch(ranges, f))
     }
 
     // ----- bulk loading ---------------------------------------------------
@@ -1620,6 +1538,75 @@ mod tests {
     fn handle_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BPlusTree>();
+        assert_send_sync::<crate::BPlusTreeSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_writes() {
+        let mut t = BPlusTree::new(pool(256)).unwrap();
+        for i in 0..300u64 {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        let snap = t.snapshot();
+        // Mutate heavily after the snapshot: overwrites, deletes, and
+        // enough inserts to split leaves and grow the tree.
+        for i in 0..100u64 {
+            t.delete(key(i)).unwrap();
+        }
+        for i in 300..900u64 {
+            t.insert(key(i), val(i + 1)).unwrap();
+        }
+        // The snapshot still answers exactly as of its epoch.
+        assert_eq!(snap.len(), 300);
+        for i in 0..300u64 {
+            assert_eq!(snap.get(key(i)).unwrap(), Some(val(i)), "key {i}");
+        }
+        assert_eq!(snap.get(key(500)).unwrap(), None);
+        let mut seen = 0usize;
+        snap.range_scan(Key128::MIN, Key128::MAX, |k, v| {
+            let n = u64::from_le_bytes(v[..8].try_into().unwrap());
+            assert_eq!(k, key(n));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 300);
+        // The live tree sees the new state.
+        assert_eq!(t.get(key(0)).unwrap(), None);
+        assert_eq!(t.get(key(500)).unwrap(), Some(val(501)));
+        // A fresh snapshot sees it too, and the two coexist.
+        let snap2 = t.snapshot();
+        assert_eq!(snap2.get(key(0)).unwrap(), None);
+        assert_eq!(snap2.get(key(500)).unwrap(), Some(val(501)));
+        assert_eq!(snap.get(key(0)).unwrap(), Some(val(0)));
+    }
+
+    #[test]
+    fn snapshot_readable_while_writer_thread_mutates() {
+        let mut t = BPlusTree::new(pool(256)).unwrap();
+        for i in 0..400u64 {
+            t.insert(key(i), val(i)).unwrap();
+        }
+        let snap = t.snapshot();
+        std::thread::scope(|s| {
+            let reader = s.spawn(move || {
+                for _ in 0..20 {
+                    for i in (0..400u64).step_by(7) {
+                        assert_eq!(snap.get(key(i)).unwrap(), Some(val(i)));
+                    }
+                    let mut n = 0;
+                    snap.range_scan(key(0), key(399), |_, _| n += 1).unwrap();
+                    assert_eq!(n, 400);
+                }
+            });
+            for i in 400..1200u64 {
+                t.insert(key(i), val(i)).unwrap();
+            }
+            for i in (0..400u64).step_by(2) {
+                t.delete(key(i)).unwrap();
+            }
+            reader.join().unwrap();
+        });
+        assert_eq!(t.len(), 1000);
     }
 
     fn val(n: u64) -> Value {

@@ -17,8 +17,10 @@
 
 pub mod curve;
 pub mod grid;
+pub mod snapshot;
 pub mod tree;
 
 pub use curve::{CurveKind, HilbertCurve, SpaceFillingCurve, ZCurve};
 pub use grid::VelocityGrid;
+pub use snapshot::BxSnapshot;
 pub use tree::{BxConfig, BxEnlargement, BxTree, EnlargedWindow};

@@ -22,12 +22,15 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use vp_bptree::{BPlusTree, BatchOp, Key128, Value};
-use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
+use vp_core::{
+    IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery, SnapshotIndex,
+};
 use vp_geom::{Point, Rect, Vec2};
 use vp_storage::{BufferPool, IoStats};
 
 use crate::curve::{CurveKind, HilbertCurve, SpaceFillingCurve, ZCurve};
 use crate::grid::VelocityGrid;
+use crate::snapshot::{BxSnapshot, BxView};
 
 /// Bx-tree configuration.
 #[derive(Debug, Clone)]
@@ -78,20 +81,20 @@ impl Default for BxConfig {
     }
 }
 
-enum Curve {
+pub(crate) enum Curve {
     Hilbert(HilbertCurve),
     Z(ZCurve),
 }
 
 impl Curve {
-    fn encode(&self, x: u32, y: u32) -> u64 {
+    pub(crate) fn encode(&self, x: u32, y: u32) -> u64 {
         match self {
             Curve::Hilbert(c) => c.encode(x, y),
             Curve::Z(c) => c.encode(x, y),
         }
     }
 
-    fn ranges(&self, x0: u32, y0: u32, x1: u32, y1: u32, max: usize) -> Vec<(u64, u64)> {
+    pub(crate) fn ranges(&self, x0: u32, y0: u32, x1: u32, y1: u32, max: usize) -> Vec<(u64, u64)> {
         match self {
             Curve::Hilbert(c) => c.ranges(x0, y0, x1, y1, max),
             Curve::Z(c) => c.ranges(x0, y0, x1, y1, max),
@@ -101,7 +104,7 @@ impl Curve {
 
 /// An inclusive rectangle of qualifying curve-grid cells,
 /// `(cx0, cy0, cx1, cy1)`.
-type CellSpan = (u32, u32, u32, u32);
+pub(crate) type CellSpan = (u32, u32, u32, u32);
 
 /// One bucket's enlarged query window (diagnostics for the paper's
 /// Figure 7: query expansion rates).
@@ -236,7 +239,7 @@ impl BxTree {
     }
 
     /// Label timestamp (end) of a bucket.
-    fn label_cfg(config: &BxConfig, seq: u64) -> f64 {
+    pub(crate) fn label_cfg(config: &BxConfig, seq: u64) -> f64 {
         seq as f64 * Self::bucket_duration_cfg(config)
     }
 
@@ -245,7 +248,7 @@ impl BxTree {
     }
 
     /// Cell coordinates of a position on the curve grid (clamped).
-    fn cell_cfg(config: &BxConfig, p: Point) -> (u32, u32) {
+    pub(crate) fn cell_cfg(config: &BxConfig, p: Point) -> (u32, u32) {
         let side = (1u32 << config.lambda) as f64;
         let d = &config.domain;
         let fx = ((p.x - d.lo.x) / d.width()).clamp(0.0, 1.0);
@@ -292,7 +295,7 @@ impl BxTree {
         v
     }
 
-    fn decode_value(v: &Value) -> (Point, Vec2, f64) {
+    pub(crate) fn decode_value(v: &Value) -> (Point, Vec2, f64) {
         let f = |r: std::ops::Range<usize>| f64::from_le_bytes(v[r].try_into().unwrap());
         (
             Point::new(f(0..8), f(8..16)),
@@ -321,22 +324,12 @@ impl BxTree {
         }
     }
 
-    /// Clamps a window's corners into the domain (degenerating to an
-    /// edge strip when fully outside — clamped object cells live there).
-    fn clamp_window(&self, w: &Rect) -> Rect {
-        let d = &self.config.domain;
-        Rect {
-            lo: w.lo.max(d.lo).min(d.hi),
-            hi: w.hi.max(d.lo).min(d.hi),
-        }
-    }
-
     /// Sample times at which the enlargement must be evaluated so that
     /// its bounding box covers every instant of the query window. The
     /// reach rectangle's corners are piecewise-linear in `t` with a
     /// single kink at `t = label` (where the enlargement changes sign),
     /// so the endpoints plus that kink suffice.
-    fn sample_rects(query: &RangeQuery, label: f64) -> Vec<(f64, Rect)> {
+    pub(crate) fn sample_rects(query: &RangeQuery, label: f64) -> Vec<(f64, Rect)> {
         let region = query.region.bounding_rect();
         let rect_at = |te: f64| -> Rect {
             let d = query.velocity * (te - query.region_ref_time);
@@ -358,7 +351,7 @@ impl BxTree {
     /// Bounding box of the enlargement over all sample times for the
     /// given velocity bounds — a sound superset of where a candidate's
     /// label position can be.
-    fn reach_bbox(samples: &[(f64, Rect)], label: f64, bounds: (Vec2, Vec2)) -> Rect {
+    pub(crate) fn reach_bbox(samples: &[(f64, Rect)], label: f64, bounds: (Vec2, Vec2)) -> Rect {
         let mut w = Rect::EMPTY;
         for (te, r) in samples {
             w = w.union(&Self::enlarge(r, label - te, bounds));
@@ -366,105 +359,38 @@ impl BxTree {
         w
     }
 
-    /// The domain rectangle of a histogram cell at a pyramid level,
-    /// with edge cells extended to infinity — positions outside the
-    /// domain clamp onto the boundary cells of both grids, so those
-    /// cells stand in for everything beyond the edge.
-    fn hist_cell_rect_extended(&self, level: usize, hx: usize, hy: usize) -> Rect {
-        let mut r = self.hist.cell_rect_at(level, hx, hy);
-        let n = self.hist.cells_per_axis_at(level);
-        if hx == 0 {
-            r.lo.x = f64::NEG_INFINITY;
-        }
-        if hy == 0 {
-            r.lo.y = f64::NEG_INFINITY;
-        }
-        if hx + 1 == n {
-            r.hi.x = f64::INFINITY;
-        }
-        if hy + 1 == n {
-            r.hi.y = f64::INFINITY;
-        }
-        r
-    }
-
-    /// Collects the curve-grid regions that could hold a candidate
-    /// for one bucket. A curve cell qualifies when an object indexed
-    /// there (its label position falls in the cell) moving within the
-    /// velocity bounds *recorded for its histogram cell* could
-    /// intersect the query region at some endpoint — the "enlarge
-    /// according to the max/min velocity in the region it covers"
-    /// rule of Section 3.2, evaluated per histogram cell. This is
-    /// sound (every candidate's label position lies in exactly one
-    /// histogram cell, whose bounds cover its velocity) and keeps a
-    /// distant speeder from inflating unrelated queries.
-    ///
-    /// The evaluation descends the histogram's bounds **pyramid**: a
-    /// region is pruned as soon as its (superset) coarse bounds cannot
-    /// reach the query, so the cost scales with the qualifying region
-    /// rather than the enlarged window. Each qualifying finest-level
-    /// histogram cell yields its curve cells as one inclusive
-    /// rectangle `(cx0, cy0, cx1, cy1)`; rectangles from adjacent
-    /// histogram cells may overlap by a boundary row/column, and
-    /// consumers de-duplicate.
-    ///
-    /// Returns `(cell rectangles, bounding box in domain space)`, or
-    /// `None` when nothing qualifies.
-    fn qualifying_regions(&self, query: &RangeQuery, label: f64) -> Option<(Vec<CellSpan>, Rect)> {
-        let samples = Self::sample_rects(query, label);
-        self.hist.global_bounds()?;
-        let mut spans = Vec::new();
-        let mut bbox = Rect::EMPTY;
-        let root = self.hist.levels() - 1;
-        let mut stack: Vec<(usize, usize, usize)> = vec![(root, 0, 0)];
-        while let Some((level, hx, hy)) = stack.pop() {
-            let Some(bounds) = self.hist.cell_bounds_at(level, hx, hy) else {
-                continue;
-            };
-            let reach = Self::reach_bbox(&samples, label, bounds);
-            let region = self
-                .hist_cell_rect_extended(level, hx, hy)
-                .intersection(&reach);
-            if region.is_empty() {
-                continue;
-            }
-            if level > 0 {
-                let child_n = self.hist.cells_per_axis_at(level - 1);
-                for dy in 0..2usize {
-                    for dx in 0..2usize {
-                        let (cx, cy) = (hx * 2 + dx, hy * 2 + dy);
-                        if cx < child_n && cy < child_n {
-                            stack.push((level - 1, cx, cy));
-                        }
-                    }
-                }
-                continue;
-            }
-            // Clamping maps out-of-domain strips onto the boundary
-            // cells, mirroring how label positions clamp.
-            let clamped = self.clamp_window(&region);
-            let (cx0, cy0) = self.cell_of(clamped.lo);
-            let (cx1, cy1) = self.cell_of(clamped.hi);
-            spans.push((cx0, cy0, cx1, cy1));
-            bbox = bbox.union(&clamped);
-        }
-        if spans.is_empty() {
-            None
-        } else {
-            Some((spans, bbox))
+    /// A read view over the live planner state and B+-tree — the
+    /// machinery shared with [`BxSnapshot`]; see [`crate::snapshot`].
+    fn view(&self) -> BxView<'_, BPlusTree> {
+        BxView {
+            config: &self.config,
+            curve: &self.curve,
+            hist: &self.hist,
+            buckets: &self.buckets,
+            btree: &self.btree,
         }
     }
 
     /// The enlarged windows a query would scan, per live bucket —
     /// diagnostics for the paper's Figure 7 (query expansion rates).
-    /// `enlarged` is the bounding box of the qualifying cells.
+    /// `enlarged` is the bounding box of the qualifying cells: a curve
+    /// cell qualifies when an object indexed there (its label position
+    /// falls in the cell) moving within the velocity bounds *recorded
+    /// for its histogram cell* could intersect the query region at
+    /// some endpoint — the "enlarge according to the max/min velocity
+    /// in the region it covers" rule of Section 3.2, evaluated per
+    /// histogram cell. This is sound (every candidate's label position
+    /// lies in exactly one histogram cell, whose bounds cover its
+    /// velocity) and keeps a distant speeder from inflating unrelated
+    /// queries.
     pub fn enlarged_windows(&self, query: &RangeQuery) -> Vec<EnlargedWindow> {
         let region = query.region.bounding_rect();
+        let view = self.view();
         self.buckets
             .keys()
             .filter_map(|&seq| {
                 let label = self.label_of(seq);
-                self.qualifying_regions(query, label)
+                view.qualifying_regions(query, label)
                     .map(|(_, bbox)| EnlargedWindow {
                         bucket_seq: seq,
                         label,
@@ -473,71 +399,6 @@ impl BxTree {
                     })
             })
             .collect()
-    }
-
-    /// The curve-value ranges a query scans in bucket `seq` — the
-    /// qualifying-region computation plus the enlargement strategy's
-    /// decomposition, shared by the single, batched, and incremental
-    /// query paths (all three must agree exactly: the incremental kNN
-    /// path subtracts an earlier probe's ranges by recomputing them
-    /// through this function). Ranges are disjoint, merged, and
-    /// ascending. `None` when no cell qualifies.
-    fn scan_ranges(&self, query: &RangeQuery, seq: u64) -> Option<Vec<(u64, u64)>> {
-        let label = self.label_of(seq);
-        let (spans, _bbox) = self.qualifying_regions(query, label)?;
-        let ranges = match self.config.enlargement {
-            BxEnlargement::Window => {
-                // The paper's single enlarged window: the bounding
-                // rectangle of all qualifying cells, decomposed into
-                // curve ranges.
-                let (mut cx0, mut cy0, mut cx1, mut cy1) = spans[0];
-                for &(ax0, ay0, ax1, ay1) in &spans {
-                    cx0 = cx0.min(ax0);
-                    cy0 = cy0.min(ay0);
-                    cx1 = cx1.max(ax1);
-                    cy1 = cy1.max(ay1);
-                }
-                self.curve
-                    .ranges(cx0, cy0, cx1, cy1, self.config.max_scan_ranges)
-            }
-            BxEnlargement::CellSet => {
-                // Ablation: linearize exactly the qualifying cells
-                // (merge adjacent values; bridge the smallest gaps
-                // down to the scan budget).
-                let mut values: Vec<u64> = Vec::new();
-                for &(ax0, ay0, ax1, ay1) in &spans {
-                    for cy in ay0..=ay1 {
-                        for cx in ax0..=ax1 {
-                            values.push(self.curve.encode(cx, cy));
-                        }
-                    }
-                }
-                values.sort_unstable();
-                values.dedup();
-                let mut ranges: Vec<(u64, u64)> = Vec::new();
-                for v in values {
-                    match ranges.last_mut() {
-                        Some((_, b)) if v <= *b + 1 => *b = (*b).max(v),
-                        _ => ranges.push((v, v)),
-                    }
-                }
-                while ranges.len() > self.config.max_scan_ranges.max(1) {
-                    let mut best = 1usize;
-                    let mut best_gap = u64::MAX;
-                    for i in 1..ranges.len() {
-                        let gap = ranges[i].0 - ranges[i - 1].1;
-                        if gap < best_gap {
-                            best_gap = gap;
-                            best = i;
-                        }
-                    }
-                    let (_, b) = ranges.remove(best);
-                    ranges[best - 1].1 = ranges[best - 1].1.max(b);
-                }
-                ranges
-            }
-        };
-        Some(ranges)
     }
 
     /// Rebuilds the velocity histogram from the indexed objects
@@ -668,27 +529,7 @@ impl MovingObjectIndex for BxTree {
     }
 
     fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
-        let mut out = Vec::new();
-        for &seq in self.buckets.keys() {
-            let Some(ranges) = self.scan_ranges(query, seq) else {
-                continue;
-            };
-            let seq_base = seq << (2 * self.config.lambda);
-            for (a, b) in ranges {
-                let lo = Key128::new(seq_base | a, 0);
-                let hi = Key128::new(seq_base | b, u64::MAX);
-                self.btree
-                    .range_scan(lo, hi, |k, v| {
-                        let (pos, vel, lab) = Self::decode_value(v);
-                        let obj = MovingObject::new(k.lo, pos, vel, lab);
-                        if query.matches(&obj) {
-                            out.push(k.lo);
-                        }
-                    })
-                    .map_err(IndexError::from)?;
-            }
-        }
-        Ok(out)
+        self.view().range_query(query)
     }
 
     /// Shared leaf sweep over the whole batch: every query's curve
@@ -699,48 +540,7 @@ impl MovingObjectIndex for BxTree {
     /// [`MovingObjectIndex::range_query`] — same candidates, same
     /// exact filter, same (key-ascending per bucket) order.
     fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
-        let mut results: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
-        for &seq in self.buckets.keys() {
-            let seq_base = seq << (2 * self.config.lambda);
-            let mut key_ranges: Vec<(Key128, Key128)> = Vec::new();
-            let mut owner: Vec<usize> = Vec::new();
-            for (qi, query) in queries.iter().enumerate() {
-                let Some(ranges) = self.scan_ranges(query, seq) else {
-                    continue;
-                };
-                for (a, b) in ranges {
-                    key_ranges.push((
-                        Key128::new(seq_base | a, 0),
-                        Key128::new(seq_base | b, u64::MAX),
-                    ));
-                    owner.push(qi);
-                }
-            }
-            if key_ranges.is_empty() {
-                continue;
-            }
-            // The sweep reports an entry shared by several queries as
-            // consecutive calls with the same key: decode it once.
-            let mut last: Option<(Key128, MovingObject)> = None;
-            self.btree
-                .range_scan_batch(&key_ranges, |ri, k, v| {
-                    let qi = owner[ri];
-                    let obj = match &last {
-                        Some((lk, obj)) if *lk == k => *obj,
-                        _ => {
-                            let (pos, vel, lab) = Self::decode_value(v);
-                            let obj = MovingObject::new(k.lo, pos, vel, lab);
-                            last = Some((k, obj));
-                            obj
-                        }
-                    };
-                    if queries[qi].matches(&obj) {
-                        results[qi].push(k.lo);
-                    }
-                })
-                .map_err(IndexError::from)?;
-        }
-        Ok(results)
+        self.view().range_query_batch(queries)
     }
 
     /// Incremental kNN candidates: scans only the **delta ring** —
@@ -757,25 +557,7 @@ impl MovingObjectIndex for BxTree {
         query: &RangeQuery,
         covered: Option<&RangeQuery>,
     ) -> IndexResult<Vec<ObjectId>> {
-        let mut out = Vec::new();
-        for &seq in self.buckets.keys() {
-            let Some(ranges) = self.scan_ranges(query, seq) else {
-                continue;
-            };
-            let ranges = match covered.and_then(|c| self.scan_ranges(c, seq)) {
-                Some(done) => subtract_ranges(&ranges, &done),
-                None => ranges,
-            };
-            let seq_base = seq << (2 * self.config.lambda);
-            for (a, b) in ranges {
-                let lo = Key128::new(seq_base | a, 0);
-                let hi = Key128::new(seq_base | b, u64::MAX);
-                self.btree
-                    .range_scan(lo, hi, |k, _v| out.push(k.lo))
-                    .map_err(IndexError::from)?;
-            }
-        }
-        Ok(out)
+        self.view().knn_candidates(query, covered)
     }
 
     fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
@@ -807,12 +589,36 @@ impl MovingObjectIndex for BxTree {
     fn flush_storage(&self) -> IndexResult<()> {
         self.btree.checkpoint().map_err(IndexError::from)
     }
+
+    fn publish_epoch(&self) {
+        self.btree.publish_epoch();
+    }
+}
+
+impl SnapshotIndex for BxTree {
+    type Snapshot = BxSnapshot;
+
+    /// Captures the tree's current state: the query planner's state
+    /// (configuration, curve, velocity histogram, bucket census) is
+    /// cloned under `&self`, and the underlying B+-tree publishes its
+    /// writes as a fresh committed pool epoch and pins it. Cheap — no
+    /// page copies; resident pages are shared by refcount.
+    fn snapshot(&self) -> IndexResult<BxSnapshot> {
+        Ok(BxSnapshot {
+            config: self.config.clone(),
+            curve: Self::make_curve(&self.config),
+            hist: self.hist.clone(),
+            buckets: self.buckets.clone(),
+            btree: self.btree.snapshot(),
+            len: self.keys.len(),
+        })
+    }
 }
 
 /// Interval-set difference `a \ b` over inclusive `(lo, hi)` u64
 /// ranges. Both inputs must be disjoint and ascending (the shape
-/// [`BxTree::scan_ranges`] produces); the result is too.
-fn subtract_ranges(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+/// the scan-range decomposition produces); the result is too.
+pub(crate) fn subtract_ranges(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
     let mut out = Vec::with_capacity(a.len());
     let mut bi = 0usize;
     for &(alo, ahi) in a {

@@ -370,11 +370,17 @@ pub(crate) fn decode_tick_commit(payload: &[u8]) -> IndexResult<(usize, usize)> 
 /// the directory — the atomic-publish dance.
 ///
 /// Failure at **any** step — temp write (including a torn one or
-/// ENOSPC), temp fsync, or the rename itself — leaves whatever file
-/// previously held `name` untouched: the new bytes only become
-/// visible through the final atomic rename. The temp file is removed
-/// best-effort on the error path so a failed publish can't strand
-/// `.tmp` litter that a later publish would trip over.
+/// ENOSPC), temp fsync, the rename itself, or the post-rename
+/// directory fsync — surfaces as an error and leaves whatever file
+/// previously held `name` valid: the new bytes only become visible
+/// through the final atomic rename, and until the *directory* entry
+/// is synced a crash may legally resurrect the old file, so a failed
+/// directory sync must not report the publish as durable. The temp
+/// file is removed best-effort on the error path so a failed publish
+/// can't strand `.tmp` litter that a later publish would trip over.
+///
+/// Fault-injection sites: `"ckpt"` for the temp write/fsync/rename,
+/// `"ckpt:dir"` ([`FaultOp::Sync`]) for the directory fsync.
 fn write_file_atomic(
     dir: &Path,
     name: &str,
@@ -419,8 +425,15 @@ fn write_file_atomic(
         let _ = fs::remove_file(&tmp);
         return Err(e);
     }
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
+    // The rename is only durable once the directory entry itself is
+    // synced; swallowing a failure here would report a publish as
+    // durable that a crash could still undo.
+    match fault.and_then(|h| h.check("ckpt:dir", FaultOp::Sync)) {
+        Some(kind) => return Err(kind.to_error("ckpt:dir", FaultOp::Sync).into()),
+        None => {
+            let d = fs::File::open(dir).map_err(io_err)?;
+            d.sync_all().map_err(io_err)?;
+        }
     }
     Ok(())
 }
@@ -801,7 +814,7 @@ impl<I> VpIndex<I> {
                     )));
                 }
                 vp.assignment.insert(obj.id, *p);
-                vp.objects.insert(obj.id, *obj);
+                std::sync::Arc::make_mut(&mut vp.objects).insert(obj.id, *obj);
                 buckets[*p].push(obj.to_frame(&vp.specs[*p].frame));
             }
             for (p, batch) in buckets.iter().enumerate() {
@@ -934,6 +947,12 @@ impl<I> VpIndex<I> {
         // Only after the snapshot is durably published may the log
         // and older snapshots shrink.
         prune_checkpoints_below(&d.dir, seq)?;
+        // The checkpoint snapshot subsumes every meta record at or
+        // below `seq` — including single-op inserts/deletes, which are
+        // small and may never push the active segment over its roll
+        // threshold. Seal it so that dead prefix becomes a
+        // truncatable segment instead of riding along forever.
+        d.meta.seal_active()?;
         d.meta.truncate_below(seq + 1)?;
         for wal in &mut d.parts {
             wal.truncate_below(seq + 1)?;
@@ -1003,7 +1022,7 @@ impl<I> VpIndex<I> {
             }
             for obj in upserts {
                 self.assignment.insert(obj.id, *p);
-                self.objects.insert(obj.id, *obj);
+                std::sync::Arc::make_mut(&mut self.objects).insert(obj.id, *obj);
                 self.record_perp_speed(obj.vel);
             }
         }

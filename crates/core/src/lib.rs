@@ -47,8 +47,8 @@ pub use durable::RecoveryReport;
 pub use error::{IndexError, IndexResult};
 pub use histogram::CumulativeHistogram;
 pub use knn::{knn_at, knn_batch, KnnQuery, Neighbor};
-pub use manager::{Health, PartitionId, PartitionSpec, VpIndex};
+pub use manager::{Health, PartitionId, PartitionSpec, VpIndex, VpSnapshot};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};
-pub use traits::MovingObjectIndex;
+pub use traits::{IndexSnapshot, MovingObjectIndex, SnapshotIndex};
 pub use vp_wal::SyncPolicy;

@@ -25,6 +25,7 @@
 //! index is a drop-in replacement for its unpartitioned counterpart.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use vp_geom::{Frame, Rect, Vec2};
 use vp_storage::IoStats;
@@ -38,7 +39,7 @@ use crate::histogram::CumulativeHistogram;
 use crate::object::{MovingObject, ObjectId};
 use crate::query::RangeQuery;
 use crate::tau::optimal_tau;
-use crate::traits::MovingObjectIndex;
+use crate::traits::{IndexSnapshot, MovingObjectIndex, SnapshotIndex};
 
 /// Index of a partition inside a [`VpIndex`]: `0..k` are DVA
 /// partitions, `k` is the outlier partition.
@@ -120,8 +121,11 @@ pub struct VpIndex<I> {
     /// table" of Section 5.3).
     pub(crate) assignment: HashMap<ObjectId, PartitionId>,
     /// World-space state of each live object, used for exact query
-    /// filtering and for delete/update routing.
-    pub(crate) objects: HashMap<ObjectId, MovingObject>,
+    /// filtering and for delete/update routing. Behind an [`Arc`] so a
+    /// [`VpSnapshot`] captures it by reference count; the copy-on-write
+    /// ([`Arc::make_mut`]) at mutation sites only pays for a deep clone
+    /// while a snapshot is actually alive.
+    pub(crate) objects: Arc<HashMap<ObjectId, MovingObject>>,
     /// Online per-DVA histograms of perpendicular speeds (Section 5.5).
     pub(crate) perp_hists: Vec<CumulativeHistogram>,
     /// WAL streams and checkpoint bookkeeping; `Some` only for indexes
@@ -189,7 +193,7 @@ impl<I> VpIndex<I> {
             specs,
             indexes,
             assignment: HashMap::new(),
-            objects: HashMap::new(),
+            objects: Arc::new(HashMap::new()),
             perp_hists,
             durability: None,
             health: Health::Healthy,
@@ -210,7 +214,7 @@ impl<I> VpIndex<I> {
             specs,
             indexes,
             assignment: HashMap::new(),
-            objects: HashMap::new(),
+            objects: Arc::new(HashMap::new()),
             perp_hists,
             durability: None,
             health: Health::Healthy,
@@ -490,17 +494,25 @@ impl<I> VpIndex<I> {
                 world[p].push(*obj);
             }
             self.assignment.insert(obj.id, p);
-            self.objects.insert(obj.id, *obj);
+            Arc::make_mut(&mut self.objects).insert(obj.id, *obj);
             self.record_perp_speed(obj.vel);
         }
 
         match self.run_tick(&removals, &upserts, &world, latest.len(), log_seq) {
             Ok(want_ckpt) => {
-                // The tick is committed; an error from the automatic
-                // checkpoint below must NOT roll it back (the publish
-                // path leaves the previous checkpoint + log intact, so
-                // the state is consistent — only the log didn't
-                // shrink).
+                // The tick is committed: publish the sub-indexes' new
+                // state as the next snapshot epoch. Ordering matters —
+                // the WAL TICK_COMMIT record is already durable (sealed
+                // inside run_tick), so a snapshot taken from here on
+                // only ever observes logged state; the epoch publish is
+                // the snapshot-visible commit point.
+                for i in &self.indexes {
+                    i.publish_epoch();
+                }
+                // An error from the automatic checkpoint below must
+                // NOT roll the tick back (the publish path leaves the
+                // previous checkpoint + log intact, so the state is
+                // consistent — only the log didn't shrink).
                 if want_ckpt {
                     self.checkpoint()?;
                 }
@@ -723,11 +735,11 @@ impl<I> VpIndex<I> {
         for (&id, pr) in prior {
             match pr {
                 Some((o, q)) => {
-                    self.objects.insert(id, *o);
+                    Arc::make_mut(&mut self.objects).insert(id, *o);
                     self.assignment.insert(id, *q);
                 }
                 None => {
-                    self.objects.remove(&id);
+                    Arc::make_mut(&mut self.objects).remove(&id);
                     self.assignment.remove(&id);
                 }
             }
@@ -917,13 +929,13 @@ impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
         let local = obj.to_frame(&self.specs[p].frame);
         self.indexes[p].insert(local)?;
         self.assignment.insert(obj.id, p);
-        self.objects.insert(obj.id, obj);
+        Arc::make_mut(&mut self.objects).insert(obj.id, obj);
         let sample = self.record_perp_speed(obj.vel);
         if let Err(e) = self.log_single(durable::KIND_INSERT, &durable::encode_object_record(&obj))
         {
             let undo = self.indexes[p].delete(obj.id);
             self.assignment.remove(&obj.id);
-            self.objects.remove(&obj.id);
+            Arc::make_mut(&mut self.objects).remove(&obj.id);
             if let Some((i, d)) = sample {
                 self.perp_hists[i].remove(d);
             }
@@ -940,14 +952,14 @@ impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
             .copied()
             .ok_or(IndexError::UnknownObject(id))?;
         self.indexes[p].delete(id)?;
-        let obj = self.objects.remove(&id);
+        let obj = Arc::make_mut(&mut self.objects).remove(&id);
         self.assignment.remove(&id);
         if let Err(e) = self.log_single(durable::KIND_DELETE, &durable::encode_delete_record(id)) {
             let undo = match obj {
                 Some(o) => {
                     let r = self.indexes[p].insert(o.to_frame(&self.specs[p].frame));
                     if r.is_ok() {
-                        self.objects.insert(id, o);
+                        Arc::make_mut(&mut self.objects).insert(id, o);
                         self.assignment.insert(id, p);
                     }
                     r
@@ -1048,6 +1060,235 @@ impl<I: MovingObjectIndex + Send + Sync> MovingObjectIndex for VpIndex<I> {
             i.flush_storage()?;
         }
         Ok(())
+    }
+
+    /// Publishes every sub-index's current state as its next committed
+    /// snapshot epoch. [`VpIndex::apply_updates`] calls this
+    /// automatically after each tick's WAL commit; call it manually
+    /// after direct single-object mutations if snapshots should
+    /// observe them before the next tick.
+    fn publish_epoch(&self) {
+        for i in &self.indexes {
+            i.publish_epoch();
+        }
+    }
+}
+
+/// A point-in-time, read-only view of a [`VpIndex`]: per-partition
+/// sub-index snapshots plus the world-space object table as of one
+/// committed epoch.
+///
+/// Obtained via [`VpIndex::snapshot`]. Queries run against it with
+/// **no tick coordination**: a concurrent [`VpIndex::apply_updates`]
+/// on another thread neither blocks the snapshot's readers nor leaks
+/// into their results — every query batch answers bit-identically to
+/// the same batch against the (quiesced) live index at capture time.
+/// The query hot path acquires no shared locks for pages resident at
+/// capture; storage reclaims the page versions the snapshot pins once
+/// it is dropped.
+///
+/// `VpSnapshot` also implements [`MovingObjectIndex`] (mutations
+/// return [`IndexError::ReadOnly`]) so the incremental kNN driver
+/// ([`crate::knn`]) and the benchmark harness run against snapshots
+/// unchanged.
+pub struct VpSnapshot<S> {
+    specs: Vec<PartitionSpec>,
+    indexes: Vec<S>,
+    objects: Arc<HashMap<ObjectId, MovingObject>>,
+    workers: usize,
+}
+
+impl<S: IndexSnapshot> VpSnapshot<S> {
+    /// The query in partition `p`'s coordinate frame (identity for
+    /// the outlier partition) — same transform as the live index.
+    fn query_in_frame(&self, p: usize, query: &RangeQuery) -> RangeQuery {
+        let spec = &self.specs[p];
+        if spec.is_outlier {
+            *query
+        } else {
+            query.to_frame(&spec.frame)
+        }
+    }
+
+    /// Batched range queries with the same per-partition fan-out —
+    /// and the same schedule-invariant, bit-identical results — as
+    /// [`VpIndex::range_query_batch`], evaluated on the captured
+    /// state.
+    pub fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<BatchResults> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let parts = self.specs.len();
+        let run = |p: usize| -> IndexResult<BatchResults> {
+            let local: Vec<RangeQuery> =
+                queries.iter().map(|q| self.query_in_frame(p, q)).collect();
+            let candidates = self.indexes[p].range_query_batch(&local)?;
+            let mut out: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+            for (qi, ids) in candidates.into_iter().enumerate() {
+                for id in ids {
+                    if let Some(obj) = self.objects.get(&id) {
+                        if queries[qi].matches(obj) {
+                            out[qi].push(id);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        };
+        let per_part: Vec<IndexResult<BatchResults>> = crate::fanout::lpt_fan_out(
+            (0..parts).collect(),
+            self.workers,
+            |&p| self.indexes[p].len(),
+            run,
+        );
+        let mut merged: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+        for part in per_part {
+            for (qi, ids) in part?.into_iter().enumerate() {
+                merged[qi].extend(ids);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Batched kNN over the captured state — same contract as
+    /// [`VpIndex::knn_batch`].
+    pub fn knn_batch(
+        &self,
+        queries: &[crate::knn::KnnQuery],
+        domain: &Rect,
+    ) -> IndexResult<Vec<Vec<crate::knn::Neighbor>>> {
+        crate::knn::knn_batch(self, queries, domain, self.workers)
+    }
+}
+
+impl<S: IndexSnapshot> MovingObjectIndex for VpSnapshot<S> {
+    fn insert(&mut self, obj: MovingObject) -> IndexResult<()> {
+        let _ = obj;
+        Err(IndexError::ReadOnly("snapshot is read-only".into()))
+    }
+
+    fn delete(&mut self, id: ObjectId) -> IndexResult<()> {
+        let _ = id;
+        Err(IndexError::ReadOnly("snapshot is read-only".into()))
+    }
+
+    fn update(&mut self, obj: MovingObject) -> IndexResult<()> {
+        let _ = obj;
+        Err(IndexError::ReadOnly("snapshot is read-only".into()))
+    }
+
+    fn update_batch(&mut self, updates: &[MovingObject]) -> IndexResult<()> {
+        let _ = updates;
+        Err(IndexError::ReadOnly("snapshot is read-only".into()))
+    }
+
+    fn remove_batch(&mut self, ids: &[ObjectId]) -> IndexResult<()> {
+        let _ = ids;
+        Err(IndexError::ReadOnly("snapshot is read-only".into()))
+    }
+
+    /// Algorithm 3 on the captured state: query every partition in its
+    /// own frame, merge, exact-filter in world space.
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        let mut results = Vec::new();
+        for (p, index) in self.indexes.iter().enumerate() {
+            let local = self.query_in_frame(p, query);
+            for id in index.range_query(&local)? {
+                if let Some(obj) = self.objects.get(&id) {
+                    if query.matches(obj) {
+                        results.push(id);
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        VpSnapshot::range_query_batch(self, queries)
+    }
+
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        for (p, index) in self.indexes.iter().enumerate() {
+            let local = self.query_in_frame(p, query);
+            let local_covered = covered.map(|c| self.query_in_frame(p, c));
+            out.extend(index.knn_candidates(&local, local_covered.as_ref())?);
+        }
+        Ok(out)
+    }
+
+    fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
+        Ok(self.objects.get(&id).copied())
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        IoStats::zero()
+    }
+
+    fn reset_io_stats(&self) {}
+}
+
+impl<S: IndexSnapshot> IndexSnapshot for VpSnapshot<S> {
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        MovingObjectIndex::range_query(self, query)
+    }
+
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        VpSnapshot::range_query_batch(self, queries)
+    }
+
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        MovingObjectIndex::knn_candidates(self, query, covered)
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+impl<I: SnapshotIndex> VpIndex<I> {
+    /// Captures a point-in-time, read-only [`VpSnapshot`] of the whole
+    /// partitioned index: one [`SnapshotIndex::snapshot`] per
+    /// sub-index (pinning each at its last committed epoch) plus the
+    /// world-space object table (an `Arc` bump — the live index
+    /// copy-on-writes it under snapshots).
+    ///
+    /// Works on a read-only index too ([`Health::ReadOnly`] refuses
+    /// mutations, not reads), so in-memory state stays queryable —
+    /// and snapshot-queryable — through a demotion.
+    pub fn snapshot(&self) -> IndexResult<VpSnapshot<I::Snapshot>> {
+        let indexes = self
+            .indexes
+            .iter()
+            .map(|i| i.snapshot())
+            .collect::<IndexResult<Vec<_>>>()?;
+        Ok(VpSnapshot {
+            specs: self.specs.clone(),
+            indexes,
+            objects: Arc::clone(&self.objects),
+            workers: self.config.tick_workers,
+        })
+    }
+}
+
+impl<I: SnapshotIndex + Send + Sync> SnapshotIndex for VpIndex<I> {
+    type Snapshot = VpSnapshot<I::Snapshot>;
+
+    fn snapshot(&self) -> IndexResult<Self::Snapshot> {
+        VpIndex::snapshot(self)
     }
 }
 
@@ -1257,7 +1498,7 @@ mod tests {
             let t = (qi % 10) as f64 * 12.0;
             let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, 2_000.0)), t);
             let mut a = vp.range_query(&q).unwrap();
-            let mut b = reference.range_query(&q).unwrap();
+            let mut b = MovingObjectIndex::range_query(&reference, &q).unwrap();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "query {qi} diverged");
@@ -1523,6 +1764,92 @@ mod tests {
             assert_eq!(batched[i], looped, "knn query {i}");
             assert_eq!(batched[i].len(), q.k.min(vp.len()), "knn query {i} arity");
         }
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_ticks_and_read_only() {
+        let mut vp = populated_vp(2, 0xBEEF);
+        let queries = query_batch(25, 0xABC);
+        let baseline = vp.range_query_batch(&queries).unwrap();
+        let domain = vp.config().domain;
+        let knn_queries: Vec<crate::knn::KnnQuery> = (0..6)
+            .map(|i| crate::knn::KnnQuery {
+                center: Point::new(20_000.0 + i as f64 * 12_000.0, 50_000.0),
+                k: 3 + i,
+                t: 10.0,
+            })
+            .collect();
+        let knn_baseline = vp.knn_batch(&knn_queries, &domain).unwrap();
+
+        let snap = vp.snapshot().unwrap();
+        assert_eq!(MovingObjectIndex::len(&snap), vp.len());
+
+        // Tick the live index forward and mutate it; the snapshot must
+        // keep answering from the captured state.
+        let moved: Vec<MovingObject> = (0..600u64)
+            .filter_map(|id| vp.get_object(id).unwrap())
+            .map(|o| MovingObject::new(o.id, o.position_at(50.0), o.vel, 50.0))
+            .collect();
+        vp.apply_updates(&moved).unwrap();
+        vp.delete(0).unwrap();
+
+        assert_eq!(snap.range_query_batch(&queries).unwrap(), baseline);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(
+                MovingObjectIndex::range_query(&snap, q).unwrap(),
+                baseline[qi],
+                "query {qi}"
+            );
+        }
+        assert_eq!(snap.knn_batch(&knn_queries, &domain).unwrap(), knn_baseline);
+        assert_eq!(snap.get_object(0).unwrap().map(|o| o.id), Some(0));
+
+        // Snapshots refuse mutations.
+        let mut snap = snap;
+        let o = MovingObject::new(7_777, Point::new(1.0, 1.0), Point::ZERO, 0.0);
+        assert!(matches!(snap.insert(o), Err(IndexError::ReadOnly(_))));
+        assert!(matches!(snap.delete(1), Err(IndexError::ReadOnly(_))));
+        assert!(matches!(snap.update(o), Err(IndexError::ReadOnly(_))));
+        assert!(matches!(
+            snap.update_batch(&[o]),
+            Err(IndexError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            snap.remove_batch(&[1]),
+            Err(IndexError::ReadOnly(_))
+        ));
+
+        // A fresh snapshot observes the post-tick state.
+        let snap2 = vp.snapshot().unwrap();
+        assert_eq!(
+            snap2.range_query_batch(&queries).unwrap(),
+            vp.range_query_batch(&queries).unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_readable_while_writer_thread_ticks() {
+        let mut vp = populated_vp(2, 0x0DDB);
+        let queries = query_batch(10, 0x515);
+        let baseline = vp.range_query_batch(&queries).unwrap();
+        let snap = vp.snapshot().unwrap();
+
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..10 {
+                    assert_eq!(snap.range_query_batch(&queries).unwrap(), baseline);
+                }
+            });
+            for round in 1..=4 {
+                let at = round as f64 * 15.0;
+                let moved: Vec<MovingObject> = (0..600u64)
+                    .filter_map(|id| vp.get_object(id).unwrap())
+                    .map(|o| MovingObject::new(o.id, o.position_at(at), o.vel, at))
+                    .collect();
+                vp.apply_updates(&moved).unwrap();
+            }
+        });
+        assert_eq!(vp.len(), 600);
     }
 
     #[test]

@@ -151,6 +151,70 @@ pub trait MovingObjectIndex {
     fn flush_storage(&self) -> IndexResult<()> {
         Ok(())
     }
+
+    /// Publishes the index's current state as the next committed
+    /// snapshot epoch: everything written so far becomes visible to
+    /// snapshots taken from now on, and pre-images pinned only by
+    /// departed readers become reclaimable. Called by the VP manager
+    /// at each tick commit point (after the WAL `TICK_COMMIT` record
+    /// is durable). The default is a no-op for indexes without
+    /// versioned storage.
+    fn publish_epoch(&self) {}
+}
+
+/// A point-in-time, read-only view of a [`MovingObjectIndex`].
+///
+/// Snapshots are immutable and safe to share across threads; their
+/// query methods run against the state captured at creation with no
+/// coordination with — and no visibility into — concurrent writers
+/// mutating the live index. Query semantics match the live trait
+/// method of the same name, evaluated on the captured state.
+pub trait IndexSnapshot: Send + Sync {
+    /// Exact range query over the captured state; contract as
+    /// [`MovingObjectIndex::range_query`].
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>>;
+
+    /// Batched range queries over the captured state; contract as
+    /// [`MovingObjectIndex::range_query_batch`].
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        queries.iter().map(|q| self.range_query(q)).collect()
+    }
+
+    /// kNN candidate superset over the captured state; contract as
+    /// [`MovingObjectIndex::knn_candidates`].
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        let _ = covered;
+        self.range_query(query)
+    }
+
+    /// Number of objects captured.
+    fn len(&self) -> usize;
+
+    /// True when the snapshot holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`MovingObjectIndex`] that can produce lock-free point-in-time
+/// snapshots of itself.
+///
+/// Kept separate from [`MovingObjectIndex`] (instead of adding an
+/// associated type there) so `&dyn MovingObjectIndex` stays
+/// object-safe for the benchmark harness.
+pub trait SnapshotIndex: MovingObjectIndex {
+    /// The snapshot handle type.
+    type Snapshot: IndexSnapshot + 'static;
+
+    /// Captures the index's current state. The returned snapshot keeps
+    /// answering queries against that state while the live index keeps
+    /// mutating; it must be dropped for the storage layer to reclaim
+    /// the page versions it pins.
+    fn snapshot(&self) -> IndexResult<Self::Snapshot>;
 }
 
 pub mod reference {
@@ -168,7 +232,7 @@ pub mod reference {
     use crate::error::IndexError;
 
     /// Linear-scan reference index.
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone)]
     pub struct ScanIndex {
         objects: BTreeMap<ObjectId, MovingObject>,
     }
@@ -218,6 +282,26 @@ pub mod reference {
 
         fn reset_io_stats(&self) {}
     }
+
+    impl IndexSnapshot for ScanIndex {
+        fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+            MovingObjectIndex::range_query(self, query)
+        }
+
+        fn len(&self) -> usize {
+            MovingObjectIndex::len(self)
+        }
+    }
+
+    impl SnapshotIndex for ScanIndex {
+        type Snapshot = ScanIndex;
+
+        /// Snapshot by value: the reference index is fully in memory,
+        /// so a deep clone *is* a consistent point-in-time view.
+        fn snapshot(&self) -> IndexResult<ScanIndex> {
+            Ok(self.clone())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,10 +314,10 @@ mod tests {
     #[test]
     fn scan_index_basic_lifecycle() {
         let mut idx = ScanIndex::new();
-        assert!(idx.is_empty());
+        assert!(MovingObjectIndex::is_empty(&idx));
         let o = MovingObject::new(1, Point::new(0.0, 0.0), Point::new(1.0, 0.0), 0.0);
         idx.insert(o).unwrap();
-        assert_eq!(idx.len(), 1);
+        assert_eq!(MovingObjectIndex::len(&idx), 1);
         assert!(matches!(
             idx.insert(o),
             Err(crate::IndexError::DuplicateObject(1))
@@ -245,7 +329,7 @@ mod tests {
             QueryRegion::Circle(Circle::new(Point::new(5.0, 5.0), 1.0)),
             1.0,
         );
-        assert_eq!(idx.range_query(&q).unwrap(), vec![1]);
+        assert_eq!(MovingObjectIndex::range_query(&idx, &q).unwrap(), vec![1]);
         idx.delete(1).unwrap();
         assert!(matches!(
             idx.delete(1),

@@ -1,7 +1,24 @@
 //! Fixed-capacity buffer pool, sharded for concurrent access, with
 //! per-shard LRU eviction.
+//!
+//! ## Snapshot versioning (opt-in)
+//!
+//! The pool can additionally run in **versioned** mode (enabled by the
+//! first [`BufferPool::page_snapshot`] or an explicit
+//! [`BufferPool::enable_versioning`] call): every frame carries the
+//! *epoch* of the version it holds, and the first modification of a
+//! page within an epoch first freezes the page's pre-image into a
+//! per-shard version overlay. A [`crate::PageSnapshot`] then reads the
+//! page state as of a committed epoch while writers keep producing the
+//! next one; [`BufferPool::commit_epoch`] publishes the writers' work
+//! as the new committed state, and overlay versions are reclaimed as
+//! soon as no committed epoch or registered reader can still observe
+//! them. The default (unversioned) mode keeps the exact seed
+//! behaviour: no overlay, no epoch bookkeeping, identical I/O counts
+//! and eviction order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -54,11 +71,40 @@ fn with_pinned<R>(frame: &mut Frame, f: impl FnOnce(&mut Frame) -> R) -> R {
 #[derive(Debug)]
 struct Frame {
     pid: PageId,
-    data: Box<[u8]>,
+    /// Page contents. An `Arc` so snapshot machinery can retain a
+    /// pre-image by cloning the handle; on the unversioned path the
+    /// refcount is always 1 and [`Arc::make_mut`] mutates in place.
+    data: Arc<Vec<u8>>,
     dirty: bool,
     /// Last-use tick for LRU. Larger = more recent.
     tick: u64,
     pinned: bool,
+    /// The snapshot epoch this frame's contents belong to (0 when the
+    /// pool is unversioned or the page predates versioning).
+    epoch: u64,
+}
+
+/// One retained historical version of a page in a shard's overlay.
+///
+/// Versions of a page are kept in push order, which is non-decreasing
+/// tag order; when two entries share a tag the **later** one is newer
+/// (a free + reallocation within one epoch).
+#[derive(Debug, Clone)]
+enum PageVersion {
+    /// The page's contents as of epoch `tag` (a pre-image frozen by
+    /// the first overwrite or free in a later epoch).
+    Data { tag: u64, data: Arc<Vec<u8>> },
+    /// The page was freed in epoch `tag`: snapshots at or after it
+    /// (and before any reallocation) must not see the page at all.
+    Freed { tag: u64 },
+}
+
+impl PageVersion {
+    fn tag(&self) -> u64 {
+        match self {
+            PageVersion::Data { tag, .. } | PageVersion::Freed { tag } => *tag,
+        }
+    }
 }
 
 /// The lock-protected state of one shard: its frames, the page → frame
@@ -72,6 +118,15 @@ struct ShardInner {
     /// Copied from the disk at construction so frame growth never
     /// touches the disk mutex.
     page_size: usize,
+    /// Historical page versions still observable by some committed
+    /// epoch or registered snapshot reader. Empty while the pool is
+    /// unversioned.
+    overlay: HashMap<PageId, Vec<PageVersion>>,
+    /// The epoch of the version each *on-disk* page holds, recorded at
+    /// write-back. Pages absent from the map hold epoch-0 (pre-
+    /// versioning) content. Entries are removed on free; a missing
+    /// entry for a page with overlay history means the page is freed.
+    disk_epoch: HashMap<PageId, u64>,
 }
 
 /// One shard: a mutex over its frames plus lock-free I/O counters.
@@ -122,6 +177,19 @@ pub struct BufferPool {
     /// Clock behind the retry backoff — injectable so fault tests run
     /// without wall-clock sleeps.
     sleeper: Arc<dyn Sleeper>,
+    /// Whether snapshot versioning is on. Off by default; flipped (one
+    /// way) by [`BufferPool::enable_versioning`] /
+    /// [`BufferPool::page_snapshot`].
+    versioned: AtomicBool,
+    /// The last committed snapshot epoch. Writers produce epoch
+    /// `committed + 1`; [`BufferPool::commit_epoch`] publishes it.
+    committed: AtomicU64,
+    /// Registered snapshot readers: epoch → reader count. Guarded by
+    /// its own mutex; lock order is `readers → shard` (never the
+    /// reverse), so epoch registration, release, and pruning can walk
+    /// the shards without deadlocking against page accessors (which
+    /// take only shard locks).
+    readers: Mutex<BTreeMap<u64, usize>>,
 }
 
 impl BufferPool {
@@ -166,6 +234,8 @@ impl BufferPool {
                         clock: 0,
                         capacity: cap,
                         page_size,
+                        overlay: HashMap::new(),
+                        disk_epoch: HashMap::new(),
                     }),
                     stats: AtomicIoStats::zero(),
                 }
@@ -178,6 +248,9 @@ impl BufferPool {
             capacity,
             retry: RetryPolicy::standard(),
             sleeper: Arc::new(ThreadSleeper),
+            versioned: AtomicBool::new(false),
+            committed: AtomicU64::new(0),
+            readers: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -248,13 +321,192 @@ impl BufferPool {
             .sum()
     }
 
+    // ----- snapshot versioning ------------------------------------------
+
+    /// Switches the pool into versioned (snapshot-capable) mode. A
+    /// one-way switch; idempotent. All pre-existing page contents are
+    /// treated as epoch 0, which is also the initial committed epoch,
+    /// so a snapshot taken immediately afterwards sees exactly the
+    /// current state.
+    ///
+    /// Enabling versioning (or taking a snapshot) must not race
+    /// in-flight writers — callers quiesce writes first, which the
+    /// index layer gets for free from `&mut self` on its write path.
+    pub fn enable_versioning(&self) {
+        self.versioned.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether snapshot versioning is on.
+    pub fn is_versioned(&self) -> bool {
+        self.versioned.load(Ordering::SeqCst)
+    }
+
+    /// The last committed snapshot epoch (0 until the first
+    /// [`BufferPool::commit_epoch`]).
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed.load(Ordering::SeqCst)
+    }
+
+    /// The epoch in-flight writes are tagged with when versioning is
+    /// on.
+    fn version_ctx(&self) -> Option<u64> {
+        if self.versioned.load(Ordering::SeqCst) {
+            Some(self.committed.load(Ordering::SeqCst) + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Publishes all writes made since the last commit as the new
+    /// committed epoch and reclaims overlay versions no snapshot can
+    /// still observe. Returns the new committed epoch (0 and a no-op
+    /// while the pool is unversioned).
+    ///
+    /// This is the snapshot **commit point**: a
+    /// [`BufferPool::page_snapshot`] taken after this call observes
+    /// everything written before it. Like snapshot creation it must
+    /// not race in-flight writers on this pool (callers commit from
+    /// their write path, which owns the writer exclusively).
+    pub fn commit_epoch(&self) -> u64 {
+        if !self.is_versioned() {
+            return 0;
+        }
+        // The epoch bump and the prune happen under the readers lock,
+        // so a concurrent snapshot registration either lands before
+        // (and pins its epoch's versions against this prune) or after
+        // (and observes the new epoch) — never in between.
+        let readers = self.readers.lock();
+        let now = self.committed.fetch_add(1, Ordering::SeqCst) + 1;
+        self.prune_overlays(&readers, now);
+        now
+    }
+
+    /// Registers a reader at the current committed epoch and captures
+    /// every resident frame already at or below it. Returns the epoch
+    /// and the captured pages. Atomic against [`commit_epoch`] (both
+    /// serialize on the readers lock).
+    ///
+    /// [`commit_epoch`]: BufferPool::commit_epoch
+    pub(crate) fn register_reader(&self) -> (u64, HashMap<PageId, Arc<Vec<u8>>>) {
+        let mut readers = self.readers.lock();
+        let epoch = self.committed.load(Ordering::SeqCst);
+        *readers.entry(epoch).or_insert(0) += 1;
+        let mut captured = HashMap::new();
+        for shard in self.shards.iter() {
+            let g = shard.inner.lock();
+            for (&pid, &idx) in &g.map {
+                if g.frames[idx].epoch <= epoch {
+                    captured.insert(pid, Arc::clone(&g.frames[idx].data));
+                }
+            }
+        }
+        (epoch, captured)
+    }
+
+    /// Drops one reader registration at `epoch` and reclaims overlay
+    /// versions that became unobservable.
+    pub(crate) fn release_reader(&self, epoch: u64) {
+        let mut readers = self.readers.lock();
+        match readers.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                readers.remove(&epoch);
+            }
+        }
+        let committed = self.committed.load(Ordering::SeqCst);
+        self.prune_overlays(&readers, committed);
+    }
+
+    /// Reads the version of `pid` visible at committed epoch `epoch`,
+    /// from the cache, the overlay, or the disk. Errors with
+    /// [`StorageError::InvalidPage`] when the page did not exist at
+    /// that epoch (no committed tree root of that epoch references
+    /// such a page, so hitting this is a caller bug).
+    ///
+    /// Deliberately bypasses the cache and the I/O counters: snapshot
+    /// reads install nothing (they must not perturb the live LRU
+    /// state) and are attributed by the snapshot layer, keeping the
+    /// pool's counters exactly the live workload's.
+    pub(crate) fn snapshot_read(&self, pid: PageId, epoch: u64) -> StorageResult<Arc<Vec<u8>>> {
+        let shard = self.shard_for(pid);
+        let g = shard.inner.lock();
+        // Newest overlay version at or below the epoch (later entries
+        // of a tag tie are newer).
+        let best = g
+            .overlay
+            .get(&pid)
+            .and_then(|vs| vs.iter().rev().find(|v| v.tag() <= epoch));
+        // The live version: the cached frame, else the disk contents
+        // (tag 0 when the page predates versioning). A page with
+        // overlay history but neither a frame nor a disk tag is
+        // currently freed — only its overlay may serve it.
+        let live_tag = if let Some(&idx) = g.map.get(&pid) {
+            Some(g.frames[idx].epoch)
+        } else if let Some(&d) = g.disk_epoch.get(&pid) {
+            Some(d)
+        } else if g.overlay.contains_key(&pid) {
+            None
+        } else {
+            Some(0)
+        };
+        // The live version wins ties: an overlay entry with the same
+        // tag is either an identical flushed pre-image or a free
+        // marker superseded by a same-epoch reallocation.
+        if let Some(l) = live_tag.filter(|&l| l <= epoch) {
+            if best.is_none_or(|v| v.tag() <= l) {
+                if let Some(&idx) = g.map.get(&pid) {
+                    return Ok(Arc::clone(&g.frames[idx].data));
+                }
+                let mut buf = vec![0u8; self.page_size];
+                self.disk.lock().read(pid, &mut buf)?;
+                return Ok(Arc::new(buf));
+            }
+        }
+        match best {
+            Some(PageVersion::Data { data, .. }) => Ok(Arc::clone(data)),
+            Some(PageVersion::Freed { .. }) | None => Err(StorageError::InvalidPage(pid)),
+        }
+    }
+
+    /// Reclaims overlay versions not observable by any registered
+    /// reader or by snapshots at the committed epoch. Runs with the
+    /// readers lock held (the caller's guard proves it).
+    fn prune_overlays(&self, readers: &BTreeMap<u64, usize>, committed: u64) {
+        let floor = readers
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(u64::MAX)
+            .min(committed);
+        for shard in self.shards.iter() {
+            shard.inner.lock().prune_overlay(floor);
+        }
+    }
+
+    /// Total overlay versions retained across all shards (diagnostics
+    /// and reclamation tests).
+    pub fn overlay_versions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().overlay.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
     /// Allocates a fresh zeroed page, caches it, and returns its id.
     /// The new page is dirty (it must eventually reach the disk).
     pub fn new_page(&self) -> StorageResult<PageId> {
+        let ver = self.version_ctx();
         let pid = self.disk.lock().allocate()?;
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = match g.acquire_frame(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper) {
+        let idx = match g.acquire_frame(
+            &self.disk,
+            &shard.stats,
+            pid,
+            self.retry,
+            &*self.sleeper,
+            ver,
+        ) {
             Ok(idx) => idx,
             Err(e) => {
                 // Don't leak the just-allocated disk page.
@@ -264,9 +516,13 @@ impl BufferPool {
         };
         count_logical_write(&shard.stats);
         let f = &mut g.frames[idx];
-        f.data = vec![0u8; self.page_size].into_boxed_slice();
+        f.data = Arc::new(vec![0u8; self.page_size]);
         f.dirty = true;
         f.pinned = false;
+        // A freshly allocated page belongs to the in-flight epoch:
+        // older snapshots never see it (their committed roots cannot
+        // reference it).
+        f.epoch = ver.unwrap_or(0);
         Ok(pid)
     }
 
@@ -276,8 +532,46 @@ impl BufferPool {
     /// caller bug (as it would be on a real pager); the pool only
     /// guarantees that *subsequent* accesses error.
     pub fn free_page(&self, pid: PageId) -> StorageResult<()> {
+        let ver = self.version_ctx();
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
+        if let Some(cur) = ver {
+            // Snapshots below the current epoch must keep seeing the
+            // page: freeze its committed pre-image (from the frame, or
+            // from disk when uncached), then mark the free itself.
+            match g.map.get(&pid).copied() {
+                Some(idx) if g.frames[idx].epoch < cur => {
+                    let tag = g.frames[idx].epoch;
+                    let data = Arc::clone(&g.frames[idx].data);
+                    g.overlay
+                        .entry(pid)
+                        .or_default()
+                        .push(PageVersion::Data { tag, data });
+                }
+                Some(_) => {}
+                None => {
+                    let tag = g.disk_epoch.get(&pid).copied().unwrap_or(0);
+                    if tag < cur {
+                        let mut buf = vec![0u8; self.page_size];
+                        // An unreadable page has no pre-image to keep
+                        // (the deallocate below reports the bug).
+                        if self.disk.lock().read(pid, &mut buf).is_ok() {
+                            g.overlay.entry(pid).or_default().push(PageVersion::Data {
+                                tag,
+                                data: Arc::new(buf),
+                            });
+                        }
+                    }
+                }
+            }
+            g.overlay
+                .entry(pid)
+                .or_default()
+                .push(PageVersion::Freed { tag: cur });
+            // The disk slot is going away; from here on the overlay is
+            // the page's only history until a reallocation.
+            g.disk_epoch.remove(&pid);
+        }
         if let Some(idx) = g.map.remove(&pid) {
             // Forget the frame contents; mark the slot reusable by
             // pointing it at the invalid pid.
@@ -289,9 +583,17 @@ impl BufferPool {
 
     /// Runs `f` with read access to the page contents.
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> StorageResult<R> {
+        let ver = self.version_ctx();
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
+        let idx = g.fetch(
+            &self.disk,
+            &shard.stats,
+            pid,
+            self.retry,
+            &*self.sleeper,
+            ver,
+        )?;
         Ok(with_pinned(&mut g.frames[idx], |fr| f(&fr.data)))
     }
 
@@ -302,12 +604,25 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> StorageResult<R> {
+        let ver = self.version_ctx();
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
+        let idx = g.fetch(
+            &self.disk,
+            &shard.stats,
+            pid,
+            self.retry,
+            &*self.sleeper,
+            ver,
+        )?;
+        if let Some(cur) = ver {
+            g.freeze(idx, cur);
+        }
         count_logical_write(&shard.stats);
         g.frames[idx].dirty = true;
-        Ok(with_pinned(&mut g.frames[idx], |fr| f(&mut fr.data)))
+        Ok(with_pinned(&mut g.frames[idx], |fr| {
+            f(Arc::make_mut(&mut fr.data).as_mut_slice())
+        }))
     }
 
     /// Runs `f` with write access to the page contents; the closure
@@ -321,24 +636,48 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&mut [u8]) -> (R, bool),
     ) -> StorageResult<R> {
+        let ver = self.version_ctx();
         let shard = self.shard_for(pid);
         let mut g = shard.inner.lock();
-        let idx = g.fetch(&self.disk, &shard.stats, pid, self.retry, &*self.sleeper)?;
-        let (out, modified) = with_pinned(&mut g.frames[idx], |fr| f(&mut fr.data));
+        let idx = g.fetch(
+            &self.disk,
+            &shard.stats,
+            pid,
+            self.retry,
+            &*self.sleeper,
+            ver,
+        )?;
+        // The pre-image must be pinned down *before* the probe runs,
+        // but frozen into the overlay only if the probe modified —
+        // clone the handle now, publish it after.
+        let pre = ver.map(|_| (Arc::clone(&g.frames[idx].data), g.frames[idx].epoch));
+        let (out, modified) = with_pinned(&mut g.frames[idx], |fr| {
+            f(Arc::make_mut(&mut fr.data).as_mut_slice())
+        });
         if modified {
             g.frames[idx].dirty = true;
             count_logical_write(&shard.stats);
+            if let (Some(cur), Some((data, tag))) = (ver, pre) {
+                if tag < cur {
+                    g.frames[idx].epoch = cur;
+                    g.overlay
+                        .entry(pid)
+                        .or_default()
+                        .push(PageVersion::Data { tag, data });
+                }
+            }
         }
         Ok(out)
     }
 
     /// Writes all dirty pages back to the disk.
     pub fn flush_all(&self) -> StorageResult<()> {
+        let ver = self.version_ctx();
         for shard in self.shards.iter() {
             shard
                 .inner
                 .lock()
-                .flush(&self.disk, &shard.stats, self.retry, &*self.sleeper)?;
+                .flush(&self.disk, &shard.stats, self.retry, &*self.sleeper, ver)?;
         }
         Ok(())
     }
@@ -359,9 +698,10 @@ impl BufferPool {
     /// acquisition, so a concurrent writer can never dirty a frame in
     /// the window between the flush and the drop.
     pub fn clear_cache(&self) -> StorageResult<()> {
+        let ver = self.version_ctx();
         for shard in self.shards.iter() {
             let mut g = shard.inner.lock();
-            g.flush(&self.disk, &shard.stats, self.retry, &*self.sleeper)?;
+            g.flush(&self.disk, &shard.stats, self.retry, &*self.sleeper, ver)?;
             g.map.clear();
             g.frames.clear();
         }
@@ -375,6 +715,58 @@ impl BufferPool {
 }
 
 impl ShardInner {
+    /// Freezes the pre-image of frame `idx` into the overlay before
+    /// its first modification in epoch `cur` (no-op when the frame is
+    /// already at `cur`).
+    fn freeze(&mut self, idx: usize, cur: u64) {
+        let f = &mut self.frames[idx];
+        if f.epoch < cur {
+            let tag = f.epoch;
+            let data = Arc::clone(&f.data);
+            f.epoch = cur;
+            self.overlay
+                .entry(f.pid)
+                .or_default()
+                .push(PageVersion::Data { tag, data });
+        }
+    }
+
+    /// Drops overlay versions invisible to every epoch at or above
+    /// `floor` (the smaller of the committed epoch and the oldest
+    /// registered reader). A version is invisible exactly when its
+    /// successor — the next overlay version, else the newer live
+    /// version — is itself at or below the floor.
+    fn prune_overlay(&mut self, floor: u64) {
+        let map = &self.map;
+        let frames = &self.frames;
+        let disk_epoch = &self.disk_epoch;
+        self.overlay.retain(|pid, versions| {
+            let live_tag = if let Some(&idx) = map.get(pid) {
+                Some(frames[idx].epoch)
+            } else {
+                disk_epoch.get(pid).copied()
+            };
+            let mut keep = Vec::with_capacity(versions.len());
+            for (j, v) in versions.iter().enumerate() {
+                let succ = match versions.get(j + 1) {
+                    Some(next) => next.tag(),
+                    // The last entry is superseded only by a strictly
+                    // newer live version; a freed page's stale disk
+                    // tag never supersedes its own history.
+                    None => match live_tag {
+                        Some(l) if l > v.tag() => l,
+                        _ => u64::MAX,
+                    },
+                };
+                if succ > floor {
+                    keep.push(v.clone());
+                }
+            }
+            *versions = keep;
+            !versions.is_empty()
+        });
+    }
+
     /// Writes this shard's dirty frames back to disk. Runs under the
     /// shard lock held by the caller.
     fn flush(
@@ -383,19 +775,22 @@ impl ShardInner {
         stats: &AtomicIoStats,
         retry: RetryPolicy,
         sleeper: &dyn Sleeper,
+        ver: Option<u64>,
     ) -> StorageResult<()> {
         for idx in 0..self.frames.len() {
             if self.frames[idx].pid.is_valid() && self.frames[idx].dirty {
                 let pid = self.frames[idx].pid;
-                // Split borrow: take the data out for the disk call.
                 // Transient write errors retry with backoff; on final
                 // failure the frame stays cached *and dirty*, so no
                 // update is lost and a later flush can still succeed.
-                let data = std::mem::take(&mut self.frames[idx].data);
-                let res = with_retry(retry, sleeper, || disk.lock().write(pid, &data));
-                self.frames[idx].data = data;
-                res?;
+                let data = Arc::clone(&self.frames[idx].data);
+                with_retry(retry, sleeper, || disk.lock().write(pid, &data))?;
                 self.frames[idx].dirty = false;
+                if ver.is_some() {
+                    // The disk now holds this frame's version.
+                    let e = self.frames[idx].epoch;
+                    self.disk_epoch.insert(pid, e);
+                }
                 count_physical_write(stats);
             }
         }
@@ -411,6 +806,7 @@ impl ShardInner {
         pid: PageId,
         retry: RetryPolicy,
         sleeper: &dyn Sleeper,
+        ver: Option<u64>,
     ) -> StorageResult<usize> {
         count_logical_read(stats);
         self.clock += 1;
@@ -418,11 +814,16 @@ impl ShardInner {
             self.frames[idx].tick = self.clock;
             return Ok(idx);
         }
-        let idx = self.acquire_frame(disk, stats, pid, retry, sleeper)?;
-        // Miss: load from disk.
-        let mut data = std::mem::take(&mut self.frames[idx].data);
-        let res = disk.lock().read(pid, &mut data);
-        self.frames[idx].data = data;
+        let idx = self.acquire_frame(disk, stats, pid, retry, sleeper, ver)?;
+        // Miss: load from disk. The recycled frame's buffer may still
+        // be shared with a retained snapshot version — give the frame
+        // a fresh one rather than copying contents we are about to
+        // overwrite.
+        if Arc::get_mut(&mut self.frames[idx].data).is_none() {
+            self.frames[idx].data = Arc::new(vec![0u8; self.page_size]);
+        }
+        let buf = Arc::get_mut(&mut self.frames[idx].data).expect("frame buffer is unshared");
+        let res = disk.lock().read(pid, buf.as_mut_slice());
         if let Err(e) = res {
             // The frame was already registered for `pid`; un-register
             // it, or the next access would hit garbage data. (The
@@ -433,6 +834,11 @@ impl ShardInner {
             self.frames[idx].dirty = false;
             return Err(e);
         }
+        // The frame now holds whatever version the disk held.
+        self.frames[idx].epoch = match ver {
+            Some(_) => self.disk_epoch.get(&pid).copied().unwrap_or(0),
+            None => 0,
+        };
         count_physical_read(stats);
         Ok(idx)
     }
@@ -454,6 +860,7 @@ impl ShardInner {
         pid: PageId,
         retry: RetryPolicy,
         sleeper: &dyn Sleeper,
+        ver: Option<u64>,
     ) -> StorageResult<usize> {
         self.clock += 1;
         // Reuse a tombstoned frame, or grow under capacity — neither
@@ -462,10 +869,11 @@ impl ShardInner {
         if victim.is_none() && self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 pid: PageId::INVALID,
-                data: vec![0u8; self.page_size].into_boxed_slice(),
+                data: Arc::new(vec![0u8; self.page_size]),
                 dirty: false,
                 tick: 0,
                 pinned: false,
+                epoch: 0,
             });
             victim = Some(self.frames.len() - 1);
         }
@@ -485,11 +893,16 @@ impl ShardInner {
         for idx in candidates {
             if self.frames[idx].dirty {
                 let old_pid = self.frames[idx].pid;
-                let data = std::mem::take(&mut self.frames[idx].data);
+                let data = Arc::clone(&self.frames[idx].data);
                 let res = with_retry(retry, sleeper, || disk.lock().write(old_pid, &data));
-                self.frames[idx].data = data;
                 match res {
-                    Ok(()) => count_physical_write(stats),
+                    Ok(()) => {
+                        if ver.is_some() {
+                            let e = self.frames[idx].epoch;
+                            self.disk_epoch.insert(old_pid, e);
+                        }
+                        count_physical_write(stats)
+                    }
                     Err(e) => {
                         // Victim stays cached and dirty; try the next
                         // least-recently-used frame.
@@ -510,6 +923,7 @@ impl ShardInner {
         self.frames[idx].pid = pid;
         self.frames[idx].dirty = false;
         self.frames[idx].tick = self.clock;
+        self.frames[idx].epoch = 0;
         self.map.insert(pid, idx);
         idx
     }

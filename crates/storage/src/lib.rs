@@ -53,6 +53,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod retry;
+pub mod snapshot;
 pub mod stats;
 
 pub use buffer::BufferPool;
@@ -60,6 +61,7 @@ pub use disk::DiskManager;
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultOp, FaultPoint, InjectedFault};
 pub use retry::{with_retry, RecordingSleeper, RetryPolicy, Sleeper, ThreadSleeper};
+pub use snapshot::{PageRead, PageSnapshot};
 pub use stats::{thread_io, AtomicIoStats, IoStats};
 
 /// Default page size in bytes (paper Table 1: 4 KB disk pages).

@@ -30,8 +30,10 @@
 
 pub mod cost;
 pub mod node;
+pub mod snapshot;
 pub mod tree;
 
 pub use cost::sweep_cost;
 pub use node::{InternalEntry, LeafEntry, Node, NodeLayout};
+pub use snapshot::TprSnapshot;
 pub use tree::{TprConfig, TprTree, TprVariant};

@@ -1,0 +1,344 @@
+//! The TPR-tree read path, shared between the live tree and its
+//! lock-free snapshots.
+//!
+//! The traversal machinery (single, batched, and incremental-kNN
+//! queries) is written once, generic over a [`PageRead`] page source:
+//! the live [`TprTree`] runs it against its buffer pool (wrapped in
+//! I/O tracking), [`TprSnapshot`] against a pinned [`PageSnapshot`] —
+//! giving point-in-time query results with no coordination with
+//! writers mutating the live tree.
+//!
+//! [`TprTree`]: crate::tree::TprTree
+
+use vp_core::{IndexResult, IndexSnapshot, ObjectId, RangeQuery};
+use vp_geom::Tpbr;
+use vp_storage::{PageId, PageRead, PageSnapshot};
+
+use crate::node::Node;
+
+/// Reads and decodes one node from any page source.
+pub(crate) fn read_node_from<P: PageRead>(pages: &P, pid: PageId) -> IndexResult<Node> {
+    let node = pages.read_page(pid, Node::decode)??;
+    Ok(node)
+}
+
+/// Single range query: DFS from `root`, pruning subtrees whose TPBR
+/// cannot intersect the query's over its time window; leaf entries are
+/// exact-filtered. Contract as
+/// [`vp_core::MovingObjectIndex::range_query`].
+pub(crate) fn range_query_from<P: PageRead>(
+    pages: &P,
+    root: PageId,
+    query: &RangeQuery,
+) -> IndexResult<Vec<ObjectId>> {
+    let mut out = Vec::new();
+    if root.is_valid() {
+        let q_tpbr = query.tpbr();
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            match read_node_from(pages, pid)? {
+                Node::Leaf { entries } => {
+                    for e in &entries {
+                        if query.matches(&e.to_object()) {
+                            out.push(e.id);
+                        }
+                    }
+                }
+                Node::Internal { entries, .. } => {
+                    for e in &entries {
+                        if e.tpbr
+                            .intersects_during(&q_tpbr, query.t_start, query.t_end)
+                        {
+                            stack.push(e.child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shared traversal over the whole batch: one top-down pass carries,
+/// per subtree, the indices of the queries whose TPBR still intersects
+/// it — every node page is read and decoded once for all queries that
+/// reach it. Per query the visited subtrees, the exact filter, and the
+/// report order are identical to [`range_query_from`].
+pub(crate) fn range_query_batch_from<P: PageRead>(
+    pages: &P,
+    root: PageId,
+    queries: &[RangeQuery],
+) -> IndexResult<Vec<Vec<ObjectId>>> {
+    let mut results: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
+    if !root.is_valid() || queries.is_empty() {
+        return Ok(results);
+    }
+    let q_tpbrs: Vec<Tpbr> = queries.iter().map(RangeQuery::tpbr).collect();
+    let mut stack: Vec<(PageId, Vec<usize>)> = vec![(root, (0..queries.len()).collect())];
+    while let Some((pid, alive)) = stack.pop() {
+        match read_node_from(pages, pid)? {
+            Node::Leaf { entries } => {
+                for e in &entries {
+                    let obj = e.to_object();
+                    for &qi in &alive {
+                        if queries[qi].matches(&obj) {
+                            results[qi].push(e.id);
+                        }
+                    }
+                }
+            }
+            Node::Internal { entries, .. } => {
+                for e in &entries {
+                    let survivors: Vec<usize> = alive
+                        .iter()
+                        .copied()
+                        .filter(|&qi| {
+                            e.tpbr.intersects_during(
+                                &q_tpbrs[qi],
+                                queries[qi].t_start,
+                                queries[qi].t_end,
+                            )
+                        })
+                        .collect();
+                    if !survivors.is_empty() {
+                        stack.push((e.child, survivors));
+                    }
+                }
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Incremental kNN candidates: a pruned re-descent skipping subtrees
+/// whose footprint over the query window lies entirely inside the
+/// `covered` probe's region (already swept by earlier rounds of the
+/// chain); visited leaves report unfiltered. Contract as
+/// [`vp_core::MovingObjectIndex::knn_candidates`].
+pub(crate) fn knn_candidates_from<P: PageRead>(
+    pages: &P,
+    root: PageId,
+    query: &RangeQuery,
+    covered: Option<&RangeQuery>,
+) -> IndexResult<Vec<ObjectId>> {
+    let mut out = Vec::new();
+    if !root.is_valid() {
+        return Ok(out);
+    }
+    // The containment test evaluates node footprints at a single
+    // instant, which is only sound for time-slice probes over the
+    // same instant.
+    let covered = covered
+        .filter(|c| c.is_time_slice() && query.is_time_slice() && c.t_start == query.t_start);
+    let q_tpbr = query.tpbr();
+    let mut stack = vec![root];
+    while let Some(pid) = stack.pop() {
+        match read_node_from(pages, pid)? {
+            Node::Leaf { entries } => {
+                // Candidate mode: every entry of a visited leaf,
+                // unfiltered.
+                out.extend(entries.iter().map(|e| e.id));
+            }
+            Node::Internal { entries, .. } => {
+                for e in &entries {
+                    if !e
+                        .tpbr
+                        .intersects_during(&q_tpbr, query.t_start, query.t_end)
+                    {
+                        continue;
+                    }
+                    if let Some(c) = covered {
+                        if c.region.contains_rect(&e.tpbr.rect_at(c.t_start)) {
+                            continue; // fully swept by earlier rounds
+                        }
+                    }
+                    stack.push(e.child);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A point-in-time, read-only handle on a [`TprTree`]: the root handle
+/// as of one committed pool epoch plus a [`PageSnapshot`] serving that
+/// epoch's pages.
+///
+/// Queries run against it with no coordination with — and no
+/// visibility into — writers mutating the live tree, and acquire **no
+/// shared locks** for pages resident when the snapshot was taken.
+/// Snapshot reads are invisible to the live tree's I/O counters. Safe
+/// to share across reader threads. Obtained via
+/// [`vp_core::SnapshotIndex::snapshot`] on [`TprTree`].
+///
+/// [`TprTree`]: crate::tree::TprTree
+pub struct TprSnapshot {
+    pub(crate) pages: PageSnapshot,
+    pub(crate) root: PageId,
+    pub(crate) len: usize,
+}
+
+impl TprSnapshot {
+    /// The committed pool epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.pages.epoch()
+    }
+}
+
+impl IndexSnapshot for TprSnapshot {
+    fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
+        range_query_from(&self.pages, self.root, query)
+    }
+
+    fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
+        range_query_batch_from(&self.pages, self.root, queries)
+    }
+
+    fn knn_candidates(
+        &self,
+        query: &RangeQuery,
+        covered: Option<&RangeQuery>,
+    ) -> IndexResult<Vec<ObjectId>> {
+        knn_candidates_from(&self.pages, self.root, query, covered)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use vp_core::{MovingObject, MovingObjectIndex, QueryRegion, SnapshotIndex};
+    use vp_geom::{Circle, Point};
+    use vp_storage::{BufferPool, DiskManager};
+
+    use super::*;
+    use crate::tree::{TprConfig, TprTree};
+
+    fn small_pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::with_capacity(
+            DiskManager::with_page_size(512),
+            50,
+        ))
+    }
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x % 1_000_000) as f64 / 1_000_000.0
+        }
+    }
+
+    fn random_objects(n: usize, seed: u64, t: f64) -> Vec<MovingObject> {
+        let mut rng = Rng(seed);
+        (0..n as u64)
+            .map(|id| {
+                MovingObject::new(
+                    id,
+                    Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0),
+                    Point::new((rng.next() - 0.5) * 100.0, (rng.next() - 0.5) * 100.0),
+                    t,
+                )
+            })
+            .collect()
+    }
+
+    fn queries(n: usize, seed: u64, t: f64) -> Vec<RangeQuery> {
+        let mut rng = Rng(seed);
+        (0..n)
+            .map(|_| {
+                let c = Point::new(rng.next() * 10_000.0, rng.next() * 10_000.0);
+                RangeQuery::time_slice(QueryRegion::Circle(Circle::new(c, 1_100.0)), t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TprSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_ticks() {
+        let objs = random_objects(500, 0x7B1, 0.0);
+        let mut t = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        let qs = queries(16, 0xABCD, 10.0);
+        let baseline = t.range_query_batch(&qs).unwrap();
+        let knn_probe = &qs[0];
+        let baseline_knn = t.knn_candidates(knn_probe, None).unwrap();
+
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.len(), 500);
+
+        // Move everything, drop one, add one.
+        let moved: Vec<MovingObject> = objs
+            .iter()
+            .map(|o| MovingObject::new(o.id, o.position_at(60.0), o.vel, 60.0))
+            .collect();
+        t.update_batch(&moved).unwrap();
+        t.delete(0).unwrap();
+        t.insert(MovingObject::new(
+            9_999,
+            Point::new(5_000.0, 5_000.0),
+            Point::new(2.0, -3.0),
+            60.0,
+        ))
+        .unwrap();
+
+        // Bit-identical to the quiesced pre-tick answers.
+        assert_eq!(snap.range_query_batch(&qs).unwrap(), baseline);
+        for (q, want) in qs.iter().zip(&baseline) {
+            assert_eq!(&IndexSnapshot::range_query(&snap, q).unwrap(), want);
+        }
+        assert_eq!(
+            IndexSnapshot::knn_candidates(&snap, knn_probe, None).unwrap(),
+            baseline_knn
+        );
+
+        // Fresh snapshot observes the post-tick state.
+        let snap2 = t.snapshot().unwrap();
+        assert_eq!(snap2.len(), 500);
+        let later = queries(16, 0xABCD, 65.0);
+        assert_eq!(
+            snap2.range_query_batch(&later).unwrap(),
+            t.range_query_batch(&later).unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_readable_while_writer_thread_ticks() {
+        let objs = random_objects(300, 0xD0C, 0.0);
+        let mut t = TprTree::bulk_load(small_pool(), TprConfig::default(), &objs).unwrap();
+        let qs = queries(6, 0x51AB, 5.0);
+        let baseline = t.range_query_batch(&qs).unwrap();
+        let snap = t.snapshot().unwrap();
+
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..12 {
+                    assert_eq!(snap.range_query_batch(&qs).unwrap(), baseline);
+                }
+            });
+            for round in 1..=5 {
+                let at = round as f64 * 20.0;
+                let moved: Vec<MovingObject> = objs
+                    .iter()
+                    .map(|o| MovingObject::new(o.id, o.position_at(at), o.vel, at))
+                    .collect();
+                t.update_batch(&moved).unwrap();
+                t.publish_epoch();
+            }
+        });
+        assert_eq!(t.len(), 300);
+        assert!(t.check_invariants().unwrap().is_ok());
+    }
+}

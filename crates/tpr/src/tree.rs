@@ -56,7 +56,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use vp_core::{IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery};
+use vp_core::{
+    IndexError, IndexResult, MovingObject, MovingObjectIndex, ObjectId, RangeQuery, SnapshotIndex,
+};
 #[cfg(test)]
 use vp_geom::Point;
 use vp_geom::Tpbr;
@@ -64,6 +66,7 @@ use vp_storage::{AtomicIoStats, BufferPool, IoStats, PageId};
 
 use crate::cost::{midpoint_area, sweep_cost};
 use crate::node::{InternalEntry, LeafEntry, Node, NodeLayout};
+use crate::snapshot::TprSnapshot;
 
 /// Which member of the TPR family to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1229,33 +1232,9 @@ impl MovingObjectIndex for TprTree {
 
     fn range_query(&self, query: &RangeQuery) -> IndexResult<Vec<ObjectId>> {
         let before = self.track_begin();
-        let mut out = Vec::new();
-        if self.root.is_valid() {
-            let q_tpbr = query.tpbr();
-            let mut stack = vec![self.root];
-            while let Some(pid) = stack.pop() {
-                match self.read_node(pid)? {
-                    Node::Leaf { entries } => {
-                        for e in &entries {
-                            if query.matches(&e.to_object()) {
-                                out.push(e.id);
-                            }
-                        }
-                    }
-                    Node::Internal { entries, .. } => {
-                        for e in &entries {
-                            if e.tpbr
-                                .intersects_during(&q_tpbr, query.t_start, query.t_end)
-                            {
-                                stack.push(e.child);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let result = crate::snapshot::range_query_from(&*self.pool, self.root, query);
         self.track_end(before);
-        Ok(out)
+        result
     }
 
     /// Shared traversal over the whole batch: one top-down pass
@@ -1269,47 +1248,10 @@ impl MovingObjectIndex for TprTree {
     /// traversal (a DFS visits any query's subtree subset in the same
     /// relative order).
     fn range_query_batch(&self, queries: &[RangeQuery]) -> IndexResult<Vec<Vec<ObjectId>>> {
-        let mut results: Vec<Vec<ObjectId>> = vec![Vec::new(); queries.len()];
-        if !self.root.is_valid() || queries.is_empty() {
-            return Ok(results);
-        }
         let before = self.track_begin();
-        let q_tpbrs: Vec<Tpbr> = queries.iter().map(RangeQuery::tpbr).collect();
-        let mut stack: Vec<(PageId, Vec<usize>)> = vec![(self.root, (0..queries.len()).collect())];
-        while let Some((pid, alive)) = stack.pop() {
-            match self.read_node(pid)? {
-                Node::Leaf { entries } => {
-                    for e in &entries {
-                        let obj = e.to_object();
-                        for &qi in &alive {
-                            if queries[qi].matches(&obj) {
-                                results[qi].push(e.id);
-                            }
-                        }
-                    }
-                }
-                Node::Internal { entries, .. } => {
-                    for e in &entries {
-                        let survivors: Vec<usize> = alive
-                            .iter()
-                            .copied()
-                            .filter(|&qi| {
-                                e.tpbr.intersects_during(
-                                    &q_tpbrs[qi],
-                                    queries[qi].t_start,
-                                    queries[qi].t_end,
-                                )
-                            })
-                            .collect();
-                        if !survivors.is_empty() {
-                            stack.push((e.child, survivors));
-                        }
-                    }
-                }
-            }
-        }
+        let result = crate::snapshot::range_query_batch_from(&*self.pool, self.root, queries);
         self.track_end(before);
-        Ok(results)
+        result
     }
 
     /// Incremental kNN candidates: a pruned re-descent. Besides the
@@ -1328,45 +1270,10 @@ impl MovingObjectIndex for TprTree {
         query: &RangeQuery,
         covered: Option<&RangeQuery>,
     ) -> IndexResult<Vec<ObjectId>> {
-        let mut out = Vec::new();
-        if !self.root.is_valid() {
-            return Ok(out);
-        }
-        // The containment test evaluates node footprints at a single
-        // instant, which is only sound for time-slice probes over the
-        // same instant.
-        let covered = covered
-            .filter(|c| c.is_time_slice() && query.is_time_slice() && c.t_start == query.t_start);
         let before = self.track_begin();
-        let q_tpbr = query.tpbr();
-        let mut stack = vec![self.root];
-        while let Some(pid) = stack.pop() {
-            match self.read_node(pid)? {
-                Node::Leaf { entries } => {
-                    // Candidate mode: every entry of a visited leaf,
-                    // unfiltered.
-                    out.extend(entries.iter().map(|e| e.id));
-                }
-                Node::Internal { entries, .. } => {
-                    for e in &entries {
-                        if !e
-                            .tpbr
-                            .intersects_during(&q_tpbr, query.t_start, query.t_end)
-                        {
-                            continue;
-                        }
-                        if let Some(c) = covered {
-                            if c.region.contains_rect(&e.tpbr.rect_at(c.t_start)) {
-                                continue; // fully swept by earlier rounds
-                            }
-                        }
-                        stack.push(e.child);
-                    }
-                }
-            }
-        }
+        let result = crate::snapshot::knn_candidates_from(&*self.pool, self.root, query, covered);
         self.track_end(before);
-        Ok(out)
+        result
     }
 
     fn get_object(&self, id: ObjectId) -> IndexResult<Option<MovingObject>> {
@@ -1387,6 +1294,31 @@ impl MovingObjectIndex for TprTree {
 
     fn flush_storage(&self) -> IndexResult<()> {
         Ok(self.pool.checkpoint()?)
+    }
+
+    fn publish_epoch(&self) {
+        if self.pool.is_versioned() {
+            self.pool.commit_epoch();
+        }
+    }
+}
+
+impl SnapshotIndex for TprTree {
+    type Snapshot = TprSnapshot;
+
+    /// Captures the tree's current state: publishes everything written
+    /// so far as a fresh committed pool epoch (the caller holds
+    /// `&self`, so no write is in flight) and pins it, switching the
+    /// shared pool into versioned mode on first use. Cheap — no page
+    /// copies; resident pages are shared by refcount.
+    fn snapshot(&self) -> IndexResult<TprSnapshot> {
+        self.pool.enable_versioning();
+        self.pool.commit_epoch();
+        Ok(TprSnapshot {
+            pages: self.pool.page_snapshot(),
+            root: self.root,
+            len: self.len,
+        })
     }
 }
 

@@ -425,6 +425,31 @@ impl Wal {
         Ok(out)
     }
 
+    /// Seals the active segment and starts a fresh one, so records
+    /// already on it become reclaimable by [`Wal::truncate_below`].
+    ///
+    /// `truncate_below` only deletes whole *non-active* segments; a
+    /// stream dominated by small records (the meta stream's single-op
+    /// inserts/deletes and tick-commit markers) may never reach the
+    /// roll threshold, leaving every dead record below a checkpoint
+    /// pinned on the active segment forever. The checkpoint path calls
+    /// this before truncating so the dead prefix lives in a sealed
+    /// segment that truncation can drop.
+    ///
+    /// Pending appends are flushed first; a no-op when the stream has
+    /// no segments or the active segment holds no records (repeated
+    /// sealing cannot accumulate empty segment files).
+    pub fn seal_active(&mut self) -> WalResult<()> {
+        self.check_poisoned()?;
+        self.flush()?;
+        if self.segments.is_empty() || self.seg_size <= SEGMENT_HEADER_LEN as u64 {
+            return Ok(());
+        }
+        // The roll replaces the validated open-time tail.
+        self.retained_tail = None;
+        self.roll(self.last_seq + 1)
+    }
+
     /// Drops every segment that holds only records with `seq < cutoff`
     /// (checkpoint truncation). The active segment is always kept.
     pub fn truncate_below(&mut self, cutoff: u64) -> WalResult<()> {
@@ -815,6 +840,49 @@ mod tests {
         assert_eq!(wal.last_seq(), 1);
         assert_eq!(wal.segment_count(), 1);
         assert!(!bogus.exists());
+    }
+
+    #[test]
+    fn seal_active_makes_small_records_truncatable() {
+        let t = TempDir::new("seal");
+        // Default roll threshold: these tiny records never roll on
+        // their own, so without sealing truncate_below can't reclaim
+        // a single byte.
+        let mut wal = Wal::open(&t.0, "meta").unwrap();
+        for seq in 1..=50u64 {
+            wal.append(seq, 1, &[7u8; 24]).unwrap();
+            wal.commit(SyncPolicy::Never).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        wal.truncate_below(51).unwrap();
+        assert_eq!(wal.segment_count(), 1, "active segment never dropped");
+        let fat = fs::metadata(&wal.segments[0].1).unwrap().len();
+
+        // Seal, then truncate: the dead prefix is reclaimed.
+        wal.seal_active().unwrap();
+        assert_eq!(wal.segment_count(), 2);
+        wal.truncate_below(51).unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        let lean = fs::metadata(&wal.segments[0].1).unwrap().len();
+        assert!(lean < fat, "stream shrank: {lean} < {fat}");
+        assert_eq!(wal.replay(50).unwrap().len(), 0);
+
+        // Sealing an empty active segment is a no-op — repeated
+        // checkpoints can't accumulate empty segment files.
+        wal.seal_active().unwrap();
+        wal.seal_active().unwrap();
+        assert_eq!(wal.segment_count(), 1);
+
+        // The stream keeps appending and survives a reopen.
+        wal.append(51, 1, b"after-seal").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let wal = Wal::open(&t.0, "meta").unwrap();
+        assert_eq!(wal.last_seq(), 51);
+        let got = wal.replay(0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"after-seal".to_vec());
     }
 
     #[test]

@@ -155,9 +155,9 @@ pub use vp_workload;
 pub mod prelude {
     pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
     pub use vp_core::{
-        knn_at, knn_batch, Health, IndexError, IndexResult, KnnQuery, MovingObject,
+        knn_at, knn_batch, Health, IndexError, IndexResult, IndexSnapshot, KnnQuery, MovingObject,
         MovingObjectIndex, Neighbor, ObjectId, PartitionSpec, QueryRegion, RangeQuery,
-        RecoveryReport, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex,
+        RecoveryReport, SnapshotIndex, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex, VpSnapshot,
     };
     pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
     pub use vp_storage::{

@@ -620,6 +620,119 @@ fn failed_checkpoint_publish_keeps_previous_checkpoint_and_log() {
     recovered.checkpoint().unwrap();
 }
 
+/// Regression: the atomic publish used to swallow the post-rename
+/// *directory* fsync (`let _ = d.sync_all()`) — reporting a checkpoint
+/// durable that a crash could still undo (until the directory entry is
+/// synced, the rename itself is not stable). The failure must surface
+/// as a structured error through the publish path (site `ckpt:dir`),
+/// stay non-fatal, and a clean retry must go through.
+#[test]
+fn checkpoint_directory_sync_failure_surfaces_and_is_retryable() {
+    let t = TempDir::new("ckpt-dirsync");
+    let inj = FaultInjector::new();
+    let cfg = faulty_config(&t.0, SyncPolicy::Always, &inj);
+    let ticks = make_ticks(0xD14, 3);
+    let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+    for tick in &ticks[..2] {
+        vp.apply_updates(tick).unwrap();
+    }
+
+    for kind in [FaultKind::Eio, FaultKind::SyncFail] {
+        next_op(&inj, "ckpt:dir", FaultOp::Sync, kind);
+        let err = vp.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, IndexError::Storage(_) | IndexError::Wal(_)),
+            "structured error for {kind:?}: {err:?}"
+        );
+        // The log was not truncated behind the unacknowledged publish:
+        // everything is still replayable.
+        assert!(
+            !vp.is_read_only(),
+            "a failed checkpoint publish is retryable ({kind:?})"
+        );
+    }
+    assert_eq!(inj.fired_count(), 2, "both scripted dir-sync faults fired");
+
+    // Retry with the schedule drained: publish succeeds end-to-end.
+    vp.checkpoint().unwrap();
+    vp.apply_updates(&ticks[2]).unwrap();
+    drop(vp);
+    inj.set_enabled(false);
+    let (recovered, _) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_same_state(
+        &recovered,
+        &oracle_over(&cfg, &ticks, &prefix(3, 3)),
+        "recovered across failed dir syncs",
+    );
+}
+
+/// Regression: single-op records (inserts/deletes) are far too small
+/// to roll the meta stream's active segment, and `truncate_below` only
+/// deletes whole sealed segments — so the meta stream never shrank at
+/// a checkpoint, retaining every dead record forever. The checkpoint
+/// path now seals the active segment first; the on-disk meta stream
+/// must get smaller and recovery must still tell the same story.
+#[test]
+fn checkpoint_compacts_single_op_meta_records() {
+    let meta_bytes = |dir: &Path| -> u64 {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with("meta-") && n.ends_with(".seg")
+            })
+            .map(|e| e.metadata().unwrap().len())
+            .sum()
+    };
+
+    let t = TempDir::new("meta-compaction");
+    let cfg = VpConfig::default()
+        .with_wal_dir(&t.0)
+        .with_sync_policy(SyncPolicy::Always);
+    let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+    let mut rng = Rng(0x5E9);
+    let objs: Vec<MovingObject> = (0..120u64)
+        .map(|id| {
+            let ang = rng.f64() * std::f64::consts::TAU;
+            let speed = rng.f64() * 80.0;
+            MovingObject::new(
+                id,
+                Point::new(rng.f64() * 100_000.0, rng.f64() * 100_000.0),
+                Point::new(ang.cos() * speed, ang.sin() * speed),
+                0.0,
+            )
+        })
+        .collect();
+    // Single-op traffic only: every record is a few dozen bytes, so
+    // the stream never rolls a segment on its own.
+    for o in &objs {
+        vp.insert(*o).unwrap();
+    }
+    for id in 0..40u64 {
+        vp.delete(id).unwrap();
+    }
+    let before = meta_bytes(&t.0);
+    vp.checkpoint().unwrap();
+    let after = meta_bytes(&t.0);
+    assert!(
+        after < before / 2,
+        "meta stream must shrink at checkpoint: {after} !< {before}/2"
+    );
+
+    // The compacted log + checkpoint still recover the exact state.
+    drop(vp);
+    let (recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.events_replayed, 0, "everything is in the checkpoint");
+    assert_eq!(recovered.len(), 80);
+    for id in 0..40u64 {
+        assert_eq!(recovered.get_object(id).unwrap(), None);
+    }
+    for o in &objs[40..] {
+        assert_eq!(recovered.get_object(o.id).unwrap(), Some(*o));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Randomized fault schedules (the acceptance proptest)
 // ---------------------------------------------------------------------

@@ -256,7 +256,7 @@ proptest! {
             let q = RangeQuery::time_slice(
                 QueryRegion::Circle(Circle::new(
                     Point::new(c.x.abs(), c.y.abs()), radius)), qt);
-            let mut want = oracle.range_query(&q).unwrap();
+            let mut want = MovingObjectIndex::range_query(&oracle, &q).unwrap();
             want.sort_unstable();
             let mut a = tpr.range_query(&q).unwrap();
             a.sort_unstable();

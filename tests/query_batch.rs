@@ -8,6 +8,11 @@
 //! the sequential run). Plus the attributable perf claim: the shared
 //! leaf sweep reads fewer pages than looped queries on overlapping
 //! batches.
+//!
+//! The HTAP contract rides along: a [`VpSnapshot`] taken at any cut
+//! point of a tick stream must answer bit-identically to the quiesced
+//! index at that point — from multiple reader threads, while later
+//! ticks commit underneath it on the writer thread.
 
 use std::sync::Arc;
 
@@ -202,6 +207,109 @@ fn assert_batch_equivalent<I: MovingObjectIndex + Send + Sync>(
     }
 }
 
+/// Drives one index family through the snapshot-under-ticks scenario:
+/// tick to `cut`, record the quiesced answers, snapshot, then hammer
+/// the snapshot from reader threads while the writer thread commits
+/// the rest of the stream. Every read must be bit-identical to the
+/// quiesced baseline; the baseline itself must match the scan oracle
+/// at the cut point; and a fresh snapshot must track the live index.
+fn check_snapshot_under_ticks<I>(
+    mut vp: VpIndex<I>,
+    ticks: &[Vec<MovingObject>],
+    cut: usize,
+    queries: &[RangeQuery],
+    knn_queries: &[KnnQuery],
+    domain: &Rect,
+    label: &str,
+) where
+    I: SnapshotIndex + Send + Sync,
+{
+    for tick in &ticks[..cut] {
+        vp.apply_updates(tick).unwrap();
+    }
+    let baseline = vp.range_query_batch(queries).unwrap();
+    let baseline_knn = vp.knn_batch(knn_queries, domain).unwrap();
+
+    // The quiesced baseline must itself be honest: compare against
+    // the scan oracle over the prefix, so "snapshot == baseline"
+    // below can't vacuously pass on a shared wrong answer.
+    let at_cut = live_objects(&ticks[..cut]);
+    for (qi, q) in queries.iter().enumerate() {
+        let mut got = baseline[qi].clone();
+        got.sort_unstable();
+        let mut oracle: Vec<u64> = at_cut
+            .iter()
+            .filter(|o| q.matches(o))
+            .map(|o| o.id)
+            .collect();
+        oracle.sort_unstable();
+        assert_eq!(
+            got, oracle,
+            "{label}: query {qi} diverged from quiesced oracle"
+        );
+    }
+
+    let mut snap = vp.snapshot().unwrap();
+    std::thread::scope(|s| {
+        for reader in 0..2 {
+            let snap = &snap;
+            let baseline = &baseline;
+            let baseline_knn = &baseline_knn;
+            s.spawn(move || {
+                for round in 0..8 {
+                    assert_eq!(
+                        &snap.range_query_batch(queries).unwrap(),
+                        baseline,
+                        "{label}: reader {reader} round {round} saw a torn range read"
+                    );
+                    assert_eq!(
+                        &snap.knn_batch(knn_queries, domain).unwrap(),
+                        baseline_knn,
+                        "{label}: reader {reader} round {round} saw a torn knn read"
+                    );
+                }
+            });
+        }
+        // Writer: commit the rest of the stream under the readers.
+        for tick in &ticks[cut..] {
+            vp.apply_updates(tick).unwrap();
+        }
+    });
+
+    // The snapshot outlives the concurrent ticks unchanged, and stays
+    // read-only.
+    assert_eq!(
+        snap.range_query_batch(queries).unwrap(),
+        baseline,
+        "{label}: snapshot drifted after concurrent ticks"
+    );
+    let probe = MovingObject::new(999_999, Point::new(1.0, 1.0), Point::new(0.0, 0.0), 0.0);
+    assert!(
+        matches!(
+            MovingObjectIndex::insert(&mut snap, probe),
+            Err(IndexError::ReadOnly(_))
+        ),
+        "{label}: snapshot accepted a write"
+    );
+    drop(snap);
+
+    // After the old epoch retires, a fresh snapshot tracks the live
+    // index bit-for-bit.
+    let live_range = vp.range_query_batch(queries).unwrap();
+    let live_knn = vp.knn_batch(knn_queries, domain).unwrap();
+    let snap2 = vp.snapshot().unwrap();
+    assert_eq!(
+        snap2.range_query_batch(queries).unwrap(),
+        live_range,
+        "{label}: fresh snapshot diverged from live range answers"
+    );
+    assert_eq!(
+        snap2.knn_batch(knn_queries, domain).unwrap(),
+        live_knn,
+        "{label}: fresh snapshot diverged from live knn answers"
+    );
+}
+
 /// The live fleet after a tick stream (last write per id wins).
 fn live_objects(ticks: &[Vec<MovingObject>]) -> Vec<MovingObject> {
     let mut last = std::collections::BTreeMap::new();
@@ -255,6 +363,35 @@ proptest! {
             tpr_par.range_query_batch(&queries).unwrap(),
             "tpr parallel fan-out diverged from sequential"
         );
+    }
+
+    /// Tentpole guard (HTAP mode): for random tick streams and a
+    /// random cut point, snapshot reads from concurrent reader
+    /// threads are bit-identical to the quiesced oracle while the
+    /// writer thread commits the rest of the stream — on both index
+    /// families — and the snapshot rejects writes.
+    #[test]
+    fn snapshot_readers_race_concurrent_ticks(
+        seed in 1u64..1_000_000,
+        n_ticks in 3usize..6,
+        n_queries in 4usize..14,
+    ) {
+        let ticks = make_ticks(seed, 200, n_ticks);
+        let cut = 1 + (seed as usize) % (n_ticks - 1);
+        let t_max = (n_ticks - 1) as f64 * 10.0;
+        let queries = make_queries(seed ^ 0x5EED, n_queries, t_max + 30.0);
+        let domain = Rect::from_bounds(0.0, 0.0, DOMAIN, DOMAIN);
+        let mut rng = Rng::new(seed ^ 0x77);
+        let knn_queries: Vec<KnnQuery> = (0..4)
+            .map(|i| KnnQuery {
+                center: Point::new(rng.f64() * DOMAIN, rng.f64() * DOMAIN),
+                k: 1 + (i % 6),
+                t: t_max,
+            })
+            .collect();
+
+        check_snapshot_under_ticks(build_bx(2), &ticks, cut, &queries, &knn_queries, &domain, "bx");
+        check_snapshot_under_ticks(build_tpr(2), &ticks, cut, &queries, &knn_queries, &domain, "tpr");
     }
 
     /// Incremental batched kNN == looped incremental kNN == brute
