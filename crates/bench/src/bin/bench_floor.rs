@@ -1,5 +1,5 @@
 //! Bench-floor guard: fails (exit 1) when a freshly measured bench
-//! JSON regresses below a fraction of the committed one.
+//! JSON regresses against the committed one.
 //!
 //! Reads two `BENCH_*.json` files in the workspace's dumb bench
 //! format (`{"bench": …, "metrics": {key: value, …}}`), selects the
@@ -8,11 +8,19 @@
 //! that are comparable across machines and run sizes, unlike raw
 //! throughput) — and asserts `fresh >= floor * committed` for each.
 //!
+//! With `--ceiling` the guard flips for smaller-is-better metrics
+//! (latencies): it asserts `fresh <= ceiling * committed` instead.
+//!
 //! ```text
 //! cargo run --release -p vp-bench --bin bench_floor -- \
 //!     --committed BENCH_query_batch.json \
 //!     --fresh target/BENCH_query_batch.json \
 //!     --floor 0.8
+//!
+//! cargo run --release -p vp-bench --bin bench_floor -- \
+//!     --committed BENCH_server_quick.json \
+//!     --fresh target/BENCH_server_quick.json \
+//!     --ceiling 1.25 --match p99
 //! ```
 
 use std::collections::BTreeMap;
@@ -53,6 +61,8 @@ fn main() -> ExitCode {
     let committed = arg("--committed").expect("--committed <file> is required");
     let fresh = arg("--fresh").expect("--fresh <file> is required");
     let floor: f64 = arg("--floor").map_or(0.8, |f| f.parse().expect("--floor parses as f64"));
+    let ceiling: Option<f64> =
+        arg("--ceiling").map(|c| c.parse().expect("--ceiling parses as f64"));
     let mut matchers: Vec<String> = args
         .iter()
         .enumerate()
@@ -77,21 +87,42 @@ fn main() -> ExitCode {
             continue;
         };
         checked += 1;
-        let min = reference * floor;
-        let ok = measured >= min;
-        println!(
-            "{} {key}: {measured:.3} vs committed {reference:.3} (floor {min:.3})",
-            if ok { "ok  " } else { "FAIL" },
-        );
-        if !ok {
-            failures.push(format!(
-                "{key}: {measured:.3} < {min:.3} ({floor} x committed {reference:.3})"
-            ));
+        match ceiling {
+            // Smaller-is-better mode (latencies): regressions grow.
+            Some(ceiling) => {
+                let max = reference * ceiling;
+                let ok = measured <= max;
+                println!(
+                    "{} {key}: {measured:.3} vs committed {reference:.3} (ceiling {max:.3})",
+                    if ok { "ok  " } else { "FAIL" },
+                );
+                if !ok {
+                    failures.push(format!(
+                        "{key}: {measured:.3} > {max:.3} ({ceiling} x committed {reference:.3})"
+                    ));
+                }
+            }
+            None => {
+                let min = reference * floor;
+                let ok = measured >= min;
+                println!(
+                    "{} {key}: {measured:.3} vs committed {reference:.3} (floor {min:.3})",
+                    if ok { "ok  " } else { "FAIL" },
+                );
+                if !ok {
+                    failures.push(format!(
+                        "{key}: {measured:.3} < {min:.3} ({floor} x committed {reference:.3})"
+                    ));
+                }
+            }
         }
     }
     assert!(checked > 0, "no guarded metrics matched {matchers:?}");
     if failures.is_empty() {
-        println!("bench_floor: {checked} guarded metrics hold at floor {floor}");
+        match ceiling {
+            Some(c) => println!("bench_floor: {checked} guarded metrics hold at ceiling {c}"),
+            None => println!("bench_floor: {checked} guarded metrics hold at floor {floor}"),
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("bench_floor: {} regression(s):", failures.len());

@@ -5,7 +5,7 @@
 //! Point lookups, fitting inserts, non-underflowing deletes, range
 //! scans, and [`BPlusTree::apply_batch`] all operate **in place on the
 //! encoded pages** through the [`crate::node`] views: descent binary
-//! searches [`InternalView`]s, and leaf edits are memmoves inside a
+//! searches `InternalView`s, and leaf edits are memmoves inside a
 //! [`LeafViewMut`]. No `Vec` materialization, no whole-page re-encode.
 //! Only structural surgery — splits, merges, sibling borrowing — falls
 //! back to the decoded [`BNode`] machinery, which is the rare case by
@@ -174,7 +174,7 @@ impl BPlusTree {
     }
 
     /// Walks from the root to the leaf owning `key` via zero-copy
-    /// [`InternalView`] binary searches.
+    /// `InternalView` binary searches.
     fn descend_to_leaf(&self, key: Key128) -> StorageResult<PageId> {
         self.view().descend_to_leaf(key)
     }

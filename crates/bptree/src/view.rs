@@ -1,6 +1,6 @@
 //! The B+-tree read path, generic over its page source.
 //!
-//! [`ReadView`] bundles a root handle (root page + height) with any
+//! `ReadView` (crate-private) bundles a root handle (root page + height) with any
 //! [`PageRead`] implementor and runs the zero-copy descent, lookup,
 //! and range-scan machinery against it. The live [`BPlusTree`] wraps
 //! its buffer pool in a view for every read; [`BPlusTreeSnapshot`]

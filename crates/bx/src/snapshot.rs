@@ -1,8 +1,9 @@
 //! The Bx-tree read path, shared between the live tree and its
 //! lock-free snapshots.
 //!
-//! [`BxView`] bundles the query planner's state (configuration, curve,
-//! velocity histogram, bucket census) with any [`BtreeRead`]
+//! `BxView` (crate-private) bundles the query planner's state
+//! (configuration, curve, velocity histogram, bucket census) with any
+//! `BtreeRead`
 //! implementor and runs the window-enlargement planning and the
 //! single/batched/incremental query paths against it. The live
 //! [`BxTree`] builds a view over its own `BPlusTree` for every query;

@@ -1,0 +1,91 @@
+//! The writer→reader snapshot handoff used by serving layers.
+//!
+//! A service front-end (e.g. the `vp-server` crate) keeps exactly one
+//! writer thread that owns the `&mut` index and any number of reader
+//! threads answering queries from [`IndexSnapshot`](crate::traits::IndexSnapshot)s. The
+//! [`SnapshotCell`] is the single point where the two sides meet: the
+//! writer [`publish`es](SnapshotCell::publish) a fresh snapshot after
+//! every committed tick, readers [`load`](SnapshotCell::load) the
+//! current one — an `Arc` bump under a momentary lock, never blocking
+//! on query execution or tick application. Readers keep using a loaded
+//! snapshot for as long as they like; the storage layer reclaims the
+//! page versions a superseded snapshot pins once its last `Arc` drops.
+
+use std::sync::{Arc, Mutex};
+
+/// A shared slot holding the most recently published snapshot.
+///
+/// The lock is held only to swap or clone the `Arc` — queries run
+/// entirely outside it — so readers and the writer never contend on
+/// anything proportional to the data.
+pub struct SnapshotCell<S> {
+    slot: Mutex<Arc<S>>,
+}
+
+impl<S> SnapshotCell<S> {
+    /// Creates a cell holding `snapshot` as the current view.
+    pub fn new(snapshot: S) -> SnapshotCell<S> {
+        SnapshotCell {
+            slot: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone); the returned
+    /// handle stays valid — and keeps answering from its captured
+    /// state — even after later [`SnapshotCell::publish`] calls.
+    pub fn load(&self) -> Arc<S> {
+        Arc::clone(&self.slot.lock().expect("snapshot cell poisoned"))
+    }
+
+    /// Replaces the current snapshot. Called by the writer thread
+    /// after each committed mutation batch; readers holding the old
+    /// snapshot are unaffected.
+    pub fn publish(&self, snapshot: S) {
+        *self.slot.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for SnapshotCell<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_supersedes_but_old_handles_survive() {
+        let cell = SnapshotCell::new(vec![1, 2, 3]);
+        let old = cell.load();
+        cell.publish(vec![4, 5]);
+        assert_eq!(*old, vec![1, 2, 3], "held snapshot unaffected");
+        assert_eq!(*cell.load(), vec![4, 5], "new loads see the publish");
+    }
+
+    #[test]
+    fn concurrent_loads_and_publishes() {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        std::thread::scope(|s| {
+            let c = Arc::clone(&cell);
+            s.spawn(move || {
+                for i in 1..=100u64 {
+                    c.publish(i);
+                }
+            });
+            for _ in 0..4 {
+                let c = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..200 {
+                        let v = *c.load();
+                        assert!(v >= last, "published values only move forward");
+                        last = v;
+                    }
+                });
+            }
+        });
+        assert_eq!(*cell.load(), 100);
+    }
+}

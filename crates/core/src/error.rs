@@ -29,6 +29,20 @@ pub enum IndexError {
     ReadOnly(String),
 }
 
+impl IndexError {
+    /// True when this error carries a poisoned-WAL failure (a failed
+    /// fsync whose on-disk effect is unknowable — see
+    /// [`vp_wal::WalError::Poisoned`]). Serving layers surface this as
+    /// its own protocol error code, distinct from ordinary storage
+    /// errors: the client learns the index is about to demote to
+    /// read-only rather than seeing a retryable-looking I/O failure.
+    pub fn is_wal_poisoned(&self) -> bool {
+        // `From<WalError>` stringifies through `Display`, whose
+        // `Poisoned` arm is the only producer of this phrase.
+        matches!(self, IndexError::Wal(msg) if msg.contains("poisoned"))
+    }
+}
+
 impl From<StorageError> for IndexError {
     fn from(e: StorageError) -> Self {
         IndexError::Storage(e)

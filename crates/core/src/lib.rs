@@ -27,6 +27,7 @@
 //! paper's claim that VP is a generic technique.
 
 pub mod analyzer;
+pub mod cell;
 pub mod config;
 pub mod durable;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod tau;
 pub mod traits;
 
 pub use analyzer::{AnalyzerOutput, DvaPartition, VelocityAnalyzer};
+pub use cell::SnapshotCell;
 pub use config::VpConfig;
 pub use durable::RecoveryReport;
 pub use error::{IndexError, IndexResult};

@@ -263,6 +263,13 @@ impl<I> VpIndex<I> {
         self.config.tick_workers = workers;
     }
 
+    /// The world-space data domain (convenience accessor for callers
+    /// that only hold the index — the kNN driver and the serving
+    /// layer both bound searches by it).
+    pub fn domain(&self) -> Rect {
+        self.config.domain
+    }
+
     /// The partition specifications (DVA partitions then outlier).
     pub fn specs(&self) -> &[PartitionSpec] {
         &self.specs

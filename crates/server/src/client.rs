@@ -1,0 +1,188 @@
+//! A small blocking client for the vp-server protocol.
+//!
+//! One [`VpClient`] wraps one TCP connection and issues synchronous
+//! request/response calls. It exists for the integration tests, the
+//! load generator, and the quickstart example — it is intentionally
+//! not a connection pool.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use vp_core::{KnnQuery, MovingObject, Neighbor, RangeQuery};
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, StatsReply};
+
+/// Client-side failure: transport, codec, or a typed server error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket / framing failure (includes decode errors, which are
+    /// `InvalidData` I/O errors).
+    Io(io::Error),
+    /// The server answered with a frame the call did not expect.
+    Protocol(String),
+    /// The server rejected the request with a typed error.
+    Server {
+        /// The protocol error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is a typed rejection.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to a vp-server.
+pub struct VpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl VpClient {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<VpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(VpClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> ClientResult<()> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ClientResult<Response> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::Protocol(
+                "server closed connection mid-request".into(),
+            )),
+        }
+    }
+
+    fn expect_ok(&mut self) -> ClientResult<()> {
+        match self.recv()? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Executes a range query; chunked responses are reassembled into
+    /// one id list (see [`VpClient::range_frames`] to observe chunk
+    /// boundaries).
+    pub fn range(&mut self, query: &RangeQuery) -> ClientResult<Vec<u64>> {
+        Ok(self.range_frames(query)?.into_iter().flatten().collect())
+    }
+
+    /// Executes a range query and returns each response chunk as its
+    /// own vector, in arrival order. Tests use this to assert the
+    /// streaming behavior; most callers want [`VpClient::range`].
+    pub fn range_frames(&mut self, query: &RangeQuery) -> ClientResult<Vec<Vec<u64>>> {
+        self.send(&Request::Range(*query))?;
+        let mut frames = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Ids { done, ids } => {
+                    frames.push(ids);
+                    if done {
+                        return Ok(frames);
+                    }
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        }
+    }
+
+    /// Executes a kNN query.
+    pub fn knn(&mut self, query: &KnnQuery) -> ClientResult<Vec<Neighbor>> {
+        self.send(&Request::Knn(*query))?;
+        match self.recv()? {
+            Response::Neighbors(ns) => Ok(ns),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Inserts one object.
+    pub fn insert(&mut self, obj: MovingObject) -> ClientResult<()> {
+        self.send(&Request::Insert(obj))?;
+        self.expect_ok()
+    }
+
+    /// Deletes one object by id.
+    pub fn delete(&mut self, id: u64) -> ClientResult<()> {
+        self.send(&Request::Delete(id))?;
+        self.expect_ok()
+    }
+
+    /// Applies one tick (an atomic batch of position re-reports).
+    pub fn tick(&mut self, updates: &[MovingObject]) -> ClientResult<()> {
+        self.send(&Request::Tick(updates.to_vec()))?;
+        self.expect_ok()
+    }
+
+    /// Looks up an object's last reported state.
+    pub fn get_object(&mut self, id: u64) -> ClientResult<Option<MovingObject>> {
+        self.send(&Request::GetObject(id))?;
+        match self.recv()? {
+            Response::Object(o) => Ok(o),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches server + index statistics.
+    pub fn stats(&mut self) -> ClientResult<StatsReply> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down (acknowledged before it exits).
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.send(&Request::Shutdown)?;
+        self.expect_ok()
+    }
+}

@@ -1,0 +1,31 @@
+//! # vp-server — networked batch-formation front-end
+//!
+//! Everything inside the index is batched (`range_query_batch` /
+//! `knn_batch` beat looped queries 1.5–2.9×) and snapshot reads are
+//! lock-free under concurrent ticks — but those wins only materialize
+//! if something *forms batches* from independent client requests. This
+//! crate is that something: a std-only TCP server whose **batch
+//! former** coalesces in-flight range/kNN requests into time/size
+//! bounded windows and executes each window against the current
+//! [`vp_core::VpSnapshot`], while a single writer thread owns the
+//! `&mut` [`vp_core::VpIndex`] and publishes a fresh snapshot after
+//! every committed mutation. Group commit, applied to reads.
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (requests,
+//!   responses, typed error codes, chunked range results).
+//! * [`server`] — [`spawn`], the thread topology, the
+//!   window-close policy, and bounded-queue admission control.
+//! * [`client`] — [`VpClient`], a small blocking client used by the
+//!   tests, the load generator, and the quickstart example.
+//!
+//! See `docs/ARCHITECTURE.md` ("Service layer & batch formation") for
+//! the request lifecycle and the guard matrix rows that pin this
+//! crate's behavior.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ClientResult, VpClient};
+pub use protocol::{ErrorCode, Request, Response, StatsReply};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,612 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload. The first payload byte is a message kind
+//! tag; the rest is a fixed-layout body (little-endian integers, IEEE
+//! `f64` bits). There is no versioning or compression — the protocol
+//! exists to carry the batch-formation experiment, not to be a wire
+//! standard — but the frame layer already supports the one structural
+//! feature the index needs: **chunked range results**. A range query
+//! whose hit set exceeds the server's `max_frame` knob streams as a
+//! sequence of [`Response::Ids`] frames, all but the last carrying
+//! `done == false`; clients accumulate until `done`.
+//!
+//! Requests and responses both roundtrip through [`Request::encode`] /
+//! [`Request::decode`] (resp. [`Response`]) so the client and server
+//! cannot drift apart; the unit tests pin the roundtrips.
+
+use std::io::{self, Read, Write};
+
+use vp_core::{KnnQuery, MovingObject, Neighbor, QueryRegion, RangeQuery};
+use vp_geom::{Circle, Point, Rect};
+
+/// Upper bound on a single frame's payload, as a corruption guard: a
+/// garbled length prefix should fail fast, not attempt a multi-gigabyte
+/// allocation. 64 MiB comfortably fits any real response (a range hit
+/// set of 8M ids) while rejecting nonsense.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Protocol error codes carried by [`Response::Error`].
+///
+/// `ReadOnly` and `WalPoisoned` are deliberately distinct from
+/// `Storage`: they tell the client the *index* has demoted (writes will
+/// keep failing until recovery) rather than that one request hit a
+/// transient fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed or unknown request frame.
+    BadRequest = 1,
+    /// Admission queue full — retry later. The request was *not*
+    /// executed.
+    Overloaded = 2,
+    /// The index is in `Health::ReadOnly`; mutations are rejected but
+    /// reads keep answering.
+    ReadOnly = 3,
+    /// A write failed because the WAL stream is poisoned by a failed
+    /// fsync (`WalError::Poisoned`) — the demotion to read-only is
+    /// happening right now.
+    WalPoisoned = 4,
+    /// Delete/update of an id the index does not contain.
+    UnknownObject = 5,
+    /// Insert of an id already present.
+    DuplicateObject = 6,
+    /// Object position outside the configured data domain.
+    OutOfDomain = 7,
+    /// Underlying page storage failed.
+    Storage = 8,
+    /// Anything else (server-side panic shields, shutdown races).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::ReadOnly,
+            4 => ErrorCode::WalPoisoned,
+            5 => ErrorCode::UnknownObject,
+            6 => ErrorCode::DuplicateObject,
+            7 => ErrorCode::OutOfDomain,
+            8 => ErrorCode::Storage,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a range query (batched server-side).
+    Range(RangeQuery),
+    /// Execute a kNN query (batched server-side).
+    Knn(KnnQuery),
+    /// Insert one object (routed to the writer thread).
+    Insert(MovingObject),
+    /// Delete one object by id (routed to the writer thread).
+    Delete(u64),
+    /// Apply a tick: a batch of position re-reports, atomically.
+    Tick(Vec<MovingObject>),
+    /// Point lookup of an object's last reported state.
+    GetObject(u64),
+    /// Server + index statistics.
+    Stats,
+    /// Ask the server to shut down (acked with `Response::Ok`).
+    Shutdown,
+}
+
+/// Server + index statistics returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Objects currently indexed.
+    pub objects: u64,
+    /// Partition count (DVA partitions + outlier).
+    pub partitions: u32,
+    /// True once the index has demoted to read-only.
+    pub read_only: bool,
+    /// Query batches executed so far.
+    pub batches: u64,
+    /// Read requests that travelled inside those batches.
+    pub batched_requests: u64,
+    /// Mutations (inserts + deletes + ticks) applied.
+    pub writes: u64,
+    /// Requests rejected with `Overloaded`.
+    pub overloaded: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One chunk of a range result. `done == false` means more chunks
+    /// follow for the *same* request; ids arrive in ascending order
+    /// across the whole sequence.
+    Ids { done: bool, ids: Vec<u64> },
+    /// A kNN result (sorted by distance, then id).
+    Neighbors(Vec<Neighbor>),
+    /// Mutation / shutdown acknowledged.
+    Ok,
+    /// Point-lookup result.
+    Object(Option<MovingObject>),
+    /// Statistics snapshot.
+    Stats(StatsReply),
+    /// Typed failure; the request had no effect (for `Overloaded` it
+    /// was never admitted).
+    Error { code: ErrorCode, message: String },
+}
+
+// --- frame layer -----------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed
+/// the connection cleanly at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// --- body codec ------------------------------------------------------------
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_point(buf: &mut Vec<u8>, p: Point) {
+    put_f64(buf, p.x);
+    put_f64(buf, p.y);
+}
+
+fn put_object(buf: &mut Vec<u8>, o: &MovingObject) {
+    buf.extend_from_slice(&o.id.to_le_bytes());
+    put_point(buf, o.pos);
+    put_point(buf, o.vel);
+    put_f64(buf, o.ref_time);
+}
+
+/// Sequential reader over a frame payload. Every getter returns
+/// `InvalidData` on underrun so a truncated frame surfaces as a decode
+/// error, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated frame",
+            ));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn point(&mut self) -> io::Result<Point> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+
+    fn object(&mut self) -> io::Result<MovingObject> {
+        let id = self.u64()?;
+        let pos = self.point()?;
+        let vel = self.point()?;
+        let ref_time = self.f64()?;
+        Ok(MovingObject {
+            id,
+            pos,
+            vel,
+            ref_time,
+        })
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes in frame",
+            ))
+        }
+    }
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {what}"))
+}
+
+impl Request {
+    /// Serializes into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            Request::Range(q) => {
+                buf.push(1);
+                match q.region {
+                    QueryRegion::Circle(c) => {
+                        buf.push(0);
+                        put_point(&mut buf, c.center);
+                        put_f64(&mut buf, c.radius);
+                    }
+                    QueryRegion::Rect(r) => {
+                        buf.push(1);
+                        put_point(&mut buf, r.lo);
+                        put_point(&mut buf, r.hi);
+                    }
+                }
+                put_point(&mut buf, q.velocity);
+                put_f64(&mut buf, q.region_ref_time);
+                put_f64(&mut buf, q.t_start);
+                put_f64(&mut buf, q.t_end);
+            }
+            Request::Knn(q) => {
+                buf.push(2);
+                put_point(&mut buf, q.center);
+                buf.extend_from_slice(&(q.k as u32).to_le_bytes());
+                put_f64(&mut buf, q.t);
+            }
+            Request::Insert(o) => {
+                buf.push(3);
+                put_object(&mut buf, o);
+            }
+            Request::Delete(id) => {
+                buf.push(4);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Tick(updates) => {
+                buf.push(5);
+                buf.extend_from_slice(&(updates.len() as u32).to_le_bytes());
+                for o in updates {
+                    put_object(&mut buf, o);
+                }
+            }
+            Request::GetObject(id) => {
+                buf.push(6);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Stats => buf.push(7),
+            Request::Shutdown => buf.push(8),
+        }
+        buf
+    }
+
+    /// Parses a frame payload produced by [`Request::encode`].
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            1 => {
+                let region = match c.u8()? {
+                    0 => QueryRegion::Circle(Circle::new(c.point()?, c.f64()?)),
+                    1 => QueryRegion::Rect(Rect::new(c.point()?, c.point()?)),
+                    t => return Err(bad(&format!("region tag {t}"))),
+                };
+                let velocity = c.point()?;
+                let region_ref_time = c.f64()?;
+                let t_start = c.f64()?;
+                let t_end = c.f64()?;
+                Request::Range(RangeQuery {
+                    region,
+                    velocity,
+                    region_ref_time,
+                    t_start,
+                    t_end,
+                })
+            }
+            2 => {
+                let center = c.point()?;
+                let k = c.u32()? as usize;
+                let t = c.f64()?;
+                Request::Knn(KnnQuery { center, k, t })
+            }
+            3 => Request::Insert(c.object()?),
+            4 => Request::Delete(c.u64()?),
+            5 => {
+                let n = c.u32()? as usize;
+                let mut updates = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    updates.push(c.object()?);
+                }
+                Request::Tick(updates)
+            }
+            6 => Request::GetObject(c.u64()?),
+            7 => Request::Stats,
+            8 => Request::Shutdown,
+            t => return Err(bad(&format!("request tag {t}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Response::Ids { done, ids } => {
+                buf.push(1);
+                buf.push(u8::from(*done));
+                buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            Response::Neighbors(ns) => {
+                buf.push(2);
+                buf.extend_from_slice(&(ns.len() as u32).to_le_bytes());
+                for n in ns {
+                    buf.extend_from_slice(&n.id.to_le_bytes());
+                    put_f64(&mut buf, n.distance);
+                }
+            }
+            Response::Ok => buf.push(3),
+            Response::Object(o) => {
+                buf.push(4);
+                match o {
+                    Some(o) => {
+                        buf.push(1);
+                        put_object(&mut buf, o);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Response::Stats(s) => {
+                buf.push(5);
+                buf.extend_from_slice(&s.objects.to_le_bytes());
+                buf.extend_from_slice(&s.partitions.to_le_bytes());
+                buf.push(u8::from(s.read_only));
+                buf.extend_from_slice(&s.batches.to_le_bytes());
+                buf.extend_from_slice(&s.batched_requests.to_le_bytes());
+                buf.extend_from_slice(&s.writes.to_le_bytes());
+                buf.extend_from_slice(&s.overloaded.to_le_bytes());
+            }
+            Response::Error { code, message } => {
+                buf.push(6);
+                buf.push(*code as u8);
+                let msg = message.as_bytes();
+                buf.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                buf.extend_from_slice(msg);
+            }
+        }
+        buf
+    }
+
+    /// Parses a frame payload produced by [`Response::encode`].
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            1 => {
+                let done = c.u8()? != 0;
+                let n = c.u32()? as usize;
+                let mut ids = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    ids.push(c.u64()?);
+                }
+                Response::Ids { done, ids }
+            }
+            2 => {
+                let n = c.u32()? as usize;
+                let mut ns = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let id = c.u64()?;
+                    let distance = c.f64()?;
+                    ns.push(Neighbor { id, distance });
+                }
+                Response::Neighbors(ns)
+            }
+            3 => Response::Ok,
+            4 => match c.u8()? {
+                0 => Response::Object(None),
+                1 => Response::Object(Some(c.object()?)),
+                t => return Err(bad(&format!("option tag {t}"))),
+            },
+            5 => {
+                let objects = c.u64()?;
+                let partitions = c.u32()?;
+                let read_only = c.u8()? != 0;
+                let batches = c.u64()?;
+                let batched_requests = c.u64()?;
+                let writes = c.u64()?;
+                let overloaded = c.u64()?;
+                Response::Stats(StatsReply {
+                    objects,
+                    partitions,
+                    read_only,
+                    batches,
+                    batched_requests,
+                    writes,
+                    overloaded,
+                })
+            }
+            6 => {
+                let code = ErrorCode::from_u8(c.u8()?).ok_or_else(|| bad("error code"))?;
+                let len = c.u32()? as usize;
+                let message = String::from_utf8(c.take(len)?.to_vec())
+                    .map_err(|_| bad("error message utf8"))?;
+                Response::Error { code, message }
+            }
+            t => return Err(bad(&format!("response tag {t}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let payload = r.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let payload = r.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Range(RangeQuery::time_slice(
+            QueryRegion::Circle(Circle::new(Point::new(10.0, -3.5), 42.0)),
+            7.0,
+        )));
+        roundtrip_req(Request::Range(RangeQuery::moving(
+            QueryRegion::Rect(Rect::from_bounds(0.0, 1.0, 2.0, 3.0)),
+            Point::new(1.0, -2.0),
+            5.0,
+            9.0,
+        )));
+        roundtrip_req(Request::Knn(KnnQuery {
+            center: Point::new(1.0, 2.0),
+            k: 17,
+            t: 3.0,
+        }));
+        roundtrip_req(Request::Insert(MovingObject::new(
+            9,
+            Point::new(1.0, 2.0),
+            Point::new(-0.5, 0.25),
+            4.0,
+        )));
+        roundtrip_req(Request::Delete(1234));
+        roundtrip_req(Request::Tick(vec![
+            MovingObject::new(1, Point::new(0.0, 0.0), Point::new(1.0, 1.0), 0.0),
+            MovingObject::new(2, Point::new(5.0, 5.0), Point::new(-1.0, 0.0), 0.0),
+        ]));
+        roundtrip_req(Request::GetObject(55));
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Ids {
+            done: false,
+            ids: vec![1, 2, 3],
+        });
+        roundtrip_resp(Response::Ids {
+            done: true,
+            ids: vec![],
+        });
+        roundtrip_resp(Response::Neighbors(vec![
+            Neighbor {
+                id: 3,
+                distance: 1.25,
+            },
+            Neighbor {
+                id: 9,
+                distance: 2.5,
+            },
+        ]));
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Object(None));
+        roundtrip_resp(Response::Object(Some(MovingObject::new(
+            7,
+            Point::new(3.0, 4.0),
+            Point::new(0.0, -1.0),
+            2.0,
+        ))));
+        roundtrip_resp(Response::Stats(StatsReply {
+            objects: 100,
+            partitions: 5,
+            read_only: true,
+            batches: 12,
+            batched_requests: 96,
+            writes: 7,
+            overloaded: 2,
+        }));
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+        });
+    }
+
+    #[test]
+    fn frame_layer_roundtrip_and_caps() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats.encode()).unwrap();
+        write_frame(&mut buf, &Request::Delete(3).encode()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Delete(3)
+        );
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // A garbled length prefix fails fast instead of allocating.
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+
+        // Truncation inside a payload is an error, not a hang.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Delete(3).encode()).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_error_cleanly() {
+        let payload = Request::Insert(MovingObject::new(
+            9,
+            Point::new(1.0, 2.0),
+            Point::new(-0.5, 0.25),
+            4.0,
+        ))
+        .encode();
+        for cut in 1..payload.len() {
+            assert!(Request::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extended = payload;
+        extended.push(0);
+        assert!(Request::decode(&extended).is_err(), "trailing byte");
+    }
+}

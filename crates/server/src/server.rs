@@ -1,0 +1,642 @@
+//! The threaded server: acceptor → connection threads → batch former
+//! and writer.
+//!
+//! # Thread topology
+//!
+//! ```text
+//!  clients ──TCP──▶ acceptor ──▶ conn thread (one per connection)
+//!                                  │
+//!                  Range/Knn ──────┼──try_send──▶ read queue ──▶ batch former
+//!                  Insert/Delete/  │                               │ load()
+//!                  Tick ───────────┼──try_send──▶ write queue      ▼
+//!                  GetObject/Stats─┘               │          SnapshotCell
+//!                  (answered inline                ▼               ▲
+//!                   from the snapshot)          writer ──publish───┘
+//!                                               (&mut VpIndex)
+//! ```
+//!
+//! Reads never touch the live index: the batch former loads the
+//! current [`SnapshotCell`] snapshot and executes a whole *window* of
+//! coalesced requests through `range_query_batch` / `knn_batch`, so
+//! the in-index batching wins apply to independent network clients. A
+//! window closes when it holds [`ServerConfig::max_batch`] requests or
+//! the oldest request has waited [`ServerConfig::window_us`],
+//! whichever comes first. The single writer thread owns the `&mut`
+//! [`VpIndex`]; after every committed mutation it publishes a fresh
+//! snapshot, so the next read window observes it. Ticks and query
+//! windows therefore never contend on anything.
+//!
+//! # Admission control
+//!
+//! Both queues are bounded (`queue_depth`). A full queue rejects the
+//! request immediately with [`ErrorCode::Overloaded`] — the connection
+//! stays open, nothing is buffered, and the client can retry. This is
+//! the structured alternative to unbounded buildup: under overload the
+//! server sheds load at the edge while in-flight windows keep their
+//! latency.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use vp_core::{
+    IndexError, IndexSnapshot, KnnQuery, MovingObjectIndex, RangeQuery, SnapshotCell,
+    SnapshotIndex, VpIndex, VpSnapshot,
+};
+use vp_geom::Rect;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, StatsReply};
+
+/// Tuning knobs for [`spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// A batch window closes once it holds this many read requests.
+    pub max_batch: usize,
+    /// … or once the oldest request in it has waited this long (µs).
+    pub window_us: u64,
+    /// Bound on each admission queue (reads and writes separately);
+    /// a full queue yields [`ErrorCode::Overloaded`].
+    pub queue_depth: usize,
+    /// Maximum number of ids per [`Response::Ids`] frame; larger range
+    /// results stream as multiple chunks.
+    pub max_frame: usize,
+    /// Test/bench knob: artificial delay (µs) before executing each
+    /// window. Lets tests fill the admission queue deterministically;
+    /// leave at 0 in production.
+    pub former_stall_us: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_batch: 32,
+            window_us: 200,
+            queue_depth: 1024,
+            max_frame: 4096,
+            former_stall_us: 0,
+        }
+    }
+}
+
+/// Counters shared by every thread; served to clients via
+/// [`Request::Stats`].
+struct Counters {
+    read_only: AtomicBool,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    writes: AtomicU64,
+    overloaded: AtomicU64,
+}
+
+/// Everything the connection threads and the former share. The
+/// shutdown flag is its own `Arc` so the (non-generic)
+/// [`ServerHandle`] can hold it too.
+struct Shared<S> {
+    cell: SnapshotCell<VpSnapshot<S>>,
+    domain: Rect,
+    partitions: u32,
+    counters: Counters,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+enum ReadKind {
+    Range(RangeQuery),
+    Knn(KnnQuery),
+}
+
+struct ReadJob {
+    kind: ReadKind,
+    /// Receives the full frame sequence for this request (one frame
+    /// for kNN; one or more chunks for range).
+    reply: mpsc::Sender<Vec<Response>>,
+}
+
+enum WriteKind {
+    Insert(vp_core::MovingObject),
+    Delete(u64),
+    Tick(Vec<vp_core::MovingObject>),
+}
+
+struct WriteJob {
+    kind: WriteKind,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send [`Request::Shutdown`] from
+/// a client and [`ServerHandle::join`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the service threads to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits until a client-initiated [`Request::Shutdown`] (or an
+    /// earlier [`ServerHandle::shutdown`]) has stopped the service
+    /// threads.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and spawns the server over `index`.
+///
+/// The index is moved into the writer thread (the single `&mut`
+/// owner); an initial snapshot seeds the [`SnapshotCell`] so reads can
+/// be answered before the first write.
+pub fn spawn<I, A>(index: VpIndex<I>, addr: A, config: ServerConfig) -> io::Result<ServerHandle>
+where
+    I: MovingObjectIndex + SnapshotIndex + Send + Sync + 'static,
+    A: ToSocketAddrs,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let snapshot = index
+        .snapshot()
+        .map_err(|e| io::Error::other(format!("initial snapshot failed: {e}")))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        cell: SnapshotCell::new(snapshot),
+        domain: index.domain(),
+        partitions: index.specs().len() as u32,
+        counters: Counters {
+            read_only: AtomicBool::new(index.is_read_only()),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+        },
+        shutdown: Arc::clone(&shutdown),
+        addr,
+    });
+    let depth = config.queue_depth.max(1);
+    let (read_tx, read_rx) = mpsc::sync_channel::<ReadJob>(depth);
+    let (write_tx, write_rx) = mpsc::sync_channel::<WriteJob>(depth);
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        let cfg = config.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("vp-former".into())
+                .spawn(move || former_loop(read_rx, shared, cfg))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("vp-writer".into())
+                .spawn(move || writer_loop(index, write_rx, shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("vp-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, read_tx, write_tx))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        threads,
+    })
+}
+
+// --- connection handling ---------------------------------------------------
+
+fn accept_loop<S: IndexSnapshot + 'static>(
+    listener: TcpListener,
+    shared: Arc<Shared<S>>,
+    read_tx: SyncSender<ReadJob>,
+    write_tx: SyncSender<WriteJob>,
+) {
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        let read_tx = read_tx.clone();
+        let write_tx = write_tx.clone();
+        let _ = thread::Builder::new()
+            .name("vp-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(stream, shared, read_tx, write_tx);
+            });
+    }
+}
+
+fn overloaded() -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        message: "admission queue full, retry later".into(),
+    }
+}
+
+fn internal(msg: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::Internal,
+        message: msg.into(),
+    }
+}
+
+fn handle_conn<S>(
+    stream: TcpStream,
+    shared: Arc<Shared<S>>,
+    read_tx: SyncSender<ReadJob>,
+    write_tx: SyncSender<WriteJob>,
+) -> io::Result<()>
+where
+    S: IndexSnapshot + 'static,
+{
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                send_one(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Range(q) => enqueue_read(&shared, &read_tx, ReadKind::Range(q), &mut writer)?,
+            Request::Knn(q) => enqueue_read(&shared, &read_tx, ReadKind::Knn(q), &mut writer)?,
+            Request::Insert(o) => {
+                enqueue_write(&shared, &write_tx, WriteKind::Insert(o), &mut writer)?
+            }
+            Request::Delete(id) => {
+                enqueue_write(&shared, &write_tx, WriteKind::Delete(id), &mut writer)?
+            }
+            Request::Tick(updates) => {
+                enqueue_write(&shared, &write_tx, WriteKind::Tick(updates), &mut writer)?
+            }
+            Request::GetObject(id) => {
+                let snap = shared.cell.load();
+                let resp = match snap.get_object(id) {
+                    Ok(o) => Response::Object(o),
+                    Err(e) => error_response(&e),
+                };
+                send_one(&mut writer, &resp)?;
+            }
+            Request::Stats => {
+                let snap = shared.cell.load();
+                let c = &shared.counters;
+                send_one(
+                    &mut writer,
+                    &Response::Stats(StatsReply {
+                        objects: IndexSnapshot::len(&*snap) as u64,
+                        partitions: shared.partitions,
+                        read_only: c.read_only.load(Ordering::SeqCst),
+                        batches: c.batches.load(Ordering::SeqCst),
+                        batched_requests: c.batched_requests.load(Ordering::SeqCst),
+                        writes: c.writes.load(Ordering::SeqCst),
+                        overloaded: c.overloaded.load(Ordering::SeqCst),
+                    }),
+                )?;
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                send_one(&mut writer, &Response::Ok)?;
+                // Wake the blocking accept() so the acceptor observes
+                // the flag and exits.
+                let _ = TcpStream::connect(shared.addr);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn send_one<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    write_frame(w, &resp.encode())?;
+    w.flush()
+}
+
+fn enqueue_read<S, W: Write>(
+    shared: &Shared<S>,
+    read_tx: &SyncSender<ReadJob>,
+    kind: ReadKind,
+    w: &mut W,
+) -> io::Result<()> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    match read_tx.try_send(ReadJob {
+        kind,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.counters.overloaded.fetch_add(1, Ordering::SeqCst);
+            return send_one(w, &overloaded());
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return send_one(w, &internal("server shutting down"));
+        }
+    }
+    match reply_rx.recv() {
+        Ok(frames) => {
+            for f in &frames {
+                write_frame(w, &f.encode())?;
+            }
+            w.flush()
+        }
+        // The former exited (shutdown) before answering.
+        Err(_) => send_one(w, &internal("server shutting down")),
+    }
+}
+
+fn enqueue_write<S, W: Write>(
+    shared: &Shared<S>,
+    write_tx: &SyncSender<WriteJob>,
+    kind: WriteKind,
+    w: &mut W,
+) -> io::Result<()> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    match write_tx.try_send(WriteJob {
+        kind,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.counters.overloaded.fetch_add(1, Ordering::SeqCst);
+            return send_one(w, &overloaded());
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return send_one(w, &internal("server shutting down"));
+        }
+    }
+    match reply_rx.recv() {
+        Ok(resp) => send_one(w, &resp),
+        Err(_) => send_one(w, &internal("server shutting down")),
+    }
+}
+
+// --- batch former ----------------------------------------------------------
+
+/// How often idle loops re-check the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+fn former_loop<S>(rx: Receiver<ReadJob>, shared: Arc<Shared<S>>, cfg: ServerConfig)
+where
+    S: IndexSnapshot + 'static,
+{
+    let max_batch = cfg.max_batch.max(1);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Wait for the window's first request…
+        let first = match rx.recv_timeout(IDLE_POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // …then coalesce until the window is full or stale.
+        let mut window = vec![first];
+        let deadline = Instant::now() + Duration::from_micros(cfg.window_us);
+        while window.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => window.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if cfg.former_stall_us > 0 {
+            thread::sleep(Duration::from_micros(cfg.former_stall_us));
+        }
+        execute_window(window, &shared, cfg.max_frame.max(1));
+    }
+}
+
+/// Splits a range result into `done`-terminated chunks of at most
+/// `max_frame` ids (always at least one frame, so empty results still
+/// answer).
+fn chunk_ids(ids: Vec<u64>, max_frame: usize) -> Vec<Response> {
+    if ids.len() <= max_frame {
+        return vec![Response::Ids { done: true, ids }];
+    }
+    let mut frames = Vec::with_capacity(ids.len() / max_frame + 1);
+    let mut chunks = ids.chunks(max_frame).peekable();
+    while let Some(chunk) = chunks.next() {
+        frames.push(Response::Ids {
+            done: chunks.peek().is_none(),
+            ids: chunk.to_vec(),
+        });
+    }
+    frames
+}
+
+fn execute_window<S>(window: Vec<ReadJob>, shared: &Shared<S>, max_frame: usize)
+where
+    S: IndexSnapshot,
+{
+    let snap = shared.cell.load();
+    shared.counters.batches.fetch_add(1, Ordering::SeqCst);
+    shared
+        .counters
+        .batched_requests
+        .fetch_add(window.len() as u64, Ordering::SeqCst);
+
+    // Split the window by kind, remembering each job's slot.
+    let mut range_qs = Vec::new();
+    let mut range_jobs = Vec::new();
+    let mut knn_qs = Vec::new();
+    let mut knn_jobs = Vec::new();
+    for job in window {
+        match job.kind {
+            ReadKind::Range(q) => {
+                range_qs.push(q);
+                range_jobs.push(job.reply);
+            }
+            ReadKind::Knn(q) => {
+                knn_qs.push(q);
+                knn_jobs.push(job.reply);
+            }
+        }
+    }
+
+    if !range_qs.is_empty() {
+        match snap.range_query_batch(&range_qs) {
+            Ok(results) => {
+                for (reply, ids) in range_jobs.iter().zip(results) {
+                    let _ = reply.send(chunk_ids(ids, max_frame));
+                }
+            }
+            Err(e) => {
+                for reply in &range_jobs {
+                    let _ = reply.send(vec![error_response(&e)]);
+                }
+            }
+        }
+    }
+    if !knn_qs.is_empty() {
+        match snap.knn_batch(&knn_qs, &shared.domain) {
+            Ok(results) => {
+                for (reply, ns) in knn_jobs.iter().zip(results) {
+                    let _ = reply.send(vec![Response::Neighbors(ns)]);
+                }
+            }
+            Err(e) => {
+                for reply in &knn_jobs {
+                    let _ = reply.send(vec![error_response(&e)]);
+                }
+            }
+        }
+    }
+}
+
+// --- writer ----------------------------------------------------------------
+
+fn writer_loop<I>(mut index: VpIndex<I>, rx: Receiver<WriteJob>, shared: Arc<Shared<I::Snapshot>>)
+where
+    I: MovingObjectIndex + SnapshotIndex + Send + Sync,
+{
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = match rx.recv_timeout(IDLE_POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let result = match job.kind {
+            WriteKind::Insert(o) => index.insert(o),
+            WriteKind::Delete(id) => index.delete(id),
+            WriteKind::Tick(updates) => index.apply_updates(&updates),
+        };
+        let resp = match result {
+            Ok(()) => {
+                // Make the mutation snapshot-visible (ticks publish
+                // their epoch during commit; single-object mutations
+                // need the explicit publish) and hand the fresh
+                // snapshot to the read side.
+                index.publish_epoch();
+                if let Ok(snap) = index.snapshot() {
+                    shared.cell.publish(snap);
+                }
+                shared.counters.writes.fetch_add(1, Ordering::SeqCst);
+                Response::Ok
+            }
+            Err(e) => {
+                if index.is_read_only() {
+                    shared.counters.read_only.store(true, Ordering::SeqCst);
+                }
+                error_response(&e)
+            }
+        };
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Maps an [`IndexError`] onto the protocol's typed error codes.
+/// `WalPoisoned` is checked before the generic WAL arm so a demotion
+/// in progress is distinguishable from an ordinary logging failure.
+fn error_response(e: &IndexError) -> Response {
+    let code = if e.is_wal_poisoned() {
+        ErrorCode::WalPoisoned
+    } else {
+        match e {
+            IndexError::ReadOnly(_) => ErrorCode::ReadOnly,
+            IndexError::UnknownObject(_) => ErrorCode::UnknownObject,
+            IndexError::DuplicateObject(_) => ErrorCode::DuplicateObject,
+            IndexError::OutOfDomain(_) => ErrorCode::OutOfDomain,
+            IndexError::Storage(_) | IndexError::Wal(_) => ErrorCode::Storage,
+            IndexError::Config(_) => ErrorCode::Internal,
+        }
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_all_ids_and_marks_last() {
+        let ids: Vec<u64> = (0..10).collect();
+        let frames = chunk_ids(ids.clone(), 3);
+        assert_eq!(frames.len(), 4);
+        let mut seen = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            let Response::Ids { done, ids } = f else {
+                panic!("not an Ids frame")
+            };
+            assert_eq!(*done, i == 3);
+            seen.extend_from_slice(ids);
+        }
+        assert_eq!(seen, ids);
+
+        // Empty and exact-fit results are a single final frame.
+        assert_eq!(
+            chunk_ids(vec![], 3),
+            vec![Response::Ids {
+                done: true,
+                ids: vec![]
+            }]
+        );
+        assert_eq!(chunk_ids((0..3).collect(), 3).len(), 1);
+    }
+
+    #[test]
+    fn error_mapping_distinguishes_poisoned_wal() {
+        let poisoned = IndexError::Wal("wal stream poisoned by failed fsync: disk".into());
+        let Response::Error { code, .. } = error_response(&poisoned) else {
+            panic!()
+        };
+        assert_eq!(code, ErrorCode::WalPoisoned);
+
+        let plain = IndexError::Wal("disk full".into());
+        let Response::Error { code, .. } = error_response(&plain) else {
+            panic!()
+        };
+        assert_eq!(code, ErrorCode::Storage);
+
+        let ro = IndexError::ReadOnly("poisoned earlier".into());
+        let Response::Error { code, .. } = error_response(&ro) else {
+            panic!()
+        };
+        assert_eq!(code, ErrorCode::ReadOnly);
+    }
+}

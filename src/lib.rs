@@ -131,13 +131,28 @@
 //! ENOSPC, read errors, and fsync failures at exact operation counts
 //! — see `tests/fault_injection.rs`.
 //!
+//! ## Serving over the network
+//!
+//! The workspace's `vp-server` crate (not re-exported here — it sits
+//! beside this facade, the way `vp-bench` does) puts a TCP front-end
+//! over a built index: a length-prefixed binary protocol, a
+//! batch-former thread that coalesces concurrent range/kNN requests
+//! into windows executed via [`VpSnapshot`] batch queries, a single
+//! writer thread owning the `&mut` [`VpIndex`], bounded admission
+//! queues with typed `Overloaded` rejection, and chunk-streamed
+//! large results. See `docs/ARCHITECTURE.md` § "Service layer &
+//! batch formation", `examples/server_quickstart.rs`, and
+//! `cargo run --release -p vp-bench --bin bench_server` for what the
+//! request coalescing buys (`BENCH_server.json`).
+//!
 //! ## Where everything lives
 //!
 //! `docs/ARCHITECTURE.md` in the repository maps the workspace: the
 //! crate dependency diagram (geom → storage/wal → bptree/bx/tpr →
-//! core → workload → bench), the tick/batch data flow from
+//! core → workload/server → bench), the tick/batch data flow from
 //! `VpIndex::apply_updates` down to the page files, the durability
-//! lifecycle, and which benches and tests guard which path.
+//! lifecycle, the serving edge's batch formation, and which benches
+//! and tests guard which path.
 //!
 //! See `examples/` for larger scenarios and `crates/bench/src/bin/`
 //! for the binaries regenerating every figure of the paper.
