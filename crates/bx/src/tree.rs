@@ -1295,6 +1295,117 @@ mod tests {
         );
     }
 
+    /// Pins the half of the `knn_candidates` contract that holds with
+    /// no chain at all: a standalone call (covered = `None`) returns a
+    /// superset of the exact matches, at every radius and probe time
+    /// the kNN driver would use. The subscription engine's kNN path
+    /// leans on this directly.
+    #[test]
+    fn knn_candidates_standalone_is_superset() {
+        let mut t = tree();
+        for o in random_objects(600, 0xCA17D, 50.0, 0.0) {
+            t.insert(o).unwrap();
+        }
+        let center = Point::new(4_000.0, 6_000.0);
+        for &tq in &[0.0, 20.0, 55.0] {
+            for &r in &[250.0, 900.0, 2_500.0] {
+                let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, r)), tq);
+                let got: std::collections::BTreeSet<u64> =
+                    t.knn_candidates(&q, None).unwrap().into_iter().collect();
+                let want: std::collections::BTreeSet<u64> =
+                    t.range_query(&q).unwrap().into_iter().collect();
+                assert!(
+                    got.is_superset(&want),
+                    "t={tq} r={r}: candidates miss {:?}",
+                    want.difference(&got).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// Pins the omission rule verbatim: within one expanding chain, a
+    /// call may omit an id matching its probe *only* if some earlier
+    /// call of the chain already returned it — a sharper per-step
+    /// check than the cumulative union-superset assertion above.
+    #[test]
+    fn knn_candidates_chain_omissions_were_previously_returned() {
+        let mut t = tree();
+        for o in random_objects(800, 0xFACE1, 50.0, 0.0) {
+            t.insert(o).unwrap();
+        }
+        let center = Point::new(5_000.0, 5_000.0);
+        let tq = 20.0;
+        let mut earlier: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut covered: Option<RangeQuery> = None;
+        for &r in &[300.0, 700.0, 1_500.0, 3_200.0] {
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, r)), tq);
+            let returned: std::collections::BTreeSet<u64> = t
+                .knn_candidates(&q, covered.as_ref())
+                .unwrap()
+                .into_iter()
+                .collect();
+            let want: std::collections::BTreeSet<u64> =
+                t.range_query(&q).unwrap().into_iter().collect();
+            let omitted: Vec<u64> = want.difference(&returned).copied().collect();
+            assert!(
+                omitted.iter().all(|id| earlier.contains(id)),
+                "radius {r}: omitted ids never returned earlier: {:?}",
+                omitted
+                    .iter()
+                    .filter(|id| !earlier.contains(id))
+                    .collect::<Vec<_>>()
+            );
+            earlier.extend(returned);
+            covered = Some(q);
+        }
+    }
+
+    /// The chain contract only holds on an otherwise unmodified index;
+    /// after a tick the consumer must restart with covered = `None`.
+    /// Pins that a fresh chain over the post-update state is sound —
+    /// what the subscription engine does on every tick.
+    #[test]
+    fn knn_candidates_fresh_chain_after_updates_is_sound() {
+        let mut t = tree();
+        let objs = random_objects(600, 0x0DDBA11, 50.0, 0.0);
+        for o in &objs {
+            t.insert(*o).unwrap();
+        }
+        // A tick: every third object re-reports near the query center.
+        let moved: Vec<MovingObject> = objs
+            .iter()
+            .step_by(3)
+            .enumerate()
+            .map(|(i, o)| {
+                obj(
+                    o.id,
+                    4_900.0 + (i % 40) as f64 * 5.0,
+                    5_000.0,
+                    10.0,
+                    0.0,
+                    10.0,
+                )
+            })
+            .collect();
+        t.update_batch(&moved).unwrap();
+        let center = Point::new(5_000.0, 5_000.0);
+        let tq = 15.0;
+        let mut union: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut covered: Option<RangeQuery> = None;
+        for &r in &[200.0, 600.0, 1_400.0] {
+            let q = RangeQuery::time_slice(QueryRegion::Circle(Circle::new(center, r)), tq);
+            union.extend(t.knn_candidates(&q, covered.as_ref()).unwrap());
+            let want: std::collections::BTreeSet<u64> =
+                t.range_query(&q).unwrap().into_iter().collect();
+            assert!(
+                union.is_superset(&want),
+                "radius {r}: post-update chain misses {:?}",
+                want.difference(&union).collect::<Vec<_>>()
+            );
+            covered = Some(q);
+        }
+    }
+
     #[test]
     fn io_stats_flow_through() {
         let mut t = tree();

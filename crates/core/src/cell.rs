@@ -13,20 +13,29 @@
 
 use std::sync::{Arc, Mutex};
 
+use crate::sub::TickDelta;
+
 /// A shared slot holding the most recently published snapshot.
 ///
 /// The lock is held only to swap or clone the `Arc` — queries run
 /// entirely outside it — so readers and the writer never contend on
 /// anything proportional to the data.
+///
+/// Alongside the snapshot the cell can carry the [`TickDelta`] of the
+/// mutation that produced it ([`SnapshotCell::publish_with_delta`]),
+/// so a subscription evaluator reading via
+/// [`SnapshotCell::load_with_delta`] sees an atomic (state, change)
+/// pair — the delta always describes exactly the step from the
+/// previously published snapshot to this one.
 pub struct SnapshotCell<S> {
-    slot: Mutex<Arc<S>>,
+    slot: Mutex<(Arc<S>, Option<Arc<TickDelta>>)>,
 }
 
 impl<S> SnapshotCell<S> {
     /// Creates a cell holding `snapshot` as the current view.
     pub fn new(snapshot: S) -> SnapshotCell<S> {
         SnapshotCell {
-            slot: Mutex::new(Arc::new(snapshot)),
+            slot: Mutex::new((Arc::new(snapshot), None)),
         }
     }
 
@@ -34,14 +43,29 @@ impl<S> SnapshotCell<S> {
     /// handle stays valid — and keeps answering from its captured
     /// state — even after later [`SnapshotCell::publish`] calls.
     pub fn load(&self) -> Arc<S> {
-        Arc::clone(&self.slot.lock().expect("snapshot cell poisoned"))
+        Arc::clone(&self.slot.lock().expect("snapshot cell poisoned").0)
+    }
+
+    /// The current snapshot plus the delta of the mutation that
+    /// published it (`None` when the snapshot was published without
+    /// one — initial state, or via [`SnapshotCell::publish`]).
+    pub fn load_with_delta(&self) -> (Arc<S>, Option<Arc<TickDelta>>) {
+        let slot = self.slot.lock().expect("snapshot cell poisoned");
+        (Arc::clone(&slot.0), slot.1.clone())
     }
 
     /// Replaces the current snapshot. Called by the writer thread
     /// after each committed mutation batch; readers holding the old
-    /// snapshot are unaffected.
+    /// snapshot are unaffected. Clears any carried delta.
     pub fn publish(&self, snapshot: S) {
-        *self.slot.lock().expect("snapshot cell poisoned") = Arc::new(snapshot);
+        *self.slot.lock().expect("snapshot cell poisoned") = (Arc::new(snapshot), None);
+    }
+
+    /// Replaces the current snapshot and attaches the change set that
+    /// produced it, atomically.
+    pub fn publish_with_delta(&self, snapshot: S, delta: TickDelta) {
+        *self.slot.lock().expect("snapshot cell poisoned") =
+            (Arc::new(snapshot), Some(Arc::new(delta)));
     }
 }
 
@@ -87,5 +111,18 @@ mod tests {
             }
         });
         assert_eq!(*cell.load(), 100);
+    }
+
+    #[test]
+    fn delta_rides_along_with_the_publish() {
+        let cell = SnapshotCell::new(vec![1]);
+        assert!(cell.load_with_delta().1.is_none(), "initial: no delta");
+        cell.publish_with_delta(vec![1, 2], TickDelta::from_delete(9, 4.0));
+        let (snap, delta) = cell.load_with_delta();
+        assert_eq!(*snap, vec![1, 2]);
+        assert_eq!(delta.unwrap().removals, vec![9]);
+        // A plain publish clears the carried delta.
+        cell.publish(vec![3]);
+        assert!(cell.load_with_delta().1.is_none());
     }
 }

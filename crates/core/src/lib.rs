@@ -21,6 +21,9 @@
 //!   coordinates; routes insertions/deletions/updates and executes
 //!   range queries by transforming them into every frame and merging
 //!   the exact-filtered results (Algorithm 3).
+//! * [`sub`] — standing continuous queries: registered range/kNN
+//!   subscriptions re-evaluated incrementally per tick from the
+//!   [`TickDelta`], emitting `Enter`/`Leave`/`Moved` events.
 //!
 //! The crate is index-agnostic: anything implementing
 //! [`MovingObjectIndex`] can be velocity partitioned, mirroring the
@@ -39,6 +42,7 @@ pub mod manager;
 pub mod object;
 pub mod pca;
 pub mod query;
+pub mod sub;
 pub mod tau;
 pub mod traits;
 
@@ -52,5 +56,9 @@ pub use knn::{knn_at, knn_batch, KnnQuery, Neighbor};
 pub use manager::{Health, PartitionId, PartitionSpec, VpIndex, VpSnapshot};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};
+pub use sub::{
+    KnnSubSpec, RangeSubSpec, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionId,
+    SubscriptionSet, TickDelta,
+};
 pub use traits::{IndexSnapshot, MovingObjectIndex, SnapshotIndex};
 pub use vp_wal::SyncPolicy;

@@ -435,6 +435,31 @@ impl<I> VpIndex<I> {
     where
         I: MovingObjectIndex + Send,
     {
+        self.apply_updates_inner(updates)
+    }
+
+    /// [`VpIndex::apply_updates`] plus the tick's change set: on
+    /// success, returns the [`TickDelta`](crate::sub::TickDelta) a
+    /// subscription engine needs to re-evaluate standing queries
+    /// (last write per id wins, winners ascending by id, `time` = the
+    /// batch's newest reference time). On error nothing was applied
+    /// (same atomicity contract as `apply_updates`) and no delta is
+    /// produced.
+    pub fn apply_updates_delta(
+        &mut self,
+        updates: &[MovingObject],
+    ) -> IndexResult<crate::sub::TickDelta>
+    where
+        I: MovingObjectIndex + Send,
+    {
+        self.apply_updates_inner(updates)?;
+        Ok(crate::sub::TickDelta::from_updates(updates))
+    }
+
+    fn apply_updates_inner(&mut self, updates: &[MovingObject]) -> IndexResult<()>
+    where
+        I: MovingObjectIndex + Send,
+    {
         self.check_writable()?;
         if updates.is_empty() {
             return Ok(());

@@ -5,12 +5,16 @@
 //! load generator, and the quickstart example — it is intentionally
 //! not a connection pool.
 
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-use vp_core::{KnnQuery, MovingObject, Neighbor, RangeQuery};
+use vp_core::{KnnQuery, KnnSubSpec, MovingObject, Neighbor, RangeQuery, RangeSubSpec, SubEventKind};
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, StatsReply};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, StatsReply, SubscribeSpec,
+};
 
 /// Client-side failure: transport, codec, or a typed server error.
 #[derive(Debug)]
@@ -62,10 +66,28 @@ impl ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// One pushed [`Response::Events`] frame: the result-set changes of
+/// one subscription at one commit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    /// The subscription the events belong to.
+    pub sub: u64,
+    /// Evaluation time of the tick that produced them.
+    pub time: f64,
+    /// `(kind, object id)` pairs, grouped by kind with ascending ids
+    /// inside each group.
+    pub events: Vec<(SubEventKind, u64)>,
+}
+
 /// A blocking connection to a vp-server.
 pub struct VpClient {
+    stream: TcpStream,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Event frames the server pushed while we were waiting for some
+    /// other response; drained by [`VpClient::take_events`] /
+    /// [`VpClient::wait_events`].
+    pending_events: VecDeque<EventBatch>,
 }
 
 impl VpClient {
@@ -74,9 +96,12 @@ impl VpClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream.try_clone()?);
         Ok(VpClient {
+            stream,
             reader,
-            writer: BufWriter::new(stream),
+            writer,
+            pending_events: VecDeque::new(),
         })
     }
 
@@ -86,12 +111,24 @@ impl VpClient {
         Ok(())
     }
 
+    /// Receives the next *non-event* response; pushed [`Response::Events`]
+    /// frames that arrive in between are stashed for
+    /// [`VpClient::take_events`].
     fn recv(&mut self) -> ClientResult<Response> {
-        match read_frame(&mut self.reader)? {
-            Some(payload) => Ok(Response::decode(&payload)?),
-            None => Err(ClientError::Protocol(
-                "server closed connection mid-request".into(),
-            )),
+        loop {
+            match read_frame(&mut self.reader)? {
+                Some(payload) => match Response::decode(&payload)? {
+                    Response::Events { sub, time, events } => {
+                        self.pending_events.push_back(EventBatch { sub, time, events });
+                    }
+                    other => return Ok(other),
+                },
+                None => {
+                    return Err(ClientError::Protocol(
+                        "server closed connection mid-request".into(),
+                    ))
+                }
+            }
         }
     }
 
@@ -184,5 +221,86 @@ impl VpClient {
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.send(&Request::Shutdown)?;
         self.expect_ok()
+    }
+
+    // --- standing queries --------------------------------------------------
+
+    fn subscribe(&mut self, spec: SubscribeSpec) -> ClientResult<u64> {
+        self.send(&Request::Subscribe(spec))?;
+        match self.recv()? {
+            Response::Subscribed(id) => Ok(id),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers a standing range query. The initial result set
+    /// arrives as an `Enter` backfill event batch (when non-empty);
+    /// afterwards the server pushes result-set changes on this
+    /// connection after every committed mutation.
+    pub fn subscribe_range(&mut self, spec: RangeSubSpec) -> ClientResult<u64> {
+        self.subscribe(SubscribeSpec::Range(spec))
+    }
+
+    /// Registers a standing kNN query (see [`VpClient::subscribe_range`]).
+    pub fn subscribe_knn(&mut self, spec: KnnSubSpec) -> ClientResult<u64> {
+        self.subscribe(SubscribeSpec::Knn(spec))
+    }
+
+    /// Drops a standing query. Event batches already in flight may
+    /// still surface afterwards; none are produced by later ticks.
+    pub fn unsubscribe(&mut self, sub: u64) -> ClientResult<()> {
+        self.send(&Request::Unsubscribe(sub))?;
+        self.expect_ok()
+    }
+
+    /// Drains the event batches already received (those that arrived
+    /// interleaved with other responses). Does not touch the socket.
+    pub fn take_events(&mut self) -> Vec<EventBatch> {
+        self.pending_events.drain(..).collect()
+    }
+
+    /// Waits up to `timeout` for at least one event batch, then
+    /// returns everything pending. An empty vector means the deadline
+    /// passed without the server pushing anything.
+    ///
+    /// Uses a socket read timeout; intended for an idle connection
+    /// (no concurrent request awaiting its reply).
+    pub fn wait_events(&mut self, timeout: Duration) -> ClientResult<Vec<EventBatch>> {
+        let deadline = Instant::now() + timeout;
+        while self.pending_events.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            let got = read_frame(&mut self.reader);
+            self.stream.set_read_timeout(None)?;
+            match got {
+                Ok(Some(payload)) => match Response::decode(&payload)? {
+                    Response::Events { sub, time, events } => {
+                        self.pending_events.push_back(EventBatch { sub, time, events });
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "unsolicited non-event frame {other:?}"
+                        )))
+                    }
+                },
+                Ok(None) => {
+                    return Err(ClientError::Protocol(
+                        "server closed connection while waiting for events".into(),
+                    ))
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(self.take_events())
     }
 }

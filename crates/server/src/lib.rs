@@ -11,8 +11,17 @@
 //! `&mut` [`vp_core::VpIndex`] and publishes a fresh snapshot after
 //! every committed mutation. Group commit, applied to reads.
 //!
+//! The same connection also carries **standing queries**: a client
+//! registers a range or kNN subscription ([`Request::Subscribe`]) and
+//! the writer thread — which sees every committed mutation as a
+//! [`vp_core::TickDelta`] — evaluates the whole subscription set
+//! incrementally ([`vp_core::SubscriptionSet::on_tick`]) and pushes
+//! `Enter`/`Leave`/`Moved` event frames back over the registering
+//! connection.
+//!
 //! * [`protocol`] — the length-prefixed binary wire format (requests,
-//!   responses, typed error codes, chunked range results).
+//!   responses, typed error codes, chunked range results, event
+//!   pushes).
 //! * [`server`] — [`spawn`], the thread topology, the
 //!   window-close policy, and bounded-queue admission control.
 //! * [`client`] — [`VpClient`], a small blocking client used by the
@@ -26,6 +35,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientError, ClientResult, VpClient};
-pub use protocol::{ErrorCode, Request, Response, StatsReply};
+pub use client::{ClientError, ClientResult, EventBatch, VpClient};
+pub use protocol::{ErrorCode, Request, Response, StatsReply, SubscribeSpec};
 pub use server::{spawn, ServerConfig, ServerHandle};

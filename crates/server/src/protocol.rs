@@ -17,7 +17,7 @@
 
 use std::io::{self, Read, Write};
 
-use vp_core::{KnnQuery, MovingObject, Neighbor, QueryRegion, RangeQuery};
+use vp_core::{KnnQuery, KnnSubSpec, MovingObject, Neighbor, QueryRegion, RangeQuery, RangeSubSpec, SubEventKind};
 use vp_geom::{Circle, Point, Rect};
 
 /// Upper bound on a single frame's payload, as a corruption guard: a
@@ -76,6 +76,18 @@ impl ErrorCode {
     }
 }
 
+/// What a [`Request::Subscribe`] frame registers: a standing range or
+/// kNN query, evaluated incrementally server-side after every
+/// committed mutation. The prediction horizon is a server-side knob
+/// (`ServerConfig::sub_horizon`), not part of the wire spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubscribeSpec {
+    /// Standing range subscription (region + predictive offset).
+    Range(RangeSubSpec),
+    /// Standing kNN subscription (center, k, predictive offset).
+    Knn(KnnSubSpec),
+}
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -95,6 +107,16 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down (acked with `Response::Ok`).
     Shutdown,
+    /// Register a standing query. Answered with
+    /// [`Response::Subscribed`], immediately followed by a
+    /// [`Response::Events`] backfill frame when the initial result set
+    /// is non-empty. Afterwards the server pushes an `Events` frame on
+    /// this connection whenever a committed mutation changes the
+    /// subscription's result set.
+    Subscribe(SubscribeSpec),
+    /// Drop a standing query by its id (acked with `Response::Ok`;
+    /// idempotent).
+    Unsubscribe(u64),
 }
 
 /// Server + index statistics returned by [`Request::Stats`].
@@ -134,6 +156,19 @@ pub enum Response {
     /// Typed failure; the request had no effect (for `Overloaded` it
     /// was never admitted).
     Error { code: ErrorCode, message: String },
+    /// A standing query was registered under this id.
+    Subscribed(u64),
+    /// Pushed result-set changes for one subscription at one commit
+    /// time. Events within a frame arrive grouped by kind (Enter,
+    /// Leave, Moved) with ascending ids inside each group.
+    Events {
+        /// The subscription these events belong to.
+        sub: u64,
+        /// Evaluation time of the tick that produced them.
+        time: f64,
+        /// `(kind, object id)` pairs.
+        events: Vec<(SubEventKind, u64)>,
+    },
 }
 
 // --- frame layer -----------------------------------------------------------
@@ -184,6 +219,38 @@ fn put_object(buf: &mut Vec<u8>, o: &MovingObject) {
     put_f64(buf, o.ref_time);
 }
 
+fn put_region(buf: &mut Vec<u8>, region: &QueryRegion) {
+    match region {
+        QueryRegion::Circle(c) => {
+            buf.push(0);
+            put_point(buf, c.center);
+            put_f64(buf, c.radius);
+        }
+        QueryRegion::Rect(r) => {
+            buf.push(1);
+            put_point(buf, r.lo);
+            put_point(buf, r.hi);
+        }
+    }
+}
+
+fn event_kind_to_u8(kind: SubEventKind) -> u8 {
+    match kind {
+        SubEventKind::Enter => 1,
+        SubEventKind::Leave => 2,
+        SubEventKind::Moved => 3,
+    }
+}
+
+fn event_kind_from_u8(b: u8) -> Option<SubEventKind> {
+    Some(match b {
+        1 => SubEventKind::Enter,
+        2 => SubEventKind::Leave,
+        3 => SubEventKind::Moved,
+        _ => return None,
+    })
+}
+
 /// Sequential reader over a frame payload. Every getter returns
 /// `InvalidData` on underrun so a truncated frame surfaces as a decode
 /// error, never a panic.
@@ -228,6 +295,14 @@ impl<'a> Cursor<'a> {
         Ok(Point::new(self.f64()?, self.f64()?))
     }
 
+    fn region(&mut self) -> io::Result<QueryRegion> {
+        Ok(match self.u8()? {
+            0 => QueryRegion::Circle(Circle::new(self.point()?, self.f64()?)),
+            1 => QueryRegion::Rect(Rect::new(self.point()?, self.point()?)),
+            t => return Err(bad(&format!("region tag {t}"))),
+        })
+    }
+
     fn object(&mut self) -> io::Result<MovingObject> {
         let id = self.u64()?;
         let pos = self.point()?;
@@ -264,18 +339,7 @@ impl Request {
         match self {
             Request::Range(q) => {
                 buf.push(1);
-                match q.region {
-                    QueryRegion::Circle(c) => {
-                        buf.push(0);
-                        put_point(&mut buf, c.center);
-                        put_f64(&mut buf, c.radius);
-                    }
-                    QueryRegion::Rect(r) => {
-                        buf.push(1);
-                        put_point(&mut buf, r.lo);
-                        put_point(&mut buf, r.hi);
-                    }
-                }
+                put_region(&mut buf, &q.region);
                 put_point(&mut buf, q.velocity);
                 put_f64(&mut buf, q.region_ref_time);
                 put_f64(&mut buf, q.t_start);
@@ -308,6 +372,26 @@ impl Request {
             }
             Request::Stats => buf.push(7),
             Request::Shutdown => buf.push(8),
+            Request::Subscribe(spec) => {
+                buf.push(9);
+                match spec {
+                    SubscribeSpec::Range(s) => {
+                        buf.push(0);
+                        put_region(&mut buf, &s.region);
+                        put_f64(&mut buf, s.predictive_dt);
+                    }
+                    SubscribeSpec::Knn(s) => {
+                        buf.push(1);
+                        put_point(&mut buf, s.center);
+                        buf.extend_from_slice(&(s.k as u32).to_le_bytes());
+                        put_f64(&mut buf, s.predictive_dt);
+                    }
+                }
+            }
+            Request::Unsubscribe(id) => {
+                buf.push(10);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
         }
         buf
     }
@@ -317,11 +401,7 @@ impl Request {
         let mut c = Cursor::new(payload);
         let req = match c.u8()? {
             1 => {
-                let region = match c.u8()? {
-                    0 => QueryRegion::Circle(Circle::new(c.point()?, c.f64()?)),
-                    1 => QueryRegion::Rect(Rect::new(c.point()?, c.point()?)),
-                    t => return Err(bad(&format!("region tag {t}"))),
-                };
+                let region = c.region()?;
                 let velocity = c.point()?;
                 let region_ref_time = c.f64()?;
                 let t_start = c.f64()?;
@@ -353,6 +433,22 @@ impl Request {
             6 => Request::GetObject(c.u64()?),
             7 => Request::Stats,
             8 => Request::Shutdown,
+            9 => {
+                let spec = match c.u8()? {
+                    0 => SubscribeSpec::Range(RangeSubSpec {
+                        region: c.region()?,
+                        predictive_dt: c.f64()?,
+                    }),
+                    1 => SubscribeSpec::Knn(KnnSubSpec {
+                        center: c.point()?,
+                        k: c.u32()? as usize,
+                        predictive_dt: c.f64()?,
+                    }),
+                    t => return Err(bad(&format!("subscribe kind {t}"))),
+                };
+                Request::Subscribe(spec)
+            }
+            10 => Request::Unsubscribe(c.u64()?),
             t => return Err(bad(&format!("request tag {t}"))),
         };
         c.done()?;
@@ -408,6 +504,20 @@ impl Response {
                 let msg = message.as_bytes();
                 buf.extend_from_slice(&(msg.len() as u32).to_le_bytes());
                 buf.extend_from_slice(msg);
+            }
+            Response::Subscribed(id) => {
+                buf.push(7);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Response::Events { sub, time, events } => {
+                buf.push(8);
+                buf.extend_from_slice(&sub.to_le_bytes());
+                put_f64(&mut buf, *time);
+                buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for (kind, id) in events {
+                    buf.push(event_kind_to_u8(*kind));
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
             }
         }
         buf
@@ -467,6 +577,18 @@ impl Response {
                     .map_err(|_| bad("error message utf8"))?;
                 Response::Error { code, message }
             }
+            7 => Response::Subscribed(c.u64()?),
+            8 => {
+                let sub = c.u64()?;
+                let time = c.f64()?;
+                let n = c.u32()? as usize;
+                let mut events = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let kind = event_kind_from_u8(c.u8()?).ok_or_else(|| bad("event kind"))?;
+                    events.push((kind, c.u64()?));
+                }
+                Response::Events { sub, time, events }
+            }
             t => return Err(bad(&format!("response tag {t}"))),
         };
         c.done()?;
@@ -519,6 +641,20 @@ mod tests {
         roundtrip_req(Request::GetObject(55));
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
+            region: QueryRegion::Circle(Circle::new(Point::new(4.0, -1.0), 12.5)),
+            predictive_dt: 3.0,
+        })));
+        roundtrip_req(Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
+            region: QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 9.0, 4.0)),
+            predictive_dt: 0.0,
+        })));
+        roundtrip_req(Request::Subscribe(SubscribeSpec::Knn(KnnSubSpec {
+            center: Point::new(-7.0, 2.0),
+            k: 5,
+            predictive_dt: 1.5,
+        })));
+        roundtrip_req(Request::Unsubscribe(42));
     }
 
     #[test]
@@ -561,6 +697,21 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: ErrorCode::Overloaded,
             message: "queue full".to_string(),
+        });
+        roundtrip_resp(Response::Subscribed(17));
+        roundtrip_resp(Response::Events {
+            sub: 17,
+            time: 40.0,
+            events: vec![
+                (SubEventKind::Enter, 3),
+                (SubEventKind::Leave, 8),
+                (SubEventKind::Moved, 11),
+            ],
+        });
+        roundtrip_resp(Response::Events {
+            sub: 1,
+            time: 0.0,
+            events: vec![],
         });
     }
 
@@ -608,5 +759,33 @@ mod tests {
         let mut extended = payload;
         extended.push(0);
         assert!(Request::decode(&extended).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn truncated_subscribe_and_events_error_cleanly() {
+        let payload = Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
+            region: QueryRegion::Circle(Circle::new(Point::new(1.0, 2.0), 3.0)),
+            predictive_dt: 4.0,
+        }))
+        .encode();
+        for cut in 1..payload.len() {
+            assert!(Request::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+
+        let payload = Response::Events {
+            sub: 9,
+            time: 5.0,
+            events: vec![(SubEventKind::Enter, 1), (SubEventKind::Moved, 2)],
+        }
+        .encode();
+        for cut in 1..payload.len() {
+            assert!(Response::decode(&payload[..cut]).is_err(), "cut {cut}");
+        }
+
+        // An unknown event kind is a decode error, not a panic.
+        let mut garbled = payload;
+        let kind_at = 1 + 8 + 8 + 4; // tag, sub, time, count
+        garbled[kind_at] = 99;
+        assert!(Response::decode(&garbled).is_err(), "bad event kind");
     }
 }

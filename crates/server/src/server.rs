@@ -35,21 +35,25 @@
 //! server sheds load at the edge while in-flight windows keep their
 //! latency.
 
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use vp_core::{
     IndexError, IndexSnapshot, KnnQuery, MovingObjectIndex, RangeQuery, SnapshotCell,
-    SnapshotIndex, VpIndex, VpSnapshot,
+    SnapshotIndex, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionId, SubscriptionSet,
+    TickDelta, VpIndex, VpSnapshot,
 };
 use vp_geom::Rect;
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response, StatsReply};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Request, Response, StatsReply, SubscribeSpec,
+};
 
 /// Tuning knobs for [`spawn`].
 #[derive(Debug, Clone)]
@@ -68,6 +72,10 @@ pub struct ServerConfig {
     /// window. Lets tests fill the admission queue deterministically;
     /// leave at 0 in production.
     pub former_stall_us: u64,
+    /// Prediction horizon (time units) for standing queries: how far a
+    /// range subscription's cached candidate set stays valid before
+    /// the writer refreshes it from the index.
+    pub sub_horizon: f64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +86,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             max_frame: 4096,
             former_stall_us: 0,
+            sub_horizon: 60.0,
         }
     }
 }
@@ -102,7 +111,19 @@ struct Shared<S> {
     counters: Counters,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    /// Allocator for per-connection ids (used to route subscription
+    /// event pushes back to the owning connection).
+    next_conn: AtomicU64,
 }
+
+/// A connection's outgoing half, shared between its conn thread and
+/// the writer thread (which pushes subscription event frames onto the
+/// same stream). Every frame write takes this lock; multi-frame
+/// sequences hold it across the whole sequence so pushed events never
+/// interleave mid-response.
+type ConnWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+type ConnId = u64;
 
 enum ReadKind {
     Range(RangeQuery),
@@ -120,11 +141,26 @@ enum WriteKind {
     Insert(vp_core::MovingObject),
     Delete(u64),
     Tick(Vec<vp_core::MovingObject>),
+    /// Register a standing query. The writer thread answers on the
+    /// connection's stream directly (`Subscribed` + backfill) so a
+    /// concurrent tick's event push can never overtake the
+    /// registration reply.
+    Subscribe {
+        spec: SubscribeSpec,
+        conn: ConnId,
+        writer: ConnWriter,
+    },
+    Unsubscribe(u64),
+    /// Connection closed: drop every subscription it owned.
+    Disconnect(ConnId),
 }
 
 struct WriteJob {
     kind: WriteKind,
-    reply: mpsc::Sender<Response>,
+    /// `Some(resp)` — the conn thread writes the reply itself;
+    /// `None` — the writer thread already wrote the reply frames
+    /// directly on the connection (Subscribe path).
+    reply: mpsc::Sender<Option<Response>>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -191,6 +227,7 @@ where
         },
         shutdown: Arc::clone(&shutdown),
         addr,
+        next_conn: AtomicU64::new(0),
     });
     let depth = config.queue_depth.max(1);
     let (read_tx, read_rx) = mpsc::sync_channel::<ReadJob>(depth);
@@ -208,10 +245,11 @@ where
     }
     {
         let shared = Arc::clone(&shared);
+        let sub_horizon = config.sub_horizon;
         threads.push(
             thread::Builder::new()
                 .name("vp-writer".into())
-                .spawn(move || writer_loop(index, write_rx, shared))?,
+                .spawn(move || writer_loop(index, write_rx, shared, sub_horizon))?,
         );
     }
     {
@@ -243,13 +281,21 @@ fn accept_loop<S: IndexSnapshot + 'static>(
             return;
         }
         let Ok((stream, _)) = conn else { continue };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(&shared);
         let read_tx = read_tx.clone();
         let write_tx = write_tx.clone();
         let _ = thread::Builder::new()
             .name("vp-conn".into())
             .spawn(move || {
-                let _ = handle_conn(stream, shared, read_tx, write_tx);
+                let _ = handle_conn(stream, conn_id, shared, read_tx, &write_tx);
+                // However the connection ended, reclaim its standing
+                // queries. (Errors mean the writer is gone too.)
+                let (tx, _rx) = mpsc::channel();
+                let _ = write_tx.send(WriteJob {
+                    kind: WriteKind::Disconnect(conn_id),
+                    reply: tx,
+                });
             });
     }
 }
@@ -270,21 +316,22 @@ fn internal(msg: &str) -> Response {
 
 fn handle_conn<S>(
     stream: TcpStream,
+    conn_id: ConnId,
     shared: Arc<Shared<S>>,
     read_tx: SyncSender<ReadJob>,
-    write_tx: SyncSender<WriteJob>,
+    write_tx: &SyncSender<WriteJob>,
 ) -> io::Result<()>
 where
     S: IndexSnapshot + 'static,
 {
     let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::new(stream);
+    let writer: ConnWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
     while let Some(payload) = read_frame(&mut reader)? {
         let request = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
                 send_one(
-                    &mut writer,
+                    &writer,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: e.to_string(),
@@ -294,16 +341,27 @@ where
             }
         };
         match request {
-            Request::Range(q) => enqueue_read(&shared, &read_tx, ReadKind::Range(q), &mut writer)?,
-            Request::Knn(q) => enqueue_read(&shared, &read_tx, ReadKind::Knn(q), &mut writer)?,
+            Request::Range(q) => enqueue_read(&shared, &read_tx, ReadKind::Range(q), &writer)?,
+            Request::Knn(q) => enqueue_read(&shared, &read_tx, ReadKind::Knn(q), &writer)?,
             Request::Insert(o) => {
-                enqueue_write(&shared, &write_tx, WriteKind::Insert(o), &mut writer)?
+                enqueue_write(&shared, write_tx, WriteKind::Insert(o), &writer)?
             }
             Request::Delete(id) => {
-                enqueue_write(&shared, &write_tx, WriteKind::Delete(id), &mut writer)?
+                enqueue_write(&shared, write_tx, WriteKind::Delete(id), &writer)?
             }
             Request::Tick(updates) => {
-                enqueue_write(&shared, &write_tx, WriteKind::Tick(updates), &mut writer)?
+                enqueue_write(&shared, write_tx, WriteKind::Tick(updates), &writer)?
+            }
+            Request::Subscribe(spec) => {
+                let kind = WriteKind::Subscribe {
+                    spec,
+                    conn: conn_id,
+                    writer: Arc::clone(&writer),
+                };
+                enqueue_write(&shared, write_tx, kind, &writer)?
+            }
+            Request::Unsubscribe(id) => {
+                enqueue_write(&shared, write_tx, WriteKind::Unsubscribe(id), &writer)?
             }
             Request::GetObject(id) => {
                 let snap = shared.cell.load();
@@ -311,13 +369,13 @@ where
                     Ok(o) => Response::Object(o),
                     Err(e) => error_response(&e),
                 };
-                send_one(&mut writer, &resp)?;
+                send_one(&writer, &resp)?;
             }
             Request::Stats => {
                 let snap = shared.cell.load();
                 let c = &shared.counters;
                 send_one(
-                    &mut writer,
+                    &writer,
                     &Response::Stats(StatsReply {
                         objects: IndexSnapshot::len(&*snap) as u64,
                         partitions: shared.partitions,
@@ -331,7 +389,7 @@ where
             }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                send_one(&mut writer, &Response::Ok)?;
+                send_one(&writer, &Response::Ok)?;
                 // Wake the blocking accept() so the acceptor observes
                 // the flag and exits.
                 let _ = TcpStream::connect(shared.addr);
@@ -342,16 +400,21 @@ where
     Ok(())
 }
 
-fn send_one<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
-    write_frame(w, &resp.encode())?;
+fn poisoned() -> io::Error {
+    io::Error::other("connection writer poisoned")
+}
+
+fn send_one(w: &ConnWriter, resp: &Response) -> io::Result<()> {
+    let mut w = w.lock().map_err(|_| poisoned())?;
+    write_frame(&mut *w, &resp.encode())?;
     w.flush()
 }
 
-fn enqueue_read<S, W: Write>(
+fn enqueue_read<S>(
     shared: &Shared<S>,
     read_tx: &SyncSender<ReadJob>,
     kind: ReadKind,
-    w: &mut W,
+    w: &ConnWriter,
 ) -> io::Result<()> {
     let (reply_tx, reply_rx) = mpsc::channel();
     match read_tx.try_send(ReadJob {
@@ -369,8 +432,11 @@ fn enqueue_read<S, W: Write>(
     }
     match reply_rx.recv() {
         Ok(frames) => {
+            // Hold the lock across all chunks so a pushed Events frame
+            // cannot split a chunked range reply.
+            let mut w = w.lock().map_err(|_| poisoned())?;
             for f in &frames {
-                write_frame(w, &f.encode())?;
+                write_frame(&mut *w, &f.encode())?;
             }
             w.flush()
         }
@@ -379,11 +445,11 @@ fn enqueue_read<S, W: Write>(
     }
 }
 
-fn enqueue_write<S, W: Write>(
+fn enqueue_write<S>(
     shared: &Shared<S>,
     write_tx: &SyncSender<WriteJob>,
     kind: WriteKind,
-    w: &mut W,
+    w: &ConnWriter,
 ) -> io::Result<()> {
     let (reply_tx, reply_rx) = mpsc::channel();
     match write_tx.try_send(WriteJob {
@@ -400,7 +466,9 @@ fn enqueue_write<S, W: Write>(
         }
     }
     match reply_rx.recv() {
-        Ok(resp) => send_one(w, &resp),
+        // The writer thread already answered on the stream itself.
+        Ok(None) => Ok(()),
+        Ok(Some(resp)) => send_one(w, &resp),
         Err(_) => send_one(w, &internal("server shutting down")),
     }
 }
@@ -525,10 +593,86 @@ where
 
 // --- writer ----------------------------------------------------------------
 
-fn writer_loop<I>(mut index: VpIndex<I>, rx: Receiver<WriteJob>, shared: Arc<Shared<I::Snapshot>>)
-where
+/// The writer thread's registry of standing queries: the engine state
+/// plus, per subscription, the connection that receives its events.
+struct SubRegistry {
+    subs: SubscriptionSet,
+    routes: HashMap<SubscriptionId, (ConnId, ConnWriter)>,
+    /// Largest commit time seen; used as "now" for registrations and
+    /// as the evaluation time of pure-removal deltas.
+    last_time: f64,
+}
+
+impl SubRegistry {
+    /// Drops every subscription owned by `conn`.
+    fn drop_conn(&mut self, conn: ConnId) {
+        let ids: Vec<SubscriptionId> = self
+            .routes
+            .iter()
+            .filter(|(_, (c, _))| *c == conn)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.routes.remove(&id);
+            self.subs.unregister(id);
+        }
+    }
+
+    /// Groups `events` by subscription and pushes one
+    /// [`Response::Events`] frame per subscription onto its owning
+    /// connection. A connection whose stream errors loses all its
+    /// subscriptions (it is gone or unrecoverable).
+    fn push_events(&mut self, time: f64, events: Vec<SubEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut by_sub: BTreeMap<SubscriptionId, Vec<(SubEventKind, u64)>> = BTreeMap::new();
+        for e in events {
+            by_sub.entry(e.sub).or_default().push((e.kind, e.id));
+        }
+        let mut dead: Vec<ConnId> = Vec::new();
+        for (sub, events) in by_sub {
+            let Some((conn, w)) = self.routes.get(&sub) else {
+                continue;
+            };
+            if dead.contains(conn) {
+                continue;
+            }
+            let frame = Response::Events { sub, time, events };
+            if write_direct(w, &[frame]).is_err() {
+                dead.push(*conn);
+            }
+        }
+        for conn in dead {
+            self.drop_conn(conn);
+        }
+    }
+}
+
+/// Writes `frames` to a connection under its lock, flushing once.
+fn write_direct(w: &ConnWriter, frames: &[Response]) -> io::Result<()> {
+    let mut w = w.lock().map_err(|_| poisoned())?;
+    for f in frames {
+        write_frame(&mut *w, &f.encode())?;
+    }
+    w.flush()
+}
+
+fn writer_loop<I>(
+    mut index: VpIndex<I>,
+    rx: Receiver<WriteJob>,
+    shared: Arc<Shared<I::Snapshot>>,
+    sub_horizon: f64,
+) where
     I: MovingObjectIndex + SnapshotIndex + Send + Sync,
 {
+    let mut reg = SubRegistry {
+        subs: SubscriptionSet::new(
+            SubscriptionConfig::new(index.domain()).with_horizon(sub_horizon),
+        ),
+        routes: HashMap::new(),
+        last_time: 0.0,
+    };
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -538,21 +682,61 @@ where
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let result = match job.kind {
-            WriteKind::Insert(o) => index.insert(o),
-            WriteKind::Delete(id) => index.delete(id),
-            WriteKind::Tick(updates) => index.apply_updates(&updates),
+        // Subscription control plane: no index mutation involved.
+        let kind = match job.kind {
+            WriteKind::Subscribe { spec, conn, writer } => {
+                let resp = handle_subscribe(&index, &mut reg, spec, conn, writer);
+                let _ = job.reply.send(resp);
+                continue;
+            }
+            WriteKind::Unsubscribe(id) => {
+                reg.subs.unregister(id);
+                reg.routes.remove(&id);
+                let _ = job.reply.send(Some(Response::Ok));
+                continue;
+            }
+            WriteKind::Disconnect(conn) => {
+                reg.drop_conn(conn);
+                continue;
+            }
+            other => other,
+        };
+        let result = match kind {
+            WriteKind::Insert(o) => index.insert(o).map(|()| TickDelta::from_insert(o)),
+            WriteKind::Delete(id) => index
+                .delete(id)
+                .map(|()| TickDelta::from_delete(id, reg.last_time)),
+            WriteKind::Tick(updates) => index.apply_updates_delta(&updates),
+            _ => unreachable!("control kinds handled above"),
         };
         let resp = match result {
-            Ok(()) => {
+            Ok(mut delta) => {
+                // Commit time never runs backwards even if a client
+                // reports a stale ref_time.
+                delta.time = delta.time.max(reg.last_time);
+                reg.last_time = delta.time;
                 // Make the mutation snapshot-visible (ticks publish
                 // their epoch during commit; single-object mutations
                 // need the explicit publish) and hand the fresh
-                // snapshot to the read side.
+                // snapshot — with the change set that produced it —
+                // to the read side.
                 index.publish_epoch();
+                // Evaluate standing queries against the committed
+                // state before publishing, so a subscriber that reacts
+                // to an event always finds a snapshot at least as new.
+                let events = if reg.subs.is_empty() {
+                    Vec::new()
+                } else {
+                    // An evaluation error (storage fault mid-scan)
+                    // drops this tick's events; the next successful
+                    // tick re-diffs against the stale result sets, so
+                    // no Enter/Leave is lost permanently.
+                    reg.subs.on_tick(&index, &delta).unwrap_or_default()
+                };
                 if let Ok(snap) = index.snapshot() {
-                    shared.cell.publish(snap);
+                    shared.cell.publish_with_delta(snap, delta);
                 }
+                reg.push_events(reg.last_time, events);
                 shared.counters.writes.fetch_add(1, Ordering::SeqCst);
                 Response::Ok
             }
@@ -563,7 +747,50 @@ where
                 error_response(&e)
             }
         };
-        let _ = job.reply.send(resp);
+        let _ = job.reply.send(Some(resp));
+    }
+}
+
+/// Registers a standing query and answers on the connection stream
+/// directly: `Subscribed(id)`, then a backfill `Events` frame when the
+/// initial result set is non-empty. Returning `None` tells the conn
+/// thread the reply is already on the wire — this is what makes the
+/// registration handshake atomic with respect to event pushes from
+/// subsequent ticks.
+fn handle_subscribe<I>(
+    index: &VpIndex<I>,
+    reg: &mut SubRegistry,
+    spec: SubscribeSpec,
+    conn: ConnId,
+    writer: ConnWriter,
+) -> Option<Response>
+where
+    I: MovingObjectIndex + SnapshotIndex + Send + Sync,
+{
+    let now = reg.last_time;
+    let registered = match spec {
+        SubscribeSpec::Range(s) => reg.subs.register_range(index, now, s),
+        SubscribeSpec::Knn(s) => reg.subs.register_knn(index, now, s),
+    };
+    match registered {
+        Ok((id, backfill)) => {
+            let mut frames = vec![Response::Subscribed(id)];
+            if !backfill.is_empty() {
+                frames.push(Response::Events {
+                    sub: id,
+                    time: now,
+                    events: backfill.iter().map(|e| (e.kind, e.id)).collect(),
+                });
+            }
+            if write_direct(&writer, &frames).is_ok() {
+                reg.routes.insert(id, (conn, writer));
+            } else {
+                // The client never saw the id; don't leak the sub.
+                reg.subs.unregister(id);
+            }
+            None
+        }
+        Err(e) => Some(error_response(&e)),
     }
 }
 

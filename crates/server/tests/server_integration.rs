@@ -26,15 +26,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 
+use std::time::Duration;
+
 use vp_bx::{BxConfig, BxTree};
 use vp_core::traits::reference::ScanIndex;
 use vp_core::{
-    KnnQuery, MovingObject, MovingObjectIndex, PartitionSpec, QueryRegion, RangeQuery,
-    VelocityAnalyzer, VpConfig, VpIndex,
+    KnnQuery, KnnSubSpec, MovingObject, MovingObjectIndex, PartitionSpec, QueryRegion, RangeQuery,
+    RangeSubSpec, SubEventKind, VelocityAnalyzer, VpConfig, VpIndex,
 };
 use vp_geom::{Circle, Point, Rect};
 use vp_server::protocol::ErrorCode;
-use vp_server::{spawn, ClientError, ServerConfig, VpClient};
+use vp_server::{spawn, ClientError, EventBatch, ServerConfig, VpClient};
 use vp_storage::{
     BufferPool, DiskManager, FaultHandle, FaultInjector, FaultKind, FaultOp, FaultPoint,
     RetryPolicy,
@@ -474,5 +476,198 @@ fn poisoned_wal_rejects_writes_with_typed_codes_while_reads_keep_answering() {
         oracle.get_object(0).unwrap(),
         "point lookups too"
     );
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 5. Standing queries: registration, pushed events, unsubscribe
+// ---------------------------------------------------------------------
+
+/// Waits until `client` has accumulated `n` event batches (or panics
+/// after ~2s). Event frames ride the same connection as replies, so
+/// some may already be stashed and some still in flight.
+fn collect_batches(client: &mut VpClient, n: usize) -> Vec<EventBatch> {
+    let mut got = Vec::new();
+    for _ in 0..40 {
+        got.extend(client.wait_events(Duration::from_millis(50)).unwrap());
+        if got.len() >= n {
+            return got;
+        }
+    }
+    panic!("only {} of {n} event batches arrived", got.len());
+}
+
+#[test]
+fn subscriptions_receive_backfill_and_pushed_events_end_to_end() {
+    // Three stationary objects around the query center; every move
+    // below is an explicit re-report, so expected events are exact.
+    let fleet = vec![
+        MovingObject::new(1, Point::new(50_000.0, 50_000.0), Point::new(0.0, 0.0), 0.0),
+        MovingObject::new(2, Point::new(70_000.0, 50_000.0), Point::new(0.0, 0.0), 0.0),
+        MovingObject::new(3, Point::new(54_000.0, 50_000.0), Point::new(0.0, 0.0), 0.0),
+    ];
+    let index = build_scan_index(&fleet);
+    let handle = spawn(index, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let mut sub_client = VpClient::connect(addr).unwrap();
+    let region = QueryRegion::Circle(Circle::new(Point::new(50_000.0, 50_000.0), 5_000.0));
+    let range_sub = sub_client
+        .subscribe_range(RangeSubSpec {
+            region,
+            predictive_dt: 0.0,
+        })
+        .unwrap();
+    let knn_sub = sub_client
+        .subscribe_knn(KnnSubSpec {
+            center: Point::new(50_000.0, 50_000.0),
+            k: 2,
+            predictive_dt: 0.0,
+        })
+        .unwrap();
+    assert_ne!(range_sub, knn_sub);
+
+    // Backfill: ids 1 and 3 are inside the circle and are the 2
+    // nearest neighbors, so both subscriptions announce them.
+    let backfill = collect_batches(&mut sub_client, 2);
+    for b in &backfill {
+        assert_eq!(b.time, 0.0, "backfill carries registration time");
+        assert_eq!(
+            b.events,
+            vec![(SubEventKind::Enter, 1), (SubEventKind::Enter, 3)],
+            "sub {} backfill",
+            b.sub
+        );
+    }
+    assert_eq!(backfill[0].sub, range_sub);
+    assert_eq!(backfill[1].sub, knn_sub);
+
+    // A tick from a *different* connection: 1 jumps out, 2 jumps in,
+    // 3 moves but stays inside (and stays a nearest neighbor).
+    let mut tick_client = VpClient::connect(addr).unwrap();
+    tick_client
+        .tick(&[
+            MovingObject::new(1, Point::new(70_000.0, 50_000.0), Point::new(0.0, 0.0), 1.0),
+            MovingObject::new(2, Point::new(52_000.0, 50_000.0), Point::new(0.0, 0.0), 1.0),
+            MovingObject::new(3, Point::new(53_000.0, 50_000.0), Point::new(0.0, 0.0), 1.0),
+        ])
+        .unwrap();
+
+    let pushed = collect_batches(&mut sub_client, 2);
+    assert_eq!(pushed.len(), 2, "one frame per subscription");
+    for b in &pushed {
+        assert_eq!(b.time, 1.0, "events carry the commit time");
+        assert_eq!(
+            b.events,
+            vec![
+                (SubEventKind::Enter, 2),
+                (SubEventKind::Leave, 1),
+                (SubEventKind::Moved, 3),
+            ],
+            "sub {} tick events",
+            b.sub
+        );
+    }
+    assert_eq!(pushed[0].sub, range_sub, "frames arrive in sub-id order");
+    assert_eq!(pushed[1].sub, knn_sub);
+
+    // Request/reply still works on the subscriber's connection, and
+    // event frames interleaved with replies are stashed, not lost.
+    assert_eq!(sub_client.stats().unwrap().objects, 3);
+
+    // After unsubscribing the range sub, only the kNN sub reports.
+    sub_client.unsubscribe(range_sub).unwrap();
+    sub_client.unsubscribe(range_sub).unwrap(); // idempotent
+    tick_client
+        .tick(&[MovingObject::new(
+            2,
+            Point::new(51_000.0, 50_000.0),
+            Point::new(0.0, 0.0),
+            2.0,
+        )])
+        .unwrap();
+    let after = collect_batches(&mut sub_client, 1);
+    assert_eq!(after.len(), 1, "range sub is gone");
+    assert_eq!(after[0].sub, knn_sub);
+    assert_eq!(after[0].events, vec![(SubEventKind::Moved, 2)]);
+    assert!(
+        sub_client
+            .wait_events(Duration::from_millis(60))
+            .unwrap()
+            .is_empty(),
+        "no further frames in flight"
+    );
+
+    // A subscriber disconnecting does not wedge the writer: later
+    // ticks still commit.
+    drop(sub_client);
+    tick_client
+        .tick(&[MovingObject::new(
+            2,
+            Point::new(51_500.0, 50_000.0),
+            Point::new(0.0, 0.0),
+            3.0,
+        )])
+        .unwrap();
+    assert_eq!(tick_client.stats().unwrap().writes, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn subscription_survives_interleaved_queries_and_range_chunking() {
+    // A subscription on a connection that also streams a chunked range
+    // result: chunks must not be torn by event pushes.
+    let mut rng = Rng(0x5B5C81);
+    let fleet = integer_fleet(5_000, &mut rng);
+    let index = build_scan_index(&fleet);
+    let handle = spawn(
+        index,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_frame: 512,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let mut c = VpClient::connect(addr).unwrap();
+    let sub = c
+        .subscribe_range(RangeSubSpec {
+            region: QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0)),
+            predictive_dt: 0.0,
+        })
+        .unwrap();
+    // Whole-domain sub: backfill announces the entire fleet.
+    let backfill = collect_batches(&mut c, 1);
+    assert_eq!(backfill[0].sub, sub);
+    assert_eq!(backfill[0].events.len(), 5_000);
+
+    // Fire a tick from another connection while this one streams a
+    // large chunked range result; the reassembled result must be
+    // complete and every tick's event batch must still arrive.
+    let mut ticker = VpClient::connect(addr).unwrap();
+    let mut fleet2 = fleet.clone();
+    let updates = preserve_tick(&mut fleet2, 1.0);
+    let q = RangeQuery::time_slice(
+        QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0)),
+        1.0,
+    );
+    thread::scope(|s| {
+        s.spawn(move || {
+            ticker.tick(&updates).unwrap();
+        });
+        let ids = c.range(&q).unwrap();
+        assert_eq!(ids.len(), 5_000, "chunked result is complete");
+    });
+    // Trajectory-preserving tick: every object re-reported but none
+    // entered or left, so the frame carries only Moved events.
+    let batches = collect_batches(&mut c, 1);
+    assert_eq!(batches[0].sub, sub);
+    assert_eq!(batches[0].events.len(), 5_000);
+    assert!(batches[0]
+        .events
+        .iter()
+        .all(|(k, _)| *k == SubEventKind::Moved));
     handle.shutdown();
 }

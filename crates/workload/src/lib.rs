@@ -18,13 +18,18 @@
 //! and are forced to report at least every maximum-update-interval.
 //! [`datasets`] holds the per-city presets and the uniform synthetic
 //! dataset; [`queries`] builds the benchmark's range-query streams.
+//! [`scenarios`] adds tick-structured standing-query workloads
+//! (hotspot, flash-crowd, road-grid correlated velocities) for the
+//! subscription engine and its benches.
 
 pub mod datasets;
 pub mod generator;
 pub mod network;
 pub mod queries;
+pub mod scenarios;
 
 pub use datasets::Dataset;
 pub use generator::{Workload, WorkloadConfig, WorkloadEvent};
 pub use network::{NetworkParams, RoadNetwork};
 pub use queries::{QueryShape, QuerySpec};
+pub use scenarios::{ScenarioConfig, ScenarioKind, ScenarioTrace};

@@ -170,9 +170,11 @@ pub use vp_workload;
 pub mod prelude {
     pub use vp_bx::{BxConfig, BxEnlargement, BxTree, CurveKind};
     pub use vp_core::{
-        knn_at, knn_batch, Health, IndexError, IndexResult, IndexSnapshot, KnnQuery, MovingObject,
-        MovingObjectIndex, Neighbor, ObjectId, PartitionSpec, QueryRegion, RangeQuery,
-        RecoveryReport, SnapshotIndex, SyncPolicy, VelocityAnalyzer, VpConfig, VpIndex, VpSnapshot,
+        knn_at, knn_batch, Health, IndexError, IndexResult, IndexSnapshot, KnnQuery, KnnSubSpec,
+        MovingObject, MovingObjectIndex, Neighbor, ObjectId, PartitionSpec, QueryRegion,
+        RangeQuery, RangeSubSpec, RecoveryReport, SnapshotIndex, SubEvent, SubEventKind,
+        SubscriptionConfig, SubscriptionId, SubscriptionSet, SyncPolicy, TickDelta,
+        VelocityAnalyzer, VpConfig, VpIndex, VpSnapshot,
     };
     pub use vp_geom::{Circle, Frame, Point, Rect, Vec2};
     pub use vp_storage::{
@@ -180,7 +182,10 @@ pub mod prelude {
         IoStats, RetryPolicy,
     };
     pub use vp_tpr::{TprConfig, TprTree, TprVariant};
-    pub use vp_workload::{Dataset, QueryShape, QuerySpec, Workload, WorkloadConfig};
+    pub use vp_workload::{
+        Dataset, QueryShape, QuerySpec, ScenarioConfig, ScenarioKind, ScenarioTrace, Workload,
+        WorkloadConfig,
+    };
 }
 
 pub use prelude::*;

@@ -17,13 +17,17 @@
 //! 5. a failed checkpoint publish (torn write / ENOSPC / failed
 //!    rename) leaves the previous manifest + checkpoint + log intact.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use velocity_partitioning::prelude::*;
-use velocity_partitioning::vp_core::knn_at;
+use velocity_partitioning::vp_core::{
+    knn_at, KnnSubSpec, RangeSubSpec, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionSet,
+    TickDelta,
+};
 
 // ---------------------------------------------------------------------
 // Harness (the recovery-test harness, plus an injector)
@@ -836,4 +840,133 @@ proptest! {
 #[test]
 fn deterministic_fault_smoke() {
     run_random_fault_scenario(0xD15EA5E, 40, 5);
+}
+
+// ---------------------------------------------------------------------
+// Standing queries × the degradation ladder
+// ---------------------------------------------------------------------
+
+/// Demotion to read-only must not silence standing queries. The
+/// poison gates mutations, never reads — so a subscription set over
+/// the demoted index keeps emitting drift events: objects still move
+/// on their last committed trajectories, and boundary crossings
+/// produce `Enter`/`Leave` with zero further mutations (an
+/// empty-upsert [`TickDelta`] per wall-clock tick). The identical
+/// stream must also flow from the last published snapshot, which is
+/// what vp-server actually evaluates against after a demotion.
+#[test]
+fn subscriptions_keep_emitting_after_read_only_demotion() {
+    let t = TempDir::new("sub-readonly");
+    let inj = FaultInjector::new();
+    let cfg = faulty_config(&t.0, SyncPolicy::Always, &inj);
+    let ticks = make_ticks(0x5AB5, 4);
+    let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+    for tick in &ticks[..3] {
+        vp.apply_updates(tick).unwrap();
+    }
+
+    let domain = vp.domain();
+    let center = Point::new(50_000.0, 50_000.0);
+    let region = QueryRegion::Circle(Circle::new(center, 18_000.0));
+    let range_spec = RangeSubSpec {
+        region,
+        predictive_dt: 0.0,
+    };
+    let knn_spec = KnnSubSpec {
+        center,
+        k: 6,
+        predictive_dt: 0.0,
+    };
+    let now = 20.0; // newest reference time after three ticks
+
+    let full_range = |vp: &VpIndex<BxTree>, t_eval: f64| -> BTreeSet<u64> {
+        vp.range_query(&RangeQuery::time_slice(region, t_eval))
+            .unwrap()
+            .into_iter()
+            .collect()
+    };
+    let full_knn = |vp: &VpIndex<BxTree>, t_eval: f64| -> BTreeSet<u64> {
+        knn_at(vp, center, 6, t_eval, &domain)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect()
+    };
+
+    let mut subs = SubscriptionSet::new(SubscriptionConfig::new(domain).with_horizon(500.0));
+    let (range_sub, range_backfill) = subs.register_range(&vp, now, range_spec).unwrap();
+    let (knn_sub, _) = subs.register_knn(&vp, now, knn_spec).unwrap();
+    assert_eq!(
+        range_backfill.iter().map(|e| e.id).collect::<BTreeSet<_>>(),
+        full_range(&vp, now),
+        "registration backfill = full evaluation"
+    );
+
+    // Demote: fsyncgate on the WAL meta stream.
+    next_op(&inj, "wal:meta", FaultOp::Sync, FaultKind::SyncFail);
+    vp.apply_updates(&ticks[3]).unwrap_err();
+    assert!(vp.is_read_only());
+
+    // Twin subscription set over the last published snapshot — the
+    // server-side evaluation surface. Same specs, same registration
+    // time, so it allocates the same subscription ids.
+    let snap = vp.snapshot().unwrap();
+    let mut snap_subs = SubscriptionSet::new(SubscriptionConfig::new(domain).with_horizon(500.0));
+    snap_subs.register_range(&snap, now, range_spec).unwrap();
+    snap_subs.register_knn(&snap, now, knn_spec).unwrap();
+
+    let mut prev_range = full_range(&vp, now);
+    let mut prev_knn = full_knn(&vp, now);
+    let mut total_events = 0usize;
+    for step in 1..=3u32 {
+        let t_eval = now + f64::from(step) * 20.0;
+        let drift = TickDelta {
+            time: t_eval,
+            upserts: Vec::new(),
+            removals: Vec::new(),
+        };
+        let events = subs.on_tick(&vp, &drift).unwrap();
+        let snap_events = snap_subs.on_tick(&snap, &drift).unwrap();
+        assert_eq!(
+            events, snap_events,
+            "snapshot evaluation diverges at t={t_eval}"
+        );
+
+        // Full re-evaluation oracle: queries still answer on the
+        // read-only index, objects drift on committed trajectories.
+        let new_range = full_range(&vp, t_eval);
+        let new_knn = full_knn(&vp, t_eval);
+        let mut expected = Vec::new();
+        for (sub, old, new) in [
+            (range_sub, &prev_range, &new_range),
+            (knn_sub, &prev_knn, &new_knn),
+        ] {
+            for &id in new.difference(old) {
+                expected.push(SubEvent {
+                    sub,
+                    kind: SubEventKind::Enter,
+                    id,
+                });
+            }
+            for &id in old.difference(new) {
+                expected.push(SubEvent {
+                    sub,
+                    kind: SubEventKind::Leave,
+                    id,
+                });
+            }
+        }
+        assert_eq!(events, expected, "drift events at t={t_eval}");
+        assert!(
+            events.iter().all(|e| e.kind != SubEventKind::Moved),
+            "nothing re-reported, so nothing may claim Moved"
+        );
+        total_events += events.len();
+        prev_range = new_range;
+        prev_knn = new_knn;
+    }
+    assert!(
+        total_events > 0,
+        "drift over 60 time units must cross the guard boundaries"
+    );
 }

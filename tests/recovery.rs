@@ -13,6 +13,7 @@
 //! runs. An uncrashed oracle replayed to the recovered tick count is
 //! the ground truth.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -21,6 +22,9 @@ use proptest::prelude::*;
 use velocity_partitioning::prelude::*;
 use velocity_partitioning::vp_core::knn_at;
 use velocity_partitioning::vp_core::SyncPolicy;
+use velocity_partitioning::vp_core::{
+    KnnSubSpec, RangeSubSpec, SubEventKind, SubscriptionConfig, SubscriptionSet,
+};
 
 // ---------------------------------------------------------------------
 // Harness
@@ -689,6 +693,120 @@ fn reopening_a_live_directory_requires_recover() {
     let again: IndexResult<VpIndex<BxTree>> =
         VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0)));
     assert!(matches!(again, Err(IndexError::Config(_))));
+}
+
+/// Standing queries are process state: a crash loses the
+/// [`SubscriptionSet`], not the data. Re-registering the same specs
+/// over the recovered index must resume exactly where the lost
+/// subscriptions stopped — the `Enter` backfill reproduces the
+/// pre-crash result sets, and the first post-recovery tick emits the
+/// same event stream an uncrashed twin emits: no phantom `Leave` for
+/// an object that never left, no duplicate `Enter` for one that never
+/// left the result.
+#[test]
+fn recovered_subscriptions_backfill_enters_without_phantom_leaves() {
+    let t = TempDir::new("sub-recover");
+    let cfg = durable_config(&t.0, 1, SyncPolicy::Always);
+    let ticks = make_ticks(0x5AB6, 5);
+
+    let center = Point::new(50_000.0, 50_000.0);
+    let region = QueryRegion::Circle(Circle::new(center, 25_000.0));
+    let range_spec = RangeSubSpec {
+        region,
+        predictive_dt: 0.0,
+    };
+    let knn_spec = KnnSubSpec {
+        center,
+        k: 8,
+        predictive_dt: 0.0,
+    };
+    let now = 30.0; // newest reference time after four ticks
+    let sub_cfg = || SubscriptionConfig::new(Rect::from_bounds(0.0, 0.0, 100_000.0, 100_000.0))
+        .with_horizon(120.0);
+
+    // Pre-crash run: four ticks (checkpoint after the second, so
+    // recovery exercises checkpoint + tail), live subscriptions,
+    // then an unceremonious crash that takes them with it.
+    let pre_crash: Vec<BTreeSet<u64>>;
+    {
+        let mut vp = VpIndex::open(cfg.clone(), &analysis(&cfg), bx_factory(Some(&t.0))).unwrap();
+        for (i, tick) in ticks[..4].iter().enumerate() {
+            vp.apply_updates(tick).unwrap();
+            if i == 1 {
+                vp.checkpoint().unwrap();
+            }
+        }
+        let mut subs = SubscriptionSet::new(sub_cfg());
+        let (rs, _) = subs.register_range(&vp, now, range_spec).unwrap();
+        let (ks, _) = subs.register_knn(&vp, now, knn_spec).unwrap();
+        pre_crash = vec![
+            subs.result(rs).unwrap().into_iter().collect(),
+            subs.result(ks).unwrap().into_iter().collect(),
+        ];
+        assert!(!pre_crash[0].is_empty(), "guard region must be populated");
+        // Crash: drop with no checkpoint, no shutdown.
+    }
+
+    // The uncrashed twin: same logical state, same subscriptions,
+    // never went down.
+    let mut twin = oracle_at(&cfg, &ticks, 4);
+    let mut twin_subs = SubscriptionSet::new(sub_cfg());
+    let (twin_rs, _) = twin_subs.register_range(&twin, now, range_spec).unwrap();
+    let (twin_ks, _) = twin_subs.register_knn(&twin, now, knn_spec).unwrap();
+
+    let (mut recovered, report) = VpIndex::<BxTree>::recover(&t.0, bx_factory(Some(&t.0))).unwrap();
+    assert_eq!(report.checkpoint_seq, 2);
+    assert_eq!(report.events_replayed, 2, "only the post-checkpoint tail");
+
+    // Re-register at the last committed time: pure-Enter backfill
+    // reproducing the lost result sets.
+    let mut rec_subs = SubscriptionSet::new(sub_cfg());
+    let (rec_rs, rec_r_backfill) = rec_subs.register_range(&recovered, now, range_spec).unwrap();
+    let (rec_ks, rec_k_backfill) = rec_subs.register_knn(&recovered, now, knn_spec).unwrap();
+    assert_eq!((rec_rs, rec_ks), (twin_rs, twin_ks), "same allocation order");
+    for (backfill, want, what) in [
+        (&rec_r_backfill, &pre_crash[0], "range"),
+        (&rec_k_backfill, &pre_crash[1], "knn"),
+    ] {
+        assert!(
+            backfill.iter().all(|e| e.kind == SubEventKind::Enter),
+            "{what}: backfill is Enter-only"
+        );
+        assert_eq!(
+            &backfill.iter().map(|e| e.id).collect::<BTreeSet<_>>(),
+            want,
+            "{what}: backfill reproduces the pre-crash result set"
+        );
+    }
+
+    // First post-recovery tick: the recovered stream is the uncrashed
+    // stream. Equality rules out phantom `Leave`s (and spurious
+    // `Enter`s) in one stroke; the explicit probe below states the
+    // phantom-`Leave` half directly against the index.
+    let rec_delta = recovered.apply_updates_delta(&ticks[4]).unwrap();
+    let twin_delta = twin.apply_updates_delta(&ticks[4]).unwrap();
+    assert_eq!(rec_delta, twin_delta, "identical committed delta");
+    let rec_events = rec_subs.on_tick(&recovered, &rec_delta).unwrap();
+    let twin_events = twin_subs.on_tick(&twin, &twin_delta).unwrap();
+    assert_eq!(
+        rec_events, twin_events,
+        "post-recovery event stream == uncrashed stream"
+    );
+    assert!(
+        !rec_events.is_empty(),
+        "the tick moves a third of the fleet through a 25km guard"
+    );
+    for e in rec_events
+        .iter()
+        .filter(|e| e.sub == rec_rs && e.kind == SubEventKind::Leave)
+    {
+        let obj = recovered.get_object(e.id).unwrap().unwrap();
+        assert!(
+            !RangeQuery::time_slice(region, rec_delta.time).matches(&obj),
+            "phantom Leave: object {} is still inside the region",
+            e.id
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
