@@ -911,6 +911,15 @@ impl<I> VpIndex<I> {
         Ok((vp, report))
     }
 
+    /// True when this index was opened with a durability directory
+    /// ([`VpIndex::open`]) and so supports
+    /// [`checkpoint`](VpIndex::checkpoint). Serving layers consult
+    /// this on the drain path: a purely in-memory index has nothing
+    /// to checkpoint and drains without one.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
     /// Writes a checkpoint: flushes every sub-index's storage to a
     /// consistent on-disk state, snapshots the logical index state
     /// (object table, per-partition τ, online histograms) atomically,

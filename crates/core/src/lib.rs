@@ -57,8 +57,8 @@ pub use manager::{Health, PartitionId, PartitionSpec, VpIndex, VpSnapshot};
 pub use object::{MovingObject, ObjectId};
 pub use query::{QueryRegion, RangeQuery};
 pub use sub::{
-    KnnSubSpec, RangeSubSpec, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionId,
-    SubscriptionSet, TickDelta,
+    KnnSubSpec, RangeSubSpec, RetainedBatch, SubEvent, SubEventKind, SubscriptionConfig,
+    SubscriptionId, SubscriptionSet, TickDelta,
 };
 pub use traits::{IndexSnapshot, MovingObjectIndex, SnapshotIndex};
 pub use vp_wal::SyncPolicy;

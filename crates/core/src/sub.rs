@@ -30,6 +30,21 @@
 //! through one [`MovingObjectIndex::range_query_batch`] call so the
 //! shared-sweep machinery groups their scans.
 //!
+//! ## Sequence numbers & resume
+//!
+//! Every *emitted* event batch (a non-empty per-subscription event
+//! group from one tick, or a registration backfill) consumes one
+//! monotone per-subscription **sequence number**, and the last
+//! [`SubscriptionConfig::retain`] batches are kept in a per-sub ring
+//! ([`RetainedBatch`]). A serving layer whose client reconnects asks
+//! [`retained_since`](SubscriptionSet::retained_since) for a gap-free
+//! replay; when the ring no longer reaches back far enough the layer
+//! falls back to [`resnapshot`](SubscriptionSet::resnapshot), which
+//! re-evaluates the subscription from the index, resets its state,
+//! and emits a fresh full backfill under the next sequence number.
+//! Sequence arithmetic is what lets the wire layer prove "no event
+//! duplicated, none skipped" end to end.
+//!
 //! **kNN** subscriptions have no static region to cache against, so
 //! they re-run each tick through [`knn_batch`] — which is itself
 //! incremental *within* the query: its expanding probe chain passes
@@ -47,7 +62,7 @@
 //! precede all `Leave`s, which precede all `Moved`s. The stream is
 //! deterministic for a given registration/tick history.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use vp_geom::{Point, Rect};
 
@@ -178,15 +193,22 @@ pub struct SubscriptionConfig {
     /// Worker threads for the grouped refresh / kNN batch passes
     /// (1 = run on the calling thread).
     pub workers: usize,
+    /// Emitted event batches retained per subscription for
+    /// reconnect replay ([`SubscriptionSet::retained_since`]).
+    /// 0 disables replay — every resume becomes a full
+    /// [`resnapshot`](SubscriptionSet::resnapshot).
+    pub retain: usize,
 }
 
 impl SubscriptionConfig {
-    /// Defaults: 60-timestamp horizon, sequential evaluation.
+    /// Defaults: 60-timestamp horizon, sequential evaluation, 64
+    /// retained batches per subscription.
     pub fn new(domain: Rect) -> SubscriptionConfig {
         SubscriptionConfig {
             domain,
             horizon: 60.0,
             workers: 1,
+            retain: 64,
         }
     }
 
@@ -201,6 +223,51 @@ impl SubscriptionConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Sets the per-subscription replay-ring capacity.
+    pub fn with_retain(mut self, retain: usize) -> SubscriptionConfig {
+        self.retain = retain;
+        self
+    }
+}
+
+/// One emitted event batch, retained for reconnect replay: everything
+/// a serving layer needs to re-send the frame (sequence number,
+/// evaluation time, the `(kind, id)` pairs in emission order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetainedBatch {
+    /// The batch's per-subscription sequence number (1-based,
+    /// contiguous across emitted batches).
+    pub seq: u64,
+    /// Evaluation time of the tick (or registration) that produced it.
+    pub time: f64,
+    /// `(kind, object id)` pairs in emission order.
+    pub events: Vec<(SubEventKind, ObjectId)>,
+}
+
+/// Per-subscription sequence counter + bounded replay ring.
+#[derive(Debug, Clone, Default)]
+struct SubLog {
+    /// Last assigned sequence number (0 = nothing emitted yet).
+    seq: u64,
+    retained: VecDeque<RetainedBatch>,
+}
+
+impl SubLog {
+    /// Assigns the next sequence number to `events` and retains the
+    /// batch (evicting the oldest beyond `retain`).
+    fn record(&mut self, time: f64, events: Vec<(SubEventKind, ObjectId)>, retain: usize) -> u64 {
+        self.seq += 1;
+        self.retained.push_back(RetainedBatch {
+            seq: self.seq,
+            time,
+            events,
+        });
+        while self.retained.len() > retain {
+            self.retained.pop_front();
+        }
+        self.seq
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -213,12 +280,14 @@ struct RangeSub {
     result: BTreeSet<ObjectId>,
     /// Last tick time the candidate set is valid for.
     window_end: f64,
+    log: SubLog,
 }
 
 #[derive(Debug, Clone)]
 struct KnnSub {
     spec: KnnSubSpec,
     result: BTreeSet<ObjectId>,
+    log: SubLog,
 }
 
 /// The registered standing queries plus their cached evaluation state.
@@ -268,13 +337,32 @@ impl SubscriptionSet {
     /// Registers a range subscription as of logical time `now` (the
     /// last committed tick time; must not precede any stored object's
     /// reference time). Returns the new id plus the `Enter` backfill:
-    /// one event per object currently in the result, ascending id.
+    /// one event per object currently in the result, ascending id. A
+    /// non-empty backfill consumes the subscription's first sequence
+    /// number.
     pub fn register_range<I: MovingObjectIndex + ?Sized>(
         &mut self,
         index: &I,
         now: f64,
         spec: RangeSubSpec,
     ) -> IndexResult<(SubscriptionId, Vec<SubEvent>)> {
+        let id = self.next_id;
+        let backfill = self.register_range_as(index, now, spec, id)?;
+        Ok((id, backfill))
+    }
+
+    /// [`register_range`](SubscriptionSet::register_range) under a
+    /// caller-chosen id — the serving layer uses this to revive a
+    /// reaped subscription under its original id so a resuming client
+    /// keeps a stable handle. Fails when the id is already live.
+    pub fn register_range_as<I: MovingObjectIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        now: f64,
+        spec: RangeSubSpec,
+        sub: SubscriptionId,
+    ) -> IndexResult<Vec<SubEvent>> {
+        self.claim_id(sub)?;
         let dt = spec.predictive_dt;
         let window_end = now + self.cfg.horizon;
         let probe = RangeQuery::time_interval(spec.region, now + dt, window_end + dt);
@@ -288,8 +376,14 @@ impl SubscriptionSet {
                 }
             }
         }
-        let sub = self.next_id;
-        self.next_id += 1;
+        let mut log = SubLog::default();
+        if !result.is_empty() {
+            log.record(
+                now,
+                result.iter().map(|&id| (SubEventKind::Enter, id)).collect(),
+                self.cfg.retain,
+            );
+        }
         let backfill = result
             .iter()
             .map(|&id| SubEvent {
@@ -305,9 +399,10 @@ impl SubscriptionSet {
                 candidates,
                 result,
                 window_end,
+                log,
             },
         );
-        Ok((sub, backfill))
+        Ok(backfill)
     }
 
     /// Registers a kNN subscription as of logical time `now`. Returns
@@ -319,6 +414,22 @@ impl SubscriptionSet {
         now: f64,
         spec: KnnSubSpec,
     ) -> IndexResult<(SubscriptionId, Vec<SubEvent>)> {
+        let id = self.next_id;
+        let backfill = self.register_knn_as(index, now, spec, id)?;
+        Ok((id, backfill))
+    }
+
+    /// [`register_knn`](SubscriptionSet::register_knn) under a
+    /// caller-chosen id (see
+    /// [`register_range_as`](SubscriptionSet::register_range_as)).
+    pub fn register_knn_as<I: MovingObjectIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        now: f64,
+        spec: KnnSubSpec,
+        sub: SubscriptionId,
+    ) -> IndexResult<Vec<SubEvent>> {
+        self.claim_id(sub)?;
         let neighbors = knn_at(
             index,
             spec.center,
@@ -327,8 +438,14 @@ impl SubscriptionSet {
             &self.cfg.domain,
         )?;
         let result: BTreeSet<ObjectId> = neighbors.iter().map(|n| n.id).collect();
-        let sub = self.next_id;
-        self.next_id += 1;
+        let mut log = SubLog::default();
+        if !result.is_empty() {
+            log.record(
+                now,
+                result.iter().map(|&id| (SubEventKind::Enter, id)).collect(),
+                self.cfg.retain,
+            );
+        }
         let backfill = result
             .iter()
             .map(|&id| SubEvent {
@@ -337,8 +454,21 @@ impl SubscriptionSet {
                 id,
             })
             .collect();
-        self.knns.insert(sub, KnnSub { spec, result });
-        Ok((sub, backfill))
+        self.knns.insert(sub, KnnSub { spec, result, log });
+        Ok(backfill)
+    }
+
+    /// Reserves `sub` for a new registration: errors when live,
+    /// advances the allocator past it otherwise (ids are never
+    /// recycled by the automatic allocator).
+    fn claim_id(&mut self, sub: SubscriptionId) -> IndexResult<()> {
+        if self.ranges.contains_key(&sub) || self.knns.contains_key(&sub) {
+            return Err(crate::error::IndexError::Config(format!(
+                "subscription id {sub} is already registered"
+            )));
+        }
+        self.next_id = self.next_id.max(sub + 1);
+        Ok(())
     }
 
     /// Drops a subscription. Returns false when the id is unknown
@@ -446,8 +576,11 @@ impl SubscriptionSet {
             }
         }
 
-        // Pass 4 — diff and emit, ascending subscription id.
+        // Pass 4 — diff and emit, ascending subscription id. Each
+        // subscription's non-empty batch is also recorded in its
+        // replay ring under the next sequence number.
         let moved_ids: BTreeSet<ObjectId> = delta.upserts.iter().map(|o| o.id).collect();
+        let retain = self.cfg.retain;
         let mut events = Vec::new();
         for (sub, new) in new_results {
             let old = if let Some(s) = self.ranges.get(&sub) {
@@ -455,36 +588,166 @@ impl SubscriptionSet {
             } else {
                 &self.knns[&sub].result
             };
+            let mut batch: Vec<(SubEventKind, ObjectId)> = Vec::new();
             for &id in new.difference(old) {
-                events.push(SubEvent {
-                    sub,
-                    kind: SubEventKind::Enter,
-                    id,
-                });
+                batch.push((SubEventKind::Enter, id));
             }
             for &id in old.difference(&new) {
-                events.push(SubEvent {
-                    sub,
-                    kind: SubEventKind::Leave,
-                    id,
-                });
+                batch.push((SubEventKind::Leave, id));
             }
             for &id in new.intersection(old) {
                 if moved_ids.contains(&id) {
-                    events.push(SubEvent {
-                        sub,
-                        kind: SubEventKind::Moved,
-                        id,
-                    });
+                    batch.push((SubEventKind::Moved, id));
                 }
             }
+            events.extend(batch.iter().map(|&(kind, id)| SubEvent { sub, kind, id }));
             if let Some(s) = self.ranges.get_mut(&sub) {
                 s.result = new;
+                if !batch.is_empty() {
+                    s.log.record(t, batch, retain);
+                }
             } else {
-                self.knns.get_mut(&sub).expect("knn sub present").result = new;
+                let s = self.knns.get_mut(&sub).expect("knn sub present");
+                s.result = new;
+                if !batch.is_empty() {
+                    s.log.record(t, batch, retain);
+                }
             }
         }
         Ok(events)
+    }
+
+    /// True when `sub` is currently registered.
+    pub fn contains(&self, sub: SubscriptionId) -> bool {
+        self.ranges.contains_key(&sub) || self.knns.contains_key(&sub)
+    }
+
+    /// The range spec of `sub`, if it is a live range subscription.
+    pub fn range_spec(&self, sub: SubscriptionId) -> Option<RangeSubSpec> {
+        self.ranges.get(&sub).map(|s| s.spec)
+    }
+
+    /// The kNN spec of `sub`, if it is a live kNN subscription.
+    pub fn knn_spec(&self, sub: SubscriptionId) -> Option<KnnSubSpec> {
+        self.knns.get(&sub).map(|s| s.spec)
+    }
+
+    /// The last sequence number emitted for `sub` (0 = nothing
+    /// emitted yet), or None if the id is unknown.
+    pub fn last_seq(&self, sub: SubscriptionId) -> Option<u64> {
+        self.log_of(sub).map(|l| l.seq)
+    }
+
+    /// Gap-free replay: every retained batch of `sub` with sequence
+    /// number strictly greater than `after_seq`, ascending.
+    ///
+    /// Returns `Some(batches)` only when the ring provably covers the
+    /// whole gap — i.e. the oldest retained batch's seq is
+    /// `≤ after_seq + 1` (or nothing was emitted past `after_seq`).
+    /// Returns `None` when the id is unknown, `after_seq` lies beyond
+    /// the current seq (the client is ahead — a stale token), or the
+    /// ring was trimmed past the gap; the caller should fall back to
+    /// [`resnapshot`](SubscriptionSet::resnapshot).
+    pub fn retained_since(
+        &self,
+        sub: SubscriptionId,
+        after_seq: u64,
+    ) -> Option<Vec<RetainedBatch>> {
+        let log = self.log_of(sub)?;
+        if after_seq > log.seq {
+            return None;
+        }
+        if after_seq == log.seq {
+            return Some(Vec::new());
+        }
+        match log.retained.front() {
+            Some(first) if first.seq <= after_seq + 1 => Some(
+                log.retained
+                    .iter()
+                    .filter(|b| b.seq > after_seq)
+                    .cloned()
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Re-evaluates `sub` from the index as of `now`, replacing its
+    /// cached state, clearing its replay ring, and emitting a fresh
+    /// full backfill (every current member as `Enter`) under the next
+    /// sequence number — the resume path of last resort when
+    /// [`retained_since`](SubscriptionSet::retained_since) cannot
+    /// bridge the gap. The backfill batch **always** consumes a
+    /// sequence number, even when empty, so the resuming client
+    /// observes the seq advance and discards its stale state.
+    ///
+    /// Returns `None` when the id is unknown.
+    pub fn resnapshot<I: MovingObjectIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        sub: SubscriptionId,
+        now: f64,
+    ) -> IndexResult<Option<RetainedBatch>> {
+        let retain = self.cfg.retain;
+        if let Some(s) = self.ranges.get(&sub) {
+            let spec = s.spec;
+            let dt = spec.predictive_dt;
+            let window_end = now + self.cfg.horizon;
+            let probe = RangeQuery::time_interval(spec.region, now + dt, window_end + dt);
+            let candidates: BTreeSet<ObjectId> = index.range_query(&probe)?.into_iter().collect();
+            let slice = RangeQuery::time_slice(spec.region, now + dt);
+            let mut result = BTreeSet::new();
+            for &id in &candidates {
+                if let Some(obj) = index.get_object(id)? {
+                    if slice.matches(&obj) {
+                        result.insert(id);
+                    }
+                }
+            }
+            let events: Vec<(SubEventKind, ObjectId)> =
+                result.iter().map(|&id| (SubEventKind::Enter, id)).collect();
+            let s = self.ranges.get_mut(&sub).expect("checked above");
+            s.candidates = candidates;
+            s.window_end = window_end;
+            s.result = result;
+            s.log.retained.clear();
+            let seq = s.log.record(now, events.clone(), retain.max(1));
+            return Ok(Some(RetainedBatch {
+                seq,
+                time: now,
+                events,
+            }));
+        }
+        if let Some(s) = self.knns.get(&sub) {
+            let spec = s.spec;
+            let neighbors = knn_at(
+                index,
+                spec.center,
+                spec.k,
+                now + spec.predictive_dt,
+                &self.cfg.domain,
+            )?;
+            let result: BTreeSet<ObjectId> = neighbors.iter().map(|n| n.id).collect();
+            let events: Vec<(SubEventKind, ObjectId)> =
+                result.iter().map(|&id| (SubEventKind::Enter, id)).collect();
+            let s = self.knns.get_mut(&sub).expect("checked above");
+            s.result = result;
+            s.log.retained.clear();
+            let seq = s.log.record(now, events.clone(), retain.max(1));
+            return Ok(Some(RetainedBatch {
+                seq,
+                time: now,
+                events,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn log_of(&self, sub: SubscriptionId) -> Option<&SubLog> {
+        self.ranges
+            .get(&sub)
+            .map(|s| &s.log)
+            .or_else(|| self.knns.get(&sub).map(|s| &s.log))
     }
 
     /// The current result set of a subscription (None if unknown).
@@ -737,6 +1000,124 @@ mod tests {
         assert_eq!(d.upserts[1].id, 5);
         assert_eq!(d.upserts[1].pos, Point::new(9.0, 9.0));
         assert!(TickDelta::from_updates(&[]).is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_count_emitted_batches() {
+        let mut idx = ScanIndex::new();
+        idx.insert(obj(1, 100.0, 100.0, 0.0, 0.0, 0.0)).unwrap();
+        let mut subs = SubscriptionSet::new(SubscriptionConfig::new(domain()).with_horizon(100.0));
+        let (sub, backfill) = subs
+            .register_range(
+                &idx,
+                0.0,
+                RangeSubSpec {
+                    region: circle(100.0, 100.0, 50.0),
+                    predictive_dt: 0.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(backfill.len(), 1);
+        assert_eq!(subs.last_seq(sub), Some(1), "backfill consumed seq 1");
+
+        // Quiet tick: nothing changes, no batch, seq stays.
+        let quiet = TickDelta {
+            time: 5.0,
+            upserts: Vec::new(),
+            removals: Vec::new(),
+        };
+        assert!(subs.on_tick(&idx, &quiet).unwrap().is_empty());
+        assert_eq!(subs.last_seq(sub), Some(1), "empty batches consume no seq");
+
+        // Eventful tick: Moved → seq 2.
+        let delta = TickDelta::from_updates(&[obj(1, 101.0, 100.0, 0.0, 0.0, 10.0)]);
+        apply(&mut idx, &delta);
+        assert_eq!(subs.on_tick(&idx, &delta).unwrap().len(), 1);
+        assert_eq!(subs.last_seq(sub), Some(2));
+
+        // Replay from 0 returns both batches, contiguous.
+        let replay = subs.retained_since(sub, 0).unwrap();
+        assert_eq!(replay.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(replay[0].events, vec![(SubEventKind::Enter, 1)]);
+        assert_eq!(replay[1].events, vec![(SubEventKind::Moved, 1)]);
+        // Replay from the tip is empty, not a gap.
+        assert_eq!(subs.retained_since(sub, 2), Some(Vec::new()));
+        // A token from the future is a stale client — gap.
+        assert_eq!(subs.retained_since(sub, 3), None);
+        assert_eq!(subs.retained_since(9999, 0), None, "unknown id");
+    }
+
+    #[test]
+    fn retention_trim_turns_replay_into_gap() {
+        let mut idx = ScanIndex::new();
+        idx.insert(obj(1, 100.0, 100.0, 0.0, 0.0, 0.0)).unwrap();
+        let mut subs = SubscriptionSet::new(
+            SubscriptionConfig::new(domain())
+                .with_horizon(1000.0)
+                .with_retain(2),
+        );
+        let (sub, _) = subs
+            .register_range(
+                &idx,
+                0.0,
+                RangeSubSpec {
+                    region: circle(100.0, 100.0, 50.0),
+                    predictive_dt: 0.0,
+                },
+            )
+            .unwrap();
+        // Three eventful ticks → seqs 2, 3, 4; ring keeps the last 2.
+        for i in 0..3 {
+            let t = 10.0 * (i + 1) as f64;
+            let delta = TickDelta::from_updates(&[obj(1, 101.0 + i as f64, 100.0, 0.0, 0.0, t)]);
+            apply(&mut idx, &delta);
+            subs.on_tick(&idx, &delta).unwrap();
+        }
+        assert_eq!(subs.last_seq(sub), Some(4));
+        assert_eq!(
+            subs.retained_since(sub, 2).map(|v| v.len()),
+            Some(2),
+            "ring still reaches back to seq 3"
+        );
+        assert_eq!(
+            subs.retained_since(sub, 1),
+            None,
+            "seq 2 was trimmed — caller must resnapshot"
+        );
+
+        // Resnapshot: fresh backfill under seq 5, ring reset.
+        let snap = subs.resnapshot(&idx, sub, 30.0).unwrap().unwrap();
+        assert_eq!(snap.seq, 5, "resnapshot always consumes a seq");
+        assert_eq!(snap.events, vec![(SubEventKind::Enter, 1)]);
+        assert_eq!(subs.retained_since(sub, 4).map(|v| v.len()), Some(1));
+        assert_eq!(subs.resnapshot(&idx, 9999, 30.0).unwrap(), None);
+
+        // The stream continues seamlessly after the snapshot.
+        let delta = TickDelta::from_updates(&[obj(1, 500.0, 500.0, 0.0, 0.0, 40.0)]);
+        apply(&mut idx, &delta);
+        subs.on_tick(&idx, &delta).unwrap();
+        assert_eq!(subs.last_seq(sub), Some(6));
+    }
+
+    #[test]
+    fn register_as_revives_reaped_id() {
+        let mut idx = ScanIndex::new();
+        idx.insert(obj(1, 100.0, 100.0, 0.0, 0.0, 0.0)).unwrap();
+        let mut subs = SubscriptionSet::new(SubscriptionConfig::new(domain()));
+        let spec = RangeSubSpec {
+            region: circle(100.0, 100.0, 50.0),
+            predictive_dt: 0.0,
+        };
+        let (sub, _) = subs.register_range(&idx, 0.0, spec).unwrap();
+        assert!(subs.register_range_as(&idx, 0.0, spec, sub).is_err());
+        assert!(subs.unregister(sub));
+        let backfill = subs.register_range_as(&idx, 0.0, spec, sub).unwrap();
+        assert_eq!(backfill.len(), 1);
+        assert!(subs.contains(sub));
+        assert_eq!(subs.range_spec(sub), Some(spec));
+        // The allocator never re-issues a caller-claimed id.
+        let (next, _) = subs.register_range(&idx, 0.0, spec).unwrap();
+        assert!(next > sub);
     }
 
     #[test]

@@ -4,16 +4,41 @@
 //! request/response calls. It exists for the integration tests, the
 //! load generator, and the quickstart example — it is intentionally
 //! not a connection pool.
+//!
+//! # Robustness features
+//!
+//! * **Deadlines** — [`VpClient::set_deadline_budget`] makes every
+//!   subsequent request travel inside a [`Request::Deadline`] envelope;
+//!   the server answers [`ErrorCode::DeadlineExceeded`] instead of
+//!   doing (or finishing) expired work.
+//! * **Auto-reconnect** — with a [`RetryPolicy`] installed via
+//!   [`VpClient::with_reconnect`], a transport failure on an
+//!   *idempotent* call (range / knn / get / stats) redials with
+//!   bounded exponential backoff and retries once. Mutations are never
+//!   retried automatically: a lost reply leaves "applied or not"
+//!   unknowable, so that decision stays with the caller.
+//! * **Resumable subscriptions** — the client remembers every live
+//!   subscription (spec + last sequence number seen). A reconnect
+//!   re-subscribes each with a `resume` token; the server either
+//!   replays the missed event batches gap-free or pushes a `reset`
+//!   backfill. Duplicate frames (seq ≤ last seen) are dropped, so the
+//!   caller observes each batch exactly once per reset epoch.
+//! * **Heartbeats** — [`VpClient::ping`] round-trips a nonce; passive
+//!   subscribers should call it within the server's idle window to
+//!   avoid eviction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use vp_core::{KnnQuery, KnnSubSpec, MovingObject, Neighbor, RangeQuery, RangeSubSpec, SubEventKind};
+use vp_core::{
+    KnnQuery, KnnSubSpec, MovingObject, Neighbor, RangeQuery, RangeSubSpec, SubEventKind,
+};
+use vp_storage::RetryPolicy;
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, StatsReply, SubscribeSpec,
+    read_frame, write_frame, ErrorCode, Request, Response, ResumeFrom, StatsReply, SubscribeSpec,
 };
 
 /// Client-side failure: transport, codec, or a typed server error.
@@ -30,6 +55,8 @@ pub enum ClientError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Back-off hint in µs (0 = none); set on `Overloaded`.
+        retry_after_us: u64,
     },
 }
 
@@ -38,7 +65,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
-            ClientError::Server { code, message } => {
+            ClientError::Server { code, message, .. } => {
                 write!(f, "server error {code:?}: {message}")
             }
         }
@@ -61,6 +88,16 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// The server's back-off hint, when there is one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Server { retry_after_us, .. } if *retry_after_us > 0 => {
+                Some(Duration::from_micros(*retry_after_us))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Result alias for client calls.
@@ -74,13 +111,31 @@ pub struct EventBatch {
     pub sub: u64,
     /// Evaluation time of the tick that produced them.
     pub time: f64,
+    /// The subscription's monotone sequence number for this batch.
+    pub seq: u64,
+    /// `true`: discard all accumulated result-set state first — the
+    /// events are a fresh backfill, not an incremental diff.
+    pub reset: bool,
+    /// `true`: the server is draining; this is the last frame this
+    /// subscription will receive on this connection.
+    pub fin: bool,
     /// `(kind, object id)` pairs, grouped by kind with ascending ids
     /// inside each group.
     pub events: Vec<(SubEventKind, u64)>,
 }
 
+/// What the client remembers about a live subscription so it can be
+/// resumed across reconnects.
+#[derive(Debug, Clone)]
+struct SubState {
+    spec: SubscribeSpec,
+    /// Highest sequence number surfaced to the caller (0 = none yet).
+    last_seq: u64,
+}
+
 /// A blocking connection to a vp-server.
 pub struct VpClient {
+    addr: SocketAddr,
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
@@ -88,27 +143,149 @@ pub struct VpClient {
     /// other response; drained by [`VpClient::take_events`] /
     /// [`VpClient::wait_events`].
     pending_events: VecDeque<EventBatch>,
+    /// Live subscriptions, for resume-on-reconnect and seq dedupe.
+    subs: HashMap<u64, SubState>,
+    /// Reconnect policy; `None` disables auto-reconnect.
+    reconnect: Option<RetryPolicy>,
+    /// When set, every request is wrapped in a deadline envelope with
+    /// this budget.
+    deadline_budget: Option<Duration>,
+    next_nonce: u64,
 }
 
 impl VpClient {
     /// Connects to a running server.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<VpClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream.try_clone()?);
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let (stream, reader, writer) = Self::dial(addr)?;
         Ok(VpClient {
+            addr,
             stream,
             reader,
             writer,
             pending_events: VecDeque::new(),
+            subs: HashMap::new(),
+            reconnect: None,
+            deadline_budget: None,
+            next_nonce: 1,
         })
     }
 
+    fn dial(
+        addr: SocketAddr,
+    ) -> io::Result<(TcpStream, BufReader<TcpStream>, BufWriter<TcpStream>)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok((stream, reader, writer))
+    }
+
+    /// Enables auto-reconnect (and read retry) with the given backoff
+    /// policy. `RetryPolicy::standard()` is a sensible default.
+    pub fn with_reconnect(mut self, policy: RetryPolicy) -> VpClient {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Sets (or clears) the per-request deadline budget. While set,
+    /// every request travels inside a [`Request::Deadline`] envelope
+    /// and expired work is answered with
+    /// [`ErrorCode::DeadlineExceeded`].
+    pub fn set_deadline_budget(&mut self, budget: Option<Duration>) {
+        self.deadline_budget = budget;
+    }
+
+    /// Redials the server (with the reconnect policy's backoff) and
+    /// resumes every tracked subscription from its last seen sequence
+    /// number. Replayed/backfill event batches land in the pending
+    /// queue exactly like server pushes.
+    pub fn reconnect(&mut self) -> ClientResult<()> {
+        let policy = self.reconnect.unwrap_or_else(RetryPolicy::none);
+        let mut retry: u32 = 0;
+        let conn = loop {
+            match Self::dial(self.addr) {
+                Ok(conn) => break conn,
+                Err(e) => {
+                    if retry + 1 >= policy.max_attempts.max(1) {
+                        return Err(e.into());
+                    }
+                    std::thread::sleep(policy.backoff_for(retry));
+                    retry += 1;
+                }
+            }
+        };
+        (self.stream, self.reader, self.writer) = conn;
+        // Resume subscriptions under their original ids. The server
+        // replays missed batches (dropped here if it over-replays) or
+        // pushes a reset backfill.
+        let resumes: Vec<(u64, SubscribeSpec, u64)> = self
+            .subs
+            .iter()
+            .map(|(&id, st)| (id, st.spec, st.last_seq))
+            .collect();
+        for (id, spec, after_seq) in resumes {
+            let got = self.subscribe_resume(spec, id, after_seq)?;
+            if got != id {
+                return Err(ClientError::Protocol(format!(
+                    "resume of subscription {id} came back as {got}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     fn send(&mut self, req: &Request) -> ClientResult<()> {
-        write_frame(&mut self.writer, &req.encode())?;
+        let encoded = match (self.deadline_budget, req) {
+            // Pings are liveness probes; a deadline envelope on them
+            // is noise.
+            (Some(budget), req) if !matches!(req, Request::Ping(_)) => Request::Deadline {
+                budget_us: budget.as_micros().min(u64::MAX as u128) as u64,
+                inner: Box::new(req.clone()),
+            }
+            .encode(),
+            _ => req.encode(),
+        };
+        write_frame(&mut self.writer, &encoded)?;
         self.writer.flush()?;
         Ok(())
+    }
+
+    /// Stashes one pushed event frame, deduplicating by sequence
+    /// number: within a reset epoch each seq is surfaced at most once,
+    /// and a `reset` frame restarts the epoch.
+    fn ingest_events(
+        &mut self,
+        sub: u64,
+        time: f64,
+        seq: u64,
+        reset: bool,
+        fin: bool,
+        events: Vec<(SubEventKind, u64)>,
+    ) {
+        if let Some(st) = self.subs.get_mut(&sub) {
+            if fin {
+                // Terminal marker; carries no events and no new seq.
+            } else if reset {
+                st.last_seq = seq;
+            } else {
+                if seq <= st.last_seq {
+                    return; // duplicate (e.g. resume over-replay)
+                }
+                st.last_seq = seq;
+            }
+        }
+        self.pending_events.push_back(EventBatch {
+            sub,
+            time,
+            seq,
+            reset,
+            fin,
+            events,
+        });
     }
 
     /// Receives the next *non-event* response; pushed [`Response::Events`]
@@ -118,8 +295,15 @@ impl VpClient {
         loop {
             match read_frame(&mut self.reader)? {
                 Some(payload) => match Response::decode(&payload)? {
-                    Response::Events { sub, time, events } => {
-                        self.pending_events.push_back(EventBatch { sub, time, events });
+                    Response::Events {
+                        sub,
+                        time,
+                        seq,
+                        reset,
+                        fin,
+                        events,
+                    } => {
+                        self.ingest_events(sub, time, seq, reset, fin, events);
                     }
                     other => return Ok(other),
                 },
@@ -135,8 +319,34 @@ impl VpClient {
     fn expect_ok(&mut self) -> ClientResult<()> {
         match self.recv()? {
             Response::Ok => Ok(()),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error {
+                code,
+                message,
+                retry_after_us,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_us,
+            }),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Runs an idempotent call; on a transport error with a reconnect
+    /// policy installed, redials (resuming subscriptions) and retries
+    /// the call once.
+    fn retry_read<T>(
+        &mut self,
+        mut f: impl FnMut(&mut VpClient) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        match f(self) {
+            Err(ClientError::Io(first)) if self.reconnect.is_some() => {
+                if self.reconnect().is_err() {
+                    return Err(ClientError::Io(first));
+                }
+                f(self)
+            }
+            other => other,
         }
     }
 
@@ -151,47 +361,72 @@ impl VpClient {
     /// own vector, in arrival order. Tests use this to assert the
     /// streaming behavior; most callers want [`VpClient::range`].
     pub fn range_frames(&mut self, query: &RangeQuery) -> ClientResult<Vec<Vec<u64>>> {
-        self.send(&Request::Range(*query))?;
-        let mut frames = Vec::new();
-        loop {
-            match self.recv()? {
-                Response::Ids { done, ids } => {
-                    frames.push(ids);
-                    if done {
-                        return Ok(frames);
+        let query = *query;
+        self.retry_read(move |c| {
+            c.send(&Request::Range(query))?;
+            let mut frames = Vec::new();
+            loop {
+                match c.recv()? {
+                    Response::Ids { done, ids } => {
+                        frames.push(ids);
+                        if done {
+                            return Ok(frames);
+                        }
+                    }
+                    Response::Error {
+                        code,
+                        message,
+                        retry_after_us,
+                    } => {
+                        return Err(ClientError::Server {
+                            code,
+                            message,
+                            retry_after_us,
+                        })
+                    }
+                    other => {
+                        return Err(ClientError::Protocol(format!("unexpected reply {other:?}")))
                     }
                 }
-                Response::Error { code, message } => {
-                    return Err(ClientError::Server { code, message })
-                }
-                other => return Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
             }
-        }
+        })
     }
 
     /// Executes a kNN query.
     pub fn knn(&mut self, query: &KnnQuery) -> ClientResult<Vec<Neighbor>> {
-        self.send(&Request::Knn(*query))?;
-        match self.recv()? {
-            Response::Neighbors(ns) => Ok(ns),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        let query = *query;
+        self.retry_read(move |c| {
+            c.send(&Request::Knn(query))?;
+            match c.recv()? {
+                Response::Neighbors(ns) => Ok(ns),
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_us,
+                } => Err(ClientError::Server {
+                    code,
+                    message,
+                    retry_after_us,
+                }),
+                other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        })
     }
 
-    /// Inserts one object.
+    /// Inserts one object. Never auto-retried (see module docs).
     pub fn insert(&mut self, obj: MovingObject) -> ClientResult<()> {
         self.send(&Request::Insert(obj))?;
         self.expect_ok()
     }
 
-    /// Deletes one object by id.
+    /// Deletes one object by id. Never auto-retried.
     pub fn delete(&mut self, id: u64) -> ClientResult<()> {
         self.send(&Request::Delete(id))?;
         self.expect_ok()
     }
 
     /// Applies one tick (an atomic batch of position re-reports).
+    /// Never auto-retried.
     pub fn tick(&mut self, updates: &[MovingObject]) -> ClientResult<()> {
         self.send(&Request::Tick(updates.to_vec()))?;
         self.expect_ok()
@@ -199,25 +434,71 @@ impl VpClient {
 
     /// Looks up an object's last reported state.
     pub fn get_object(&mut self, id: u64) -> ClientResult<Option<MovingObject>> {
-        self.send(&Request::GetObject(id))?;
-        match self.recv()? {
-            Response::Object(o) => Ok(o),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
-        }
+        self.retry_read(move |c| {
+            c.send(&Request::GetObject(id))?;
+            match c.recv()? {
+                Response::Object(o) => Ok(o),
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_us,
+                } => Err(ClientError::Server {
+                    code,
+                    message,
+                    retry_after_us,
+                }),
+                other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        })
     }
 
     /// Fetches server + index statistics.
     pub fn stats(&mut self) -> ClientResult<StatsReply> {
-        self.send(&Request::Stats)?;
+        self.retry_read(|c| {
+            c.send(&Request::Stats)?;
+            match c.recv()? {
+                Response::Stats(s) => Ok(s),
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_us,
+                } => Err(ClientError::Server {
+                    code,
+                    message,
+                    retry_after_us,
+                }),
+                other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        })
+    }
+
+    /// Round-trips a heartbeat. Keeps an otherwise-passive connection
+    /// (e.g. a subscriber between event pushes) from being evicted by
+    /// the server's idle timer.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.send(&Request::Ping(nonce))?;
         match self.recv()? {
-            Response::Stats(s) => Ok(s),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Pong(n) if n == nonce => Ok(()),
+            Response::Pong(n) => Err(ClientError::Protocol(format!(
+                "pong nonce mismatch: sent {nonce}, got {n}"
+            ))),
+            Response::Error {
+                code,
+                message,
+                retry_after_us,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_us,
+            }),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
 
-    /// Asks the server to shut down (acknowledged before it exits).
+    /// Asks the server to drain and shut down (acknowledged before it
+    /// exits).
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.send(&Request::Shutdown)?;
         self.expect_ok()
@@ -225,11 +506,31 @@ impl VpClient {
 
     // --- standing queries --------------------------------------------------
 
-    fn subscribe(&mut self, spec: SubscribeSpec) -> ClientResult<u64> {
-        self.send(&Request::Subscribe(spec))?;
+    fn subscribe_inner(
+        &mut self,
+        spec: SubscribeSpec,
+        resume: Option<ResumeFrom>,
+    ) -> ClientResult<u64> {
+        self.send(&Request::Subscribe { spec, resume })?;
         match self.recv()? {
-            Response::Subscribed(id) => Ok(id),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Subscribed(id) => {
+                // Track (or keep tracking) the subscription *before*
+                // its backfill/replay frames are read, so their seqs
+                // are recorded.
+                self.subs
+                    .entry(id)
+                    .or_insert(SubState { spec, last_seq: 0 });
+                Ok(id)
+            }
+            Response::Error {
+                code,
+                message,
+                retry_after_us,
+            } => Err(ClientError::Server {
+                code,
+                message,
+                retry_after_us,
+            }),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
@@ -239,19 +540,47 @@ impl VpClient {
     /// afterwards the server pushes result-set changes on this
     /// connection after every committed mutation.
     pub fn subscribe_range(&mut self, spec: RangeSubSpec) -> ClientResult<u64> {
-        self.subscribe(SubscribeSpec::Range(spec))
+        self.subscribe_inner(SubscribeSpec::Range(spec), None)
     }
 
     /// Registers a standing kNN query (see [`VpClient::subscribe_range`]).
     pub fn subscribe_knn(&mut self, spec: KnnSubSpec) -> ClientResult<u64> {
-        self.subscribe(SubscribeSpec::Knn(spec))
+        self.subscribe_inner(SubscribeSpec::Knn(spec), None)
+    }
+
+    /// Resumes subscription `sub` after a reconnect, asking for replay
+    /// of everything after `after_seq`. Usually called for you by
+    /// [`VpClient::reconnect`]; exposed for tests and for clients that
+    /// carry resume tokens across processes.
+    pub fn subscribe_resume(
+        &mut self,
+        spec: SubscribeSpec,
+        sub: u64,
+        after_seq: u64,
+    ) -> ClientResult<u64> {
+        let id = self.subscribe_inner(spec, Some(ResumeFrom { sub, after_seq }))?;
+        // If this client had no state for the sub (cross-process
+        // resume), start dedupe from the caller's token.
+        let st = self
+            .subs
+            .entry(id)
+            .or_insert(SubState { spec, last_seq: 0 });
+        st.last_seq = st.last_seq.max(after_seq);
+        Ok(id)
     }
 
     /// Drops a standing query. Event batches already in flight may
     /// still surface afterwards; none are produced by later ticks.
     pub fn unsubscribe(&mut self, sub: u64) -> ClientResult<()> {
         self.send(&Request::Unsubscribe(sub))?;
+        self.subs.remove(&sub);
         self.expect_ok()
+    }
+
+    /// The last sequence number surfaced for a subscription (its
+    /// resume token), or `None` if the subscription is unknown.
+    pub fn last_seq(&self, sub: u64) -> Option<u64> {
+        self.subs.get(&sub).map(|st| st.last_seq)
     }
 
     /// Drains the event batches already received (those that arrived
@@ -278,9 +607,19 @@ impl VpClient {
             self.stream.set_read_timeout(None)?;
             match got {
                 Ok(Some(payload)) => match Response::decode(&payload)? {
-                    Response::Events { sub, time, events } => {
-                        self.pending_events.push_back(EventBatch { sub, time, events });
+                    Response::Events {
+                        sub,
+                        time,
+                        seq,
+                        reset,
+                        fin,
+                        events,
+                    } => {
+                        self.ingest_events(sub, time, seq, reset, fin, events);
                     }
+                    // A stray Pong (e.g. from a keepalive whose reply
+                    // raced an event wait) is dropped, not an error.
+                    Response::Pong(_) => {}
                     other => {
                         return Err(ClientError::Protocol(format!(
                             "unsolicited non-event frame {other:?}"

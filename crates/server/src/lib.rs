@@ -21,20 +21,33 @@
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (requests,
 //!   responses, typed error codes, chunked range results, event
-//!   pushes).
+//!   pushes, deadline envelopes, heartbeats, and the incremental
+//!   [`protocol::FrameReader`] that survives socket timeouts
+//!   mid-frame).
 //! * [`server`] — [`spawn`], the thread topology, the
-//!   window-close policy, and bounded-queue admission control.
+//!   window-close policy, bounded-queue admission control, per-request
+//!   deadlines, idle-peer eviction, graceful drain, and resumable
+//!   subscriptions.
 //! * [`client`] — [`VpClient`], a small blocking client used by the
-//!   tests, the load generator, and the quickstart example.
+//!   tests, the load generator, and the quickstart example; optional
+//!   auto-reconnect with subscription resume.
+//! * [`chaos`] — a deterministic in-process TCP fault proxy
+//!   (delay / split / truncate / kill / reset), the wire-layer
+//!   sibling of `vp_storage::FaultInjector`.
 //!
-//! See `docs/ARCHITECTURE.md` ("Service layer & batch formation") for
-//! the request lifecycle and the guard matrix rows that pin this
-//! crate's behavior.
+//! See `docs/ARCHITECTURE.md` ("Service layer & batch formation" and
+//! "Failure model & the degradation ladder") for the request lifecycle
+//! and the guard matrix rows that pin this crate's behavior, and
+//! `crates/server/README.md` for the operator runbook.
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use chaos::{ChaosAction, ChaosPlan, ChaosProxy};
 pub use client::{ClientError, ClientResult, EventBatch, VpClient};
-pub use protocol::{ErrorCode, Request, Response, StatsReply, SubscribeSpec};
+pub use protocol::{
+    ErrorCode, FrameReader, Request, Response, ResumeFrom, StatsReply, SubscribeSpec,
+};
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -17,7 +17,10 @@
 
 use std::io::{self, Read, Write};
 
-use vp_core::{KnnQuery, KnnSubSpec, MovingObject, Neighbor, QueryRegion, RangeQuery, RangeSubSpec, SubEventKind};
+use vp_core::{
+    KnnQuery, KnnSubSpec, MovingObject, Neighbor, QueryRegion, RangeQuery, RangeSubSpec,
+    SubEventKind,
+};
 use vp_geom::{Circle, Point, Rect};
 
 /// Upper bound on a single frame's payload, as a corruption guard: a
@@ -57,6 +60,15 @@ pub enum ErrorCode {
     Storage = 8,
     /// Anything else (server-side panic shields, shutdown races).
     Internal = 9,
+    /// The request's deadline budget expired before the server could
+    /// (finish) execut(ing) it. The work was dropped; whether any
+    /// partial execution happened is unspecified for mutations wrapped
+    /// in a deadline (clients should only stamp deadlines on reads).
+    DeadlineExceeded = 10,
+    /// The server is draining for shutdown: in-flight work is being
+    /// answered but new work is rejected. Reconnect to another
+    /// replica or retry after the restart.
+    Draining = 11,
 }
 
 impl ErrorCode {
@@ -71,6 +83,8 @@ impl ErrorCode {
             7 => ErrorCode::OutOfDomain,
             8 => ErrorCode::Storage,
             9 => ErrorCode::Internal,
+            10 => ErrorCode::DeadlineExceeded,
+            11 => ErrorCode::Draining,
             _ => return None,
         })
     }
@@ -86,6 +100,24 @@ pub enum SubscribeSpec {
     Range(RangeSubSpec),
     /// Standing kNN subscription (center, k, predictive offset).
     Knn(KnnSubSpec),
+}
+
+/// Resume token carried by [`Request::Subscribe`]: "re-attach me to
+/// subscription `sub`, whose events I have applied through `after_seq`".
+///
+/// The server replays retained batches `after_seq+1 ..= last_seq`
+/// gap-free when its ring still covers them, and otherwise pushes a
+/// fresh full backfill with the `reset` flag set (the client must
+/// discard its accumulated state). Sequence numbers are per
+/// subscription and count only emitted (non-empty) batches plus
+/// resets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeFrom {
+    /// The subscription id from the original `Subscribed` reply.
+    pub sub: u64,
+    /// Highest sequence number the client has fully applied
+    /// (0 = nothing).
+    pub after_seq: u64,
 }
 
 /// A client → server message.
@@ -112,11 +144,36 @@ pub enum Request {
     /// [`Response::Events`] backfill frame when the initial result set
     /// is non-empty. Afterwards the server pushes an `Events` frame on
     /// this connection whenever a committed mutation changes the
-    /// subscription's result set.
-    Subscribe(SubscribeSpec),
+    /// subscription's result set. With `resume`, re-attaches to an
+    /// existing (or reaped) subscription instead of allocating a new
+    /// one; the `spec` must match the original registration.
+    Subscribe {
+        /// What to watch.
+        spec: SubscribeSpec,
+        /// Present on reconnect: replay from this point.
+        resume: Option<ResumeFrom>,
+    },
     /// Drop a standing query by its id (acked with `Response::Ok`;
     /// idempotent).
     Unsubscribe(u64),
+    /// Deadline envelope: execute `inner` only if it can be answered
+    /// within `budget_us` microseconds of the server *decoding* this
+    /// frame. The budget is relative (a duration, not a wall-clock
+    /// timestamp) so client and server clocks need not agree. Expired
+    /// work is dropped — before admission, before batch formation, and
+    /// again before the reply is written — and answered with
+    /// [`ErrorCode::DeadlineExceeded`]. Envelopes do not nest.
+    Deadline {
+        /// Microseconds the client is still willing to wait.
+        budget_us: u64,
+        /// The enveloped request.
+        inner: Box<Request>,
+    },
+    /// Liveness probe; answered immediately with [`Response::Pong`]
+    /// from the connection thread (it never enters the batch queues).
+    /// Clients send these on idle connections so half-open peers are
+    /// detected on both sides.
+    Ping(u64),
 }
 
 /// Server + index statistics returned by [`Request::Stats`].
@@ -155,7 +212,17 @@ pub enum Response {
     Stats(StatsReply),
     /// Typed failure; the request had no effect (for `Overloaded` it
     /// was never admitted).
-    Error { code: ErrorCode, message: String },
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+        /// Back-off hint in microseconds (0 = none). For
+        /// [`ErrorCode::Overloaded`] this is the server's current
+        /// queue-drain estimate (queue depth × batch window): wait at
+        /// least this long before retrying.
+        retry_after_us: u64,
+    },
     /// A standing query was registered under this id.
     Subscribed(u64),
     /// Pushed result-set changes for one subscription at one commit
@@ -166,9 +233,24 @@ pub enum Response {
         sub: u64,
         /// Evaluation time of the tick that produced them.
         time: f64,
+        /// Per-subscription sequence number (1-based, contiguous
+        /// across pushed frames; replayed frames reuse their original
+        /// numbers so a resuming client can dedupe).
+        seq: u64,
+        /// True when this frame is a full backfill replacing — not
+        /// extending — everything the client accumulated before
+        /// (resume fell outside the retained window, or the
+        /// subscription was re-registered).
+        reset: bool,
+        /// True on the terminal frame of a graceful drain: no further
+        /// events will be pushed for this subscription by this server
+        /// process. `events` is empty on fin frames.
+        fin: bool,
         /// `(kind, object id)` pairs.
         events: Vec<(SubEventKind, u64)>,
     },
+    /// Liveness reply to [`Request::Ping`], echoing its nonce.
+    Pong(u64),
 }
 
 // --- frame layer -----------------------------------------------------------
@@ -199,6 +281,112 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Incremental frame reader for sockets with read timeouts.
+///
+/// [`read_frame`]'s `read_exact` is only safe on a blocking stream: if
+/// the socket has a read timeout and it fires mid-frame, `read_exact`
+/// returns an error *after having consumed some bytes*, desynchronizing
+/// the stream. `FrameReader` instead accumulates partial progress
+/// across calls — a `WouldBlock`/`TimedOut` from the underlying reader
+/// surfaces to the caller (who treats it as an idle tick: check
+/// heartbeats, check shutdown, call again) and the half-read frame
+/// resumes exactly where it stopped.
+///
+/// `Ok(None)` means clean EOF **at a frame boundary**; EOF mid-frame is
+/// an `UnexpectedEof` error (a torn frame, never silently accepted).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    /// Payload buffer; allocated once the header completes.
+    payload: Vec<u8>,
+    payload_filled: usize,
+    /// Some(len) once the header has been parsed and validated.
+    expect: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame buffered.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// True when a frame is partially read — used by callers to
+    /// distinguish "idle, nothing arriving" from "peer stalled
+    /// mid-frame" when a read timeout fires.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.expect.is_some()
+    }
+
+    /// Reads until one full frame is buffered, returning its payload.
+    /// Propagates `WouldBlock`/`TimedOut` (and any other I/O error)
+    /// from `r` with all partial progress retained.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if self.expect.is_none() {
+                // Header phase.
+                let n = match r.read(&mut self.header[self.header_filled..]) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if n == 0 {
+                    if self.header_filled == 0 {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame header",
+                    ));
+                }
+                self.header_filled += n;
+                if self.header_filled < 4 {
+                    continue;
+                }
+                let len = u32::from_le_bytes(self.header);
+                if len > MAX_FRAME_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+                    ));
+                }
+                self.expect = Some(len as usize);
+                self.payload = vec![0u8; len as usize];
+                self.payload_filled = 0;
+            }
+            let want = self.expect.expect("header parsed");
+            if self.payload_filled == want {
+                // Frame complete (covers zero-length payloads too).
+                self.header_filled = 0;
+                self.expect = None;
+                self.payload_filled = 0;
+                return Ok(Some(std::mem::take(&mut self.payload)));
+            }
+            let n = match r.read(&mut self.payload[self.payload_filled..]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                ));
+            }
+            self.payload_filled += n;
+        }
+    }
+}
+
+/// True when `e` is a socket-timeout error (`WouldBlock` on Unix,
+/// `TimedOut` on some platforms) rather than a real failure.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 // --- body codec ------------------------------------------------------------
@@ -316,6 +504,12 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    /// Consumes and returns everything left in the frame (used for
+    /// nested-message envelopes).
+    fn rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.buf)
+    }
+
     fn done(&self) -> io::Result<()> {
         if self.buf.is_empty() {
             Ok(())
@@ -372,7 +566,7 @@ impl Request {
             }
             Request::Stats => buf.push(7),
             Request::Shutdown => buf.push(8),
-            Request::Subscribe(spec) => {
+            Request::Subscribe { spec, resume } => {
                 buf.push(9);
                 match spec {
                     SubscribeSpec::Range(s) => {
@@ -387,10 +581,27 @@ impl Request {
                         put_f64(&mut buf, s.predictive_dt);
                     }
                 }
+                match resume {
+                    None => buf.push(0),
+                    Some(r) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&r.sub.to_le_bytes());
+                        buf.extend_from_slice(&r.after_seq.to_le_bytes());
+                    }
+                }
             }
             Request::Unsubscribe(id) => {
                 buf.push(10);
                 buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Deadline { budget_us, inner } => {
+                buf.push(11);
+                buf.extend_from_slice(&budget_us.to_le_bytes());
+                buf.extend_from_slice(&inner.encode());
+            }
+            Request::Ping(nonce) => {
+                buf.push(12);
+                buf.extend_from_slice(&nonce.to_le_bytes());
             }
         }
         buf
@@ -446,13 +657,44 @@ impl Request {
                     }),
                     t => return Err(bad(&format!("subscribe kind {t}"))),
                 };
-                Request::Subscribe(spec)
+                let resume = match c.u8()? {
+                    0 => None,
+                    1 => Some(ResumeFrom {
+                        sub: c.u64()?,
+                        after_seq: c.u64()?,
+                    }),
+                    t => return Err(bad(&format!("resume tag {t}"))),
+                };
+                Request::Subscribe { spec, resume }
             }
             10 => Request::Unsubscribe(c.u64()?),
+            11 => {
+                let budget_us = c.u64()?;
+                // The rest of the payload is the enveloped request;
+                // envelopes must not nest.
+                let inner = Request::decode(c.rest())?;
+                if matches!(inner, Request::Deadline { .. }) {
+                    return Err(bad("nested deadline envelope"));
+                }
+                return Ok(Request::Deadline {
+                    budget_us,
+                    inner: Box::new(inner),
+                });
+            }
+            12 => Request::Ping(c.u64()?),
             t => return Err(bad(&format!("request tag {t}"))),
         };
         c.done()?;
         Ok(req)
+    }
+
+    /// Peels a deadline envelope: `(budget, inner)` for
+    /// [`Request::Deadline`], `(None, self)` otherwise.
+    pub fn into_parts(self) -> (Option<u64>, Request) {
+        match self {
+            Request::Deadline { budget_us, inner } => (Some(budget_us), *inner),
+            other => (None, other),
+        }
     }
 }
 
@@ -498,9 +740,14 @@ impl Response {
                 buf.extend_from_slice(&s.writes.to_le_bytes());
                 buf.extend_from_slice(&s.overloaded.to_le_bytes());
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after_us,
+            } => {
                 buf.push(6);
                 buf.push(*code as u8);
+                buf.extend_from_slice(&retry_after_us.to_le_bytes());
                 let msg = message.as_bytes();
                 buf.extend_from_slice(&(msg.len() as u32).to_le_bytes());
                 buf.extend_from_slice(msg);
@@ -509,15 +756,28 @@ impl Response {
                 buf.push(7);
                 buf.extend_from_slice(&id.to_le_bytes());
             }
-            Response::Events { sub, time, events } => {
+            Response::Events {
+                sub,
+                time,
+                seq,
+                reset,
+                fin,
+                events,
+            } => {
                 buf.push(8);
                 buf.extend_from_slice(&sub.to_le_bytes());
                 put_f64(&mut buf, *time);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(u8::from(*reset) | (u8::from(*fin) << 1));
                 buf.extend_from_slice(&(events.len() as u32).to_le_bytes());
                 for (kind, id) in events {
                     buf.push(event_kind_to_u8(*kind));
                     buf.extend_from_slice(&id.to_le_bytes());
                 }
+            }
+            Response::Pong(nonce) => {
+                buf.push(9);
+                buf.extend_from_slice(&nonce.to_le_bytes());
             }
         }
         buf
@@ -572,23 +832,41 @@ impl Response {
             }
             6 => {
                 let code = ErrorCode::from_u8(c.u8()?).ok_or_else(|| bad("error code"))?;
+                let retry_after_us = c.u64()?;
                 let len = c.u32()? as usize;
                 let message = String::from_utf8(c.take(len)?.to_vec())
                     .map_err(|_| bad("error message utf8"))?;
-                Response::Error { code, message }
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_us,
+                }
             }
             7 => Response::Subscribed(c.u64()?),
             8 => {
                 let sub = c.u64()?;
                 let time = c.f64()?;
+                let seq = c.u64()?;
+                let flags = c.u8()?;
+                if flags & !0b11 != 0 {
+                    return Err(bad("events flags"));
+                }
                 let n = c.u32()? as usize;
                 let mut events = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     let kind = event_kind_from_u8(c.u8()?).ok_or_else(|| bad("event kind"))?;
                     events.push((kind, c.u64()?));
                 }
-                Response::Events { sub, time, events }
+                Response::Events {
+                    sub,
+                    time,
+                    seq,
+                    reset: flags & 0b01 != 0,
+                    fin: flags & 0b10 != 0,
+                    events,
+                }
             }
+            9 => Response::Pong(c.u64()?),
             t => return Err(bad(&format!("response tag {t}"))),
         };
         c.done()?;
@@ -641,20 +919,62 @@ mod tests {
         roundtrip_req(Request::GetObject(55));
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Shutdown);
-        roundtrip_req(Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
-            region: QueryRegion::Circle(Circle::new(Point::new(4.0, -1.0), 12.5)),
-            predictive_dt: 3.0,
-        })));
-        roundtrip_req(Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
-            region: QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 9.0, 4.0)),
-            predictive_dt: 0.0,
-        })));
-        roundtrip_req(Request::Subscribe(SubscribeSpec::Knn(KnnSubSpec {
-            center: Point::new(-7.0, 2.0),
-            k: 5,
-            predictive_dt: 1.5,
-        })));
+        roundtrip_req(Request::Subscribe {
+            spec: SubscribeSpec::Range(RangeSubSpec {
+                region: QueryRegion::Circle(Circle::new(Point::new(4.0, -1.0), 12.5)),
+                predictive_dt: 3.0,
+            }),
+            resume: None,
+        });
+        roundtrip_req(Request::Subscribe {
+            spec: SubscribeSpec::Range(RangeSubSpec {
+                region: QueryRegion::Rect(Rect::from_bounds(0.0, 0.0, 9.0, 4.0)),
+                predictive_dt: 0.0,
+            }),
+            resume: Some(ResumeFrom {
+                sub: 12,
+                after_seq: 7,
+            }),
+        });
+        roundtrip_req(Request::Subscribe {
+            spec: SubscribeSpec::Knn(KnnSubSpec {
+                center: Point::new(-7.0, 2.0),
+                k: 5,
+                predictive_dt: 1.5,
+            }),
+            resume: None,
+        });
         roundtrip_req(Request::Unsubscribe(42));
+        roundtrip_req(Request::Deadline {
+            budget_us: 250_000,
+            inner: Box::new(Request::Knn(KnnQuery {
+                center: Point::new(0.0, 0.0),
+                k: 3,
+                t: 1.0,
+            })),
+        });
+        roundtrip_req(Request::Ping(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn deadline_envelopes_do_not_nest() {
+        let inner = Request::Deadline {
+            budget_us: 10,
+            inner: Box::new(Request::Stats),
+        };
+        let mut payload = vec![11u8];
+        payload.extend_from_slice(&99u64.to_le_bytes());
+        payload.extend_from_slice(&inner.encode());
+        assert!(Request::decode(&payload).is_err(), "nested envelope");
+
+        let (budget, peeled) = Request::Deadline {
+            budget_us: 7,
+            inner: Box::new(Request::Stats),
+        }
+        .into_parts();
+        assert_eq!(budget, Some(7));
+        assert_eq!(peeled, Request::Stats);
+        assert_eq!(Request::Stats.into_parts(), (None, Request::Stats));
     }
 
     #[test]
@@ -697,11 +1017,25 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: ErrorCode::Overloaded,
             message: "queue full".to_string(),
+            retry_after_us: 40_000,
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::DeadlineExceeded,
+            message: "budget expired in queue".to_string(),
+            retry_after_us: 0,
+        });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Draining,
+            message: "server draining".to_string(),
+            retry_after_us: 0,
         });
         roundtrip_resp(Response::Subscribed(17));
         roundtrip_resp(Response::Events {
             sub: 17,
             time: 40.0,
+            seq: 3,
+            reset: false,
+            fin: false,
             events: vec![
                 (SubEventKind::Enter, 3),
                 (SubEventKind::Leave, 8),
@@ -711,8 +1045,20 @@ mod tests {
         roundtrip_resp(Response::Events {
             sub: 1,
             time: 0.0,
+            seq: 9,
+            reset: true,
+            fin: false,
             events: vec![],
         });
+        roundtrip_resp(Response::Events {
+            sub: 2,
+            time: 10.0,
+            seq: 12,
+            reset: false,
+            fin: true,
+            events: vec![],
+        });
+        roundtrip_resp(Response::Pong(77));
     }
 
     #[test]
@@ -763,10 +1109,16 @@ mod tests {
 
     #[test]
     fn truncated_subscribe_and_events_error_cleanly() {
-        let payload = Request::Subscribe(SubscribeSpec::Range(RangeSubSpec {
-            region: QueryRegion::Circle(Circle::new(Point::new(1.0, 2.0), 3.0)),
-            predictive_dt: 4.0,
-        }))
+        let payload = Request::Subscribe {
+            spec: SubscribeSpec::Range(RangeSubSpec {
+                region: QueryRegion::Circle(Circle::new(Point::new(1.0, 2.0), 3.0)),
+                predictive_dt: 4.0,
+            }),
+            resume: Some(ResumeFrom {
+                sub: 3,
+                after_seq: 1,
+            }),
+        }
         .encode();
         for cut in 1..payload.len() {
             assert!(Request::decode(&payload[..cut]).is_err(), "cut {cut}");
@@ -775,6 +1127,9 @@ mod tests {
         let payload = Response::Events {
             sub: 9,
             time: 5.0,
+            seq: 2,
+            reset: false,
+            fin: false,
             events: vec![(SubEventKind::Enter, 1), (SubEventKind::Moved, 2)],
         }
         .encode();
@@ -783,9 +1138,96 @@ mod tests {
         }
 
         // An unknown event kind is a decode error, not a panic.
-        let mut garbled = payload;
-        let kind_at = 1 + 8 + 8 + 4; // tag, sub, time, count
+        let mut garbled = payload.clone();
+        let kind_at = 1 + 8 + 8 + 8 + 1 + 4; // tag, sub, time, seq, flags, count
         garbled[kind_at] = 99;
         assert!(Response::decode(&garbled).is_err(), "bad event kind");
+
+        // Unknown flag bits are a decode error too.
+        let mut garbled = payload;
+        garbled[1 + 8 + 8 + 8] = 0b100;
+        assert!(Response::decode(&garbled).is_err(), "bad flags");
+    }
+
+    /// A reader that dribbles bytes one at a time and interleaves
+    /// timeouts, exercising FrameReader's partial-progress contract.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        timeout_every: usize,
+        reads: usize,
+    }
+
+    impl io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.reads += 1;
+            if self.timeout_every > 0 && self.reads.is_multiple_of(self.timeout_every) {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Delete(7).encode()).unwrap();
+        write_frame(&mut wire, &Request::Stats.encode()).unwrap();
+        let mut r = Dribble {
+            data: wire,
+            pos: 0,
+            timeout_every: 3,
+            reads: 0,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match fr.read_frame(&mut r) {
+                Ok(Some(p)) => frames.push(Request::decode(&p).unwrap()),
+                Ok(None) => break,
+                Err(e) if is_timeout(&e) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![Request::Delete(7), Request::Stats]);
+        assert!(timeouts > 0, "the dribble injected timeouts");
+        assert!(!fr.mid_frame(), "clean EOF at a frame boundary");
+    }
+
+    #[test]
+    fn frame_reader_rejects_torn_eof_and_huge_lengths() {
+        // EOF mid-payload is UnexpectedEof, not a clean close.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Delete(7).encode()).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut fr = FrameReader::new();
+        let mut r = &wire[..];
+        let err = fr.read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // EOF mid-header likewise.
+        let mut fr = FrameReader::new();
+        let mut r = &wire[..2];
+        let err = fr.read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(fr.mid_frame());
+
+        // A garbled length prefix fails fast instead of allocating.
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut fr = FrameReader::new();
+        let mut r = &huge[..];
+        assert!(fr.read_frame(&mut r).is_err());
+
+        // Zero-length frames are legal and terminate.
+        let zero = 0u32.to_le_bytes();
+        let mut fr = FrameReader::new();
+        let mut r = &zero[..];
+        assert_eq!(fr.read_frame(&mut r).unwrap(), Some(Vec::new()));
     }
 }

@@ -30,29 +30,64 @@
 //!
 //! Both queues are bounded (`queue_depth`). A full queue rejects the
 //! request immediately with [`ErrorCode::Overloaded`] — the connection
-//! stays open, nothing is buffered, and the client can retry. This is
+//! stays open, nothing is buffered, and the client can retry after the
+//! `retry_after_us` hint (current queue depth × batch window). This is
 //! the structured alternative to unbounded buildup: under overload the
 //! server sheds load at the edge while in-flight windows keep their
 //! latency.
+//!
+//! # Failure model at the wire
+//!
+//! Every connection carries socket read/write timeouts, so a dead or
+//! stalled peer can never pin a thread: reads go through the
+//! incremental [`FrameReader`] (partial frames survive timeout ticks),
+//! and a peer that stays silent — no frame, no [`Request::Ping`] —
+//! beyond [`ServerConfig::idle_timeout_ms`] is evicted. Requests may
+//! arrive wrapped in a [`Request::Deadline`] envelope; expired work is
+//! dropped at admission, again when the batch former opens the window,
+//! and once more before the reply is written, each time answered with
+//! [`ErrorCode::DeadlineExceeded`].
+//!
+//! # Graceful drain
+//!
+//! [`ServerHandle::shutdown`] (and a client's [`Request::Shutdown`])
+//! runs a two-phase drain rather than an abrupt stop: the acceptor
+//! closes, new work is rejected with [`ErrorCode::Draining`],
+//! already-admitted windows and mutations are answered, every routed
+//! subscription receives a terminal `Events` frame with the `fin`
+//! flag, a durable index is checkpointed (so the following start
+//! replays nothing), and only then do the service threads exit.
+//! [`ServerHandle::kill`] keeps the old abrupt path for tests.
+//!
+//! # Resumable subscriptions
+//!
+//! Each `Events` push carries the subscription's monotone sequence
+//! number. When a subscriber's connection dies, its subscriptions
+//! *detach* (stay registered, keep recording into their replay rings)
+//! for [`ServerConfig::sub_linger_ms`]; a client that reconnects and
+//! subscribes with a `resume` token gets a gap-free replay from the
+//! ring, or — past the ring or past the linger window — a fresh
+//! backfill flagged `reset`.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use vp_core::{
-    IndexError, IndexSnapshot, KnnQuery, MovingObjectIndex, RangeQuery, SnapshotCell,
-    SnapshotIndex, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionId, SubscriptionSet,
-    TickDelta, VpIndex, VpSnapshot,
+    IndexError, IndexSnapshot, KnnQuery, MovingObjectIndex, RangeQuery, RetainedBatch,
+    SnapshotCell, SnapshotIndex, SubEvent, SubEventKind, SubscriptionConfig, SubscriptionId,
+    SubscriptionSet, TickDelta, VpIndex, VpSnapshot,
 };
 use vp_geom::Rect;
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Request, Response, StatsReply, SubscribeSpec,
+    is_timeout, write_frame, ErrorCode, FrameReader, Request, Response, ResumeFrom, StatsReply,
+    SubscribeSpec,
 };
 
 /// Tuning knobs for [`spawn`].
@@ -76,6 +111,27 @@ pub struct ServerConfig {
     /// range subscription's cached candidate set stays valid before
     /// the writer refreshes it from the index.
     pub sub_horizon: f64,
+    /// Event batches retained per subscription for reconnect replay.
+    pub sub_retain: usize,
+    /// How long a subscription survives its connection (ms): within
+    /// this window a resume replays from the ring; past it the
+    /// subscription is reaped and a resume re-registers with `reset`.
+    pub sub_linger_ms: u64,
+    /// Socket read timeout (ms) — the cadence at which connection
+    /// threads notice shutdown, drain, and idle peers. Never a
+    /// correctness knob: partial frames survive timeout ticks.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout (ms) — bounds how long a reply or event
+    /// push can block on a peer that stopped reading; on expiry the
+    /// connection is treated as dead.
+    pub write_timeout_ms: u64,
+    /// A connection that completes no frame for this long (ms) is
+    /// evicted as half-open. Idle-but-healthy clients (e.g. passive
+    /// subscribers) stay alive by sending [`Request::Ping`].
+    pub idle_timeout_ms: u64,
+    /// Upper bound (ms) each service thread spends draining its queue
+    /// during graceful shutdown before giving up on the remainder.
+    pub drain_budget_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,7 +143,35 @@ impl Default for ServerConfig {
             max_frame: 4096,
             former_stall_us: 0,
             sub_horizon: 60.0,
+            sub_retain: 64,
+            sub_linger_ms: 10_000,
+            read_timeout_ms: 50,
+            write_timeout_ms: 5_000,
+            idle_timeout_ms: 30_000,
+            drain_budget_ms: 5_000,
         }
+    }
+}
+
+/// Lifecycle phase, shared by every thread (and the handle) as an
+/// atomic. Transitions only move forward: Running → Draining → Stopped
+/// (or Running → Stopped on [`ServerHandle::kill`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Running,
+    Draining,
+    Stopped,
+}
+
+const MODE_RUNNING: u8 = 0;
+const MODE_DRAINING: u8 = 1;
+const MODE_STOPPED: u8 = 2;
+
+fn load_mode(m: &AtomicU8) -> Mode {
+    match m.load(Ordering::SeqCst) {
+        MODE_RUNNING => Mode::Running,
+        MODE_DRAINING => Mode::Draining,
+        _ => Mode::Stopped,
     }
 }
 
@@ -99,21 +183,55 @@ struct Counters {
     batched_requests: AtomicU64,
     writes: AtomicU64,
     overloaded: AtomicU64,
+    /// Jobs currently sitting in the read / write admission queues —
+    /// feeds the `retry_after_us` hint on `Overloaded`.
+    read_queued: AtomicU64,
+    write_queued: AtomicU64,
 }
 
-/// Everything the connection threads and the former share. The
-/// shutdown flag is its own `Arc` so the (non-generic)
-/// [`ServerHandle`] can hold it too.
+/// Everything the connection threads and the former share. The mode
+/// word is its own `Arc` so the (non-generic) [`ServerHandle`] can
+/// hold it too.
 struct Shared<S> {
     cell: SnapshotCell<VpSnapshot<S>>,
     domain: Rect,
     partitions: u32,
     counters: Counters,
-    shutdown: Arc<AtomicBool>,
+    mode: Arc<AtomicU8>,
     addr: SocketAddr,
+    cfg: ServerConfig,
     /// Allocator for per-connection ids (used to route subscription
     /// event pushes back to the owning connection).
     next_conn: AtomicU64,
+    /// Service threads (former, writer) still draining; the last one
+    /// out flips the mode to Stopped so connection threads exit.
+    draining_threads: AtomicU64,
+}
+
+impl<S> Shared<S> {
+    fn mode(&self) -> Mode {
+        load_mode(&self.mode)
+    }
+
+    /// Called by the former and the writer when they finish (drain or
+    /// plain exit); the second call stops the world.
+    fn service_thread_done(&self) {
+        if self.draining_threads.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.mode.store(MODE_STOPPED, Ordering::SeqCst);
+        }
+    }
+
+    /// Queue-drain estimate (µs) used as the `Overloaded` back-off
+    /// hint: full windows ahead of the caller × the window span.
+    fn retry_after_us(&self, reads: bool) -> u64 {
+        let queued = if reads {
+            self.counters.read_queued.load(Ordering::SeqCst)
+        } else {
+            self.counters.write_queued.load(Ordering::SeqCst)
+        };
+        let windows = queued / self.cfg.max_batch.max(1) as u64 + 1;
+        windows * self.cfg.window_us.max(1)
+    }
 }
 
 /// A connection's outgoing half, shared between its conn thread and
@@ -132,6 +250,10 @@ enum ReadKind {
 
 struct ReadJob {
     kind: ReadKind,
+    /// Absolute expiry derived from a [`Request::Deadline`] envelope;
+    /// the former drops the job (with `DeadlineExceeded`) instead of
+    /// executing it once this passes.
+    deadline: Option<Instant>,
     /// Receives the full frame sequence for this request (one frame
     /// for kNN; one or more chunks for range).
     reply: mpsc::Sender<Vec<Response>>,
@@ -141,17 +263,19 @@ enum WriteKind {
     Insert(vp_core::MovingObject),
     Delete(u64),
     Tick(Vec<vp_core::MovingObject>),
-    /// Register a standing query. The writer thread answers on the
-    /// connection's stream directly (`Subscribed` + backfill) so a
-    /// concurrent tick's event push can never overtake the
-    /// registration reply.
+    /// Register (or resume) a standing query. The writer thread
+    /// answers on the connection's stream directly (`Subscribed` +
+    /// backfill/replay) so a concurrent tick's event push can never
+    /// overtake the registration reply.
     Subscribe {
         spec: SubscribeSpec,
+        resume: Option<ResumeFrom>,
         conn: ConnId,
         writer: ConnWriter,
     },
     Unsubscribe(u64),
-    /// Connection closed: drop every subscription it owned.
+    /// Connection closed: detach every subscription it owned (kept
+    /// registered for `sub_linger_ms` so a reconnect can resume).
     Disconnect(ConnId),
 }
 
@@ -168,7 +292,7 @@ struct WriteJob {
 /// a client and [`ServerHandle::join`]).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    mode: Arc<AtomicU8>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -178,10 +302,30 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and waits for the service threads to exit.
+    /// Graceful two-phase drain: stop accepting, reject new work with
+    /// [`ErrorCode::Draining`], answer everything already admitted,
+    /// push terminal `fin` event frames to every live subscription,
+    /// checkpoint a durable index, then stop. Returns once the
+    /// service threads have exited (bounded by
+    /// [`ServerConfig::drain_budget_ms`] per thread).
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.mode.compare_exchange(
+            MODE_RUNNING,
+            MODE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
         // Wake the blocking accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Hard kill for tests: stop immediately without draining queues,
+    /// pushing `fin` frames, or checkpointing.
+    pub fn kill(mut self) {
+        self.mode.store(MODE_STOPPED, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -213,7 +357,7 @@ where
     let snapshot = index
         .snapshot()
         .map_err(|e| io::Error::other(format!("initial snapshot failed: {e}")))?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let mode = Arc::new(AtomicU8::new(MODE_RUNNING));
     let shared = Arc::new(Shared {
         cell: SnapshotCell::new(snapshot),
         domain: index.domain(),
@@ -224,10 +368,14 @@ where
             batched_requests: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            read_queued: AtomicU64::new(0),
+            write_queued: AtomicU64::new(0),
         },
-        shutdown: Arc::clone(&shutdown),
+        mode: Arc::clone(&mode),
         addr,
+        cfg: config.clone(),
         next_conn: AtomicU64::new(0),
+        draining_threads: AtomicU64::new(2),
     });
     let depth = config.queue_depth.max(1);
     let (read_tx, read_rx) = mpsc::sync_channel::<ReadJob>(depth);
@@ -236,20 +384,18 @@ where
     let mut threads = Vec::new();
     {
         let shared = Arc::clone(&shared);
-        let cfg = config.clone();
         threads.push(
             thread::Builder::new()
                 .name("vp-former".into())
-                .spawn(move || former_loop(read_rx, shared, cfg))?,
+                .spawn(move || former_loop(read_rx, shared))?,
         );
     }
     {
         let shared = Arc::clone(&shared);
-        let sub_horizon = config.sub_horizon;
         threads.push(
             thread::Builder::new()
                 .name("vp-writer".into())
-                .spawn(move || writer_loop(index, write_rx, shared, sub_horizon))?,
+                .spawn(move || writer_loop(index, write_rx, shared))?,
         );
     }
     {
@@ -262,7 +408,7 @@ where
     }
     Ok(ServerHandle {
         addr,
-        shutdown,
+        mode,
         threads,
     })
 }
@@ -277,7 +423,7 @@ fn accept_loop<S: IndexSnapshot + 'static>(
 ) {
     loop {
         let conn = listener.accept();
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.mode() != Mode::Running {
             return;
         }
         let Ok((stream, _)) = conn else { continue };
@@ -289,7 +435,7 @@ fn accept_loop<S: IndexSnapshot + 'static>(
             .name("vp-conn".into())
             .spawn(move || {
                 let _ = handle_conn(stream, conn_id, shared, read_tx, &write_tx);
-                // However the connection ended, reclaim its standing
+                // However the connection ended, detach its standing
                 // queries. (Errors mean the writer is gone too.)
                 let (tx, _rx) = mpsc::channel();
                 let _ = write_tx.send(WriteJob {
@@ -300,10 +446,11 @@ fn accept_loop<S: IndexSnapshot + 'static>(
     }
 }
 
-fn overloaded() -> Response {
+fn overloaded(retry_after_us: u64) -> Response {
     Response::Error {
         code: ErrorCode::Overloaded,
         message: "admission queue full, retry later".into(),
+        retry_after_us,
     }
 }
 
@@ -311,6 +458,23 @@ fn internal(msg: &str) -> Response {
     Response::Error {
         code: ErrorCode::Internal,
         message: msg.into(),
+        retry_after_us: 0,
+    }
+}
+
+fn draining() -> Response {
+    Response::Error {
+        code: ErrorCode::Draining,
+        message: "server draining for shutdown".into(),
+        retry_after_us: 0,
+    }
+}
+
+fn deadline_exceeded(where_: &str) -> Response {
+    Response::Error {
+        code: ErrorCode::DeadlineExceeded,
+        message: format!("deadline expired {where_}"),
+        retry_after_us: 0,
     }
 }
 
@@ -324,9 +488,43 @@ fn handle_conn<S>(
 where
     S: IndexSnapshot + 'static,
 {
+    // Socket timeouts are the dead-peer bugfix: without them a silent
+    // peer pins this thread (and a stopped-reading peer pins whoever
+    // writes to it) forever.
+    stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )))?;
+    stream.set_write_timeout(Some(Duration::from_millis(
+        shared.cfg.write_timeout_ms.max(1),
+    )))?;
     let mut reader = stream.try_clone()?;
     let writer: ConnWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
-    while let Some(payload) = read_frame(&mut reader)? {
+    let mut frames = FrameReader::new();
+    let idle_timeout = Duration::from_millis(shared.cfg.idle_timeout_ms.max(1));
+    let mut last_frame = Instant::now();
+    loop {
+        if shared.mode() == Mode::Stopped {
+            return Ok(());
+        }
+        let payload = match frames.read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close at a frame boundary.
+            Ok(None) => return Ok(()),
+            Err(e) if is_timeout(&e) => {
+                // Idle tick. A peer that completes no frame within the
+                // idle window — whether silent or stalled mid-frame —
+                // is treated as half-open and evicted. Live-but-quiet
+                // clients refresh the window with Ping.
+                if last_frame.elapsed() >= idle_timeout {
+                    return Ok(());
+                }
+                continue;
+            }
+            // Torn frame, reset, or any other I/O failure: a clean
+            // disconnect, never a panic.
+            Err(_) => return Ok(()),
+        };
+        last_frame = Instant::now();
         let request = match Request::decode(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -335,26 +533,49 @@ where
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: e.to_string(),
+                        retry_after_us: 0,
                     },
                 )?;
                 continue;
             }
         };
+        // Peel the deadline envelope; the budget becomes absolute at
+        // decode time (it travelled as a duration, so clock skew
+        // between client and server is irrelevant).
+        let (budget_us, request) = request.into_parts();
+        let deadline = budget_us.map(|us| Instant::now() + Duration::from_micros(us));
+
+        // During drain only liveness probes and the (idempotent)
+        // shutdown request are honored; everything else is new work.
+        if shared.mode() != Mode::Running
+            && !matches!(request, Request::Ping(_) | Request::Shutdown)
+        {
+            send_one(&writer, &draining())?;
+            continue;
+        }
+        // First deadline gate: don't even admit expired work.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            send_one(&writer, &deadline_exceeded("before admission"))?;
+            continue;
+        }
         match request {
-            Request::Range(q) => enqueue_read(&shared, &read_tx, ReadKind::Range(q), &writer)?,
-            Request::Knn(q) => enqueue_read(&shared, &read_tx, ReadKind::Knn(q), &writer)?,
-            Request::Insert(o) => {
-                enqueue_write(&shared, write_tx, WriteKind::Insert(o), &writer)?
+            Request::Range(q) => {
+                enqueue_read(&shared, &read_tx, ReadKind::Range(q), deadline, &writer)?
             }
+            Request::Knn(q) => {
+                enqueue_read(&shared, &read_tx, ReadKind::Knn(q), deadline, &writer)?
+            }
+            Request::Insert(o) => enqueue_write(&shared, write_tx, WriteKind::Insert(o), &writer)?,
             Request::Delete(id) => {
                 enqueue_write(&shared, write_tx, WriteKind::Delete(id), &writer)?
             }
             Request::Tick(updates) => {
                 enqueue_write(&shared, write_tx, WriteKind::Tick(updates), &writer)?
             }
-            Request::Subscribe(spec) => {
+            Request::Subscribe { spec, resume } => {
                 let kind = WriteKind::Subscribe {
                     spec,
+                    resume,
                     conn: conn_id,
                     writer: Arc::clone(&writer),
                 };
@@ -387,17 +608,25 @@ where
                     }),
                 )?;
             }
+            Request::Ping(nonce) => {
+                send_one(&writer, &Response::Pong(nonce))?;
+            }
             Request::Shutdown => {
-                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = shared.mode.compare_exchange(
+                    MODE_RUNNING,
+                    MODE_DRAINING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
                 send_one(&writer, &Response::Ok)?;
                 // Wake the blocking accept() so the acceptor observes
-                // the flag and exits.
+                // the mode and exits.
                 let _ = TcpStream::connect(shared.addr);
                 return Ok(());
             }
+            Request::Deadline { .. } => unreachable!("peeled above; envelopes do not nest"),
         }
     }
-    Ok(())
 }
 
 fn poisoned() -> io::Error {
@@ -414,17 +643,21 @@ fn enqueue_read<S>(
     shared: &Shared<S>,
     read_tx: &SyncSender<ReadJob>,
     kind: ReadKind,
+    deadline: Option<Instant>,
     w: &ConnWriter,
 ) -> io::Result<()> {
     let (reply_tx, reply_rx) = mpsc::channel();
     match read_tx.try_send(ReadJob {
         kind,
+        deadline,
         reply: reply_tx,
     }) {
-        Ok(()) => {}
+        Ok(()) => {
+            shared.counters.read_queued.fetch_add(1, Ordering::SeqCst);
+        }
         Err(TrySendError::Full(_)) => {
             shared.counters.overloaded.fetch_add(1, Ordering::SeqCst);
-            return send_one(w, &overloaded());
+            return send_one(w, &overloaded(shared.retry_after_us(true)));
         }
         Err(TrySendError::Disconnected(_)) => {
             return send_one(w, &internal("server shutting down"));
@@ -432,6 +665,13 @@ fn enqueue_read<S>(
     }
     match reply_rx.recv() {
         Ok(frames) => {
+            // Last deadline gate: the result is ready, but if the
+            // client's budget ran out while it was computed, the
+            // answer is DeadlineExceeded (the client has already
+            // abandoned the call; keep its stream in sync).
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return send_one(w, &deadline_exceeded("after execution"));
+            }
             // Hold the lock across all chunks so a pushed Events frame
             // cannot split a chunked range reply.
             let mut w = w.lock().map_err(|_| poisoned())?;
@@ -456,10 +696,12 @@ fn enqueue_write<S>(
         kind,
         reply: reply_tx,
     }) {
-        Ok(()) => {}
+        Ok(()) => {
+            shared.counters.write_queued.fetch_add(1, Ordering::SeqCst);
+        }
         Err(TrySendError::Full(_)) => {
             shared.counters.overloaded.fetch_add(1, Ordering::SeqCst);
-            return send_one(w, &overloaded());
+            return send_one(w, &overloaded(shared.retry_after_us(false)));
         }
         Err(TrySendError::Disconnected(_)) => {
             return send_one(w, &internal("server shutting down"));
@@ -475,24 +717,34 @@ fn enqueue_write<S>(
 
 // --- batch former ----------------------------------------------------------
 
-/// How often idle loops re-check the shutdown flag.
+/// How often idle loops re-check the lifecycle mode.
 const IDLE_POLL: Duration = Duration::from_millis(20);
 
-fn former_loop<S>(rx: Receiver<ReadJob>, shared: Arc<Shared<S>>, cfg: ServerConfig)
+fn former_loop<S>(rx: Receiver<ReadJob>, shared: Arc<Shared<S>>)
 where
     S: IndexSnapshot + 'static,
 {
+    let cfg = shared.cfg.clone();
     let max_batch = cfg.max_batch.max(1);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        match shared.mode() {
+            Mode::Stopped => {
+                shared.service_thread_done();
+                return;
+            }
+            Mode::Draining => break,
+            Mode::Running => {}
         }
         // Wait for the window's first request…
         let first = match rx.recv_timeout(IDLE_POLL) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                shared.service_thread_done();
+                return;
+            }
         };
+        shared.counters.read_queued.fetch_sub(1, Ordering::SeqCst);
         // …then coalesce until the window is full or stale.
         let mut window = vec![first];
         let deadline = Instant::now() + Duration::from_micros(cfg.window_us);
@@ -502,7 +754,10 @@ where
                 break;
             }
             match rx.recv_timeout(deadline - now) {
-                Ok(job) => window.push(job),
+                Ok(job) => {
+                    shared.counters.read_queued.fetch_sub(1, Ordering::SeqCst);
+                    window.push(job);
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -512,6 +767,29 @@ where
         }
         execute_window(window, &shared, cfg.max_frame.max(1));
     }
+    // Drain: answer everything already admitted (new work is being
+    // rejected at the edge), bounded by the drain budget.
+    let drain_deadline = Instant::now() + Duration::from_millis(cfg.drain_budget_ms);
+    loop {
+        if Instant::now() >= drain_deadline {
+            break;
+        }
+        let mut window = Vec::new();
+        while window.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => {
+                    shared.counters.read_queued.fetch_sub(1, Ordering::SeqCst);
+                    window.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        if window.is_empty() {
+            break;
+        }
+        execute_window(window, &shared, cfg.max_frame.max(1));
+    }
+    shared.service_thread_done();
 }
 
 /// Splits a range result into `done`-terminated chunks of at most
@@ -543,12 +821,18 @@ where
         .batched_requests
         .fetch_add(window.len() as u64, Ordering::SeqCst);
 
-    // Split the window by kind, remembering each job's slot.
+    // Second deadline gate: drop entries whose budget expired while
+    // they queued — their snapshot work would be wasted.
+    let now = Instant::now();
     let mut range_qs = Vec::new();
     let mut range_jobs = Vec::new();
     let mut knn_qs = Vec::new();
     let mut knn_jobs = Vec::new();
     for job in window {
+        if job.deadline.is_some_and(|d| now >= d) {
+            let _ = job.reply.send(vec![deadline_exceeded("in queue")]);
+            continue;
+        }
         match job.kind {
             ReadKind::Range(q) => {
                 range_qs.push(q);
@@ -598,13 +882,19 @@ where
 struct SubRegistry {
     subs: SubscriptionSet,
     routes: HashMap<SubscriptionId, (ConnId, ConnWriter)>,
+    /// Subscriptions whose connection died, with the detach instant.
+    /// They keep recording into their replay rings until either a
+    /// resume re-routes them or the linger window reaps them.
+    detached: HashMap<SubscriptionId, Instant>,
     /// Largest commit time seen; used as "now" for registrations and
     /// as the evaluation time of pure-removal deltas.
     last_time: f64,
 }
 
 impl SubRegistry {
-    /// Drops every subscription owned by `conn`.
+    /// Detaches every subscription owned by `conn`: the route is gone
+    /// but the subscription state (and replay ring) survives for the
+    /// linger window so a reconnect can resume gap-free.
     fn drop_conn(&mut self, conn: ConnId) {
         let ids: Vec<SubscriptionId> = self
             .routes
@@ -612,16 +902,36 @@ impl SubRegistry {
             .filter(|(_, (c, _))| *c == conn)
             .map(|(&id, _)| id)
             .collect();
+        let now = Instant::now();
         for id in ids {
             self.routes.remove(&id);
+            self.detached.insert(id, now);
+        }
+    }
+
+    /// Reaps detached subscriptions whose linger window expired.
+    fn reap_detached(&mut self, linger: Duration) {
+        if self.detached.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<SubscriptionId> = self
+            .detached
+            .iter()
+            .filter(|(_, &at)| now.duration_since(at) >= linger)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.detached.remove(&id);
             self.subs.unregister(id);
         }
     }
 
     /// Groups `events` by subscription and pushes one
     /// [`Response::Events`] frame per subscription onto its owning
-    /// connection. A connection whose stream errors loses all its
-    /// subscriptions (it is gone or unrecoverable).
+    /// connection, stamped with the sequence number `on_tick` just
+    /// recorded. A connection whose stream errors loses its route
+    /// (the subscriptions detach and can be resumed).
     fn push_events(&mut self, time: f64, events: Vec<SubEvent>) {
         if events.is_empty() {
             return;
@@ -638,7 +948,15 @@ impl SubRegistry {
             if dead.contains(conn) {
                 continue;
             }
-            let frame = Response::Events { sub, time, events };
+            let seq = self.subs.last_seq(sub).unwrap_or(0);
+            let frame = Response::Events {
+                sub,
+                time,
+                seq,
+                reset: false,
+                fin: false,
+                events,
+            };
             if write_direct(w, &[frame]).is_err() {
                 dead.push(*conn);
             }
@@ -646,6 +964,24 @@ impl SubRegistry {
         for conn in dead {
             self.drop_conn(conn);
         }
+    }
+
+    /// Pushes the terminal drain frame (`fin`, no events) to every
+    /// routed subscription: "this server will push nothing more —
+    /// reconnect elsewhere and resume from the seq you have".
+    fn push_fin(&mut self, time: f64) {
+        for (&sub, (_, w)) in &self.routes {
+            let frame = Response::Events {
+                sub,
+                time,
+                seq: self.subs.last_seq(sub).unwrap_or(0),
+                reset: false,
+                fin: true,
+                events: Vec::new(),
+            };
+            let _ = write_direct(w, &[frame]);
+        }
+        self.routes.clear();
     }
 }
 
@@ -658,109 +994,172 @@ fn write_direct(w: &ConnWriter, frames: &[Response]) -> io::Result<()> {
     w.flush()
 }
 
-fn writer_loop<I>(
-    mut index: VpIndex<I>,
-    rx: Receiver<WriteJob>,
-    shared: Arc<Shared<I::Snapshot>>,
-    sub_horizon: f64,
-) where
+fn writer_loop<I>(mut index: VpIndex<I>, rx: Receiver<WriteJob>, shared: Arc<Shared<I::Snapshot>>)
+where
     I: MovingObjectIndex + SnapshotIndex + Send + Sync,
 {
+    let cfg = shared.cfg.clone();
+    let linger = Duration::from_millis(cfg.sub_linger_ms);
     let mut reg = SubRegistry {
         subs: SubscriptionSet::new(
-            SubscriptionConfig::new(index.domain()).with_horizon(sub_horizon),
+            SubscriptionConfig::new(index.domain())
+                .with_horizon(cfg.sub_horizon)
+                .with_retain(cfg.sub_retain),
         ),
         routes: HashMap::new(),
+        detached: HashMap::new(),
         last_time: 0.0,
     };
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        match shared.mode() {
+            Mode::Stopped => {
+                // Hard kill: no drain, no fin frames, no checkpoint.
+                shared.service_thread_done();
+                return;
+            }
+            Mode::Draining => break,
+            Mode::Running => {}
         }
+        reg.reap_detached(linger);
         let job = match rx.recv_timeout(IDLE_POLL) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        // Subscription control plane: no index mutation involved.
-        let kind = match job.kind {
-            WriteKind::Subscribe { spec, conn, writer } => {
-                let resp = handle_subscribe(&index, &mut reg, spec, conn, writer);
-                let _ = job.reply.send(resp);
-                continue;
-            }
-            WriteKind::Unsubscribe(id) => {
-                reg.subs.unregister(id);
-                reg.routes.remove(&id);
-                let _ = job.reply.send(Some(Response::Ok));
-                continue;
-            }
-            WriteKind::Disconnect(conn) => {
-                reg.drop_conn(conn);
-                continue;
-            }
-            other => other,
-        };
-        let result = match kind {
-            WriteKind::Insert(o) => index.insert(o).map(|()| TickDelta::from_insert(o)),
-            WriteKind::Delete(id) => index
-                .delete(id)
-                .map(|()| TickDelta::from_delete(id, reg.last_time)),
-            WriteKind::Tick(updates) => index.apply_updates_delta(&updates),
-            _ => unreachable!("control kinds handled above"),
-        };
-        let resp = match result {
-            Ok(mut delta) => {
-                // Commit time never runs backwards even if a client
-                // reports a stale ref_time.
-                delta.time = delta.time.max(reg.last_time);
-                reg.last_time = delta.time;
-                // Make the mutation snapshot-visible (ticks publish
-                // their epoch during commit; single-object mutations
-                // need the explicit publish) and hand the fresh
-                // snapshot — with the change set that produced it —
-                // to the read side.
-                index.publish_epoch();
-                // Evaluate standing queries against the committed
-                // state before publishing, so a subscriber that reacts
-                // to an event always finds a snapshot at least as new.
-                let events = if reg.subs.is_empty() {
-                    Vec::new()
-                } else {
-                    // An evaluation error (storage fault mid-scan)
-                    // drops this tick's events; the next successful
-                    // tick re-diffs against the stale result sets, so
-                    // no Enter/Leave is lost permanently.
-                    reg.subs.on_tick(&index, &delta).unwrap_or_default()
-                };
-                if let Ok(snap) = index.snapshot() {
-                    shared.cell.publish_with_delta(snap, delta);
-                }
-                reg.push_events(reg.last_time, events);
-                shared.counters.writes.fetch_add(1, Ordering::SeqCst);
-                Response::Ok
-            }
-            Err(e) => {
-                if index.is_read_only() {
-                    shared.counters.read_only.store(true, Ordering::SeqCst);
-                }
-                error_response(&e)
+            Err(RecvTimeoutError::Disconnected) => {
+                shared.service_thread_done();
+                return;
             }
         };
-        let _ = job.reply.send(Some(resp));
+        shared.counters.write_queued.fetch_sub(1, Ordering::SeqCst);
+        apply_write_job(&mut index, &mut reg, &shared, job);
     }
+    // Drain: apply every already-admitted mutation (the edge rejects
+    // new ones), bounded by the drain budget…
+    let drain_deadline = Instant::now() + Duration::from_millis(cfg.drain_budget_ms);
+    while Instant::now() < drain_deadline {
+        match rx.try_recv() {
+            Ok(job) => {
+                shared.counters.write_queued.fetch_sub(1, Ordering::SeqCst);
+                apply_write_job(&mut index, &mut reg, &shared, job);
+            }
+            Err(_) => break,
+        }
+    }
+    // …tell every live subscriber this stream is over…
+    reg.push_fin(reg.last_time);
+    // …and leave a checkpoint so the next open replays nothing
+    // (clean-restart equivalence). Checkpoint failure is tolerated:
+    // the WAL still holds everything, recovery just replays it.
+    if index.is_durable() && !index.is_read_only() {
+        let _ = index.checkpoint();
+    }
+    shared.service_thread_done();
 }
 
-/// Registers a standing query and answers on the connection stream
-/// directly: `Subscribed(id)`, then a backfill `Events` frame when the
-/// initial result set is non-empty. Returning `None` tells the conn
-/// thread the reply is already on the wire — this is what makes the
-/// registration handshake atomic with respect to event pushes from
-/// subsequent ticks.
+/// Applies one write-queue job: a mutation (tick/insert/delete, with
+/// snapshot publish + standing-query evaluation) or a subscription
+/// control operation.
+fn apply_write_job<I>(
+    index: &mut VpIndex<I>,
+    reg: &mut SubRegistry,
+    shared: &Shared<I::Snapshot>,
+    job: WriteJob,
+) where
+    I: MovingObjectIndex + SnapshotIndex + Send + Sync,
+{
+    // Subscription control plane: no index mutation involved.
+    let kind = match job.kind {
+        WriteKind::Subscribe {
+            spec,
+            resume,
+            conn,
+            writer,
+        } => {
+            let resp = handle_subscribe(index, reg, spec, resume, conn, writer);
+            let _ = job.reply.send(resp);
+            return;
+        }
+        WriteKind::Unsubscribe(id) => {
+            reg.subs.unregister(id);
+            reg.routes.remove(&id);
+            reg.detached.remove(&id);
+            let _ = job.reply.send(Some(Response::Ok));
+            return;
+        }
+        WriteKind::Disconnect(conn) => {
+            reg.drop_conn(conn);
+            return;
+        }
+        other => other,
+    };
+    let result = match kind {
+        WriteKind::Insert(o) => index.insert(o).map(|()| TickDelta::from_insert(o)),
+        WriteKind::Delete(id) => index
+            .delete(id)
+            .map(|()| TickDelta::from_delete(id, reg.last_time)),
+        WriteKind::Tick(updates) => index.apply_updates_delta(&updates),
+        _ => unreachable!("control kinds handled above"),
+    };
+    let resp = match result {
+        Ok(mut delta) => {
+            // Commit time never runs backwards even if a client
+            // reports a stale ref_time.
+            delta.time = delta.time.max(reg.last_time);
+            reg.last_time = delta.time;
+            // Make the mutation snapshot-visible (ticks publish
+            // their epoch during commit; single-object mutations
+            // need the explicit publish) and hand the fresh
+            // snapshot — with the change set that produced it —
+            // to the read side.
+            index.publish_epoch();
+            // Evaluate standing queries against the committed
+            // state before publishing, so a subscriber that reacts
+            // to an event always finds a snapshot at least as new.
+            let events = if reg.subs.is_empty() {
+                Vec::new()
+            } else {
+                // An evaluation error (storage fault mid-scan)
+                // drops this tick's events; the next successful
+                // tick re-diffs against the stale result sets, so
+                // no Enter/Leave is lost permanently.
+                reg.subs.on_tick(&*index, &delta).unwrap_or_default()
+            };
+            if let Ok(snap) = index.snapshot() {
+                shared.cell.publish_with_delta(snap, delta);
+            }
+            reg.push_events(reg.last_time, events);
+            shared.counters.writes.fetch_add(1, Ordering::SeqCst);
+            Response::Ok
+        }
+        Err(e) => {
+            if index.is_read_only() {
+                shared.counters.read_only.store(true, Ordering::SeqCst);
+            }
+            error_response(&e)
+        }
+    };
+    let _ = job.reply.send(Some(resp));
+}
+
+/// Registers or resumes a standing query, answering on the connection
+/// stream directly: `Subscribed(id)`, then replay/backfill `Events`
+/// frames. Returning `None` tells the conn thread the reply is already
+/// on the wire — this is what makes the registration handshake atomic
+/// with respect to event pushes from subsequent ticks.
+///
+/// Resume contract (`resume: Some`):
+/// * live (or detached) id + ring covers the gap → replay the retained
+///   batches under their original sequence numbers (`reset == false`);
+/// * live id, ring trimmed past the gap (or stale token) → full
+///   re-backfill via `resnapshot` (`reset == true`);
+/// * unknown id (reaped or never existed) → re-register under the
+///   requested id and push the fresh backfill with `reset == true`;
+/// * live id whose spec does not match the resume's spec → `BadRequest`
+///   (the token belongs to a different query).
 fn handle_subscribe<I>(
     index: &VpIndex<I>,
     reg: &mut SubRegistry,
     spec: SubscribeSpec,
+    resume: Option<ResumeFrom>,
     conn: ConnId,
     writer: ConnWriter,
 ) -> Option<Response>
@@ -768,24 +1167,115 @@ where
     I: MovingObjectIndex + SnapshotIndex + Send + Sync,
 {
     let now = reg.last_time;
+    let Some(resume) = resume else {
+        // Fresh registration (the pre-resume path, unchanged).
+        let registered = match spec {
+            SubscribeSpec::Range(s) => reg.subs.register_range(index, now, s),
+            SubscribeSpec::Knn(s) => reg.subs.register_knn(index, now, s),
+        };
+        return match registered {
+            Ok((id, backfill)) => {
+                let mut frames = vec![Response::Subscribed(id)];
+                if !backfill.is_empty() {
+                    frames.push(Response::Events {
+                        sub: id,
+                        time: now,
+                        seq: reg.subs.last_seq(id).unwrap_or(0),
+                        reset: false,
+                        fin: false,
+                        events: backfill.iter().map(|e| (e.kind, e.id)).collect(),
+                    });
+                }
+                if write_direct(&writer, &frames).is_ok() {
+                    reg.routes.insert(id, (conn, writer));
+                } else {
+                    // The client never saw the id; don't leak the sub.
+                    reg.subs.unregister(id);
+                }
+                None
+            }
+            Err(e) => Some(error_response(&e)),
+        };
+    };
+
+    let id = resume.sub;
+    if reg.subs.contains(id) {
+        // The subscription survived (possibly detached). The token
+        // must belong to the same query.
+        let matches = match spec {
+            SubscribeSpec::Range(s) => reg.subs.range_spec(id) == Some(s),
+            SubscribeSpec::Knn(s) => reg.subs.knn_spec(id) == Some(s),
+        };
+        if !matches {
+            return Some(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("resume token for subscription {id} does not match its spec"),
+                retry_after_us: 0,
+            });
+        }
+        let mut frames = vec![Response::Subscribed(id)];
+        match reg.subs.retained_since(id, resume.after_seq) {
+            Some(batches) => {
+                // Gap-free replay under the original seq numbers.
+                for b in batches {
+                    frames.push(Response::Events {
+                        sub: id,
+                        time: b.time,
+                        seq: b.seq,
+                        reset: false,
+                        fin: false,
+                        events: b.events,
+                    });
+                }
+            }
+            None => {
+                // Ring trimmed past the gap (or a stale token): full
+                // re-backfill; the client discards its state.
+                match reg.subs.resnapshot(index, id, now) {
+                    Ok(Some(RetainedBatch { seq, time, events })) => {
+                        frames.push(Response::Events {
+                            sub: id,
+                            time,
+                            seq,
+                            reset: true,
+                            fin: false,
+                            events,
+                        });
+                    }
+                    Ok(None) => return Some(internal("subscription vanished during resume")),
+                    Err(e) => return Some(error_response(&e)),
+                }
+            }
+        }
+        if write_direct(&writer, &frames).is_ok() {
+            reg.detached.remove(&id);
+            reg.routes.insert(id, (conn, writer));
+        }
+        return None;
+    }
+
+    // Reaped (or never existed): re-register under the requested id so
+    // the client keeps a stable handle; the backfill is a reset.
     let registered = match spec {
-        SubscribeSpec::Range(s) => reg.subs.register_range(index, now, s),
-        SubscribeSpec::Knn(s) => reg.subs.register_knn(index, now, s),
+        SubscribeSpec::Range(s) => reg.subs.register_range_as(index, now, s, id),
+        SubscribeSpec::Knn(s) => reg.subs.register_knn_as(index, now, s, id),
     };
     match registered {
-        Ok((id, backfill)) => {
-            let mut frames = vec![Response::Subscribed(id)];
-            if !backfill.is_empty() {
-                frames.push(Response::Events {
+        Ok(backfill) => {
+            let frames = vec![
+                Response::Subscribed(id),
+                Response::Events {
                     sub: id,
                     time: now,
+                    seq: reg.subs.last_seq(id).unwrap_or(0),
+                    reset: true,
+                    fin: false,
                     events: backfill.iter().map(|e| (e.kind, e.id)).collect(),
-                });
-            }
+                },
+            ];
             if write_direct(&writer, &frames).is_ok() {
                 reg.routes.insert(id, (conn, writer));
             } else {
-                // The client never saw the id; don't leak the sub.
                 reg.subs.unregister(id);
             }
             None
@@ -813,6 +1303,7 @@ fn error_response(e: &IndexError) -> Response {
     Response::Error {
         code,
         message: e.to_string(),
+        retry_after_us: 0,
     }
 }
 
@@ -865,5 +1356,23 @@ mod tests {
             panic!()
         };
         assert_eq!(code, ErrorCode::ReadOnly);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_queue_depth() {
+        let cfg = ServerConfig {
+            max_batch: 8,
+            window_us: 200,
+            ..ServerConfig::default()
+        };
+        // windows-ahead = queued / max_batch + 1 → µs.
+        let hint = |queued: u64| {
+            let windows = queued / cfg.max_batch as u64 + 1;
+            windows * cfg.window_us
+        };
+        assert_eq!(hint(0), 200, "empty queue: one window");
+        assert_eq!(hint(7), 200);
+        assert_eq!(hint(8), 400);
+        assert_eq!(hint(80), 2200);
     }
 }

@@ -60,7 +60,9 @@ pub use buffer::BufferPool;
 pub use disk::DiskManager;
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultOp, FaultPoint, InjectedFault};
-pub use retry::{with_retry, RecordingSleeper, RetryPolicy, Sleeper, ThreadSleeper};
+pub use retry::{
+    with_retry, with_retry_deadline, RecordingSleeper, RetryPolicy, Sleeper, ThreadSleeper,
+};
 pub use snapshot::{PageRead, PageSnapshot};
 pub use stats::{thread_io, AtomicIoStats, IoStats};
 

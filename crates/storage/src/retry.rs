@@ -24,10 +24,16 @@ use crate::StorageError;
 /// Bounded-attempt retry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Total attempts, including the first (1 = no retry).
+    /// Total attempts, including the first (1 = no retry; 0 behaves
+    /// like 1 — the operation always runs at least once).
     pub max_attempts: u32,
     /// Sleep before the first retry; doubles per subsequent retry.
     pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep. The doubling sequence
+    /// clamps here instead of growing without bound, so a
+    /// many-attempt policy (e.g. a client reconnect loop) keeps a
+    /// predictable worst-case inter-attempt gap.
+    pub max_backoff: Duration,
 }
 
 impl RetryPolicy {
@@ -36,6 +42,7 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
         }
     }
 
@@ -46,7 +53,24 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
         }
+    }
+
+    /// Sets the per-sleep backoff ceiling.
+    pub const fn with_max_backoff(mut self, max: Duration) -> RetryPolicy {
+        self.max_backoff = max;
+        self
+    }
+
+    /// The backoff slept before retry number `retry` (1-based):
+    /// `base_backoff · 2^(retry-1)`, clamped to `max_backoff`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(
+            1u32.checked_shl(retry.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        );
+        doubled.min(self.max_backoff)
     }
 }
 
@@ -107,17 +131,43 @@ impl Sleeper for RecordingSleeper {
 pub fn with_retry<T>(
     policy: RetryPolicy,
     sleeper: &dyn Sleeper,
+    f: impl FnMut() -> StorageResult<T>,
+) -> StorageResult<T> {
+    with_retry_deadline(policy, sleeper, None, f)
+}
+
+/// [`with_retry`] with an optional *total* time budget. When
+/// `deadline` is `Some`, the cumulative backoff slept never exceeds
+/// it: a sleep that would cross the remaining budget is truncated to
+/// exactly the remainder, and once the budget is exhausted the next
+/// error surfaces without a further attempt. `None` behaves exactly
+/// like [`with_retry`].
+///
+/// The budget bounds only the backoff this helper itself spends — the
+/// caller's closure is responsible for bounding its own I/O (socket
+/// timeouts etc.).
+pub fn with_retry_deadline<T>(
+    policy: RetryPolicy,
+    sleeper: &dyn Sleeper,
+    deadline: Option<Duration>,
     mut f: impl FnMut() -> StorageResult<T>,
 ) -> StorageResult<T> {
-    let mut backoff = policy.base_backoff;
+    let mut remaining = deadline;
     let mut attempt: u32 = 1;
     loop {
         match f() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                let mut backoff = policy.backoff_for(attempt);
+                if let Some(rem) = &mut remaining {
+                    if rem.is_zero() {
+                        return Err(e);
+                    }
+                    backoff = backoff.min(*rem);
+                    *rem -= backoff;
+                }
                 attempt += 1;
                 sleeper.sleep(backoff);
-                backoff = backoff.saturating_mul(2);
             }
             Err(e) => return Err(e),
         }

@@ -1,0 +1,182 @@
+//! Edge-case coverage for `vp_storage::retry` — the policy is now
+//! load-bearing on the network client path (reconnect backoff) as
+//! well as the storage flush paths, so its corner semantics are
+//! pinned here:
+//!
+//! * a zero-attempt policy still runs the operation once (the retry
+//!   machinery never suppresses the first attempt),
+//! * the exponential backoff clamps at `max_backoff` instead of
+//!   doubling without bound,
+//! * under a deadline the injected `Sleeper` is never asked to sleep
+//!   past the remaining budget, and the cumulative sleep never
+//!   exceeds the budget.
+
+use std::time::Duration;
+
+use vp_storage::{
+    with_retry, with_retry_deadline, RecordingSleeper, RetryPolicy, StorageError, StorageResult,
+};
+
+fn always_transient(calls: &mut u32) -> StorageResult<()> {
+    *calls += 1;
+    Err(StorageError::Io("transient".into()))
+}
+
+#[test]
+fn zero_attempt_policy_still_runs_once() {
+    // max_attempts: 0 is a degenerate configuration; the contract is
+    // "at least one attempt, zero retries", identical to 1.
+    let policy = RetryPolicy {
+        max_attempts: 0,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+    };
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    let out = with_retry(policy, &sleeper, || always_transient(&mut calls));
+    assert!(out.is_err());
+    assert_eq!(calls, 1, "the operation ran exactly once");
+    assert!(sleeper.slept().is_empty(), "no backoff for a no-retry run");
+}
+
+#[test]
+fn backoff_clamps_at_max() {
+    let policy = RetryPolicy {
+        max_attempts: 7,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(35),
+    };
+    // The raw doubling sequence would be 10, 20, 40, 80, 160, 320;
+    // everything from the third retry on clamps to 35.
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    let out = with_retry(policy, &sleeper, || always_transient(&mut calls));
+    assert!(out.is_err());
+    assert_eq!(calls, 7);
+    assert_eq!(
+        sleeper.slept(),
+        vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(35),
+            Duration::from_millis(35),
+            Duration::from_millis(35),
+            Duration::from_millis(35),
+        ],
+        "doubling clamps at max_backoff"
+    );
+    // The helper agrees with what was actually slept.
+    for (i, want) in [10u64, 20, 35, 35].iter().enumerate() {
+        assert_eq!(
+            policy.backoff_for(i as u32 + 1),
+            Duration::from_millis(*want)
+        );
+    }
+}
+
+#[test]
+fn backoff_for_never_overflows_at_large_retry_numbers() {
+    let policy = RetryPolicy {
+        max_attempts: u32::MAX,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_secs(30),
+    };
+    // 2^200 ms overflows every integer width involved; the clamp must
+    // still win rather than wrapping to a tiny (or huge) sleep.
+    assert_eq!(policy.backoff_for(200), Duration::from_secs(30));
+    assert_eq!(policy.backoff_for(u32::MAX), Duration::from_secs(30));
+}
+
+#[test]
+fn deadline_truncates_the_crossing_sleep_and_stops_after() {
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_backoff: Duration::from_millis(8),
+        max_backoff: Duration::from_secs(1),
+    };
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    // Budget 20 ms: sleeps would be 8, 16, 32, … — the second sleep
+    // is truncated to the remaining 12 ms and the third never happens.
+    let out = with_retry_deadline(policy, &sleeper, Some(Duration::from_millis(20)), || {
+        always_transient(&mut calls)
+    });
+    assert!(out.is_err());
+    assert_eq!(
+        sleeper.slept(),
+        vec![Duration::from_millis(8), Duration::from_millis(12)],
+        "second sleep truncated to the remaining budget"
+    );
+    assert_eq!(calls, 3, "one attempt per sleep plus the first");
+    let total: Duration = sleeper.slept().iter().sum();
+    assert!(
+        total <= Duration::from_millis(20),
+        "never past the deadline"
+    );
+}
+
+#[test]
+fn zero_deadline_means_single_attempt() {
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    let out = with_retry_deadline(
+        RetryPolicy::standard(),
+        &sleeper,
+        Some(Duration::ZERO),
+        || always_transient(&mut calls),
+    );
+    assert!(out.is_err());
+    assert_eq!(calls, 1, "no budget, no retries");
+    assert!(sleeper.slept().is_empty());
+}
+
+#[test]
+fn deadline_none_behaves_like_plain_retry() {
+    let policy = RetryPolicy::standard();
+    let run = |deadline| {
+        let sleeper = RecordingSleeper::new();
+        let mut calls = 0;
+        let _ = with_retry_deadline(policy, &sleeper, deadline, || always_transient(&mut calls));
+        (calls, sleeper.slept())
+    };
+    assert_eq!(run(None), run(Some(Duration::from_secs(3600))));
+}
+
+#[test]
+fn success_on_final_budgeted_attempt_is_returned() {
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(10),
+    };
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    let out = with_retry_deadline(policy, &sleeper, Some(Duration::from_millis(10)), || {
+        calls += 1;
+        if calls < 2 {
+            Err(StorageError::NoSpace)
+        } else {
+            Ok(calls)
+        }
+    });
+    assert_eq!(out, Ok(2), "success after exactly the budgeted retry");
+    assert_eq!(sleeper.slept(), vec![Duration::from_millis(10)]);
+}
+
+#[test]
+fn non_transient_error_ignores_remaining_budget() {
+    let sleeper = RecordingSleeper::new();
+    let mut calls = 0;
+    let out: StorageResult<()> = with_retry_deadline(
+        RetryPolicy::standard(),
+        &sleeper,
+        Some(Duration::from_secs(10)),
+        || {
+            calls += 1;
+            Err(StorageError::SyncFailed("fsyncgate".into()))
+        },
+    );
+    assert!(matches!(out, Err(StorageError::SyncFailed(_))));
+    assert_eq!(calls, 1, "failed fsync is never retried, budget or not");
+    assert!(sleeper.slept().is_empty());
+}
